@@ -1,0 +1,24 @@
+"""Ablation A3: digest scheme (SHA-1 vs SHA-256).
+
+The paper fixes 20-byte digests; this sweep shows how the token size, the VO
+size and the client verification time respond to a stronger hash.
+"""
+
+from repro.experiments import digest_scheme_ablation
+from repro.metrics.reporting import format_table
+
+
+def test_ablation_digest_scheme(benchmark, experiment_config):
+    rows = benchmark.pedantic(
+        lambda: digest_scheme_ablation(experiment_config), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        ["scheme", "sae_auth_bytes", "tom_auth_bytes", "sae_client_ms", "tom_client_ms"],
+        [[r["scheme"], r["sae_auth_bytes"], r["tom_auth_bytes"], r["sae_client_ms"],
+          r["tom_client_ms"]] for r in rows],
+        title="Ablation A3: digest scheme sweep (UNF)",
+    ))
+    by_scheme = {row["scheme"]: row for row in rows}
+    assert by_scheme["sha1"]["sae_auth_bytes"] == 20
+    assert by_scheme["sha256"]["sae_auth_bytes"] == 32

@@ -1,0 +1,26 @@
+"""Ablation A2: effect of the page size (fanout) on the SP cost gap.
+
+The SP saving of SAE comes entirely from the B+-tree's higher fanout; this
+sweep varies the page size and reports how the gap and the TE cost respond.
+"""
+
+from repro.experiments import page_size_ablation
+from repro.metrics.reporting import format_table
+
+
+def test_ablation_page_size_sweep(benchmark, experiment_config):
+    rows = benchmark.pedantic(
+        lambda: page_size_ablation(experiment_config, page_sizes=(2048, 4096, 8192)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(
+        ["page_size", "sae_sp_ms", "tom_sp_ms", "sp_reduction", "te_ms", "te_storage_mb"],
+        [[r["page_size"], r["sae_sp_ms"], r["tom_sp_ms"], r["sp_reduction"], r["te_ms"],
+          r["te_storage_mb"]] for r in rows],
+        title="Ablation A2: page size sweep (UNF)",
+    ))
+    tolerance = experiment_config.node_access_ms
+    for row in rows:
+        assert row["sae_sp_ms"] <= row["tom_sp_ms"] + tolerance

@@ -1,0 +1,25 @@
+"""Ablation A1: the XB-tree versus a sequential scan of ``T`` at the TE.
+
+The paper motivates the XB-tree by noting that a sequential scan of the TE's
+tuple set "can be expensive, contradicting the goal of SAE".  This benchmark
+quantifies the gap in charged node accesses per token generation.
+"""
+
+from repro.experiments import te_index_ablation
+from repro.metrics.reporting import format_table
+
+
+def test_ablation_te_index_vs_sequential_scan(benchmark, experiment_config):
+    rows = benchmark.pedantic(
+        lambda: te_index_ablation(experiment_config), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        ["dataset", "n", "xbtree_accesses", "scan_accesses", "speedup"],
+        [[r["dataset"], r["n"], r["xbtree_accesses"], r["scan_accesses"], r["speedup"]]
+         for r in rows],
+        title="Ablation A1: XB-tree vs sequential scan at the TE",
+    ))
+    for row in rows:
+        assert row["xbtree_accesses"] < row["scan_accesses"]
+        assert row["speedup"] > 1.0

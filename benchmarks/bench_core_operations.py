@@ -1,0 +1,124 @@
+"""Micro-benchmarks of the hot operations of both protocols.
+
+Unlike the figure benchmarks (which run a whole experiment once), these
+measure single operations with proper repetition so that pytest-benchmark's
+statistics are meaningful:
+
+* ``GenerateVT`` on the XB-tree (the TE's per-query work),
+* the B+-tree range search (the SAE SP's index work),
+* the MB-tree range search and VO construction (the TOM SP's work),
+* SAE client verification (hash + XOR of the result records),
+* TOM client verification (root reconstruction + RSA signature check),
+* XB-tree maintenance (insert + delete of one tuple).
+"""
+
+import pytest
+
+from repro.core.client import Client
+from repro.core.tuples import digest_record
+from repro.crypto.signatures import make_rsa_pair
+from repro.crypto.xor import digest_of_record
+from repro.dbms.query import RangeQuery
+from repro.tom.mbtree import MBTree, MBTreeLayout
+from repro.tom.verification import verify_vo
+from repro.btree import BPlusTree, BPlusTreeConfig
+from repro.btree.node import NodeLayout
+from repro.xbtree import XBTree
+from repro.xbtree.node import XBTreeLayout
+
+N_RECORDS = 20_000
+QUERY_LOW, QUERY_HIGH = 400_000, 450_000  # 0.5 % of the 10^7 domain
+KEY_STEP = 500  # keys 0, 500, 1000, ... -> ~100 qualifying records
+
+
+@pytest.fixture(scope="module")
+def records():
+    return {rid: (rid, rid * KEY_STEP, f"payload-{rid}".encode() * 4)
+            for rid in range(N_RECORDS)}
+
+
+@pytest.fixture(scope="module")
+def xbtree(records):
+    tree = XBTree(layout=XBTreeLayout(page_size=4096))
+    tree.bulk_load(sorted((fields[1], rid, digest_record(fields))
+                          for rid, fields in records.items()))
+    return tree
+
+
+@pytest.fixture(scope="module")
+def bplus_tree(records):
+    tree = BPlusTree(BPlusTreeConfig(layout=NodeLayout(page_size=4096)))
+    tree.bulk_load(sorted((fields[1], rid) for rid, fields in records.items()))
+    return tree
+
+
+@pytest.fixture(scope="module")
+def signed_mbtree(records):
+    signer, verifier = make_rsa_pair(bits=1024, seed=3)
+    tree = MBTree(layout=MBTreeLayout(page_size=4096))
+    tree.bulk_load(sorted((fields[1], rid, digest_record(fields))
+                          for rid, fields in records.items()))
+    tree.signature = signer.sign(tree.root_digest())
+    return tree, verifier
+
+
+@pytest.fixture(scope="module")
+def query_result(records):
+    return [fields for fields in records.values()
+            if QUERY_LOW <= fields[1] <= QUERY_HIGH]
+
+
+def test_xbtree_generate_vt(benchmark, xbtree):
+    token = benchmark(lambda: xbtree.generate_vt(QUERY_LOW, QUERY_HIGH, charge=False))
+    assert not token.is_zero()
+
+
+def test_bplus_tree_range_search(benchmark, bplus_tree):
+    result = benchmark(lambda: bplus_tree.range_search(QUERY_LOW, QUERY_HIGH))
+    assert len(result) > 0
+
+
+def test_mbtree_range_search(benchmark, signed_mbtree):
+    tree, _ = signed_mbtree
+    result = benchmark(lambda: tree.range_search(QUERY_LOW, QUERY_HIGH))
+    assert len(result) > 0
+
+
+def test_mbtree_vo_construction(benchmark, signed_mbtree, records):
+    tree, _ = signed_mbtree
+    result, vo = benchmark(
+        lambda: tree.build_vo(QUERY_LOW, QUERY_HIGH, record_loader=lambda rid: records[rid])
+    )
+    assert vo.count_markers() == len(result)
+
+
+def test_sae_client_verification(benchmark, query_result):
+    client = Client(key_index=1)
+    token = client.compute_result_xor(query_result)
+    outcome = benchmark(lambda: client.verify(query_result, token,
+                                              query=RangeQuery(low=QUERY_LOW, high=QUERY_HIGH)))
+    assert outcome.ok
+
+
+def test_tom_client_verification(benchmark, signed_mbtree, records, query_result):
+    tree, verifier = signed_mbtree
+    _, vo = tree.build_vo(QUERY_LOW, QUERY_HIGH, record_loader=lambda rid: records[rid])
+    report = benchmark(lambda: verify_vo(vo, query_result, QUERY_LOW, QUERY_HIGH,
+                                         verifier=verifier, key_index=1))
+    assert report.ok, report.reason
+
+
+def test_xbtree_insert_delete_cycle(benchmark, xbtree):
+    digest = digest_of_record((10**9, 123_456, b"temporary"))
+
+    def cycle():
+        xbtree.insert(123_456, 10**9, digest)
+        xbtree.delete(123_456, 10**9)
+
+    benchmark(cycle)
+    assert xbtree.num_tuples == N_RECORDS
+
+
+def test_record_digest_throughput(benchmark, records):
+    sample = list(records.values())[:500]
+    benchmark(lambda: [digest_record(record) for record in sample])

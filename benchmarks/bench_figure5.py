@@ -1,0 +1,22 @@
+"""Benchmark / regeneration of Figure 5: authentication communication overhead.
+
+Paper series: TE-Client (SAE) vs SP-Client (TOM) bytes, for the UNF and SKW
+datasets, as the cardinality grows.  Expected shape: the SAE token is a
+constant digest (20 bytes) while the TOM VO is 2-3 orders of magnitude
+larger and grows with the dataset cardinality.
+"""
+
+from repro.experiments import figure5_rows, format_figure5
+
+
+def test_figure5_communication_overhead(benchmark, experiment_config):
+    rows = benchmark.pedantic(
+        lambda: figure5_rows(experiment_config), rounds=1, iterations=1
+    )
+    print()
+    print(format_figure5(rows))
+
+    token_sizes = {row["sae_te_client_bytes"] for row in rows}
+    assert len(token_sizes) == 1, "the SAE token must be constant across cardinalities"
+    for row in rows:
+        assert row["tom_sp_client_bytes"] > 10 * row["sae_te_client_bytes"]

@@ -1,0 +1,24 @@
+"""Benchmark / regeneration of Figure 7: client verification time.
+
+Paper series: Client (SAE) vs Client (TOM) measured milliseconds for UNF and
+SKW.  Expected shape: both grow linearly with the result cardinality, TOM is
+slightly more expensive (root-digest reconstruction plus an RSA signature
+verification on top of hashing the result records), and SKW is cheaper than
+UNF because its average result is smaller.
+"""
+
+from repro.experiments import figure7_rows, format_figure7
+
+
+def test_figure7_client_verification_time(benchmark, experiment_config):
+    rows = benchmark.pedantic(
+        lambda: figure7_rows(experiment_config), rounds=1, iterations=1
+    )
+    print()
+    print(format_figure7(rows))
+
+    for row in rows:
+        assert row["sae_client_ms"] >= 0.0
+        assert row["tom_client_ms"] > 0.0
+    largest_unf = max((row for row in rows if row["dataset"] == "UNF"), key=lambda r: r["n"])
+    assert largest_unf["tom_client_ms"] >= largest_unf["sae_client_ms"] * 0.5

@@ -1,0 +1,21 @@
+"""Benchmark / regeneration of Figure 8: storage cost at the SP and the TE.
+
+Paper series: SP (SAE), SP (TOM) and TE (SAE) megabytes for UNF and SKW.
+Expected shape: both SP footprints are dominated by the outsourced dataset
+and therefore similar; the TE's footprint (XB-tree plus packed digest pages)
+is a small fraction of the SP's -- small enough for a main-memory index.
+"""
+
+from repro.experiments import figure8_rows, format_figure8
+
+
+def test_figure8_storage_cost(benchmark, experiment_config):
+    rows = benchmark.pedantic(
+        lambda: figure8_rows(experiment_config), rounds=1, iterations=1
+    )
+    print()
+    print(format_figure8(rows))
+
+    for row in rows:
+        assert row["sae_te_mb"] < row["sae_sp_mb"]
+        assert row["tom_sp_mb"] >= row["sae_sp_mb"] * 0.8

@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark harness.
+
+Every ``bench_figure*.py`` module regenerates one figure of the paper.  The
+default configuration is the ``quick`` preset so that
+``pytest benchmarks/ --benchmark-only`` finishes in a couple of minutes;
+set the environment variable ``REPRO_BENCH_SCALE`` to ``default`` or
+``paper`` to run the larger sweeps (the latter builds million-record indexes
+in pure Python and takes hours).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+def _select_config() -> ExperimentConfig:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if scale == "paper":
+        return ExperimentConfig.paper()
+    if scale == "default":
+        return ExperimentConfig.default()
+    return ExperimentConfig.quick()
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """The experiment configuration used by every figure benchmark."""
+    return _select_config()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's evaluation section.
+
+Runs the full experiment harness (Figures 5-8 plus the ablations) and prints
+one table per figure in the same structure as the paper: one row per dataset
+cardinality, one column per method, separately for the UNF and SKW datasets.
+
+By default the laptop-scale ``default`` configuration is used (10K-100K
+records); pass ``--quick`` for a seconds-long smoke run or ``--paper`` for
+the full 100K-1M sweep of Section IV (slow: it builds million-record
+indexes in pure Python).
+
+Run with::
+
+    python examples/paper_experiments.py --quick
+"""
+
+import argparse
+import time
+
+from repro.experiments import (
+    ExperimentConfig,
+    digest_scheme_ablation,
+    figure5_rows,
+    figure6_rows,
+    figure7_rows,
+    figure8_rows,
+    format_figure5,
+    format_figure6,
+    format_figure7,
+    format_figure8,
+    page_size_ablation,
+    te_index_ablation,
+)
+from repro.experiments.figure6 import sp_reduction_summary
+from repro.metrics.reporting import format_table
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument("--quick", action="store_true", help="smallest configuration (seconds)")
+    scale.add_argument("--paper", action="store_true",
+                       help="the paper's 100K-1M sweep (very slow in pure Python)")
+    parser.add_argument("--skip-ablations", action="store_true",
+                        help="only regenerate Figures 5-8")
+    return parser.parse_args()
+
+
+def pick_config(args: argparse.Namespace) -> ExperimentConfig:
+    if args.quick:
+        return ExperimentConfig.quick()
+    if args.paper:
+        return ExperimentConfig.paper()
+    return ExperimentConfig.default()
+
+
+def main() -> None:
+    args = parse_args()
+    config = pick_config(args)
+    print(f"configuration: {config.label} (n = {list(config.cardinalities)}, "
+          f"{config.num_queries} queries of extent {config.extent_fraction:.1%}, "
+          f"{config.record_size}-byte records)\n")
+
+    started = time.time()
+    rows5 = figure5_rows(config)
+    rows6 = figure6_rows(config)
+    rows7 = figure7_rows(config)
+    rows8 = figure8_rows(config)
+    print(format_figure5(rows5), "\n")
+    print(format_figure6(rows6))
+    summary = sp_reduction_summary(rows6)
+    print(f"  SP cost reduction of SAE over TOM: "
+          f"{summary['min_reduction']:.0%} - {summary['max_reduction']:.0%} "
+          f"(paper: 24% - 39%)\n")
+    print(format_figure7(rows7), "\n")
+    print(format_figure8(rows8), "\n")
+
+    if not args.skip_ablations:
+        ablation_rows = te_index_ablation(config)
+        print(format_table(
+            ["dataset", "n", "xbtree_accesses", "scan_accesses", "speedup"],
+            [[r["dataset"], r["n"], r["xbtree_accesses"], r["scan_accesses"], r["speedup"]]
+             for r in ablation_rows],
+            title="Ablation A1: XB-tree vs sequential scan at the TE",
+        ), "\n")
+
+        page_rows = page_size_ablation(config, page_sizes=(2048, 4096, 8192))
+        print(format_table(
+            ["page_size", "sae_sp_ms", "tom_sp_ms", "sp_reduction", "te_ms"],
+            [[r["page_size"], r["sae_sp_ms"], r["tom_sp_ms"], r["sp_reduction"], r["te_ms"]]
+             for r in page_rows],
+            title="Ablation A2: page size sweep (UNF)",
+        ), "\n")
+
+        digest_rows = digest_scheme_ablation(config)
+        print(format_table(
+            ["scheme", "sae_auth_bytes", "tom_auth_bytes", "sae_client_ms", "tom_client_ms"],
+            [[r["scheme"], r["sae_auth_bytes"], r["tom_auth_bytes"], r["sae_client_ms"],
+              r["tom_client_ms"]] for r in digest_rows],
+            title="Ablation A3: digest scheme sweep (UNF)",
+        ), "\n")
+
+    print(f"total time: {time.time() - started:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

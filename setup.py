@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e . --no-build-isolation`` (or the legacy
+``--no-use-pep517`` path) works on offline machines where PEP 517 editable
+builds cannot fetch/build a wheel backend.
+"""
+
+from setuptools import setup
+
+setup()

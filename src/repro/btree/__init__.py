@@ -1,0 +1,25 @@
+"""A conventional disk-based B+-tree.
+
+This is the index the service provider uses in SAE: "query processing is as
+fast as in conventional database systems" precisely because the SP indexes
+the outsourced relation with a plain B+-tree carrying no authentication
+information.  The same tree also backs the :mod:`repro.dbms` engine.
+
+The tree is keyed on the query attribute and maps keys to opaque values
+(typically :class:`~repro.storage.heapfile.RecordId` objects).  Duplicate
+keys are supported.  Node capacities are derived from the page size and the
+per-entry byte layout, so that the fanout difference with the MB-tree (which
+additionally stores a 20-byte digest per entry) emerges naturally — this is
+the mechanism behind the paper's Figure 6.
+"""
+
+from repro.btree.node import BPlusLeafNode, BPlusInternalNode, NodeLayout
+from repro.btree.tree import BPlusTree, BPlusTreeConfig
+
+__all__ = [
+    "BPlusTree",
+    "BPlusTreeConfig",
+    "BPlusLeafNode",
+    "BPlusInternalNode",
+    "NodeLayout",
+]

@@ -1,0 +1,111 @@
+"""B+-tree node classes and their byte layout.
+
+Nodes are held as Python objects for speed, but every node knows how many
+bytes its serialised form would occupy and the tree derives its fanout from
+the configured page size, so the structure behaves (in node counts, heights
+and storage figures) exactly like the disk-based index of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.storage.constants import DEFAULT_PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class NodeLayout:
+    """Byte layout of B+-tree entries, used to derive node capacities.
+
+    The defaults model the paper's setup: 4-byte integer search keys and
+    8-byte pointers (record ids in leaves, child page ids in internal
+    nodes).  A small fixed header per node accounts for entry counts and
+    sibling pointers.
+    """
+
+    page_size: int = DEFAULT_PAGE_SIZE
+    key_size: int = 4
+    value_size: int = 8
+    pointer_size: int = 8
+    header_size: int = 24
+
+    @property
+    def leaf_entry_size(self) -> int:
+        """Bytes per leaf entry (key + value/RID)."""
+        return self.key_size + self.value_size
+
+    @property
+    def internal_entry_size(self) -> int:
+        """Bytes per internal entry (key + child pointer)."""
+        return self.key_size + self.pointer_size
+
+    @property
+    def leaf_capacity(self) -> int:
+        """Maximum number of entries in a leaf node."""
+        capacity = (self.page_size - self.header_size) // self.leaf_entry_size
+        return max(capacity, 3)
+
+    @property
+    def internal_capacity(self) -> int:
+        """Maximum number of keys in an internal node."""
+        capacity = (self.page_size - self.header_size - self.pointer_size) // self.internal_entry_size
+        return max(capacity, 3)
+
+
+class BPlusLeafNode:
+    """A leaf node holding sorted ``(key, value)`` entries and a next-leaf link."""
+
+    __slots__ = ("keys", "values", "next_leaf")
+
+    def __init__(self):
+        self.keys: List[Any] = []
+        self.values: List[Any] = []
+        self.next_leaf: Optional["BPlusLeafNode"] = None
+
+    is_leaf = True
+
+    @property
+    def num_entries(self) -> int:
+        """Number of entries stored in this leaf."""
+        return len(self.keys)
+
+    def used_bytes(self, layout: NodeLayout) -> int:
+        """Bytes this node's serialised form would occupy."""
+        return layout.header_size + len(self.keys) * layout.leaf_entry_size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BPlusLeafNode(entries={len(self.keys)})"
+
+
+class BPlusInternalNode:
+    """An internal node with ``len(children) == len(keys) + 1``.
+
+    ``children[i]`` roots the subtree with keys strictly less than
+    ``keys[i]``; ``children[-1]`` roots the subtree with keys greater than or
+    equal to ``keys[-1]``.
+    """
+
+    __slots__ = ("keys", "children")
+
+    def __init__(self):
+        self.keys: List[Any] = []
+        self.children: List[Any] = []
+
+    is_leaf = False
+
+    @property
+    def num_keys(self) -> int:
+        """Number of separator keys stored in this node."""
+        return len(self.keys)
+
+    def used_bytes(self, layout: NodeLayout) -> int:
+        """Bytes this node's serialised form would occupy."""
+        return (
+            layout.header_size
+            + len(self.keys) * layout.internal_entry_size
+            + layout.pointer_size
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BPlusInternalNode(keys={len(self.keys)})"

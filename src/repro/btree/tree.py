@@ -1,0 +1,505 @@
+"""A disk-cost-aware B+-tree with duplicate-key support.
+
+The tree keeps its nodes in memory (the experiments of the paper charge
+simulated I/O, so an actual disk round-trip would add nothing but noise) but
+derives its fanout from the configured page size and counts one node access
+per node visited, which is exactly the quantity Figure 6 of the paper
+charges at 10 ms each.
+
+Supported operations:
+
+* :meth:`BPlusTree.insert` / :meth:`BPlusTree.delete` -- standard B+-tree
+  maintenance with node splits, borrowing and merging.
+* :meth:`BPlusTree.search` -- all values stored under a key.
+* :meth:`BPlusTree.range_search` -- all ``(key, value)`` pairs with key in
+  ``[lo, hi]``, in key order (descend to the lower bound, then follow leaf
+  links).
+* :meth:`BPlusTree.bulk_load` -- linear-time construction from sorted input,
+  used to build the experiment datasets.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.btree.node import BPlusInternalNode, BPlusLeafNode, NodeLayout
+from repro.storage.constants import DEFAULT_PAGE_SIZE
+from repro.storage.cost_model import AccessCounter
+
+
+class BPlusTreeError(ValueError):
+    """Raised on invalid B+-tree operations (e.g. deleting a missing key)."""
+
+
+@dataclass
+class BPlusTreeConfig:
+    """Configuration of a :class:`BPlusTree`.
+
+    Attributes
+    ----------
+    layout:
+        Byte layout from which node capacities are derived.
+    fill_factor:
+        Target occupancy used by :meth:`BPlusTree.bulk_load`.
+    """
+
+    layout: NodeLayout = field(default_factory=NodeLayout)
+    fill_factor: float = 1.0
+
+    @classmethod
+    def for_page_size(cls, page_size: int = DEFAULT_PAGE_SIZE, key_size: int = 4,
+                      value_size: int = 8) -> "BPlusTreeConfig":
+        """Build a configuration for a given page size and entry layout."""
+        return cls(layout=NodeLayout(page_size=page_size, key_size=key_size, value_size=value_size))
+
+
+class BPlusTree:
+    """A B+-tree mapping (possibly duplicate) keys to opaque values."""
+
+    def __init__(self, config: Optional[BPlusTreeConfig] = None,
+                 counter: Optional[AccessCounter] = None):
+        self._config = config or BPlusTreeConfig()
+        self._counter = counter or AccessCounter()
+        self._root: Any = BPlusLeafNode()
+        self._height = 1
+        self._num_entries = 0
+        self._num_leaves = 1
+        self._num_internal = 0
+
+    # ------------------------------------------------------------------ meta
+    @property
+    def config(self) -> BPlusTreeConfig:
+        """The tree configuration."""
+        return self._config
+
+    @property
+    def counter(self) -> AccessCounter:
+        """Node-access counter charged on every traversal."""
+        return self._counter
+
+    @property
+    def leaf_capacity(self) -> int:
+        """Maximum entries per leaf (the paper's leaf fanout)."""
+        return self._config.layout.leaf_capacity
+
+    @property
+    def internal_capacity(self) -> int:
+        """Maximum keys per internal node."""
+        return self._config.layout.internal_capacity
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a single leaf)."""
+        return self._height
+
+    @property
+    def num_entries(self) -> int:
+        """Number of key/value entries stored."""
+        return self._num_entries
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes (pages) in the tree."""
+        return self._num_leaves + self._num_internal
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaf nodes."""
+        return self._num_leaves
+
+    def size_bytes(self) -> int:
+        """Storage footprint: one page per node, as on disk."""
+        return self.num_nodes * self._config.layout.page_size
+
+    def __len__(self) -> int:
+        return self._num_entries
+
+    # ------------------------------------------------------------------ search
+    def _charge(self, count: int = 1) -> None:
+        self._counter.record_node_access(count)
+
+    def _find_leaf(self, key: Any, charge: bool = True) -> BPlusLeafNode:
+        """Descend to the leftmost leaf that may contain ``key``."""
+        node = self._root
+        if charge:
+            self._charge()
+        while not node.is_leaf:
+            index = bisect.bisect_left(node.keys, key)
+            node = node.children[index]
+            if charge:
+                self._charge()
+        return node
+
+    def search(self, key: Any) -> List[Any]:
+        """Return all values stored under ``key`` (empty list if absent)."""
+        results: List[Any] = []
+        leaf = self._find_leaf(key)
+        while leaf is not None:
+            index = bisect.bisect_left(leaf.keys, key)
+            if index == len(leaf.keys):
+                leaf = leaf.next_leaf
+                if leaf is not None:
+                    self._charge()
+                continue
+            while index < len(leaf.keys) and leaf.keys[index] == key:
+                results.append(leaf.values[index])
+                index += 1
+            if index < len(leaf.keys):
+                break
+            leaf = leaf.next_leaf
+            if leaf is not None and leaf.keys and leaf.keys[0] == key:
+                self._charge()
+            else:
+                break
+        return results
+
+    def range_search(self, low: Any, high: Any) -> List[Tuple[Any, Any]]:
+        """Return all ``(key, value)`` pairs with ``low <= key <= high`` in key order."""
+        if low > high:
+            return []
+        results: List[Tuple[Any, Any]] = []
+        leaf = self._find_leaf(low)
+        while leaf is not None:
+            start = bisect.bisect_left(leaf.keys, low)
+            for index in range(start, len(leaf.keys)):
+                key = leaf.keys[index]
+                if key > high:
+                    return results
+                results.append((key, leaf.values[index]))
+            if leaf.keys and leaf.keys[-1] > high:
+                return results
+            leaf = leaf.next_leaf
+            if leaf is not None:
+                self._charge()
+        return results
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate over all entries in key order without charging accesses."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        while node is not None:
+            for key, value in zip(node.keys, node.values):
+                yield key, value
+            node = node.next_leaf
+
+    def min_key(self) -> Any:
+        """Smallest key in the tree (``None`` when empty)."""
+        if self._num_entries == 0:
+            return None
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    def max_key(self) -> Any:
+        """Largest key in the tree (``None`` when empty)."""
+        if self._num_entries == 0:
+            return None
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1]
+
+    # ------------------------------------------------------------------ insert
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert ``(key, value)``; duplicate keys are allowed."""
+        self._charge()
+        split = self._insert_recursive(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = BPlusInternalNode()
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+            self._num_internal += 1
+        self._num_entries += 1
+
+    def _insert_recursive(self, node: Any, key: Any, value: Any):
+        if node.is_leaf:
+            index = bisect.bisect_right(node.keys, key)
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            if len(node.keys) > self.leaf_capacity:
+                return self._split_leaf(node)
+            return None
+
+        index = bisect.bisect_right(node.keys, key)
+        self._charge()
+        split = self._insert_recursive(node.children[index], key, value)
+        if split is None:
+            return None
+        separator, right = split
+        node.keys.insert(index, separator)
+        node.children.insert(index + 1, right)
+        if len(node.keys) > self.internal_capacity:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, leaf: BPlusLeafNode):
+        mid = len(leaf.keys) // 2
+        right = BPlusLeafNode()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next_leaf = leaf.next_leaf
+        leaf.next_leaf = right
+        self._num_leaves += 1
+        return right.keys[0], right
+
+    def _split_internal(self, node: BPlusInternalNode):
+        mid = len(node.keys) // 2
+        separator = node.keys[mid]
+        right = BPlusInternalNode()
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        self._num_internal += 1
+        return separator, right
+
+    # ------------------------------------------------------------------ delete
+    def delete(self, key: Any, value: Any = None) -> None:
+        """Delete one entry with ``key`` (and ``value``, when given).
+
+        Raises :class:`BPlusTreeError` if no matching entry exists.
+        """
+        self._charge()
+        removed = self._delete_recursive(self._root, key, value)
+        if not removed:
+            raise BPlusTreeError(f"key {key!r} (value {value!r}) not found")
+        if not self._root.is_leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+            self._height -= 1
+            self._num_internal -= 1
+        self._num_entries -= 1
+
+    def _delete_recursive(self, node: Any, key: Any, value: Any) -> bool:
+        if node.is_leaf:
+            index = bisect.bisect_left(node.keys, key)
+            while index < len(node.keys) and node.keys[index] == key:
+                if value is None or node.values[index] == value:
+                    node.keys.pop(index)
+                    node.values.pop(index)
+                    return True
+                index += 1
+            return False
+
+        index = bisect.bisect_left(node.keys, key)
+        # With duplicates the matching entry may live in any of the children
+        # whose key range can contain ``key``; try them left to right.
+        removed = False
+        while index < len(node.children):
+            child = node.children[index]
+            self._charge()
+            removed = self._delete_recursive(child, key, value)
+            if removed:
+                break
+            if index >= len(node.keys) or node.keys[index] > key:
+                break
+            index += 1
+        if not removed:
+            return False
+        self._rebalance_child(node, index)
+        return True
+
+    def _min_leaf_entries(self) -> int:
+        return max(1, self.leaf_capacity // 2)
+
+    def _min_internal_keys(self) -> int:
+        return max(1, self.internal_capacity // 2)
+
+    def _rebalance_child(self, parent: BPlusInternalNode, index: int) -> None:
+        child = parent.children[index]
+        if child.is_leaf:
+            if len(child.keys) >= self._min_leaf_entries():
+                self._refresh_separator(parent, index)
+                return
+        else:
+            if len(child.keys) >= self._min_internal_keys():
+                self._refresh_separator(parent, index)
+                return
+
+        left_sibling = parent.children[index - 1] if index > 0 else None
+        right_sibling = parent.children[index + 1] if index + 1 < len(parent.children) else None
+
+        if child.is_leaf:
+            if left_sibling is not None and len(left_sibling.keys) > self._min_leaf_entries():
+                child.keys.insert(0, left_sibling.keys.pop())
+                child.values.insert(0, left_sibling.values.pop())
+                parent.keys[index - 1] = child.keys[0]
+            elif right_sibling is not None and len(right_sibling.keys) > self._min_leaf_entries():
+                child.keys.append(right_sibling.keys.pop(0))
+                child.values.append(right_sibling.values.pop(0))
+                parent.keys[index] = right_sibling.keys[0]
+            elif left_sibling is not None:
+                left_sibling.keys.extend(child.keys)
+                left_sibling.values.extend(child.values)
+                left_sibling.next_leaf = child.next_leaf
+                parent.keys.pop(index - 1)
+                parent.children.pop(index)
+                self._num_leaves -= 1
+            elif right_sibling is not None:
+                child.keys.extend(right_sibling.keys)
+                child.values.extend(right_sibling.values)
+                child.next_leaf = right_sibling.next_leaf
+                parent.keys.pop(index)
+                parent.children.pop(index + 1)
+                self._num_leaves -= 1
+        else:
+            if left_sibling is not None and len(left_sibling.keys) > self._min_internal_keys():
+                child.keys.insert(0, parent.keys[index - 1])
+                parent.keys[index - 1] = left_sibling.keys.pop()
+                child.children.insert(0, left_sibling.children.pop())
+            elif right_sibling is not None and len(right_sibling.keys) > self._min_internal_keys():
+                child.keys.append(parent.keys[index])
+                parent.keys[index] = right_sibling.keys.pop(0)
+                child.children.append(right_sibling.children.pop(0))
+            elif left_sibling is not None:
+                left_sibling.keys.append(parent.keys[index - 1])
+                left_sibling.keys.extend(child.keys)
+                left_sibling.children.extend(child.children)
+                parent.keys.pop(index - 1)
+                parent.children.pop(index)
+                self._num_internal -= 1
+            elif right_sibling is not None:
+                child.keys.append(parent.keys[index])
+                child.keys.extend(right_sibling.keys)
+                child.children.extend(right_sibling.children)
+                parent.keys.pop(index)
+                parent.children.pop(index + 1)
+                self._num_internal -= 1
+        self._refresh_separator(parent, min(index, len(parent.children) - 1))
+
+    @staticmethod
+    def _leftmost_key(node: Any) -> Any:
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0] if node.keys else None
+
+    def _refresh_separator(self, parent: BPlusInternalNode, index: int) -> None:
+        """Keep parent separators consistent with the leftmost key of each child."""
+        for key_index in range(len(parent.keys)):
+            child = parent.children[key_index + 1]
+            leftmost = self._leftmost_key(child)
+            if leftmost is not None:
+                parent.keys[key_index] = leftmost
+
+    # ------------------------------------------------------------------ bulk load
+    def bulk_load(self, items: Sequence[Tuple[Any, Any]]) -> None:
+        """Rebuild the tree from ``items`` sorted by key (ascending).
+
+        Raises :class:`BPlusTreeError` if the tree is non-empty or the input
+        is not sorted.
+        """
+        if self._num_entries:
+            raise BPlusTreeError("bulk_load requires an empty tree")
+        items = list(items)
+        for i in range(1, len(items)):
+            if items[i][0] < items[i - 1][0]:
+                raise BPlusTreeError("bulk_load input must be sorted by key")
+        if not items:
+            return
+
+        per_leaf = max(2, int(self.leaf_capacity * self._config.fill_factor))
+        per_internal = max(2, int(self.internal_capacity * self._config.fill_factor))
+
+        leaves: List[BPlusLeafNode] = []
+        for start in range(0, len(items), per_leaf):
+            chunk = items[start:start + per_leaf]
+            leaf = BPlusLeafNode()
+            leaf.keys = [key for key, _ in chunk]
+            leaf.values = [value for _, value in chunk]
+            if leaves:
+                leaves[-1].next_leaf = leaf
+            leaves.append(leaf)
+        # Avoid a dangling underfull final leaf: rebalance the last two.
+        if len(leaves) >= 2 and len(leaves[-1].keys) < max(1, per_leaf // 2):
+            last, prev = leaves[-1], leaves[-2]
+            merged_keys = prev.keys + last.keys
+            merged_values = prev.values + last.values
+            half = len(merged_keys) // 2
+            prev.keys, prev.values = merged_keys[:half], merged_values[:half]
+            last.keys, last.values = merged_keys[half:], merged_values[half:]
+
+        self._num_leaves = len(leaves)
+        self._num_internal = 0
+        self._num_entries = len(items)
+
+        level: List[Any] = list(leaves)
+        height = 1
+        while len(level) > 1:
+            parents: List[BPlusInternalNode] = []
+            for start in range(0, len(level), per_internal + 1):
+                group = level[start:start + per_internal + 1]
+                parent = BPlusInternalNode()
+                parent.children = group
+                parent.keys = [self._leftmost_key(child) for child in group[1:]]
+                parents.append(parent)
+            # Merge a trailing single-child parent into its predecessor.
+            if len(parents) >= 2 and len(parents[-1].children) == 1:
+                lonely = parents.pop()
+                parents[-1].children.extend(lonely.children)
+                parents[-1].keys.append(self._leftmost_key(lonely.children[0]))
+            self._num_internal += len(parents)
+            level = parents
+            height += 1
+        self._root = level[0]
+        self._height = height
+
+    # ------------------------------------------------------------------ validation
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`BPlusTreeError` on violation.
+
+        Used by the test suite (including the hypothesis state-machine tests)
+        after random operation sequences.
+        """
+        leaves: List[BPlusLeafNode] = []
+        self._validate_node(self._root, None, None, self._height, leaves)
+        # Leaf chain must cover exactly the leaves found by traversal, in order.
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        chained = []
+        while node is not None:
+            chained.append(node)
+            node = node.next_leaf
+        if chained != leaves:
+            raise BPlusTreeError("leaf chain does not match tree traversal order")
+        total = sum(len(leaf.keys) for leaf in leaves)
+        if total != self._num_entries:
+            raise BPlusTreeError(
+                f"entry count mismatch: counted {total}, recorded {self._num_entries}"
+            )
+        all_keys = [key for leaf in leaves for key in leaf.keys]
+        if all_keys != sorted(all_keys):
+            raise BPlusTreeError("keys are not globally sorted")
+
+    def _validate_node(self, node: Any, low: Any, high: Any, depth: int,
+                       leaves: List[BPlusLeafNode]) -> None:
+        if node.is_leaf:
+            if depth != 1:
+                raise BPlusTreeError("leaves are not all at the same depth")
+            if node.keys != sorted(node.keys):
+                raise BPlusTreeError("leaf keys are not sorted")
+            if len(node.keys) != len(node.values):
+                raise BPlusTreeError("leaf keys/values length mismatch")
+            for key in node.keys:
+                if low is not None and key < low:
+                    raise BPlusTreeError(f"leaf key {key!r} below lower bound {low!r}")
+                if high is not None and key > high:
+                    raise BPlusTreeError(f"leaf key {key!r} above upper bound {high!r}")
+            leaves.append(node)
+            return
+        if len(node.children) != len(node.keys) + 1:
+            raise BPlusTreeError("internal node children/keys arity mismatch")
+        if node.keys != sorted(node.keys):
+            raise BPlusTreeError("internal keys are not sorted")
+        for index, child in enumerate(node.children):
+            child_low = node.keys[index - 1] if index > 0 else low
+            child_high = node.keys[index] if index < len(node.keys) else high
+            self._validate_node(child, child_low, child_high, depth - 1, leaves)

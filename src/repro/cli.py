@@ -1,0 +1,138 @@
+"""Command-line interface for the reproduction.
+
+Three subcommands cover the common workflows without writing any code:
+
+``python -m repro demo``
+    Outsource a synthetic dataset, run one verified query, then show that a
+    tampered result is rejected.
+
+``python -m repro experiments``
+    Regenerate the paper's figures (5-8) at a chosen scale and print the
+    tables; ``--figure`` selects a single figure.
+
+``python -m repro attack-gallery``
+    Run the drop / inject / modify attack gallery against both SAE and TOM
+    and print the verdicts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import DropAttack, InjectAttack, ModifyAttack, NoAttack, SAESystem
+from repro.experiments import (
+    ExperimentConfig,
+    figure5_rows,
+    figure6_rows,
+    figure7_rows,
+    figure8_rows,
+    format_figure5,
+    format_figure6,
+    format_figure7,
+    format_figure8,
+)
+from repro.tom import TomSystem
+from repro.workloads import build_dataset
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Separating Authentication from Query Execution "
+                    "in Outsourced Databases' (ICDE 2009)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="outsource, query, verify, detect tampering")
+    demo.add_argument("--records", type=int, default=5_000, help="dataset cardinality")
+    demo.add_argument("--distribution", choices=["uniform", "zipf"], default="uniform")
+
+    experiments = subparsers.add_parser("experiments", help="regenerate the paper's figures")
+    experiments.add_argument("--scale", choices=["quick", "default", "paper"], default="quick")
+    experiments.add_argument("--figure", choices=["5", "6", "7", "8", "all"], default="all")
+
+    gallery = subparsers.add_parser("attack-gallery",
+                                    help="run the attack gallery against SAE and TOM")
+    gallery.add_argument("--records", type=int, default=3_000, help="dataset cardinality")
+    return parser
+
+
+def _config_for(scale: str) -> ExperimentConfig:
+    if scale == "paper":
+        return ExperimentConfig.paper()
+    if scale == "default":
+        return ExperimentConfig.default()
+    return ExperimentConfig.quick()
+
+
+def _run_demo(args: argparse.Namespace) -> int:
+    dataset = build_dataset(args.records, distribution=args.distribution, seed=7)
+    system = SAESystem(dataset).setup()
+    low, high = 2_000_000, 2_050_000
+    outcome = system.query(low, high)
+    print(f"dataset {dataset.name}: {dataset.cardinality} records")
+    print(f"query [{low}, {high}]: {outcome.cardinality} records, "
+          f"verified={outcome.verified}, token={outcome.auth_bytes} bytes")
+    system.provider.attack = DropAttack(count=1, seed=1)
+    tampered = system.query(low, high)
+    print(f"after the provider drops one record: verified={tampered.verified}")
+    return 0 if outcome.verified and not tampered.verified else 1
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    config = _config_for(args.scale)
+    figures = {
+        "5": (figure5_rows, format_figure5),
+        "6": (figure6_rows, format_figure6),
+        "7": (figure7_rows, format_figure7),
+        "8": (figure8_rows, format_figure8),
+    }
+    selected = list(figures) if args.figure == "all" else [args.figure]
+    for number in selected:
+        rows_fn, format_fn = figures[number]
+        print(format_fn(rows_fn(config)))
+        print()
+    return 0
+
+
+def _run_attack_gallery(args: argparse.Namespace) -> int:
+    dataset = build_dataset(args.records, record_size=200, seed=17)
+    sae = SAESystem(dataset).setup()
+    tom = TomSystem(dataset, key_bits=512, seed=17).setup()
+    attacks = [
+        ("honest", NoAttack()),
+        ("drop 1", DropAttack(count=1, seed=1)),
+        ("inject 1", InjectAttack(count=1)),
+        ("modify 1", ModifyAttack(count=1, seed=2)),
+    ]
+    failures = 0
+    print(f"{'attack':<12} {'SAE':<10} {'TOM':<10}")
+    for name, attack in attacks:
+        sae.provider.attack = attack
+        tom.provider.attack = attack
+        sae_ok = sae.query(1_000_000, 1_400_000).verified
+        tom_ok = tom.query(1_000_000, 1_400_000).verified
+        print(f"{name:<12} {'accepted' if sae_ok else 'REJECTED':<10} "
+              f"{'accepted' if tom_ok else 'REJECTED':<10}")
+        honest = isinstance(attack, NoAttack)
+        if sae_ok != honest or tom_ok != honest:
+            failures += 1
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _run_demo(args)
+    if args.command == "experiments":
+        return _run_experiments(args)
+    if args.command == "attack-gallery":
+        return _run_attack_gallery(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

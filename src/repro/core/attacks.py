@@ -1,0 +1,138 @@
+"""Malicious service-provider behaviours.
+
+The security argument of the paper (Section II) considers an SP that returns
+``RS_SP = (RS - DS) ∪ IS``: it *drops* a subset ``DS`` of the genuine result
+(attacking completeness) and *injects* a set ``IS`` of fake tuples (attacking
+soundness); modifying a record is the combination of both.  These behaviours
+are modelled as composable attack objects that the test suite and the
+examples attach to a :class:`~repro.core.provider.ServiceProvider` to show
+that both SAE and TOM detect every such corruption.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Protocol, Sequence, Tuple
+
+from repro.dbms.query import RangeQuery
+
+
+class AttackModel(Protocol):
+    """Anything that can corrupt a result set before it leaves the SP."""
+
+    def apply(self, records: List[Tuple[Any, ...]], query: RangeQuery) -> List[Tuple[Any, ...]]:
+        """Return the corrupted result set (the input list must not be mutated)."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class NoAttack:
+    """The honest SP: returns the result unchanged."""
+
+    def apply(self, records: List[Tuple[Any, ...]], query: RangeQuery) -> List[Tuple[Any, ...]]:
+        return list(records)
+
+
+@dataclass
+class DropAttack:
+    """Withhold records from the result (completeness attack).
+
+    Either a fixed ``count`` of records is dropped (from a seeded random
+    choice of positions) or every record matching ``predicate`` is dropped.
+    """
+
+    count: int = 1
+    predicate: Optional[Callable[[Tuple[Any, ...]], bool]] = None
+    seed: int = 0
+
+    def apply(self, records: List[Tuple[Any, ...]], query: RangeQuery) -> List[Tuple[Any, ...]]:
+        if not records:
+            return []
+        if self.predicate is not None:
+            return [record for record in records if not self.predicate(record)]
+        rng = random.Random(self.seed)
+        victims = set(rng.sample(range(len(records)), k=min(self.count, len(records))))
+        return [record for position, record in enumerate(records) if position not in victims]
+
+
+@dataclass
+class InjectAttack:
+    """Add fabricated records to the result (soundness attack).
+
+    ``fabricator`` builds one fake record given the query and an index; by
+    default it clones the first genuine record with a perturbed id, which is
+    the hardest-to-spot fabrication (all attribute values plausible).
+    """
+
+    count: int = 1
+    fabricator: Optional[Callable[[RangeQuery, int], Tuple[Any, ...]]] = None
+    records: Optional[List[Tuple[Any, ...]]] = None
+
+    def apply(self, records: List[Tuple[Any, ...]], query: RangeQuery) -> List[Tuple[Any, ...]]:
+        corrupted = list(records)
+        if self.records is not None:
+            corrupted.extend(tuple(record) for record in self.records)
+            return corrupted
+        for index in range(self.count):
+            if self.fabricator is not None:
+                fake = self.fabricator(query, index)
+            elif corrupted:
+                template = list(corrupted[0])
+                template[0] = f"forged-{index}-{template[0]}"
+                fake = tuple(template)
+            else:
+                fake = (f"forged-{index}", query.low, b"")
+            corrupted.append(tuple(fake))
+        return corrupted
+
+
+@dataclass
+class ModifyAttack:
+    """Tamper with records in place (equivalent to a drop plus an inject).
+
+    ``mutator`` rewrites one record; by default it perturbs the last field,
+    leaving the query attribute intact so the corruption is invisible to any
+    range check and only the digests can reveal it.
+    """
+
+    count: int = 1
+    mutator: Optional[Callable[[Tuple[Any, ...]], Tuple[Any, ...]]] = None
+    seed: int = 0
+
+    def _default_mutator(self, record: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        fields = list(record)
+        last = fields[-1]
+        if isinstance(last, (int, float)):
+            fields[-1] = last + 1
+        elif isinstance(last, str):
+            fields[-1] = last + "*"
+        elif isinstance(last, (bytes, bytearray)):
+            fields[-1] = bytes(last) + b"*"
+        else:
+            fields[-1] = "tampered"
+        return tuple(fields)
+
+    def apply(self, records: List[Tuple[Any, ...]], query: RangeQuery) -> List[Tuple[Any, ...]]:
+        if not records:
+            return []
+        rng = random.Random(self.seed)
+        victims = set(rng.sample(range(len(records)), k=min(self.count, len(records))))
+        mutator = self.mutator or self._default_mutator
+        corrupted = []
+        for position, record in enumerate(records):
+            corrupted.append(mutator(record) if position in victims else record)
+        return corrupted
+
+
+@dataclass
+class CompositeAttack:
+    """Apply several attacks in sequence (e.g. drop two records *and* inject one)."""
+
+    attacks: List[AttackModel] = field(default_factory=list)
+
+    def apply(self, records: List[Tuple[Any, ...]], query: RangeQuery) -> List[Tuple[Any, ...]]:
+        corrupted = list(records)
+        for attack in self.attacks:
+            corrupted = attack.apply(corrupted, query)
+        return corrupted

@@ -1,0 +1,93 @@
+"""The SAE client.
+
+The client receives the result set from the SP and the verification token
+from the TE.  It recomputes ``RS_SP⊕`` -- the XOR of the digests of the
+records it actually received -- and accepts the result iff that value equals
+the token.  The cost is one digest per received record plus ``|RS|`` XORs,
+which is the quantity plotted in Figure 7.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.crypto.digest import Digest, DigestScheme, default_scheme
+from repro.crypto.encoding import encode_record
+from repro.dbms.query import RangeQuery
+
+
+@dataclass
+class SAEVerificationResult:
+    """Outcome of an SAE client-side verification."""
+
+    ok: bool
+    computed: Digest
+    token: Digest
+    records_hashed: int
+    cpu_ms: float = 0.0
+    reason: str = "verified"
+    details: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+class Client:
+    """The querying party of SAE."""
+
+    def __init__(self, scheme: Optional[DigestScheme] = None, key_index: Optional[int] = None):
+        self._scheme = scheme or default_scheme()
+        self._key_index = key_index
+
+    @property
+    def scheme(self) -> DigestScheme:
+        """Digest scheme shared with the TE."""
+        return self._scheme
+
+    def compute_result_xor(self, records: Sequence[Sequence[Any]]) -> Digest:
+        """``RS_SP⊕``: XOR of the digests of the received records."""
+        accumulator = self._scheme.zero()
+        for record in records:
+            accumulator = accumulator ^ self._scheme.hash(encode_record(record))
+        return accumulator
+
+    def verify(
+        self,
+        records: Sequence[Sequence[Any]],
+        token: Digest,
+        query: Optional[RangeQuery] = None,
+    ) -> SAEVerificationResult:
+        """Verify a result set against the TE's token.
+
+        When ``query`` is given the client additionally checks that every
+        returned record's query-attribute value satisfies the range -- a
+        zero-cost sanity check that catches sloppy (rather than malicious)
+        providers early, before any hashing.
+        """
+        started = time.perf_counter()
+        if query is not None and self._key_index is not None:
+            for record in records:
+                key = record[self._key_index]
+                if not query.contains(key):
+                    elapsed = (time.perf_counter() - started) * 1000.0
+                    return SAEVerificationResult(
+                        ok=False,
+                        computed=self._scheme.zero(),
+                        token=token,
+                        records_hashed=0,
+                        cpu_ms=elapsed,
+                        reason=f"record key {key!r} falls outside the query range",
+                    )
+        computed = self.compute_result_xor(records)
+        elapsed = (time.perf_counter() - started) * 1000.0
+        ok = computed == token
+        return SAEVerificationResult(
+            ok=ok,
+            computed=computed,
+            token=token,
+            records_hashed=len(records),
+            cpu_ms=elapsed,
+            reason="verified" if ok else "result XOR does not match the verification token",
+        )

@@ -1,0 +1,126 @@
+"""The outsourced relation ``R`` as a value object.
+
+A :class:`Dataset` couples a :class:`~repro.dbms.catalog.TableSchema` with
+the actual records.  It is what the data owner hands to the service provider
+and the trusted entity, and what the workload generators produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.crypto.encoding import encode_record
+from repro.dbms.catalog import TableSchema
+
+
+class DatasetError(ValueError):
+    """Raised for malformed datasets (duplicate ids, schema mismatches, ...)."""
+
+
+@dataclass
+class Dataset:
+    """A relation: a schema plus a list of records (tuples of field values)."""
+
+    schema: TableSchema
+    records: List[Tuple[Any, ...]] = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            self.name = self.schema.name
+        seen = set()
+        for record in self.records:
+            self.schema.validate_record(record)
+            record_id = record[self.schema.id_index]
+            if record_id in seen:
+                raise DatasetError(f"duplicate record id {record_id!r} in dataset")
+            seen.add(record_id)
+
+    # ------------------------------------------------------------------ accessors
+    @property
+    def cardinality(self) -> int:
+        """Number of records (``n`` in the paper's experiments)."""
+        return len(self.records)
+
+    @property
+    def key_index(self) -> int:
+        """Position of the query attribute within each record."""
+        return self.schema.key_index
+
+    @property
+    def id_index(self) -> int:
+        """Position of the record-id column within each record."""
+        return self.schema.id_index
+
+    def key_of(self, record: Sequence[Any]) -> Any:
+        """The query-attribute value of ``record``."""
+        return record[self.schema.key_index]
+
+    def id_of(self, record: Sequence[Any]) -> Any:
+        """The unique id of ``record``."""
+        return record[self.schema.id_index]
+
+    def keys(self) -> List[Any]:
+        """All query-attribute values, in record order."""
+        return [self.key_of(record) for record in self.records]
+
+    def by_id(self) -> Dict[Any, Tuple[Any, ...]]:
+        """Mapping from record id to record."""
+        return {self.id_of(record): record for record in self.records}
+
+    def sorted_by_key(self) -> List[Tuple[Any, ...]]:
+        """Records sorted by the query attribute (ties broken by id)."""
+        return sorted(self.records, key=lambda record: (self.key_of(record), self.id_of(record)))
+
+    def range(self, low: Any, high: Any) -> List[Tuple[Any, ...]]:
+        """Ground-truth answer of a range query, in key order."""
+        return [record for record in self.sorted_by_key() if low <= self.key_of(record) <= high]
+
+    def size_bytes(self) -> int:
+        """Total encoded size of every record (what the DO transmits)."""
+        return sum(len(encode_record(record)) for record in self.records)
+
+    def average_record_bytes(self) -> float:
+        """Average encoded record size (500 bytes in the paper's setup)."""
+        if not self.records:
+            return 0.0
+        return self.size_bytes() / len(self.records)
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------ mutation
+    def add(self, record: Sequence[Any]) -> None:
+        """Append one record (schema-checked, id uniqueness enforced)."""
+        self.schema.validate_record(record)
+        record_id = record[self.schema.id_index]
+        if any(self.id_of(existing) == record_id for existing in self.records):
+            raise DatasetError(f"duplicate record id {record_id!r}")
+        self.records.append(tuple(record))
+
+    def remove(self, record_id: Any) -> Tuple[Any, ...]:
+        """Remove and return the record with ``record_id``."""
+        for position, record in enumerate(self.records):
+            if self.id_of(record) == record_id:
+                return self.records.pop(position)
+        raise DatasetError(f"no record with id {record_id!r}")
+
+    def replace(self, record: Sequence[Any]) -> Tuple[Any, ...]:
+        """Replace the record whose id matches ``record``; returns the old record."""
+        self.schema.validate_record(record)
+        record_id = record[self.schema.id_index]
+        for position, existing in enumerate(self.records):
+            if self.id_of(existing) == record_id:
+                self.records[position] = tuple(record)
+                return existing
+        raise DatasetError(f"no record with id {record_id!r}")
+
+    def subset(self, count: int) -> "Dataset":
+        """A new dataset containing the first ``count`` records."""
+        if count < 0:
+            raise DatasetError("subset size must be non-negative")
+        return Dataset(schema=self.schema, records=list(self.records[:count]), name=self.name)

@@ -1,0 +1,87 @@
+"""The SAE data owner.
+
+"The DO has a minimal participation, as it simply transmits its dataset (and
+updates, if any) to the SP and the TE, without having to compute
+authentication information and maintain a sophisticated ADS locally."  The
+class below is therefore intentionally small: it keeps the authoritative
+copy of the relation, ships it on :meth:`DataOwner.outsource`, and forwards
+update batches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.core.dataset import Dataset
+from repro.core.provider import ServiceProvider
+from repro.core.trusted_entity import TrustedEntity
+from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
+from repro.network.channel import NetworkTracker
+from repro.network.messages import DatasetTransfer, UpdateNotification
+
+
+class DataOwner:
+    """The party that owns relation ``R`` and outsources its management."""
+
+    def __init__(self, dataset: Dataset, network: Optional[NetworkTracker] = None,
+                 name: str = "DO"):
+        self._dataset = dataset
+        self._network = network or NetworkTracker()
+        self._name = name
+        self._provider: Optional[ServiceProvider] = None
+        self._trusted_entity: Optional[TrustedEntity] = None
+
+    # ------------------------------------------------------------------ accessors
+    @property
+    def dataset(self) -> Dataset:
+        """The authoritative copy of the outsourced relation."""
+        return self._dataset
+
+    @property
+    def network(self) -> NetworkTracker:
+        """Byte-accounting network tracker."""
+        return self._network
+
+    # ------------------------------------------------------------------ outsourcing
+    def outsource(self, provider: ServiceProvider, trusted_entity: TrustedEntity) -> None:
+        """Transmit the dataset to the SP and the TE (Figure 2, setup phase)."""
+        transfer = DatasetTransfer(records=list(self._dataset.records))
+        self._network.channel(self._name, "SP").send(transfer)
+        provider.receive_dataset(self._dataset)
+        self._network.channel(self._name, "TE").send(transfer)
+        trusted_entity.receive_dataset(self._dataset)
+        self._provider = provider
+        self._trusted_entity = trusted_entity
+
+    # ------------------------------------------------------------------ updates
+    def apply_updates(self, batch: UpdateBatch) -> None:
+        """Apply a batch locally and forward it to the SP and the TE."""
+        if self._provider is None or self._trusted_entity is None:
+            raise RuntimeError("outsource() must be called before applying updates")
+        for operation in batch:
+            if isinstance(operation, InsertRecord):
+                self._dataset.add(operation.fields)
+            elif isinstance(operation, DeleteRecord):
+                self._dataset.remove(operation.record_id)
+            elif isinstance(operation, ModifyRecord):
+                self._dataset.replace(operation.fields)
+            else:
+                raise ValueError(f"unknown update operation {operation!r}")
+        notification = UpdateNotification(operations=list(batch))
+        self._network.channel(self._name, "SP").send(notification)
+        self._provider.apply_updates(batch)
+        self._network.channel(self._name, "TE").send(notification)
+        self._trusted_entity.apply_updates(batch, dataset_schema=self._dataset.schema)
+
+    # ------------------------------------------------------------------ convenience
+    def insert_record(self, fields: Sequence[Any]) -> None:
+        """Insert a single record and propagate it."""
+        self.apply_updates(UpdateBatch().insert(fields))
+
+    def delete_record(self, record_id: Any) -> None:
+        """Delete a single record and propagate the deletion."""
+        self.apply_updates(UpdateBatch().delete(record_id))
+
+    def modify_record(self, fields: Sequence[Any]) -> None:
+        """Modify a single record and propagate the change."""
+        self.apply_updates(UpdateBatch().modify(fields))

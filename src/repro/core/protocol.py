@@ -1,0 +1,173 @@
+"""End-to-end SAE protocol façade.
+
+:class:`SAESystem` wires a data owner, a service provider, a trusted entity
+and a client together over byte-counting channels, and exposes the two
+operations the examples and the experiment harness need:
+
+* :meth:`SAESystem.setup` -- the DO outsources its dataset;
+* :meth:`SAESystem.query` -- the client sends a range query to the SP and
+  the TE, verifies the result, and a :class:`QueryOutcome` captures every
+  cost the paper reports (node accesses at SP and TE, authentication bytes,
+  result bytes, client CPU time, verification verdict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.core.attacks import AttackModel
+from repro.core.client import Client, SAEVerificationResult
+from repro.core.dataset import Dataset
+from repro.core.owner import DataOwner
+from repro.core.provider import ServiceProvider
+from repro.core.trusted_entity import TrustedEntity
+from repro.core.updates import UpdateBatch
+from repro.crypto.digest import DigestScheme, default_scheme
+from repro.dbms.query import RangeQuery
+from repro.network.channel import NetworkTracker
+from repro.network.messages import QueryRequest, ResultResponse, VTResponse
+from repro.storage.constants import DEFAULT_PAGE_SIZE
+
+
+@dataclass
+class QueryOutcome:
+    """Everything measured for a single verified SAE query."""
+
+    query: RangeQuery
+    records: List[Tuple[Any, ...]]
+    verification: SAEVerificationResult
+    sp_accesses: int
+    te_accesses: int
+    sp_cost_ms: float
+    te_cost_ms: float
+    auth_bytes: int
+    result_bytes: int
+    client_cpu_ms: float
+    details: dict = field(default_factory=dict)
+
+    @property
+    def verified(self) -> bool:
+        """Whether the client accepted the result."""
+        return self.verification.ok
+
+    @property
+    def cardinality(self) -> int:
+        """Number of records the SP returned."""
+        return len(self.records)
+
+
+class SAESystem:
+    """A complete SAE deployment (DO + SP + TE + client)."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        scheme: Optional[DigestScheme] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        backend: str = "heap",
+        node_access_ms: float = None,
+        attack: Optional[AttackModel] = None,
+        index_fill_factor: float = 1.0,
+    ):
+        self._scheme = scheme or default_scheme()
+        self._network = NetworkTracker()
+        self._dataset = dataset
+        self.provider = ServiceProvider(
+            backend=backend,
+            page_size=page_size,
+            node_access_ms=node_access_ms,
+            attack=attack,
+            index_fill_factor=index_fill_factor,
+        )
+        self.trusted_entity = TrustedEntity(
+            scheme=self._scheme,
+            page_size=page_size,
+            node_access_ms=node_access_ms,
+        )
+        self.owner = DataOwner(dataset, network=self._network)
+        self.client = Client(scheme=self._scheme, key_index=dataset.schema.key_index)
+        self._ready = False
+
+    # ------------------------------------------------------------------ lifecycle
+    def setup(self) -> "SAESystem":
+        """Run the outsourcing phase (DO ships the dataset to SP and TE)."""
+        self.owner.outsource(self.provider, self.trusted_entity)
+        self._ready = True
+        return self
+
+    @property
+    def network(self) -> NetworkTracker:
+        """The byte-accounting network tracker."""
+        return self._network
+
+    @property
+    def dataset(self) -> Dataset:
+        """The data owner's authoritative dataset."""
+        return self._dataset
+
+    def apply_updates(self, batch: UpdateBatch) -> None:
+        """Propagate an update batch from the DO to the SP and the TE."""
+        self.owner.apply_updates(batch)
+
+    # ------------------------------------------------------------------ queries
+    def query(self, low: Any, high: Any, verify: bool = True) -> QueryOutcome:
+        """Issue a verified range query.
+
+        The client sends the query to the SP and the TE simultaneously (the
+        paper notes the two are independent, which is what keeps the response
+        time low); the SP returns the result records, the TE the token, and
+        the client verifies locally.
+        """
+        if not self._ready:
+            raise RuntimeError("setup() must be called before issuing queries")
+        query = RangeQuery(low=low, high=high, attribute=self._dataset.schema.key_column)
+
+        request = QueryRequest(query=query)
+        self._network.channel("client", "SP").send(request)
+        records = self.provider.execute(query)
+        result_message = ResultResponse(records=records)
+        self._network.channel("SP", "client").send(result_message)
+
+        auth_bytes = 0
+        te_accesses = 0
+        te_cost = 0.0
+        if verify:
+            self._network.channel("client", "TE").send(request)
+            token = self.trusted_entity.generate_vt(query)
+            token_message = VTResponse(token=token)
+            self._network.channel("TE", "client").send(token_message)
+            auth_bytes = token_message.payload_bytes()
+            te_accesses = self.trusted_entity.last_vt_accesses()
+            te_cost = self.trusted_entity.last_vt_cost_ms()
+            verification = self.client.verify(records, token, query=query)
+        else:
+            verification = SAEVerificationResult(
+                ok=True,
+                computed=self._scheme.zero(),
+                token=self._scheme.zero(),
+                records_hashed=0,
+                reason="verification skipped",
+            )
+
+        return QueryOutcome(
+            query=query,
+            records=records,
+            verification=verification,
+            sp_accesses=self.provider.last_query_accesses(),
+            te_accesses=te_accesses,
+            sp_cost_ms=self.provider.last_query_cost_ms(),
+            te_cost_ms=te_cost,
+            auth_bytes=auth_bytes,
+            result_bytes=result_message.payload_bytes(),
+            client_cpu_ms=verification.cpu_ms,
+        )
+
+    # ------------------------------------------------------------------ reporting
+    def storage_report(self) -> dict:
+        """Storage footprint of every party (bytes)."""
+        return {
+            "sp_bytes": self.provider.storage_bytes(),
+            "te_bytes": self.trusted_entity.storage_bytes(),
+            "dataset_bytes": self._dataset.size_bytes(),
+        }

@@ -1,0 +1,176 @@
+"""The SAE service provider.
+
+The SP "only stores the DO's dataset and computes the query results using a
+conventional DBMS".  It holds the relation in either the package's own
+heap-file/B+-tree engine (the default, which supports the paper's node-access
+cost accounting) or in sqlite3 (to demonstrate the unmodified-DBMS claim).
+A malicious SP is modelled by attaching an attack from
+:mod:`repro.core.attacks`; the attack only corrupts what leaves the SP, never
+its stored data, exactly like a cheating provider would.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.attacks import AttackModel, NoAttack
+from repro.core.dataset import Dataset
+from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
+from repro.dbms.query import RangeQuery
+from repro.dbms.sqlite_backend import SQLiteTable
+from repro.dbms.table import Table
+from repro.storage.constants import DEFAULT_PAGE_SIZE
+from repro.storage.cost_model import AccessCounter, CostModel
+
+
+class ProviderError(RuntimeError):
+    """Raised when the SP is used before receiving a dataset."""
+
+
+class ServiceProvider:
+    """The query-execution party of SAE (possibly malicious)."""
+
+    def __init__(
+        self,
+        backend: str = "heap",
+        page_size: int = DEFAULT_PAGE_SIZE,
+        node_access_ms: float = None,
+        attack: Optional[AttackModel] = None,
+        index_fill_factor: float = 1.0,
+    ):
+        if backend not in ("heap", "sqlite"):
+            raise ValueError(f"unknown backend {backend!r}; expected 'heap' or 'sqlite'")
+        self._backend = backend
+        self._page_size = page_size
+        self._index_fill_factor = index_fill_factor
+        self._counter = AccessCounter()
+        self._cost_model = CostModel(counter=self._counter)
+        if node_access_ms is not None:
+            self._cost_model.node_access_ms = node_access_ms
+        self._attack: AttackModel = attack or NoAttack()
+        self._table: Optional[Table] = None
+        self._sqlite: Optional[SQLiteTable] = None
+        self._dataset_schema = None
+        self._last_query_accesses = 0
+        self._last_query_cpu_ms = 0.0
+
+    # ------------------------------------------------------------------ configuration
+    @property
+    def backend(self) -> str:
+        """Either ``"heap"`` or ``"sqlite"``."""
+        return self._backend
+
+    @property
+    def attack(self) -> AttackModel:
+        """The currently configured (mis)behaviour."""
+        return self._attack
+
+    @attack.setter
+    def attack(self, value: Optional[AttackModel]) -> None:
+        self._attack = value or NoAttack()
+
+    @property
+    def counter(self) -> AccessCounter:
+        """Node-access counter of the heap backend."""
+        return self._counter
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The simulated-I/O cost model (10 ms per node access by default)."""
+        return self._cost_model
+
+    @property
+    def is_honest(self) -> bool:
+        """True when no attack is configured."""
+        return isinstance(self._attack, NoAttack)
+
+    # ------------------------------------------------------------------ data management
+    def receive_dataset(self, dataset: Dataset) -> None:
+        """Store the outsourced relation in the conventional DBMS."""
+        self._dataset_schema = dataset.schema
+        if self._backend == "heap":
+            self._table = Table(
+                dataset.schema,
+                page_size=self._page_size,
+                counter=self._counter,
+                index_fill_factor=self._index_fill_factor,
+            )
+            self._table.bulk_load(dataset.records)
+        else:
+            sample = dataset.records[0] if dataset.records else None
+            self._sqlite = SQLiteTable(dataset.schema, sample_record=sample)
+            self._sqlite.bulk_load(dataset.records)
+
+    def apply_updates(self, batch: UpdateBatch) -> None:
+        """Apply an update batch forwarded by the data owner."""
+        store = self._require_store()
+        for operation in batch:
+            if isinstance(operation, InsertRecord):
+                store.insert(operation.fields)
+            elif isinstance(operation, DeleteRecord):
+                store.delete(operation.record_id)
+            elif isinstance(operation, ModifyRecord):
+                store.update(operation.fields)
+            else:
+                raise ProviderError(f"unknown update operation {operation!r}")
+
+    def _require_store(self):
+        store = self._table if self._backend == "heap" else self._sqlite
+        if store is None:
+            raise ProviderError("the service provider has not received a dataset yet")
+        return store
+
+    # ------------------------------------------------------------------ queries
+    def execute(self, query: RangeQuery) -> List[Tuple[Any, ...]]:
+        """Answer a range query, applying the configured attack (if any).
+
+        The SP's per-query cost (node accesses of the index traversal, leaf
+        scan and record retrieval) is recorded and can be read back through
+        :meth:`last_query_accesses` / :meth:`last_query_cost_ms`.
+        """
+        store = self._require_store()
+        before = self._counter.node_accesses
+        started = time.perf_counter()
+        records = store.range_query(query, fetch_records=True)
+        self._last_query_cpu_ms = (time.perf_counter() - started) * 1000.0
+        self._last_query_accesses = self._counter.node_accesses - before
+        return self._attack.apply(list(records), query)
+
+    def index_only_accesses(self, query: RangeQuery) -> int:
+        """Node accesses of the index traversal and leaf scan alone.
+
+        The record-retrieval step is skipped, which isolates the fanout
+        effect the paper's Figure 6 attributes the SP savings to; the data
+        file cost is identical for SAE and TOM (same records, same heap
+        file) and is reported separately by the experiment harness.
+        """
+        store = self._require_store()
+        before = self._counter.node_accesses
+        store.range_query(query, fetch_records=False)
+        return self._counter.node_accesses - before
+
+    def last_query_accesses(self) -> int:
+        """Node accesses charged by the most recent query (heap backend only)."""
+        return self._last_query_accesses
+
+    def last_query_cost_ms(self, include_cpu: bool = False) -> float:
+        """Simulated cost of the most recent query in milliseconds."""
+        cost = self._cost_model.io_cost_ms(self._last_query_accesses)
+        if include_cpu:
+            cost += self._last_query_cpu_ms
+        return cost
+
+    # ------------------------------------------------------------------ reporting
+    @property
+    def num_records(self) -> int:
+        """Number of records currently stored."""
+        return self._require_store().num_records
+
+    def storage_bytes(self) -> int:
+        """Total storage footprint at the SP (dataset + conventional index)."""
+        return self._require_store().size_bytes()
+
+    def index_accesses_only(self) -> bool:
+        """Whether the backend supports node-access accounting."""
+        return self._backend == "heap"

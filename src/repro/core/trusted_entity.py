@@ -1,0 +1,202 @@
+"""The trusted entity (TE).
+
+The TE stores, for each outsourced record, only the slim tuple
+``<id, key, digest>`` and indexes these tuples with the XB-tree.  When a
+client wants to verify a result, the TE runs ``GenerateVT`` over the query
+range and returns the resulting token -- a single digest, regardless of the
+result size -- in two root-to-leaf traversals' worth of node accesses.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, List, Optional
+
+from repro.core.dataset import Dataset
+from repro.core.tuples import TETuple, digest_record, make_te_tuples
+from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
+from repro.crypto.digest import Digest, DigestScheme, default_scheme
+from repro.dbms.query import RangeQuery
+from repro.storage.constants import DEFAULT_PAGE_SIZE
+from repro.storage.cost_model import AccessCounter, CostModel
+from repro.xbtree import XBTree
+from repro.xbtree.node import XBTreeLayout
+
+
+class TrustedEntityError(RuntimeError):
+    """Raised when the TE is used before receiving a dataset."""
+
+
+class TrustedEntity:
+    """The authentication party of SAE."""
+
+    def __init__(
+        self,
+        scheme: Optional[DigestScheme] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        node_access_ms: float = None,
+        use_index: bool = True,
+    ):
+        self._scheme = scheme or default_scheme()
+        self._counter = AccessCounter()
+        self._cost_model = CostModel(counter=self._counter)
+        if node_access_ms is not None:
+            self._cost_model.node_access_ms = node_access_ms
+        self._page_size = page_size
+        self._use_index = use_index
+        self._xbtree: Optional[XBTree] = None
+        self._tuples_by_id: dict = {}
+        self._ready = False
+        self._last_vt_accesses = 0
+        self._last_vt_cpu_ms = 0.0
+
+    # ------------------------------------------------------------------ meta
+    @property
+    def scheme(self) -> DigestScheme:
+        """Digest scheme used for the stored digests and tokens."""
+        return self._scheme
+
+    @property
+    def counter(self) -> AccessCounter:
+        """Node-access counter of the XB-tree."""
+        return self._counter
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The simulated-I/O cost model."""
+        return self._cost_model
+
+    @property
+    def xbtree(self) -> Optional[XBTree]:
+        """The underlying XB-tree (``None`` before setup or with ``use_index=False``)."""
+        return self._xbtree
+
+    @property
+    def uses_index(self) -> bool:
+        """Whether VT generation uses the XB-tree (vs. a sequential scan of ``T``)."""
+        return self._use_index
+
+    @property
+    def num_tuples(self) -> int:
+        """Number of tuples in the TE's set ``T``."""
+        return len(self._tuples_by_id)
+
+    @property
+    def tuples(self) -> List[TETuple]:
+        """The TE's tuple set ``T`` (a copy, in no particular order)."""
+        return list(self._tuples_by_id.values())
+
+    # ------------------------------------------------------------------ data management
+    def receive_dataset(self, dataset: Dataset) -> None:
+        """Derive the tuple set ``T`` from the dataset and index it."""
+        te_tuples = make_te_tuples(dataset, self._scheme)
+        self._tuples_by_id = {t.record_id: t for t in te_tuples}
+        if self._use_index:
+            layout = XBTreeLayout(page_size=self._page_size, digest_size=self._scheme.digest_size)
+            self._xbtree = XBTree(layout=layout, scheme=self._scheme, counter=self._counter)
+            sorted_triples = sorted(
+                ((t.key, t.record_id, t.digest) for t in te_tuples),
+                key=lambda triple: (triple[0], str(triple[1])),
+            )
+            self._xbtree.bulk_load(sorted_triples)
+        self._ready = True
+
+    def apply_updates(self, batch: UpdateBatch, dataset_schema=None) -> None:
+        """Apply an update batch: recompute digests and maintain the XB-tree.
+
+        The TE derives the new tuples exactly as during setup: it hashes the
+        binary representation of each inserted/modified record.  For
+        modifications the old tuple is removed first (XOR makes removal as
+        cheap as insertion).
+        """
+        self._require_ready()
+        for operation in batch:
+            if isinstance(operation, InsertRecord):
+                self._insert_record(operation.fields, dataset_schema)
+            elif isinstance(operation, DeleteRecord):
+                self._delete_record(operation.record_id)
+            elif isinstance(operation, ModifyRecord):
+                record_id = self._record_id_of(operation.fields, dataset_schema)
+                self._delete_record(record_id)
+                self._insert_record(operation.fields, dataset_schema)
+            else:
+                raise TrustedEntityError(f"unknown update operation {operation!r}")
+
+    def _record_id_of(self, fields, dataset_schema) -> Any:
+        id_index = dataset_schema.id_index if dataset_schema is not None else 0
+        return fields[id_index]
+
+    def _key_of(self, fields, dataset_schema) -> Any:
+        key_index = dataset_schema.key_index if dataset_schema is not None else 1
+        return fields[key_index]
+
+    def _insert_record(self, fields, dataset_schema) -> None:
+        record_id = self._record_id_of(fields, dataset_schema)
+        key = self._key_of(fields, dataset_schema)
+        digest = digest_record(fields, self._scheme)
+        self._tuples_by_id[record_id] = TETuple(record_id=record_id, key=key, digest=digest)
+        if self._xbtree is not None:
+            self._xbtree.insert(key, record_id, digest)
+
+    def _delete_record(self, record_id: Any) -> None:
+        te_tuple = self._tuples_by_id.pop(record_id, None)
+        if te_tuple is None:
+            raise TrustedEntityError(f"the TE has no tuple for record id {record_id!r}")
+        if self._xbtree is not None:
+            self._xbtree.delete(te_tuple.key, record_id)
+
+    def _require_ready(self) -> None:
+        if not self._ready:
+            raise TrustedEntityError("the trusted entity has not received a dataset yet")
+
+    # ------------------------------------------------------------------ token generation
+    def generate_vt(self, query: RangeQuery) -> Digest:
+        """Produce the verification token ``VT = RS⊕`` for ``query``.
+
+        With the XB-tree this takes ``O(log n)`` node accesses; without it
+        (``use_index=False``, used by the ablation benchmark) the TE scans
+        ``T`` sequentially and is charged one access per tuple "page".
+        """
+        self._require_ready()
+        before = self._counter.node_accesses
+        started = time.perf_counter()
+        if self._xbtree is not None:
+            token = self._xbtree.generate_vt(query.low, query.high)
+        else:
+            token = self._sequential_scan_vt(query)
+        self._last_vt_cpu_ms = (time.perf_counter() - started) * 1000.0
+        self._last_vt_accesses = self._counter.node_accesses - before
+        return token
+
+    def _sequential_scan_vt(self, query: RangeQuery) -> Digest:
+        token = self._scheme.zero()
+        tuple_bytes = 8 + 4 + self._scheme.digest_size
+        tuples_per_page = max(1, self._page_size // tuple_bytes)
+        for position, te_tuple in enumerate(self._tuples_by_id.values()):
+            if position % tuples_per_page == 0:
+                self._counter.record_node_access()
+            if query.low <= te_tuple.key <= query.high:
+                token = token ^ te_tuple.digest
+        return token
+
+    def last_vt_accesses(self) -> int:
+        """Node accesses charged by the most recent token generation."""
+        return self._last_vt_accesses
+
+    def last_vt_cost_ms(self, include_cpu: bool = False) -> float:
+        """Simulated cost of the most recent token generation in milliseconds."""
+        cost = self._cost_model.io_cost_ms(self._last_vt_accesses)
+        if include_cpu:
+            cost += self._last_vt_cpu_ms
+        return cost
+
+    # ------------------------------------------------------------------ reporting
+    def storage_bytes(self) -> int:
+        """The TE's storage footprint (XB-tree pages + packed L pages)."""
+        self._require_ready()
+        if self._xbtree is not None:
+            return self._xbtree.size_bytes()
+        tuple_bytes = 8 + 4 + self._scheme.digest_size
+        total = len(self._tuples_by_id) * tuple_bytes
+        pages = (total + self._page_size - 1) // self._page_size
+        return pages * self._page_size

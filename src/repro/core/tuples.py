@@ -1,0 +1,63 @@
+"""The trusted entity's slim tuples ``t = <id, a, h>``.
+
+"For each record ``r_i`` in ``R``, the TE generates a tuple
+``t_i = <t_i.id, t_i.a, t_i.h>`` where ``t_i.id`` is the unique identifier
+of ``r_i``, ``t_i.a`` is the value of the query attribute, and ``t_i.h`` is
+computed by applying a (one-way, collision-resistant) hash function on the
+binary representation of ``r_i``" (Section II).  The TE then discards every
+other attribute, which is why its storage stays a small fraction of the
+SP's (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional
+
+from repro.core.dataset import Dataset
+from repro.crypto.digest import Digest, DigestScheme, default_scheme
+from repro.crypto.encoding import encode_record
+
+
+@dataclass(frozen=True)
+class TETuple:
+    """One entry of the TE's set ``T``: record id, query-attribute value, digest."""
+
+    record_id: Any
+    key: Any
+    digest: Digest
+
+    def size_bytes(self, id_size: int = 8, key_size: int = 4) -> int:
+        """Approximate storage footprint of this tuple at the TE."""
+        return id_size + key_size + self.digest.size
+
+
+def digest_record(record, scheme: Optional[DigestScheme] = None) -> Digest:
+    """Digest of the canonical binary representation of ``record``.
+
+    This single function is shared by the TE (when building its tuples), the
+    SAE client (when re-hashing the records it received) and the TOM MB-tree
+    (leaf digests), so all parties agree byte-for-byte on what is hashed.
+    """
+    scheme = scheme or default_scheme()
+    return scheme.hash(encode_record(record))
+
+
+def make_te_tuples(dataset: Dataset, scheme: Optional[DigestScheme] = None) -> List[TETuple]:
+    """Build the TE's set ``T`` from the outsourced dataset."""
+    scheme = scheme or default_scheme()
+    tuples = []
+    for record in dataset.records:
+        tuples.append(
+            TETuple(
+                record_id=dataset.id_of(record),
+                key=dataset.key_of(record),
+                digest=digest_record(record, scheme),
+            )
+        )
+    return tuples
+
+
+def total_tuple_bytes(tuples: Iterable[TETuple]) -> int:
+    """Total storage of a collection of TE tuples (used by storage reports)."""
+    return sum(t.size_bytes() for t in tuples)

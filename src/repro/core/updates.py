@@ -1,0 +1,84 @@
+"""Update operations propagated by the data owner.
+
+In SAE the data owner "simply transmits its dataset (and updates, if any) to
+the SP and the TE".  Updates are expressed as small value objects so that
+the owner can forward the *same* batch to both parties and the network layer
+can charge its size once per receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence, Tuple, Union
+
+from repro.crypto.encoding import encode_record
+
+
+@dataclass(frozen=True)
+class InsertRecord:
+    """Insert a brand-new record."""
+
+    fields: Tuple[Any, ...]
+
+    def encoded_size(self) -> int:
+        """Wire size of this operation."""
+        return 1 + len(encode_record(self.fields))
+
+
+@dataclass(frozen=True)
+class DeleteRecord:
+    """Delete the record with the given id."""
+
+    record_id: Any
+
+    def encoded_size(self) -> int:
+        """Wire size of this operation."""
+        return 1 + len(encode_record((self.record_id,)))
+
+
+@dataclass(frozen=True)
+class ModifyRecord:
+    """Replace an existing record (matched by its id column) with new contents."""
+
+    fields: Tuple[Any, ...]
+
+    def encoded_size(self) -> int:
+        """Wire size of this operation."""
+        return 1 + len(encode_record(self.fields))
+
+
+UpdateOperation = Union[InsertRecord, DeleteRecord, ModifyRecord]
+
+
+@dataclass
+class UpdateBatch:
+    """An ordered batch of update operations."""
+
+    operations: List[UpdateOperation] = field(default_factory=list)
+
+    def add(self, operation: UpdateOperation) -> "UpdateBatch":
+        """Append one operation and return ``self`` for chaining."""
+        self.operations.append(operation)
+        return self
+
+    def insert(self, fields: Sequence[Any]) -> "UpdateBatch":
+        """Convenience: append an :class:`InsertRecord`."""
+        return self.add(InsertRecord(fields=tuple(fields)))
+
+    def delete(self, record_id: Any) -> "UpdateBatch":
+        """Convenience: append a :class:`DeleteRecord`."""
+        return self.add(DeleteRecord(record_id=record_id))
+
+    def modify(self, fields: Sequence[Any]) -> "UpdateBatch":
+        """Convenience: append a :class:`ModifyRecord`."""
+        return self.add(ModifyRecord(fields=tuple(fields)))
+
+    def encoded_size(self) -> int:
+        """Total wire size of the batch."""
+        return sum(operation.encoded_size() for operation in self.operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)

@@ -1,0 +1,43 @@
+"""Cryptographic substrate for the SAE / TOM reproduction.
+
+This package provides every cryptographic primitive the paper relies on:
+
+* :mod:`repro.crypto.digest` -- collision-resistant digests with an XOR
+  algebra (the paper uses 20-byte digests; SHA-1 is the default here and
+  SHA-256 is available as a drop-in alternative).
+* :mod:`repro.crypto.encoding` -- the canonical binary representation of a
+  record, i.e. the byte string that is hashed to produce a record digest.
+* :mod:`repro.crypto.xor` -- helpers for XOR-aggregating sets of digests
+  (the ``S⊕`` notation of the paper).
+* :mod:`repro.crypto.rsa` -- a from-scratch RSA implementation (Miller-Rabin
+  key generation, hash-and-sign) standing in for the Crypto++ signatures the
+  paper's TOM baseline uses for the MB-tree root.
+* :mod:`repro.crypto.signatures` -- a small signing-scheme abstraction so
+  protocol code never touches raw RSA integers.
+"""
+
+from repro.crypto.digest import Digest, DigestScheme, default_scheme
+from repro.crypto.encoding import encode_record, decode_record, RecordCodec
+from repro.crypto.xor import xor_digests, xor_of_records
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey, RSAPrivateKey, generate_keypair
+from repro.crypto.signatures import Signer, Verifier, Signature, RSASigner, RSAVerifier
+
+__all__ = [
+    "Digest",
+    "DigestScheme",
+    "default_scheme",
+    "encode_record",
+    "decode_record",
+    "RecordCodec",
+    "xor_digests",
+    "xor_of_records",
+    "RSAKeyPair",
+    "RSAPublicKey",
+    "RSAPrivateKey",
+    "generate_keypair",
+    "Signer",
+    "Verifier",
+    "Signature",
+    "RSASigner",
+    "RSAVerifier",
+]

@@ -1,0 +1,228 @@
+"""Collision-resistant digests with an XOR algebra.
+
+The paper computes, for every record ``r``, a digest ``h`` "by applying a
+one-way, collision-resistant hash function on the binary representation of
+``r``" and then aggregates sets of digests with bitwise XOR (the ``S⊕``
+notation).  Both SAE (verification tokens) and TOM (MB-tree node digests)
+are built from these digests.
+
+This module provides:
+
+* :class:`DigestScheme` -- a named hash algorithm with a fixed digest size.
+  The paper's experiments use 20-byte digests, which corresponds to SHA-1;
+  SHA-256 is also provided for ablations.
+* :class:`Digest` -- an immutable value object wrapping the raw digest
+  bytes.  Digests support ``^`` so the XOR algebra of the paper reads
+  literally in code (``vt = d1 ^ d2 ^ d3``), and expose a :meth:`Digest.zero`
+  identity element so folding over an empty set is well defined.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+
+class DigestError(ValueError):
+    """Raised on malformed digest input (wrong length, bad scheme, ...)."""
+
+
+@dataclass(frozen=True)
+class DigestScheme:
+    """A concrete hash algorithm used to digest record encodings.
+
+    Attributes
+    ----------
+    name:
+        ``hashlib`` algorithm name (``"sha1"``, ``"sha256"``, ...).
+    digest_size:
+        Size of the produced digest in bytes.  The paper charges 20 bytes
+        per digest, which matches SHA-1.
+    """
+
+    name: str
+    digest_size: int
+
+    def hash(self, data: bytes) -> "Digest":
+        """Digest ``data`` and return the result as a :class:`Digest`."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError(f"expected bytes-like input, got {type(data).__name__}")
+        raw = hashlib.new(self.name, bytes(data)).digest()
+        return Digest(raw, scheme=self)
+
+    def zero(self) -> "Digest":
+        """Return the XOR identity element (all-zero digest) for this scheme."""
+        return Digest(b"\x00" * self.digest_size, scheme=self)
+
+    def from_bytes(self, raw: bytes) -> "Digest":
+        """Wrap pre-computed digest bytes, validating their length."""
+        return Digest(bytes(raw), scheme=self)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}/{self.digest_size}B"
+
+
+#: The scheme used throughout the paper's experiments: 20-byte digests.
+SHA1 = DigestScheme(name="sha1", digest_size=20)
+
+#: A stronger alternative used by the digest-size ablation.
+SHA256 = DigestScheme(name="sha256", digest_size=32)
+
+_SCHEMES = {"sha1": SHA1, "sha256": SHA256}
+
+
+def default_scheme() -> DigestScheme:
+    """Return the paper's default digest scheme (SHA-1, 20 bytes)."""
+    return SHA1
+
+
+def get_scheme(name: str) -> DigestScheme:
+    """Look up a digest scheme by name.
+
+    Parameters
+    ----------
+    name:
+        Either ``"sha1"`` or ``"sha256"``.
+
+    Raises
+    ------
+    DigestError
+        If ``name`` does not correspond to a known scheme.
+    """
+    try:
+        return _SCHEMES[name.lower()]
+    except KeyError:
+        raise DigestError(f"unknown digest scheme {name!r}; expected one of {sorted(_SCHEMES)}") from None
+
+
+class Digest:
+    """An immutable, XOR-able digest value.
+
+    The class intentionally keeps a tiny surface: construction from raw
+    bytes, XOR composition, equality, hashing (so digests can be set
+    members), and hex rendering for debugging.  All higher-level semantics
+    (what was hashed, how records are encoded) live elsewhere.
+    """
+
+    __slots__ = ("_raw", "_scheme")
+
+    def __init__(self, raw: bytes, scheme: DigestScheme = SHA1):
+        raw = bytes(raw)
+        if len(raw) != scheme.digest_size:
+            raise DigestError(
+                f"digest length {len(raw)} does not match scheme {scheme.name} "
+                f"(expected {scheme.digest_size} bytes)"
+            )
+        object.__setattr__(self, "_raw", raw)
+        object.__setattr__(self, "_scheme", scheme)
+
+    # -- attribute protection -------------------------------------------------
+    def __setattr__(self, name, value):  # pragma: no cover - defensive
+        raise AttributeError("Digest instances are immutable")
+
+    # -- accessors -------------------------------------------------------------
+    @property
+    def raw(self) -> bytes:
+        """The raw digest bytes."""
+        return self._raw
+
+    @property
+    def scheme(self) -> DigestScheme:
+        """The :class:`DigestScheme` this digest belongs to."""
+        return self._scheme
+
+    @property
+    def size(self) -> int:
+        """Digest size in bytes (20 for the paper's configuration)."""
+        return len(self._raw)
+
+    def hex(self) -> str:
+        """Hexadecimal rendering of the digest."""
+        return self._raw.hex()
+
+    def is_zero(self) -> bool:
+        """True iff this digest is the XOR identity (all zero bytes)."""
+        return not any(self._raw)
+
+    # -- algebra ---------------------------------------------------------------
+    @classmethod
+    def zero(cls, scheme: DigestScheme = SHA1) -> "Digest":
+        """The identity element for XOR aggregation."""
+        return scheme.zero()
+
+    @classmethod
+    def of(cls, data: bytes, scheme: DigestScheme = SHA1) -> "Digest":
+        """Hash ``data`` under ``scheme``."""
+        return scheme.hash(data)
+
+    def __xor__(self, other: "Digest") -> "Digest":
+        if not isinstance(other, Digest):
+            return NotImplemented
+        if other._scheme != self._scheme:
+            raise DigestError(
+                f"cannot XOR digests from different schemes "
+                f"({self._scheme.name} vs {other._scheme.name})"
+            )
+        # XOR via big integers: substantially faster than a per-byte loop in
+        # CPython, and the XB-tree aggregates XOR thousands of digests per
+        # maintenance operation.
+        size = len(self._raw)
+        combined = (
+            int.from_bytes(self._raw, "big") ^ int.from_bytes(other._raw, "big")
+        ).to_bytes(size, "big")
+        return Digest(combined, scheme=self._scheme)
+
+    __rxor__ = __xor__
+
+    # -- comparisons & hashing -------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Digest):
+            return NotImplemented
+        return self._raw == other._raw and self._scheme == other._scheme
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash((self._raw, self._scheme.name))
+
+    def __len__(self) -> int:
+        return len(self._raw)
+
+    def __bytes__(self) -> bytes:
+        return self._raw
+
+    def __repr__(self) -> str:
+        return f"Digest({self.hex()[:12]}…, scheme={self._scheme.name})"
+
+
+DigestLike = Union[Digest, bytes]
+
+
+def coerce_digest(value: DigestLike, scheme: DigestScheme = SHA1) -> Digest:
+    """Accept either a :class:`Digest` or raw bytes and return a Digest.
+
+    Protocol code that deserialises messages frequently holds raw bytes; this
+    helper centralises the validation.
+    """
+    if isinstance(value, Digest):
+        return value
+    return Digest(value, scheme=scheme)
+
+
+def fold_xor(digests: Iterable[Digest], scheme: DigestScheme = SHA1) -> Digest:
+    """XOR-fold an iterable of digests, returning the zero digest when empty.
+
+    This is the ``S⊕`` operator of the paper applied to an arbitrary
+    iterable.  The fold is order-independent because XOR is commutative and
+    associative, which is precisely why the TE can aggregate digests in tree
+    order while the client aggregates them in result order.
+    """
+    acc = scheme.zero()
+    for d in digests:
+        acc = acc ^ d
+    return acc

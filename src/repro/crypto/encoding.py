@@ -1,0 +1,179 @@
+"""Canonical binary representation of records.
+
+The paper hashes "the binary representation of ``r``" to obtain the record
+digest.  For the digest algebra to be meaningful, all parties (DO, TE and
+client) must agree on exactly the same byte string for a given record; this
+module defines that canonical encoding.
+
+The encoding is deliberately simple, deterministic and self-describing:
+
+* every record is a sequence of fields;
+* each field is encoded as a 1-byte type tag, a 4-byte big-endian length,
+  and the field payload;
+* integers are encoded as 8-byte signed big-endian values, floats as IEEE-754
+  doubles, strings as UTF-8, byte strings verbatim, ``None`` as an empty
+  payload.
+
+Because lengths are explicit, the encoding is prefix-free per field and two
+distinct records can never encode to the same byte string (which would
+otherwise silently weaken the collision-resistance argument of the paper).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Sequence, Tuple
+
+_TAG_NONE = 0x00
+_TAG_INT = 0x01
+_TAG_FLOAT = 0x02
+_TAG_STR = 0x03
+_TAG_BYTES = 0x04
+_TAG_BOOL = 0x05
+
+_HEADER = struct.Struct(">BI")  # type tag, payload length
+_INT64 = struct.Struct(">q")
+_FLOAT64 = struct.Struct(">d")
+
+
+class EncodingError(ValueError):
+    """Raised when a value cannot be canonically encoded or decoded."""
+
+
+def _encode_field(value: Any) -> bytes:
+    """Encode a single field as ``tag | length | payload``."""
+    if value is None:
+        return _HEADER.pack(_TAG_NONE, 0)
+    if isinstance(value, bool):  # must precede int: bool is a subclass of int
+        payload = b"\x01" if value else b"\x00"
+        return _HEADER.pack(_TAG_BOOL, len(payload)) + payload
+    if isinstance(value, int):
+        try:
+            payload = _INT64.pack(value)
+        except struct.error:
+            # Arbitrary-precision fallback: sign byte + magnitude.
+            magnitude = abs(value)
+            size = max(1, (magnitude.bit_length() + 7) // 8)
+            payload = (b"\x01" if value < 0 else b"\x00") + magnitude.to_bytes(size, "big")
+            return _HEADER.pack(_TAG_INT, len(payload)) + payload
+        return _HEADER.pack(_TAG_INT, len(payload)) + payload
+    if isinstance(value, float):
+        payload = _FLOAT64.pack(value)
+        return _HEADER.pack(_TAG_FLOAT, len(payload)) + payload
+    if isinstance(value, str):
+        payload = value.encode("utf-8")
+        return _HEADER.pack(_TAG_STR, len(payload)) + payload
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        payload = bytes(value)
+        return _HEADER.pack(_TAG_BYTES, len(payload)) + payload
+    raise EncodingError(f"cannot encode field of type {type(value).__name__}")
+
+
+def _decode_field(buffer: memoryview, offset: int) -> Tuple[Any, int]:
+    """Decode one field starting at ``offset``; return ``(value, new_offset)``."""
+    if offset + _HEADER.size > len(buffer):
+        raise EncodingError("truncated field header")
+    tag, length = _HEADER.unpack_from(buffer, offset)
+    offset += _HEADER.size
+    if offset + length > len(buffer):
+        raise EncodingError("truncated field payload")
+    payload = bytes(buffer[offset:offset + length])
+    offset += length
+
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_BOOL:
+        return payload == b"\x01", offset
+    if tag == _TAG_INT:
+        if length == _INT64.size:
+            return _INT64.unpack(payload)[0], offset
+        sign = -1 if payload[:1] == b"\x01" else 1
+        return sign * int.from_bytes(payload[1:], "big"), offset
+    if tag == _TAG_FLOAT:
+        return _FLOAT64.unpack(payload)[0], offset
+    if tag == _TAG_STR:
+        return payload.decode("utf-8"), offset
+    if tag == _TAG_BYTES:
+        return payload, offset
+    raise EncodingError(f"unknown field tag 0x{tag:02x}")
+
+
+def encode_record(fields: Sequence[Any]) -> bytes:
+    """Encode a record (sequence of field values) to its canonical bytes.
+
+    This byte string is what gets hashed to produce the record digest, and
+    also what the heap file stores on disk.
+    """
+    parts: List[bytes] = [struct.pack(">I", len(fields))]
+    for value in fields:
+        parts.append(_encode_field(value))
+    return b"".join(parts)
+
+
+def decode_record(data: bytes) -> Tuple[Any, ...]:
+    """Inverse of :func:`encode_record`."""
+    buffer = memoryview(data)
+    if len(buffer) < 4:
+        raise EncodingError("truncated record header")
+    (count,) = struct.unpack_from(">I", buffer, 0)
+    offset = 4
+    fields: List[Any] = []
+    for _ in range(count):
+        value, offset = _decode_field(buffer, offset)
+        fields.append(value)
+    if offset != len(buffer):
+        raise EncodingError(f"{len(buffer) - offset} trailing bytes after record")
+    return tuple(fields)
+
+
+class RecordCodec:
+    """A named-schema convenience wrapper around the canonical encoding.
+
+    The SAE protocol itself only needs :func:`encode_record`, but the DBMS
+    layer and the examples benefit from a schema-aware codec that checks the
+    field count and exposes column names.
+    """
+
+    def __init__(self, columns: Sequence[str]):
+        if not columns:
+            raise EncodingError("a record codec needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise EncodingError("duplicate column names in schema")
+        self._columns = tuple(columns)
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """The column names, in schema order."""
+        return self._columns
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self._columns)
+
+    def encode(self, fields: Sequence[Any]) -> bytes:
+        """Encode ``fields``, validating the arity against the schema."""
+        if len(fields) != len(self._columns):
+            raise EncodingError(
+                f"expected {len(self._columns)} fields ({', '.join(self._columns)}), "
+                f"got {len(fields)}"
+            )
+        return encode_record(fields)
+
+    def decode(self, data: bytes) -> Tuple[Any, ...]:
+        """Decode ``data``, validating the arity against the schema."""
+        fields = decode_record(data)
+        if len(fields) != len(self._columns):
+            raise EncodingError(
+                f"decoded {len(fields)} fields but schema has {len(self._columns)}"
+            )
+        return fields
+
+    def as_dict(self, fields: Sequence[Any]) -> dict:
+        """Pair each field with its column name."""
+        if len(fields) != len(self._columns):
+            raise EncodingError("field count does not match schema")
+        return dict(zip(self._columns, fields))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RecordCodec(columns={self._columns!r})"

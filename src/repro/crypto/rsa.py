@@ -1,0 +1,220 @@
+"""A from-scratch RSA implementation used by the TOM baseline.
+
+The paper's traditional outsourcing model (TOM) has the data owner sign the
+MB-tree root digest with a public-key cryptosystem ("e.g., RSA") so that the
+client can check the reconstructed root against an authentic value.  The
+original experiments use the Crypto++ library; since this reproduction is
+pure Python with no external dependencies, we implement RSA directly:
+
+* probabilistic prime generation with Miller-Rabin,
+* textbook key generation (e = 65537, CRT parameters kept for fast signing),
+* deterministic *hash-and-sign* with a PKCS#1 v1.5-style padding of the
+  digest (sufficient for the integrity argument of the paper; this module is
+  not meant as a general-purpose cryptographic library).
+
+Key sizes are configurable.  The experiment harness uses 1024-bit keys to
+match 2009-era deployments; the unit tests use 512-bit keys to stay fast.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# Prime generation
+# ---------------------------------------------------------------------------
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+    151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229,
+]
+
+
+def _is_probable_prime(n: int, rounds: int, rng: random.Random) -> bool:
+    """Miller-Rabin primality test with ``rounds`` random witnesses."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # write n - 1 as d * 2^s with d odd
+    d = n - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(s - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random, rounds: int = 24) -> int:
+    """Generate a random probable prime of exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError("prime size must be at least 8 bits")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force top bit and oddness
+        if _is_probable_prime(candidate, rounds, rng):
+            return candidate
+
+
+# ---------------------------------------------------------------------------
+# Keys
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """The public half of an RSA key pair (modulus and public exponent)."""
+
+    n: int
+    e: int
+
+    @property
+    def bit_length(self) -> int:
+        """Size of the modulus in bits."""
+        return self.n.bit_length()
+
+    @property
+    def byte_length(self) -> int:
+        """Size of the modulus in bytes (also the signature size)."""
+        return (self.n.bit_length() + 7) // 8
+
+
+@dataclass(frozen=True)
+class RSAPrivateKey:
+    """The private half of an RSA key pair, with CRT parameters."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    @property
+    def byte_length(self) -> int:
+        """Size of the modulus in bytes."""
+        return (self.n.bit_length() + 7) // 8
+
+    def public_key(self) -> RSAPublicKey:
+        """Derive the matching public key."""
+        return RSAPublicKey(n=self.n, e=self.e)
+
+
+@dataclass(frozen=True)
+class RSAKeyPair:
+    """A matched public/private key pair."""
+
+    public: RSAPublicKey
+    private: RSAPrivateKey
+
+
+def generate_keypair(bits: int = 1024, seed: Optional[int] = None) -> RSAKeyPair:
+    """Generate an RSA key pair.
+
+    Parameters
+    ----------
+    bits:
+        Modulus size.  1024 matches the paper's era; tests use 512 for speed.
+    seed:
+        Optional deterministic seed, useful for reproducible experiments.
+    """
+    if bits < 128:
+        raise ValueError("modulus must be at least 128 bits")
+    rng = random.Random(seed)
+    e = 65537
+    while True:
+        p = generate_prime(bits // 2, rng)
+        q = generate_prime(bits - bits // 2, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % e == 0:
+            continue
+        d = pow(e, -1, phi)
+        if n.bit_length() < bits:
+            continue
+        private = RSAPrivateKey(n=n, e=e, d=d, p=p, q=q)
+        return RSAKeyPair(public=private.public_key(), private=private)
+
+
+# ---------------------------------------------------------------------------
+# Hash-and-sign
+# ---------------------------------------------------------------------------
+
+# DigestInfo prefixes for EMSA-PKCS1-v1_5 (DER encodings of the AlgorithmIdentifier).
+_DIGEST_INFO_PREFIX = {
+    "sha1": bytes.fromhex("3021300906052b0e03021a05000414"),
+    "sha256": bytes.fromhex("3031300d060960864801650304020105000420"),
+}
+
+
+class RSAError(ValueError):
+    """Raised on signing/verification failures caused by malformed input."""
+
+
+def _emsa_pkcs1_v15_encode(message: bytes, em_len: int, hash_name: str) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding of ``message`` for an ``em_len``-byte modulus."""
+    if hash_name not in _DIGEST_INFO_PREFIX:
+        raise RSAError(f"unsupported hash for RSA signing: {hash_name!r}")
+    digest = hashlib.new(hash_name, message).digest()
+    t = _DIGEST_INFO_PREFIX[hash_name] + digest
+    if em_len < len(t) + 11:
+        raise RSAError("RSA modulus too small for the selected hash")
+    padding = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + padding + b"\x00" + t
+
+
+def sign(private: RSAPrivateKey, message: bytes, hash_name: str = "sha1") -> bytes:
+    """Produce a deterministic RSA signature over ``message``."""
+    em = _emsa_pkcs1_v15_encode(message, private.byte_length, hash_name)
+    m = int.from_bytes(em, "big")
+    if m >= private.n:
+        raise RSAError("encoded message representative out of range")
+    # CRT speed-up: s = m^d mod n computed via p and q.
+    dp = private.d % (private.p - 1)
+    dq = private.d % (private.q - 1)
+    q_inv = pow(private.q, -1, private.p)
+    s1 = pow(m, dp, private.p)
+    s2 = pow(m, dq, private.q)
+    h = (q_inv * (s1 - s2)) % private.p
+    s = s2 + h * private.q
+    return s.to_bytes(private.byte_length, "big")
+
+
+def verify(public: RSAPublicKey, message: bytes, signature: bytes, hash_name: str = "sha1") -> bool:
+    """Check an RSA signature; returns ``True`` on success, ``False`` otherwise."""
+    if len(signature) != public.byte_length:
+        return False
+    s = int.from_bytes(signature, "big")
+    if s >= public.n:
+        return False
+    m = pow(s, public.e, public.n)
+    recovered = m.to_bytes(public.byte_length, "big")
+    try:
+        expected = _emsa_pkcs1_v15_encode(message, public.byte_length, hash_name)
+    except RSAError:
+        return False
+    return recovered == expected
+
+
+def signature_size(public: RSAPublicKey) -> int:
+    """Size of a signature in bytes (equals the modulus size)."""
+    return public.byte_length

@@ -1,0 +1,118 @@
+"""Signing-scheme abstraction used by the TOM baseline.
+
+TOM requires the data owner to sign the MB-tree root digest and the client
+to verify that signature.  Protocol code should not care whether the
+signature is RSA, DSA or something simulated, so this module defines a tiny
+:class:`Signer` / :class:`Verifier` interface with two implementations:
+
+* :class:`RSASigner` / :class:`RSAVerifier` -- backed by the from-scratch RSA
+  in :mod:`repro.crypto.rsa`; this is what the experiments use.
+* :class:`NullSigner` / :class:`NullVerifier` -- an HMAC-free stand-in that
+  simply echoes the message; useful in micro-benchmarks that want to isolate
+  hashing cost from public-key cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.crypto import rsa as _rsa
+from repro.crypto.digest import Digest
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An opaque signature value plus the name of the scheme that made it."""
+
+    scheme: str
+    value: bytes
+
+    @property
+    def size(self) -> int:
+        """Signature size in bytes (what the VO transfer cost charges)."""
+        return len(self.value)
+
+
+class Signer(Protocol):
+    """Anything that can sign a digest."""
+
+    def sign(self, digest: Digest) -> Signature:  # pragma: no cover - protocol
+        ...
+
+
+class Verifier(Protocol):
+    """Anything that can verify a digest/signature pair."""
+
+    def verify(self, digest: Digest, signature: Signature) -> bool:  # pragma: no cover - protocol
+        ...
+
+
+class RSASigner:
+    """Signs digests with an RSA private key (hash-and-sign over the raw digest)."""
+
+    scheme_name = "rsa-pkcs1v15"
+
+    def __init__(self, private_key: _rsa.RSAPrivateKey, hash_name: str = "sha1"):
+        self._private = private_key
+        self._hash_name = hash_name
+
+    @property
+    def signature_size(self) -> int:
+        """Size in bytes of every signature this signer produces."""
+        return self._private.byte_length
+
+    def sign(self, digest: Digest) -> Signature:
+        """Sign the raw digest bytes."""
+        value = _rsa.sign(self._private, digest.raw, hash_name=self._hash_name)
+        return Signature(scheme=self.scheme_name, value=value)
+
+
+class RSAVerifier:
+    """Verifies signatures produced by :class:`RSASigner`."""
+
+    def __init__(self, public_key: _rsa.RSAPublicKey, hash_name: str = "sha1"):
+        self._public = public_key
+        self._hash_name = hash_name
+
+    def verify(self, digest: Digest, signature: Signature) -> bool:
+        """Return ``True`` iff ``signature`` is a valid signature of ``digest``."""
+        if signature.scheme != RSASigner.scheme_name:
+            return False
+        return _rsa.verify(self._public, digest.raw, signature.value, hash_name=self._hash_name)
+
+
+class NullSigner:
+    """A non-cryptographic signer for cost-isolation experiments.
+
+    It copies the digest into the signature, so verification degenerates to
+    an equality check.  Never use outside benchmarks: it provides integrity
+    against an honest-but-curious SP only if the channel DO→client is
+    authenticated out of band.
+    """
+
+    scheme_name = "null"
+
+    def __init__(self, signature_size: Optional[int] = None):
+        self._signature_size = signature_size
+
+    def sign(self, digest: Digest) -> Signature:
+        value = digest.raw
+        if self._signature_size is not None and self._signature_size > len(value):
+            value = value + b"\x00" * (self._signature_size - len(value))
+        return Signature(scheme=self.scheme_name, value=value)
+
+
+class NullVerifier:
+    """Verifier counterpart of :class:`NullSigner`."""
+
+    def verify(self, digest: Digest, signature: Signature) -> bool:
+        if signature.scheme != NullSigner.scheme_name:
+            return False
+        return signature.value[: len(digest.raw)] == digest.raw
+
+
+def make_rsa_pair(bits: int = 1024, seed: Optional[int] = None):
+    """Convenience: generate a key pair and return ``(signer, verifier)``."""
+    keypair = _rsa.generate_keypair(bits=bits, seed=seed)
+    return RSASigner(keypair.private), RSAVerifier(keypair.public)

@@ -1,0 +1,58 @@
+"""XOR aggregation helpers (the ``S⊕`` operator of the paper).
+
+SAE's verification token for a query result ``RS`` is ``RS⊕``, the XOR of
+the digests of the records in ``RS``.  The client independently computes the
+same quantity from the records it received.  This module hosts the small
+amount of shared code both sides use, so that the TE, the client and the
+tests cannot drift apart in how they aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.crypto.digest import Digest, DigestScheme, default_scheme, fold_xor
+from repro.crypto.encoding import encode_record
+
+
+def xor_digests(digests: Iterable[Digest], scheme: DigestScheme = None) -> Digest:
+    """XOR-fold an iterable of digests.
+
+    The empty fold yields the zero digest, which is the correct token for an
+    empty query result: the client also computes the zero digest locally and
+    verification succeeds.
+    """
+    if scheme is None:
+        scheme = default_scheme()
+    return fold_xor(digests, scheme=scheme)
+
+
+def digest_of_record(fields: Sequence[Any], scheme: DigestScheme = None) -> Digest:
+    """Digest of the canonical binary representation of a record."""
+    if scheme is None:
+        scheme = default_scheme()
+    return scheme.hash(encode_record(fields))
+
+
+def xor_of_records(records: Iterable[Sequence[Any]], scheme: DigestScheme = None) -> Digest:
+    """Compute ``S⊕`` directly from raw records.
+
+    This is what the *client* does in SAE: it receives full records from the
+    SP, hashes each one, and XORs the digests.  The TE instead XORs
+    pre-computed digests stored in its XB-tree; both paths must agree, which
+    is asserted by the property-based tests.
+    """
+    if scheme is None:
+        scheme = default_scheme()
+    return fold_xor((digest_of_record(r, scheme) for r in records), scheme=scheme)
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings.
+
+    Exposed mainly for the XB-tree's serialised node format, which stores the
+    aggregate X values as raw bytes rather than :class:`Digest` objects.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"cannot XOR byte strings of different lengths ({len(a)} vs {len(b)})")
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(len(a), "big")

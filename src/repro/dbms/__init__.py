@@ -1,0 +1,33 @@
+"""A small conventional DBMS used by the service provider.
+
+A central selling point of SAE is that "the SP does not need specialized
+infrastructure [...] query processing is as fast as in conventional database
+systems".  To make that concrete, the SP in this reproduction runs on an
+ordinary storage engine with no authentication code anywhere in its path:
+
+* :mod:`repro.dbms.catalog` -- table schemas;
+* :mod:`repro.dbms.table` -- a table backed by the slotted-page heap file
+  and a B+-tree secondary index on the query attribute;
+* :mod:`repro.dbms.engine` -- a tiny engine managing several tables;
+* :mod:`repro.dbms.sqlite_backend` -- the same table interface implemented
+  on top of :mod:`sqlite3`, demonstrating that SAE really does work with an
+  unmodified off-the-shelf DBMS;
+* :mod:`repro.dbms.query` -- the range-query value object shared by every
+  component.
+"""
+
+from repro.dbms.catalog import TableSchema, Catalog
+from repro.dbms.query import RangeQuery
+from repro.dbms.table import Table
+from repro.dbms.engine import StorageEngine
+from repro.dbms.sqlite_backend import SQLiteTable, SQLiteEngine
+
+__all__ = [
+    "TableSchema",
+    "Catalog",
+    "RangeQuery",
+    "Table",
+    "StorageEngine",
+    "SQLiteTable",
+    "SQLiteEngine",
+]

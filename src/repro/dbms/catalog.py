@@ -1,0 +1,99 @@
+"""Table schemas and the engine catalog."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.crypto.encoding import RecordCodec
+
+
+class CatalogError(ValueError):
+    """Raised for schema/catalog misuse (unknown columns, duplicate tables, ...)."""
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of an outsourced relation.
+
+    Attributes
+    ----------
+    name:
+        Table name.
+    columns:
+        Ordered column names.
+    id_column:
+        Column holding the unique record identifier (``ti.id`` in the paper).
+    key_column:
+        The query attribute (``ti.a`` in the paper), e.g. ``price`` in the
+        digital-camera example.
+    """
+
+    name: str
+    columns: Tuple[str, ...]
+    id_column: str = "id"
+    key_column: str = "key"
+
+    def __post_init__(self):
+        if not self.columns:
+            raise CatalogError("a schema needs at least one column")
+        if len(set(self.columns)) != len(self.columns):
+            raise CatalogError("duplicate column names in schema")
+        if self.id_column not in self.columns:
+            raise CatalogError(f"id column {self.id_column!r} is not in the schema")
+        if self.key_column not in self.columns:
+            raise CatalogError(f"key column {self.key_column!r} is not in the schema")
+
+    @property
+    def id_index(self) -> int:
+        """Position of the id column."""
+        return self.columns.index(self.id_column)
+
+    @property
+    def key_index(self) -> int:
+        """Position of the query attribute."""
+        return self.columns.index(self.key_column)
+
+    def codec(self) -> RecordCodec:
+        """A :class:`RecordCodec` for this schema."""
+        return RecordCodec(self.columns)
+
+    def validate_record(self, fields: Sequence) -> None:
+        """Raise :class:`CatalogError` if ``fields`` does not fit the schema."""
+        if len(fields) != len(self.columns):
+            raise CatalogError(
+                f"record has {len(fields)} fields but schema {self.name!r} has "
+                f"{len(self.columns)} columns"
+            )
+
+
+@dataclass
+class Catalog:
+    """The set of schemas known to a storage engine."""
+
+    schemas: Dict[str, TableSchema] = field(default_factory=dict)
+
+    def add(self, schema: TableSchema) -> None:
+        """Register a schema; raises if the name is already taken."""
+        if schema.name in self.schemas:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        self.schemas[schema.name] = schema
+
+    def get(self, name: str) -> TableSchema:
+        """Look up a schema by table name."""
+        try:
+            return self.schemas[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def drop(self, name: str) -> None:
+        """Remove a schema."""
+        if name not in self.schemas:
+            raise CatalogError(f"unknown table {name!r}")
+        del self.schemas[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.schemas
+
+    def __len__(self) -> int:
+        return len(self.schemas)

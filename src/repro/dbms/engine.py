@@ -1,0 +1,88 @@
+"""A tiny multi-table storage engine.
+
+The engine is deliberately minimal: it owns a catalog, creates
+heap-file-backed tables, and routes range queries.  The point of having it
+at all is architectural fidelity to the paper -- "the SP only stores the
+DO's dataset and computes the query results using a conventional DBMS" --
+and to give the examples a realistic surface (create table, load, query).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dbms.catalog import Catalog, CatalogError, TableSchema
+from repro.dbms.query import RangeQuery
+from repro.dbms.table import Table
+from repro.storage.constants import DEFAULT_PAGE_SIZE
+from repro.storage.cost_model import AccessCounter
+
+
+class StorageEngine:
+    """Manages a set of heap-file tables sharing one access counter."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE,
+                 counter: Optional[AccessCounter] = None):
+        self._page_size = page_size
+        self._counter = counter or AccessCounter()
+        self._catalog = Catalog()
+        self._tables: Dict[str, Table] = {}
+
+    @property
+    def counter(self) -> AccessCounter:
+        """Node-access counter shared by every table of this engine."""
+        return self._counter
+
+    @property
+    def catalog(self) -> Catalog:
+        """The engine catalog."""
+        return self._catalog
+
+    @property
+    def page_size(self) -> int:
+        """Page size used by every table of this engine."""
+        return self._page_size
+
+    def create_table(self, schema: TableSchema, index_fill_factor: float = 1.0) -> Table:
+        """Create a new table for ``schema`` and return it."""
+        self._catalog.add(schema)
+        table = Table(
+            schema,
+            page_size=self._page_size,
+            counter=self._counter,
+            index_fill_factor=index_fill_factor,
+        )
+        self._tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and forget its schema."""
+        self._catalog.drop(name)
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def tables(self) -> List[str]:
+        """Names of all tables."""
+        return sorted(self._tables)
+
+    def range_query(self, table_name: str, query: RangeQuery,
+                    fetch_records: bool = True) -> List[Tuple]:
+        """Convenience: run a range query against a named table."""
+        return self.table(table_name).range_query(query, fetch_records=fetch_records)
+
+    def insert(self, table_name: str, fields: Sequence) -> None:
+        """Convenience: insert one record into a named table."""
+        self.table(table_name).insert(fields)
+
+    def total_size_bytes(self) -> int:
+        """Combined storage footprint of every table."""
+        return sum(table.size_bytes() for table in self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables

@@ -1,0 +1,43 @@
+"""Range-query value objects.
+
+The paper's running example: "select all cameras from R whose price is
+between 200 and 300 euros" -- a one-dimensional range query on a single
+query attribute.  Every component of the reproduction (SP, TE, client,
+workload generator) exchanges queries as :class:`RangeQuery` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+class QueryError(ValueError):
+    """Raised for malformed queries (e.g. lower bound above upper bound)."""
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A closed-interval range query ``low <= attribute <= high``."""
+
+    low: Any
+    high: Any
+    attribute: str = "key"
+
+    def __post_init__(self):
+        if self.low is None or self.high is None:
+            raise QueryError("range query bounds must not be None")
+        if self.low > self.high:
+            raise QueryError(f"lower bound {self.low!r} exceeds upper bound {self.high!r}")
+
+    @property
+    def extent(self) -> Any:
+        """Width of the interval (``high - low``)."""
+        return self.high - self.low
+
+    def contains(self, value: Any) -> bool:
+        """True iff ``value`` satisfies the query."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.attribute} in [{self.low}, {self.high}]"

@@ -1,0 +1,47 @@
+"""Experiment harness regenerating every figure of the paper's evaluation.
+
+One module per figure:
+
+* :mod:`repro.experiments.figure5` -- authentication communication overhead
+  (VT vs VO bytes) as a function of the dataset cardinality;
+* :mod:`repro.experiments.figure6` -- query-processing cost at the SP (SAE
+  vs TOM) and at the TE;
+* :mod:`repro.experiments.figure7` -- client verification time;
+* :mod:`repro.experiments.figure8` -- storage cost at the SP and the TE;
+* :mod:`repro.experiments.ablations` -- additional studies (XB-tree vs
+  sequential scan at the TE, page-size sweep, digest-scheme sweep).
+
+All figures share :mod:`repro.experiments.runner`, which builds each
+(distribution, cardinality) configuration once, runs the query workload, and
+caches the measurements so that generating all four figures costs one pass.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import PointMeasurement, measure_point, clear_cache
+from repro.experiments.figure5 import figure5_rows, format_figure5
+from repro.experiments.figure6 import figure6_rows, format_figure6
+from repro.experiments.figure7 import figure7_rows, format_figure7
+from repro.experiments.figure8 import figure8_rows, format_figure8
+from repro.experiments.ablations import (
+    te_index_ablation,
+    page_size_ablation,
+    digest_scheme_ablation,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "PointMeasurement",
+    "measure_point",
+    "clear_cache",
+    "figure5_rows",
+    "format_figure5",
+    "figure6_rows",
+    "format_figure6",
+    "figure7_rows",
+    "format_figure7",
+    "figure8_rows",
+    "format_figure8",
+    "te_index_ablation",
+    "page_size_ablation",
+    "digest_scheme_ablation",
+]

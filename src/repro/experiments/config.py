@@ -1,0 +1,91 @@
+"""Experiment configuration presets.
+
+The paper's setup (Section IV): datasets of 100K-1M records of 500 bytes,
+4-byte search keys in ``[0, 10^7]``, 4096-byte pages, 20-byte digests, 100
+uniform range queries of extent 0.5 % of the domain, 10 ms charged per node
+access.  ``ExperimentConfig.paper()`` reproduces exactly those parameters;
+the ``quick()`` and ``default()`` presets shrink the cardinalities and query
+counts so the whole evaluation runs in seconds / a few minutes on a laptop
+while preserving every qualitative trend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.storage.constants import (
+    DEFAULT_KEY_DOMAIN,
+    DEFAULT_NODE_ACCESS_MS,
+    DEFAULT_PAGE_SIZE,
+    DEFAULT_RECORD_SIZE,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters shared by every figure experiment."""
+
+    cardinalities: Tuple[int, ...] = (2_000, 5_000, 10_000)
+    distributions: Tuple[str, ...] = ("uniform", "zipf")
+    record_size: int = 256
+    domain: Tuple[int, int] = DEFAULT_KEY_DOMAIN
+    extent_fraction: float = 0.005
+    num_queries: int = 10
+    page_size: int = DEFAULT_PAGE_SIZE
+    node_access_ms: float = DEFAULT_NODE_ACCESS_MS
+    digest_scheme: str = "sha1"
+    rsa_key_bits: int = 512
+    seed: int = 42
+    include_tom: bool = True
+    label: str = "quick"
+
+    # ------------------------------------------------------------------ presets
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """Smallest configuration: used by the unit tests and CI benchmarks."""
+        return cls()
+
+    @classmethod
+    def default(cls) -> "ExperimentConfig":
+        """A laptop-scale configuration preserving the paper's trends."""
+        return cls(
+            cardinalities=(10_000, 25_000, 50_000, 100_000),
+            record_size=DEFAULT_RECORD_SIZE,
+            num_queries=20,
+            rsa_key_bits=1024,
+            label="default",
+        )
+
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """The full configuration of Section IV (100K-1M records, 100 queries)."""
+        return cls(
+            cardinalities=(100_000, 250_000, 500_000, 750_000, 1_000_000),
+            record_size=DEFAULT_RECORD_SIZE,
+            num_queries=100,
+            rsa_key_bits=1024,
+            label="paper",
+        )
+
+    # ------------------------------------------------------------------ helpers
+    def cache_key(self, distribution: str, cardinality: int) -> Tuple:
+        """Hashable key identifying one (distribution, cardinality) point."""
+        return (
+            self.record_size,
+            self.domain,
+            self.extent_fraction,
+            self.num_queries,
+            self.page_size,
+            self.node_access_ms,
+            self.digest_scheme,
+            self.rsa_key_bits,
+            self.seed,
+            self.include_tom,
+            distribution,
+            cardinality,
+        )
+
+    def dataset_label(self, distribution: str) -> str:
+        """The paper's name for a distribution (``UNF`` / ``SKW``)."""
+        return "UNF" if distribution == "uniform" else "SKW"

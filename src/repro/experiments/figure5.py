@@ -1,0 +1,55 @@
+"""Figure 5 -- communication overhead (authentication bytes) vs cardinality.
+
+The paper compares the bytes exchanged between the TE and the client in SAE
+(always one 20-byte token) against the bytes exchanged between the SP and
+the client in TOM for the verification object (boundary records, sibling
+digests and signature).  The result transmission itself is excluded, exactly
+as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import measure_point
+from repro.metrics.reporting import format_figure_rows
+
+
+def figure5_rows(config: Optional[ExperimentConfig] = None) -> List[Dict]:
+    """Regenerate the data series of Figure 5 (a) and (b).
+
+    Returns one row per (distribution, cardinality) with the average
+    authentication bytes of each method.
+    """
+    config = config or ExperimentConfig.quick()
+    rows: List[Dict] = []
+    for distribution in config.distributions:
+        for cardinality in config.cardinalities:
+            point = measure_point(config, distribution, cardinality)
+            rows.append(
+                {
+                    "figure": "5a" if distribution == "uniform" else "5b",
+                    "dataset": config.dataset_label(distribution),
+                    "n": cardinality,
+                    "sae_te_client_bytes": point.sae_auth_bytes,
+                    "tom_sp_client_bytes": point.tom_auth_bytes,
+                    "overhead_ratio": (
+                        point.tom_auth_bytes / point.sae_auth_bytes
+                        if point.sae_auth_bytes
+                        else 0.0
+                    ),
+                    "avg_result_cardinality": point.avg_result_cardinality,
+                }
+            )
+    return rows
+
+
+def format_figure5(rows: List[Dict]) -> str:
+    """Render the Figure 5 series as a table."""
+    return format_figure_rows(
+        rows,
+        x_key="n",
+        series_keys=["dataset", "sae_te_client_bytes", "tom_sp_client_bytes", "overhead_ratio"],
+        title="Figure 5: authentication communication overhead (bytes) vs n",
+    )

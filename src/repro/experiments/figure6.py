@@ -1,0 +1,62 @@
+"""Figure 6 -- query processing cost vs cardinality.
+
+The paper charges 10 ms per node access on 4096-byte pages and reports, per
+query, the cost at the SP (MB-tree in TOM, B+-tree in SAE) and at the TE
+(XB-tree).  The SP series use the index traversal plus the leaf-level scan;
+the record-retrieval step from the data file is identical for both models
+(same heap file, same result set) and is reported separately in the row's
+``*_fetch_ms`` columns so its contribution is visible but does not blur the
+fanout comparison the figure is about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import measure_point
+from repro.metrics.reporting import format_figure_rows, summarize
+
+
+def figure6_rows(config: Optional[ExperimentConfig] = None) -> List[Dict]:
+    """Regenerate the data series of Figure 6 (a) and (b)."""
+    config = config or ExperimentConfig.quick()
+    rows: List[Dict] = []
+    for distribution in config.distributions:
+        for cardinality in config.cardinalities:
+            point = measure_point(config, distribution, cardinality)
+            fetch_ms_sae = point.details.get("sae_sp_fetch_accesses", 0.0) * config.node_access_ms
+            fetch_ms_tom = point.details.get("tom_sp_fetch_accesses", 0.0) * config.node_access_ms
+            reduction = 0.0
+            if point.tom_sp_ms:
+                reduction = 1.0 - point.sae_sp_ms / point.tom_sp_ms
+            rows.append(
+                {
+                    "figure": "6a" if distribution == "uniform" else "6b",
+                    "dataset": config.dataset_label(distribution),
+                    "n": cardinality,
+                    "sae_sp_ms": point.sae_sp_ms,
+                    "tom_sp_ms": point.tom_sp_ms,
+                    "sae_te_ms": point.te_ms,
+                    "sae_sp_fetch_ms": fetch_ms_sae,
+                    "tom_sp_fetch_ms": fetch_ms_tom,
+                    "sp_reduction": reduction,
+                    "avg_result_cardinality": point.avg_result_cardinality,
+                }
+            )
+    return rows
+
+
+def sp_reduction_summary(rows: List[Dict]) -> Dict[str, float]:
+    """Min/max/mean SP-cost reduction of SAE over TOM (the paper quotes 24-39 %)."""
+    return summarize(rows, baseline_key="tom_sp_ms", improved_key="sae_sp_ms")
+
+
+def format_figure6(rows: List[Dict]) -> str:
+    """Render the Figure 6 series as a table."""
+    return format_figure_rows(
+        rows,
+        x_key="n",
+        series_keys=["dataset", "sae_sp_ms", "tom_sp_ms", "sae_te_ms", "sp_reduction"],
+        title="Figure 6: query processing cost (ms, 10 ms per node access) vs n",
+    )

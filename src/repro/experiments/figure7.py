@@ -1,0 +1,48 @@
+"""Figure 7 -- client verification time vs cardinality.
+
+The client cost is measured CPU time: in SAE the client hashes every
+received record and XORs the digests; in TOM it additionally reconstructs
+the MB-tree root digest and verifies the owner's RSA signature.  Both grow
+linearly with the result cardinality, and the SKW workload is cheaper than
+UNF because its average result is smaller -- the two observations the paper
+makes about this figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import measure_point
+from repro.metrics.reporting import format_figure_rows
+
+
+def figure7_rows(config: Optional[ExperimentConfig] = None) -> List[Dict]:
+    """Regenerate the data series of Figure 7 (a) and (b)."""
+    config = config or ExperimentConfig.quick()
+    rows: List[Dict] = []
+    for distribution in config.distributions:
+        for cardinality in config.cardinalities:
+            point = measure_point(config, distribution, cardinality)
+            rows.append(
+                {
+                    "figure": "7a" if distribution == "uniform" else "7b",
+                    "dataset": config.dataset_label(distribution),
+                    "n": cardinality,
+                    "sae_client_ms": point.sae_client_ms,
+                    "tom_client_ms": point.tom_client_ms,
+                    "avg_result_cardinality": point.avg_result_cardinality,
+                }
+            )
+    return rows
+
+
+def format_figure7(rows: List[Dict]) -> str:
+    """Render the Figure 7 series as a table."""
+    return format_figure_rows(
+        rows,
+        x_key="n",
+        series_keys=["dataset", "sae_client_ms", "tom_client_ms", "avg_result_cardinality"],
+        title="Figure 7: client verification time (measured ms) vs n",
+        float_format="{:.3f}",
+    )

@@ -1,0 +1,50 @@
+"""Figure 8 -- storage cost vs cardinality.
+
+The SP's consumption is dominated by the outsourced dataset itself, so SAE
+and TOM occupy a similar amount of space at the SP; the TE stores only a
+search key, an id and a digest per record (packed L pages plus the XB-tree),
+which is why its footprint stays a small fraction of the SP's -- small
+enough, the paper notes, that the TE could keep its index in main memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import measure_point
+from repro.metrics.reporting import format_figure_rows
+
+
+def figure8_rows(config: Optional[ExperimentConfig] = None) -> List[Dict]:
+    """Regenerate the data series of Figure 8 (a) and (b)."""
+    config = config or ExperimentConfig.quick()
+    rows: List[Dict] = []
+    for distribution in config.distributions:
+        for cardinality in config.cardinalities:
+            point = measure_point(config, distribution, cardinality)
+            te_fraction = 0.0
+            if point.sae_sp_storage_mb:
+                te_fraction = point.te_storage_mb / point.sae_sp_storage_mb
+            rows.append(
+                {
+                    "figure": "8a" if distribution == "uniform" else "8b",
+                    "dataset": config.dataset_label(distribution),
+                    "n": cardinality,
+                    "sae_sp_mb": point.sae_sp_storage_mb,
+                    "tom_sp_mb": point.tom_sp_storage_mb,
+                    "sae_te_mb": point.te_storage_mb,
+                    "te_over_sp_fraction": te_fraction,
+                }
+            )
+    return rows
+
+
+def format_figure8(rows: List[Dict]) -> str:
+    """Render the Figure 8 series as a table."""
+    return format_figure_rows(
+        rows,
+        x_key="n",
+        series_keys=["dataset", "sae_sp_mb", "tom_sp_mb", "sae_te_mb", "te_over_sp_fraction"],
+        title="Figure 8: storage cost (MB) vs n",
+    )

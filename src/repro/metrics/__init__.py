@@ -1,0 +1,12 @@
+"""Metric collection and textual reporting for the experiment harness."""
+
+from repro.metrics.collector import MetricSeries, MetricsCollector
+from repro.metrics.reporting import format_table, format_figure_rows, summarize
+
+__all__ = [
+    "MetricSeries",
+    "MetricsCollector",
+    "format_table",
+    "format_figure_rows",
+    "summarize",
+]

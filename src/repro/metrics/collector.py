@@ -1,0 +1,91 @@
+"""Lightweight metric collection.
+
+The experiment drivers record one value per (series, x-point, repetition)
+and report averages, mirroring how the paper averages each figure's metric
+over 100 queries.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class MetricSeries:
+    """A named series of observations grouped by x-value."""
+
+    name: str
+    observations: Dict[Any, List[float]] = field(default_factory=lambda: defaultdict(list))
+
+    def record(self, x: Any, value: float) -> None:
+        """Add one observation at x-position ``x``."""
+        self.observations[x].append(float(value))
+
+    def mean(self, x: Any) -> float:
+        """Average of the observations at ``x`` (0.0 when empty)."""
+        values = self.observations.get(x, [])
+        return sum(values) / len(values) if values else 0.0
+
+    def total(self, x: Any) -> float:
+        """Sum of the observations at ``x``."""
+        return sum(self.observations.get(x, []))
+
+    def count(self, x: Any) -> int:
+        """Number of observations at ``x``."""
+        return len(self.observations.get(x, []))
+
+    def stdev(self, x: Any) -> float:
+        """Population standard deviation of the observations at ``x``."""
+        values = self.observations.get(x, [])
+        if len(values) < 2:
+            return 0.0
+        mean = sum(values) / len(values)
+        return math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
+
+    def xs(self) -> List[Any]:
+        """All x-positions with at least one observation, sorted."""
+        return sorted(self.observations)
+
+    def means(self) -> Dict[Any, float]:
+        """Mapping of x-position to mean value."""
+        return {x: self.mean(x) for x in self.xs()}
+
+
+class MetricsCollector:
+    """A bag of named :class:`MetricSeries`."""
+
+    def __init__(self):
+        self._series: Dict[str, MetricSeries] = {}
+
+    def series(self, name: str) -> MetricSeries:
+        """Get (or create) the series called ``name``."""
+        if name not in self._series:
+            self._series[name] = MetricSeries(name=name)
+        return self._series[name]
+
+    def record(self, name: str, x: Any, value: float) -> None:
+        """Record one observation on the series called ``name``."""
+        self.series(name).record(x, value)
+
+    def names(self) -> List[str]:
+        """All series names, sorted."""
+        return sorted(self._series)
+
+    def as_rows(self) -> List[Tuple[str, Any, float]]:
+        """Flatten every series into ``(series, x, mean)`` rows."""
+        rows = []
+        for name in self.names():
+            series = self._series[name]
+            for x in series.xs():
+                rows.append((name, x, series.mean(x)))
+        return rows
+
+    def get(self, name: str) -> Optional[MetricSeries]:
+        """Return the series if it exists, else ``None``."""
+        return self._series.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series

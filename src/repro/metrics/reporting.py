@@ -1,0 +1,72 @@
+"""Textual rendering of experiment results.
+
+The experiment drivers produce structured rows; these helpers render them as
+aligned ASCII tables similar in spirit to the paper's figures (one row per
+dataset cardinality, one column per method), so ``examples/paper_experiments.py``
+and the benchmark output are directly comparable with the published plots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: Optional[str] = None, float_format: str = "{:.2f}") -> str:
+    """Render ``rows`` as an aligned, pipe-separated table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(h) for h in headers]))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_figure_rows(rows: Sequence[Mapping[str, Any]], x_key: str,
+                       series_keys: Sequence[str], title: Optional[str] = None,
+                       float_format: str = "{:.2f}") -> str:
+    """Render experiment rows (one dict per x-point) as a figure-style table."""
+    headers = [x_key] + list(series_keys)
+    table_rows = [[row.get(x_key)] + [row.get(key) for key in series_keys] for row in rows]
+    return format_table(headers, table_rows, title=title, float_format=float_format)
+
+
+def summarize(rows: Sequence[Mapping[str, Any]], baseline_key: str, improved_key: str) -> Dict[str, float]:
+    """Summarise the relative advantage of ``improved_key`` over ``baseline_key``.
+
+    Returns the minimum, maximum and mean reduction (as fractions) across the
+    rows, which is how the paper states results like "SAE reduces the burden
+    at the SP by 30%-39%".
+    """
+    reductions = []
+    for row in rows:
+        baseline = float(row.get(baseline_key, 0.0))
+        improved = float(row.get(improved_key, 0.0))
+        if baseline > 0:
+            reductions.append(1.0 - improved / baseline)
+    if not reductions:
+        return {"min_reduction": 0.0, "max_reduction": 0.0, "mean_reduction": 0.0}
+    return {
+        "min_reduction": min(reductions),
+        "max_reduction": max(reductions),
+        "mean_reduction": sum(reductions) / len(reductions),
+    }

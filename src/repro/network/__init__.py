@@ -1,0 +1,32 @@
+"""Byte-accounting network layer.
+
+Figure 5 of the paper compares the *authentication* communication overhead
+of SAE (the 20-byte VT between TE and client) against TOM (the VO between SP
+and client).  To measure that without a real network, every message the
+entities exchange is a typed object that knows its wire size, and every pair
+of entities talks over a :class:`~repro.network.channel.Channel` that counts
+messages and bytes.
+"""
+
+from repro.network.messages import (
+    Message,
+    QueryRequest,
+    ResultResponse,
+    VTResponse,
+    VOResponse,
+    DatasetTransfer,
+    UpdateNotification,
+)
+from repro.network.channel import Channel, NetworkTracker
+
+__all__ = [
+    "Message",
+    "QueryRequest",
+    "ResultResponse",
+    "VTResponse",
+    "VOResponse",
+    "DatasetTransfer",
+    "UpdateNotification",
+    "Channel",
+    "NetworkTracker",
+]

@@ -1,0 +1,95 @@
+"""Byte-counting channels between protocol parties."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.network.messages import Message
+
+
+@dataclass
+class ChannelStats:
+    """Accumulated traffic statistics of one directed channel."""
+
+    messages: int = 0
+    bytes: int = 0
+
+    def record(self, size: int) -> None:
+        """Account for one message of ``size`` bytes."""
+        self.messages += 1
+        self.bytes += size
+
+    def reset(self) -> None:
+        """Zero the counters."""
+        self.messages = 0
+        self.bytes = 0
+
+
+class Channel:
+    """A directed, byte-counting link between two named parties."""
+
+    def __init__(self, sender: str, receiver: str):
+        self.sender = sender
+        self.receiver = receiver
+        self.stats = ChannelStats()
+        self._log: List[Message] = []
+        self.keep_log = False
+
+    @property
+    def name(self) -> str:
+        """Human-readable channel name, e.g. ``"TE->client"``."""
+        return f"{self.sender}->{self.receiver}"
+
+    def send(self, message: Message) -> Message:
+        """Record the transfer of ``message`` and hand it to the receiver."""
+        self.stats.record(message.size_bytes())
+        if self.keep_log:
+            self._log.append(message)
+        return message
+
+    @property
+    def log(self) -> List[Message]:
+        """Messages sent so far (only populated when ``keep_log`` is enabled)."""
+        return list(self._log)
+
+    def reset(self) -> None:
+        """Clear statistics and the message log."""
+        self.stats.reset()
+        self._log.clear()
+
+
+class NetworkTracker:
+    """A registry of channels, keyed by ``(sender, receiver)``."""
+
+    def __init__(self):
+        self._channels: Dict[str, Channel] = {}
+
+    def channel(self, sender: str, receiver: str) -> Channel:
+        """Get (or lazily create) the directed channel ``sender -> receiver``."""
+        key = f"{sender}->{receiver}"
+        if key not in self._channels:
+            self._channels[key] = Channel(sender, receiver)
+        return self._channels[key]
+
+    def get(self, sender: str, receiver: str) -> Optional[Channel]:
+        """Return the channel if it exists, else ``None``."""
+        return self._channels.get(f"{sender}->{receiver}")
+
+    def bytes_sent(self, sender: str, receiver: str) -> int:
+        """Bytes sent over a channel (0 if it was never used)."""
+        channel = self.get(sender, receiver)
+        return channel.stats.bytes if channel is not None else 0
+
+    def total_bytes(self) -> int:
+        """Bytes sent over all channels."""
+        return sum(channel.stats.bytes for channel in self._channels.values())
+
+    def reset(self) -> None:
+        """Reset every channel."""
+        for channel in self._channels.values():
+            channel.reset()
+
+    def summary(self) -> Dict[str, int]:
+        """Mapping of channel name to bytes sent."""
+        return {name: channel.stats.bytes for name, channel in sorted(self._channels.items())}

@@ -1,0 +1,40 @@
+"""Disk-storage substrate shared by every index and file in the reproduction.
+
+The paper's experiments run all indexes (the SP's B+-tree / MB-tree and the
+TE's XB-tree) as disk-based structures with 4096-byte pages and charge a
+fixed 10 ms per node access when reporting processing cost.  This package
+recreates that substrate:
+
+* :mod:`repro.storage.page` -- fixed-size page objects.
+* :mod:`repro.storage.pager` -- page allocation and (optionally file-backed)
+  persistence.
+* :mod:`repro.storage.buffer_pool` -- an LRU buffer pool sitting between an
+  index and its pager, so that hot pages (e.g. tree roots) do not incur a
+  charged access on every visit.
+* :mod:`repro.storage.heapfile` -- an unordered record file used by the SP to
+  store the outsourced dataset, with RID-based access.
+* :mod:`repro.storage.cost_model` -- node-access accounting that converts
+  I/O counts into the milliseconds reported by Figures 6.
+"""
+
+from repro.storage.constants import DEFAULT_PAGE_SIZE, DEFAULT_NODE_ACCESS_MS
+from repro.storage.page import Page, PageId
+from repro.storage.pager import Pager, InMemoryPager, FileBackedPager
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.heapfile import HeapFile, RecordId
+from repro.storage.cost_model import CostModel, AccessCounter
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "DEFAULT_NODE_ACCESS_MS",
+    "Page",
+    "PageId",
+    "Pager",
+    "InMemoryPager",
+    "FileBackedPager",
+    "BufferPool",
+    "HeapFile",
+    "RecordId",
+    "CostModel",
+    "AccessCounter",
+]

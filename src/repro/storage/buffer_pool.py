@@ -1,0 +1,136 @@
+"""An LRU buffer pool between an index and its pager.
+
+The paper's cost model charges every *node access*, so the trees report
+their accesses directly to an :class:`~repro.storage.cost_model.AccessCounter`.
+The buffer pool exists for two reasons:
+
+* realism -- a conventional DBMS would not re-read the root page from disk
+  on every traversal, and the buffer-pool ablation benchmark quantifies how
+  much of the reported cost a warm cache would absorb;
+* correctness under mutation -- the trees mutate nodes in place during
+  inserts/splits, and the pool provides a single authoritative copy of each
+  page between flushes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.storage.page import Page, PageError, PageId
+from repro.storage.pager import Pager
+
+
+class BufferPool:
+    """A write-back LRU cache of pages on top of a :class:`Pager`."""
+
+    def __init__(self, pager: Pager, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("buffer pool capacity must be at least 1 page")
+        self._pager = pager
+        self._capacity = capacity
+        self._frames: "OrderedDict[int, Page]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    # -- statistics -----------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum number of resident pages."""
+        return self._capacity
+
+    @property
+    def hits(self) -> int:
+        """Number of fetches served from the pool."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Number of fetches that had to go to the pager."""
+        return self._misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of fetches served from the pool (0 when never used)."""
+        total = self._hits + self._misses
+        return self._hits / total if total else 0.0
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of pages currently cached."""
+        return len(self._frames)
+
+    @property
+    def pager(self) -> Pager:
+        """The underlying pager."""
+        return self._pager
+
+    # -- page operations -------------------------------------------------------
+    def allocate(self) -> Page:
+        """Allocate a new page via the pager and cache it."""
+        page_id = self._pager.allocate()
+        page = Page(page_id, self._pager.page_size)
+        self._insert_frame(page)
+        return page
+
+    def fetch(self, page_id: PageId) -> Page:
+        """Return the page with ``page_id``, reading it from the pager on a miss."""
+        key = int(page_id)
+        if key in self._frames:
+            self._frames.move_to_end(key)
+            self._hits += 1
+            return self._frames[key]
+        self._misses += 1
+        page = self._pager.read_page(page_id)
+        self._insert_frame(page)
+        return page
+
+    def mark_dirty(self, page: Page) -> None:
+        """Note that ``page`` was modified (writes already set the dirty bit)."""
+        if int(page.page_id) not in self._frames:
+            raise PageError(f"page {page.page_id} is not resident in the buffer pool")
+        # Page.write() marks the page dirty; nothing else to do, but keeping
+        # the method gives callers a single, explicit mutation protocol.
+
+    def flush_page(self, page_id: PageId) -> None:
+        """Write a single dirty page back to the pager."""
+        key = int(page_id)
+        page = self._frames.get(key)
+        if page is None:
+            return
+        if page.dirty:
+            self._pager.write_page(page)
+
+    def flush_all(self) -> None:
+        """Write every dirty resident page back to the pager."""
+        for page in self._frames.values():
+            if page.dirty:
+                self._pager.write_page(page)
+
+    def evict_all(self) -> None:
+        """Flush and drop every resident page (simulates a cold cache)."""
+        self.flush_all()
+        self._frames.clear()
+
+    def free(self, page_id: PageId) -> None:
+        """Drop a page from the pool and free it in the pager."""
+        self._frames.pop(int(page_id), None)
+        self._pager.free(page_id)
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters."""
+        self._hits = 0
+        self._misses = 0
+
+    # -- internals --------------------------------------------------------------
+    def _insert_frame(self, page: Page) -> None:
+        key = int(page.page_id)
+        self._frames[key] = page
+        self._frames.move_to_end(key)
+        while len(self._frames) > self._capacity:
+            victim_key, victim = self._frames.popitem(last=False)
+            if victim.dirty:
+                self._pager.write_page(victim)
+
+    def __contains__(self, page_id: PageId) -> bool:
+        return int(page_id) in self._frames

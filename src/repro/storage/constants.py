@@ -1,0 +1,21 @@
+"""Storage-layer constants mirroring the paper's experimental setup."""
+
+#: Disk page size in bytes.  "All indexes are disk-based using pages of 4096
+#: bytes" (Section IV).
+DEFAULT_PAGE_SIZE = 4096
+
+#: Simulated cost of one node (page) access in milliseconds.  "When measuring
+#: processing cost, we charge 10 milliseconds for each node access."
+DEFAULT_NODE_ACCESS_MS = 10.0
+
+#: Digest size in bytes used throughout the paper ("A digest consumes 20
+#: bytes for both SAE and TOM").
+DEFAULT_DIGEST_SIZE = 20
+
+#: Total record size in bytes used by the experiments ("The total record size
+#: is set to 500 bytes").
+DEFAULT_RECORD_SIZE = 500
+
+#: Search keys are 4-byte integers in the domain [0, 10^7].
+DEFAULT_KEY_SIZE = 4
+DEFAULT_KEY_DOMAIN = (0, 10_000_000)

@@ -1,0 +1,90 @@
+"""Fixed-size disk pages.
+
+A :class:`Page` is a mutable byte buffer of exactly ``page_size`` bytes with
+a dirty flag.  Indexes serialise their nodes into pages; the heap file packs
+records into pages with a slot directory.  Keeping the page abstraction thin
+makes the node-access accounting (Figure 6) unambiguous: one page touched is
+one node access.
+"""
+
+from __future__ import annotations
+
+from typing import NewType
+
+#: Identifier of a page within a pager.  Page 0 is always valid once the
+#: pager has allocated at least one page.
+PageId = NewType("PageId", int)
+
+#: Sentinel for "no page" pointers inside serialised nodes.
+INVALID_PAGE = PageId(-1)
+
+
+class PageError(ValueError):
+    """Raised on out-of-bounds page operations."""
+
+
+class Page:
+    """A fixed-size byte buffer with a dirty flag."""
+
+    __slots__ = ("page_id", "_data", "_dirty")
+
+    def __init__(self, page_id: PageId, page_size: int, data: bytes = b""):
+        if len(data) > page_size:
+            raise PageError(
+                f"initial data ({len(data)} bytes) exceeds page size ({page_size} bytes)"
+            )
+        self.page_id = page_id
+        self._data = bytearray(page_size)
+        self._data[: len(data)] = data
+        self._dirty = False
+
+    # -- data access ------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Page capacity in bytes."""
+        return len(self._data)
+
+    @property
+    def dirty(self) -> bool:
+        """Whether the page has been modified since the last flush."""
+        return self._dirty
+
+    def mark_clean(self) -> None:
+        """Clear the dirty flag (called by the pager after a flush)."""
+        self._dirty = False
+
+    def read(self, offset: int = 0, length: int = None) -> bytes:
+        """Read ``length`` bytes starting at ``offset`` (whole page by default)."""
+        if length is None:
+            length = len(self._data) - offset
+        if offset < 0 or length < 0 or offset + length > len(self._data):
+            raise PageError(
+                f"read of {length} bytes at offset {offset} exceeds page size {len(self._data)}"
+            )
+        return bytes(self._data[offset:offset + length])
+
+    def write(self, data: bytes, offset: int = 0) -> None:
+        """Write ``data`` at ``offset`` and mark the page dirty."""
+        if offset < 0 or offset + len(data) > len(self._data):
+            raise PageError(
+                f"write of {len(data)} bytes at offset {offset} exceeds page size {len(self._data)}"
+            )
+        self._data[offset:offset + len(data)] = data
+        self._dirty = True
+
+    def clear(self) -> None:
+        """Zero the page contents and mark it dirty."""
+        for i in range(len(self._data)):
+            self._data[i] = 0
+        self._dirty = True
+
+    def snapshot(self) -> bytes:
+        """Return an immutable copy of the page contents."""
+        return bytes(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "dirty" if self._dirty else "clean"
+        return f"Page(id={self.page_id}, size={len(self._data)}, {state})"

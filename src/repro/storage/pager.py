@@ -1,0 +1,211 @@
+"""Page allocation and persistence.
+
+A :class:`Pager` owns a flat array of fixed-size pages.  Two implementations
+are provided:
+
+* :class:`InMemoryPager` keeps all pages in memory.  This is what the
+  experiments use: the paper itself reports *simulated* I/O cost (10 ms per
+  node access) rather than real disk latency, so actually hitting a disk
+  would only add noise.
+* :class:`FileBackedPager` persists pages in a single file, demonstrating
+  that every structure in the repository really is disk-serialisable.  The
+  integration tests round-trip the trees through it.
+
+Both report the number of physical reads/writes through an optional
+:class:`~repro.storage.cost_model.AccessCounter`, which the storage ablation
+benchmarks consume.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List, Optional
+
+from repro.storage.constants import DEFAULT_PAGE_SIZE
+from repro.storage.cost_model import AccessCounter
+from repro.storage.page import Page, PageError, PageId
+
+
+class Pager:
+    """Abstract pager interface (allocate / read / write / free)."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, counter: Optional[AccessCounter] = None):
+        if page_size < 64:
+            raise PageError("page size must be at least 64 bytes")
+        self._page_size = page_size
+        self._counter = counter or AccessCounter()
+
+    # -- basic properties ----------------------------------------------------
+    @property
+    def page_size(self) -> int:
+        """Size of every page managed by this pager."""
+        return self._page_size
+
+    @property
+    def counter(self) -> AccessCounter:
+        """Physical I/O counter (reads/writes/allocations)."""
+        return self._counter
+
+    # -- interface -------------------------------------------------------------
+    @property
+    def num_pages(self) -> int:
+        """Number of allocated pages (including freed ones still on disk)."""
+        raise NotImplementedError
+
+    def allocate(self) -> PageId:
+        """Allocate a fresh page and return its id."""
+        raise NotImplementedError
+
+    def read_page(self, page_id: PageId) -> Page:
+        """Fetch a page by id."""
+        raise NotImplementedError
+
+    def write_page(self, page: Page) -> None:
+        """Persist a page."""
+        raise NotImplementedError
+
+    def free(self, page_id: PageId) -> None:
+        """Return a page to the free list."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources."""
+
+    # -- convenience -------------------------------------------------------------
+    def total_bytes(self) -> int:
+        """Total storage footprint in bytes (pages * page size)."""
+        return self.num_pages * self._page_size
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class InMemoryPager(Pager):
+    """A pager holding all pages in a Python dict."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, counter: Optional[AccessCounter] = None):
+        super().__init__(page_size=page_size, counter=counter)
+        self._pages: Dict[int, bytes] = {}
+        self._free_list: List[int] = []
+        self._next_id = 0
+
+    @property
+    def num_pages(self) -> int:
+        return self._next_id
+
+    def allocate(self) -> PageId:
+        if self._free_list:
+            page_id = self._free_list.pop()
+        else:
+            page_id = self._next_id
+            self._next_id += 1
+        self._pages[page_id] = bytes(self._page_size)
+        self._counter.record_allocation()
+        return PageId(page_id)
+
+    def read_page(self, page_id: PageId) -> Page:
+        try:
+            raw = self._pages[int(page_id)]
+        except KeyError:
+            raise PageError(f"page {page_id} has not been allocated") from None
+        self._counter.record_read()
+        return Page(page_id, self._page_size, raw)
+
+    def write_page(self, page: Page) -> None:
+        if int(page.page_id) not in self._pages:
+            raise PageError(f"page {page.page_id} has not been allocated")
+        self._pages[int(page.page_id)] = page.snapshot()
+        page.mark_clean()
+        self._counter.record_write()
+
+    def free(self, page_id: PageId) -> None:
+        if int(page_id) not in self._pages:
+            raise PageError(f"page {page_id} has not been allocated")
+        del self._pages[int(page_id)]
+        self._free_list.append(int(page_id))
+
+    def live_pages(self) -> Iterator[PageId]:
+        """Iterate over ids of currently allocated (non-freed) pages."""
+        return (PageId(pid) for pid in sorted(self._pages))
+
+
+class FileBackedPager(Pager):
+    """A pager persisting pages in a single binary file.
+
+    The file layout is a dense array of pages; page ``i`` lives at byte
+    offset ``i * page_size``.  Freed pages are tracked in memory and reused
+    by subsequent allocations (the file is never shrunk).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        counter: Optional[AccessCounter] = None,
+    ):
+        super().__init__(page_size=page_size, counter=counter)
+        self._path = path
+        create = not os.path.exists(path)
+        self._file = open(path, "w+b" if create else "r+b")
+        self._file.seek(0, os.SEEK_END)
+        file_size = self._file.tell()
+        if file_size % page_size != 0:
+            self._file.close()
+            raise PageError(
+                f"existing file size {file_size} is not a multiple of the page size {page_size}"
+            )
+        self._next_id = file_size // page_size
+        self._free_list: List[int] = []
+
+    @property
+    def path(self) -> str:
+        """Path of the backing file."""
+        return self._path
+
+    @property
+    def num_pages(self) -> int:
+        return self._next_id
+
+    def allocate(self) -> PageId:
+        if self._free_list:
+            page_id = self._free_list.pop()
+        else:
+            page_id = self._next_id
+            self._next_id += 1
+            self._file.seek(page_id * self._page_size)
+            self._file.write(bytes(self._page_size))
+        self._counter.record_allocation()
+        return PageId(page_id)
+
+    def read_page(self, page_id: PageId) -> Page:
+        if not (0 <= int(page_id) < self._next_id):
+            raise PageError(f"page {page_id} is out of range")
+        self._file.seek(int(page_id) * self._page_size)
+        raw = self._file.read(self._page_size)
+        self._counter.record_read()
+        return Page(page_id, self._page_size, raw)
+
+    def write_page(self, page: Page) -> None:
+        if not (0 <= int(page.page_id) < self._next_id):
+            raise PageError(f"page {page.page_id} is out of range")
+        self._file.seek(int(page.page_id) * self._page_size)
+        self._file.write(page.snapshot())
+        page.mark_clean()
+        self._counter.record_write()
+
+    def free(self, page_id: PageId) -> None:
+        if not (0 <= int(page_id) < self._next_id):
+            raise PageError(f"page {page_id} is out of range")
+        self._free_list.append(int(page_id))
+
+    def flush(self) -> None:
+        """Force buffered writes to the OS."""
+        self._file.flush()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()

@@ -1,0 +1,425 @@
+"""The TOM parties (data owner, service provider, client) and their façade.
+
+TOM is the paper's baseline (Figure 1): the DO builds the MB-tree over its
+dataset and signs the root digest; the SP maintains an identical copy of the
+ADS and answers every query with the result *and* a verification object; the
+client reconstructs the root digest from the VO and checks the signature.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.core.attacks import AttackModel, NoAttack
+from repro.core.dataset import Dataset
+from repro.core.tuples import digest_record
+from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
+from repro.crypto.digest import DigestScheme, default_scheme
+from repro.crypto.signatures import RSASigner, RSAVerifier, Signature, make_rsa_pair
+from repro.dbms.query import RangeQuery
+from repro.dbms.table import Table
+from repro.network.channel import NetworkTracker
+from repro.network.messages import (
+    DatasetTransfer,
+    QueryRequest,
+    ResultResponse,
+    UpdateNotification,
+    VOResponse,
+)
+from repro.storage.constants import DEFAULT_PAGE_SIZE
+from repro.storage.cost_model import AccessCounter, CostModel
+from repro.tom.mbtree import MBTree, MBTreeLayout
+from repro.tom.verification import VerificationReport, verify_vo
+from repro.tom.vo import VerificationObject
+
+
+class TomError(RuntimeError):
+    """Raised on protocol misuse in the TOM baseline."""
+
+
+class TomDataOwner:
+    """The TOM data owner: builds and signs the authenticated data structure."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        scheme: Optional[DigestScheme] = None,
+        signer: Optional[RSASigner] = None,
+        verifier: Optional[RSAVerifier] = None,
+        key_bits: int = 1024,
+        seed: Optional[int] = 2009,
+        network: Optional[NetworkTracker] = None,
+        name: str = "DO",
+    ):
+        self._dataset = dataset
+        self._scheme = scheme or default_scheme()
+        if signer is None or verifier is None:
+            signer, verifier = make_rsa_pair(bits=key_bits, seed=seed)
+        self._signer = signer
+        self._verifier = verifier
+        self._network = network or NetworkTracker()
+        self._name = name
+        self._provider: Optional["TomServiceProvider"] = None
+
+    @property
+    def dataset(self) -> Dataset:
+        """The authoritative dataset."""
+        return self._dataset
+
+    @property
+    def verifier(self) -> RSAVerifier:
+        """The public verifier clients use to check the root signature."""
+        return self._verifier
+
+    @property
+    def network(self) -> NetworkTracker:
+        """Byte-accounting network tracker."""
+        return self._network
+
+    def outsource(self, provider: "TomServiceProvider") -> None:
+        """Ship the dataset and the signed root digest to the SP.
+
+        Unlike in SAE, the DO must itself build (a copy of) the MB-tree in
+        order to produce the root signature -- this is exactly the
+        "defeating the purpose of outsourcing" drawback the paper points out.
+        """
+        transfer = DatasetTransfer(records=list(self._dataset.records))
+        self._network.channel(self._name, "SP").send(transfer)
+        provider.receive_dataset(self._dataset)
+        signature = self._signer.sign(provider.ads.root_digest())
+        provider.install_signature(signature)
+        self._provider = provider
+
+    def apply_updates(self, batch: UpdateBatch) -> None:
+        """Apply updates locally, forward them, and re-sign the new root digest."""
+        if self._provider is None:
+            raise TomError("outsource() must be called before applying updates")
+        for operation in batch:
+            if isinstance(operation, InsertRecord):
+                self._dataset.add(operation.fields)
+            elif isinstance(operation, DeleteRecord):
+                self._dataset.remove(operation.record_id)
+            elif isinstance(operation, ModifyRecord):
+                self._dataset.replace(operation.fields)
+            else:
+                raise TomError(f"unknown update operation {operation!r}")
+        self._network.channel(self._name, "SP").send(UpdateNotification(operations=list(batch)))
+        self._provider.apply_updates(batch)
+        signature = self._signer.sign(self._provider.ads.root_digest())
+        self._provider.install_signature(signature)
+
+
+class TomServiceProvider:
+    """The TOM service provider: dataset storage plus the MB-tree ADS."""
+
+    def __init__(
+        self,
+        scheme: Optional[DigestScheme] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        node_access_ms: float = None,
+        attack: Optional[AttackModel] = None,
+        index_fill_factor: float = 1.0,
+    ):
+        self._scheme = scheme or default_scheme()
+        self._page_size = page_size
+        self._index_fill_factor = index_fill_factor
+        self._counter = AccessCounter()
+        self._cost_model = CostModel(counter=self._counter)
+        if node_access_ms is not None:
+            self._cost_model.node_access_ms = node_access_ms
+        self._attack: AttackModel = attack or NoAttack()
+        self._dataset: Optional[Dataset] = None
+        self._records_by_rid = {}
+        self._table: Optional[Table] = None
+        self._ads: Optional[MBTree] = None
+        self._last_query_accesses = 0
+        self._last_query_cpu_ms = 0.0
+
+    # ------------------------------------------------------------------ configuration
+    @property
+    def ads(self) -> MBTree:
+        """The authenticated data structure (MB-tree)."""
+        if self._ads is None:
+            raise TomError("the service provider has not received a dataset yet")
+        return self._ads
+
+    @property
+    def counter(self) -> AccessCounter:
+        """Node-access counter shared by the ADS and the heap file."""
+        return self._counter
+
+    @property
+    def attack(self) -> AttackModel:
+        """The currently configured (mis)behaviour."""
+        return self._attack
+
+    @attack.setter
+    def attack(self, value: Optional[AttackModel]) -> None:
+        self._attack = value or NoAttack()
+
+    # ------------------------------------------------------------------ data management
+    def receive_dataset(self, dataset: Dataset) -> None:
+        """Store the dataset and build the MB-tree over it."""
+        self._dataset = dataset
+        self._table = Table(
+            dataset.schema,
+            page_size=self._page_size,
+            counter=self._counter,
+            index_fill_factor=self._index_fill_factor,
+        )
+        self._table.bulk_load(dataset.records)
+        layout = MBTreeLayout(page_size=self._page_size, digest_size=self._scheme.digest_size)
+        self._ads = MBTree(layout=layout, scheme=self._scheme, counter=self._counter)
+        triples = []
+        for record in dataset.records:
+            record_id = dataset.id_of(record)
+            triples.append(
+                (dataset.key_of(record), record_id, digest_record(record, self._scheme))
+            )
+        triples.sort(key=lambda triple: (triple[0], str(triple[1])))
+        self._ads.bulk_load(
+            triples, fill_factor=self._index_fill_factor
+        )
+
+    def install_signature(self, signature: Signature) -> None:
+        """Attach the data owner's root signature to the ADS."""
+        self.ads.signature = signature
+
+    def apply_updates(self, batch: UpdateBatch) -> None:
+        """Apply an update batch to the dataset storage and the ADS."""
+        if self._table is None or self._ads is None or self._dataset is None:
+            raise TomError("the service provider has not received a dataset yet")
+        schema = self._dataset.schema
+        for operation in batch:
+            if isinstance(operation, InsertRecord):
+                fields = operation.fields
+                self._table.insert(fields)
+                self._ads.insert(
+                    fields[schema.key_index],
+                    fields[schema.id_index],
+                    digest_record(fields, self._scheme),
+                )
+            elif isinstance(operation, DeleteRecord):
+                fields = self._table.get(operation.record_id, charge=False)
+                self._table.delete(operation.record_id)
+                self._ads.delete(fields[schema.key_index], operation.record_id)
+            elif isinstance(operation, ModifyRecord):
+                fields = operation.fields
+                old = self._table.get(fields[schema.id_index], charge=False)
+                self._table.update(fields)
+                self._ads.delete(old[schema.key_index], fields[schema.id_index])
+                self._ads.insert(
+                    fields[schema.key_index],
+                    fields[schema.id_index],
+                    digest_record(fields, self._scheme),
+                )
+            else:
+                raise TomError(f"unknown update operation {operation!r}")
+
+    # ------------------------------------------------------------------ queries
+    def execute(self, query: RangeQuery) -> Tuple[List[Tuple[Any, ...]], VerificationObject]:
+        """Answer a range query with the result and its verification object."""
+        if self._table is None or self._ads is None:
+            raise TomError("the service provider has not received a dataset yet")
+        before = self._counter.node_accesses
+        started = time.perf_counter()
+        matches, vo = self._ads.build_vo(
+            query.low,
+            query.high,
+            record_loader=lambda record_id: self._table.get(record_id, charge=True),
+        )
+        records = [self._table.get(record_id, charge=True) for _, record_id in matches]
+        self._last_query_cpu_ms = (time.perf_counter() - started) * 1000.0
+        self._last_query_accesses = self._counter.node_accesses - before
+        return self._attack.apply(records, query), vo
+
+    def query_only(self, query: RangeQuery) -> List[Tuple[Any, ...]]:
+        """Answer a range query through the ADS without building a VO.
+
+        Used by the processing-cost experiment (Figure 6), which compares the
+        SP's pure query cost under TOM (MB-tree) and SAE (B+-tree).
+        """
+        if self._table is None or self._ads is None:
+            raise TomError("the service provider has not received a dataset yet")
+        before = self._counter.node_accesses
+        started = time.perf_counter()
+        matches = self._ads.range_search(query.low, query.high)
+        records = [self._table.get(record_id, charge=True) for _, record_id in matches]
+        self._last_query_cpu_ms = (time.perf_counter() - started) * 1000.0
+        self._last_query_accesses = self._counter.node_accesses - before
+        return records
+
+    def index_only_accesses(self, query: RangeQuery) -> int:
+        """Node accesses of the MB-tree traversal and leaf scan alone."""
+        before = self._counter.node_accesses
+        self.ads.range_search(query.low, query.high)
+        return self._counter.node_accesses - before
+
+    def last_query_accesses(self) -> int:
+        """Node accesses charged by the most recent query."""
+        return self._last_query_accesses
+
+    def last_query_cost_ms(self, include_cpu: bool = False) -> float:
+        """Simulated cost of the most recent query in milliseconds."""
+        cost = self._cost_model.io_cost_ms(self._last_query_accesses)
+        if include_cpu:
+            cost += self._last_query_cpu_ms
+        return cost
+
+    # ------------------------------------------------------------------ reporting
+    def storage_bytes(self) -> int:
+        """Storage at the SP: dataset heap file + B+-tree + the MB-tree ADS."""
+        if self._table is None or self._ads is None:
+            raise TomError("the service provider has not received a dataset yet")
+        # In TOM the MB-tree *replaces* the conventional index on the query
+        # attribute: charge the heap file and the ADS.
+        return self._table.heap.size_bytes() + self._ads.size_bytes()
+
+
+class TomClient:
+    """The TOM client: reconstructs the root digest from the VO."""
+
+    def __init__(self, verifier: RSAVerifier, key_index: int,
+                 scheme: Optional[DigestScheme] = None):
+        self._verifier = verifier
+        self._key_index = key_index
+        self._scheme = scheme or default_scheme()
+
+    def verify(
+        self,
+        records: List[Tuple[Any, ...]],
+        vo: VerificationObject,
+        query: RangeQuery,
+    ) -> VerificationReport:
+        """Verify the result set against its VO and the owner's signature."""
+        started = time.perf_counter()
+        report = verify_vo(
+            vo,
+            records,
+            query.low,
+            query.high,
+            verifier=self._verifier,
+            key_index=self._key_index,
+            scheme=self._scheme,
+        )
+        report.details["cpu_ms"] = (time.perf_counter() - started) * 1000.0
+        return report
+
+
+@dataclass
+class TomQueryOutcome:
+    """Everything measured for a single verified TOM query."""
+
+    query: RangeQuery
+    records: List[Tuple[Any, ...]]
+    report: VerificationReport
+    sp_accesses: int
+    sp_cost_ms: float
+    auth_bytes: int
+    result_bytes: int
+    client_cpu_ms: float
+    vo: VerificationObject
+    details: dict = field(default_factory=dict)
+
+    @property
+    def verified(self) -> bool:
+        """Whether the client accepted the result."""
+        return self.report.ok
+
+    @property
+    def cardinality(self) -> int:
+        """Number of records the SP returned."""
+        return len(self.records)
+
+
+class TomSystem:
+    """A complete TOM deployment (DO + SP + client)."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        scheme: Optional[DigestScheme] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        node_access_ms: float = None,
+        attack: Optional[AttackModel] = None,
+        key_bits: int = 1024,
+        seed: Optional[int] = 2009,
+        index_fill_factor: float = 1.0,
+    ):
+        self._scheme = scheme or default_scheme()
+        self._network = NetworkTracker()
+        self._dataset = dataset
+        self.provider = TomServiceProvider(
+            scheme=self._scheme,
+            page_size=page_size,
+            node_access_ms=node_access_ms,
+            attack=attack,
+            index_fill_factor=index_fill_factor,
+        )
+        self.owner = TomDataOwner(
+            dataset,
+            scheme=self._scheme,
+            key_bits=key_bits,
+            seed=seed,
+            network=self._network,
+        )
+        self.client = TomClient(
+            verifier=self.owner.verifier,
+            key_index=dataset.schema.key_index,
+            scheme=self._scheme,
+        )
+        self._ready = False
+
+    def setup(self) -> "TomSystem":
+        """Run the outsourcing phase (build ADS, sign root, ship everything)."""
+        self.owner.outsource(self.provider)
+        self._ready = True
+        return self
+
+    @property
+    def network(self) -> NetworkTracker:
+        """The byte-accounting network tracker."""
+        return self._network
+
+    @property
+    def dataset(self) -> Dataset:
+        """The data owner's authoritative dataset."""
+        return self._dataset
+
+    def apply_updates(self, batch: UpdateBatch) -> None:
+        """Propagate an update batch from the DO to the SP (with re-signing)."""
+        self.owner.apply_updates(batch)
+
+    def query(self, low: Any, high: Any) -> TomQueryOutcome:
+        """Issue a verified range query through the TOM protocol."""
+        if not self._ready:
+            raise RuntimeError("setup() must be called before issuing queries")
+        query = RangeQuery(low=low, high=high, attribute=self._dataset.schema.key_column)
+        request = QueryRequest(query=query)
+        self._network.channel("client", "SP").send(request)
+        records, vo = self.provider.execute(query)
+        result_message = ResultResponse(records=records)
+        vo_message = VOResponse(vo=vo)
+        self._network.channel("SP", "client").send(result_message)
+        self._network.channel("SP", "client").send(vo_message)
+        report = self.client.verify(records, vo, query)
+        return TomQueryOutcome(
+            query=query,
+            records=records,
+            report=report,
+            sp_accesses=self.provider.last_query_accesses(),
+            sp_cost_ms=self.provider.last_query_cost_ms(),
+            auth_bytes=vo_message.payload_bytes(),
+            result_bytes=result_message.payload_bytes(),
+            client_cpu_ms=report.details.get("cpu_ms", 0.0),
+            vo=vo,
+        )
+
+    def storage_report(self) -> dict:
+        """Storage footprint at the SP (bytes)."""
+        return {
+            "sp_bytes": self.provider.storage_bytes(),
+            "dataset_bytes": self._dataset.size_bytes(),
+        }

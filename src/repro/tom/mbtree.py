@@ -1,0 +1,733 @@
+"""The MB-Tree: a Merkle-augmented B+-tree (the TOM authenticated data structure).
+
+"A leaf node entry in the MB-tree is associated with a digest computed on
+the binary representation of the corresponding record [...].  An
+intermediate node entry is associated with a digest computed on the
+concatenation of the digests in the page it points to.  The DO signs the
+digest h_root associated with the root." (Section I of the paper.)
+
+The tree supports:
+
+* :meth:`MBTree.bulk_load` and incremental :meth:`MBTree.insert` /
+  :meth:`MBTree.delete` with bottom-up digest repair;
+* :meth:`MBTree.range_search` -- the plain query path (used for the SP
+  processing-cost experiments);
+* :meth:`MBTree.build_vo` -- range query plus verification-object
+  construction (boundary records, pruned-sibling digests);
+* :meth:`MBTree.root_digest` -- the value the data owner signs;
+* :meth:`MBTree.validate` -- full structural and digest invariant check.
+
+Because every entry additionally carries a 20-byte digest, the MB-tree's
+fanout is lower than the plain B+-tree's; this is the mechanism behind the
+24-39 % higher SP cost of TOM in Figure 6.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.crypto.digest import Digest, DigestScheme, default_scheme
+from repro.storage.constants import DEFAULT_PAGE_SIZE
+from repro.storage.cost_model import AccessCounter
+from repro.tom.vo import (
+    VerificationObject,
+    VOBoundary,
+    VODigest,
+    VOItem,
+    VOResultMarker,
+    VOSubtree,
+)
+from repro.crypto.signatures import Signature
+
+
+class MBTreeError(ValueError):
+    """Raised on invalid MB-tree operations or broken invariants."""
+
+
+@dataclass(frozen=True)
+class MBTreeLayout:
+    """Byte layout of MB-tree entries.
+
+    Every entry (leaf or internal) carries a digest in addition to the key
+    and pointer, so both fanouts are lower than the plain B+-tree's.
+    """
+
+    page_size: int = DEFAULT_PAGE_SIZE
+    key_size: int = 4
+    pointer_size: int = 8
+    digest_size: int = 20
+    header_size: int = 24
+
+    @property
+    def leaf_entry_size(self) -> int:
+        """Bytes per leaf entry: key + record pointer + record digest."""
+        return self.key_size + self.pointer_size + self.digest_size
+
+    @property
+    def internal_entry_size(self) -> int:
+        """Bytes per internal entry: key + child pointer + child digest."""
+        return self.key_size + self.pointer_size + self.digest_size
+
+    @property
+    def leaf_capacity(self) -> int:
+        """Maximum entries per leaf node."""
+        return max(3, (self.page_size - self.header_size) // self.leaf_entry_size)
+
+    @property
+    def internal_capacity(self) -> int:
+        """Maximum separator keys per internal node."""
+        return max(
+            3,
+            (self.page_size - self.header_size - self.pointer_size - self.digest_size)
+            // self.internal_entry_size,
+        )
+
+
+class MBLeafNode:
+    """Leaf node: parallel arrays of keys, record ids and record digests."""
+
+    __slots__ = ("keys", "rids", "digests", "next_leaf")
+
+    def __init__(self):
+        self.keys: List[Any] = []
+        self.rids: List[Any] = []
+        self.digests: List[Digest] = []
+        self.next_leaf: Optional["MBLeafNode"] = None
+
+    is_leaf = True
+
+    def entry_digests(self) -> List[Digest]:
+        """Digests of this node's entries (the record digests)."""
+        return self.digests
+
+
+class MBInternalNode:
+    """Internal node: separator keys plus per-child pointers and digests."""
+
+    __slots__ = ("keys", "children", "child_digests")
+
+    def __init__(self):
+        self.keys: List[Any] = []
+        self.children: List[Any] = []
+        self.child_digests: List[Digest] = []
+
+    is_leaf = False
+
+    def entry_digests(self) -> List[Digest]:
+        """Digests of this node's entries (one per child)."""
+        return self.child_digests
+
+
+class MBTree:
+    """The Merkle B+-tree used by the TOM data owner and service provider."""
+
+    def __init__(
+        self,
+        layout: Optional[MBTreeLayout] = None,
+        scheme: Optional[DigestScheme] = None,
+        counter: Optional[AccessCounter] = None,
+    ):
+        self._layout = layout or MBTreeLayout()
+        self._scheme = scheme or default_scheme()
+        self._counter = counter or AccessCounter()
+        self._root: Any = MBLeafNode()
+        self._height = 1
+        self._num_entries = 0
+        self._num_leaves = 1
+        self._num_internal = 0
+        self._signature: Optional[Signature] = None
+
+    # ------------------------------------------------------------------ meta
+    @property
+    def layout(self) -> MBTreeLayout:
+        """Byte layout used to derive capacities and storage size."""
+        return self._layout
+
+    @property
+    def scheme(self) -> DigestScheme:
+        """Digest scheme used for node digests."""
+        return self._scheme
+
+    @property
+    def counter(self) -> AccessCounter:
+        """Node-access counter charged by traversals."""
+        return self._counter
+
+    @property
+    def leaf_capacity(self) -> int:
+        """Maximum entries per leaf node."""
+        return self._layout.leaf_capacity
+
+    @property
+    def internal_capacity(self) -> int:
+        """Maximum separator keys per internal node."""
+        return self._layout.internal_capacity
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a single leaf)."""
+        return self._height
+
+    @property
+    def num_entries(self) -> int:
+        """Number of indexed records."""
+        return self._num_entries
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes (pages)."""
+        return self._num_leaves + self._num_internal
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaf nodes."""
+        return self._num_leaves
+
+    @property
+    def signature(self) -> Optional[Signature]:
+        """The data owner's signature over the current root digest (if set)."""
+        return self._signature
+
+    @signature.setter
+    def signature(self, value: Signature) -> None:
+        self._signature = value
+
+    def size_bytes(self) -> int:
+        """Storage footprint: one page per node, plus the root signature."""
+        signature_bytes = self._signature.size if self._signature is not None else 0
+        return self.num_nodes * self._layout.page_size + signature_bytes
+
+    def __len__(self) -> int:
+        return self._num_entries
+
+    # ------------------------------------------------------------------ digests
+    def node_digest(self, node: Any) -> Digest:
+        """Digest of a node: hash of the concatenation of its entry digests."""
+        payload = b"".join(d.raw for d in node.entry_digests())
+        return self._scheme.hash(payload)
+
+    def root_digest(self) -> Digest:
+        """The digest the data owner signs (``h_root`` in the paper)."""
+        return self.node_digest(self._root)
+
+    def _refresh_child_digest(self, parent: MBInternalNode, index: int) -> None:
+        if 0 <= index < len(parent.children):
+            parent.child_digests[index] = self.node_digest(parent.children[index])
+
+    # ------------------------------------------------------------------ search
+    def _charge(self, count: int = 1) -> None:
+        self._counter.record_node_access(count)
+
+    def _find_leaf(self, key: Any, charge: bool = True) -> MBLeafNode:
+        node = self._root
+        if charge:
+            self._charge()
+        while not node.is_leaf:
+            index = bisect.bisect_left(node.keys, key)
+            node = node.children[index]
+            if charge:
+                self._charge()
+        return node
+
+    def range_search(self, low: Any, high: Any) -> List[Tuple[Any, Any]]:
+        """Plain range query: all ``(key, rid)`` with ``low <= key <= high``."""
+        if low > high:
+            return []
+        results: List[Tuple[Any, Any]] = []
+        leaf = self._find_leaf(low)
+        while leaf is not None:
+            start = bisect.bisect_left(leaf.keys, low)
+            for index in range(start, len(leaf.keys)):
+                key = leaf.keys[index]
+                if key > high:
+                    return results
+                results.append((key, leaf.rids[index]))
+            if leaf.keys and leaf.keys[-1] > high:
+                return results
+            leaf = leaf.next_leaf
+            if leaf is not None:
+                self._charge()
+        return results
+
+    def items(self) -> Iterator[Tuple[Any, Any, Digest]]:
+        """Iterate over ``(key, rid, digest)`` in key order (no access charges)."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        while node is not None:
+            for key, rid, digest in zip(node.keys, node.rids, node.digests):
+                yield key, rid, digest
+            node = node.next_leaf
+
+    # ------------------------------------------------------------------ insert
+    def insert(self, key: Any, rid: Any, digest: Digest) -> None:
+        """Insert one record entry and repair digests along the path."""
+        if not isinstance(digest, Digest):
+            raise MBTreeError("the MB-tree stores Digest objects; got " + type(digest).__name__)
+        self._charge()
+        split = self._insert_recursive(self._root, key, rid, digest)
+        if split is not None:
+            separator, right = split
+            new_root = MBInternalNode()
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            new_root.child_digests = [self.node_digest(self._root), self.node_digest(right)]
+            self._root = new_root
+            self._height += 1
+            self._num_internal += 1
+        self._num_entries += 1
+
+    def _insert_recursive(self, node: Any, key: Any, rid: Any, digest: Digest):
+        if node.is_leaf:
+            index = bisect.bisect_right(node.keys, key)
+            node.keys.insert(index, key)
+            node.rids.insert(index, rid)
+            node.digests.insert(index, digest)
+            if len(node.keys) > self.leaf_capacity:
+                return self._split_leaf(node)
+            return None
+
+        index = bisect.bisect_right(node.keys, key)
+        self._charge()
+        split = self._insert_recursive(node.children[index], key, rid, digest)
+        if split is not None:
+            separator, right = split
+            node.keys.insert(index, separator)
+            node.children.insert(index + 1, right)
+            node.child_digests.insert(index + 1, self.node_digest(right))
+        self._refresh_child_digest(node, index)
+        if split is not None:
+            self._refresh_child_digest(node, index + 1)
+        if len(node.keys) > self.internal_capacity:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, leaf: MBLeafNode):
+        mid = len(leaf.keys) // 2
+        right = MBLeafNode()
+        right.keys = leaf.keys[mid:]
+        right.rids = leaf.rids[mid:]
+        right.digests = leaf.digests[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.rids = leaf.rids[:mid]
+        leaf.digests = leaf.digests[:mid]
+        right.next_leaf = leaf.next_leaf
+        leaf.next_leaf = right
+        self._num_leaves += 1
+        return right.keys[0], right
+
+    def _split_internal(self, node: MBInternalNode):
+        mid = len(node.keys) // 2
+        separator = node.keys[mid]
+        right = MBInternalNode()
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        right.child_digests = node.child_digests[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        node.child_digests = node.child_digests[:mid + 1]
+        self._num_internal += 1
+        return separator, right
+
+    # ------------------------------------------------------------------ delete
+    def delete(self, key: Any, rid: Any = None) -> None:
+        """Delete one entry with ``key`` (and ``rid``, when given) and repair digests."""
+        self._charge()
+        removed = self._delete_recursive(self._root, key, rid)
+        if not removed:
+            raise MBTreeError(f"key {key!r} (rid {rid!r}) not found")
+        if not self._root.is_leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+            self._height -= 1
+            self._num_internal -= 1
+        self._num_entries -= 1
+
+    def _delete_recursive(self, node: Any, key: Any, rid: Any) -> bool:
+        if node.is_leaf:
+            index = bisect.bisect_left(node.keys, key)
+            while index < len(node.keys) and node.keys[index] == key:
+                if rid is None or node.rids[index] == rid:
+                    node.keys.pop(index)
+                    node.rids.pop(index)
+                    node.digests.pop(index)
+                    return True
+                index += 1
+            return False
+
+        index = bisect.bisect_left(node.keys, key)
+        removed = False
+        while index < len(node.children):
+            child = node.children[index]
+            self._charge()
+            removed = self._delete_recursive(child, key, rid)
+            if removed:
+                break
+            if index >= len(node.keys) or node.keys[index] > key:
+                break
+            index += 1
+        if not removed:
+            return False
+        self._rebalance_child(node, index)
+        return True
+
+    def _min_leaf_entries(self) -> int:
+        return max(1, self.leaf_capacity // 2)
+
+    def _min_internal_keys(self) -> int:
+        return max(1, self.internal_capacity // 2)
+
+    def _rebalance_child(self, parent: MBInternalNode, index: int) -> None:
+        child = parent.children[index]
+        underfull = (
+            len(child.keys) < self._min_leaf_entries()
+            if child.is_leaf
+            else len(child.keys) < self._min_internal_keys()
+        )
+        if not underfull:
+            self._refresh_separators_and_digests(parent, index)
+            return
+
+        left_sibling = parent.children[index - 1] if index > 0 else None
+        right_sibling = parent.children[index + 1] if index + 1 < len(parent.children) else None
+
+        if child.is_leaf:
+            if left_sibling is not None and len(left_sibling.keys) > self._min_leaf_entries():
+                child.keys.insert(0, left_sibling.keys.pop())
+                child.rids.insert(0, left_sibling.rids.pop())
+                child.digests.insert(0, left_sibling.digests.pop())
+                parent.keys[index - 1] = child.keys[0]
+            elif right_sibling is not None and len(right_sibling.keys) > self._min_leaf_entries():
+                child.keys.append(right_sibling.keys.pop(0))
+                child.rids.append(right_sibling.rids.pop(0))
+                child.digests.append(right_sibling.digests.pop(0))
+                parent.keys[index] = right_sibling.keys[0]
+            elif left_sibling is not None:
+                left_sibling.keys.extend(child.keys)
+                left_sibling.rids.extend(child.rids)
+                left_sibling.digests.extend(child.digests)
+                left_sibling.next_leaf = child.next_leaf
+                parent.keys.pop(index - 1)
+                parent.children.pop(index)
+                parent.child_digests.pop(index)
+                self._num_leaves -= 1
+            elif right_sibling is not None:
+                child.keys.extend(right_sibling.keys)
+                child.rids.extend(right_sibling.rids)
+                child.digests.extend(right_sibling.digests)
+                child.next_leaf = right_sibling.next_leaf
+                parent.keys.pop(index)
+                parent.children.pop(index + 1)
+                parent.child_digests.pop(index + 1)
+                self._num_leaves -= 1
+        else:
+            if left_sibling is not None and len(left_sibling.keys) > self._min_internal_keys():
+                child.keys.insert(0, parent.keys[index - 1])
+                parent.keys[index - 1] = left_sibling.keys.pop()
+                child.children.insert(0, left_sibling.children.pop())
+                child.child_digests.insert(0, left_sibling.child_digests.pop())
+            elif right_sibling is not None and len(right_sibling.keys) > self._min_internal_keys():
+                child.keys.append(parent.keys[index])
+                parent.keys[index] = right_sibling.keys.pop(0)
+                child.children.append(right_sibling.children.pop(0))
+                child.child_digests.append(right_sibling.child_digests.pop(0))
+            elif left_sibling is not None:
+                left_sibling.keys.append(parent.keys[index - 1])
+                left_sibling.keys.extend(child.keys)
+                left_sibling.children.extend(child.children)
+                left_sibling.child_digests.extend(child.child_digests)
+                parent.keys.pop(index - 1)
+                parent.children.pop(index)
+                parent.child_digests.pop(index)
+                self._num_internal -= 1
+            elif right_sibling is not None:
+                child.keys.append(parent.keys[index])
+                child.keys.extend(right_sibling.keys)
+                child.children.extend(right_sibling.children)
+                child.child_digests.extend(right_sibling.child_digests)
+                parent.keys.pop(index)
+                parent.children.pop(index + 1)
+                parent.child_digests.pop(index + 1)
+                self._num_internal -= 1
+        self._refresh_separators_and_digests(parent, index)
+
+    @staticmethod
+    def _leftmost_key(node: Any) -> Any:
+        while not node.is_leaf:
+            node = node.children[0]
+        return node.keys[0] if node.keys else None
+
+    def _refresh_separators_and_digests(self, parent: MBInternalNode, index: int) -> None:
+        for key_index in range(len(parent.keys)):
+            leftmost = self._leftmost_key(parent.children[key_index + 1])
+            if leftmost is not None:
+                parent.keys[key_index] = leftmost
+        for child_index in range(max(0, index - 1), min(len(parent.children), index + 2)):
+            self._refresh_child_digest(parent, child_index)
+
+    # ------------------------------------------------------------------ bulk load
+    def bulk_load(self, items: Sequence[Tuple[Any, Any, Digest]], fill_factor: float = 1.0) -> None:
+        """Rebuild the tree from ``(key, rid, digest)`` triples sorted by key."""
+        if self._num_entries:
+            raise MBTreeError("bulk_load requires an empty tree")
+        items = list(items)
+        for i in range(1, len(items)):
+            if items[i][0] < items[i - 1][0]:
+                raise MBTreeError("bulk_load input must be sorted by key")
+        if not items:
+            return
+
+        per_leaf = max(2, int(self.leaf_capacity * fill_factor))
+        per_internal = max(2, int(self.internal_capacity * fill_factor))
+
+        leaves: List[MBLeafNode] = []
+        for start in range(0, len(items), per_leaf):
+            chunk = items[start:start + per_leaf]
+            leaf = MBLeafNode()
+            leaf.keys = [key for key, _, _ in chunk]
+            leaf.rids = [rid for _, rid, _ in chunk]
+            leaf.digests = [digest for _, _, digest in chunk]
+            if leaves:
+                leaves[-1].next_leaf = leaf
+            leaves.append(leaf)
+        if len(leaves) >= 2 and len(leaves[-1].keys) < max(1, per_leaf // 2):
+            last, prev = leaves[-1], leaves[-2]
+            keys = prev.keys + last.keys
+            rids = prev.rids + last.rids
+            digests = prev.digests + last.digests
+            half = len(keys) // 2
+            prev.keys, prev.rids, prev.digests = keys[:half], rids[:half], digests[:half]
+            last.keys, last.rids, last.digests = keys[half:], rids[half:], digests[half:]
+
+        self._num_leaves = len(leaves)
+        self._num_internal = 0
+        self._num_entries = len(items)
+
+        level: List[Any] = list(leaves)
+        height = 1
+        while len(level) > 1:
+            parents: List[MBInternalNode] = []
+            for start in range(0, len(level), per_internal + 1):
+                group = level[start:start + per_internal + 1]
+                parent = MBInternalNode()
+                parent.children = group
+                parent.keys = [self._leftmost_key(child) for child in group[1:]]
+                parent.child_digests = [self.node_digest(child) for child in group]
+                parents.append(parent)
+            if len(parents) >= 2 and len(parents[-1].children) == 1:
+                lonely = parents.pop()
+                parents[-1].children.extend(lonely.children)
+                parents[-1].child_digests.extend(lonely.child_digests)
+                parents[-1].keys.append(self._leftmost_key(lonely.children[0]))
+            self._num_internal += len(parents)
+            level = parents
+            height += 1
+        self._root = level[0]
+        self._height = height
+
+    # ------------------------------------------------------------------ VO construction
+    def build_vo(
+        self,
+        low: Any,
+        high: Any,
+        record_loader: Callable[[Any], Sequence[Any]],
+        signature: Optional[Signature] = None,
+    ) -> Tuple[List[Tuple[Any, Any]], VerificationObject]:
+        """Answer the range query and build its verification object.
+
+        Parameters
+        ----------
+        low, high:
+            Inclusive query bounds.
+        record_loader:
+            Callback mapping a record id to the full record fields; used to
+            embed the two boundary records in the VO.
+        signature:
+            The data owner's signature over the root digest.  Defaults to
+            the signature previously attached to the tree.
+
+        Returns
+        -------
+        (result, vo):
+            ``result`` is the list of qualifying ``(key, rid)`` pairs in key
+            order; ``vo`` is the :class:`VerificationObject`.
+        """
+        signature = signature if signature is not None else self._signature
+        if signature is None:
+            raise MBTreeError("cannot build a VO without the owner's signature on the root digest")
+
+        result = self.range_search(low, high)
+        left_boundary = self._predecessor_entry(low)
+        right_boundary = self._successor_entry(high)
+
+        included_rids = {rid for _, rid in result}
+        boundary_rids = {}
+        include_low, include_high = low, high
+        if left_boundary is not None:
+            boundary_rids[left_boundary[1]] = left_boundary[0]
+            included_rids.add(left_boundary[1])
+            include_low = left_boundary[0]
+        if right_boundary is not None:
+            boundary_rids[right_boundary[1]] = right_boundary[0]
+            included_rids.add(right_boundary[1])
+            include_high = right_boundary[0]
+
+        items = self._build_vo_node(
+            self._root, include_low, include_high, low, high,
+            included_rids, boundary_rids, record_loader,
+        )
+        vo = VerificationObject(
+            items=tuple(items),
+            is_leaf_root=self._root.is_leaf,
+            signature=signature,
+            query_low=low,
+            query_high=high,
+        )
+        return result, vo
+
+    def _predecessor_entry(self, low: Any) -> Optional[Tuple[Any, Any]]:
+        """The ``(key, rid)`` of the last entry with key strictly below ``low``."""
+        node = self._root
+        best: Optional[Tuple[Any, Any]] = None
+        self._charge()
+        while not node.is_leaf:
+            index = bisect.bisect_left(node.keys, low)
+            node = node.children[index]
+            self._charge()
+        index = bisect.bisect_left(node.keys, low)
+        if index > 0:
+            return node.keys[index - 1], node.rids[index - 1]
+        # The predecessor (if any) is the last entry of some preceding leaf;
+        # locate it with a second descent biased to the left of ``low``.
+        node = self._root
+        while not node.is_leaf:
+            index = bisect.bisect_left(node.keys, low)
+            if index > 0:
+                candidate = node.children[index - 1]
+                self._charge()
+                best = self._rightmost_entry_below(candidate, low)
+                if best is not None:
+                    return best
+            node = node.children[index]
+            self._charge()
+        return best
+
+    def _rightmost_entry_below(self, node: Any, low: Any) -> Optional[Tuple[Any, Any]]:
+        while not node.is_leaf:
+            node = node.children[-1]
+            self._charge()
+        for index in range(len(node.keys) - 1, -1, -1):
+            if node.keys[index] < low:
+                return node.keys[index], node.rids[index]
+        return None
+
+    def _successor_entry(self, high: Any) -> Optional[Tuple[Any, Any]]:
+        """The ``(key, rid)`` of the first entry with key strictly above ``high``."""
+        leaf = self._find_leaf(high)
+        while leaf is not None:
+            for index, key in enumerate(leaf.keys):
+                if key > high:
+                    return key, leaf.rids[index]
+            leaf = leaf.next_leaf
+            if leaf is not None:
+                self._charge()
+        return None
+
+    def _build_vo_node(
+        self,
+        node: Any,
+        include_low: Any,
+        include_high: Any,
+        low: Any,
+        high: Any,
+        included_rids: set,
+        boundary_rids: dict,
+        record_loader: Callable[[Any], Sequence[Any]],
+    ) -> List[VOItem]:
+        items: List[VOItem] = []
+        if node.is_leaf:
+            for key, rid, digest in zip(node.keys, node.rids, node.digests):
+                if rid in included_rids and low <= key <= high:
+                    items.append(VOResultMarker())
+                elif rid in boundary_rids and boundary_rids[rid] == key:
+                    items.append(VOBoundary(fields=tuple(record_loader(rid))))
+                else:
+                    items.append(VODigest(digest=digest.raw))
+            return items
+
+        for index, child in enumerate(node.children):
+            child_low = node.keys[index - 1] if index > 0 else None
+            child_high = node.keys[index] if index < len(node.keys) else None
+            prune = False
+            if child_low is not None and child_low > include_high:
+                prune = True
+            if child_high is not None and child_high < include_low:
+                prune = True
+            if prune:
+                items.append(VODigest(digest=node.child_digests[index].raw))
+            else:
+                self._charge()
+                child_items = self._build_vo_node(
+                    child, include_low, include_high, low, high,
+                    included_rids, boundary_rids, record_loader,
+                )
+                items.append(VOSubtree(items=tuple(child_items), is_leaf=child.is_leaf))
+        return items
+
+    # ------------------------------------------------------------------ validation
+    def validate(self) -> None:
+        """Check ordering, balance and digest invariants of the entire tree."""
+        leaves: List[MBLeafNode] = []
+        self._validate_node(self._root, None, None, self._height, leaves)
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        chained = []
+        while node is not None:
+            chained.append(node)
+            node = node.next_leaf
+        if chained != leaves:
+            raise MBTreeError("leaf chain does not match tree traversal order")
+        total = sum(len(leaf.keys) for leaf in leaves)
+        if total != self._num_entries:
+            raise MBTreeError(
+                f"entry count mismatch: counted {total}, recorded {self._num_entries}"
+            )
+        all_keys = [key for leaf in leaves for key in leaf.keys]
+        if all_keys != sorted(all_keys):
+            raise MBTreeError("keys are not globally sorted")
+
+    def _validate_node(self, node: Any, low: Any, high: Any, depth: int,
+                       leaves: List[MBLeafNode]) -> None:
+        if node.is_leaf:
+            if depth != 1:
+                raise MBTreeError("leaves are not all at the same depth")
+            if node.keys != sorted(node.keys):
+                raise MBTreeError("leaf keys are not sorted")
+            if not (len(node.keys) == len(node.rids) == len(node.digests)):
+                raise MBTreeError("leaf parallel arrays have inconsistent lengths")
+            for key in node.keys:
+                if low is not None and key < low:
+                    raise MBTreeError(f"leaf key {key!r} below lower bound {low!r}")
+                if high is not None and key > high:
+                    raise MBTreeError(f"leaf key {key!r} above upper bound {high!r}")
+            leaves.append(node)
+            return
+        if len(node.children) != len(node.keys) + 1:
+            raise MBTreeError("internal node children/keys arity mismatch")
+        if len(node.child_digests) != len(node.children):
+            raise MBTreeError("internal node digests/children arity mismatch")
+        if node.keys != sorted(node.keys):
+            raise MBTreeError("internal keys are not sorted")
+        for index, child in enumerate(node.children):
+            stored = node.child_digests[index]
+            expected = self.node_digest(child)
+            if stored != expected:
+                raise MBTreeError(
+                    f"child digest mismatch at position {index}: "
+                    f"stored {stored.hex()[:12]}, recomputed {expected.hex()[:12]}"
+                )
+            child_low = node.keys[index - 1] if index > 0 else low
+            child_high = node.keys[index] if index < len(node.keys) else high
+            self._validate_node(child, child_low, child_high, depth - 1, leaves)

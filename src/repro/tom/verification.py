@@ -1,0 +1,252 @@
+"""Client-side verification of TOM verification objects.
+
+The client receives the result set from the SP together with a VO.  It
+re-derives the MB-tree root digest bottom-up: result records and boundary
+records are hashed locally, pruned entries contribute the digests embedded
+in the VO, and each expanded node's digest is the hash of the concatenation
+of its items' digests.  The reconstructed root digest is checked against the
+data owner's signature.
+
+Soundness follows from collision resistance (a tampered or fabricated record
+would change a leaf digest and hence the root).  Completeness follows from
+the two boundary records plus the *contiguity* of the revealed block: every
+pruned digest lies entirely before the left boundary or after the right
+boundary in key order, so it cannot hide a qualifying record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.crypto.digest import Digest, DigestScheme, default_scheme
+from repro.crypto.encoding import encode_record
+from repro.crypto.signatures import Verifier
+from repro.tom.vo import (
+    VerificationObject,
+    VOBoundary,
+    VODigest,
+    VOItem,
+    VOResultMarker,
+    VOSubtree,
+)
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a TOM client verification."""
+
+    ok: bool
+    reason: str = "verified"
+    records_hashed: int = 0
+    digests_supplied: int = 0
+    boundaries: int = 0
+    recomputed_root: Optional[Digest] = None
+    details: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+class _Walker:
+    """Single in-order pass over the VO: digest reconstruction plus bookkeeping."""
+
+    def __init__(self, result_records: Sequence[Sequence[Any]], key_index: int,
+                 scheme: DigestScheme):
+        self.result_records = list(result_records)
+        self.key_index = key_index
+        self.scheme = scheme
+        self.next_record = 0
+        self.records_hashed = 0
+        self.digests_supplied = 0
+        self.flat_kinds: List[str] = []          # "digest", "marker", "boundary"
+        self.boundary_keys: List[Tuple[int, Any]] = []  # (flat position, key)
+        self.error: Optional[str] = None
+
+    def node_digest(self, items: Sequence[VOItem]) -> Digest:
+        payload = b""
+        for item in items:
+            digest = self.item_digest(item)
+            if digest is None:
+                return self.scheme.zero()
+            payload += digest.raw
+        return self.scheme.hash(payload)
+
+    def item_digest(self, item: VOItem) -> Optional[Digest]:
+        if self.error is not None:
+            return None
+        if isinstance(item, VODigest):
+            self.flat_kinds.append("digest")
+            self.digests_supplied += 1
+            try:
+                return self.scheme.from_bytes(item.digest)
+            except Exception:
+                self.error = "malformed digest in VO"
+                return None
+        if isinstance(item, VOResultMarker):
+            self.flat_kinds.append("marker")
+            if self.next_record >= len(self.result_records):
+                self.error = "VO references more result records than were returned"
+                return None
+            record = self.result_records[self.next_record]
+            self.next_record += 1
+            self.records_hashed += 1
+            return self.scheme.hash(encode_record(record))
+        if isinstance(item, VOBoundary):
+            position = len(self.flat_kinds)
+            self.flat_kinds.append("boundary")
+            try:
+                key = item.fields[self.key_index]
+            except (IndexError, TypeError):
+                self.error = "boundary record does not contain the query attribute"
+                return None
+            self.boundary_keys.append((position, key))
+            self.records_hashed += 1
+            return self.scheme.hash(encode_record(item.fields))
+        if isinstance(item, VOSubtree):
+            return self.node_digest(item.items)
+        self.error = f"unknown VO item type {type(item).__name__}"
+        return None
+
+
+def verify_vo(
+    vo: VerificationObject,
+    result_records: Sequence[Sequence[Any]],
+    low: Any,
+    high: Any,
+    verifier: Verifier,
+    key_index: int,
+    scheme: Optional[DigestScheme] = None,
+) -> VerificationReport:
+    """Verify a TOM result set against its verification object.
+
+    Parameters
+    ----------
+    vo:
+        The verification object returned by the SP.
+    result_records:
+        The full result records, in the order the SP returned them.
+    low, high:
+        The range-query bounds the client asked for.
+    verifier:
+        Signature verifier holding the data owner's public key.
+    key_index:
+        Position of the query attribute within each record.
+    scheme:
+        Digest scheme (defaults to the paper's 20-byte digests).
+
+    Returns
+    -------
+    VerificationReport
+        ``ok`` is ``True`` only if the result is provably sound and complete.
+    """
+    scheme = scheme or default_scheme()
+    walker = _Walker(result_records, key_index, scheme)
+
+    root_digest = walker.node_digest(vo.items)
+    if walker.error is not None:
+        return _failure(walker, walker.error)
+
+    # 1. Signature check over the reconstructed root digest.
+    if not verifier.verify(root_digest, vo.signature):
+        return _failure(walker, "root digest does not match the owner's signature",
+                        recomputed_root=root_digest)
+
+    # 2. Every returned record must have been consumed by a marker, and
+    #    every marker must have consumed a record.
+    if walker.next_record != len(walker.result_records):
+        return _failure(
+            walker,
+            f"{len(walker.result_records) - walker.next_record} returned records are not "
+            "covered by the VO",
+            recomputed_root=root_digest,
+        )
+
+    # 3. Every result record's key must satisfy the query.
+    for record in walker.result_records:
+        try:
+            key = record[key_index]
+        except (IndexError, TypeError):
+            return _failure(walker, "result record does not contain the query attribute",
+                            recomputed_root=root_digest)
+        if not (low <= key <= high):
+            return _failure(walker, f"result record key {key!r} is outside the query range",
+                            recomputed_root=root_digest)
+
+    # 4. Completeness: the revealed block must be contiguous and anchored by
+    #    boundary records (or by the edges of the tree).
+    kinds = walker.flat_kinds
+    non_digest_positions = [i for i, kind in enumerate(kinds) if kind != "digest"]
+    if non_digest_positions:
+        first, last = non_digest_positions[0], non_digest_positions[-1]
+        if any(kinds[i] == "digest" for i in range(first, last + 1)):
+            return _failure(walker, "pruned digests interleave the revealed block "
+                                    "(possible hidden qualifying records)",
+                            recomputed_root=root_digest)
+        left_anchor = kinds[first] == "boundary"
+        right_anchor = kinds[last] == "boundary"
+        if not left_anchor and first != 0:
+            return _failure(walker, "no left boundary record and the result does not start "
+                                    "at the beginning of the dataset",
+                            recomputed_root=root_digest)
+        if not right_anchor and last != len(kinds) - 1:
+            return _failure(walker, "no right boundary record and the result does not end "
+                                    "at the end of the dataset",
+                            recomputed_root=root_digest)
+    else:
+        # No markers and no boundaries: only valid for an empty dataset.
+        if kinds and len(walker.result_records) == 0:
+            return _failure(walker, "empty result with no boundary records over a "
+                                    "non-empty dataset",
+                            recomputed_root=root_digest)
+
+    # 5. Boundary keys must actually lie outside the query range, on the
+    #    correct side of the revealed block.
+    marker_positions = [i for i, kind in enumerate(kinds) if kind == "marker"]
+    first_marker = marker_positions[0] if marker_positions else None
+    last_marker = marker_positions[-1] if marker_positions else None
+    if len(walker.boundary_keys) > 2:
+        return _failure(walker, "more than two boundary records in the VO",
+                        recomputed_root=root_digest)
+    for position, key in walker.boundary_keys:
+        if first_marker is None:
+            # Empty result: one boundary below the range, one above.
+            if not (key < low or key > high):
+                return _failure(walker, f"boundary key {key!r} lies inside the query range",
+                                recomputed_root=root_digest)
+        elif position < first_marker:
+            if not (key < low):
+                return _failure(walker, f"left boundary key {key!r} is not below the query range",
+                                recomputed_root=root_digest)
+        elif position > last_marker:
+            if not (key > high):
+                return _failure(walker, f"right boundary key {key!r} is not above the query range",
+                                recomputed_root=root_digest)
+        else:
+            return _failure(walker, "boundary record appears inside the result block",
+                            recomputed_root=root_digest)
+    if first_marker is None and len(walker.boundary_keys) == 2:
+        keys = [key for _, key in walker.boundary_keys]
+        if not (keys[0] < low and keys[1] > high):
+            return _failure(walker, "empty result is not enclosed by boundary records",
+                            recomputed_root=root_digest)
+
+    return VerificationReport(
+        ok=True,
+        reason="verified",
+        records_hashed=walker.records_hashed,
+        digests_supplied=walker.digests_supplied,
+        boundaries=len(walker.boundary_keys),
+        recomputed_root=root_digest,
+    )
+
+
+def _failure(walker: _Walker, reason: str, recomputed_root: Optional[Digest] = None) -> VerificationReport:
+    return VerificationReport(
+        ok=False,
+        reason=reason,
+        records_hashed=walker.records_hashed,
+        digests_supplied=walker.digests_supplied,
+        boundaries=len(walker.boundary_keys),
+        recomputed_root=recomputed_root,
+    )

@@ -1,0 +1,125 @@
+"""Verification-object (VO) structure for the TOM baseline.
+
+The VO mirrors the part of the MB-tree the service provider exposes for a
+range query (Section I of the paper): boundary records, digests of the
+pruned siblings along the two boundary paths, and the data owner's signature
+on the root digest.  We represent it as a small tree of items so that the
+client can re-derive the root digest with a single in-order walk:
+
+* :class:`VODigest` -- an opaque digest of a pruned entry (a whole subtree at
+  internal levels, or a single non-qualifying record at the leaf level);
+* :class:`VOResultMarker` -- "the next record of the result set goes here";
+  the client hashes the received record itself;
+* :class:`VOBoundary` -- a full boundary record embedded in the VO (the
+  record immediately before / after the result in key order);
+* :class:`VOSubtree` -- an expanded child node.
+
+The byte-size accounting matches the paper's Figure 5: digests are charged
+at the digest size, boundary records at their encoded record size, structure
+at one byte per item, and the signature at its full length.  Result records
+are *not* charged (the figure excludes the cost of transmitting the result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence, Tuple, Union
+
+from repro.crypto.encoding import encode_record
+from repro.crypto.signatures import Signature
+
+#: Overhead charged per VO item for the structural tag byte.
+ITEM_TAG_BYTES = 1
+
+
+@dataclass(frozen=True)
+class VODigest:
+    """Digest of a pruned MB-tree entry (subtree or single record)."""
+
+    digest: bytes
+
+    def size_bytes(self) -> int:
+        """Wire size: the digest plus the structural tag."""
+        return len(self.digest) + ITEM_TAG_BYTES
+
+
+@dataclass(frozen=True)
+class VOResultMarker:
+    """Placeholder for the next record of the result set (transmitted separately)."""
+
+    def size_bytes(self) -> int:
+        """Wire size: only the structural tag (the record itself is not VO overhead)."""
+        return ITEM_TAG_BYTES
+
+
+@dataclass(frozen=True)
+class VOBoundary:
+    """A boundary record embedded verbatim in the VO."""
+
+    fields: Tuple[Any, ...]
+
+    def size_bytes(self) -> int:
+        """Wire size: the encoded record plus the structural tag."""
+        return len(encode_record(self.fields)) + ITEM_TAG_BYTES
+
+
+@dataclass(frozen=True)
+class VOSubtree:
+    """An expanded child node of the MB-tree."""
+
+    items: Tuple["VOItem", ...]
+    is_leaf: bool
+
+    def size_bytes(self) -> int:
+        """Wire size: the nested items plus the structural tag."""
+        return ITEM_TAG_BYTES + sum(item.size_bytes() for item in self.items)
+
+
+VOItem = Union[VODigest, VOResultMarker, VOBoundary, VOSubtree]
+
+
+@dataclass
+class VerificationObject:
+    """The complete verification object returned by the SP in TOM."""
+
+    items: Tuple[VOItem, ...]
+    is_leaf_root: bool
+    signature: Signature
+    query_low: Any = None
+    query_high: Any = None
+    extra: dict = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        """Total authentication overhead in bytes (the quantity of Figure 5)."""
+        return sum(item.size_bytes() for item in self.items) + self.signature.size + ITEM_TAG_BYTES
+
+    def count_digests(self) -> int:
+        """Number of digest items anywhere in the VO."""
+        return sum(1 for item in self.flatten() if isinstance(item, VODigest))
+
+    def count_boundaries(self) -> int:
+        """Number of embedded boundary records."""
+        return sum(1 for item in self.flatten() if isinstance(item, VOBoundary))
+
+    def count_markers(self) -> int:
+        """Number of result markers (equals the claimed result cardinality)."""
+        return sum(1 for item in self.flatten() if isinstance(item, VOResultMarker))
+
+    def flatten(self) -> List[VOItem]:
+        """The in-order sequence of non-subtree items.
+
+        Pruned internal digests appear at the position of the subtree they
+        hide, which is exactly what the completeness (contiguity) check in
+        :mod:`repro.tom.verification` relies on.
+        """
+        flat: List[VOItem] = []
+        _flatten_items(self.items, flat)
+        return flat
+
+
+def _flatten_items(items: Sequence[VOItem], out: List[VOItem]) -> None:
+    for item in items:
+        if isinstance(item, VOSubtree):
+            _flatten_items(item.items, out)
+        else:
+            out.append(item)

@@ -1,0 +1,153 @@
+"""Wire format for verification objects.
+
+The size accounting in :mod:`repro.tom.vo` charges one tag byte per item,
+digests at their raw size, boundary records at their canonical encoding and
+the signature at its full length.  This module provides an actual byte
+encoding with exactly that structure, so the Figure 5 numbers correspond to
+something that can really be put on a wire, and so that the client-side
+verifier can be exercised against a decoded (rather than in-memory) VO.
+
+Layout::
+
+    VO        := u8 is_leaf_root | u16 sig_scheme_len | sig_scheme
+                 | u32 sig_len | signature | item*
+    item      := TAG_DIGEST   u16 len  bytes
+               | TAG_MARKER
+               | TAG_BOUNDARY u32 len  canonical-record-bytes
+               | TAG_SUBTREE  u8 is_leaf u32 count item*
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.crypto.encoding import decode_record, encode_record
+from repro.crypto.signatures import Signature
+from repro.tom.vo import (
+    VerificationObject,
+    VOBoundary,
+    VODigest,
+    VOItem,
+    VOResultMarker,
+    VOSubtree,
+)
+
+_TAG_DIGEST = 0x01
+_TAG_MARKER = 0x02
+_TAG_BOUNDARY = 0x03
+_TAG_SUBTREE = 0x04
+
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+
+
+class VOCodecError(ValueError):
+    """Raised when a serialised VO is malformed."""
+
+
+def _encode_item(item: VOItem, out: List[bytes]) -> None:
+    if isinstance(item, VODigest):
+        out.append(_U8.pack(_TAG_DIGEST))
+        out.append(_U16.pack(len(item.digest)))
+        out.append(item.digest)
+    elif isinstance(item, VOResultMarker):
+        out.append(_U8.pack(_TAG_MARKER))
+    elif isinstance(item, VOBoundary):
+        payload = encode_record(item.fields)
+        out.append(_U8.pack(_TAG_BOUNDARY))
+        out.append(_U32.pack(len(payload)))
+        out.append(payload)
+    elif isinstance(item, VOSubtree):
+        out.append(_U8.pack(_TAG_SUBTREE))
+        out.append(_U8.pack(1 if item.is_leaf else 0))
+        out.append(_U32.pack(len(item.items)))
+        for child in item.items:
+            _encode_item(child, out)
+    else:  # pragma: no cover - defensive
+        raise VOCodecError(f"cannot serialise VO item of type {type(item).__name__}")
+
+
+def serialize_vo(vo: VerificationObject) -> bytes:
+    """Encode a verification object to bytes."""
+    out: List[bytes] = []
+    out.append(_U8.pack(1 if vo.is_leaf_root else 0))
+    scheme = vo.signature.scheme.encode("ascii")
+    out.append(_U16.pack(len(scheme)))
+    out.append(scheme)
+    out.append(_U32.pack(len(vo.signature.value)))
+    out.append(vo.signature.value)
+    out.append(_U32.pack(len(vo.items)))
+    for item in vo.items:
+        _encode_item(item, out)
+    return b"".join(out)
+
+
+def _decode_item(data: memoryview, offset: int) -> Tuple[VOItem, int]:
+    if offset >= len(data):
+        raise VOCodecError("truncated VO item")
+    (tag,) = _U8.unpack_from(data, offset)
+    offset += _U8.size
+    if tag == _TAG_DIGEST:
+        (length,) = _U16.unpack_from(data, offset)
+        offset += _U16.size
+        digest = bytes(data[offset:offset + length])
+        if len(digest) != length:
+            raise VOCodecError("truncated digest payload")
+        return VODigest(digest=digest), offset + length
+    if tag == _TAG_MARKER:
+        return VOResultMarker(), offset
+    if tag == _TAG_BOUNDARY:
+        (length,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        payload = bytes(data[offset:offset + length])
+        if len(payload) != length:
+            raise VOCodecError("truncated boundary payload")
+        return VOBoundary(fields=decode_record(payload)), offset + length
+    if tag == _TAG_SUBTREE:
+        (is_leaf,) = _U8.unpack_from(data, offset)
+        offset += _U8.size
+        (count,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        children: List[VOItem] = []
+        for _ in range(count):
+            child, offset = _decode_item(data, offset)
+            children.append(child)
+        return VOSubtree(items=tuple(children), is_leaf=bool(is_leaf)), offset
+    raise VOCodecError(f"unknown VO item tag 0x{tag:02x}")
+
+
+def deserialize_vo(data: bytes) -> VerificationObject:
+    """Decode a verification object previously produced by :func:`serialize_vo`."""
+    view = memoryview(data)
+    offset = 0
+    try:
+        (is_leaf_root,) = _U8.unpack_from(view, offset)
+        offset += _U8.size
+        (scheme_length,) = _U16.unpack_from(view, offset)
+        offset += _U16.size
+        scheme = bytes(view[offset:offset + scheme_length]).decode("ascii")
+        offset += scheme_length
+        (signature_length,) = _U32.unpack_from(view, offset)
+        offset += _U32.size
+        signature_value = bytes(view[offset:offset + signature_length])
+        if len(signature_value) != signature_length:
+            raise VOCodecError("truncated signature")
+        offset += signature_length
+        (item_count,) = _U32.unpack_from(view, offset)
+        offset += _U32.size
+    except struct.error as exc:
+        raise VOCodecError("truncated VO header") from exc
+
+    items: List[VOItem] = []
+    for _ in range(item_count):
+        item, offset = _decode_item(view, offset)
+        items.append(item)
+    if offset != len(view):
+        raise VOCodecError(f"{len(view) - offset} trailing bytes after the VO")
+    return VerificationObject(
+        items=tuple(items),
+        is_leaf_root=bool(is_leaf_root),
+        signature=Signature(scheme=scheme, value=signature_value),
+    )

@@ -1,0 +1,37 @@
+"""Workload generation for the paper's experiments.
+
+Section IV of the paper evaluates SAE and TOM on synthetic datasets:
+
+* search keys are 4-byte integers in the domain ``[0, 10^7]``;
+* the total record size is 500 bytes;
+* **UNF** draws keys uniformly from the domain;
+* **SKW** draws keys from a Zipf distribution with skew 0.8 (so that about
+  77 % of the keys concentrate in 20 % of the domain);
+* the query workload is 100 uniformly-placed range queries whose extent is
+  0.5 % of the domain.
+
+This package generates all of the above deterministically from a seed.
+"""
+
+from repro.workloads.distributions import UniformKeyGenerator, ZipfKeyGenerator
+from repro.workloads.records import RecordGenerator, CAMERA_SCHEMA, make_camera_records
+from repro.workloads.datasets import (
+    DATASET_SCHEMA,
+    build_dataset,
+    uniform_dataset,
+    skewed_dataset,
+)
+from repro.workloads.queries import RangeQueryWorkload
+
+__all__ = [
+    "UniformKeyGenerator",
+    "ZipfKeyGenerator",
+    "RecordGenerator",
+    "CAMERA_SCHEMA",
+    "make_camera_records",
+    "DATASET_SCHEMA",
+    "build_dataset",
+    "uniform_dataset",
+    "skewed_dataset",
+    "RangeQueryWorkload",
+]

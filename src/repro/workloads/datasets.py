@@ -1,0 +1,85 @@
+"""Experiment dataset builders (UNF and SKW).
+
+Each dataset is a :class:`~repro.core.dataset.Dataset` over the three-column
+schema ``(id, key, payload)`` with 500-byte records, matching the paper's
+setup.  ``uniform_dataset`` and ``skewed_dataset`` differ only in the key
+distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.dataset import Dataset
+from repro.dbms.catalog import TableSchema
+from repro.storage.constants import DEFAULT_KEY_DOMAIN, DEFAULT_RECORD_SIZE
+from repro.workloads.distributions import UniformKeyGenerator, ZipfKeyGenerator
+from repro.workloads.records import RecordGenerator
+
+#: Schema of the synthetic experiment relation.
+DATASET_SCHEMA = TableSchema(
+    name="records",
+    columns=("id", "key", "payload"),
+    id_column="id",
+    key_column="key",
+)
+
+
+def build_dataset(
+    cardinality: int,
+    distribution: str = "uniform",
+    record_size: int = DEFAULT_RECORD_SIZE,
+    domain: Tuple[int, int] = DEFAULT_KEY_DOMAIN,
+    seed: int = 42,
+    zipf_theta: float = 0.8,
+    name: Optional[str] = None,
+) -> Dataset:
+    """Build a synthetic dataset.
+
+    Parameters
+    ----------
+    cardinality:
+        Number of records (``n`` in the paper; 100K to 1M there).
+    distribution:
+        ``"uniform"`` (UNF) or ``"zipf"`` (SKW).
+    record_size:
+        Target encoded record size in bytes (500 in the paper).
+    domain:
+        Search-key domain (``[0, 10^7]`` in the paper).
+    seed:
+        Seed for both the key distribution and the record payloads.
+    zipf_theta:
+        Skew parameter for the SKW dataset (0.8 in the paper).
+    name:
+        Optional dataset name; defaults to ``UNF-<n>`` / ``SKW-<n>``.
+    """
+    if cardinality < 0:
+        raise ValueError("cardinality must be non-negative")
+    if distribution == "uniform":
+        generator = UniformKeyGenerator(domain=domain, seed=seed)
+        default_name = f"UNF-{cardinality}"
+    elif distribution in ("zipf", "skewed"):
+        generator = ZipfKeyGenerator(theta=zipf_theta, domain=domain, seed=seed)
+        default_name = f"SKW-{cardinality}"
+    else:
+        raise ValueError(f"unknown distribution {distribution!r}; expected 'uniform' or 'zipf'")
+
+    keys = generator.sample_many(cardinality)
+    record_generator = RecordGenerator(record_size=record_size, seed=seed)
+    records = record_generator.make_many(keys)
+    return Dataset(schema=DATASET_SCHEMA, records=records, name=name or default_name)
+
+
+def uniform_dataset(cardinality: int, record_size: int = DEFAULT_RECORD_SIZE,
+                    seed: int = 42, domain: Tuple[int, int] = DEFAULT_KEY_DOMAIN) -> Dataset:
+    """The paper's UNF dataset."""
+    return build_dataset(cardinality, distribution="uniform", record_size=record_size,
+                         seed=seed, domain=domain)
+
+
+def skewed_dataset(cardinality: int, record_size: int = DEFAULT_RECORD_SIZE,
+                   seed: int = 42, zipf_theta: float = 0.8,
+                   domain: Tuple[int, int] = DEFAULT_KEY_DOMAIN) -> Dataset:
+    """The paper's SKW dataset (Zipf 0.8 keys)."""
+    return build_dataset(cardinality, distribution="zipf", record_size=record_size,
+                         seed=seed, zipf_theta=zipf_theta, domain=domain)

@@ -1,0 +1,126 @@
+"""Search-key distributions (UNF and SKW).
+
+The paper's two datasets differ only in how search keys are drawn from the
+domain ``[0, 10^7]``:
+
+* UNF -- uniform;
+* SKW -- "generated using ZIPF, with the skewness parameter set to 0.8
+  (i.e., so that 77% of the search keys are concentrated in 20% of the
+  domain)".
+
+The Zipf generator below follows the standard construction used for skewed
+database benchmarks: the domain is divided into buckets whose selection
+probabilities follow a Zipf law with exponent ``theta``; a key is drawn by
+picking a bucket by rank and then a position uniformly inside it.  With
+``theta = 0.8`` roughly three quarters of the keys fall into the first fifth
+of the (rank-ordered) domain, matching the paper's description.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.storage.constants import DEFAULT_KEY_DOMAIN
+
+
+class DistributionError(ValueError):
+    """Raised for invalid distribution parameters."""
+
+
+class UniformKeyGenerator:
+    """Uniform integer keys over a closed domain."""
+
+    def __init__(self, domain: Tuple[int, int] = DEFAULT_KEY_DOMAIN, seed: Optional[int] = None):
+        low, high = domain
+        if low > high:
+            raise DistributionError(f"invalid domain [{low}, {high}]")
+        self.domain = (low, high)
+        self._rng = random.Random(seed)
+
+    def sample(self) -> int:
+        """Draw one key."""
+        return self._rng.randint(self.domain[0], self.domain[1])
+
+    def sample_many(self, count: int) -> List[int]:
+        """Draw ``count`` keys."""
+        if count < 0:
+            raise DistributionError("count must be non-negative")
+        return [self.sample() for _ in range(count)]
+
+
+class ZipfKeyGenerator:
+    """Zipf-skewed integer keys over a closed domain.
+
+    The domain is split into ``buckets`` equal-width intervals.  Bucket
+    ``i`` (1-based rank) is selected with probability proportional to
+    ``1 / i**theta``; the key is then uniform within the selected bucket.
+    Ranks are assigned to buckets in ascending domain order, so the skew
+    concentrates keys at the low end of the domain (which part of the domain
+    is hot is immaterial for the experiments, only the concentration is).
+    """
+
+    def __init__(
+        self,
+        theta: float = 0.8,
+        domain: Tuple[int, int] = DEFAULT_KEY_DOMAIN,
+        buckets: int = 1000,
+        seed: Optional[int] = None,
+    ):
+        if theta < 0:
+            raise DistributionError("the Zipf skew parameter must be non-negative")
+        if buckets < 1:
+            raise DistributionError("the Zipf generator needs at least one bucket")
+        low, high = domain
+        if low > high:
+            raise DistributionError(f"invalid domain [{low}, {high}]")
+        self.domain = (low, high)
+        self.theta = theta
+        self.buckets = buckets
+        self._rng = random.Random(seed)
+        weights = [1.0 / (rank ** theta) for rank in range(1, buckets + 1)]
+        total = sum(weights)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cumulative.append(acc)
+        self._cumulative[-1] = 1.0
+        width = (high - low + 1) / buckets
+        self._bucket_bounds = [
+            (int(low + index * width), int(low + (index + 1) * width) - 1)
+            for index in range(buckets)
+        ]
+        self._bucket_bounds[-1] = (self._bucket_bounds[-1][0], high)
+
+    def sample(self) -> int:
+        """Draw one key."""
+        u = self._rng.random()
+        # Binary search over the cumulative distribution.
+        lo, hi = 0, len(self._cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        bucket_low, bucket_high = self._bucket_bounds[lo]
+        return self._rng.randint(bucket_low, bucket_high)
+
+    def sample_many(self, count: int) -> List[int]:
+        """Draw ``count`` keys."""
+        if count < 0:
+            raise DistributionError("count must be non-negative")
+        return [self.sample() for _ in range(count)]
+
+    def concentration(self, keys: Sequence[int], domain_fraction: float = 0.2) -> float:
+        """Fraction of ``keys`` falling into the hottest ``domain_fraction`` of the domain.
+
+        The paper quotes ~77 % of keys in 20 % of the domain for theta = 0.8;
+        the distribution tests assert this property.
+        """
+        low, high = self.domain
+        cutoff = low + (high - low) * domain_fraction
+        if not keys:
+            return 0.0
+        return sum(1 for key in keys if key <= cutoff) / len(keys)

@@ -1,0 +1,85 @@
+"""Synthetic record generation.
+
+The paper's records consist of a 4-byte integer search key plus enough
+additional attributes to reach a total record size of 500 bytes.  The
+generator below produces records of the form ``(id, key, payload)`` where
+``payload`` is an opaque byte string sized so that the canonical encoding of
+the whole record hits the requested target size.
+
+The module also ships the digital-camera schema used in the paper's running
+example ("a relation of digital camera specifications that contains columns
+(id, manufacturer, model, price)"), which the examples and a few tests use
+for readability.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.crypto.encoding import encode_record
+from repro.dbms.catalog import TableSchema
+from repro.storage.constants import DEFAULT_RECORD_SIZE
+
+
+class RecordGenerationError(ValueError):
+    """Raised for unsatisfiable record-size targets."""
+
+
+class RecordGenerator:
+    """Builds fixed-size records ``(id, key, payload)``."""
+
+    def __init__(self, record_size: int = DEFAULT_RECORD_SIZE, seed: Optional[int] = None):
+        if record_size < 32:
+            raise RecordGenerationError("records must be at least 32 bytes to hold id and key")
+        self.record_size = record_size
+        self._rng = random.Random(seed)
+        self._padding_cache = {}
+
+    def make(self, record_id: int, key: int) -> Tuple[int, int, bytes]:
+        """Build one record whose canonical encoding is ``record_size`` bytes."""
+        padding = self._padding_for(record_id, key)
+        return (record_id, key, padding)
+
+    def _padding_for(self, record_id: int, key: int) -> bytes:
+        base = len(encode_record((record_id, key, b"")))
+        needed = self.record_size - base
+        if needed < 0:
+            raise RecordGenerationError(
+                f"record size {self.record_size} is too small for id/key encoding ({base} bytes)"
+            )
+        # The payload content is irrelevant to the protocols (only its digest
+        # matters), but making it record-dependent ensures distinct records
+        # have distinct digests even when ids collide across datasets.
+        seed_bytes = f"{record_id}:{key}:".encode("ascii")
+        filler = (seed_bytes * (needed // max(1, len(seed_bytes)) + 1))[:needed]
+        return filler
+
+    def make_many(self, keys: List[int], start_id: int = 0) -> List[Tuple[int, int, bytes]]:
+        """Build one record per key, with consecutive ids starting at ``start_id``."""
+        return [self.make(start_id + offset, key) for offset, key in enumerate(keys)]
+
+
+#: Schema of the paper's running example (Section II).
+CAMERA_SCHEMA = TableSchema(
+    name="cameras",
+    columns=("id", "manufacturer", "model", "price"),
+    id_column="id",
+    key_column="price",
+)
+
+_MANUFACTURERS = ("Canon", "Nikon", "Sony", "Olympus", "Pentax", "Fujifilm", "Casio", "Kodak")
+_MODEL_PREFIXES = ("SD", "EOS", "PowerShot", "Coolpix", "Alpha", "Cybershot", "FinePix", "Optio")
+
+
+def make_camera_records(count: int, seed: int = 0,
+                        price_range: Tuple[int, int] = (50, 2000)) -> List[Tuple[int, str, str, int]]:
+    """Generate ``count`` digital-camera records for the running example."""
+    rng = random.Random(seed)
+    records = []
+    for record_id in range(count):
+        manufacturer = rng.choice(_MANUFACTURERS)
+        model = f"{rng.choice(_MODEL_PREFIXES)}{rng.randint(100, 999)} IS"
+        price = rng.randint(*price_range)
+        records.append((record_id, manufacturer, model, price))
+    return records

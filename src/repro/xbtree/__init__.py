@@ -1,0 +1,26 @@
+"""The XOR B-Tree (XB-Tree) -- the trusted entity's index in SAE.
+
+The XB-Tree (Section III of the paper) is a disk-based B-tree that organises
+XOR values.  Every keyed entry ``e`` carries:
+
+* ``e.sk`` -- a search key (a distinct value of the query attribute),
+* ``e.L`` -- the ids and digests of all tuples whose query-attribute value
+  equals ``e.sk`` (the "L page"),
+* ``e.X`` -- the XOR of the digests in ``e.L`` and of the ``X`` values of the
+  entries in the child node ``e.c`` (i.e. the XOR of all tuples with keys in
+  ``[e.sk, e_next.sk)``),
+* ``e.c`` -- the child pointer.
+
+The first entry of every node is keyless and covers the subtree of keys
+smaller than the first search key; in leaves its ``X`` is zero and its child
+is null.  With this structure the trusted entity can compute the
+verification token for any range query in ``O(log n)`` node accesses using
+the ``GenerateVT`` algorithm (Figure 4 of the paper), implemented in
+:mod:`repro.xbtree.generate_vt`.
+"""
+
+from repro.xbtree.node import XBEntry, XBNode, XBTreeLayout
+from repro.xbtree.tree import XBTree
+from repro.xbtree.generate_vt import generate_vt
+
+__all__ = ["XBEntry", "XBNode", "XBTreeLayout", "XBTree", "generate_vt"]

@@ -1,0 +1,115 @@
+"""XB-Tree nodes, entries and byte layout."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.crypto.digest import Digest, DigestScheme, default_scheme
+from repro.storage.constants import DEFAULT_PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class XBTreeLayout:
+    """Byte layout of XB-tree entries, used to derive node capacity.
+
+    An intermediate entry is ``<sk, L, X, c>``: a search key, a pointer to
+    the L page, the XOR aggregate (one digest wide), and a child pointer.
+    The layout also describes the packed L-page store: each L tuple is an
+    ``(id, digest)`` pair.
+    """
+
+    page_size: int = DEFAULT_PAGE_SIZE
+    key_size: int = 4
+    pointer_size: int = 8
+    digest_size: int = 20
+    record_id_size: int = 8
+    header_size: int = 24
+
+    @property
+    def entry_size(self) -> int:
+        """Bytes per keyed entry: key + L pointer + X + child pointer."""
+        return self.key_size + self.pointer_size + self.digest_size + self.pointer_size
+
+    @property
+    def capacity(self) -> int:
+        """Maximum keyed entries per node (the keyless first entry is in the header budget)."""
+        capacity = (self.page_size - self.header_size - self.digest_size - self.pointer_size) // self.entry_size
+        return max(capacity, 3)
+
+    @property
+    def l_tuple_size(self) -> int:
+        """Bytes per L-page tuple: record id + digest."""
+        return self.record_id_size + self.digest_size
+
+
+class XBEntry:
+    """One XB-tree entry.
+
+    The keyless first entry of every node has ``key is None`` and an empty
+    tuple list; leaf entries have ``child is None``.
+    """
+
+    __slots__ = ("key", "tuples", "x", "child")
+
+    def __init__(
+        self,
+        key: Optional[Any],
+        tuples: Optional[List[Tuple[Any, Digest]]] = None,
+        x: Optional[Digest] = None,
+        child: Optional["XBNode"] = None,
+        scheme: Optional[DigestScheme] = None,
+    ):
+        scheme = scheme or default_scheme()
+        self.key = key
+        self.tuples: List[Tuple[Any, Digest]] = list(tuples) if tuples else []
+        self.x: Digest = x if x is not None else scheme.zero()
+        self.child: Optional["XBNode"] = child
+
+    @property
+    def is_anchor(self) -> bool:
+        """True for the keyless first entry of a node."""
+        return self.key is None
+
+    def l_xor(self, scheme: Optional[DigestScheme] = None) -> Digest:
+        """``e.L⊕`` -- the XOR of the digests of the tuples in this entry's L page."""
+        scheme = scheme or default_scheme()
+        acc = scheme.zero()
+        for _, digest in self.tuples:
+            acc = acc ^ digest
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "anchor" if self.is_anchor else f"key={self.key!r}"
+        return f"XBEntry({kind}, |L|={len(self.tuples)}, child={'yes' if self.child else 'no'})"
+
+
+class XBNode:
+    """An XB-tree node: a keyless anchor entry followed by keyed entries."""
+
+    __slots__ = ("entries", "is_leaf")
+
+    def __init__(self, entries: Optional[List[XBEntry]] = None, is_leaf: bool = True):
+        self.entries: List[XBEntry] = entries if entries is not None else []
+        self.is_leaf = is_leaf
+
+    @property
+    def num_keyed_entries(self) -> int:
+        """Number of keyed entries (the anchor is excluded)."""
+        return max(0, len(self.entries) - 1)
+
+    def keys(self) -> List[Any]:
+        """Search keys of the keyed entries, in order."""
+        return [entry.key for entry in self.entries[1:]]
+
+    def aggregate(self, scheme: Optional[DigestScheme] = None) -> Digest:
+        """XOR of the ``X`` values of all entries: the subtree's total digest."""
+        scheme = scheme or default_scheme()
+        acc = scheme.zero()
+        for entry in self.entries:
+            acc = acc ^ entry.x
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"XBNode({kind}, keyed_entries={self.num_keyed_entries})"

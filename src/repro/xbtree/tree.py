@@ -1,0 +1,708 @@
+"""The XB-Tree proper: maintenance operations and VT generation.
+
+The tree is a classic B-tree (keys live at every level) whose entries carry
+L pages (the ids and digests of the tuples with that exact key) and XOR
+aggregates, as described in Section III of the paper.  Supported operations:
+
+* :meth:`XBTree.insert` -- add one ``(key, record_id, digest)`` tuple in
+  ``O(log n)``; if the key already exists the tuple joins its L page,
+  otherwise a new entry is inserted with standard B-tree splits, and the
+  aggregates along the path are repaired.
+* :meth:`XBTree.delete` -- remove one tuple in ``O(log n)``; emptied entries
+  are removed with standard B-tree rebalancing (borrow from a sibling or
+  merge), again repairing aggregates along the way.
+* :meth:`XBTree.generate_vt` -- the paper's ``GenerateVT`` (Figure 4).
+* :meth:`XBTree.bulk_load` -- bottom-up linear-time construction from sorted
+  input, used to build the experiment datasets.
+* :meth:`XBTree.validate` -- full invariant check (ordering, uniform depth,
+  aggregate consistency), used heavily by the property-based tests.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.crypto.digest import Digest, DigestScheme, default_scheme
+from repro.storage.cost_model import AccessCounter
+from repro.xbtree.generate_vt import generate_vt as _generate_vt
+from repro.xbtree.node import XBEntry, XBNode, XBTreeLayout
+
+
+class XBTreeError(ValueError):
+    """Raised on invalid XB-tree operations or broken invariants."""
+
+
+class XBTree:
+    """The trusted entity's XOR B-Tree."""
+
+    def __init__(
+        self,
+        layout: Optional[XBTreeLayout] = None,
+        scheme: Optional[DigestScheme] = None,
+        counter: Optional[AccessCounter] = None,
+        capacity: Optional[int] = None,
+    ):
+        self._layout = layout or XBTreeLayout()
+        self._scheme = scheme or default_scheme()
+        self._counter = counter or AccessCounter()
+        self._capacity = capacity if capacity is not None else self._layout.capacity
+        if self._capacity < 3:
+            raise XBTreeError("XB-tree capacity must be at least 3 keyed entries")
+        self._root = XBNode(entries=[self._new_anchor()], is_leaf=True)
+        self._num_tuples = 0
+        self._num_keys = 0
+        self._num_nodes = 1
+        self._height = 1
+
+    # ------------------------------------------------------------------ meta
+    @property
+    def layout(self) -> XBTreeLayout:
+        """Byte layout used to derive capacities and storage size."""
+        return self._layout
+
+    @property
+    def scheme(self) -> DigestScheme:
+        """Digest scheme of the stored digests."""
+        return self._scheme
+
+    @property
+    def counter(self) -> AccessCounter:
+        """Node-access counter charged by traversals."""
+        return self._counter
+
+    @property
+    def capacity(self) -> int:
+        """Maximum keyed entries per node."""
+        return self._capacity
+
+    @property
+    def root(self) -> XBNode:
+        """The root node (exposed for the pure ``generate_vt`` function and tests)."""
+        return self._root
+
+    @property
+    def num_tuples(self) -> int:
+        """Number of ``(record id, digest)`` tuples stored across all L pages."""
+        return self._num_tuples
+
+    @property
+    def num_keys(self) -> int:
+        """Number of distinct search keys (i.e. keyed entries)."""
+        return self._num_keys
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of tree nodes (pages)."""
+        return self._num_nodes
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a single leaf)."""
+        return self._height
+
+    def size_bytes(self) -> int:
+        """Storage footprint: tree pages plus the packed L-page store.
+
+        Tree nodes occupy one page each.  L pages are packed (multiple keys'
+        tuple lists can share a page), which is what keeps the TE's storage a
+        small fraction of the SP's in Figure 8.
+        """
+        tree_bytes = self._num_nodes * self._layout.page_size
+        l_bytes = self._num_tuples * self._layout.l_tuple_size
+        page = self._layout.page_size
+        l_pages = (l_bytes + page - 1) // page
+        return tree_bytes + l_pages * page
+
+    def __len__(self) -> int:
+        return self._num_tuples
+
+    # ------------------------------------------------------------------ helpers
+    def _new_anchor(self, child: Optional[XBNode] = None) -> XBEntry:
+        anchor = XBEntry(key=None, tuples=None, x=self._scheme.zero(), child=child, scheme=self._scheme)
+        if child is not None:
+            anchor.x = child.aggregate(self._scheme)
+        return anchor
+
+    def _charge(self, count: int = 1) -> None:
+        self._counter.record_node_access(count)
+
+    def _refresh_entry_x(self, entry: XBEntry) -> None:
+        """Recompute ``entry.x`` from its L page and its child's aggregates."""
+        x = entry.l_xor(self._scheme)
+        if entry.child is not None:
+            x = x ^ entry.child.aggregate(self._scheme)
+        entry.x = x
+
+    def _min_keyed_entries(self) -> int:
+        return max(1, self._capacity // 2)
+
+    @staticmethod
+    def _find_key_index(node: XBNode, key: Any) -> Tuple[int, bool]:
+        """Locate ``key`` among the keyed entries of ``node``.
+
+        Returns ``(index, exact)`` where, on an exact match, ``index`` is the
+        position of the matching entry in ``node.entries``; otherwise it is
+        the position of the entry whose child subtree covers ``key``.
+        """
+        keys = [entry.key for entry in node.entries[1:]]
+        position = bisect.bisect_left(keys, key)
+        if position < len(keys) and keys[position] == key:
+            return position + 1, True
+        # Child to descend into: the entry whose key is the greatest key
+        # smaller than ``key`` (or the anchor when key is below all keys).
+        return position, False
+
+    # ------------------------------------------------------------------ queries
+    def total_xor(self) -> Digest:
+        """XOR of every stored digest (the aggregate of the whole tree)."""
+        return self._root.aggregate(self._scheme)
+
+    def generate_vt(self, low: Any, high: Any, charge: bool = True) -> Digest:
+        """Verification token for the range ``[low, high]`` (Figure 4)."""
+        return _generate_vt(
+            self._root,
+            low,
+            high,
+            scheme=self._scheme,
+            counter=self._counter if charge else None,
+        )
+
+    def lookup(self, key: Any) -> List[Tuple[Any, Digest]]:
+        """Return the L page (list of ``(record id, digest)``) for ``key``."""
+        node = self._root
+        self._charge()
+        while True:
+            index, exact = self._find_key_index(node, key)
+            if exact:
+                return list(node.entries[index].tuples)
+            child = node.entries[index].child
+            if child is None:
+                return []
+            node = child
+            self._charge()
+
+    def items(self) -> Iterator[Tuple[Any, Any, Digest]]:
+        """Yield ``(key, record_id, digest)`` for every stored tuple, in key order."""
+        yield from self._items_node(self._root)
+
+    def _items_node(self, node: XBNode) -> Iterator[Tuple[Any, Any, Digest]]:
+        for entry in node.entries:
+            if entry.child is not None:
+                yield from self._items_node(entry.child)
+            if not entry.is_anchor:
+                for record_id, digest in entry.tuples:
+                    yield entry.key, record_id, digest
+
+    # ------------------------------------------------------------------ insert
+    def insert(self, key: Any, record_id: Any, digest: Digest) -> None:
+        """Insert one tuple ``<record_id, key, digest>`` into the TE's index."""
+        if not isinstance(digest, Digest):
+            raise XBTreeError("the XB-tree stores Digest objects; got " + type(digest).__name__)
+        self._charge()
+        split = self._insert_recursive(self._root, key, record_id, digest)
+        if split is not None:
+            promoted, right = split
+            old_root = self._root
+            new_root = XBNode(entries=[self._new_anchor(child=old_root), promoted], is_leaf=False)
+            promoted.child = right
+            self._refresh_entry_x(promoted)
+            new_root.entries[0].x = old_root.aggregate(self._scheme)
+            self._root = new_root
+            self._num_nodes += 1
+            self._height += 1
+        self._num_tuples += 1
+
+    def _insert_recursive(
+        self, node: XBNode, key: Any, record_id: Any, digest: Digest
+    ) -> Optional[Tuple[XBEntry, XBNode]]:
+        index, exact = self._find_key_index(node, key)
+        if exact:
+            entry = node.entries[index]
+            entry.tuples.append((record_id, digest))
+            entry.x = entry.x ^ digest
+            return None
+
+        anchor_or_entry = node.entries[index]
+        if node.is_leaf:
+            new_entry = XBEntry(key=key, tuples=[(record_id, digest)], x=digest,
+                                child=None, scheme=self._scheme)
+            node.entries.insert(index + 1, new_entry)
+            self._num_keys += 1
+            if node.num_keyed_entries > self._capacity:
+                return self._split_node(node)
+            return None
+
+        child = anchor_or_entry.child
+        self._charge()
+        split = self._insert_recursive(child, key, record_id, digest)
+        if split is not None:
+            promoted, right = split
+            promoted.child = right
+            self._refresh_entry_x(promoted)
+            node.entries.insert(index + 1, promoted)
+        # The descended-through entry's aggregate changed (new digest and/or
+        # the split moved part of its subtree into the promoted entry).
+        self._refresh_entry_x(anchor_or_entry)
+        if node.num_keyed_entries > self._capacity:
+            return self._split_node(node)
+        return None
+
+    def _split_node(self, node: XBNode) -> Tuple[XBEntry, XBNode]:
+        """Split an overfull node; return ``(promoted entry, right sibling)``."""
+        keyed = node.num_keyed_entries
+        mid = 1 + keyed // 2  # index (in entries) of the median keyed entry
+        median = node.entries[mid]
+        right_anchor = self._new_anchor(child=median.child)
+        right = XBNode(
+            entries=[right_anchor] + node.entries[mid + 1:],
+            is_leaf=node.is_leaf,
+        )
+        node.entries = node.entries[:mid]
+        self._num_nodes += 1
+        # The median becomes the promoted entry; its child is assigned by the
+        # caller (it must point to the new right sibling).
+        promoted = XBEntry(
+            key=median.key,
+            tuples=median.tuples,
+            x=self._scheme.zero(),
+            child=None,
+            scheme=self._scheme,
+        )
+        return promoted, right
+
+    # ------------------------------------------------------------------ delete
+    def delete(self, key: Any, record_id: Any) -> None:
+        """Remove the tuple ``(key, record_id)``.
+
+        Raises :class:`XBTreeError` if the tuple is not present.
+        """
+        self._charge()
+        removed = self._delete_recursive(self._root, key, record_id)
+        if not removed:
+            raise XBTreeError(f"tuple (key={key!r}, record_id={record_id!r}) not found")
+        if not self._root.is_leaf and self._root.num_keyed_entries == 0:
+            # The root lost its last keyed entry: collapse one level.
+            child = self._root.entries[0].child
+            if child is not None:
+                self._root = child
+                self._num_nodes -= 1
+                self._height -= 1
+        self._num_tuples -= 1
+
+    def _delete_recursive(self, node: XBNode, key: Any, record_id: Any) -> bool:
+        index, exact = self._find_key_index(node, key)
+        if exact:
+            entry = node.entries[index]
+            position = next(
+                (i for i, (rid, _) in enumerate(entry.tuples) if rid == record_id), None
+            )
+            if position is None:
+                return False
+            _, digest = entry.tuples.pop(position)
+            if entry.tuples:
+                entry.x = entry.x ^ digest
+                return True
+            # The entry's L page is now empty: remove the entry itself.
+            self._num_keys -= 1
+            if node.is_leaf:
+                node.entries.pop(index)
+                return True
+            # Internal entry: replace it with its in-order successor (the
+            # smallest key in its child subtree), then repair that subtree.
+            successor = self._pop_min_entry(entry.child)
+            if successor is None:
+                # The child subtree holds no keyed entries at all (can only
+                # happen in degenerate trees); drop the entry and splice the
+                # child's anchor subtree into the left neighbour.
+                left_neighbour = node.entries[index - 1]
+                orphan = entry.child.entries[0].child
+                if orphan is not None:
+                    self._absorb_orphan(left_neighbour, orphan)
+                else:
+                    self._num_nodes -= 1
+                node.entries.pop(index)
+                self._refresh_entry_x(left_neighbour)
+                return True
+            entry.key = successor.key
+            entry.tuples = successor.tuples
+            self._refresh_entry_x(entry)
+            self._fix_underflow(node, index)
+            return True
+
+        entry = node.entries[index]
+        child = entry.child
+        if child is None:
+            return False
+        self._charge()
+        removed = self._delete_recursive(child, key, record_id)
+        if not removed:
+            return False
+        self._refresh_entry_x(entry)
+        self._fix_underflow(node, index)
+        return True
+
+    def _pop_min_entry(self, node: XBNode) -> Optional[XBEntry]:
+        """Remove and return the smallest-keyed entry in the subtree at ``node``."""
+        self._charge()
+        if node.is_leaf:
+            if node.num_keyed_entries == 0:
+                return None
+            return node.entries.pop(1)
+        anchor = node.entries[0]
+        if anchor.child is None:
+            if node.num_keyed_entries == 0:
+                return None
+            victim = node.entries.pop(1)
+            orphan = victim.child
+            if orphan is not None:
+                self._absorb_orphan(anchor, orphan)
+            detached = XBEntry(key=victim.key, tuples=victim.tuples,
+                               x=self._scheme.zero(), child=None, scheme=self._scheme)
+            return detached
+        result = self._pop_min_entry(anchor.child)
+        if result is None:
+            return None
+        self._refresh_entry_x(anchor)
+        self._fix_underflow(node, 0)
+        return result
+
+    def _absorb_orphan(self, entry: XBEntry, orphan: XBNode) -> None:
+        """Attach an orphaned subtree under ``entry`` (degenerate-tree repair)."""
+        if entry.child is None:
+            entry.child = orphan
+        else:
+            # Merge the orphan's entries into the entry's child (the orphan's
+            # keys all exceed the child's keys by construction).
+            target = entry.child
+            anchor = orphan.entries[0]
+            if anchor.child is not None:
+                last = target.entries[-1]
+                self._absorb_orphan(last, anchor.child)
+                self._refresh_entry_x(last)
+            target.entries.extend(orphan.entries[1:])
+            self._num_nodes -= 1
+        self._refresh_entry_x(entry)
+
+    def _fix_underflow(self, parent: XBNode, index: int) -> None:
+        """Repair the child at ``parent.entries[index]`` if it underflowed."""
+        child = parent.entries[index].child
+        if child is None:
+            return
+        if child.num_keyed_entries >= self._min_keyed_entries():
+            return
+
+        left_entry = parent.entries[index - 1] if index > 0 else None
+        right_entry = parent.entries[index + 1] if index + 1 < len(parent.entries) else None
+        left_sibling = left_entry.child if left_entry is not None else None
+        right_sibling = right_entry.child if right_entry is not None else None
+
+        if left_sibling is not None and left_sibling.num_keyed_entries > self._min_keyed_entries():
+            self._borrow_from_left(parent, index)
+        elif right_sibling is not None and right_sibling.num_keyed_entries > self._min_keyed_entries():
+            self._borrow_from_right(parent, index)
+        elif left_sibling is not None:
+            self._merge_with_left(parent, index)
+        elif right_sibling is not None:
+            self._merge_with_right(parent, index)
+
+    def _borrow_from_left(self, parent: XBNode, index: int) -> None:
+        """Rotate the separator at ``index`` down and the left sibling's last key up."""
+        separator = parent.entries[index]
+        left_entry = parent.entries[index - 1]
+        left_sibling = left_entry.child
+        child = separator.child
+
+        donated = left_sibling.entries.pop()
+        # The separator's key/L move down to become the child's first keyed
+        # entry; its new child is the child's old anchor subtree...
+        moved_down = XBEntry(
+            key=separator.key,
+            tuples=separator.tuples,
+            x=self._scheme.zero(),
+            child=child.entries[0].child,
+            scheme=self._scheme,
+        )
+        self._refresh_entry_x(moved_down)
+        # ...and the child's new anchor subtree is the donated entry's child.
+        child.entries[0].child = donated.child
+        if donated.child is not None:
+            child.entries[0].x = donated.child.aggregate(self._scheme)
+        else:
+            child.entries[0].x = self._scheme.zero()
+        child.entries.insert(1, moved_down)
+        # The donated entry's key/L become the new separator.
+        separator.key = donated.key
+        separator.tuples = donated.tuples
+        self._refresh_entry_x(separator)
+        self._refresh_entry_x(left_entry)
+
+    def _borrow_from_right(self, parent: XBNode, index: int) -> None:
+        """Rotate the separator at ``index + 1`` down and the right sibling's first key up."""
+        child_entry = parent.entries[index]
+        separator = parent.entries[index + 1]
+        child = child_entry.child
+        right_sibling = separator.child
+
+        donated = right_sibling.entries.pop(1)
+        # The separator's key/L move down to the end of the child; its child
+        # is the right sibling's old anchor subtree.
+        moved_down = XBEntry(
+            key=separator.key,
+            tuples=separator.tuples,
+            x=self._scheme.zero(),
+            child=right_sibling.entries[0].child,
+            scheme=self._scheme,
+        )
+        self._refresh_entry_x(moved_down)
+        child.entries.append(moved_down)
+        # The right sibling's new anchor subtree is the donated entry's child.
+        right_sibling.entries[0].child = donated.child
+        if donated.child is not None:
+            right_sibling.entries[0].x = donated.child.aggregate(self._scheme)
+        else:
+            right_sibling.entries[0].x = self._scheme.zero()
+        # The donated entry's key/L become the new separator.
+        separator.key = donated.key
+        separator.tuples = donated.tuples
+        self._refresh_entry_x(separator)
+        self._refresh_entry_x(child_entry)
+
+    def _merge_with_left(self, parent: XBNode, index: int) -> None:
+        """Merge the child at ``index`` and the separator into the left sibling."""
+        separator = parent.entries[index]
+        left_entry = parent.entries[index - 1]
+        left_sibling = left_entry.child
+        child = separator.child
+
+        moved_down = XBEntry(
+            key=separator.key,
+            tuples=separator.tuples,
+            x=self._scheme.zero(),
+            child=child.entries[0].child,
+            scheme=self._scheme,
+        )
+        self._refresh_entry_x(moved_down)
+        left_sibling.entries.append(moved_down)
+        left_sibling.entries.extend(child.entries[1:])
+        parent.entries.pop(index)
+        self._num_nodes -= 1
+        self._refresh_entry_x(left_entry)
+
+    def _merge_with_right(self, parent: XBNode, index: int) -> None:
+        """Merge the right sibling and its separator into the child at ``index``."""
+        child_entry = parent.entries[index]
+        separator = parent.entries[index + 1]
+        child = child_entry.child
+        right_sibling = separator.child
+
+        moved_down = XBEntry(
+            key=separator.key,
+            tuples=separator.tuples,
+            x=self._scheme.zero(),
+            child=right_sibling.entries[0].child,
+            scheme=self._scheme,
+        )
+        self._refresh_entry_x(moved_down)
+        child.entries.append(moved_down)
+        child.entries.extend(right_sibling.entries[1:])
+        parent.entries.pop(index + 1)
+        self._num_nodes -= 1
+        self._refresh_entry_x(child_entry)
+
+    # ------------------------------------------------------------------ bulk load
+    def bulk_load(self, items: Sequence[Tuple[Any, Any, Digest]], fill_factor: float = 1.0) -> None:
+        """Rebuild the tree from ``(key, record_id, digest)`` triples sorted by key.
+
+        Duplicate keys are grouped into a single entry's L page, as the paper
+        prescribes.  Raises :class:`XBTreeError` if the tree is not empty or
+        the input is not sorted.
+        """
+        if self._num_tuples:
+            raise XBTreeError("bulk_load requires an empty tree")
+        items = list(items)
+        for i in range(1, len(items)):
+            if items[i][0] < items[i - 1][0]:
+                raise XBTreeError("bulk_load input must be sorted by key")
+        if not items:
+            return
+
+        # Group duplicates.
+        grouped: List[Tuple[Any, List[Tuple[Any, Digest]]]] = []
+        for key, record_id, digest in items:
+            if grouped and grouped[-1][0] == key:
+                grouped[-1][1].append((record_id, digest))
+            else:
+                grouped.append((key, [(record_id, digest)]))
+
+        entries = [
+            XBEntry(key=key, tuples=tuples, x=self._scheme.zero(), child=None, scheme=self._scheme)
+            for key, tuples in grouped
+        ]
+        for entry in entries:
+            entry.x = entry.l_xor(self._scheme)
+
+        fill = max(2, min(self._capacity, int(self._capacity * fill_factor)))
+
+        # --- level 0: leaves, with every (fill+1)-th entry promoted upward.
+        nodes: List[XBNode] = []
+        separators: List[XBEntry] = []
+        position = 0
+        total = len(entries)
+        while position < total:
+            take = min(fill, total - position)
+            # Never leave a separator without a following leaf.
+            if total - (position + take) == 1:
+                take = max(1, take - 1)
+            leaf_entries = entries[position:position + take]
+            leaf = XBNode(entries=[self._new_anchor()] + leaf_entries, is_leaf=True)
+            nodes.append(leaf)
+            position += take
+            if position < total:
+                separators.append(entries[position])
+                position += 1
+        self._num_keys = len(grouped)
+        self._num_tuples = len(items)
+        self._num_nodes = len(nodes)
+
+        # --- upper levels.
+        height = 1
+        while len(nodes) > 1:
+            nodes, separators = self._build_parent_level(nodes, separators, fill)
+            self._num_nodes += len(nodes) if height >= 1 else 0
+            height += 1
+        # _build_parent_level already counted its new nodes; fix double count.
+        self._root = nodes[0]
+        self._height = height
+        self._recount_nodes()
+
+    def _build_parent_level(
+        self, nodes: List[XBNode], separators: List[XBEntry], fill: int
+    ) -> Tuple[List[XBNode], List[XBEntry]]:
+        parents: List[XBNode] = []
+        parent_separators: List[XBEntry] = []
+        i = 0
+        m = len(nodes)
+        while i < m:
+            remaining = m - i
+            take = min(fill, remaining - 1)
+            nodes_after = remaining - (take + 1)
+            if nodes_after == 1 and take >= 1:
+                take -= 1
+            group_nodes = nodes[i:i + take + 1]
+            group_seps = separators[i:i + take]
+            parent = XBNode(entries=[self._new_anchor(child=group_nodes[0])], is_leaf=False)
+            for sep, child in zip(group_seps, group_nodes[1:]):
+                sep.child = child
+                self._refresh_entry_x(sep)
+                parent.entries.append(sep)
+            parents.append(parent)
+            i += take + 1
+            if i < m:
+                parent_separators.append(separators[i - 1])
+        return parents, parent_separators
+
+    def _recount_nodes(self) -> None:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            for entry in node.entries:
+                if entry.child is not None:
+                    stack.append(entry.child)
+        self._num_nodes = count
+
+    # ------------------------------------------------------------------ validation
+    def validate(self) -> None:
+        """Check every structural and aggregate invariant of the tree.
+
+        Raises :class:`XBTreeError` on the first violation.  The check walks
+        the entire tree, so it is meant for tests, not for production paths.
+        """
+        leaf_depths: List[int] = []
+        seen_keys: Dict[Any, int] = {}
+        self._validate_node(self._root, None, None, 1, leaf_depths, seen_keys, is_root=True)
+        if leaf_depths and len(set(leaf_depths)) != 1:
+            raise XBTreeError(f"leaves at different depths: {sorted(set(leaf_depths))}")
+        if leaf_depths and leaf_depths[0] != self._height:
+            raise XBTreeError(
+                f"recorded height {self._height} does not match leaf depth {leaf_depths[0]}"
+            )
+        total_keys = len(seen_keys)
+        if total_keys != self._num_keys:
+            raise XBTreeError(
+                f"key count mismatch: found {total_keys}, recorded {self._num_keys}"
+            )
+        total_tuples = sum(seen_keys.values())
+        if total_tuples != self._num_tuples:
+            raise XBTreeError(
+                f"tuple count mismatch: found {total_tuples}, recorded {self._num_tuples}"
+            )
+
+    def _validate_node(
+        self,
+        node: XBNode,
+        low: Any,
+        high: Any,
+        depth: int,
+        leaf_depths: List[int],
+        seen_keys: Dict[Any, int],
+        is_root: bool = False,
+    ) -> None:
+        if not node.entries:
+            raise XBTreeError("node with no entries")
+        anchor = node.entries[0]
+        if not anchor.is_anchor:
+            raise XBTreeError("first entry of a node must be keyless")
+        if anchor.tuples:
+            raise XBTreeError("the keyless anchor entry must have an empty L page")
+        if node.num_keyed_entries > self._capacity:
+            raise XBTreeError(
+                f"node holds {node.num_keyed_entries} keyed entries, capacity is {self._capacity}"
+            )
+        if not is_root and not node.is_leaf and node.num_keyed_entries == 0:
+            raise XBTreeError("non-root internal node with no keyed entries")
+
+        keys = node.keys()
+        if keys != sorted(keys):
+            raise XBTreeError(f"keys are not sorted within a node: {keys}")
+
+        if node.is_leaf:
+            leaf_depths.append(depth)
+            if anchor.child is not None:
+                raise XBTreeError("leaf anchor entry must have a null child")
+            if not anchor.x.is_zero():
+                raise XBTreeError("leaf anchor entry must have a zero X value")
+
+        for index, entry in enumerate(node.entries):
+            if index == 0:
+                entry_low, entry_high = low, keys[0] if keys else high
+            else:
+                entry_low = entry.key
+                entry_high = keys[index] if index < len(keys) else high
+                if low is not None and not (entry.key > low):
+                    raise XBTreeError(f"key {entry.key!r} violates lower bound {low!r}")
+                if high is not None and not (entry.key < high):
+                    raise XBTreeError(f"key {entry.key!r} violates upper bound {high!r}")
+                if not entry.tuples:
+                    raise XBTreeError(f"keyed entry {entry.key!r} has an empty L page")
+                seen_keys[entry.key] = seen_keys.get(entry.key, 0) + len(entry.tuples)
+
+            if node.is_leaf and entry.child is not None:
+                raise XBTreeError("leaf entries must have null children")
+            if not node.is_leaf and entry.child is None:
+                raise XBTreeError("internal entries must have a child")
+
+            expected = entry.l_xor(self._scheme)
+            if entry.child is not None:
+                expected = expected ^ entry.child.aggregate(self._scheme)
+            if expected != entry.x:
+                raise XBTreeError(
+                    f"aggregate mismatch at entry {entry.key!r}: stored {entry.x.hex()[:12]}, "
+                    f"recomputed {expected.hex()[:12]}"
+                )
+            if entry.child is not None:
+                self._validate_node(
+                    entry.child, entry_low, entry_high, depth + 1, leaf_depths, seen_keys
+                )

@@ -1,0 +1,51 @@
+"""Smoke tests for the runnable examples.
+
+The examples double as living documentation, so the suite executes the two
+fastest ones end to end (as real subprocesses, the way a user would run
+them) and checks that they complete successfully and print the expected
+headline facts.  The longer examples (`malicious_provider.py`,
+`dynamic_updates.py`, `paper_experiments.py`) exercise exactly the same code
+paths as the attack-detection, update and experiment integration tests.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "verified=True" in output
+        assert "verified=False" in output
+        assert "20 bytes" in output
+
+    def test_camera_shop(self):
+        output = run_example("camera_shop.py")
+        assert "cameras between 200 and 300 euros" in output
+        assert "verified=False" in output
+
+    @pytest.mark.parametrize("name", ["quickstart.py", "camera_shop.py",
+                                      "malicious_provider.py", "dynamic_updates.py",
+                                      "paper_experiments.py"])
+    def test_examples_exist_and_are_documented(self, name):
+        path = EXAMPLES_DIR / name
+        assert path.exists()
+        source = path.read_text()
+        assert source.lstrip().startswith(("#!/usr/bin/env python3", '"""'))
+        assert '"""' in source

@@ -1,0 +1,153 @@
+"""Integration tests of the experiment harness (Figures 5-8 and ablations).
+
+These run the full measurement pipeline at a tiny scale and assert the
+*qualitative* trends of the paper: constant VT vs growing VO, cheaper SP in
+SAE, linear client cost, small TE storage.  The quantitative comparison with
+the paper is recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    clear_cache,
+    digest_scheme_ablation,
+    figure5_rows,
+    figure6_rows,
+    figure7_rows,
+    figure8_rows,
+    format_figure5,
+    format_figure6,
+    format_figure7,
+    format_figure8,
+    measure_point,
+    page_size_ablation,
+    te_index_ablation,
+)
+from repro.experiments.figure6 import sp_reduction_summary
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(
+        cardinalities=(1_500, 4_000),
+        distributions=("uniform", "zipf"),
+        record_size=200,
+        num_queries=6,
+        rsa_key_bits=512,
+        seed=13,
+        label="test",
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestRunner:
+    def test_measure_point_verifies_everything(self, config):
+        point = measure_point(config, "uniform", 1_500)
+        assert point.all_verified
+        assert point.avg_result_cardinality > 0
+        assert point.num_queries == config.num_queries
+
+    def test_measurements_are_cached(self, config):
+        first = measure_point(config, "uniform", 1_500)
+        second = measure_point(config, "uniform", 1_500)
+        assert first is second
+
+    def test_cache_distinguishes_points(self, config):
+        a = measure_point(config, "uniform", 1_500)
+        b = measure_point(config, "zipf", 1_500)
+        assert a is not b
+
+
+class TestFigure5:
+    def test_vt_constant_and_vo_much_larger(self, config):
+        rows = figure5_rows(config)
+        assert len(rows) == 4  # 2 distributions x 2 cardinalities
+        for row in rows:
+            assert row["sae_te_client_bytes"] == 20
+            assert row["tom_sp_client_bytes"] > 10 * row["sae_te_client_bytes"]
+            assert row["overhead_ratio"] > 10
+
+    def test_formatting(self, config):
+        text = format_figure5(figure5_rows(config))
+        assert "Figure 5" in text
+        assert "UNF" in text and "SKW" in text
+
+
+class TestFigure6:
+    def test_sae_sp_cheaper_than_tom_sp(self, config):
+        rows = figure6_rows(config)
+        for row in rows:
+            # One node access of tolerance: at this tiny scale results span
+            # only a couple of leaves, so the gap is asserted on the average.
+            assert row["sae_sp_ms"] <= row["tom_sp_ms"] + config.node_access_ms
+            assert row["sae_te_ms"] > 0
+            # The record-fetch component is identical for both systems.
+            assert row["sae_sp_fetch_ms"] == pytest.approx(row["tom_sp_fetch_ms"])
+        summary = sp_reduction_summary(rows)
+        assert 0.0 <= summary["mean_reduction"] <= 0.7
+
+    def test_te_cost_negligible_vs_end_to_end_sp_cost(self, config):
+        for row in figure6_rows(config):
+            end_to_end_sp = row["sae_sp_ms"] + row["sae_sp_fetch_ms"]
+            assert row["sae_te_ms"] < end_to_end_sp
+
+    def test_formatting(self, config):
+        assert "Figure 6" in format_figure6(figure6_rows(config))
+
+
+class TestFigure7:
+    def test_client_costs_grow_with_cardinality(self, config):
+        rows = [row for row in figure7_rows(config) if row["dataset"] == "UNF"]
+        rows.sort(key=lambda row: row["n"])
+        assert rows[0]["avg_result_cardinality"] < rows[-1]["avg_result_cardinality"]
+        assert rows[0]["sae_client_ms"] <= rows[-1]["sae_client_ms"] * 1.5
+
+    def test_tom_client_at_least_as_expensive_as_sae(self, config):
+        for row in figure7_rows(config):
+            assert row["tom_client_ms"] >= row["sae_client_ms"] * 0.5
+
+    def test_formatting(self, config):
+        assert "Figure 7" in format_figure7(figure7_rows(config))
+
+
+class TestFigure8:
+    def test_te_storage_is_small_fraction_of_sp(self, config):
+        for row in figure8_rows(config):
+            assert row["sae_te_mb"] < row["sae_sp_mb"]
+            assert row["te_over_sp_fraction"] < 0.6
+            assert row["tom_sp_mb"] >= row["sae_sp_mb"] * 0.8
+
+    def test_storage_grows_with_cardinality(self, config):
+        rows = [row for row in figure8_rows(config) if row["dataset"] == "UNF"]
+        rows.sort(key=lambda row: row["n"])
+        assert rows[-1]["sae_sp_mb"] > rows[0]["sae_sp_mb"]
+
+    def test_formatting(self, config):
+        assert "Figure 8" in format_figure8(figure8_rows(config))
+
+
+class TestAblations:
+    def test_te_index_ablation_shows_logarithmic_advantage(self, config):
+        rows = te_index_ablation(config, cardinality=4_000)
+        for row in rows:
+            assert row["xbtree_accesses"] < row["scan_accesses"]
+            assert row["speedup"] > 1.0
+
+    def test_page_size_ablation_runs(self, config):
+        rows = page_size_ablation(config, page_sizes=(2048, 4096), cardinality=1_500)
+        assert len(rows) == 2
+        assert all(row["tom_sp_ms"] + config.node_access_ms >= row["sae_sp_ms"] for row in rows)
+
+    def test_digest_scheme_ablation_token_sizes(self, config):
+        rows = digest_scheme_ablation(config, cardinality=1_500)
+        by_scheme = {row["scheme"]: row for row in rows}
+        assert by_scheme["sha1"]["sae_auth_bytes"] == 20
+        assert by_scheme["sha256"]["sae_auth_bytes"] == 32
+        assert by_scheme["sha256"]["tom_auth_bytes"] > by_scheme["sha1"]["tom_auth_bytes"]

@@ -1,0 +1,78 @@
+"""Integration tests for on-disk persistence of the storage substrate.
+
+The experiments run in memory (the paper's cost model is simulated anyway),
+but every structure must genuinely be disk-serialisable: the heap file works
+unchanged on a file-backed pager, and its contents survive a close/reopen of
+the backing file.
+"""
+
+import pytest
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.heapfile import HeapFile
+from repro.storage.pager import FileBackedPager, InMemoryPager
+
+
+class TestHeapFileOnDisk:
+    def test_heapfile_round_trip_on_file_backed_pager(self, tmp_path):
+        pager = FileBackedPager(str(tmp_path / "heap.db"), page_size=512)
+        heap = HeapFile(pager=pager)
+        payloads = [f"record-{i}".encode() * 3 for i in range(200)]
+        rids = [heap.insert(payload) for payload in payloads]
+        assert [heap.get(rid, charge=False) for rid in rids] == payloads
+        pager.close()
+
+    def test_file_and_memory_pagers_agree(self, tmp_path):
+        file_pager = FileBackedPager(str(tmp_path / "a.db"), page_size=512)
+        mem_heap = HeapFile(pager=InMemoryPager(page_size=512))
+        file_heap = HeapFile(pager=file_pager)
+        payloads = [bytes([i % 250]) * (i % 40 + 1) for i in range(300)]
+        mem_rids = [mem_heap.insert(p) for p in payloads]
+        file_rids = [file_heap.insert(p) for p in payloads]
+        assert mem_rids == file_rids
+        assert ([mem_heap.get(r, charge=False) for r in mem_rids]
+                == [file_heap.get(r, charge=False) for r in file_rids])
+        file_pager.close()
+
+    def test_pages_survive_reopen(self, tmp_path):
+        path = str(tmp_path / "durable.db")
+        pager = FileBackedPager(path, page_size=512)
+        heap = HeapFile(pager=pager)
+        rid = heap.insert(b"survives a restart")
+        page_count = pager.num_pages
+        pager.flush()
+        pager.close()
+
+        reopened = FileBackedPager(path, page_size=512)
+        assert reopened.num_pages == page_count
+        raw = reopened.read_page(rid.page_no + 0)  # heap page 0 maps to pager page 0 here
+        assert b"survives a restart" in raw.snapshot()
+        reopened.close()
+
+
+class TestBufferPoolOverFile:
+    def test_write_back_through_pool(self, tmp_path):
+        pager = FileBackedPager(str(tmp_path / "pool.db"), page_size=512)
+        pool = BufferPool(pager, capacity=4)
+        pages = []
+        for i in range(10):
+            page = pool.allocate()
+            page.write(f"page-{i}".encode())
+            pages.append(page.page_id)
+        pool.flush_all()
+        for i, page_id in enumerate(pages):
+            assert pager.read_page(page_id).read(0, 7).startswith(f"page-{i}".encode()[:7])
+        assert pool.hit_ratio >= 0.0
+        pager.close()
+
+    def test_cold_cache_rereads_from_disk(self, tmp_path):
+        pager = FileBackedPager(str(tmp_path / "cold.db"), page_size=512)
+        pool = BufferPool(pager, capacity=2)
+        page = pool.allocate()
+        page.write(b"cold data")
+        pool.evict_all()
+        pool.reset_stats()
+        fetched = pool.fetch(page.page_id)
+        assert fetched.read(0, 9) == b"cold data"
+        assert pool.misses == 1
+        pager.close()

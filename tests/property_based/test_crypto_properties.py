@@ -1,0 +1,103 @@
+"""Property-based tests for the crypto substrate (encoding and XOR algebra)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.digest import SHA1, fold_xor
+from repro.crypto.encoding import decode_record, encode_record
+from repro.crypto.xor import digest_of_record, xor_of_records
+
+# Field values the canonical encoding must support.
+field_strategy = st.one_of(
+    st.integers(min_value=-(2**80), max_value=2**80),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=60),
+    st.binary(max_size=60),
+    st.booleans(),
+    st.none(),
+)
+
+record_strategy = st.lists(field_strategy, min_size=0, max_size=8).map(tuple)
+
+
+class TestEncodingProperties:
+    @given(record_strategy)
+    @settings(max_examples=200)
+    def test_round_trip(self, record):
+        assert decode_record(encode_record(record)) == record
+
+    @given(record_strategy, record_strategy)
+    @settings(max_examples=200)
+    def test_injectivity(self, first, second):
+        # The encoding distinguishes field *types* as well as values (0 vs 0.0
+        # vs False encode differently), so compare type-aware identities.
+        def identity(record):
+            # repr() separates -0.0 from 0.0, which also encode differently.
+            return tuple((type(value).__name__, repr(value)) for value in record)
+
+        if identity(first) != identity(second):
+            assert encode_record(first) != encode_record(second)
+        else:
+            assert encode_record(first) == encode_record(second)
+
+    @given(record_strategy)
+    def test_encoding_longer_than_field_count_header(self, record):
+        assert len(encode_record(record)) >= 4
+
+
+class TestXorAlgebraProperties:
+    @given(st.lists(st.binary(min_size=0, max_size=40), max_size=20))
+    def test_fold_is_order_independent(self, payloads):
+        digests = [SHA1.hash(payload) for payload in payloads]
+        assert fold_xor(digests) == fold_xor(list(reversed(digests)))
+
+    @given(st.lists(st.binary(max_size=40), max_size=15), st.lists(st.binary(max_size=40), max_size=15))
+    def test_fold_is_homomorphic_over_concatenation(self, left, right):
+        all_digests = [SHA1.hash(p) for p in left + right]
+        split = fold_xor([SHA1.hash(p) for p in left]) ^ fold_xor([SHA1.hash(p) for p in right])
+        assert fold_xor(all_digests) == split
+
+    @given(st.lists(st.binary(max_size=40), min_size=1, max_size=15))
+    def test_removing_equals_xoring_out(self, payloads):
+        digests = [SHA1.hash(payload) for payload in payloads]
+        total = fold_xor(digests)
+        without_first = fold_xor(digests[1:])
+        assert total ^ digests[0] == without_first
+
+    @given(st.lists(record_strategy, max_size=12))
+    def test_client_and_te_aggregation_agree(self, records):
+        # The client hashes whole records; the TE folds precomputed digests.
+        te_side = fold_xor(digest_of_record(record) for record in records)
+        client_side = xor_of_records(records)
+        assert te_side == client_side
+
+
+class TestTokenSecurityProperties:
+    @given(
+        st.lists(record_strategy, min_size=1, max_size=10, unique_by=lambda r: r),
+        st.data(),
+    )
+    @settings(max_examples=150)
+    def test_dropping_any_subset_changes_the_token(self, records, data):
+        """For distinct records, omitting a non-empty subset changes RS⊕.
+
+        This is the computational core of the paper's security argument: the
+        SP escapes detection only if the dropped and injected sets have equal
+        XOR, which for collision-resistant digests of *distinct* records never
+        happens in practice.
+        """
+        keep_mask = data.draw(
+            st.lists(st.booleans(), min_size=len(records), max_size=len(records))
+        )
+        if all(keep_mask):
+            return
+        full = xor_of_records(records)
+        partial = xor_of_records([r for r, keep in zip(records, keep_mask) if keep])
+        assert full != partial
+
+    @given(st.lists(record_strategy, max_size=8), record_strategy)
+    @settings(max_examples=150)
+    def test_injecting_a_new_record_changes_the_token(self, records, extra):
+        if extra in records:
+            return
+        assert xor_of_records(records) != xor_of_records(records + [extra])

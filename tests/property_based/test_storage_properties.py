@@ -1,0 +1,86 @@
+"""Property-based tests for the heap file and the table layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.dbms.catalog import TableSchema
+from repro.dbms.query import RangeQuery
+from repro.dbms.table import Table
+from repro.storage.heapfile import HeapFile
+
+payloads = st.binary(min_size=0, max_size=120)
+
+
+class TestHeapFileProperties:
+    @given(st.lists(payloads, max_size=150))
+    @settings(max_examples=60, deadline=None)
+    def test_insert_then_read_back_everything(self, items):
+        heap = HeapFile(page_size=512)
+        rids = [heap.insert(payload) for payload in items]
+        assert [heap.get(rid, charge=False) for rid in rids] == items
+        assert heap.num_records == len(items)
+
+    @given(st.lists(payloads, min_size=1, max_size=100), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_deleting_some_records_preserves_the_rest(self, items, data):
+        heap = HeapFile(page_size=512)
+        rids = [heap.insert(payload) for payload in items]
+        victim_count = data.draw(st.integers(min_value=0, max_value=len(items) - 1))
+        victims = set(data.draw(st.permutations(range(len(items))))[:victim_count])
+        for index in victims:
+            heap.delete(rids[index])
+        for index, (rid, payload) in enumerate(zip(rids, items)):
+            if index in victims:
+                continue
+            assert heap.get(rid, charge=False) == payload
+        assert heap.num_records == len(items) - len(victims)
+
+
+class TableMachine(RuleBasedStateMachine):
+    """Random table mutations checked against a dict model."""
+
+    SCHEMA = TableSchema(name="t", columns=("id", "key", "payload"))
+
+    def __init__(self):
+        super().__init__()
+        self.table = Table(self.SCHEMA, page_size=512)
+        self.model = {}
+        self.next_id = 0
+
+    @rule(key=st.integers(0, 50), payload=payloads)
+    def insert(self, key, payload):
+        record = (self.next_id, key, payload)
+        self.table.insert(record)
+        self.model[self.next_id] = record
+        self.next_id += 1
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete(self, data):
+        record_id = data.draw(st.sampled_from(sorted(self.model)))
+        self.table.delete(record_id)
+        del self.model[record_id]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), key=st.integers(0, 50), payload=payloads)
+    def update(self, data, key, payload):
+        record_id = data.draw(st.sampled_from(sorted(self.model)))
+        record = (record_id, key, payload)
+        self.table.update(record)
+        self.model[record_id] = record
+
+    @rule(low=st.integers(0, 50), high=st.integers(0, 50))
+    def range_query_matches_model(self, low, high):
+        low, high = min(low, high), max(low, high)
+        expected = sorted(record for record in self.model.values() if low <= record[1] <= high)
+        assert sorted(self.table.range_query(RangeQuery(low=low, high=high))) == expected
+
+    @invariant()
+    def counts_agree(self):
+        assert self.table.num_records == len(self.model)
+        self.table.index.validate()
+
+
+TableMachine.TestCase.settings = settings(max_examples=20, stateful_step_count=30, deadline=None)
+TestTableStateMachine = TableMachine.TestCase

@@ -1,0 +1,110 @@
+"""Property-based tests for the XB-tree: GenerateVT must always equal the
+brute-force XOR of the qualifying digests, under any operation sequence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.crypto.digest import SHA1, fold_xor
+from repro.xbtree import XBTree
+from repro.xbtree.node import XBTreeLayout
+
+keys = st.integers(min_value=0, max_value=120)
+
+
+def digest_for(record_id, key):
+    return SHA1.hash(f"{record_id}:{key}".encode())
+
+
+def brute_force(model, low, high):
+    return fold_xor(digest for key, digest in model.values() if low <= key <= high)
+
+
+class TestBulkLoadProperties:
+    @given(st.lists(keys, max_size=300), st.tuples(keys, keys))
+    @settings(max_examples=60, deadline=None)
+    def test_generate_vt_equals_brute_force(self, key_list, bounds):
+        low, high = min(bounds), max(bounds)
+        items = sorted(
+            ((key, record_id, digest_for(record_id, key)) for record_id, key in enumerate(key_list)),
+            key=lambda triple: triple[0],
+        )
+        tree = XBTree(layout=XBTreeLayout(page_size=256))
+        tree.bulk_load(items)
+        tree.validate()
+        expected = fold_xor(d for k, _, d in items if low <= k <= high)
+        assert tree.generate_vt(low, high) == expected
+
+    @given(st.lists(keys, min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_total_xor_equals_fold_of_all_digests(self, key_list):
+        items = sorted(
+            ((key, record_id, digest_for(record_id, key)) for record_id, key in enumerate(key_list)),
+            key=lambda triple: triple[0],
+        )
+        tree = XBTree(layout=XBTreeLayout(page_size=256))
+        tree.bulk_load(items)
+        assert tree.total_xor() == fold_xor(d for _, _, d in items)
+
+    @given(st.lists(keys, max_size=200), st.tuples(keys, keys), st.tuples(keys, keys))
+    @settings(max_examples=40, deadline=None)
+    def test_disjoint_ranges_compose_by_xor(self, key_list, first, second):
+        """VT([a,b]) ⊕ VT([c,d]) == VT of the symmetric difference of the ranges
+        when the ranges are disjoint -- a direct consequence of the XOR algebra."""
+        a, b = min(first), max(first)
+        c, d = min(second), max(second)
+        if b >= c and a <= d:  # overlapping; property only stated for disjoint ranges
+            return
+        items = sorted(
+            ((key, record_id, digest_for(record_id, key)) for record_id, key in enumerate(key_list)),
+            key=lambda triple: triple[0],
+        )
+        tree = XBTree(layout=XBTreeLayout(page_size=256))
+        tree.bulk_load(items)
+        combined = tree.generate_vt(a, b) ^ tree.generate_vt(c, d)
+        expected = fold_xor(dg for k, _, dg in items if a <= k <= b or c <= k <= d)
+        assert combined == expected
+
+
+class XBTreeMachine(RuleBasedStateMachine):
+    """Random insert/delete/VT sequences checked against a dict model."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = XBTree(layout=XBTreeLayout(page_size=256), capacity=4)
+        self.model = {}
+        self.next_id = 0
+
+    @rule(key=keys)
+    def insert(self, key):
+        digest = digest_for(self.next_id, key)
+        self.tree.insert(key, self.next_id, digest)
+        self.model[self.next_id] = (key, digest)
+        self.next_id += 1
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_existing(self, data):
+        record_id = data.draw(st.sampled_from(sorted(self.model)))
+        key, _ = self.model.pop(record_id)
+        self.tree.delete(key, record_id)
+
+    @rule(low=keys, high=keys)
+    def vt_matches_brute_force(self, low, high):
+        low, high = min(low, high), max(low, high)
+        assert self.tree.generate_vt(low, high) == brute_force(self.model, low, high)
+
+    @rule()
+    def total_matches(self):
+        assert self.tree.total_xor() == fold_xor(d for _, d in self.model.values())
+
+    @invariant()
+    def structural_invariants_hold(self):
+        self.tree.validate()
+        assert self.tree.num_tuples == len(self.model)
+
+
+XBTreeMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+TestXBTreeStateMachine = XBTreeMachine.TestCase

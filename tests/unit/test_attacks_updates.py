@@ -1,0 +1,120 @@
+"""Unit tests for the attack models and the update batch value objects."""
+
+import pytest
+
+from repro.core.attacks import (
+    CompositeAttack,
+    DropAttack,
+    InjectAttack,
+    ModifyAttack,
+    NoAttack,
+)
+from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
+from repro.dbms.query import RangeQuery
+
+QUERY = RangeQuery(low=0, high=1000)
+RECORDS = [(i, i * 10, f"payload-{i}".encode()) for i in range(10)]
+
+
+class TestAttacks:
+    def test_no_attack_returns_copy(self):
+        result = NoAttack().apply(RECORDS, QUERY)
+        assert result == RECORDS
+        assert result is not RECORDS
+
+    def test_drop_attack_count(self):
+        result = DropAttack(count=3, seed=1).apply(RECORDS, QUERY)
+        assert len(result) == 7
+        assert all(record in RECORDS for record in result)
+
+    def test_drop_attack_is_deterministic(self):
+        a = DropAttack(count=2, seed=5).apply(RECORDS, QUERY)
+        b = DropAttack(count=2, seed=5).apply(RECORDS, QUERY)
+        assert a == b
+
+    def test_drop_attack_predicate(self):
+        attack = DropAttack(predicate=lambda record: record[1] >= 50)
+        result = attack.apply(RECORDS, QUERY)
+        assert all(record[1] < 50 for record in result)
+
+    def test_drop_more_than_available(self):
+        assert DropAttack(count=50).apply(RECORDS[:2], QUERY) == []
+
+    def test_drop_on_empty_result(self):
+        assert DropAttack(count=1).apply([], QUERY) == []
+
+    def test_inject_attack_default_fabrication(self):
+        result = InjectAttack(count=2).apply(RECORDS, QUERY)
+        assert len(result) == 12
+        assert result[:10] == RECORDS
+
+    def test_inject_attack_explicit_records(self):
+        fake = (999, 500, b"fake")
+        result = InjectAttack(records=[fake]).apply(RECORDS, QUERY)
+        assert result[-1] == fake
+
+    def test_inject_attack_custom_fabricator(self):
+        attack = InjectAttack(count=1, fabricator=lambda query, index: ("f", query.low, index))
+        result = attack.apply(RECORDS, QUERY)
+        assert result[-1] == ("f", 0, 0)
+
+    def test_inject_on_empty_result(self):
+        result = InjectAttack(count=1).apply([], QUERY)
+        assert len(result) == 1
+
+    def test_modify_attack_changes_exactly_count_records(self):
+        result = ModifyAttack(count=2, seed=3).apply(RECORDS, QUERY)
+        assert len(result) == len(RECORDS)
+        changed = sum(1 for a, b in zip(RECORDS, result) if a != b)
+        assert changed == 2
+
+    def test_modify_attack_preserves_query_attribute(self):
+        result = ModifyAttack(count=3, seed=3).apply(RECORDS, QUERY)
+        assert [record[1] for record in result] == [record[1] for record in RECORDS]
+
+    def test_modify_attack_custom_mutator(self):
+        attack = ModifyAttack(count=1, seed=0,
+                              mutator=lambda record: (record[0], record[1], b"OWNED"))
+        result = attack.apply(RECORDS, QUERY)
+        assert any(record[2] == b"OWNED" for record in result)
+
+    def test_modify_on_empty_result(self):
+        assert ModifyAttack(count=1).apply([], QUERY) == []
+
+    def test_composite_attack_applies_in_sequence(self):
+        attack = CompositeAttack(attacks=[DropAttack(count=2, seed=1), InjectAttack(count=1)])
+        result = attack.apply(RECORDS, QUERY)
+        assert len(result) == 10 - 2 + 1
+
+    def test_attacks_do_not_mutate_input(self):
+        snapshot = list(RECORDS)
+        for attack in (DropAttack(count=2), InjectAttack(count=1), ModifyAttack(count=1),
+                       CompositeAttack(attacks=[DropAttack(count=1)])):
+            attack.apply(RECORDS, QUERY)
+            assert RECORDS == snapshot
+
+
+class TestUpdateBatch:
+    def test_builder_interface(self):
+        batch = (UpdateBatch()
+                 .insert((1, 2, b"x"))
+                 .delete(7)
+                 .modify((3, 4, b"y")))
+        assert len(batch) == 3
+        kinds = [type(operation) for operation in batch]
+        assert kinds == [InsertRecord, DeleteRecord, ModifyRecord]
+
+    def test_operations_are_frozen(self):
+        operation = InsertRecord(fields=(1, 2))
+        with pytest.raises(AttributeError):
+            operation.fields = (3, 4)
+
+    def test_encoded_sizes_are_positive_and_additive(self):
+        batch = UpdateBatch().insert((1, 2, b"xx")).delete(5).modify((1, 2, b"yy"))
+        sizes = [operation.encoded_size() for operation in batch]
+        assert all(size > 0 for size in sizes)
+        assert batch.encoded_size() == sum(sizes)
+
+    def test_insert_converts_fields_to_tuple(self):
+        batch = UpdateBatch().insert([1, 2, b"x"])
+        assert isinstance(batch.operations[0].fields, tuple)

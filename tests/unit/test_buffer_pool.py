@@ -1,0 +1,91 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.page import PageError
+from repro.storage.pager import InMemoryPager
+
+
+@pytest.fixture()
+def pool():
+    return BufferPool(InMemoryPager(page_size=128), capacity=3)
+
+
+class TestBufferPool:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BufferPool(InMemoryPager(page_size=128), capacity=0)
+
+    def test_allocate_and_fetch_hit(self, pool):
+        page = pool.allocate()
+        assert pool.fetch(page.page_id) is page
+        assert pool.hits == 1
+        assert pool.misses == 0
+
+    def test_fetch_miss_goes_to_pager(self, pool):
+        page = pool.allocate()
+        pool.evict_all()
+        fetched = pool.fetch(page.page_id)
+        assert fetched.page_id == page.page_id
+        assert pool.misses == 1
+
+    def test_lru_eviction_respects_capacity(self, pool):
+        pages = [pool.allocate() for _ in range(5)]
+        assert pool.resident_pages == 3
+        # The two oldest pages were evicted; fetching them is a miss.
+        pool.reset_stats()
+        pool.fetch(pages[0].page_id)
+        assert pool.misses == 1
+
+    def test_dirty_page_written_back_on_eviction(self, pool):
+        page = pool.allocate()
+        page.write(b"dirty data")
+        for _ in range(4):
+            pool.allocate()
+        fetched = pool.fetch(page.page_id)
+        assert fetched.read(0, 10) == b"dirty data"
+
+    def test_flush_all_persists_and_keeps_resident(self, pool):
+        page = pool.allocate()
+        page.write(b"abc")
+        pool.flush_all()
+        assert not page.dirty
+        assert pool.resident_pages >= 1
+        assert pool.pager.read_page(page.page_id).read(0, 3) == b"abc"
+
+    def test_flush_single_page(self, pool):
+        page = pool.allocate()
+        page.write(b"xyz")
+        pool.flush_page(page.page_id)
+        assert pool.pager.read_page(page.page_id).read(0, 3) == b"xyz"
+
+    def test_flush_unknown_page_is_noop(self, pool):
+        pool.flush_page(12345)  # must not raise
+
+    def test_mark_dirty_requires_residency(self, pool):
+        page = pool.allocate()
+        pool.evict_all()
+        with pytest.raises(PageError):
+            pool.mark_dirty(page)
+
+    def test_hit_ratio(self, pool):
+        page = pool.allocate()
+        pool.reset_stats()
+        pool.fetch(page.page_id)
+        pool.fetch(page.page_id)
+        assert pool.hit_ratio == 1.0
+
+    def test_hit_ratio_zero_when_unused(self, pool):
+        assert pool.hit_ratio == 0.0
+
+    def test_free_removes_from_pool_and_pager(self, pool):
+        page = pool.allocate()
+        pool.free(page.page_id)
+        assert page.page_id not in pool
+        with pytest.raises(PageError):
+            pool.pager.read_page(page.page_id)
+
+    def test_contains(self, pool):
+        page = pool.allocate()
+        assert page.page_id in pool

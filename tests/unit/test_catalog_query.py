@@ -1,0 +1,94 @@
+"""Unit tests for table schemas, the catalog and range-query value objects."""
+
+import pytest
+
+from repro.dbms.catalog import Catalog, CatalogError, TableSchema
+from repro.dbms.query import QueryError, RangeQuery
+
+
+class TestTableSchema:
+    def test_valid_schema(self):
+        schema = TableSchema(name="t", columns=("id", "key", "payload"))
+        assert schema.id_index == 0
+        assert schema.key_index == 1
+        assert schema.codec().arity == 3
+
+    def test_custom_key_column(self):
+        schema = TableSchema(name="cameras", columns=("id", "manufacturer", "model", "price"),
+                             key_column="price")
+        assert schema.key_index == 3
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema(name="t", columns=())
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema(name="t", columns=("id", "id"))
+
+    def test_missing_id_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema(name="t", columns=("key", "payload"))
+
+    def test_missing_key_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema(name="t", columns=("id", "payload"))
+
+    def test_validate_record(self):
+        schema = TableSchema(name="t", columns=("id", "key"))
+        schema.validate_record((1, 2))
+        with pytest.raises(CatalogError):
+            schema.validate_record((1, 2, 3))
+
+
+class TestCatalog:
+    def test_add_get_drop(self):
+        catalog = Catalog()
+        schema = TableSchema(name="t", columns=("id", "key"))
+        catalog.add(schema)
+        assert catalog.get("t") is schema
+        assert "t" in catalog
+        assert len(catalog) == 1
+        catalog.drop("t")
+        assert "t" not in catalog
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        schema = TableSchema(name="t", columns=("id", "key"))
+        catalog.add(schema)
+        with pytest.raises(CatalogError):
+            catalog.add(schema)
+
+    def test_unknown_table_raises(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.get("missing")
+        with pytest.raises(CatalogError):
+            catalog.drop("missing")
+
+
+class TestRangeQuery:
+    def test_valid_query(self):
+        query = RangeQuery(low=200, high=300, attribute="price")
+        assert query.extent == 100
+        assert query.contains(200)
+        assert query.contains(300)
+        assert not query.contains(301)
+
+    def test_point_query(self):
+        query = RangeQuery(low=5, high=5)
+        assert query.contains(5)
+        assert query.extent == 0
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery(low=10, high=5)
+
+    def test_none_bounds_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery(low=None, high=5)
+
+    def test_is_frozen(self):
+        query = RangeQuery(low=1, high=2)
+        with pytest.raises(AttributeError):
+            query.low = 0

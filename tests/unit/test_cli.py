@@ -1,0 +1,46 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_demo_runs_and_detects_tampering(self, capsys):
+        exit_code = main(["demo", "--records", "800"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "verified=True" in output
+        assert "verified=False" in output
+
+    def test_demo_zipf_distribution(self, capsys):
+        assert main(["demo", "--records", "600", "--distribution", "zipf"]) == 0
+        assert "SKW-600" in capsys.readouterr().out
+
+
+class TestExperiments:
+    def test_single_figure(self, capsys):
+        exit_code = main(["experiments", "--scale", "quick", "--figure", "5"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Figure 5" in output
+        assert "Figure 6" not in output
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "--scale", "galactic"])
+
+
+class TestAttackGallery:
+    def test_gallery_reports_verdicts(self, capsys):
+        exit_code = main(["attack-gallery", "--records", "700"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "REJECTED" in output
+        assert "accepted" in output
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,85 @@
+"""Unit tests for node-access accounting and the 10 ms cost model."""
+
+from repro.storage.cost_model import AccessCounter, CostModel
+
+
+class TestAccessCounter:
+    def test_initial_state_is_zero(self):
+        counter = AccessCounter()
+        assert counter.node_accesses == 0
+        assert counter.page_reads == 0
+        assert counter.page_writes == 0
+        assert counter.page_allocations == 0
+
+    def test_recording(self):
+        counter = AccessCounter()
+        counter.record_node_access()
+        counter.record_node_access(3)
+        counter.record_read()
+        counter.record_write(2)
+        counter.record_allocation()
+        assert counter.node_accesses == 4
+        assert counter.page_reads == 1
+        assert counter.page_writes == 2
+        assert counter.page_allocations == 1
+
+    def test_reset(self):
+        counter = AccessCounter(node_accesses=5, page_reads=2)
+        counter.reset()
+        assert counter.node_accesses == 0
+        assert counter.page_reads == 0
+
+    def test_snapshot_is_independent(self):
+        counter = AccessCounter()
+        counter.record_node_access(2)
+        snapshot = counter.snapshot()
+        counter.record_node_access(3)
+        assert snapshot.node_accesses == 2
+        assert counter.node_accesses == 5
+
+    def test_delta(self):
+        counter = AccessCounter()
+        counter.record_node_access(2)
+        earlier = counter.snapshot()
+        counter.record_node_access(7)
+        counter.record_read(1)
+        delta = counter.delta(earlier)
+        assert delta.node_accesses == 7
+        assert delta.page_reads == 1
+
+    def test_addition(self):
+        total = AccessCounter(node_accesses=1) + AccessCounter(node_accesses=2, page_writes=3)
+        assert total.node_accesses == 3
+        assert total.page_writes == 3
+
+
+class TestCostModel:
+    def test_default_matches_paper_10ms(self):
+        model = CostModel()
+        assert model.node_access_ms == 10.0
+        assert model.io_cost_ms(7) == 70.0
+
+    def test_io_cost_uses_embedded_counter_by_default(self):
+        model = CostModel()
+        model.counter.record_node_access(4)
+        assert model.io_cost_ms() == 40.0
+
+    def test_total_cost_includes_cpu_when_enabled(self):
+        model = CostModel(node_access_ms=10.0, include_cpu=True)
+        assert model.total_cost_ms(node_accesses=2, cpu_ms=5.0) == 25.0
+
+    def test_total_cost_excludes_cpu_when_disabled(self):
+        model = CostModel(include_cpu=False)
+        assert model.total_cost_ms(node_accesses=2, cpu_ms=5.0) == 20.0
+
+    def test_charge_records_and_prices(self):
+        model = CostModel(node_access_ms=2.0)
+        cost = model.charge(6)
+        assert cost == 12.0
+        assert model.counter.node_accesses == 6
+
+    def test_reset(self):
+        model = CostModel()
+        model.charge(3)
+        model.reset()
+        assert model.counter.node_accesses == 0

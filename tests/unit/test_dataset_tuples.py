@@ -1,0 +1,107 @@
+"""Unit tests for the Dataset value object and the TE's tuple derivation."""
+
+import pytest
+
+from repro.core.dataset import Dataset, DatasetError
+from repro.core.tuples import TETuple, digest_record, make_te_tuples, total_tuple_bytes
+from repro.crypto.digest import SHA256
+from repro.dbms.catalog import TableSchema
+
+SCHEMA = TableSchema(name="t", columns=("id", "key", "payload"))
+
+
+def make_dataset(count=10):
+    return Dataset(schema=SCHEMA,
+                   records=[(i, i * 5, f"p{i}".encode()) for i in range(count)])
+
+
+class TestDataset:
+    def test_basic_accessors(self):
+        dataset = make_dataset(4)
+        assert dataset.cardinality == len(dataset) == 4
+        assert dataset.key_of(dataset.records[2]) == 10
+        assert dataset.id_of(dataset.records[2]) == 2
+        assert dataset.keys() == [0, 5, 10, 15]
+        assert dataset.by_id()[3] == (3, 15, b"p3")
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(DatasetError):
+            Dataset(schema=SCHEMA, records=[(1, 1, b"a"), (1, 2, b"b")])
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(Exception):
+            Dataset(schema=SCHEMA, records=[(1, 2)])
+
+    def test_sorted_by_key_and_range(self):
+        dataset = Dataset(schema=SCHEMA,
+                          records=[(1, 30, b"a"), (2, 10, b"b"), (3, 20, b"c")])
+        assert [dataset.key_of(r) for r in dataset.sorted_by_key()] == [10, 20, 30]
+        assert dataset.range(10, 20) == [(2, 10, b"b"), (3, 20, b"c")]
+
+    def test_size_bytes_and_average(self):
+        dataset = make_dataset(5)
+        assert dataset.size_bytes() > 0
+        assert dataset.average_record_bytes() == dataset.size_bytes() / 5
+
+    def test_add_remove_replace(self):
+        dataset = make_dataset(3)
+        dataset.add((10, 50, b"new"))
+        assert dataset.cardinality == 4
+        with pytest.raises(DatasetError):
+            dataset.add((10, 50, b"dup"))
+        old = dataset.replace((10, 60, b"changed"))
+        assert old == (10, 50, b"new")
+        removed = dataset.remove(10)
+        assert removed == (10, 60, b"changed")
+        with pytest.raises(DatasetError):
+            dataset.remove(10)
+        with pytest.raises(DatasetError):
+            dataset.replace((10, 1, b"x"))
+
+    def test_subset(self):
+        dataset = make_dataset(10)
+        subset = dataset.subset(3)
+        assert subset.cardinality == 3
+        assert subset.records == dataset.records[:3]
+        with pytest.raises(DatasetError):
+            dataset.subset(-1)
+
+    def test_empty_dataset(self):
+        dataset = Dataset(schema=SCHEMA, records=[])
+        assert dataset.cardinality == 0
+        assert dataset.average_record_bytes() == 0.0
+        assert dataset.range(0, 100) == []
+
+
+class TestTETuples:
+    def test_make_te_tuples_matches_records(self):
+        dataset = make_dataset(6)
+        tuples = make_te_tuples(dataset)
+        assert len(tuples) == 6
+        for te_tuple, record in zip(tuples, dataset.records):
+            assert te_tuple.record_id == record[0]
+            assert te_tuple.key == record[1]
+            assert te_tuple.digest == digest_record(record)
+
+    def test_digest_record_matches_client_side_hashing(self):
+        from repro.crypto.xor import digest_of_record
+
+        record = (1, 2, b"x")
+        assert digest_record(record) == digest_of_record(record)
+
+    def test_scheme_override(self):
+        dataset = make_dataset(2)
+        tuples = make_te_tuples(dataset, scheme=SHA256)
+        assert all(t.digest.size == 32 for t in tuples)
+
+    def test_tuple_size_accounting(self):
+        te_tuple = TETuple(record_id=1, key=2, digest=digest_record((1, 2, b"x")))
+        assert te_tuple.size_bytes() == 8 + 4 + 20
+        assert total_tuple_bytes([te_tuple, te_tuple]) == 2 * 32
+
+    def test_te_keeps_only_slim_tuples(self):
+        # The point of the TE: its per-record state is much smaller than the
+        # record itself (500 bytes in the paper).
+        dataset = Dataset(schema=SCHEMA, records=[(1, 2, b"x" * 500)])
+        te_tuple = make_te_tuples(dataset)[0]
+        assert te_tuple.size_bytes() < 500 / 10

@@ -1,0 +1,111 @@
+"""Unit tests for the canonical record encoding."""
+
+import pytest
+
+from repro.crypto.encoding import (
+    EncodingError,
+    RecordCodec,
+    decode_record,
+    encode_record,
+)
+
+
+class TestEncodeDecodeRoundTrip:
+    @pytest.mark.parametrize(
+        "record",
+        [
+            (),
+            (1,),
+            (0, -5, 2**40),
+            (3.25, -0.0),
+            ("hello", "unicode-éßπ"),
+            (b"raw-bytes", b""),
+            (None, None),
+            (True, False),
+            (1, "mixed", b"types", 2.5, None, True),
+            (2**100, -(2**90)),
+        ],
+    )
+    def test_round_trip(self, record):
+        assert decode_record(encode_record(record)) == tuple(record)
+
+    def test_round_trip_paper_example_record(self):
+        record = (15, "Canon", "SD850 IS", 250)
+        assert decode_record(encode_record(record)) == record
+
+    def test_encoding_is_deterministic(self):
+        record = (1, "a", b"bytes", 2.0)
+        assert encode_record(record) == encode_record(record)
+
+    def test_distinct_records_encode_differently(self):
+        assert encode_record((1, "ab")) != encode_record((1, "a", "b"))
+        assert encode_record(("1",)) != encode_record((1,))
+        assert encode_record((b"x",)) != encode_record(("x",))
+
+    def test_bool_is_not_confused_with_int(self):
+        assert encode_record((True,)) != encode_record((1,))
+        assert decode_record(encode_record((True,))) == (True,)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(EncodingError):
+            encode_record(([1, 2, 3],))
+
+    def test_truncated_payload_raises(self):
+        data = encode_record((1, "hello"))
+        with pytest.raises(EncodingError):
+            decode_record(data[:-3])
+
+    def test_trailing_garbage_raises(self):
+        data = encode_record((1,))
+        with pytest.raises(EncodingError):
+            decode_record(data + b"\x00")
+
+    def test_empty_input_raises(self):
+        with pytest.raises(EncodingError):
+            decode_record(b"")
+
+
+class TestRecordCodec:
+    def test_requires_columns(self):
+        with pytest.raises(EncodingError):
+            RecordCodec([])
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(EncodingError):
+            RecordCodec(["id", "id"])
+
+    def test_round_trip_with_schema(self):
+        codec = RecordCodec(["id", "key", "payload"])
+        record = (7, 1234, b"data")
+        assert codec.decode(codec.encode(record)) == record
+
+    def test_encode_checks_arity(self):
+        codec = RecordCodec(["id", "key"])
+        with pytest.raises(EncodingError):
+            codec.encode((1, 2, 3))
+
+    def test_decode_checks_arity(self):
+        codec = RecordCodec(["id", "key"])
+        other = RecordCodec(["id", "key", "payload"])
+        with pytest.raises(EncodingError):
+            codec.decode(other.encode((1, 2, b"x")))
+
+    def test_as_dict(self):
+        codec = RecordCodec(["id", "manufacturer", "model", "price"])
+        record = (15, "Canon", "SD850 IS", 250)
+        assert codec.as_dict(record) == {
+            "id": 15,
+            "manufacturer": "Canon",
+            "model": "SD850 IS",
+            "price": 250,
+        }
+
+    def test_as_dict_checks_arity(self):
+        codec = RecordCodec(["id", "key"])
+        with pytest.raises(EncodingError):
+            codec.as_dict((1,))
+
+    def test_columns_and_arity(self):
+        codec = RecordCodec(["a", "b", "c"])
+        assert codec.columns == ("a", "b", "c")
+        assert codec.arity == 3

@@ -1,0 +1,121 @@
+"""Unit tests for the storage engine and the sqlite3 backend."""
+
+import pytest
+
+from repro.dbms.catalog import CatalogError, TableSchema
+from repro.dbms.engine import StorageEngine
+from repro.dbms.query import RangeQuery
+from repro.dbms.sqlite_backend import SQLiteEngine, SQLiteTable
+from repro.dbms.table import TableError
+
+
+@pytest.fixture()
+def schema():
+    return TableSchema(name="items", columns=("id", "key", "payload"))
+
+
+class TestStorageEngine:
+    def test_create_and_query_table(self, schema):
+        engine = StorageEngine(page_size=512)
+        table = engine.create_table(schema)
+        table.insert((1, 10, b"x"))
+        engine.insert("items", (2, 20, b"y"))
+        assert engine.range_query("items", RangeQuery(low=0, high=15)) == [(1, 10, b"x")]
+        assert engine.tables() == ["items"]
+        assert "items" in engine
+
+    def test_duplicate_table_rejected(self, schema):
+        engine = StorageEngine()
+        engine.create_table(schema)
+        with pytest.raises(CatalogError):
+            engine.create_table(schema)
+
+    def test_unknown_table_raises(self):
+        engine = StorageEngine()
+        with pytest.raises(CatalogError):
+            engine.table("missing")
+
+    def test_drop_table(self, schema):
+        engine = StorageEngine()
+        engine.create_table(schema)
+        engine.drop_table("items")
+        assert "items" not in engine
+
+    def test_shared_counter_and_total_size(self, schema):
+        engine = StorageEngine(page_size=512)
+        table = engine.create_table(schema)
+        table.insert((1, 10, b"x"))
+        assert engine.total_size_bytes() == table.size_bytes()
+        before = engine.counter.node_accesses
+        engine.range_query("items", RangeQuery(low=0, high=100))
+        assert engine.counter.node_accesses > before
+
+
+class TestSQLiteTable:
+    @pytest.fixture()
+    def table(self, schema):
+        return SQLiteTable(schema, sample_record=(1, 1, b"x"))
+
+    def test_insert_get_round_trip(self, table):
+        table.insert((1, 10, b"payload"))
+        assert table.get(1) == (1, 10, b"payload")
+        assert table.num_records == 1
+        assert len(table) == 1
+
+    def test_duplicate_id_rejected(self, table):
+        table.insert((1, 10, b"x"))
+        with pytest.raises(TableError):
+            table.insert((1, 20, b"y"))
+
+    def test_range_query_ordered(self, table):
+        table.bulk_load([(i, (i * 7) % 50, b"p") for i in range(40)])
+        result = table.range_query(RangeQuery(low=10, high=20))
+        keys = [row[1] for row in result]
+        assert keys == sorted(keys)
+        assert all(10 <= key <= 20 for key in keys)
+
+    def test_range_query_keys_only(self, table):
+        table.insert((1, 10, b"x"))
+        assert table.range_query(RangeQuery(low=0, high=50), fetch_records=False) == [(10, 1)]
+
+    def test_delete_and_update(self, table):
+        table.insert((1, 10, b"x"))
+        table.update((1, 99, b"new"))
+        assert table.get(1) == (1, 99, b"new")
+        table.delete(1)
+        with pytest.raises(TableError):
+            table.get(1)
+
+    def test_delete_missing_raises(self, table):
+        with pytest.raises(TableError):
+            table.delete(5)
+
+    def test_update_missing_raises(self, table):
+        with pytest.raises(TableError):
+            table.update((5, 1, b"x"))
+
+    def test_scan_and_size(self, table):
+        table.bulk_load([(i, i, b"p") for i in range(10)])
+        assert len(list(table.scan())) == 10
+        assert table.size_bytes() > 0
+
+
+class TestSQLiteEngine:
+    def test_multiple_tables_one_connection(self, schema):
+        engine = SQLiteEngine()
+        first = engine.create_table(schema)
+        second_schema = TableSchema(name="other", columns=("id", "key"))
+        second = engine.create_table(second_schema)
+        first.insert((1, 10, b"x"))
+        second.insert((1, 5))
+        assert engine.table("items").num_records == 1
+        assert engine.table("other").num_records == 1
+        engine.close()
+
+    def test_duplicate_and_unknown_tables(self, schema):
+        engine = SQLiteEngine()
+        engine.create_table(schema)
+        with pytest.raises(TableError):
+            engine.create_table(schema)
+        with pytest.raises(TableError):
+            engine.table("missing")

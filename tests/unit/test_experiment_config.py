@@ -1,0 +1,52 @@
+"""Unit tests for the experiment configuration presets."""
+
+from repro.experiments.config import ExperimentConfig
+
+
+class TestPresets:
+    def test_quick_preset_is_small(self):
+        config = ExperimentConfig.quick()
+        assert max(config.cardinalities) <= 10_000
+        assert config.num_queries <= 20
+
+    def test_default_preset(self):
+        config = ExperimentConfig.default()
+        assert config.record_size == 500
+        assert config.label == "default"
+        assert max(config.cardinalities) == 100_000
+
+    def test_paper_preset_matches_section_iv(self):
+        config = ExperimentConfig.paper()
+        assert config.cardinalities == (100_000, 250_000, 500_000, 750_000, 1_000_000)
+        assert config.record_size == 500
+        assert config.num_queries == 100
+        assert config.extent_fraction == 0.005
+        assert config.page_size == 4096
+        assert config.node_access_ms == 10.0
+        assert config.domain == (0, 10_000_000)
+
+    def test_config_is_frozen(self):
+        import pytest
+
+        config = ExperimentConfig.quick()
+        with pytest.raises(AttributeError):
+            config.num_queries = 5
+
+
+class TestHelpers:
+    def test_cache_key_distinguishes_points(self):
+        config = ExperimentConfig.quick()
+        assert config.cache_key("uniform", 1000) != config.cache_key("uniform", 2000)
+        assert config.cache_key("uniform", 1000) != config.cache_key("zipf", 1000)
+
+    def test_cache_key_distinguishes_configs(self):
+        from dataclasses import replace
+
+        config = ExperimentConfig.quick()
+        other = replace(config, page_size=8192)
+        assert config.cache_key("uniform", 1000) != other.cache_key("uniform", 1000)
+
+    def test_dataset_labels(self):
+        config = ExperimentConfig.quick()
+        assert config.dataset_label("uniform") == "UNF"
+        assert config.dataset_label("zipf") == "SKW"

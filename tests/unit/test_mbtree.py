@@ -1,0 +1,154 @@
+"""Unit tests for the MB-Tree (the TOM authenticated data structure)."""
+
+import pytest
+
+from repro.crypto.digest import SHA1
+from repro.crypto.xor import digest_of_record
+from repro.tom.mbtree import MBTree, MBTreeError, MBTreeLayout
+
+
+def record(rid, key, payload=b"payload"):
+    return (rid, key, payload)
+
+
+def triple(rid, key):
+    fields = record(rid, key)
+    return key, rid, digest_of_record(fields)
+
+
+def make_tree(page_size=256):
+    return MBTree(layout=MBTreeLayout(page_size=page_size))
+
+
+class TestLayout:
+    def test_entry_sizes_include_digest(self):
+        layout = MBTreeLayout(page_size=4096)
+        assert layout.leaf_entry_size == 4 + 8 + 20
+        assert layout.internal_entry_size == 4 + 8 + 20
+
+    def test_fanout_lower_than_plain_bplus_tree(self):
+        from repro.btree.node import NodeLayout
+
+        assert MBTreeLayout(page_size=4096).leaf_capacity < NodeLayout(page_size=4096).leaf_capacity
+
+
+class TestDigestMaintenance:
+    def test_empty_tree_root_digest_is_hash_of_empty(self):
+        tree = make_tree()
+        assert tree.root_digest() == SHA1.hash(b"")
+
+    def test_root_digest_changes_on_insert(self):
+        tree = make_tree()
+        before = tree.root_digest()
+        tree.insert(*triple(1, 10))
+        assert tree.root_digest() != before
+
+    def test_root_digest_changes_on_delete(self):
+        tree = make_tree()
+        tree.insert(*triple(1, 10))
+        tree.insert(*triple(2, 20))
+        before = tree.root_digest()
+        tree.delete(20, 2)
+        assert tree.root_digest() != before
+
+    def test_root_digest_independent_of_insertion_order(self):
+        # The MB-tree digest depends on the *structure*, so two trees built by
+        # the same bulk load must agree (this is what lets the DO and SP hold
+        # identical copies).
+        items = [triple(rid, rid * 3) for rid in range(200)]
+        a, b = make_tree(), make_tree()
+        a.bulk_load(sorted(items))
+        b.bulk_load(sorted(items))
+        assert a.root_digest() == b.root_digest()
+
+    def test_validate_checks_digest_consistency(self, rng):
+        tree = make_tree(page_size=128)
+        for rid in range(300):
+            tree.insert(*triple(rid, rng.randint(0, 100)))
+        tree.validate()
+
+    def test_validate_detects_corruption(self):
+        tree = make_tree()
+        for rid in range(50):
+            tree.insert(*triple(rid, rid))
+        # Corrupt one leaf digest behind the tree's back.
+        node = tree._root
+        while not node.is_leaf:
+            node = node.children[0]
+        node.digests[0] = SHA1.hash(b"corrupted")
+        with pytest.raises(MBTreeError):
+            tree.validate()
+
+
+class TestQueriesAndMaintenance:
+    def test_range_search_matches_reference(self, rng):
+        tree = make_tree(page_size=128)
+        reference = []
+        for rid in range(600):
+            key = rng.randint(0, 400)
+            tree.insert(*triple(rid, key))
+            reference.append((key, rid))
+        result = tree.range_search(100, 200)
+        assert sorted(result) == sorted((k, r) for k, r in reference if 100 <= k <= 200)
+
+    def test_insert_requires_digest(self):
+        tree = make_tree()
+        with pytest.raises(MBTreeError):
+            tree.insert(1, 1, b"raw")
+
+    def test_delete_missing_raises(self):
+        tree = make_tree()
+        tree.insert(*triple(1, 5))
+        with pytest.raises(MBTreeError):
+            tree.delete(99)
+
+    def test_delete_with_rid_among_duplicates(self):
+        tree = make_tree()
+        tree.insert(*triple(1, 5))
+        tree.insert(*triple(2, 5))
+        tree.delete(5, rid=1)
+        remaining = tree.range_search(5, 5)
+        assert remaining == [(5, 2)]
+        tree.validate()
+
+    def test_mass_delete_keeps_invariants(self, rng):
+        tree = make_tree(page_size=128)
+        entries = []
+        for rid in range(400):
+            key = rng.randint(0, 150)
+            tree.insert(*triple(rid, key))
+            entries.append((key, rid))
+        rng.shuffle(entries)
+        for key, rid in entries[:300]:
+            tree.delete(key, rid)
+        tree.validate()
+        remaining = sorted(entries[300:])
+        assert sorted(tree.range_search(0, 150)) == remaining
+
+    def test_bulk_load_matches_incremental_content(self):
+        items = sorted(triple(rid, rid % 37) for rid in range(500))
+        bulk = make_tree()
+        bulk.bulk_load(items)
+        bulk.validate()
+        assert bulk.num_entries == 500
+        assert sorted(k for k, _, _ in bulk.items()) == sorted(k for k, _, _ in items)
+
+    def test_bulk_load_requires_sorted(self):
+        tree = make_tree()
+        with pytest.raises(MBTreeError):
+            tree.bulk_load([triple(1, 5), triple(2, 1)])
+
+    def test_items_in_key_order(self, rng):
+        tree = make_tree()
+        for rid in range(200):
+            tree.insert(*triple(rid, rng.randint(0, 99)))
+        keys = [k for k, _, _ in tree.items()]
+        assert keys == sorted(keys)
+
+    def test_size_bytes_includes_signature(self, rsa_pair):
+        signer, _ = rsa_pair
+        tree = make_tree()
+        tree.bulk_load(sorted(triple(rid, rid) for rid in range(100)))
+        bare = tree.size_bytes()
+        tree.signature = signer.sign(tree.root_digest())
+        assert tree.size_bytes() == bare + tree.signature.size

@@ -1,0 +1,77 @@
+"""Unit tests for metric collection and reporting."""
+
+from repro.metrics.collector import MetricSeries, MetricsCollector
+from repro.metrics.reporting import format_figure_rows, format_table, summarize
+
+
+class TestMetricSeries:
+    def test_record_and_mean(self):
+        series = MetricSeries(name="latency")
+        series.record(100, 10.0)
+        series.record(100, 20.0)
+        series.record(200, 5.0)
+        assert series.mean(100) == 15.0
+        assert series.mean(200) == 5.0
+        assert series.mean(300) == 0.0
+
+    def test_total_count_stdev(self):
+        series = MetricSeries(name="x")
+        for value in (2.0, 4.0, 6.0):
+            series.record("a", value)
+        assert series.total("a") == 12.0
+        assert series.count("a") == 3
+        assert abs(series.stdev("a") - 1.632993) < 1e-5
+        assert series.stdev("missing") == 0.0
+
+    def test_xs_sorted_and_means_mapping(self):
+        series = MetricSeries(name="x")
+        series.record(3, 1.0)
+        series.record(1, 2.0)
+        assert series.xs() == [1, 3]
+        assert series.means() == {1: 2.0, 3: 1.0}
+
+
+class TestMetricsCollector:
+    def test_series_created_lazily_and_reused(self):
+        collector = MetricsCollector()
+        collector.record("bytes", 100, 20.0)
+        collector.record("bytes", 100, 40.0)
+        assert collector.series("bytes").mean(100) == 30.0
+        assert "bytes" in collector
+        assert collector.get("missing") is None
+
+    def test_names_and_rows(self):
+        collector = MetricsCollector()
+        collector.record("b", 1, 1.0)
+        collector.record("a", 2, 3.0)
+        assert collector.names() == ["a", "b"]
+        assert ("a", 2, 3.0) in collector.as_rows()
+
+
+class TestReporting:
+    def test_format_table_alignment_and_floats(self):
+        text = format_table(["n", "value"], [[100, 1.23456], [5000, 2.0]],
+                            title="demo", float_format="{:.2f}")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "1.23" in text
+        assert "5000" in text
+        # All data rows are aligned to the same width.
+        assert len(lines[2]) == len(lines[3]) == len(lines[4])
+
+    def test_format_figure_rows(self):
+        rows = [{"n": 10, "sae": 1.0, "tom": 2.0}, {"n": 20, "sae": 3.0, "tom": 4.0}]
+        text = format_figure_rows(rows, x_key="n", series_keys=["sae", "tom"])
+        assert "sae" in text and "tom" in text
+        assert text.count("\n") >= 3
+
+    def test_summarize_reductions(self):
+        rows = [{"tom": 100.0, "sae": 70.0}, {"tom": 200.0, "sae": 120.0}]
+        summary = summarize(rows, baseline_key="tom", improved_key="sae")
+        assert abs(summary["min_reduction"] - 0.30) < 1e-9
+        assert abs(summary["max_reduction"] - 0.40) < 1e-9
+        assert abs(summary["mean_reduction"] - 0.35) < 1e-9
+
+    def test_summarize_handles_zero_baseline(self):
+        summary = summarize([{"tom": 0.0, "sae": 1.0}], "tom", "sae")
+        assert summary == {"min_reduction": 0.0, "max_reduction": 0.0, "mean_reduction": 0.0}

@@ -1,0 +1,105 @@
+"""Unit tests for the byte-counting network layer."""
+
+from repro.core.updates import UpdateBatch
+from repro.crypto.digest import SHA1
+from repro.crypto.encoding import encode_record
+from repro.crypto.signatures import Signature
+from repro.dbms.query import RangeQuery
+from repro.network.channel import Channel, NetworkTracker
+from repro.network.messages import (
+    MESSAGE_HEADER_BYTES,
+    DatasetTransfer,
+    QueryRequest,
+    ResultResponse,
+    UpdateNotification,
+    VOResponse,
+    VTResponse,
+)
+from repro.tom.vo import VerificationObject, VODigest, VOResultMarker
+
+
+class TestMessages:
+    def test_query_request_size(self):
+        message = QueryRequest(query=RangeQuery(low=1, high=2, attribute="key"))
+        assert message.payload_bytes() == len(encode_record((1, 2, "key")))
+        assert message.size_bytes() == message.payload_bytes() + MESSAGE_HEADER_BYTES
+
+    def test_result_response_size_scales_with_records(self):
+        records = [(i, i, b"x" * 100) for i in range(5)]
+        message = ResultResponse(records=records)
+        assert message.cardinality == 5
+        assert message.payload_bytes() == sum(len(encode_record(r)) for r in records)
+
+    def test_vt_response_is_exactly_one_digest(self):
+        message = VTResponse(token=SHA1.hash(b"token"))
+        assert message.payload_bytes() == 20
+
+    def test_vo_response_delegates_to_vo(self):
+        vo = VerificationObject(items=(VODigest(digest=b"\x00" * 20), VOResultMarker()),
+                                is_leaf_root=True,
+                                signature=Signature(scheme="null", value=b"\x01" * 64))
+        assert VOResponse(vo=vo).payload_bytes() == vo.size_bytes()
+
+    def test_dataset_transfer_size(self):
+        records = [(1, 2, b"abc"), (2, 3, b"defg")]
+        message = DatasetTransfer(records=records)
+        assert message.payload_bytes() == sum(len(encode_record(r)) for r in records)
+
+    def test_update_notification_uses_operation_sizes(self):
+        batch = UpdateBatch().insert((1, 2, b"x")).delete(4)
+        message = UpdateNotification(operations=list(batch))
+        assert message.payload_bytes() == batch.encoded_size()
+
+    def test_empty_result_response(self):
+        assert ResultResponse(records=[]).payload_bytes() == 0
+
+
+class TestChannelAndTracker:
+    def test_channel_counts_messages_and_bytes(self):
+        channel = Channel("TE", "client")
+        message = VTResponse(token=SHA1.hash(b"t"))
+        channel.send(message)
+        channel.send(message)
+        assert channel.stats.messages == 2
+        assert channel.stats.bytes == 2 * message.size_bytes()
+        assert channel.name == "TE->client"
+
+    def test_channel_log_disabled_by_default(self):
+        channel = Channel("a", "b")
+        channel.send(VTResponse(token=SHA1.hash(b"t")))
+        assert channel.log == []
+        channel.keep_log = True
+        channel.send(VTResponse(token=SHA1.hash(b"t")))
+        assert len(channel.log) == 1
+
+    def test_channel_reset(self):
+        channel = Channel("a", "b")
+        channel.send(VTResponse(token=SHA1.hash(b"t")))
+        channel.reset()
+        assert channel.stats.messages == 0
+        assert channel.stats.bytes == 0
+
+    def test_tracker_creates_and_reuses_channels(self):
+        tracker = NetworkTracker()
+        first = tracker.channel("SP", "client")
+        second = tracker.channel("SP", "client")
+        assert first is second
+        assert tracker.get("SP", "client") is first
+        assert tracker.get("client", "SP") is None
+
+    def test_tracker_byte_reporting(self):
+        tracker = NetworkTracker()
+        tracker.channel("SP", "client").send(ResultResponse(records=[(1, 2, b"x")]))
+        tracker.channel("TE", "client").send(VTResponse(token=SHA1.hash(b"t")))
+        assert tracker.bytes_sent("SP", "client") > 0
+        assert tracker.bytes_sent("DO", "SP") == 0
+        assert tracker.total_bytes() == (tracker.bytes_sent("SP", "client")
+                                         + tracker.bytes_sent("TE", "client"))
+        summary = tracker.summary()
+        assert set(summary) == {"SP->client", "TE->client"}
+
+    def test_tracker_reset(self):
+        tracker = NetworkTracker()
+        tracker.channel("a", "b").send(VTResponse(token=SHA1.hash(b"t")))
+        tracker.reset()
+        assert tracker.total_bytes() == 0

@@ -1,0 +1,63 @@
+"""Unit tests for the fixed-size page abstraction."""
+
+import pytest
+
+from repro.storage.page import INVALID_PAGE, Page, PageError, PageId
+
+
+class TestPage:
+    def test_new_page_is_zeroed_and_clean(self):
+        page = Page(PageId(0), 128)
+        assert page.read() == b"\x00" * 128
+        assert not page.dirty
+        assert page.size == 128
+        assert len(page) == 128
+
+    def test_initial_data_is_padded(self):
+        page = Page(PageId(1), 16, data=b"abc")
+        assert page.read() == b"abc" + b"\x00" * 13
+
+    def test_oversized_initial_data_rejected(self):
+        with pytest.raises(PageError):
+            Page(PageId(0), 4, data=b"too long")
+
+    def test_write_marks_dirty_and_read_back(self):
+        page = Page(PageId(0), 64)
+        page.write(b"hello", offset=10)
+        assert page.dirty
+        assert page.read(10, 5) == b"hello"
+
+    def test_mark_clean(self):
+        page = Page(PageId(0), 64)
+        page.write(b"x")
+        page.mark_clean()
+        assert not page.dirty
+
+    def test_out_of_bounds_write_rejected(self):
+        page = Page(PageId(0), 8)
+        with pytest.raises(PageError):
+            page.write(b"123456789")
+        with pytest.raises(PageError):
+            page.write(b"12", offset=7)
+
+    def test_out_of_bounds_read_rejected(self):
+        page = Page(PageId(0), 8)
+        with pytest.raises(PageError):
+            page.read(4, 8)
+        with pytest.raises(PageError):
+            page.read(-1, 2)
+
+    def test_clear_zeroes_content(self):
+        page = Page(PageId(0), 16, data=b"abcdef")
+        page.clear()
+        assert page.read() == b"\x00" * 16
+        assert page.dirty
+
+    def test_snapshot_is_immutable_copy(self):
+        page = Page(PageId(0), 8, data=b"abc")
+        snapshot = page.snapshot()
+        page.write(b"zzz")
+        assert snapshot == b"abc" + b"\x00" * 5
+
+    def test_invalid_page_sentinel(self):
+        assert INVALID_PAGE == PageId(-1)

@@ -1,0 +1,104 @@
+"""Unit tests for the from-scratch RSA implementation."""
+
+import random
+
+import pytest
+
+from repro.crypto import rsa
+
+
+class TestPrimeGeneration:
+    def test_generated_primes_have_requested_size(self):
+        rng = random.Random(1)
+        prime = rsa.generate_prime(64, rng)
+        assert prime.bit_length() == 64
+
+    def test_generated_primes_are_odd(self):
+        rng = random.Random(2)
+        assert rsa.generate_prime(48, rng) % 2 == 1
+
+    def test_miller_rabin_accepts_known_primes(self):
+        rng = random.Random(3)
+        for prime in (2, 3, 5, 104729, 2**31 - 1):
+            assert rsa._is_probable_prime(prime, 16, rng)
+
+    def test_miller_rabin_rejects_known_composites(self):
+        rng = random.Random(4)
+        for composite in (1, 4, 561, 104729 * 7, 2**32):
+            assert not rsa._is_probable_prime(composite, 16, rng)
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            rsa.generate_prime(4, random.Random(0))
+
+
+class TestKeyGeneration:
+    def test_keypair_is_deterministic_for_seed(self):
+        a = rsa.generate_keypair(bits=256, seed=9)
+        b = rsa.generate_keypair(bits=256, seed=9)
+        assert a.public == b.public
+        assert a.private == b.private
+
+    def test_different_seeds_give_different_keys(self):
+        a = rsa.generate_keypair(bits=256, seed=1)
+        b = rsa.generate_keypair(bits=256, seed=2)
+        assert a.public != b.public
+
+    def test_modulus_has_requested_size(self):
+        keypair = rsa.generate_keypair(bits=256, seed=5)
+        assert keypair.public.n.bit_length() == 256
+
+    def test_private_exponent_inverts_public(self):
+        keypair = rsa.generate_keypair(bits=256, seed=6)
+        message = 0x1234567890ABCDEF
+        cipher = pow(message, keypair.public.e, keypair.public.n)
+        assert pow(cipher, keypair.private.d, keypair.private.n) == message
+
+    def test_too_small_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            rsa.generate_keypair(bits=64)
+
+    def test_public_key_derivation(self):
+        keypair = rsa.generate_keypair(bits=256, seed=7)
+        assert keypair.private.public_key() == keypair.public
+        assert keypair.public.byte_length == 32
+
+
+class TestSignVerify:
+    def test_sign_verify_round_trip(self, rsa_keypair):
+        signature = rsa.sign(rsa_keypair.private, b"root digest bytes")
+        assert rsa.verify(rsa_keypair.public, b"root digest bytes", signature)
+
+    def test_signature_is_deterministic(self, rsa_keypair):
+        assert rsa.sign(rsa_keypair.private, b"m") == rsa.sign(rsa_keypair.private, b"m")
+
+    def test_verify_rejects_wrong_message(self, rsa_keypair):
+        signature = rsa.sign(rsa_keypair.private, b"original")
+        assert not rsa.verify(rsa_keypair.public, b"tampered", signature)
+
+    def test_verify_rejects_bitflipped_signature(self, rsa_keypair):
+        signature = bytearray(rsa.sign(rsa_keypair.private, b"m"))
+        signature[0] ^= 0x01
+        assert not rsa.verify(rsa_keypair.public, b"m", bytes(signature))
+
+    def test_verify_rejects_wrong_length_signature(self, rsa_keypair):
+        assert not rsa.verify(rsa_keypair.public, b"m", b"\x00" * 7)
+
+    def test_verify_rejects_foreign_key(self, rsa_keypair):
+        other = rsa.generate_keypair(bits=512, seed=999)
+        signature = rsa.sign(other.private, b"m")
+        assert not rsa.verify(rsa_keypair.public, b"m", signature)
+
+    def test_signature_size_equals_modulus_size(self, rsa_keypair):
+        signature = rsa.sign(rsa_keypair.private, b"m")
+        assert len(signature) == rsa_keypair.public.byte_length
+        assert rsa.signature_size(rsa_keypair.public) == rsa_keypair.public.byte_length
+
+    def test_sha256_signing(self, rsa_keypair):
+        signature = rsa.sign(rsa_keypair.private, b"m", hash_name="sha256")
+        assert rsa.verify(rsa_keypair.public, b"m", signature, hash_name="sha256")
+        assert not rsa.verify(rsa_keypair.public, b"m", signature, hash_name="sha1")
+
+    def test_unsupported_hash_raises(self, rsa_keypair):
+        with pytest.raises(rsa.RSAError):
+            rsa.sign(rsa_keypair.private, b"m", hash_name="md5")

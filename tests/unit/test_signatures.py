@@ -1,0 +1,73 @@
+"""Unit tests for the signing-scheme abstraction."""
+
+from repro.crypto.digest import SHA1
+from repro.crypto.signatures import (
+    NullSigner,
+    NullVerifier,
+    RSASigner,
+    RSAVerifier,
+    Signature,
+    make_rsa_pair,
+)
+
+
+class TestRSASignerVerifier:
+    def test_round_trip(self, rsa_pair):
+        signer, verifier = rsa_pair
+        digest = SHA1.hash(b"merkle root")
+        signature = signer.sign(digest)
+        assert verifier.verify(digest, signature)
+
+    def test_rejects_other_digest(self, rsa_pair):
+        signer, verifier = rsa_pair
+        signature = signer.sign(SHA1.hash(b"root-1"))
+        assert not verifier.verify(SHA1.hash(b"root-2"), signature)
+
+    def test_rejects_foreign_scheme_signature(self, rsa_pair):
+        _, verifier = rsa_pair
+        digest = SHA1.hash(b"root")
+        fake = Signature(scheme="null", value=digest.raw)
+        assert not verifier.verify(digest, fake)
+
+    def test_signature_metadata(self, rsa_pair):
+        signer, _ = rsa_pair
+        signature = signer.sign(SHA1.hash(b"root"))
+        assert signature.scheme == RSASigner.scheme_name
+        assert signature.size == signer.signature_size
+
+    def test_make_rsa_pair_is_consistent(self):
+        signer, verifier = make_rsa_pair(bits=512, seed=31)
+        digest = SHA1.hash(b"x")
+        assert verifier.verify(digest, signer.sign(digest))
+
+    def test_modulus_too_small_for_hash_is_rejected(self):
+        import pytest
+
+        from repro.crypto import rsa as rsa_module
+
+        signer, _ = make_rsa_pair(bits=256, seed=31)
+        with pytest.raises(rsa_module.RSAError):
+            signer.sign(SHA1.hash(b"x"))
+
+
+class TestNullSignerVerifier:
+    def test_round_trip(self):
+        signer, verifier = NullSigner(), NullVerifier()
+        digest = SHA1.hash(b"root")
+        assert verifier.verify(digest, signer.sign(digest))
+
+    def test_rejects_other_digest(self):
+        signer, verifier = NullSigner(), NullVerifier()
+        signature = signer.sign(SHA1.hash(b"a"))
+        assert not verifier.verify(SHA1.hash(b"b"), signature)
+
+    def test_padded_signature_size(self):
+        signer = NullSigner(signature_size=128)
+        signature = signer.sign(SHA1.hash(b"a"))
+        assert signature.size == 128
+        assert NullVerifier().verify(SHA1.hash(b"a"), signature)
+
+    def test_rejects_foreign_scheme(self):
+        verifier = NullVerifier()
+        digest = SHA1.hash(b"a")
+        assert not verifier.verify(digest, Signature(scheme="rsa-pkcs1v15", value=digest.raw))

@@ -1,0 +1,133 @@
+"""Unit tests for the heap-file table with a B+-tree index."""
+
+import pytest
+
+from repro.dbms.catalog import TableSchema
+from repro.dbms.query import RangeQuery
+from repro.dbms.table import Table, TableError
+
+
+@pytest.fixture()
+def schema():
+    return TableSchema(name="records", columns=("id", "key", "payload"))
+
+
+@pytest.fixture()
+def table(schema):
+    return Table(schema, page_size=512)
+
+
+def rec(i, key=None, payload=b"p"):
+    return (i, key if key is not None else i * 10, payload)
+
+
+class TestInsertGet:
+    def test_insert_and_get_by_id(self, table):
+        table.insert(rec(1))
+        assert table.get(1) == rec(1)
+        assert table.num_records == 1
+
+    def test_duplicate_id_rejected(self, table):
+        table.insert(rec(1))
+        with pytest.raises(TableError):
+            table.insert(rec(1))
+
+    def test_get_missing_raises(self, table):
+        with pytest.raises(TableError):
+            table.get(99)
+
+    def test_wrong_arity_rejected(self, table):
+        with pytest.raises(Exception):
+            table.insert((1, 2))
+
+    def test_get_by_rid(self, table):
+        rid = table.insert(rec(3))
+        assert table.get_by_rid(rid) == rec(3)
+
+
+class TestRangeQueries:
+    def test_range_query_returns_full_records_in_key_order(self, table):
+        for i in range(50):
+            table.insert(rec(i))
+        query = RangeQuery(low=100, high=200)
+        records = table.range_query(query)
+        assert records == [rec(i) for i in range(10, 21)]
+
+    def test_range_query_index_only(self, table):
+        for i in range(20):
+            table.insert(rec(i))
+        pairs = table.range_query(RangeQuery(low=0, high=50), fetch_records=False)
+        assert [key for key, _ in pairs] == [0, 10, 20, 30, 40, 50]
+
+    def test_duplicate_keys(self, table):
+        table.insert((1, 42, b"a"))
+        table.insert((2, 42, b"b"))
+        records = table.range_query(RangeQuery(low=42, high=42))
+        assert sorted(r[0] for r in records) == [1, 2]
+
+
+class TestDeleteUpdate:
+    def test_delete_removes_from_index_and_heap(self, table):
+        table.insert(rec(1))
+        table.delete(1)
+        assert table.num_records == 0
+        assert table.range_query(RangeQuery(low=0, high=100)) == []
+        with pytest.raises(TableError):
+            table.get(1)
+
+    def test_delete_missing_raises(self, table):
+        with pytest.raises(TableError):
+            table.delete(1)
+
+    def test_update_same_key(self, table):
+        table.insert(rec(1, key=10, payload=b"old"))
+        table.update((1, 10, b"new"))
+        assert table.get(1) == (1, 10, b"new")
+        assert table.range_query(RangeQuery(low=10, high=10)) == [(1, 10, b"new")]
+
+    def test_update_changes_key_moves_index_entry(self, table):
+        table.insert(rec(1, key=10))
+        table.update((1, 500, b"p"))
+        assert table.range_query(RangeQuery(low=10, high=10)) == []
+        assert table.range_query(RangeQuery(low=500, high=500)) == [(1, 500, b"p")]
+
+    def test_update_missing_raises(self, table):
+        with pytest.raises(TableError):
+            table.update((1, 10, b"x"))
+
+    def test_update_with_larger_payload_relocates(self, table):
+        table.insert(rec(1, payload=b"s"))
+        table.update((1, 10, b"much larger payload " * 5))
+        assert table.get(1)[2] == b"much larger payload " * 5
+
+
+class TestBulkLoadAndReporting:
+    def test_bulk_load_round_trip(self, table):
+        records = [rec(i) for i in range(500)]
+        table.bulk_load(records)
+        assert table.num_records == 500
+        assert table.get(123) == rec(123)
+        assert table.range_query(RangeQuery(low=0, high=90)) == [rec(i) for i in range(10)]
+
+    def test_bulk_load_requires_empty_table(self, table):
+        table.insert(rec(1))
+        with pytest.raises(TableError):
+            table.bulk_load([rec(2)])
+
+    def test_bulk_load_handles_unsorted_input(self, table):
+        records = [rec(i) for i in reversed(range(100))]
+        table.bulk_load(records)
+        table.index.validate()
+        assert table.num_records == 100
+
+    def test_scan_returns_all_records(self, table):
+        records = [rec(i) for i in range(30)]
+        table.bulk_load(records)
+        assert sorted(table.scan()) == sorted(records)
+
+    def test_size_bytes_and_counters(self, table):
+        table.bulk_load([rec(i) for i in range(200)])
+        assert table.size_bytes() == table.heap.size_bytes() + table.index.size_bytes()
+        before = table.counter.node_accesses
+        table.range_query(RangeQuery(low=0, high=1000))
+        assert table.counter.node_accesses > before

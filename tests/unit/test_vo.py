@@ -1,0 +1,143 @@
+"""Unit tests for the verification-object structure and VO construction."""
+
+import pytest
+
+from repro.crypto.digest import SHA1
+from repro.crypto.encoding import encode_record
+from repro.crypto.signatures import Signature
+from repro.crypto.xor import digest_of_record
+from repro.tom.mbtree import MBTree, MBTreeError, MBTreeLayout
+from repro.tom.vo import (
+    ITEM_TAG_BYTES,
+    VerificationObject,
+    VOBoundary,
+    VODigest,
+    VOResultMarker,
+    VOSubtree,
+)
+
+
+def build_records(count, key_of=lambda i: i * 10):
+    return {i: (i, key_of(i), f"payload-{i}".encode()) for i in range(count)}
+
+
+def build_tree(records, page_size=256, signer=None):
+    tree = MBTree(layout=MBTreeLayout(page_size=page_size))
+    triples = sorted(
+        (fields[1], rid, digest_of_record(fields)) for rid, fields in records.items()
+    )
+    tree.bulk_load(triples)
+    if signer is not None:
+        tree.signature = signer.sign(tree.root_digest())
+    return tree
+
+
+class TestVOItemSizes:
+    def test_digest_item_size(self):
+        item = VODigest(digest=b"\x01" * 20)
+        assert item.size_bytes() == 20 + ITEM_TAG_BYTES
+
+    def test_marker_charges_only_structure(self):
+        assert VOResultMarker().size_bytes() == ITEM_TAG_BYTES
+
+    def test_boundary_charges_encoded_record(self):
+        fields = (1, 10, b"x")
+        assert VOBoundary(fields=fields).size_bytes() == len(encode_record(fields)) + ITEM_TAG_BYTES
+
+    def test_subtree_nests(self):
+        sub = VOSubtree(items=(VODigest(digest=b"\x00" * 20), VOResultMarker()), is_leaf=True)
+        assert sub.size_bytes() == ITEM_TAG_BYTES + (20 + ITEM_TAG_BYTES) + ITEM_TAG_BYTES
+
+    def test_vo_size_includes_signature(self):
+        signature = Signature(scheme="rsa-pkcs1v15", value=b"\x01" * 64)
+        vo = VerificationObject(items=(VOResultMarker(),), is_leaf_root=True,
+                                signature=signature)
+        assert vo.size_bytes() == ITEM_TAG_BYTES + 64 + ITEM_TAG_BYTES
+
+
+class TestVOConstruction:
+    def test_build_vo_requires_signature(self):
+        records = build_records(20)
+        tree = build_tree(records)
+        with pytest.raises(MBTreeError):
+            tree.build_vo(0, 50, record_loader=lambda rid: records[rid])
+
+    def test_result_matches_plain_range_search(self, rsa_pair):
+        signer, _ = rsa_pair
+        records = build_records(100)
+        tree = build_tree(records, signer=signer)
+        result, vo = tree.build_vo(200, 400, record_loader=lambda rid: records[rid])
+        assert result == tree.range_search(200, 400)
+        assert vo.count_markers() == len(result)
+
+    def test_vo_has_two_boundaries_for_interior_range(self, rsa_pair):
+        signer, _ = rsa_pair
+        records = build_records(100)
+        tree = build_tree(records, signer=signer)
+        _, vo = tree.build_vo(205, 395, record_loader=lambda rid: records[rid])
+        assert vo.count_boundaries() == 2
+
+    def test_vo_has_no_left_boundary_at_domain_start(self, rsa_pair):
+        signer, _ = rsa_pair
+        records = build_records(50)
+        tree = build_tree(records, signer=signer)
+        _, vo = tree.build_vo(-10, 95, record_loader=lambda rid: records[rid])
+        assert vo.count_boundaries() == 1
+
+    def test_vo_for_whole_domain_has_no_boundaries_or_digests(self, rsa_pair):
+        signer, _ = rsa_pair
+        records = build_records(50)
+        tree = build_tree(records, signer=signer)
+        _, vo = tree.build_vo(-10, 10_000, record_loader=lambda rid: records[rid])
+        assert vo.count_boundaries() == 0
+        assert vo.count_digests() == 0
+        assert vo.count_markers() == 50
+
+    def test_empty_result_is_enclosed_by_boundaries(self, rsa_pair):
+        signer, _ = rsa_pair
+        records = build_records(50)
+        tree = build_tree(records, signer=signer)
+        result, vo = tree.build_vo(101, 105, record_loader=lambda rid: records[rid])
+        assert result == []
+        assert vo.count_markers() == 0
+        assert vo.count_boundaries() == 2
+
+    def test_vo_size_grows_with_tree_but_token_does_not(self, rsa_pair):
+        signer, _ = rsa_pair
+        small = build_records(64)
+        large = build_records(4096)
+        vo_small = build_tree(small, signer=signer).build_vo(
+            100, 200, record_loader=lambda rid: small[rid])[1]
+        vo_large = build_tree(large, signer=signer).build_vo(
+            100, 200, record_loader=lambda rid: large[rid])[1]
+        assert vo_large.size_bytes() > vo_small.size_bytes()
+        # The SAE token would be 20 bytes in both cases.
+        assert vo_small.size_bytes() > 20
+        assert vo_large.size_bytes() > 20
+
+    def test_flatten_preserves_leaf_order(self, rsa_pair):
+        signer, _ = rsa_pair
+        records = build_records(60)
+        tree = build_tree(records, signer=signer)
+        _, vo = tree.build_vo(195, 405, record_loader=lambda rid: records[rid])
+        kinds = ["boundary" if isinstance(item, VOBoundary)
+                 else "marker" if isinstance(item, VOResultMarker)
+                 else "digest"
+                 for item in vo.flatten()]
+        non_digest = [i for i, kind in enumerate(kinds) if kind != "digest"]
+        # Contiguity: the revealed block has no pruned digests inside it.
+        assert non_digest == list(range(non_digest[0], non_digest[-1] + 1))
+        assert kinds[non_digest[0]] == "boundary"
+        assert kinds[non_digest[-1]] == "boundary"
+
+    def test_duplicate_keys_at_boundary(self, rsa_pair):
+        signer, _ = rsa_pair
+        # Several records share the key just below the range.
+        records = {
+            0: (0, 100, b"a"), 1: (1, 100, b"b"), 2: (2, 100, b"c"),
+            3: (3, 150, b"d"), 4: (4, 200, b"e"), 5: (5, 250, b"f"),
+        }
+        tree = build_tree(records, signer=signer)
+        result, vo = tree.build_vo(140, 210, record_loader=lambda rid: records[rid])
+        assert [rid for _, rid in result] == [3, 4]
+        assert vo.count_boundaries() == 2

@@ -1,0 +1,311 @@
+"""Unit tests for the XB-Tree (the trusted entity's index)."""
+
+import random
+
+import pytest
+
+from repro.crypto.digest import SHA1, fold_xor
+from repro.crypto.xor import digest_of_record
+from repro.xbtree import XBTree, generate_vt
+from repro.xbtree.node import XBEntry, XBNode, XBTreeLayout
+from repro.xbtree.tree import XBTreeError
+
+
+def make_tree(page_size=256, capacity=None):
+    return XBTree(layout=XBTreeLayout(page_size=page_size), capacity=capacity)
+
+
+def brute_force_vt(entries, low, high):
+    return fold_xor(digest for key, _, digest in entries if low <= key <= high)
+
+
+def triple(record_id, key):
+    return (key, record_id, digest_of_record((record_id, key, "payload")))
+
+
+class TestLayout:
+    def test_entry_size_matches_paper_components(self):
+        layout = XBTreeLayout(page_size=4096)
+        # sk (4) + L pointer (8) + X (20-byte digest) + child pointer (8)
+        assert layout.entry_size == 40
+
+    def test_capacity_around_100_for_4096_pages(self):
+        # "for typical disk page sizes, the number of entries per node is in
+        # the order of 100" (Section III).
+        layout = XBTreeLayout(page_size=4096)
+        assert 90 <= layout.capacity <= 110
+
+    def test_l_tuple_size(self):
+        assert XBTreeLayout().l_tuple_size == 28
+
+
+class TestNodeAndEntry:
+    def test_anchor_entry(self):
+        entry = XBEntry(key=None)
+        assert entry.is_anchor
+        assert entry.l_xor().is_zero()
+
+    def test_l_xor_aggregates_tuples(self):
+        digests = [SHA1.hash(bytes([i])) for i in range(3)]
+        entry = XBEntry(key=5, tuples=[(i, d) for i, d in enumerate(digests)])
+        assert entry.l_xor() == fold_xor(digests)
+
+    def test_node_aggregate(self):
+        digests = [SHA1.hash(bytes([i])) for i in range(4)]
+        entries = [XBEntry(key=None)] + [
+            XBEntry(key=i, tuples=[(i, d)], x=d) for i, d in enumerate(digests)
+        ]
+        node = XBNode(entries=entries, is_leaf=True)
+        assert node.aggregate() == fold_xor(digests)
+        assert node.num_keyed_entries == 4
+        assert node.keys() == [0, 1, 2, 3]
+
+
+class TestInsert:
+    def test_empty_tree_properties(self):
+        tree = make_tree()
+        assert len(tree) == 0
+        assert tree.num_keys == 0
+        assert tree.total_xor().is_zero()
+        assert tree.generate_vt(0, 100).is_zero()
+        tree.validate()
+
+    def test_single_insert(self):
+        tree = make_tree()
+        key, rid, digest = triple(1, 50)
+        tree.insert(key, rid, digest)
+        tree.validate()
+        assert tree.total_xor() == digest
+        assert tree.lookup(50) == [(rid, digest)]
+        assert tree.generate_vt(0, 100) == digest
+        assert tree.generate_vt(51, 100).is_zero()
+
+    def test_duplicate_keys_share_an_entry(self):
+        tree = make_tree()
+        digests = []
+        for rid in range(5):
+            key, _, digest = triple(rid, 77)
+            tree.insert(77, rid, digest)
+            digests.append(digest)
+        tree.validate()
+        assert tree.num_keys == 1
+        assert tree.num_tuples == 5
+        assert tree.generate_vt(77, 77) == fold_xor(digests)
+
+    def test_insert_requires_digest_objects(self):
+        tree = make_tree()
+        with pytest.raises(XBTreeError):
+            tree.insert(1, 1, b"\x00" * 20)
+
+    def test_splits_keep_invariants(self, rng):
+        tree = make_tree(capacity=4)
+        entries = []
+        for rid in range(300):
+            key = rng.randint(0, 500)
+            _, _, digest = triple(rid, key)
+            tree.insert(key, rid, digest)
+            entries.append((key, rid, digest))
+        tree.validate()
+        assert tree.height >= 3
+        assert tree.total_xor() == fold_xor(d for _, _, d in entries)
+
+    def test_sorted_and_reverse_sorted_insertion(self):
+        for keys in (range(200), range(200, 0, -1)):
+            tree = make_tree(capacity=4)
+            entries = []
+            for rid, key in enumerate(keys):
+                _, _, digest = triple(rid, key)
+                tree.insert(key, rid, digest)
+                entries.append((key, rid, digest))
+            tree.validate()
+            assert tree.generate_vt(50, 150) == brute_force_vt(entries, 50, 150)
+
+
+class TestGenerateVT:
+    @pytest.fixture()
+    def populated(self, rng):
+        tree = make_tree(capacity=5)
+        entries = []
+        for rid in range(400):
+            key = rng.randint(0, 300)
+            _, _, digest = triple(rid, key)
+            tree.insert(key, rid, digest)
+            entries.append((key, rid, digest))
+        return tree, entries
+
+    @pytest.mark.parametrize("bounds", [(0, 300), (100, 200), (0, 0), (299, 300),
+                                        (150, 150), (-50, 50), (250, 600), (301, 400)])
+    def test_matches_brute_force(self, populated, bounds):
+        tree, entries = populated
+        low, high = bounds
+        assert tree.generate_vt(low, high) == brute_force_vt(entries, low, high)
+
+    def test_inverted_range_gives_zero(self, populated):
+        tree, _ = populated
+        assert tree.generate_vt(200, 100).is_zero()
+
+    def test_full_range_equals_total_xor(self, populated):
+        tree, entries = populated
+        assert tree.generate_vt(-10**9, 10**9) == tree.total_xor()
+
+    def test_charges_logarithmic_accesses(self):
+        tree = make_tree(page_size=4096)
+        items = sorted(triple(rid, rid * 3) for rid in range(20000))
+        items = [(k, r, d) for (k, r, d) in items]
+        tree.bulk_load(sorted(items, key=lambda t: t[0]))
+        before = tree.counter.node_accesses
+        tree.generate_vt(10_000, 10_500)
+        charged = tree.counter.node_accesses - before
+        # Two root-to-leaf traversals plus a couple of L pages.
+        assert charged <= 4 * tree.height + 4
+
+    def test_generate_vt_does_not_depend_on_result_size(self):
+        tree = make_tree(page_size=4096)
+        items = [triple(rid, rid) for rid in range(20000)]
+        tree.bulk_load(sorted(items, key=lambda t: t[0]))
+        before = tree.counter.node_accesses
+        tree.generate_vt(100, 110)
+        small = tree.counter.node_accesses - before
+        before = tree.counter.node_accesses
+        tree.generate_vt(100, 15_000)
+        large = tree.counter.node_accesses - before
+        # The large query may touch *fewer or equally many* nodes because its
+        # traversal prunes whole subtrees through the X aggregates.
+        assert large <= small + 2 * tree.height
+
+    def test_pure_function_form(self, populated):
+        tree, entries = populated
+        token = generate_vt(tree.root, 50, 250, scheme=SHA1)
+        assert token == brute_force_vt(entries, 50, 250)
+
+    def test_paper_worked_example(self):
+        """Reproduce the worked example of Section III (Figure 3, q = [5, 17])."""
+        keys = [1, 3, 3, 6, 6, 12, 13, 15, 18, 18, 20, 23, 23, 25]
+        tree = make_tree(capacity=3)
+        digests = {}
+        for index, key in enumerate(keys, start=1):
+            digest = SHA1.hash(f"t{index}".encode())
+            digests[index] = digest
+            tree.insert(key, index, digest)
+        tree.validate()
+        expected = fold_xor(digests[i] for i in (4, 5, 6, 7, 8))
+        assert tree.generate_vt(5, 17) == expected
+
+
+class TestDelete:
+    def test_delete_missing_raises(self):
+        tree = make_tree()
+        key, rid, digest = triple(1, 10)
+        tree.insert(key, rid, digest)
+        with pytest.raises(XBTreeError):
+            tree.delete(10, 999)
+        with pytest.raises(XBTreeError):
+            tree.delete(11, 1)
+
+    def test_delete_one_duplicate_keeps_entry(self):
+        tree = make_tree()
+        d1, d2 = SHA1.hash(b"1"), SHA1.hash(b"2")
+        tree.insert(10, 1, d1)
+        tree.insert(10, 2, d2)
+        tree.delete(10, 1)
+        tree.validate()
+        assert tree.num_keys == 1
+        assert tree.generate_vt(10, 10) == d2
+
+    def test_delete_last_tuple_removes_entry(self):
+        tree = make_tree()
+        tree.insert(10, 1, SHA1.hash(b"1"))
+        tree.delete(10, 1)
+        tree.validate()
+        assert tree.num_keys == 0
+        assert len(tree) == 0
+        assert tree.generate_vt(0, 100).is_zero()
+
+    def test_delete_everything_random_order(self, rng):
+        tree = make_tree(capacity=4)
+        entries = []
+        for rid in range(250):
+            key = rng.randint(0, 80)
+            _, _, digest = triple(rid, key)
+            tree.insert(key, rid, digest)
+            entries.append((key, rid, digest))
+        rng.shuffle(entries)
+        while entries:
+            key, rid, _ = entries.pop()
+            tree.delete(key, rid)
+            if len(entries) % 50 == 0:
+                tree.validate()
+                assert tree.total_xor() == fold_xor(d for _, _, d in entries)
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_interleaved_inserts_deletes_queries(self, rng):
+        tree = make_tree(capacity=4)
+        live = {}
+        for step in range(1200):
+            if live and rng.random() < 0.4:
+                rid = rng.choice(list(live))
+                key, digest = live.pop(rid)
+                tree.delete(key, rid)
+            else:
+                rid = step
+                key = rng.randint(0, 120)
+                digest = digest_of_record((rid, key))
+                live[rid] = (key, digest)
+                tree.insert(key, rid, digest)
+            if step % 200 == 0:
+                tree.validate()
+                low = rng.randint(0, 120)
+                high = low + rng.randint(0, 40)
+                expected = fold_xor(d for k, d in live.values() if low <= k <= high)
+                assert tree.generate_vt(low, high) == expected
+        tree.validate()
+
+
+class TestBulkLoad:
+    def test_round_trip_and_invariants(self, rng):
+        items = sorted((triple(rid, rng.randint(0, 1000)) for rid in range(3000)),
+                       key=lambda t: t[0])
+        tree = make_tree(page_size=512)
+        tree.bulk_load(items)
+        tree.validate()
+        assert tree.num_tuples == 3000
+        assert tree.total_xor() == fold_xor(d for _, _, d in items)
+
+    def test_requires_sorted_input(self):
+        tree = make_tree()
+        with pytest.raises(XBTreeError):
+            tree.bulk_load([triple(1, 5), triple(2, 3)])
+
+    def test_requires_empty_tree(self):
+        tree = make_tree()
+        tree.insert(*reversed(triple(1, 5))) if False else tree.insert(5, 1, SHA1.hash(b"x"))
+        with pytest.raises(XBTreeError):
+            tree.bulk_load([triple(2, 9)])
+
+    def test_bulk_load_groups_duplicates(self):
+        items = sorted((triple(rid, rid % 10) for rid in range(200)), key=lambda t: t[0])
+        tree = make_tree(page_size=512)
+        tree.bulk_load(items)
+        tree.validate()
+        assert tree.num_keys == 10
+        assert tree.num_tuples == 200
+
+    def test_bulk_load_then_mutate(self, rng):
+        items = sorted((triple(rid, rid * 2) for rid in range(500)), key=lambda t: t[0])
+        tree = make_tree(capacity=6)
+        tree.bulk_load(items)
+        extra_digest = SHA1.hash(b"extra")
+        tree.insert(501, 9999, extra_digest)
+        tree.delete(items[0][0], items[0][1])
+        tree.validate()
+        expected = fold_xor([d for _, _, d in items[1:]] + [extra_digest])
+        assert tree.total_xor() == expected
+
+    def test_storage_size_reflects_nodes_and_l_pages(self):
+        items = sorted((triple(rid, rid) for rid in range(5000)), key=lambda t: t[0])
+        tree = make_tree(page_size=4096)
+        tree.bulk_load(items)
+        size = tree.size_bytes()
+        assert size >= tree.num_nodes * 4096
+        assert size % 4096 == 0

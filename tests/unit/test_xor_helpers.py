@@ -1,0 +1,66 @@
+"""Unit tests for the S⊕ helpers shared by the TE and the client."""
+
+import pytest
+
+from repro.crypto.digest import SHA1, SHA256
+from repro.crypto.xor import digest_of_record, xor_bytes, xor_digests, xor_of_records
+
+
+class TestXorDigests:
+    def test_empty_iterable_gives_zero(self):
+        assert xor_digests([]).is_zero()
+
+    def test_single_digest_is_itself(self):
+        digest = SHA1.hash(b"one")
+        assert xor_digests([digest]) == digest
+
+    def test_respects_requested_scheme(self):
+        digest = SHA256.hash(b"one")
+        assert xor_digests([digest], scheme=SHA256) == digest
+
+
+class TestDigestOfRecord:
+    def test_matches_manual_hash_of_encoding(self):
+        from repro.crypto.encoding import encode_record
+
+        record = (1, 500, b"payload")
+        assert digest_of_record(record) == SHA1.hash(encode_record(record))
+
+    def test_scheme_override(self):
+        record = (1, 500, b"payload")
+        assert digest_of_record(record, scheme=SHA256).size == 32
+
+
+class TestXorOfRecords:
+    def test_matches_fold_of_individual_digests(self):
+        records = [(i, i * 10, f"r{i}".encode()) for i in range(8)]
+        manual = SHA1.zero()
+        for record in records:
+            manual = manual ^ digest_of_record(record)
+        assert xor_of_records(records) == manual
+
+    def test_order_independent(self):
+        records = [(i, i, b"x") for i in range(5)]
+        assert xor_of_records(records) == xor_of_records(list(reversed(records)))
+
+    def test_duplicate_records_cancel(self):
+        record = (1, 2, b"dup")
+        assert xor_of_records([record, record]).is_zero()
+
+    def test_empty_result_set_gives_zero_token(self):
+        # This is exactly why an empty query result verifies correctly in SAE.
+        assert xor_of_records([]).is_zero()
+
+
+class TestXorBytes:
+    def test_basic_xor(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xff\x00") == b"\xf0\xf0"
+
+    def test_identity_and_self_inverse(self):
+        data = b"\x01\x02\x03"
+        assert xor_bytes(data, b"\x00" * 3) == data
+        assert xor_bytes(data, data) == b"\x00" * 3
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"\x00", b"\x00\x00")
