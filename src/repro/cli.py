@@ -13,6 +13,10 @@ Three subcommands cover the common workflows without writing any code:
 ``python -m repro attack-gallery``
     Run the drop / inject / modify attack gallery against both SAE and TOM
     and print the verdicts.
+
+``python -m repro bench run-load``
+    Drive one SAE deployment from N concurrent closed-loop clients and
+    report throughput and p50/p95/p99 latency, per dispatch mode.
 """
 
 from __future__ import annotations
@@ -37,6 +41,13 @@ from repro.tom import TomSystem
 from repro.workloads import build_dataset
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -56,6 +67,28 @@ def _build_parser() -> argparse.ArgumentParser:
     gallery = subparsers.add_parser("attack-gallery",
                                     help="run the attack gallery against SAE and TOM")
     gallery.add_argument("--records", type=int, default=3_000, help="dataset cardinality")
+
+    bench = subparsers.add_parser("bench", help="performance benchmarks")
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+    load = bench_commands.add_parser(
+        "run-load",
+        help="closed-loop multi-client load driver (throughput + latency percentiles)",
+    )
+    load.add_argument("--records", type=_positive_int, default=10_000,
+                      help="dataset cardinality")
+    load.add_argument("--queries", type=_positive_int, default=200, help="workload size")
+    load.add_argument("--clients", type=_positive_int, default=4,
+                      help="number of concurrent clients")
+    load.add_argument("--mode", choices=["per-query", "batched", "both"], default="both",
+                      help="dispatch mode ('both' compares the two)")
+    load.add_argument("--batch-size", type=int, default=25,
+                      help="queries per query_many() call in batched mode")
+    load.add_argument("--extent", type=float, default=0.005,
+                      help="query extent as a fraction of the key domain")
+    load.add_argument("--distribution", choices=["uniform", "zipf"], default="uniform")
+    load.add_argument("--seed", type=int, default=7)
+    load.add_argument("--no-verify", action="store_true",
+                      help="skip client verification (execution-only load)")
     return parser
 
 
@@ -122,6 +155,45 @@ def _run_attack_gallery(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _run_bench_load(args: argparse.Namespace) -> int:
+    from repro.experiments.throughput import format_load_reports, run_load
+    from repro.workloads.queries import RangeQueryWorkload
+
+    dataset = build_dataset(args.records, distribution=args.distribution, seed=args.seed)
+    workload = RangeQueryWorkload(
+        extent_fraction=args.extent,
+        count=args.queries,
+        seed=args.seed + 1,
+        attribute=dataset.schema.key_column,
+    )
+    bounds = [(query.low, query.high) for query in workload]
+    verify = not args.no_verify
+    modes = ["per-query", "batched"] if args.mode == "both" else [args.mode]
+    reports = []
+    for mode in modes:
+        system = SAESystem(dataset).setup()
+        with system:
+            reports.append(
+                run_load(
+                    system,
+                    bounds,
+                    num_clients=args.clients,
+                    mode=mode,
+                    batch_size=args.batch_size,
+                    verify=verify,
+                )
+            )
+    title = (f"load driver: {args.records} records, {args.queries} queries, "
+             f"{args.clients} clients")
+    print(format_load_reports(reports, title=title))
+    if len(reports) == 2 and reports[0].throughput_qps > 0:
+        speedup = reports[1].throughput_qps / reports[0].throughput_qps
+        print(f"\nbatched vs per-query speedup: {speedup:.2f}x")
+    if verify and not all(report.all_verified for report in reports):
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -131,6 +203,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_experiments(args)
     if args.command == "attack-gallery":
         return _run_attack_gallery(args)
+    if args.command == "bench":
+        return _run_bench_load(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -33,9 +33,13 @@ from repro.core.attacks import (
     CompositeAttack,
 )
 from repro.core.updates import InsertRecord, DeleteRecord, ModifyRecord, UpdateBatch
+from repro.core.pipeline import CostReceipt, ExecutionContext, QueryReceipt
 from repro.core.protocol import SAESystem, QueryOutcome
 
 __all__ = [
+    "CostReceipt",
+    "ExecutionContext",
+    "QueryReceipt",
     "Dataset",
     "TETuple",
     "make_te_tuples",

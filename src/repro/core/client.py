@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.digest import Digest, DigestScheme, default_scheme
 from repro.crypto.encoding import encode_record
@@ -20,7 +20,13 @@ from repro.dbms.query import RangeQuery
 
 @dataclass
 class SAEVerificationResult:
-    """Outcome of an SAE client-side verification."""
+    """Outcome of an SAE client-side verification.
+
+    A *skipped* verification (the caller asked for no verification at all)
+    is explicitly distinct from a successful one: ``ok`` is ``False`` and
+    ``skipped`` is ``True``, so an unverified result can never be mistaken
+    for a verified one.
+    """
 
     ok: bool
     computed: Digest
@@ -29,6 +35,19 @@ class SAEVerificationResult:
     cpu_ms: float = 0.0
     reason: str = "verified"
     details: dict = field(default_factory=dict)
+    skipped: bool = False
+
+    @classmethod
+    def skipped_result(cls, scheme: DigestScheme) -> "SAEVerificationResult":
+        """The explicit "verification was not performed" outcome."""
+        return cls(
+            ok=False,
+            computed=scheme.zero(),
+            token=scheme.zero(),
+            records_hashed=0,
+            reason="verification skipped",
+            skipped=True,
+        )
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.ok
@@ -46,18 +65,40 @@ class Client:
         """Digest scheme shared with the TE."""
         return self._scheme
 
-    def compute_result_xor(self, records: Sequence[Sequence[Any]]) -> Digest:
-        """``RS_SP⊕``: XOR of the digests of the received records."""
-        accumulator = self._scheme.zero()
+    def compute_result_xor(
+        self,
+        records: Sequence[Sequence[Any]],
+        digest_cache: Optional[Dict[Tuple[Any, ...], Digest]] = None,
+    ) -> Digest:
+        """``RS_SP⊕``: XOR of the digests of the received records.
+
+        ``digest_cache`` (record tuple -> digest) lets a batched caller hash
+        each distinct record once across many overlapping query results; it
+        must only be shared between requests against the same dataset state.
+        """
+        if digest_cache is None:
+            accumulator = self._scheme.zero()
+            for record in records:
+                accumulator = accumulator ^ self._scheme.hash(encode_record(record))
+            return accumulator
+        # Batched path: XOR over big integers and build one Digest at the
+        # end, skipping an intermediate Digest object per record.
+        value = 0
         for record in records:
-            accumulator = accumulator ^ self._scheme.hash(encode_record(record))
-        return accumulator
+            key = tuple(record)
+            digest = digest_cache.get(key)
+            if digest is None:
+                digest = self._scheme.hash(encode_record(record))
+                digest_cache[key] = digest
+            value ^= int.from_bytes(digest.raw, "big")
+        return self._scheme.from_bytes(value.to_bytes(self._scheme.digest_size, "big"))
 
     def verify(
         self,
         records: Sequence[Sequence[Any]],
         token: Digest,
         query: Optional[RangeQuery] = None,
+        digest_cache: Optional[Dict[Tuple[Any, ...], Digest]] = None,
     ) -> SAEVerificationResult:
         """Verify a result set against the TE's token.
 
@@ -80,7 +121,7 @@ class Client:
                         cpu_ms=elapsed,
                         reason=f"record key {key!r} falls outside the query range",
                     )
-        computed = self.compute_result_xor(records)
+        computed = self.compute_result_xor(records, digest_cache=digest_cache)
         elapsed = (time.perf_counter() - started) * 1000.0
         ok = computed == token
         return SAEVerificationResult(

@@ -1,0 +1,179 @@
+"""Per-request accounting for the SAE query pipeline.
+
+The original entities reported costs through mutable ``last_query_*`` /
+``last_vt_*`` fields, which made every party non-reentrant: two in-flight
+queries would overwrite each other's numbers.  This module inverts the flow
+-- *each request carries its own accounting and returns a receipt*:
+
+* :class:`CostReceipt` -- the immutable cost of one party's work on one
+  request (node accesses, measured CPU ms, simulated I/O ms);
+* :class:`ExecutionContext` -- a per-request carrier threaded through
+  :meth:`~repro.core.provider.ServiceProvider.execute`,
+  :meth:`~repro.core.trusted_entity.TrustedEntity.generate_vt` and the
+  network channels; it collects the party receipts and per-channel bytes;
+* :class:`QueryReceipt` -- the assembled end-to-end accounting of one
+  verified query, which :class:`~repro.core.protocol.QueryOutcome` exposes.
+
+Because a context is created per request and never shared between requests,
+the pipeline is safe to drive from any number of threads; the shared
+:class:`~repro.storage.cost_model.AccessCounter` totals keep accumulating
+underneath for whole-run reporting.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - avoids circular imports at runtime
+    from repro.core.client import SAEVerificationResult
+    from repro.dbms.query import RangeQuery
+
+
+@dataclass(frozen=True)
+class CostReceipt:
+    """What one party's work on one request cost.
+
+    ``io_cost_ms`` is the *simulated* disk cost (``node_accesses`` times the
+    configured per-access charge); ``cpu_ms`` is measured wall-clock CPU
+    time of the traversal itself.
+    """
+
+    node_accesses: int = 0
+    cpu_ms: float = 0.0
+    io_cost_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        """Simulated I/O cost plus measured CPU time."""
+        return self.io_cost_ms + self.cpu_ms
+
+    def cost_ms(self, include_cpu: bool = False) -> float:
+        """The reported cost (matches the legacy ``last_*_cost_ms`` shape)."""
+        return self.total_ms if include_cpu else self.io_cost_ms
+
+    def __add__(self, other: "CostReceipt") -> "CostReceipt":
+        if not isinstance(other, CostReceipt):
+            return NotImplemented
+        return CostReceipt(
+            node_accesses=self.node_accesses + other.node_accesses,
+            cpu_ms=self.cpu_ms + other.cpu_ms,
+            io_cost_ms=self.io_cost_ms + other.io_cost_ms,
+        )
+
+
+#: Receipt used where a party did no work at all (e.g. ``verify=False``).
+ZERO_RECEIPT = CostReceipt()
+
+
+@dataclass
+class ExecutionContext:
+    """Accounting carrier for one in-flight request.
+
+    One context is created per query and handed to every party that works on
+    it.  Parties *write* their receipt into the context; nothing in the
+    pipeline reads another request's context, which is what makes the whole
+    query path re-entrant.
+    """
+
+    query: Optional["RangeQuery"] = None
+    sp: Optional[CostReceipt] = None
+    te: Optional[CostReceipt] = None
+    bytes_by_channel: Dict[str, int] = field(default_factory=dict)
+
+    def record_bytes(self, channel_name: str, nbytes: int) -> None:
+        """Account ``nbytes`` sent over ``channel_name`` for this request."""
+        self.bytes_by_channel[channel_name] = (
+            self.bytes_by_channel.get(channel_name, 0) + nbytes
+        )
+
+    def channel_bytes(self, channel_name: str) -> int:
+        """Bytes this request sent over ``channel_name``."""
+        return self.bytes_by_channel.get(channel_name, 0)
+
+    def total_bytes(self) -> int:
+        """Bytes this request sent over all channels."""
+        return sum(self.bytes_by_channel.values())
+
+
+@dataclass(frozen=True)
+class QueryReceipt:
+    """End-to-end accounting of one query, assembled by the protocol facade."""
+
+    query: "RangeQuery"
+    sp: CostReceipt
+    te: CostReceipt
+    auth_bytes: int
+    result_bytes: int
+    client_cpu_ms: float
+    bytes_by_channel: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def response_time_ms(self) -> float:
+        """The paper's response-time model: SP and TE proceed independently,
+        so the client waits for the slower of the two, then verifies."""
+        return max(self.sp.total_ms, self.te.total_ms) + self.client_cpu_ms
+
+
+class ReadWriteLock:
+    """A shared/exclusive lock with writer preference.
+
+    Queries hold the lock *shared* for the duration of their request (both
+    the SP and the TE leg), so any number of them proceed concurrently;
+    update batches hold it *exclusive*, so a query observes either the
+    entire batch or none of it at both parties.  Writers are preferred:
+    once an update is waiting, new queries queue behind it, which keeps
+    update latency bounded under closed-loop query load.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """Hold the lock shared (any number of concurrent readers)."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._active_readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._active_readers -= 1
+                if self._active_readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """Hold the lock exclusively (no readers, no other writer)."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+
+def deprecated_accessor(name: str, replacement: str) -> None:
+    """Emit the deprecation warning for a legacy ``last_*`` accessor."""
+    warnings.warn(
+        f"{name} reads back mutable per-entity state and is not safe under "
+        f"concurrent queries; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -1,29 +1,50 @@
 """End-to-end SAE protocol façade.
 
 :class:`SAESystem` wires a data owner, a service provider, a trusted entity
-and a client together over byte-counting channels, and exposes the two
+and a client together over byte-counting channels, and exposes the
 operations the examples and the experiment harness need:
 
 * :meth:`SAESystem.setup` -- the DO outsources its dataset;
 * :meth:`SAESystem.query` -- the client sends a range query to the SP and
-  the TE, verifies the result, and a :class:`QueryOutcome` captures every
-  cost the paper reports (node accesses at SP and TE, authentication bytes,
-  result bytes, client CPU time, verification verdict).
+  the TE *in parallel* (the paper's central claim is that the two are
+  independent, which is what keeps the response time low), verifies the
+  result, and a :class:`QueryOutcome` captures every cost the paper reports
+  (node accesses at SP and TE, authentication bytes, result bytes, client
+  CPU time, verification verdict);
+* :meth:`SAESystem.query_many` -- a batched variant: SP executions are
+  dispatched across the thread pool while the TE answers the whole batch
+  with one shared XB-tree walk, and client-side verification hashes each
+  distinct record once across overlapping results.
+
+Every request carries its own :class:`~repro.core.pipeline.ExecutionContext`
+and yields a :class:`~repro.core.pipeline.QueryReceipt`, so any number of
+queries may be in flight concurrently.
 """
 
 from __future__ import annotations
 
+import os
+import threading
+import weakref
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.attacks import AttackModel
 from repro.core.client import Client, SAEVerificationResult
 from repro.core.dataset import Dataset
 from repro.core.owner import DataOwner
+from repro.core.pipeline import (
+    ExecutionContext,
+    QueryReceipt,
+    ReadWriteLock,
+    ZERO_RECEIPT,
+)
 from repro.core.provider import ServiceProvider
 from repro.core.trusted_entity import TrustedEntity
 from repro.core.updates import UpdateBatch
-from repro.crypto.digest import DigestScheme, default_scheme
+from repro.crypto.digest import Digest, DigestScheme, default_scheme
+from repro.crypto.encoding import encode_record
 from repro.dbms.query import RangeQuery
 from repro.network.channel import NetworkTracker
 from repro.network.messages import QueryRequest, ResultResponse, VTResponse
@@ -45,16 +66,25 @@ class QueryOutcome:
     result_bytes: int
     client_cpu_ms: float
     details: dict = field(default_factory=dict)
+    receipt: Optional[QueryReceipt] = None
 
     @property
     def verified(self) -> bool:
-        """Whether the client accepted the result."""
-        return self.verification.ok
+        """Whether the client actually verified and accepted the result.
+
+        ``False`` when verification was skipped (``verify=False``): an
+        unverified result must never present itself as a verified one.
+        """
+        return self.verification.ok and not self.verification.skipped
 
     @property
     def cardinality(self) -> int:
         """Number of records the SP returned."""
         return len(self.records)
+
+
+def _shutdown_pool(executor: ThreadPoolExecutor) -> None:
+    executor.shutdown(wait=False, cancel_futures=True)
 
 
 class SAESystem:
@@ -66,9 +96,10 @@ class SAESystem:
         scheme: Optional[DigestScheme] = None,
         page_size: int = DEFAULT_PAGE_SIZE,
         backend: str = "heap",
-        node_access_ms: float = None,
+        node_access_ms: Optional[float] = None,
         attack: Optional[AttackModel] = None,
         index_fill_factor: float = 1.0,
+        max_workers: Optional[int] = None,
     ):
         self._scheme = scheme or default_scheme()
         self._network = NetworkTracker()
@@ -88,13 +119,48 @@ class SAESystem:
         self.owner = DataOwner(dataset, network=self._network)
         self.client = Client(scheme=self._scheme, key_index=dataset.schema.key_index)
         self._ready = False
+        # Same number feeds the executor and the batch chunking, so a
+        # query_many batch always produces one SP slice per pool worker.
+        self._num_workers = max_workers or min(32, (os.cpu_count() or 1) + 4)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+        self._finalizer: Optional[weakref.finalize] = None
+        # Queries hold this shared; update batches hold it exclusive, so an
+        # in-flight query never observes a half-applied batch at SP or TE.
+        self._state_lock = ReadWriteLock()
 
     # ------------------------------------------------------------------ lifecycle
     def setup(self) -> "SAESystem":
         """Run the outsourcing phase (DO ships the dataset to SP and TE)."""
-        self.owner.outsource(self.provider, self.trusted_entity)
-        self._ready = True
+        with self._state_lock.write_locked():
+            self.owner.outsource(self.provider, self.trusted_entity)
+            self._ready = True
         return self
+
+    def close(self) -> None:
+        """Shut down the dispatch thread pool (idempotent)."""
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "SAESystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._num_workers, thread_name_prefix="sae-dispatch"
+                )
+                self._finalizer = weakref.finalize(self, _shutdown_pool, self._executor)
+            return self._executor
 
     @property
     def network(self) -> NetworkTracker:
@@ -107,61 +173,203 @@ class SAESystem:
         return self._dataset
 
     def apply_updates(self, batch: UpdateBatch) -> None:
-        """Propagate an update batch from the DO to the SP and the TE."""
-        self.owner.apply_updates(batch)
+        """Propagate an update batch from the DO to the SP and the TE.
 
-    # ------------------------------------------------------------------ queries
-    def query(self, low: Any, high: Any, verify: bool = True) -> QueryOutcome:
-        """Issue a verified range query.
-
-        The client sends the query to the SP and the TE simultaneously (the
-        paper notes the two are independent, which is what keeps the response
-        time low); the SP returns the result records, the TE the token, and
-        the client verifies locally.
+        The batch is applied under the exclusive side of the system's
+        shared/exclusive lock: concurrent queries either complete before it
+        or see both parties fully updated.
         """
-        if not self._ready:
-            raise RuntimeError("setup() must be called before issuing queries")
-        query = RangeQuery(low=low, high=high, attribute=self._dataset.schema.key_column)
+        with self._state_lock.write_locked():
+            self.owner.apply_updates(batch)
 
+    # ------------------------------------------------------------------ party legs
+    def _serve_sp(
+        self,
+        query: RangeQuery,
+        ctx: ExecutionContext,
+        encode_cache: Optional[Dict[Tuple[Any, ...], bytes]] = None,
+        record_cache: Optional[dict] = None,
+    ) -> Tuple[List[Tuple[Any, ...]], ResultResponse]:
+        """The SP leg of one request: receive the query, return the result."""
         request = QueryRequest(query=query)
-        self._network.channel("client", "SP").send(request)
-        records = self.provider.execute(query)
-        result_message = ResultResponse(records=records)
-        self._network.channel("SP", "client").send(result_message)
+        self._network.channel("client", "SP").send(request, session=ctx)
+        records = self.provider.execute(query, ctx, record_cache=record_cache)
+        hint = None
+        if encode_cache is not None:
+            hint = sum(len(_encoded(record, encode_cache)) for record in records)
+        result_message = ResultResponse(records=records, payload_size_hint=hint)
+        self._network.channel("SP", "client").send(result_message, session=ctx)
+        return records, result_message
 
-        auth_bytes = 0
-        te_accesses = 0
-        te_cost = 0.0
-        if verify:
-            self._network.channel("client", "TE").send(request)
-            token = self.trusted_entity.generate_vt(query)
-            token_message = VTResponse(token=token)
-            self._network.channel("TE", "client").send(token_message)
-            auth_bytes = token_message.payload_bytes()
-            te_accesses = self.trusted_entity.last_vt_accesses()
-            te_cost = self.trusted_entity.last_vt_cost_ms()
-            verification = self.client.verify(records, token, query=query)
-        else:
-            verification = SAEVerificationResult(
-                ok=True,
-                computed=self._scheme.zero(),
-                token=self._scheme.zero(),
-                records_hashed=0,
-                reason="verification skipped",
-            )
+    def _serve_sp_chunk(
+        self,
+        queries: Sequence[RangeQuery],
+        contexts: Sequence[ExecutionContext],
+        encode_cache: Dict[Tuple[Any, ...], bytes],
+        record_cache: dict,
+    ) -> List[Tuple[List[Tuple[Any, ...]], ResultResponse]]:
+        """Serve a contiguous slice of a batch's SP legs on one worker.
 
+        Chunking keeps the number of in-flight pool tasks at the worker
+        count instead of the batch size, which avoids scheduler and lock
+        convoy overhead on large batches.
+        """
+        return [
+            self._serve_sp(query, ctx, encode_cache, record_cache)
+            for query, ctx in zip(queries, contexts)
+        ]
+
+    def _serve_te(
+        self, query: RangeQuery, ctx: ExecutionContext
+    ) -> Tuple[Digest, VTResponse]:
+        """The TE leg of one request: receive the query, return the token."""
+        request = QueryRequest(query=query)
+        self._network.channel("client", "TE").send(request, session=ctx)
+        token = self.trusted_entity.generate_vt(query, ctx)
+        token_message = VTResponse(token=token)
+        self._network.channel("TE", "client").send(token_message, session=ctx)
+        return token, token_message
+
+    def _assemble(
+        self,
+        query: RangeQuery,
+        ctx: ExecutionContext,
+        records: List[Tuple[Any, ...]],
+        result_message: ResultResponse,
+        token_message: Optional[VTResponse],
+        verification: SAEVerificationResult,
+    ) -> QueryOutcome:
+        sp_receipt = ctx.sp or ZERO_RECEIPT
+        te_receipt = ctx.te or ZERO_RECEIPT
+        receipt = QueryReceipt(
+            query=query,
+            sp=sp_receipt,
+            te=te_receipt,
+            auth_bytes=token_message.payload_bytes() if token_message is not None else 0,
+            result_bytes=result_message.payload_bytes(),
+            client_cpu_ms=verification.cpu_ms,
+            bytes_by_channel=dict(ctx.bytes_by_channel),
+        )
         return QueryOutcome(
             query=query,
             records=records,
             verification=verification,
-            sp_accesses=self.provider.last_query_accesses(),
-            te_accesses=te_accesses,
-            sp_cost_ms=self.provider.last_query_cost_ms(),
-            te_cost_ms=te_cost,
-            auth_bytes=auth_bytes,
-            result_bytes=result_message.payload_bytes(),
-            client_cpu_ms=verification.cpu_ms,
+            sp_accesses=receipt.sp.node_accesses,
+            te_accesses=receipt.te.node_accesses,
+            sp_cost_ms=receipt.sp.io_cost_ms,
+            te_cost_ms=receipt.te.io_cost_ms,
+            auth_bytes=receipt.auth_bytes,
+            result_bytes=receipt.result_bytes,
+            client_cpu_ms=receipt.client_cpu_ms,
+            receipt=receipt,
         )
+
+    # ------------------------------------------------------------------ queries
+    def query(self, low: Any, high: Any, verify: bool = True) -> QueryOutcome:
+        """Issue one verified range query with parallel SP/TE dispatch.
+
+        The SP execution and the TE token generation run concurrently on the
+        system's thread pool -- they are independent parties in the paper's
+        model -- and the client verifies as soon as both legs return.
+        """
+        if not self._ready:
+            raise RuntimeError("setup() must be called before issuing queries")
+        query = RangeQuery(low=low, high=high, attribute=self._dataset.schema.key_column)
+        ctx = ExecutionContext(query=query)
+        pool = self._pool()
+
+        with self._state_lock.read_locked():
+            sp_future: Future = pool.submit(self._serve_sp, query, ctx)
+            te_future: Optional[Future] = (
+                pool.submit(self._serve_te, query, ctx) if verify else None
+            )
+            records, result_message = sp_future.result()
+            token_message: Optional[VTResponse] = None
+            token: Optional[Digest] = None
+            if te_future is not None:
+                token, token_message = te_future.result()
+        if token is not None:
+            verification = self.client.verify(records, token, query=query)
+        else:
+            verification = SAEVerificationResult.skipped_result(self._scheme)
+        return self._assemble(query, ctx, records, result_message, token_message, verification)
+
+    def query_many(
+        self, bounds: Sequence[Tuple[Any, Any]], verify: bool = True
+    ) -> List[QueryOutcome]:
+        """Issue a batch of range queries and return one outcome per query.
+
+        The SP legs run concurrently on the thread pool; the TE answers the
+        whole batch with :meth:`TrustedEntity.generate_vt_batch` (queries
+        sorted, XB-tree walked once); verification shares a per-batch digest
+        cache so records appearing in several overlapping results are hashed
+        once.  Verdicts, per-query node-access counts and per-query byte
+        accounting are identical to looping over :meth:`query`.
+        """
+        if not self._ready:
+            raise RuntimeError("setup() must be called before issuing queries")
+        attribute = self._dataset.schema.key_column
+        queries = [RangeQuery(low=low, high=high, attribute=attribute) for low, high in bounds]
+        contexts = [ExecutionContext(query=query) for query in queries]
+        pool = self._pool()
+        encode_cache: Dict[Tuple[Any, ...], bytes] = {}
+        record_cache: dict = {}
+
+        # One future per worker (contiguous slices), not one per query: the
+        # SP legs of a big batch would otherwise thrash the scheduler.
+        num_chunks = max(1, min(len(queries), self._num_workers))
+        chunk_size = (len(queries) + num_chunks - 1) // num_chunks
+        slices = [
+            slice(start, start + chunk_size)
+            for start in range(0, len(queries), chunk_size)
+        ]
+        token_messages: List[Optional[VTResponse]] = [None] * len(queries)
+        tokens: List[Optional[Digest]] = [None] * len(queries)
+        with self._state_lock.read_locked():
+            sp_futures = [
+                pool.submit(
+                    self._serve_sp_chunk, queries[piece], contexts[piece],
+                    encode_cache, record_cache,
+                )
+                for piece in slices
+            ]
+
+            if verify:
+                te_channel_in = self._network.channel("client", "TE")
+                te_channel_out = self._network.channel("TE", "client")
+                for query, ctx in zip(queries, contexts):
+                    te_channel_in.send(QueryRequest(query=query), session=ctx)
+                tokens = list(self.trusted_entity.generate_vt_batch(queries, contexts))
+                for position, (token, ctx) in enumerate(zip(tokens, contexts)):
+                    message = VTResponse(token=token)
+                    te_channel_out.send(message, session=ctx)
+                    token_messages[position] = message
+
+            sp_results: List[Tuple[List[Tuple[Any, ...]], ResultResponse]] = []
+            for future in sp_futures:
+                sp_results.extend(future.result())
+
+        digest_cache: Dict[Tuple[Any, ...], Digest] = {}
+        outcomes: List[QueryOutcome] = []
+        for position, (records, result_message) in enumerate(sp_results):
+            query = queries[position]
+            ctx = contexts[position]
+            if verify:
+                for record in records:
+                    key = tuple(record)
+                    if key not in digest_cache:
+                        digest_cache[key] = self._scheme.hash(_encoded(record, encode_cache))
+                verification = self.client.verify(
+                    records, tokens[position], query=query, digest_cache=digest_cache
+                )
+            else:
+                verification = SAEVerificationResult.skipped_result(self._scheme)
+            outcomes.append(
+                self._assemble(
+                    query, ctx, records, result_message, token_messages[position], verification
+                )
+            )
+        return outcomes
 
     # ------------------------------------------------------------------ reporting
     def storage_report(self) -> dict:
@@ -171,3 +379,19 @@ class SAESystem:
             "te_bytes": self.trusted_entity.storage_bytes(),
             "dataset_bytes": self._dataset.size_bytes(),
         }
+
+
+def _encoded(record: Sequence[Any], cache: Dict[Tuple[Any, ...], bytes]) -> bytes:
+    """Canonical encoding of ``record``, memoised per batch.
+
+    Shared (under the GIL's atomic dict operations) between the SP legs that
+    size the result messages and the client leg that hashes the records, so
+    each distinct record is encoded once per batch instead of twice per
+    query it appears in.
+    """
+    key = tuple(record)
+    data = cache.get(key)
+    if data is None:
+        data = encode_record(record)
+        cache[key] = data
+    return data

@@ -16,6 +16,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.attacks import AttackModel, NoAttack
 from repro.core.dataset import Dataset
+from repro.core.pipeline import CostReceipt, ExecutionContext, ZERO_RECEIPT, deprecated_accessor
 from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
 from repro.dbms.query import RangeQuery
 from repro.dbms.sqlite_backend import SQLiteTable
@@ -35,7 +36,7 @@ class ServiceProvider:
         self,
         backend: str = "heap",
         page_size: int = DEFAULT_PAGE_SIZE,
-        node_access_ms: float = None,
+        node_access_ms: Optional[float] = None,
         attack: Optional[AttackModel] = None,
         index_fill_factor: float = 1.0,
     ):
@@ -52,8 +53,7 @@ class ServiceProvider:
         self._table: Optional[Table] = None
         self._sqlite: Optional[SQLiteTable] = None
         self._dataset_schema = None
-        self._last_query_accesses = 0
-        self._last_query_cpu_ms = 0.0
+        self._last_receipt: CostReceipt = ZERO_RECEIPT
 
     # ------------------------------------------------------------------ configuration
     @property
@@ -122,19 +122,40 @@ class ServiceProvider:
         return store
 
     # ------------------------------------------------------------------ queries
-    def execute(self, query: RangeQuery) -> List[Tuple[Any, ...]]:
+    def execute(
+        self,
+        query: RangeQuery,
+        ctx: Optional[ExecutionContext] = None,
+        record_cache: Optional[dict] = None,
+    ) -> List[Tuple[Any, ...]]:
         """Answer a range query, applying the configured attack (if any).
 
         The SP's per-query cost (node accesses of the index traversal, leaf
-        scan and record retrieval) is recorded and can be read back through
-        :meth:`last_query_accesses` / :meth:`last_query_cost_ms`.
+        scan and record retrieval) is returned as a :class:`CostReceipt` on
+        ``ctx.sp``; the method is safe to call from any number of threads
+        because the accounting is scoped to the calling request.
+        ``record_cache`` (heap backend only) lets a batch of overlapping
+        queries decode each fetched record once -- cache hits are charged
+        the same heap access as a real fetch.
         """
         store = self._require_store()
-        before = self._counter.node_accesses
-        started = time.perf_counter()
-        records = store.range_query(query, fetch_records=True)
-        self._last_query_cpu_ms = (time.perf_counter() - started) * 1000.0
-        self._last_query_accesses = self._counter.node_accesses - before
+        with self._counter.scoped() as tally:
+            started = time.perf_counter()
+            if record_cache is not None and self._backend == "heap":
+                records = store.range_query(
+                    query, fetch_records=True, record_cache=record_cache
+                )
+            else:
+                records = store.range_query(query, fetch_records=True)
+            cpu_ms = (time.perf_counter() - started) * 1000.0
+        receipt = CostReceipt(
+            node_accesses=tally.node_accesses,
+            cpu_ms=cpu_ms,
+            io_cost_ms=self._cost_model.io_cost_ms(tally.node_accesses),
+        )
+        if ctx is not None:
+            ctx.sp = receipt
+        self._last_receipt = receipt  # feeds the deprecated last_* shims only
         return self._attack.apply(list(records), query)
 
     def index_only_accesses(self, query: RangeQuery) -> int:
@@ -146,20 +167,29 @@ class ServiceProvider:
         file) and is reported separately by the experiment harness.
         """
         store = self._require_store()
-        before = self._counter.node_accesses
-        store.range_query(query, fetch_records=False)
-        return self._counter.node_accesses - before
+        with self._counter.scoped() as tally:
+            store.range_query(query, fetch_records=False)
+        return tally.node_accesses
 
     def last_query_accesses(self) -> int:
-        """Node accesses charged by the most recent query (heap backend only)."""
-        return self._last_query_accesses
+        """Node accesses charged by the most recent query (heap backend only).
+
+        .. deprecated:: reads back shared mutable state; consume the
+           :class:`CostReceipt` from ``execute(query, ctx)`` instead.
+        """
+        deprecated_accessor("ServiceProvider.last_query_accesses()",
+                            "the CostReceipt on ExecutionContext.sp")
+        return self._last_receipt.node_accesses
 
     def last_query_cost_ms(self, include_cpu: bool = False) -> float:
-        """Simulated cost of the most recent query in milliseconds."""
-        cost = self._cost_model.io_cost_ms(self._last_query_accesses)
-        if include_cpu:
-            cost += self._last_query_cpu_ms
-        return cost
+        """Simulated cost of the most recent query in milliseconds.
+
+        .. deprecated:: reads back shared mutable state; consume the
+           :class:`CostReceipt` from ``execute(query, ctx)`` instead.
+        """
+        deprecated_accessor("ServiceProvider.last_query_cost_ms()",
+                            "the CostReceipt on ExecutionContext.sp")
+        return self._last_receipt.cost_ms(include_cpu=include_cpu)
 
     # ------------------------------------------------------------------ reporting
     @property

@@ -10,9 +10,10 @@ result size -- in two root-to-leaf traversals' worth of node accesses.
 from __future__ import annotations
 
 import time
-from typing import Any, Iterable, List, Optional
+from typing import Any, Iterable, List, Optional, Sequence
 
 from repro.core.dataset import Dataset
+from repro.core.pipeline import CostReceipt, ExecutionContext, ZERO_RECEIPT, deprecated_accessor
 from repro.core.tuples import TETuple, digest_record, make_te_tuples
 from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
 from repro.crypto.digest import Digest, DigestScheme, default_scheme
@@ -34,7 +35,7 @@ class TrustedEntity:
         self,
         scheme: Optional[DigestScheme] = None,
         page_size: int = DEFAULT_PAGE_SIZE,
-        node_access_ms: float = None,
+        node_access_ms: Optional[float] = None,
         use_index: bool = True,
     ):
         self._scheme = scheme or default_scheme()
@@ -47,8 +48,7 @@ class TrustedEntity:
         self._xbtree: Optional[XBTree] = None
         self._tuples_by_id: dict = {}
         self._ready = False
-        self._last_vt_accesses = 0
-        self._last_vt_cpu_ms = 0.0
+        self._last_receipt: CostReceipt = ZERO_RECEIPT
 
     # ------------------------------------------------------------------ meta
     @property
@@ -150,23 +150,71 @@ class TrustedEntity:
             raise TrustedEntityError("the trusted entity has not received a dataset yet")
 
     # ------------------------------------------------------------------ token generation
-    def generate_vt(self, query: RangeQuery) -> Digest:
+    def generate_vt(self, query: RangeQuery, ctx: Optional[ExecutionContext] = None) -> Digest:
         """Produce the verification token ``VT = RS⊕`` for ``query``.
 
         With the XB-tree this takes ``O(log n)`` node accesses; without it
         (``use_index=False``, used by the ablation benchmark) the TE scans
-        ``T`` sequentially and is charged one access per tuple "page".
+        ``T`` sequentially and is charged one access per tuple "page".  The
+        per-request cost is returned as a :class:`CostReceipt` on ``ctx.te``;
+        the method is safe to call concurrently.
         """
         self._require_ready()
-        before = self._counter.node_accesses
+        with self._counter.scoped() as tally:
+            started = time.perf_counter()
+            if self._xbtree is not None:
+                token = self._xbtree.generate_vt(query.low, query.high)
+            else:
+                token = self._sequential_scan_vt(query)
+            cpu_ms = (time.perf_counter() - started) * 1000.0
+        receipt = self._make_receipt(tally.node_accesses, cpu_ms)
+        if ctx is not None:
+            ctx.te = receipt
+        self._last_receipt = receipt  # feeds the deprecated last_* shims only
+        return token
+
+    def generate_vt_batch(
+        self,
+        queries: Sequence[RangeQuery],
+        contexts: Optional[Sequence[Optional[ExecutionContext]]] = None,
+    ) -> List[Digest]:
+        """Produce the tokens for many queries in one shared XB-tree walk.
+
+        The queries are sorted by range inside the walk so overlapping
+        requests traverse shared upper-level nodes together; tokens and
+        per-query node-access charges are identical to calling
+        :meth:`generate_vt` per query.  Measured CPU time is apportioned to
+        the receipts proportionally to each query's node accesses.
+        """
+        self._require_ready()
+        if contexts is not None and len(contexts) != len(queries):
+            raise ValueError("contexts must be parallel to queries")
+        ranges = [(query.low, query.high) for query in queries]
         started = time.perf_counter()
         if self._xbtree is not None:
-            token = self._xbtree.generate_vt(query.low, query.high)
+            tokens, counts = self._xbtree.generate_vt_batch(ranges)
         else:
-            token = self._sequential_scan_vt(query)
-        self._last_vt_cpu_ms = (time.perf_counter() - started) * 1000.0
-        self._last_vt_accesses = self._counter.node_accesses - before
-        return token
+            tokens, counts = [], []
+            for query in queries:
+                with self._counter.scoped() as tally:
+                    tokens.append(self._sequential_scan_vt(query))
+                counts.append(tally.node_accesses)
+        cpu_ms = (time.perf_counter() - started) * 1000.0
+        total_accesses = sum(counts)
+        for position, count in enumerate(counts):
+            share = count / total_accesses if total_accesses else 1.0 / max(1, len(counts))
+            receipt = self._make_receipt(count, cpu_ms * share)
+            if contexts is not None and contexts[position] is not None:
+                contexts[position].te = receipt
+            self._last_receipt = receipt
+        return tokens
+
+    def _make_receipt(self, node_accesses: int, cpu_ms: float) -> CostReceipt:
+        return CostReceipt(
+            node_accesses=node_accesses,
+            cpu_ms=cpu_ms,
+            io_cost_ms=self._cost_model.io_cost_ms(node_accesses),
+        )
 
     def _sequential_scan_vt(self, query: RangeQuery) -> Digest:
         token = self._scheme.zero()
@@ -180,15 +228,24 @@ class TrustedEntity:
         return token
 
     def last_vt_accesses(self) -> int:
-        """Node accesses charged by the most recent token generation."""
-        return self._last_vt_accesses
+        """Node accesses charged by the most recent token generation.
+
+        .. deprecated:: reads back shared mutable state; consume the
+           :class:`CostReceipt` from ``generate_vt(query, ctx)`` instead.
+        """
+        deprecated_accessor("TrustedEntity.last_vt_accesses()",
+                            "the CostReceipt on ExecutionContext.te")
+        return self._last_receipt.node_accesses
 
     def last_vt_cost_ms(self, include_cpu: bool = False) -> float:
-        """Simulated cost of the most recent token generation in milliseconds."""
-        cost = self._cost_model.io_cost_ms(self._last_vt_accesses)
-        if include_cpu:
-            cost += self._last_vt_cpu_ms
-        return cost
+        """Simulated cost of the most recent token generation in milliseconds.
+
+        .. deprecated:: reads back shared mutable state; consume the
+           :class:`CostReceipt` from ``generate_vt(query, ctx)`` instead.
+        """
+        deprecated_accessor("TrustedEntity.last_vt_cost_ms()",
+                            "the CostReceipt on ExecutionContext.te")
+        return self._last_receipt.cost_ms(include_cpu=include_cpu)
 
     # ------------------------------------------------------------------ reporting
     def storage_bytes(self) -> int:

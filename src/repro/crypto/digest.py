@@ -159,7 +159,9 @@ class Digest:
     def __xor__(self, other: "Digest") -> "Digest":
         if not isinstance(other, Digest):
             return NotImplemented
-        if other._scheme != self._scheme:
+        # Schemes are module-level singletons, so an identity check settles
+        # the common case without invoking the dataclass equality.
+        if other._scheme is not self._scheme and other._scheme != self._scheme:
             raise DigestError(
                 f"cannot XOR digests from different schemes "
                 f"({self._scheme.name} vs {other._scheme.name})"
@@ -179,7 +181,9 @@ class Digest:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Digest):
             return NotImplemented
-        return self._raw == other._raw and self._scheme == other._scheme
+        return self._raw == other._raw and (
+            self._scheme is other._scheme or self._scheme == other._scheme
+        )
 
     def __ne__(self, other: object) -> bool:
         result = self.__eq__(other)

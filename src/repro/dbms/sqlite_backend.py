@@ -12,11 +12,16 @@ unchanged.
 Node-access accounting is not available for SQLite (it does its own paging
 internally), so this backend is used for functional demonstrations and
 integration tests rather than for the cost figures.
+
+Connections are opened with ``check_same_thread=False`` and every statement
+runs under a lock, because the service provider's query leg executes on the
+protocol's dispatch thread pool.
 """
 
 from __future__ import annotations
 
 import sqlite3
+import threading
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro.crypto.encoding import RecordCodec
@@ -44,7 +49,8 @@ class SQLiteTable:
                  sample_record: Optional[Sequence[Any]] = None):
         self._schema = schema
         self._codec: RecordCodec = schema.codec()
-        self._conn = connection or sqlite3.connect(":memory:")
+        self._conn = connection or sqlite3.connect(":memory:", check_same_thread=False)
+        self._conn_lock = threading.Lock()
         self._create(sample_record)
 
     def _create(self, sample_record: Optional[Sequence[Any]]) -> None:
@@ -78,13 +84,15 @@ class SQLiteTable:
     @property
     def num_records(self) -> int:
         """Number of stored records."""
-        cursor = self._conn.execute(f'SELECT COUNT(*) FROM "{self._schema.name}"')
-        return int(cursor.fetchone()[0])
+        with self._conn_lock:
+            cursor = self._conn.execute(f'SELECT COUNT(*) FROM "{self._schema.name}"')
+            return int(cursor.fetchone()[0])
 
     def size_bytes(self) -> int:
         """Approximate storage footprint reported by SQLite."""
-        page_count = self._conn.execute("PRAGMA page_count").fetchone()[0]
-        page_size = self._conn.execute("PRAGMA page_size").fetchone()[0]
+        with self._conn_lock:
+            page_count = self._conn.execute("PRAGMA page_count").fetchone()[0]
+            page_size = self._conn.execute("PRAGMA page_size").fetchone()[0]
         return int(page_count) * int(page_size)
 
     def __len__(self) -> int:
@@ -96,9 +104,10 @@ class SQLiteTable:
         self._schema.validate_record(fields)
         placeholders = ", ".join("?" for _ in self._schema.columns)
         try:
-            self._conn.execute(
-                f'INSERT INTO "{self._schema.name}" VALUES ({placeholders})', tuple(fields)
-            )
+            with self._conn_lock:
+                self._conn.execute(
+                    f'INSERT INTO "{self._schema.name}" VALUES ({placeholders})', tuple(fields)
+                )
         except sqlite3.IntegrityError as exc:
             raise TableError(str(exc)) from exc
 
@@ -106,7 +115,7 @@ class SQLiteTable:
         """Insert many records inside a single transaction."""
         placeholders = ", ".join("?" for _ in self._schema.columns)
         try:
-            with self._conn:
+            with self._conn_lock, self._conn:
                 self._conn.executemany(
                     f'INSERT INTO "{self._schema.name}" VALUES ({placeholders})',
                     [tuple(fields) for fields in records],
@@ -116,10 +125,11 @@ class SQLiteTable:
 
     def delete(self, record_id: Any) -> None:
         """Delete the record with the given id."""
-        cursor = self._conn.execute(
-            f'DELETE FROM "{self._schema.name}" WHERE "{self._schema.id_column}" = ?',
-            (record_id,),
-        )
+        with self._conn_lock:
+            cursor = self._conn.execute(
+                f'DELETE FROM "{self._schema.name}" WHERE "{self._schema.id_column}" = ?',
+                (record_id,),
+            )
         if cursor.rowcount == 0:
             raise TableError(f"no record with id {record_id!r}")
 
@@ -128,22 +138,24 @@ class SQLiteTable:
         self._schema.validate_record(fields)
         record_id = fields[self._schema.id_index]
         assignments = ", ".join(f'"{column}" = ?' for column in self._schema.columns)
-        cursor = self._conn.execute(
-            f'UPDATE "{self._schema.name}" SET {assignments} '
-            f'WHERE "{self._schema.id_column}" = ?',
-            tuple(fields) + (record_id,),
-        )
+        with self._conn_lock:
+            cursor = self._conn.execute(
+                f'UPDATE "{self._schema.name}" SET {assignments} '
+                f'WHERE "{self._schema.id_column}" = ?',
+                tuple(fields) + (record_id,),
+            )
         if cursor.rowcount == 0:
             raise TableError(f"no record with id {record_id!r}")
 
     # ------------------------------------------------------------------ reads
     def get(self, record_id: Any) -> Tuple[Any, ...]:
         """Fetch a record by id."""
-        cursor = self._conn.execute(
-            f'SELECT * FROM "{self._schema.name}" WHERE "{self._schema.id_column}" = ?',
-            (record_id,),
-        )
-        row = cursor.fetchone()
+        with self._conn_lock:
+            cursor = self._conn.execute(
+                f'SELECT * FROM "{self._schema.name}" WHERE "{self._schema.id_column}" = ?',
+                (record_id,),
+            )
+            row = cursor.fetchone()
         if row is None:
             raise TableError(f"no record with id {record_id!r}")
         return tuple(row)
@@ -151,18 +163,20 @@ class SQLiteTable:
     def range_query(self, query: RangeQuery, fetch_records: bool = True) -> List[Tuple[Any, ...]]:
         """Answer a range query on the key column, ordered by key."""
         columns = "*" if fetch_records else f'"{self._schema.key_column}", "{self._schema.id_column}"'
-        cursor = self._conn.execute(
-            f'SELECT {columns} FROM "{self._schema.name}" '
-            f'WHERE "{self._schema.key_column}" BETWEEN ? AND ? '
-            f'ORDER BY "{self._schema.key_column}", "{self._schema.id_column}"',
-            (query.low, query.high),
-        )
-        return [tuple(row) for row in cursor.fetchall()]
+        with self._conn_lock:
+            cursor = self._conn.execute(
+                f'SELECT {columns} FROM "{self._schema.name}" '
+                f'WHERE "{self._schema.key_column}" BETWEEN ? AND ? '
+                f'ORDER BY "{self._schema.key_column}", "{self._schema.id_column}"',
+                (query.low, query.high),
+            )
+            return [tuple(row) for row in cursor.fetchall()]
 
     def scan(self) -> Iterator[Tuple[Any, ...]]:
         """Iterate over every record."""
-        cursor = self._conn.execute(f'SELECT * FROM "{self._schema.name}"')
-        for row in cursor:
+        with self._conn_lock:
+            rows = self._conn.execute(f'SELECT * FROM "{self._schema.name}"').fetchall()
+        for row in rows:
             yield tuple(row)
 
     def close(self) -> None:
@@ -174,7 +188,7 @@ class SQLiteEngine:
     """A multi-table engine over a single sqlite3 connection."""
 
     def __init__(self, path: str = ":memory:"):
-        self._conn = sqlite3.connect(path)
+        self._conn = sqlite3.connect(path, check_same_thread=False)
         self._tables: dict = {}
 
     def create_table(self, schema: TableSchema,

@@ -153,17 +153,36 @@ class Table:
         return self._codec.decode(self._heap.get(rid, charge=charge))
 
     def range_query(self, query: RangeQuery, fetch_records: bool = True,
-                    charge_heap: bool = True) -> List[Tuple[Any, ...]]:
+                    charge_heap: bool = True,
+                    record_cache: Optional[Dict[RecordId, Tuple[Any, ...]]] = None
+                    ) -> List[Tuple[Any, ...]]:
         """Answer a range query on the key column.
 
         With ``fetch_records`` the full records are retrieved from the heap
         file (what the SP returns to the client); otherwise only the index
         is consulted and ``(key, rid)`` pairs are returned.
+
+        ``record_cache`` (RID -> decoded record) lets a batch of overlapping
+        queries decode each record once; a cache hit is still charged one
+        heap access so per-query cost accounting is unchanged.  The cache
+        must not outlive the batch (updates would make it stale).
         """
         matches = self._index.range_search(query.low, query.high)
         if not fetch_records:
             return matches
-        return [self._codec.decode(self._heap.get(rid, charge=charge_heap)) for _, rid in matches]
+        if record_cache is None:
+            return [self._codec.decode(self._heap.get(rid, charge=charge_heap))
+                    for _, rid in matches]
+        records = []
+        for _, rid in matches:
+            record = record_cache.get(rid)
+            if record is None:
+                record = self._codec.decode(self._heap.get(rid, charge=charge_heap))
+                record_cache[rid] = record
+            elif charge_heap:
+                self._counter.record_node_access()
+            records.append(record)
+        return records
 
     def scan(self) -> Iterator[Tuple[Any, ...]]:
         """Full scan in physical order (no access charges; used by tests)."""

@@ -27,8 +27,16 @@ from repro.experiments.ablations import (
     page_size_ablation,
     digest_scheme_ablation,
 )
+from repro.experiments.throughput import (
+    LoadReport,
+    format_load_reports,
+    run_load,
+)
 
 __all__ = [
+    "LoadReport",
+    "format_load_reports",
+    "run_load",
     "ExperimentConfig",
     "PointMeasurement",
     "measure_point",

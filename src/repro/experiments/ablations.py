@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.pipeline import ExecutionContext
 from repro.core.protocol import SAESystem
 from repro.core.trusted_entity import TrustedEntity
 from repro.crypto.digest import get_scheme
@@ -56,10 +57,12 @@ def te_index_ablation(config: Optional[ExperimentConfig] = None,
         indexed_accesses = 0.0
         scan_accesses = 0.0
         for query in workload:
-            token_indexed = indexed.generate_vt(query)
-            indexed_accesses += indexed.last_vt_accesses()
-            token_scan = scanning.generate_vt(query)
-            scan_accesses += scanning.last_vt_accesses()
+            indexed_ctx = ExecutionContext(query=query)
+            scan_ctx = ExecutionContext(query=query)
+            token_indexed = indexed.generate_vt(query, indexed_ctx)
+            indexed_accesses += indexed_ctx.te.node_accesses
+            token_scan = scanning.generate_vt(query, scan_ctx)
+            scan_accesses += scan_ctx.te.node_accesses
             if token_indexed != token_scan:
                 raise AssertionError("XB-tree and sequential scan disagree on the VT")
         count = float(len(workload))

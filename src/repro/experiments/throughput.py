@@ -1,0 +1,179 @@
+"""Closed-loop multi-client load driver for the SAE query pipeline.
+
+The paper's motivation for separating authentication from execution is
+keeping response time low under load; this module measures exactly that on
+the re-entrant pipeline.  ``N`` concurrent clients replay a
+:mod:`repro.workloads` query mix against one shared :class:`SAESystem`
+deployment in a closed loop (each client issues its next request as soon as
+the previous one completes) and the driver reports:
+
+* throughput (verified queries per second of wall-clock time),
+* latency percentiles (p50/p95/p99, through :mod:`repro.metrics`),
+* a correctness roll-up (every outcome's verification verdict).
+
+Two dispatch modes are supported, mirroring :class:`SAESystem`:
+
+* ``per-query`` -- every client calls :meth:`SAESystem.query`;
+* ``batched`` -- every client drains a slice of the workload and calls
+  :meth:`SAESystem.query_many`, exercising the batched VT generation and
+  the shared verification caches.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.protocol import QueryOutcome, SAESystem
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.reporting import format_table
+
+#: Dispatch modes understood by :func:`run_load`.
+MODES = ("per-query", "batched")
+
+
+@dataclass
+class LoadReport:
+    """Aggregate result of one closed-loop load run."""
+
+    mode: str
+    num_clients: int
+    num_queries: int
+    duration_s: float
+    throughput_qps: float
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    all_verified: bool
+    failed_queries: int
+    total_sp_accesses: int
+    total_te_accesses: int
+    collector: MetricsCollector = field(repr=False, default_factory=MetricsCollector)
+    outcomes: List[QueryOutcome] = field(repr=False, default_factory=list)
+
+    def as_row(self) -> List[Any]:
+        """One table row (pairs with :func:`format_load_reports`)."""
+        return [
+            self.mode,
+            self.num_clients,
+            self.num_queries,
+            self.throughput_qps,
+            self.latency_p50_ms,
+            self.latency_p95_ms,
+            self.latency_p99_ms,
+            "yes" if self.all_verified else "NO",
+        ]
+
+
+def format_load_reports(reports: Sequence[LoadReport], title: str = "load driver") -> str:
+    """Render load reports as an aligned table."""
+    headers = ["mode", "clients", "queries", "qps", "p50 ms", "p95 ms", "p99 ms", "verified"]
+    return format_table(headers, [report.as_row() for report in reports], title=title)
+
+
+def run_load(
+    system: SAESystem,
+    bounds: Sequence[Tuple[Any, Any]],
+    num_clients: int = 4,
+    mode: str = "per-query",
+    batch_size: int = 25,
+    verify: bool = True,
+    collector: Optional[MetricsCollector] = None,
+) -> LoadReport:
+    """Replay ``bounds`` from ``num_clients`` concurrent closed-loop clients.
+
+    Every client thread repeatedly takes work from a shared queue until the
+    workload is drained: one query at a time in ``per-query`` mode, up to
+    ``batch_size`` queries at a time in ``batched`` mode.  Per-query latency
+    is the wall-clock time of the call that served it (so in batched mode
+    every query in a batch observes the batch's latency, which is what a
+    client waiting on the batch would see).
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+    if num_clients < 1:
+        raise ValueError("the load driver needs at least one client")
+    if mode == "batched" and batch_size < 1:
+        raise ValueError("batch_size must be positive")
+
+    collector = collector or MetricsCollector()
+    latency = collector.series(f"latency_ms[{mode}]")
+    latency.observations[num_clients]  # materialise the bucket before the threads race
+
+    work: "queue.SimpleQueue" = queue.SimpleQueue()
+    for item in bounds:
+        work.put(item)
+
+    outcomes_per_client: List[List[QueryOutcome]] = [[] for _ in range(num_clients)]
+    errors: List[BaseException] = []
+
+    def drain(limit: int) -> List[Tuple[Any, Any]]:
+        taken = []
+        while len(taken) < limit:
+            try:
+                taken.append(work.get_nowait())
+            except queue.Empty:
+                break
+        return taken
+
+    def client_loop(slot: int) -> None:
+        sink = outcomes_per_client[slot]
+        try:
+            while True:
+                if mode == "per-query":
+                    batch = drain(1)
+                    if not batch:
+                        return
+                    started = time.perf_counter()
+                    sink.append(system.query(batch[0][0], batch[0][1], verify=verify))
+                    elapsed_ms = (time.perf_counter() - started) * 1000.0
+                    latency.record(num_clients, elapsed_ms)
+                else:
+                    batch = drain(batch_size)
+                    if not batch:
+                        return
+                    started = time.perf_counter()
+                    sink.extend(system.query_many(batch, verify=verify))
+                    elapsed_ms = (time.perf_counter() - started) * 1000.0
+                    for _ in batch:
+                        latency.record(num_clients, elapsed_ms)
+        except BaseException as exc:  # surface worker failures to the caller
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client_loop, args=(slot,), name=f"load-client-{slot}")
+        for slot in range(num_clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration_s = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+
+    outcomes = [outcome for sink in outcomes_per_client for outcome in sink]
+    served = len(outcomes)
+    failed = sum(1 for outcome in outcomes if verify and not outcome.verified)
+    return LoadReport(
+        mode=mode,
+        num_clients=num_clients,
+        num_queries=served,
+        duration_s=duration_s,
+        throughput_qps=served / duration_s if duration_s > 0 else 0.0,
+        latency_mean_ms=latency.mean(num_clients),
+        latency_p50_ms=latency.percentile(num_clients, 50),
+        latency_p95_ms=latency.percentile(num_clients, 95),
+        latency_p99_ms=latency.percentile(num_clients, 99),
+        all_verified=verify and failed == 0 and served == len(bounds) and served > 0,
+        failed_queries=failed,
+        total_sp_accesses=sum(outcome.sp_accesses for outcome in outcomes),
+        total_te_accesses=sum(outcome.te_accesses for outcome in outcomes),
+        collector=collector,
+        outcomes=outcomes,
+    )

@@ -45,6 +45,27 @@ class MetricSeries:
         mean = sum(values) / len(values)
         return math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
 
+    def percentile(self, x: Any, q: float) -> float:
+        """The ``q``-th percentile (0-100) of the observations at ``x``.
+
+        Linear interpolation between closest ranks, the same convention as
+        ``numpy.percentile``; 0.0 when the series has no observations at
+        ``x``.  This is what the load driver uses for p50/p95/p99 latency.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be between 0 and 100")
+        values = sorted(self.observations.get(x, []))
+        if not values:
+            return 0.0
+        if len(values) == 1:
+            return values[0]
+        rank = (q / 100.0) * (len(values) - 1)
+        lower = int(rank)
+        fraction = rank - lower
+        if lower + 1 >= len(values):
+            return values[-1]
+        return values[lower] * (1.0 - fraction) + values[lower + 1] * fraction
+
     def xs(self) -> List[Any]:
         """All x-positions with at least one observation, sorted."""
         return sorted(self.observations)

@@ -1,7 +1,15 @@
-"""Byte-counting channels between protocol parties."""
+"""Byte-counting channels between protocol parties.
+
+Channels are shared by every in-flight request, so their aggregate counters
+are updated under a lock; per-request byte accounting is done by passing the
+request's :class:`~repro.core.pipeline.ExecutionContext` (or any object with
+a ``record_bytes(channel_name, nbytes)`` method) as the ``session`` argument
+of :meth:`Channel.send`.
+"""
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -15,15 +23,20 @@ class ChannelStats:
     messages: int = 0
     bytes: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def record(self, size: int) -> None:
         """Account for one message of ``size`` bytes."""
-        self.messages += 1
-        self.bytes += size
+        with self._lock:
+            self.messages += 1
+            self.bytes += size
 
     def reset(self) -> None:
         """Zero the counters."""
-        self.messages = 0
-        self.bytes = 0
+        with self._lock:
+            self.messages = 0
+            self.bytes = 0
 
 
 class Channel:
@@ -34,6 +47,7 @@ class Channel:
         self.receiver = receiver
         self.stats = ChannelStats()
         self._log: List[Message] = []
+        self._log_lock = threading.Lock()
         self.keep_log = False
 
     @property
@@ -41,22 +55,33 @@ class Channel:
         """Human-readable channel name, e.g. ``"TE->client"``."""
         return f"{self.sender}->{self.receiver}"
 
-    def send(self, message: Message) -> Message:
-        """Record the transfer of ``message`` and hand it to the receiver."""
-        self.stats.record(message.size_bytes())
+    def send(self, message: Message, session: Optional[object] = None) -> Message:
+        """Record the transfer of ``message`` and hand it to the receiver.
+
+        When ``session`` is given (a per-request accounting object exposing
+        ``record_bytes``), the message's wire size is also credited to that
+        session, so concurrent requests each see exactly their own traffic.
+        """
+        size = message.size_bytes()
+        self.stats.record(size)
+        if session is not None:
+            session.record_bytes(self.name, size)
         if self.keep_log:
-            self._log.append(message)
+            with self._log_lock:
+                self._log.append(message)
         return message
 
     @property
     def log(self) -> List[Message]:
         """Messages sent so far (only populated when ``keep_log`` is enabled)."""
-        return list(self._log)
+        with self._log_lock:
+            return list(self._log)
 
     def reset(self) -> None:
         """Clear statistics and the message log."""
         self.stats.reset()
-        self._log.clear()
+        with self._log_lock:
+            self._log.clear()
 
 
 class NetworkTracker:
@@ -64,17 +89,20 @@ class NetworkTracker:
 
     def __init__(self):
         self._channels: Dict[str, Channel] = {}
+        self._lock = threading.Lock()
 
     def channel(self, sender: str, receiver: str) -> Channel:
         """Get (or lazily create) the directed channel ``sender -> receiver``."""
         key = f"{sender}->{receiver}"
-        if key not in self._channels:
-            self._channels[key] = Channel(sender, receiver)
-        return self._channels[key]
+        with self._lock:
+            if key not in self._channels:
+                self._channels[key] = Channel(sender, receiver)
+            return self._channels[key]
 
     def get(self, sender: str, receiver: str) -> Optional[Channel]:
         """Return the channel if it exists, else ``None``."""
-        return self._channels.get(f"{sender}->{receiver}")
+        with self._lock:
+            return self._channels.get(f"{sender}->{receiver}")
 
     def bytes_sent(self, sender: str, receiver: str) -> int:
         """Bytes sent over a channel (0 if it was never used)."""
@@ -83,13 +111,19 @@ class NetworkTracker:
 
     def total_bytes(self) -> int:
         """Bytes sent over all channels."""
-        return sum(channel.stats.bytes for channel in self._channels.values())
+        with self._lock:
+            channels = list(self._channels.values())
+        return sum(channel.stats.bytes for channel in channels)
 
     def reset(self) -> None:
         """Reset every channel."""
-        for channel in self._channels.values():
+        with self._lock:
+            channels = list(self._channels.values())
+        for channel in channels:
             channel.reset()
 
     def summary(self) -> Dict[str, int]:
         """Mapping of channel name to bytes sent."""
-        return {name: channel.stats.bytes for name, channel in sorted(self._channels.items())}
+        with self._lock:
+            channels = sorted(self._channels.items())
+        return {name: channel.stats.bytes for name, channel in channels}

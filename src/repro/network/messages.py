@@ -45,11 +45,20 @@ class QueryRequest(Message):
 
 @dataclass
 class ResultResponse(Message):
-    """The SP's answer: the full result records (no authentication data in SAE)."""
+    """The SP's answer: the full result records (no authentication data in SAE).
+
+    ``payload_size_hint`` lets a batched sender that has already encoded the
+    records (e.g. for digest computation) supply the payload size instead of
+    re-encoding every record here; the value must equal what
+    ``sum(len(encode_record(r)))`` would produce.
+    """
 
     records: List[Tuple[Any, ...]]
+    payload_size_hint: Optional[int] = None
 
     def payload_bytes(self) -> int:
+        if self.payload_size_hint is not None:
+            return self.payload_size_hint
         return sum(len(encode_record(record)) for record in self.records)
 
     @property

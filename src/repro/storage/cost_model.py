@@ -11,11 +11,21 @@ pages.  This module provides:
 * :class:`CostModel` -- converts access counts into simulated milliseconds
   and can also fold in measured CPU time, which is how the verification
   costs of Figure 7 (pure CPU, no I/O) are reported.
+
+Counters are safe to share between concurrently executing requests: the
+global totals are updated under a lock, and :meth:`AccessCounter.scoped`
+opens a *per-request tally* on the calling thread, so two queries running on
+different threads each observe exactly the accesses their own traversals
+charged.  This is what makes the service provider and the trusted entity
+re-entrant.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator, Optional
 
 from repro.storage.constants import DEFAULT_NODE_ACCESS_MS
 
@@ -34,21 +44,63 @@ class AccessCounter:
     page_writes: int = 0
     page_allocations: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _scopes(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    @contextmanager
+    def scoped(self) -> Iterator["AccessCounter"]:
+        """Open a per-request tally on the calling thread.
+
+        Every charge recorded by this thread while the scope is open is
+        added both to the shared totals and to the yielded tally, which the
+        caller reads *after* the scope closes to build a cost receipt.
+        Scopes nest, and scopes on different threads never see each other's
+        charges -- this is the primitive that replaces the racy
+        "snapshot the counter, run, subtract" pattern.
+        """
+        tally = AccessCounter()
+        stack = self._scopes()
+        stack.append(tally)
+        try:
+            yield tally
+        finally:
+            stack.pop()
+
     def record_node_access(self, count: int = 1) -> None:
         """Charge ``count`` logical node accesses."""
-        self.node_accesses += count
+        with self._lock:
+            self.node_accesses += count
+        for tally in self._scopes():
+            tally.node_accesses += count
 
     def record_read(self, count: int = 1) -> None:
         """Record ``count`` physical page reads."""
-        self.page_reads += count
+        with self._lock:
+            self.page_reads += count
+        for tally in self._scopes():
+            tally.page_reads += count
 
     def record_write(self, count: int = 1) -> None:
         """Record ``count`` physical page writes."""
-        self.page_writes += count
+        with self._lock:
+            self.page_writes += count
+        for tally in self._scopes():
+            tally.page_writes += count
 
     def record_allocation(self, count: int = 1) -> None:
         """Record ``count`` page allocations."""
-        self.page_allocations += count
+        with self._lock:
+            self.page_allocations += count
+        for tally in self._scopes():
+            tally.page_allocations += count
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -103,13 +155,13 @@ class CostModel:
     include_cpu: bool = True
     counter: AccessCounter = field(default_factory=AccessCounter)
 
-    def io_cost_ms(self, node_accesses: int = None) -> float:
+    def io_cost_ms(self, node_accesses: Optional[int] = None) -> float:
         """Simulated I/O cost of ``node_accesses`` accesses (or the counter's)."""
         if node_accesses is None:
             node_accesses = self.counter.node_accesses
         return node_accesses * self.node_access_ms
 
-    def total_cost_ms(self, node_accesses: int = None, cpu_ms: float = 0.0) -> float:
+    def total_cost_ms(self, node_accesses: Optional[int] = None, cpu_ms: float = 0.0) -> float:
         """Combine simulated I/O cost and (optionally) measured CPU cost."""
         cost = self.io_cost_ms(node_accesses)
         if self.include_cpu:

@@ -181,15 +181,24 @@ class HeapFile:
 
         Raises :class:`HeapFileError` if the record was deleted or the RID
         is out of range.
+
+        This is the SP's record-retrieval hot path, so it reads the raw page
+        image straight from the pager instead of materialising a
+        :class:`Page` object per fetched record.
         """
-        page = self._load_page(rid.page_no, charge=charge)
-        slot_count, _ = self._read_header(page)
+        page_no = rid.page_no
+        if not (0 <= page_no < len(self._page_ids)):
+            raise HeapFileError(f"page {page_no} does not exist in this heap file")
+        if charge:
+            self._counter.record_node_access()
+        raw = self._pager.read_page_bytes(self._page_ids[page_no])
+        slot_count, _ = _HEADER.unpack_from(raw, 0)
         if not (0 <= rid.slot < slot_count):
-            raise HeapFileError(f"slot {rid.slot} does not exist in page {rid.page_no}")
-        record_offset, record_length = self._read_slot(page, rid.slot)
+            raise HeapFileError(f"slot {rid.slot} does not exist in page {page_no}")
+        record_offset, record_length = _SLOT.unpack_from(raw, _HEADER.size + rid.slot * _SLOT.size)
         if record_length == _TOMBSTONE:
             raise HeapFileError(f"record {rid} has been deleted")
-        return page.read(record_offset, record_length)
+        return raw[record_offset:record_offset + record_length]
 
     def delete(self, rid: RecordId) -> None:
         """Delete the record at ``rid`` (its slot is tombstoned, not reused)."""

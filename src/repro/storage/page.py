@@ -9,7 +9,7 @@ one node access.
 
 from __future__ import annotations
 
-from typing import NewType
+from typing import NewType, Optional
 
 #: Identifier of a page within a pager.  Page 0 is always valid once the
 #: pager has allocated at least one page.
@@ -53,7 +53,7 @@ class Page:
         """Clear the dirty flag (called by the pager after a flush)."""
         self._dirty = False
 
-    def read(self, offset: int = 0, length: int = None) -> bytes:
+    def read(self, offset: int = 0, length: Optional[int] = None) -> bytes:
         """Read ``length`` bytes starting at ``offset`` (whole page by default)."""
         if length is None:
             length = len(self._data) - offset

@@ -60,6 +60,15 @@ class Pager:
         """Fetch a page by id."""
         raise NotImplementedError
 
+    def read_page_bytes(self, page_id: PageId) -> bytes:
+        """Fetch a page's raw contents for read-only use.
+
+        The default implementation goes through :meth:`read_page`; pagers
+        that hold page images in memory override this to skip the
+        :class:`Page` object construction on the read-heavy query path.
+        """
+        return self.read_page(page_id).snapshot()
+
     def write_page(self, page: Page) -> None:
         """Persist a page."""
         raise NotImplementedError
@@ -113,6 +122,14 @@ class InMemoryPager(Pager):
             raise PageError(f"page {page_id} has not been allocated") from None
         self._counter.record_read()
         return Page(page_id, self._page_size, raw)
+
+    def read_page_bytes(self, page_id: PageId) -> bytes:
+        try:
+            raw = self._pages[int(page_id)]
+        except KeyError:
+            raise PageError(f"page {page_id} has not been allocated") from None
+        self._counter.record_read()
+        return raw
 
     def write_page(self, page: Page) -> None:
         if int(page.page_id) not in self._pages:

@@ -14,6 +14,7 @@ from typing import Any, List, Optional, Tuple
 
 from repro.core.attacks import AttackModel, NoAttack
 from repro.core.dataset import Dataset
+from repro.core.pipeline import CostReceipt, ExecutionContext, ZERO_RECEIPT, deprecated_accessor
 from repro.core.tuples import digest_record
 from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
 from repro.crypto.digest import DigestScheme, default_scheme
@@ -118,7 +119,7 @@ class TomServiceProvider:
         self,
         scheme: Optional[DigestScheme] = None,
         page_size: int = DEFAULT_PAGE_SIZE,
-        node_access_ms: float = None,
+        node_access_ms: Optional[float] = None,
         attack: Optional[AttackModel] = None,
         index_fill_factor: float = 1.0,
     ):
@@ -134,8 +135,7 @@ class TomServiceProvider:
         self._records_by_rid = {}
         self._table: Optional[Table] = None
         self._ads: Optional[MBTree] = None
-        self._last_query_accesses = 0
-        self._last_query_cpu_ms = 0.0
+        self._last_receipt: CostReceipt = ZERO_RECEIPT
 
     # ------------------------------------------------------------------ configuration
     @property
@@ -219,20 +219,29 @@ class TomServiceProvider:
                 raise TomError(f"unknown update operation {operation!r}")
 
     # ------------------------------------------------------------------ queries
-    def execute(self, query: RangeQuery) -> Tuple[List[Tuple[Any, ...]], VerificationObject]:
-        """Answer a range query with the result and its verification object."""
+    def execute(
+        self, query: RangeQuery, ctx: Optional[ExecutionContext] = None
+    ) -> Tuple[List[Tuple[Any, ...]], VerificationObject]:
+        """Answer a range query with the result and its verification object.
+
+        The per-query cost is returned as a :class:`CostReceipt` on
+        ``ctx.sp``, mirroring the SAE provider's re-entrant accounting.
+        """
         if self._table is None or self._ads is None:
             raise TomError("the service provider has not received a dataset yet")
-        before = self._counter.node_accesses
-        started = time.perf_counter()
-        matches, vo = self._ads.build_vo(
-            query.low,
-            query.high,
-            record_loader=lambda record_id: self._table.get(record_id, charge=True),
-        )
-        records = [self._table.get(record_id, charge=True) for _, record_id in matches]
-        self._last_query_cpu_ms = (time.perf_counter() - started) * 1000.0
-        self._last_query_accesses = self._counter.node_accesses - before
+        with self._counter.scoped() as tally:
+            started = time.perf_counter()
+            matches, vo = self._ads.build_vo(
+                query.low,
+                query.high,
+                record_loader=lambda record_id: self._table.get(record_id, charge=True),
+            )
+            records = [self._table.get(record_id, charge=True) for _, record_id in matches]
+            cpu_ms = (time.perf_counter() - started) * 1000.0
+        receipt = self._make_receipt(tally.node_accesses, cpu_ms)
+        if ctx is not None:
+            ctx.sp = receipt
+        self._last_receipt = receipt  # feeds the deprecated last_* shims only
         return self._attack.apply(records, query), vo
 
     def query_only(self, query: RangeQuery) -> List[Tuple[Any, ...]]:
@@ -243,30 +252,46 @@ class TomServiceProvider:
         """
         if self._table is None or self._ads is None:
             raise TomError("the service provider has not received a dataset yet")
-        before = self._counter.node_accesses
-        started = time.perf_counter()
-        matches = self._ads.range_search(query.low, query.high)
-        records = [self._table.get(record_id, charge=True) for _, record_id in matches]
-        self._last_query_cpu_ms = (time.perf_counter() - started) * 1000.0
-        self._last_query_accesses = self._counter.node_accesses - before
+        with self._counter.scoped() as tally:
+            started = time.perf_counter()
+            matches = self._ads.range_search(query.low, query.high)
+            records = [self._table.get(record_id, charge=True) for _, record_id in matches]
+            cpu_ms = (time.perf_counter() - started) * 1000.0
+        self._last_receipt = self._make_receipt(tally.node_accesses, cpu_ms)
         return records
 
     def index_only_accesses(self, query: RangeQuery) -> int:
         """Node accesses of the MB-tree traversal and leaf scan alone."""
-        before = self._counter.node_accesses
-        self.ads.range_search(query.low, query.high)
-        return self._counter.node_accesses - before
+        with self._counter.scoped() as tally:
+            self.ads.range_search(query.low, query.high)
+        return tally.node_accesses
+
+    def _make_receipt(self, node_accesses: int, cpu_ms: float) -> CostReceipt:
+        return CostReceipt(
+            node_accesses=node_accesses,
+            cpu_ms=cpu_ms,
+            io_cost_ms=self._cost_model.io_cost_ms(node_accesses),
+        )
 
     def last_query_accesses(self) -> int:
-        """Node accesses charged by the most recent query."""
-        return self._last_query_accesses
+        """Node accesses charged by the most recent query.
+
+        .. deprecated:: reads back shared mutable state; consume the
+           :class:`CostReceipt` from ``execute(query, ctx)`` instead.
+        """
+        deprecated_accessor("TomServiceProvider.last_query_accesses()",
+                            "the CostReceipt on ExecutionContext.sp")
+        return self._last_receipt.node_accesses
 
     def last_query_cost_ms(self, include_cpu: bool = False) -> float:
-        """Simulated cost of the most recent query in milliseconds."""
-        cost = self._cost_model.io_cost_ms(self._last_query_accesses)
-        if include_cpu:
-            cost += self._last_query_cpu_ms
-        return cost
+        """Simulated cost of the most recent query in milliseconds.
+
+        .. deprecated:: reads back shared mutable state; consume the
+           :class:`CostReceipt` from ``execute(query, ctx)`` instead.
+        """
+        deprecated_accessor("TomServiceProvider.last_query_cost_ms()",
+                            "the CostReceipt on ExecutionContext.sp")
+        return self._last_receipt.cost_ms(include_cpu=include_cpu)
 
     # ------------------------------------------------------------------ reporting
     def storage_bytes(self) -> int:
@@ -342,7 +367,7 @@ class TomSystem:
         dataset: Dataset,
         scheme: Optional[DigestScheme] = None,
         page_size: int = DEFAULT_PAGE_SIZE,
-        node_access_ms: float = None,
+        node_access_ms: Optional[float] = None,
         attack: Optional[AttackModel] = None,
         key_bits: int = 1024,
         seed: Optional[int] = 2009,
@@ -397,20 +422,22 @@ class TomSystem:
         if not self._ready:
             raise RuntimeError("setup() must be called before issuing queries")
         query = RangeQuery(low=low, high=high, attribute=self._dataset.schema.key_column)
+        ctx = ExecutionContext(query=query)
         request = QueryRequest(query=query)
-        self._network.channel("client", "SP").send(request)
-        records, vo = self.provider.execute(query)
+        self._network.channel("client", "SP").send(request, session=ctx)
+        records, vo = self.provider.execute(query, ctx)
+        sp_receipt = ctx.sp or ZERO_RECEIPT
         result_message = ResultResponse(records=records)
         vo_message = VOResponse(vo=vo)
-        self._network.channel("SP", "client").send(result_message)
-        self._network.channel("SP", "client").send(vo_message)
+        self._network.channel("SP", "client").send(result_message, session=ctx)
+        self._network.channel("SP", "client").send(vo_message, session=ctx)
         report = self.client.verify(records, vo, query)
         return TomQueryOutcome(
             query=query,
             records=records,
             report=report,
-            sp_accesses=self.provider.last_query_accesses(),
-            sp_cost_ms=self.provider.last_query_cost_ms(),
+            sp_accesses=sp_receipt.node_accesses,
+            sp_cost_ms=sp_receipt.io_cost_ms,
             auth_bytes=vo_message.payload_bytes(),
             result_bytes=result_message.payload_bytes(),
             client_cpu_ms=report.details.get("cpu_ms", 0.0),

@@ -21,6 +21,6 @@ the ``GenerateVT`` algorithm (Figure 4 of the paper), implemented in
 
 from repro.xbtree.node import XBEntry, XBNode, XBTreeLayout
 from repro.xbtree.tree import XBTree
-from repro.xbtree.generate_vt import generate_vt
+from repro.xbtree.generate_vt import generate_vt, generate_vt_batch
 
-__all__ = ["XBEntry", "XBNode", "XBTreeLayout", "XBTree", "generate_vt"]
+__all__ = ["XBEntry", "XBNode", "XBTreeLayout", "XBTree", "generate_vt", "generate_vt_batch"]

@@ -26,6 +26,9 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.crypto.digest import Digest, DigestScheme, default_scheme
 from repro.storage.cost_model import AccessCounter
 from repro.xbtree.generate_vt import generate_vt as _generate_vt
+from repro.xbtree.generate_vt import (
+    generate_vt_batch_with_counts as _generate_vt_batch_with_counts,
+)
 from repro.xbtree.node import XBEntry, XBNode, XBTreeLayout
 
 
@@ -167,6 +170,27 @@ class XBTree:
             scheme=self._scheme,
             counter=self._counter if charge else None,
         )
+
+    def generate_vt_batch(
+        self, ranges: Sequence[Tuple[Any, Any]], charge: bool = True
+    ) -> Tuple[List[Digest], List[int]]:
+        """Verification tokens for many ranges in one shared traversal.
+
+        Returns ``(tokens, per_query_accesses)`` where both lists are
+        parallel to ``ranges``.  Tokens and per-query access counts are
+        identical to calling :meth:`generate_vt` once per range; the shared
+        walk only removes repeated Python work (each node's entry table is
+        consulted by binary search for every query that visits it, instead
+        of one full linear scan per query per node).
+        """
+        tokens, counts = _generate_vt_batch_with_counts(
+            self._root, ranges, scheme=self._scheme
+        )
+        if charge:
+            total = sum(counts)
+            if total:
+                self._counter.record_node_access(total)
+        return tokens, counts
 
     def lookup(self, key: Any) -> List[Tuple[Any, Digest]]:
         """Return the L page (list of ``(record id, digest)``) for ``key``."""

@@ -55,6 +55,9 @@ class TestHonestQueries:
         assert outcome.auth_bytes == 0
         assert outcome.te_accesses == 0
         assert outcome.verification.reason == "verification skipped"
+        # A skipped verification must never look like a successful one.
+        assert outcome.verification.skipped
+        assert outcome.verified is False
 
     def test_query_before_setup_rejected(self, small_dataset):
         with pytest.raises(RuntimeError):

@@ -1,0 +1,81 @@
+"""Integration tests of the closed-loop load driver and its CLI entry."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import SAESystem
+from repro.experiments.throughput import LoadReport, format_load_reports, run_load
+from repro.workloads.queries import RangeQueryWorkload
+
+
+@pytest.fixture(scope="module")
+def load_bounds():
+    workload = RangeQueryWorkload(extent_fraction=0.01, count=40, seed=21)
+    return [(query.low, query.high) for query in workload]
+
+
+class TestRunLoad:
+    @pytest.mark.parametrize("mode", ["per-query", "batched"])
+    def test_serves_whole_workload_verified(self, small_dataset, load_bounds, mode):
+        with SAESystem(small_dataset).setup() as system:
+            report = run_load(system, load_bounds, num_clients=3, mode=mode, batch_size=7)
+        assert isinstance(report, LoadReport)
+        assert report.num_queries == len(load_bounds)
+        assert report.all_verified
+        assert report.failed_queries == 0
+        assert report.throughput_qps > 0
+        assert 0 < report.latency_p50_ms <= report.latency_p95_ms <= report.latency_p99_ms
+        assert report.total_sp_accesses > 0
+        assert report.total_te_accesses > 0
+
+    def test_latencies_flow_through_metrics_layer(self, small_dataset, load_bounds):
+        with SAESystem(small_dataset).setup() as system:
+            report = run_load(system, load_bounds, num_clients=2, mode="per-query")
+        series = report.collector.get("latency_ms[per-query]")
+        assert series is not None
+        assert series.count(2) == len(load_bounds)
+        assert series.percentile(2, 50) == report.latency_p50_ms
+
+    def test_unverified_load_is_reported_as_unverified(self, small_dataset, load_bounds):
+        with SAESystem(small_dataset).setup() as system:
+            report = run_load(system, load_bounds[:10], num_clients=2, verify=False)
+        assert report.num_queries == 10
+        assert not report.all_verified
+
+    def test_rejects_bad_parameters(self, small_dataset, load_bounds):
+        with SAESystem(small_dataset).setup() as system:
+            with pytest.raises(ValueError):
+                run_load(system, load_bounds, mode="streamed")
+            with pytest.raises(ValueError):
+                run_load(system, load_bounds, num_clients=0)
+
+    def test_report_formatting(self, small_dataset, load_bounds):
+        with SAESystem(small_dataset).setup() as system:
+            report = run_load(system, load_bounds[:8], num_clients=2)
+        rendered = format_load_reports([report], title="smoke")
+        assert "smoke" in rendered
+        assert "per-query" in rendered
+        assert "qps" in rendered
+
+
+class TestBenchCli:
+    def test_run_load_subcommand(self, capsys):
+        code = cli_main([
+            "bench", "run-load",
+            "--records", "800", "--queries", "24", "--clients", "2",
+            "--mode", "both", "--batch-size", "6",
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "per-query" in captured
+        assert "batched" in captured
+        assert "speedup" in captured
+
+    def test_run_load_single_mode(self, capsys):
+        code = cli_main([
+            "bench", "run-load",
+            "--records", "600", "--queries", "12", "--clients", "2",
+            "--mode", "batched",
+        ])
+        assert code == 0
+        assert "batched" in capsys.readouterr().out
