@@ -17,6 +17,12 @@ Three subcommands cover the common workflows without writing any code:
 ``python -m repro bench run-load``
     Drive one SAE deployment from N concurrent closed-loop clients and
     report throughput and p50/p95/p99 latency, per dispatch mode.
+    ``--shards N`` runs the sharded scatter-gather deployment.
+
+``python -m repro bench smoke``
+    Run the quick benchmark suite, write machine-readable
+    ``BENCH_throughput.json`` / ``BENCH_scaling.json`` and fail on >20 %
+    regression of any gated metric against ``benchmarks/baseline.json``.
 """
 
 from __future__ import annotations
@@ -62,7 +68,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     experiments = subparsers.add_parser("experiments", help="regenerate the paper's figures")
     experiments.add_argument("--scale", choices=["quick", "default", "paper"], default="quick")
-    experiments.add_argument("--figure", choices=["5", "6", "7", "8", "all"], default="all")
+    experiments.add_argument("--figure", choices=["5", "6", "7", "8", "scaling", "all"],
+                             default="all")
+    experiments.add_argument("--shards", default="1,2,4,8",
+                             help="comma-separated shard counts for --figure scaling")
 
     gallery = subparsers.add_parser("attack-gallery",
                                     help="run the attack gallery against SAE and TOM")
@@ -77,8 +86,10 @@ def _build_parser() -> argparse.ArgumentParser:
     load.add_argument("--records", type=_positive_int, default=10_000,
                       help="dataset cardinality")
     load.add_argument("--queries", type=_positive_int, default=200, help="workload size")
-    load.add_argument("--clients", type=_positive_int, default=4,
-                      help="number of concurrent clients")
+    load.add_argument("--clients", type=int, default=4,
+                      help="number of concurrent clients (>= 1)")
+    load.add_argument("--shards", type=int, default=1,
+                      help="number of SP/TE shards (>= 1; 1 = classic deployment)")
     load.add_argument("--mode", choices=["per-query", "batched", "both"], default="both",
                       help="dispatch mode ('both' compares the two)")
     load.add_argument("--batch-size", type=int, default=25,
@@ -89,6 +100,22 @@ def _build_parser() -> argparse.ArgumentParser:
     load.add_argument("--seed", type=int, default=7)
     load.add_argument("--no-verify", action="store_true",
                       help="skip client verification (execution-only load)")
+
+    smoke = bench_commands.add_parser(
+        "smoke",
+        help="quick benchmarks -> BENCH_*.json, gated against benchmarks/baseline.json",
+    )
+    smoke.add_argument("--out", default=".", help="directory for the BENCH_*.json files")
+    smoke.add_argument("--baseline", default="benchmarks/baseline.json",
+                       help="committed baseline to gate against")
+    smoke.add_argument("--no-check", action="store_true",
+                       help="record the numbers without gating")
+    smoke.add_argument("--tolerance", type=float, default=None,
+                       help="allowed relative regression (default 0.20)")
+    smoke.add_argument("--inject-regression", type=float, default=None, metavar="FACTOR",
+                       help="degrade gated metrics by FACTOR (CI's gate-trips proof)")
+    smoke.add_argument("--reuse", default=None, metavar="DIR",
+                       help="reuse BENCH_*.json from DIR instead of re-benchmarking")
     return parser
 
 
@@ -98,6 +125,41 @@ def _config_for(scale: str) -> ExperimentConfig:
     if scale == "default":
         return ExperimentConfig.default()
     return ExperimentConfig.quick()
+
+
+def _bench_load_problem(args: argparse.Namespace) -> Optional[str]:
+    """A human-readable reason the run-load arguments are unusable, or None.
+
+    The load driver and the deployment would raise ``ValueError`` deep in
+    the stack; catching the misconfiguration here turns a bare traceback
+    into an actionable one-line message and exit code 2.
+    """
+    if args.clients < 1:
+        return f"--clients must be at least 1, got {args.clients}"
+    if args.shards < 1:
+        return f"--shards must be at least 1, got {args.shards}"
+    if args.mode in ("batched", "both") and args.batch_size < 1:
+        return f"--batch-size must be at least 1 in batched mode, got {args.batch_size}"
+    return None
+
+
+def _run_bench_smoke(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.benchgate import GATE_TOLERANCE, run_smoke
+
+    if args.inject_regression is not None and args.inject_regression <= 0:
+        print(f"error: --inject-regression must be positive, got "
+              f"{args.inject_regression}", file=sys.stderr)
+        return 2
+    return run_smoke(
+        out_dir=Path(args.out),
+        baseline_path=Path(args.baseline),
+        check=not args.no_check,
+        regression_factor=args.inject_regression,
+        tolerance=args.tolerance if args.tolerance is not None else GATE_TOLERANCE,
+        reuse_dir=Path(args.reuse) if args.reuse is not None else None,
+    )
 
 
 def _run_demo(args: argparse.Namespace) -> int:
@@ -123,9 +185,27 @@ def _run_experiments(args: argparse.Namespace) -> int:
         "8": (figure8_rows, format_figure8),
     }
     selected = list(figures) if args.figure == "all" else [args.figure]
+    if args.figure == "scaling":
+        selected = []
     for number in selected:
         rows_fn, format_fn = figures[number]
         print(format_fn(rows_fn(config)))
+        print()
+    if args.figure in ("scaling", "all"):
+        from repro.experiments.scaling import format_scaling, scaling_rows
+
+        try:
+            shard_counts = tuple(int(part) for part in args.shards.split(","))
+        except ValueError:
+            print(f"error: --shards must be a comma-separated list of integers, "
+                  f"got {args.shards!r}", file=sys.stderr)
+            return 2
+        if not shard_counts or any(count < 1 for count in shard_counts):
+            print(f"error: every shard count must be >= 1, got {args.shards!r}",
+                  file=sys.stderr)
+            return 2
+        points = scaling_rows(scale=args.scale, shard_counts=shard_counts)
+        print(format_scaling(points))
         print()
     return 0
 
@@ -159,6 +239,11 @@ def _run_bench_load(args: argparse.Namespace) -> int:
     from repro.experiments.throughput import format_load_reports, run_load
     from repro.workloads.queries import RangeQueryWorkload
 
+    problem = _bench_load_problem(args)
+    if problem is not None:
+        print(f"error: {problem}", file=sys.stderr)
+        return 2
+
     dataset = build_dataset(args.records, distribution=args.distribution, seed=args.seed)
     workload = RangeQueryWorkload(
         extent_fraction=args.extent,
@@ -171,7 +256,7 @@ def _run_bench_load(args: argparse.Namespace) -> int:
     modes = ["per-query", "batched"] if args.mode == "both" else [args.mode]
     reports = []
     for mode in modes:
-        system = SAESystem(dataset).setup()
+        system = SAESystem(dataset, shards=args.shards).setup()
         with system:
             reports.append(
                 run_load(
@@ -184,7 +269,7 @@ def _run_bench_load(args: argparse.Namespace) -> int:
                 )
             )
     title = (f"load driver: {args.records} records, {args.queries} queries, "
-             f"{args.clients} clients")
+             f"{args.clients} clients, {args.shards} shard(s)")
     print(format_load_reports(reports, title=title))
     if len(reports) == 2 and reports[0].throughput_qps > 0:
         speedup = reports[1].throughput_qps / reports[0].throughput_qps
@@ -204,6 +289,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "attack-gallery":
         return _run_attack_gallery(args)
     if args.command == "bench":
+        if args.bench_command == "smoke":
+            return _run_bench_smoke(args)
         return _run_bench_load(args)
     return 2  # pragma: no cover - argparse enforces the choices
 

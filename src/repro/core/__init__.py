@@ -21,8 +21,14 @@ the examples and the experiment harness.
 from repro.core.dataset import Dataset
 from repro.core.tuples import TETuple, make_te_tuples
 from repro.core.owner import DataOwner
-from repro.core.provider import ServiceProvider
-from repro.core.trusted_entity import TrustedEntity
+from repro.core.provider import ServiceProvider, ShardedServiceProvider
+from repro.core.sharding import (
+    ShardedDeployment,
+    ShardingError,
+    ShardRouter,
+    partition_dataset,
+)
+from repro.core.trusted_entity import ShardedTrustedEntity, TrustedEntity
 from repro.core.client import Client, SAEVerificationResult
 from repro.core.attacks import (
     AttackModel,
@@ -33,13 +39,20 @@ from repro.core.attacks import (
     CompositeAttack,
 )
 from repro.core.updates import InsertRecord, DeleteRecord, ModifyRecord, UpdateBatch
-from repro.core.pipeline import CostReceipt, ExecutionContext, QueryReceipt
+from repro.core.pipeline import CostReceipt, ExecutionContext, QueryReceipt, ShardLegReceipt
 from repro.core.protocol import SAESystem, QueryOutcome
 
 __all__ = [
     "CostReceipt",
     "ExecutionContext",
     "QueryReceipt",
+    "ShardLegReceipt",
+    "ShardRouter",
+    "ShardedDeployment",
+    "ShardedServiceProvider",
+    "ShardedTrustedEntity",
+    "ShardingError",
+    "partition_dataset",
     "Dataset",
     "TETuple",
     "make_te_tuples",

@@ -132,3 +132,51 @@ class Client:
             cpu_ms=elapsed,
             reason="verified" if ok else "result XOR does not match the verification token",
         )
+
+    def verify_shards(
+        self,
+        legs: Sequence[Tuple[int, Sequence[Sequence[Any]], Digest]],
+        query: Optional[RangeQuery] = None,
+        digest_cache: Optional[Dict[Tuple[Any, ...], Digest]] = None,
+    ) -> SAEVerificationResult:
+        """Verify the shard legs of a scattered query and merge the verdicts.
+
+        ``legs`` is a sequence of ``(shard_id, records, token)`` triples, one
+        per shard the query was scattered to.  Every leg is verified
+        independently -- which pinpoints *which* shard tampered -- and the
+        merged result is accepted iff every leg verifies.  The merged
+        computed value and token are the XORs over the legs, so they equal
+        exactly what a single-shard deployment would have produced for the
+        same result set (the XOR aggregate is partition-independent).
+        """
+        started = time.perf_counter()
+        leg_results: Dict[int, SAEVerificationResult] = {}
+        merged_computed = self._scheme.zero()
+        merged_token = self._scheme.zero()
+        records_hashed = 0
+        rejected = []
+        for shard_id, records, token in legs:
+            result = self.verify(records, token, query=query, digest_cache=digest_cache)
+            leg_results[shard_id] = result
+            merged_computed = merged_computed ^ result.computed
+            merged_token = merged_token ^ token
+            records_hashed += result.records_hashed
+            if not result.ok:
+                rejected.append(shard_id)
+        elapsed = (time.perf_counter() - started) * 1000.0
+        if rejected:
+            reason = (
+                f"shard(s) {', '.join(str(s) for s in sorted(rejected))} rejected: "
+                + "; ".join(leg_results[s].reason for s in sorted(rejected))
+            )
+        else:
+            reason = "verified"
+        return SAEVerificationResult(
+            ok=not rejected,
+            computed=merged_computed,
+            token=merged_token,
+            records_hashed=records_hashed,
+            cpu_ms=elapsed,
+            reason=reason,
+            details={"shards": leg_results},
+        )

@@ -26,7 +26,7 @@ import threading
 import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, TYPE_CHECKING
+from typing import Dict, Iterator, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - avoids circular imports at runtime
     from repro.core.client import SAEVerificationResult
@@ -100,8 +100,36 @@ class ExecutionContext:
 
 
 @dataclass(frozen=True)
+class ShardLegReceipt:
+    """The cost of one shard's leg of a scattered query.
+
+    A sharded deployment answers one range query with several independent
+    (SP leg, TE leg) pairs -- one per overlapping shard.  The merged
+    :class:`QueryReceipt` *sums* the legs (total work charged), while the
+    response-time model takes the *maximum* over the legs (they proceed in
+    parallel), which is what :attr:`QueryReceipt.critical_path_ms` reports.
+    """
+
+    shard: int
+    sp: CostReceipt = ZERO_RECEIPT
+    te: CostReceipt = ZERO_RECEIPT
+    auth_bytes: int = 0
+    result_bytes: int = 0
+
+    @property
+    def leg_response_ms(self) -> float:
+        """This leg's response time (its SP and TE proceed independently)."""
+        return max(self.sp.total_ms, self.te.total_ms)
+
+
+@dataclass(frozen=True)
 class QueryReceipt:
-    """End-to-end accounting of one query, assembled by the protocol facade."""
+    """End-to-end accounting of one query, assembled by the protocol facade.
+
+    For a scattered query, ``sp``/``te``/``auth_bytes``/``result_bytes`` are
+    the *sums* over the shard legs and ``legs`` retains the per-shard
+    breakdown.
+    """
 
     query: "RangeQuery"
     sp: CostReceipt
@@ -110,12 +138,26 @@ class QueryReceipt:
     result_bytes: int
     client_cpu_ms: float
     bytes_by_channel: Dict[str, int] = field(default_factory=dict)
+    legs: Tuple[ShardLegReceipt, ...] = ()
 
     @property
     def response_time_ms(self) -> float:
         """The paper's response-time model: SP and TE proceed independently,
         so the client waits for the slower of the two, then verifies."""
         return max(self.sp.total_ms, self.te.total_ms) + self.client_cpu_ms
+
+    @property
+    def critical_path_ms(self) -> float:
+        """Scatter-gather response-time model.
+
+        Shard legs execute in parallel, so the client waits for the slowest
+        leg (each leg's SP and TE in turn proceed independently), then
+        verifies the gathered result.  Without legs this degenerates to
+        :attr:`response_time_ms`.
+        """
+        if not self.legs:
+            return self.response_time_ms
+        return max(leg.leg_response_ms for leg in self.legs) + self.client_cpu_ms
 
 
 class ReadWriteLock:

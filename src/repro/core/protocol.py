@@ -28,7 +28,7 @@ import threading
 import weakref
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.attacks import AttackModel
 from repro.core.client import Client, SAEVerificationResult
@@ -38,10 +38,12 @@ from repro.core.pipeline import (
     ExecutionContext,
     QueryReceipt,
     ReadWriteLock,
+    ShardLegReceipt,
     ZERO_RECEIPT,
 )
-from repro.core.provider import ServiceProvider
-from repro.core.trusted_entity import TrustedEntity
+from repro.core.provider import ServiceProvider, ShardedServiceProvider
+from repro.core.sharding import ShardedDeployment
+from repro.core.trusted_entity import ShardedTrustedEntity, TrustedEntity
 from repro.core.updates import UpdateBatch
 from repro.crypto.digest import Digest, DigestScheme, default_scheme
 from repro.crypto.encoding import encode_record
@@ -100,22 +102,44 @@ class SAESystem:
         attack: Optional[AttackModel] = None,
         index_fill_factor: float = 1.0,
         max_workers: Optional[int] = None,
+        shards: Union[int, ShardedDeployment] = 1,
     ):
         self._scheme = scheme or default_scheme()
         self._network = NetworkTracker()
         self._dataset = dataset
-        self.provider = ServiceProvider(
-            backend=backend,
-            page_size=page_size,
-            node_access_ms=node_access_ms,
-            attack=attack,
-            index_fill_factor=index_fill_factor,
-        )
-        self.trusted_entity = TrustedEntity(
-            scheme=self._scheme,
-            page_size=page_size,
-            node_access_ms=node_access_ms,
-        )
+        self._deployment = ShardedDeployment.coerce(shards)
+        if self._deployment.is_sharded:
+            self.provider: Union[ServiceProvider, ShardedServiceProvider] = (
+                ShardedServiceProvider(
+                    self._deployment.num_shards,
+                    backend=backend,
+                    page_size=page_size,
+                    node_access_ms=node_access_ms,
+                    attack=attack,
+                    index_fill_factor=index_fill_factor,
+                )
+            )
+            self.trusted_entity: Union[TrustedEntity, ShardedTrustedEntity] = (
+                ShardedTrustedEntity(
+                    self._deployment.num_shards,
+                    scheme=self._scheme,
+                    page_size=page_size,
+                    node_access_ms=node_access_ms,
+                )
+            )
+        else:
+            self.provider = ServiceProvider(
+                backend=backend,
+                page_size=page_size,
+                node_access_ms=node_access_ms,
+                attack=attack,
+                index_fill_factor=index_fill_factor,
+            )
+            self.trusted_entity = TrustedEntity(
+                scheme=self._scheme,
+                page_size=page_size,
+                node_access_ms=node_access_ms,
+            )
         self.owner = DataOwner(dataset, network=self._network)
         self.client = Client(scheme=self._scheme, key_index=dataset.schema.key_index)
         self._ready = False
@@ -171,6 +195,16 @@ class SAESystem:
     def dataset(self) -> Dataset:
         """The data owner's authoritative dataset."""
         return self._dataset
+
+    @property
+    def num_shards(self) -> int:
+        """Number of SP/TE shards in this deployment (1 = unsharded)."""
+        return self._deployment.num_shards
+
+    @property
+    def deployment(self) -> ShardedDeployment:
+        """The deployment configuration."""
+        return self._deployment
 
     def apply_updates(self, batch: UpdateBatch) -> None:
         """Propagate an update batch from the DO to the SP and the TE.
@@ -264,18 +298,310 @@ class SAESystem:
             receipt=receipt,
         )
 
+    # ------------------------------------------------------------------ shard legs
+    def _serve_sp_leg(
+        self,
+        shard_id: int,
+        query: RangeQuery,
+        ctx: ExecutionContext,
+        encode_cache: Optional[Dict[Tuple[Any, ...], bytes]] = None,
+        record_cache: Optional[dict] = None,
+    ) -> Tuple[List[Tuple[Any, ...]], ResultResponse]:
+        """One shard's SP leg of a scattered query."""
+        party = f"SP{shard_id}"
+        request = QueryRequest(query=query)
+        self._network.channel("client", party).send(request, session=ctx)
+        records = self.provider.execute_shard(
+            shard_id, query, ctx, record_cache=record_cache
+        )
+        hint = None
+        if encode_cache is not None:
+            hint = sum(len(_encoded(record, encode_cache)) for record in records)
+        result_message = ResultResponse(records=records, payload_size_hint=hint)
+        self._network.channel(party, "client").send(result_message, session=ctx)
+        return records, result_message
+
+    def _serve_te_leg(
+        self, shard_id: int, query: RangeQuery, ctx: ExecutionContext
+    ) -> Tuple[Digest, VTResponse]:
+        """One shard's TE leg of a scattered query."""
+        party = f"TE{shard_id}"
+        request = QueryRequest(query=query)
+        self._network.channel("client", party).send(request, session=ctx)
+        token = self.trusted_entity.generate_vt_shard(shard_id, query, ctx)
+        token_message = VTResponse(token=token)
+        self._network.channel(party, "client").send(token_message, session=ctx)
+        return token, token_message
+
+    def _serve_te_leg_batch(
+        self,
+        shard_id: int,
+        queries: Sequence[RangeQuery],
+        contexts: Sequence[ExecutionContext],
+    ) -> List[Tuple[Digest, VTResponse]]:
+        """One shard's TE legs for a whole batch: a single shared tree walk."""
+        party = f"TE{shard_id}"
+        channel_in = self._network.channel("client", party)
+        channel_out = self._network.channel(party, "client")
+        for query, ctx in zip(queries, contexts):
+            channel_in.send(QueryRequest(query=query), session=ctx)
+        tokens = self.trusted_entity.shard(shard_id).generate_vt_batch(queries, contexts)
+        results = []
+        for ctx, token in zip(contexts, tokens):
+            message = VTResponse(token=token)
+            channel_out.send(message, session=ctx)
+            results.append((token, message))
+        return results
+
+    def _assemble_sharded(
+        self,
+        query: RangeQuery,
+        ctx: ExecutionContext,
+        records: List[Tuple[Any, ...]],
+        leg_receipts: Sequence[ShardLegReceipt],
+        leg_contexts: Sequence[ExecutionContext],
+        verification: SAEVerificationResult,
+    ) -> QueryOutcome:
+        """Merge shard legs into one outcome: charges are the leg sums."""
+        sp_total = ZERO_RECEIPT
+        te_total = ZERO_RECEIPT
+        for leg in leg_receipts:
+            sp_total = sp_total + leg.sp
+            te_total = te_total + leg.te
+        for leg_ctx in leg_contexts:
+            for channel_name, nbytes in leg_ctx.bytes_by_channel.items():
+                ctx.record_bytes(channel_name, nbytes)
+        ctx.sp = sp_total
+        ctx.te = te_total
+        receipt = QueryReceipt(
+            query=query,
+            sp=sp_total,
+            te=te_total,
+            auth_bytes=sum(leg.auth_bytes for leg in leg_receipts),
+            result_bytes=sum(leg.result_bytes for leg in leg_receipts),
+            client_cpu_ms=verification.cpu_ms,
+            bytes_by_channel=dict(ctx.bytes_by_channel),
+            legs=tuple(leg_receipts),
+        )
+        return QueryOutcome(
+            query=query,
+            records=records,
+            verification=verification,
+            sp_accesses=receipt.sp.node_accesses,
+            te_accesses=receipt.te.node_accesses,
+            sp_cost_ms=receipt.sp.io_cost_ms,
+            te_cost_ms=receipt.te.io_cost_ms,
+            auth_bytes=receipt.auth_bytes,
+            result_bytes=receipt.result_bytes,
+            client_cpu_ms=receipt.client_cpu_ms,
+            details={"shards": [leg.shard for leg in leg_receipts]},
+            receipt=receipt,
+        )
+
+    def _query_sharded(
+        self, query: RangeQuery, ctx: ExecutionContext, verify: bool
+    ) -> QueryOutcome:
+        """Scatter one query to its overlapping shards, in parallel legs."""
+        pool = self._pool()
+        with self._state_lock.read_locked():
+            shard_ids = self.provider.shards_for(query)
+            leg_contexts = [ExecutionContext(query=query) for _ in shard_ids]
+            sp_futures = [
+                pool.submit(self._serve_sp_leg, shard_id, query, leg_ctx)
+                for shard_id, leg_ctx in zip(shard_ids, leg_contexts)
+            ]
+            te_futures: List[Optional[Future]] = [
+                pool.submit(self._serve_te_leg, shard_id, query, leg_ctx)
+                if verify
+                else None
+                for shard_id, leg_ctx in zip(shard_ids, leg_contexts)
+            ]
+            sp_results = [future.result() for future in sp_futures]
+            te_results = [
+                future.result() if future is not None else (None, None)
+                for future in te_futures
+            ]
+
+        records: List[Tuple[Any, ...]] = []
+        leg_receipts: List[ShardLegReceipt] = []
+        verify_legs = []
+        for shard_id, leg_ctx, (leg_records, result_message), (token, token_message) in zip(
+            shard_ids, leg_contexts, sp_results, te_results
+        ):
+            records.extend(leg_records)
+            leg_receipts.append(
+                ShardLegReceipt(
+                    shard=shard_id,
+                    sp=leg_ctx.sp or ZERO_RECEIPT,
+                    te=leg_ctx.te or ZERO_RECEIPT,
+                    auth_bytes=token_message.payload_bytes() if token_message else 0,
+                    result_bytes=result_message.payload_bytes(),
+                )
+            )
+            if token is not None:
+                verify_legs.append((shard_id, leg_records, token))
+        if verify:
+            verification = self.client.verify_shards(verify_legs, query=query)
+        else:
+            verification = SAEVerificationResult.skipped_result(self._scheme)
+        return self._assemble_sharded(
+            query, ctx, records, leg_receipts, leg_contexts, verification
+        )
+
+    def _serve_sp_leg_chunk(
+        self,
+        legs: Sequence[Tuple[int, int]],
+        queries: Sequence[RangeQuery],
+        leg_contexts: Dict[Tuple[int, int], ExecutionContext],
+        encode_cache: Dict[Tuple[Any, ...], bytes],
+        record_caches: Dict[int, dict],
+    ) -> List[Tuple[Tuple[int, int], Tuple[List[Tuple[Any, ...]], ResultResponse]]]:
+        """Serve a slice of a batch's SP shard legs on one pool worker."""
+        return [
+            (
+                (position, shard_id),
+                self._serve_sp_leg(
+                    shard_id,
+                    queries[position],
+                    leg_contexts[(position, shard_id)],
+                    encode_cache,
+                    record_caches[shard_id],
+                ),
+            )
+            for position, shard_id in legs
+        ]
+
+    def _query_many_sharded(
+        self,
+        queries: Sequence[RangeQuery],
+        contexts: Sequence[ExecutionContext],
+        verify: bool,
+    ) -> List[QueryOutcome]:
+        """Batched scatter-gather: SP legs chunked across the pool, one
+        shared XB-tree walk per TE slice, shared verification caches."""
+        pool = self._pool()
+        encode_cache: Dict[Tuple[Any, ...], bytes] = {}
+        record_caches: Dict[int, dict] = {
+            shard_id: {} for shard_id in range(self.num_shards)
+        }
+        with self._state_lock.read_locked():
+            shard_ids_per_query = [self.provider.shards_for(query) for query in queries]
+            legs = [
+                (position, shard_id)
+                for position, shard_ids in enumerate(shard_ids_per_query)
+                for shard_id in shard_ids
+            ]
+            leg_contexts = {
+                leg: ExecutionContext(query=queries[leg[0]]) for leg in legs
+            }
+            # Group legs by shard so a worker's record cache stays hot, then
+            # chunk to one future per pool worker (as in the unsharded path).
+            ordered_legs = sorted(legs, key=lambda leg: (leg[1], leg[0]))
+            num_chunks = max(1, min(len(ordered_legs), self._num_workers))
+            chunk_size = (len(ordered_legs) + num_chunks - 1) // num_chunks
+            sp_futures = [
+                pool.submit(
+                    self._serve_sp_leg_chunk,
+                    ordered_legs[start:start + chunk_size],
+                    queries,
+                    leg_contexts,
+                    encode_cache,
+                    record_caches,
+                )
+                for start in range(0, len(ordered_legs), chunk_size)
+            ]
+
+            te_map: Dict[Tuple[int, int], Tuple[Optional[Digest], Optional[VTResponse]]] = {}
+            if verify:
+                te_futures = []
+                for shard_id in range(self.num_shards):
+                    positions = [
+                        position
+                        for position, shard_ids in enumerate(shard_ids_per_query)
+                        if shard_id in shard_ids
+                    ]
+                    if not positions:
+                        continue
+                    te_futures.append(
+                        (
+                            shard_id,
+                            positions,
+                            pool.submit(
+                                self._serve_te_leg_batch,
+                                shard_id,
+                                [queries[p] for p in positions],
+                                [leg_contexts[(p, shard_id)] for p in positions],
+                            ),
+                        )
+                    )
+                for shard_id, positions, future in te_futures:
+                    for position, leg_result in zip(positions, future.result()):
+                        te_map[(position, shard_id)] = leg_result
+
+            sp_map: Dict[Tuple[int, int], Tuple[List[Tuple[Any, ...]], ResultResponse]] = {}
+            for future in sp_futures:
+                for leg, leg_result in future.result():
+                    sp_map[leg] = leg_result
+
+        digest_cache: Dict[Tuple[Any, ...], Digest] = {}
+        outcomes: List[QueryOutcome] = []
+        for position, (query, ctx) in enumerate(zip(queries, contexts)):
+            records: List[Tuple[Any, ...]] = []
+            leg_receipts: List[ShardLegReceipt] = []
+            query_leg_contexts: List[ExecutionContext] = []
+            verify_legs = []
+            for shard_id in shard_ids_per_query[position]:
+                leg = (position, shard_id)
+                leg_records, result_message = sp_map[leg]
+                token, token_message = te_map.get(leg, (None, None))
+                records.extend(leg_records)
+                query_leg_contexts.append(leg_contexts[leg])
+                leg_ctx = leg_contexts[leg]
+                leg_receipts.append(
+                    ShardLegReceipt(
+                        shard=shard_id,
+                        sp=leg_ctx.sp or ZERO_RECEIPT,
+                        te=leg_ctx.te or ZERO_RECEIPT,
+                        auth_bytes=token_message.payload_bytes() if token_message else 0,
+                        result_bytes=result_message.payload_bytes(),
+                    )
+                )
+                if token is not None:
+                    verify_legs.append((shard_id, leg_records, token))
+            if verify:
+                for record in records:
+                    key = tuple(record)
+                    if key not in digest_cache:
+                        digest_cache[key] = self._scheme.hash(_encoded(record, encode_cache))
+                verification = self.client.verify_shards(
+                    verify_legs, query=query, digest_cache=digest_cache
+                )
+            else:
+                verification = SAEVerificationResult.skipped_result(self._scheme)
+            outcomes.append(
+                self._assemble_sharded(
+                    query, ctx, records, leg_receipts, query_leg_contexts, verification
+                )
+            )
+        return outcomes
+
     # ------------------------------------------------------------------ queries
     def query(self, low: Any, high: Any, verify: bool = True) -> QueryOutcome:
         """Issue one verified range query with parallel SP/TE dispatch.
 
         The SP execution and the TE token generation run concurrently on the
         system's thread pool -- they are independent parties in the paper's
-        model -- and the client verifies as soon as both legs return.
+        model -- and the client verifies as soon as both legs return.  In a
+        sharded deployment the query is scattered to the overlapping shards
+        only, every shard's SP and TE leg runs as its own pool task, and the
+        gathered outcome carries the merged token and the summed charges.
         """
         if not self._ready:
             raise RuntimeError("setup() must be called before issuing queries")
         query = RangeQuery(low=low, high=high, attribute=self._dataset.schema.key_column)
         ctx = ExecutionContext(query=query)
+        if self._deployment.is_sharded:
+            return self._query_sharded(query, ctx, verify)
         pool = self._pool()
 
         with self._state_lock.read_locked():
@@ -308,9 +634,13 @@ class SAESystem:
         """
         if not self._ready:
             raise RuntimeError("setup() must be called before issuing queries")
+        if not bounds:
+            return []
         attribute = self._dataset.schema.key_column
         queries = [RangeQuery(low=low, high=high, attribute=attribute) for low, high in bounds]
         contexts = [ExecutionContext(query=query) for query in queries]
+        if self._deployment.is_sharded:
+            return self._query_many_sharded(queries, contexts, verify)
         pool = self._pool()
         encode_cache: Dict[Tuple[Any, ...], bytes] = {}
         record_cache: dict = {}

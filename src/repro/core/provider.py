@@ -17,6 +17,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 from repro.core.attacks import AttackModel, NoAttack
 from repro.core.dataset import Dataset
 from repro.core.pipeline import CostReceipt, ExecutionContext, ZERO_RECEIPT, deprecated_accessor
+from repro.core.sharding import ShardMap, ShardRouter
 from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
 from repro.dbms.query import RangeQuery
 from repro.dbms.sqlite_backend import SQLiteTable
@@ -200,6 +201,170 @@ class ServiceProvider:
     def storage_bytes(self) -> int:
         """Total storage footprint at the SP (dataset + conventional index)."""
         return self._require_store().size_bytes()
+
+    def index_accesses_only(self) -> bool:
+        """Whether the backend supports node-access accounting."""
+        return self._backend == "heap"
+
+
+class ShardedServiceProvider:
+    """A fleet of :class:`ServiceProvider` shards behind one SP interface.
+
+    The relation is range-partitioned on the query attribute by a
+    :class:`~repro.core.sharding.ShardRouter` derived deterministically from
+    the outsourced dataset; each shard runs its own conventional DBMS (heap
+    file + B+-tree, or sqlite table).  ``execute`` scatters a range query to
+    the overlapping shards only and gathers the partial results in key
+    order; the per-query cost receipt is the *sum* of the shard legs, so the
+    paper's accounting is unchanged by the deployment shape.  The protocol
+    facade calls :meth:`execute_shard` directly to run the legs in parallel
+    on its thread pool.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        backend: str = "heap",
+        page_size: int = DEFAULT_PAGE_SIZE,
+        node_access_ms: Optional[float] = None,
+        attack: Optional[AttackModel] = None,
+        index_fill_factor: float = 1.0,
+    ):
+        self._map = ShardMap(num_shards)
+        self._shards = [
+            ServiceProvider(
+                backend=backend,
+                page_size=page_size,
+                node_access_ms=node_access_ms,
+                attack=None,
+                index_fill_factor=index_fill_factor,
+            )
+            for _ in range(num_shards)
+        ]
+        self._backend = backend
+        if attack is not None:
+            self.attack = attack
+
+    # ------------------------------------------------------------------ configuration
+    @property
+    def num_shards(self) -> int:
+        """Number of shards in the fleet."""
+        return len(self._shards)
+
+    @property
+    def backend(self) -> str:
+        """Either ``"heap"`` or ``"sqlite"`` (uniform across the fleet)."""
+        return self._backend
+
+    @property
+    def router(self) -> ShardRouter:
+        """The key router (available once a dataset was received)."""
+        if not self._map.ready:
+            raise ProviderError("the service provider has not received a dataset yet")
+        return self._map.require_router()
+
+    def shard(self, shard_id: int) -> ServiceProvider:
+        """The underlying single-shard provider with id ``shard_id``."""
+        return self._shards[shard_id]
+
+    @property
+    def attack(self) -> AttackModel:
+        """The fleet-wide attack (of shard 0; shards may diverge via
+        :meth:`set_shard_attack`)."""
+        return self._shards[0].attack
+
+    @attack.setter
+    def attack(self, value: Optional[AttackModel]) -> None:
+        for shard in self._shards:
+            shard.attack = value
+
+    def set_shard_attack(self, shard_id: int, value: Optional[AttackModel]) -> None:
+        """Corrupt a single shard (the others keep their behaviour)."""
+        self._shards[shard_id].attack = value
+
+    @property
+    def is_honest(self) -> bool:
+        """True when no shard misbehaves."""
+        return all(shard.is_honest for shard in self._shards)
+
+    # ------------------------------------------------------------------ data management
+    def receive_dataset(self, dataset: Dataset) -> None:
+        """Partition the outsourced relation and load each shard's DBMS."""
+        for shard, sub_dataset in zip(self._shards, self._map.install(dataset)):
+            shard.receive_dataset(sub_dataset)
+
+    def apply_updates(self, batch: UpdateBatch) -> None:
+        """Route each operation of an update batch to its owning shard."""
+        if not self._map.ready:
+            raise ProviderError("the service provider has not received a dataset yet")
+        for shard, shard_batch in zip(self._shards, self._map.route(batch)):
+            if len(shard_batch):
+                shard.apply_updates(shard_batch)
+
+    # ------------------------------------------------------------------ queries
+    def shards_for(self, query: RangeQuery) -> List[int]:
+        """Ids of the shards whose key ranges overlap ``query``."""
+        return self.router.shards_for_range(query.low, query.high)
+
+    def execute_shard(
+        self,
+        shard_id: int,
+        query: RangeQuery,
+        ctx: Optional[ExecutionContext] = None,
+        record_cache: Optional[dict] = None,
+    ) -> List[Tuple[Any, ...]]:
+        """One shard leg of a scattered query (receipt lands on ``ctx.sp``)."""
+        return self._shards[shard_id].execute(query, ctx, record_cache=record_cache)
+
+    def execute(
+        self,
+        query: RangeQuery,
+        ctx: Optional[ExecutionContext] = None,
+        record_cache: Optional[dict] = None,
+    ) -> List[Tuple[Any, ...]]:
+        """Scatter ``query`` to the overlapping shards and gather in key order.
+
+        This is the sequential fallback used when the caller does not manage
+        the legs itself.  ``record_cache``, when given, is a mapping from
+        shard id to that shard's private RID cache (physical record ids are
+        only unique within a shard's heap file).  The merged receipt on
+        ``ctx.sp`` equals the sum of the shard-leg receipts.
+        """
+        merged: List[Tuple[Any, ...]] = []
+        total = ZERO_RECEIPT
+        for shard_id in self.shards_for(query):
+            leg_ctx = ExecutionContext(query=query)
+            shard_cache = (
+                record_cache.setdefault(shard_id, {}) if record_cache is not None else None
+            )
+            merged.extend(
+                self.execute_shard(shard_id, query, leg_ctx, record_cache=shard_cache)
+            )
+            total = total + (leg_ctx.sp or ZERO_RECEIPT)
+        if ctx is not None:
+            ctx.sp = total
+        return merged
+
+    def index_only_accesses(self, query: RangeQuery) -> int:
+        """Summed index-traversal accesses of the overlapping shard legs."""
+        return sum(
+            self._shards[shard_id].index_only_accesses(query)
+            for shard_id in self.shards_for(query)
+        )
+
+    # ------------------------------------------------------------------ reporting
+    @property
+    def num_records(self) -> int:
+        """Number of records across the fleet."""
+        return sum(shard.num_records for shard in self._shards)
+
+    def storage_bytes(self) -> int:
+        """Total storage footprint across the fleet."""
+        return sum(shard.storage_bytes() for shard in self._shards)
+
+    def records_per_shard(self) -> List[int]:
+        """Record counts by shard (balance diagnostics; empty shards show 0)."""
+        return [shard.num_records for shard in self._shards]
 
     def index_accesses_only(self) -> bool:
         """Whether the backend supports node-access accounting."""

@@ -1,0 +1,288 @@
+"""Range partitioning of the outsourced relation across SP/TE shards.
+
+The paper's central design decision -- authentication (TE) is separated from
+query execution (SP) -- means the execution tier can be scaled *horizontally*
+without touching the trust machinery: each shard holds a contiguous key range
+of the relation, with its own heap file and B+-tree at the SP and its own
+XB-tree slice at the TE.  A range query is scattered to the shards whose key
+ranges overlap it, the shard legs execute independently, and the client
+gathers the partial results together with one verification token per leg.
+Because the token is an XOR aggregate, the merged token of a query is simply
+the XOR of its shard-leg tokens, and the per-query cost charges (node
+accesses, bytes) are the sums over the legs.
+
+This module holds the pieces shared by both parties:
+
+* :class:`ShardRouter` -- the pure routing function: key -> shard, and
+  range -> overlapping shards.  It is built *deterministically* from the
+  outsourced dataset (balanced cuts of the sorted key multiset), so the SP
+  and the TE derive identical routers independently, with no coordination
+  message beyond the dataset transfer they already receive.
+* :class:`ShardedDeployment` -- the deployment configuration (`--shards N`
+  on the CLI).
+* :func:`partition_dataset` -- split a dataset into per-shard sub-datasets
+  according to a router.
+
+The sharded parties themselves live next to their single-shard versions:
+:class:`~repro.core.provider.ShardedServiceProvider` and
+:class:`~repro.core.trusted_entity.ShardedTrustedEntity`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.dataset import Dataset
+from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
+
+
+class ShardingError(ValueError):
+    """Raised for invalid shard configurations or routing requests."""
+
+
+@dataclass(frozen=True)
+class ShardedDeployment:
+    """Configuration of a sharded SAE deployment.
+
+    ``num_shards == 1`` is the classic single-provider deployment; larger
+    values range-partition the relation on the query attribute.
+    """
+
+    num_shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ShardingError(
+                f"a deployment needs at least one shard, got {self.num_shards}"
+            )
+
+    @property
+    def is_sharded(self) -> bool:
+        """Whether more than one shard is configured."""
+        return self.num_shards > 1
+
+    @classmethod
+    def coerce(cls, value: Union[int, "ShardedDeployment"]) -> "ShardedDeployment":
+        """Accept either a shard count or a ready-made deployment config."""
+        if isinstance(value, ShardedDeployment):
+            return value
+        return cls(num_shards=int(value))
+
+
+class ShardRouter:
+    """Maps keys and key ranges to range-partition shards.
+
+    The router is defined by ``num_shards - 1`` *inclusive upper boundaries*:
+    shard ``i`` owns every key ``k`` with ``boundaries[i-1] < k <=
+    boundaries[i]`` (the first shard is unbounded below, the last unbounded
+    above).  A key that lands exactly on a boundary therefore belongs to the
+    shard whose upper bound it is -- the property the boundary-key tests pin
+    down.  Boundaries may repeat, in which case the shards between two equal
+    boundaries are empty; routing stays total and deterministic.
+    """
+
+    def __init__(self, boundaries: Sequence[Any], num_shards: int):
+        if num_shards < 1:
+            raise ShardingError(f"need at least one shard, got {num_shards}")
+        if len(boundaries) != num_shards - 1:
+            raise ShardingError(
+                f"{num_shards} shards need {num_shards - 1} boundaries, "
+                f"got {len(boundaries)}"
+            )
+        boundary_list = list(boundaries)
+        if boundary_list != sorted(boundary_list):
+            raise ShardingError("shard boundaries must be sorted")
+        self._boundaries = boundary_list
+        self._num_shards = num_shards
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def from_keys(cls, keys: Sequence[Any], num_shards: int) -> "ShardRouter":
+        """Build a router with balanced cuts of the sorted key multiset.
+
+        Shard ``i``'s upper boundary is the key at the ``(i+1)/num_shards``
+        quantile, so every shard receives roughly ``len(keys)/num_shards``
+        records.  Duplicate keys may make neighbouring boundaries equal,
+        which simply leaves the shards in between empty.  An empty key set
+        degenerates to ``num_shards`` empty shards with identical boundaries.
+        """
+        if num_shards == 1:
+            return cls([], 1)
+        ordered = sorted(keys)
+        if not ordered:
+            return cls([0] * (num_shards - 1), num_shards)
+        boundaries = []
+        for cut in range(1, num_shards):
+            position = (cut * len(ordered)) // num_shards
+            boundaries.append(ordered[max(0, position - 1)])
+        return cls(boundaries, num_shards)
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset, num_shards: int) -> "ShardRouter":
+        """Derive the router from a dataset's query-attribute values.
+
+        Deterministic in the dataset alone: the SP and the TE each call this
+        on the dataset they receive from the DO and obtain identical routers.
+        """
+        return cls.from_keys(dataset.keys(), num_shards)
+
+    # ------------------------------------------------------------------ routing
+    @property
+    def num_shards(self) -> int:
+        """Number of shards this router partitions into."""
+        return self._num_shards
+
+    @property
+    def boundaries(self) -> List[Any]:
+        """The inclusive upper boundaries (one fewer than the shard count)."""
+        return list(self._boundaries)
+
+    def shard_of(self, key: Any) -> int:
+        """The shard owning ``key`` (boundary keys go to the lower shard)."""
+        return bisect.bisect_left(self._boundaries, key)
+
+    def shards_for_range(self, low: Any, high: Any) -> List[int]:
+        """Shard ids whose key ranges overlap ``[low, high]``, in key order."""
+        first = self.shard_of(low)
+        last = self.shard_of(high)
+        if last < first:  # degenerate (low > high): route to one shard
+            last = first
+        return list(range(first, last + 1))
+
+    def describe(self) -> str:
+        """Human-readable shard map, e.g. ``0:(-inf..17] 1:(17..+inf)``."""
+        if self._num_shards == 1:
+            return "0:(-inf..+inf)"
+        parts = []
+        for shard in range(self._num_shards):
+            low = "-inf" if shard == 0 else repr(self._boundaries[shard - 1])
+            if shard == self._num_shards - 1:
+                parts.append(f"{shard}:({low}..+inf)")
+            else:
+                parts.append(f"{shard}:({low}..{self._boundaries[shard]!r}]")
+        return " ".join(parts)
+
+
+def route_update_batch(
+    batch: UpdateBatch,
+    router: ShardRouter,
+    shard_by_id: Dict[Any, int],
+    key_index: int,
+    id_index: int,
+) -> List[UpdateBatch]:
+    """Split an update batch into one ordered sub-batch per owning shard.
+
+    ``shard_by_id`` (record id -> shard) is the caller's ownership map; it is
+    updated in place so that later operations in the same batch observe
+    earlier ones.  A modification whose new key falls into a different shard
+    is rewritten as a delete on the old shard plus an insert on the new one
+    -- the only cross-shard case range partitioning creates.
+    """
+    per_shard = [UpdateBatch() for _ in range(router.num_shards)]
+    for operation in batch:
+        if isinstance(operation, InsertRecord):
+            shard = router.shard_of(operation.fields[key_index])
+            per_shard[shard].add(operation)
+            shard_by_id[operation.fields[id_index]] = shard
+        elif isinstance(operation, DeleteRecord):
+            shard = shard_by_id.pop(operation.record_id, None)
+            if shard is None:
+                raise ShardingError(
+                    f"no shard owns record id {operation.record_id!r}"
+                )
+            per_shard[shard].add(operation)
+        elif isinstance(operation, ModifyRecord):
+            record_id = operation.fields[id_index]
+            old_shard = shard_by_id.get(record_id)
+            if old_shard is None:
+                raise ShardingError(f"no shard owns record id {record_id!r}")
+            new_shard = router.shard_of(operation.fields[key_index])
+            if new_shard == old_shard:
+                per_shard[old_shard].add(operation)
+            else:
+                per_shard[old_shard].add(DeleteRecord(record_id=record_id))
+                per_shard[new_shard].add(InsertRecord(fields=operation.fields))
+                shard_by_id[record_id] = new_shard
+        else:
+            raise ShardingError(f"unknown update operation {operation!r}")
+    return per_shard
+
+
+def partition_dataset(dataset: Dataset, router: ShardRouter) -> List[Dataset]:
+    """Split ``dataset`` into one sub-dataset per shard, preserving the schema.
+
+    Record order within a shard follows the input dataset; shards that own no
+    keys come back empty (still valid datasets over the same schema).
+    """
+    buckets: List[List[Any]] = [[] for _ in range(router.num_shards)]
+    key_index = dataset.schema.key_index
+    for record in dataset.records:
+        buckets[router.shard_of(record[key_index])].append(record)
+    return [
+        Dataset(
+            schema=dataset.schema,
+            records=bucket,
+            name=f"{dataset.name}/shard{shard}",
+        )
+        for shard, bucket in enumerate(buckets)
+    ]
+
+
+class ShardMap:
+    """The shard-local bookkeeping both sharded parties share.
+
+    Owns the router, the record-ownership map and the dataset schema, and
+    provides the two dataset-shaped operations every sharded party performs:
+    splitting the outsourced relation into per-shard slices
+    (:meth:`install`) and routing an update batch to the owning shards
+    (:meth:`route`).  Keeping this in one place guarantees the SP and the TE
+    can never drift apart in how they assign records to shards.
+    """
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ShardingError(f"need at least one shard, got {num_shards}")
+        self.num_shards = num_shards
+        self.router: Optional[ShardRouter] = None
+        self.shard_by_id: Dict[Any, int] = {}
+        self.schema = None
+
+    @property
+    def ready(self) -> bool:
+        """Whether a dataset has been installed."""
+        return self.router is not None
+
+    def install(self, dataset: Dataset) -> List[Dataset]:
+        """Derive the router from ``dataset`` and return its shard slices."""
+        self.schema = dataset.schema
+        self.router = ShardRouter.from_dataset(dataset, self.num_shards)
+        key_index = dataset.schema.key_index
+        id_index = dataset.schema.id_index
+        self.shard_by_id = {
+            record[id_index]: self.router.shard_of(record[key_index])
+            for record in dataset.records
+        }
+        return partition_dataset(dataset, self.router)
+
+    def route(self, batch: UpdateBatch, schema=None) -> List[UpdateBatch]:
+        """Split ``batch`` into per-shard sub-batches (ownership map updated)."""
+        effective = schema or self.schema
+        return route_update_batch(
+            batch,
+            self.require_router(),
+            self.shard_by_id,
+            key_index=effective.key_index if effective is not None else 1,
+            id_index=effective.id_index if effective is not None else 0,
+        )
+
+    def shards_for(self, low: Any, high: Any) -> List[int]:
+        """Shard ids overlapping ``[low, high]``."""
+        return self.require_router().shards_for_range(low, high)
+
+    def require_router(self) -> ShardRouter:
+        """The router, or :class:`ShardingError` before :meth:`install`."""
+        if self.router is None:
+            raise ShardingError("no dataset has been installed yet")
+        return self.router

@@ -14,6 +14,7 @@ from typing import Any, Iterable, List, Optional, Sequence
 
 from repro.core.dataset import Dataset
 from repro.core.pipeline import CostReceipt, ExecutionContext, ZERO_RECEIPT, deprecated_accessor
+from repro.core.sharding import ShardMap, ShardRouter
 from repro.core.tuples import TETuple, digest_record, make_te_tuples
 from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
 from repro.crypto.digest import Digest, DigestScheme, default_scheme
@@ -257,3 +258,161 @@ class TrustedEntity:
         total = len(self._tuples_by_id) * tuple_bytes
         pages = (total + self._page_size - 1) // self._page_size
         return pages * self._page_size
+
+
+class ShardedTrustedEntity:
+    """One :class:`TrustedEntity` slice per shard behind the TE interface.
+
+    Each shard keeps its own XB-tree over the tuples whose keys fall in the
+    shard's range.  The shard map is the same
+    :class:`~repro.core.sharding.ShardRouter` the sharded SP derives -- both
+    parties compute it deterministically from the dataset the DO transmits,
+    so no extra coordination round is needed.  Because the verification
+    token is an XOR aggregate, the token of a scattered query is the XOR of
+    its shard-leg tokens: ``VT = VT_0 ⊕ ... ⊕ VT_k`` equals the XOR of the
+    digests of *all* records in the range, exactly as in the single-shard
+    deployment.  Receipts merged onto a context are the sums of the legs.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        scheme: Optional[DigestScheme] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        node_access_ms: Optional[float] = None,
+        use_index: bool = True,
+    ):
+        self._map = ShardMap(num_shards)
+        self._scheme = scheme or default_scheme()
+        self._shards = [
+            TrustedEntity(
+                scheme=self._scheme,
+                page_size=page_size,
+                node_access_ms=node_access_ms,
+                use_index=use_index,
+            )
+            for _ in range(num_shards)
+        ]
+
+    # ------------------------------------------------------------------ meta
+    @property
+    def scheme(self) -> DigestScheme:
+        """Digest scheme shared by every shard slice."""
+        return self._scheme
+
+    @property
+    def num_shards(self) -> int:
+        """Number of TE slices."""
+        return len(self._shards)
+
+    @property
+    def router(self) -> ShardRouter:
+        """The key router (available once a dataset was received)."""
+        if not self._map.ready:
+            raise TrustedEntityError("the trusted entity has not received a dataset yet")
+        return self._map.require_router()
+
+    def shard(self, shard_id: int) -> TrustedEntity:
+        """The TE slice with id ``shard_id``."""
+        return self._shards[shard_id]
+
+    @property
+    def num_tuples(self) -> int:
+        """Number of tuples in ``T`` across all slices."""
+        return sum(shard.num_tuples for shard in self._shards)
+
+    @property
+    def tuples(self) -> List[TETuple]:
+        """The union of every slice's tuple set (a copy)."""
+        return [t for shard in self._shards for t in shard.tuples]
+
+    # ------------------------------------------------------------------ data management
+    def receive_dataset(self, dataset: Dataset) -> None:
+        """Derive the router, split ``T`` and index each slice's XB-tree."""
+        for shard, sub_dataset in zip(self._shards, self._map.install(dataset)):
+            shard.receive_dataset(sub_dataset)
+
+    def apply_updates(self, batch: UpdateBatch, dataset_schema=None) -> None:
+        """Route each operation to the slice owning the record."""
+        if not self._map.ready:
+            raise TrustedEntityError("the trusted entity has not received a dataset yet")
+        for shard, shard_batch in zip(
+            self._shards, self._map.route(batch, schema=dataset_schema)
+        ):
+            if len(shard_batch):
+                shard.apply_updates(shard_batch, dataset_schema=dataset_schema)
+
+    # ------------------------------------------------------------------ token generation
+    def shards_for(self, query: RangeQuery) -> List[int]:
+        """Ids of the slices whose key ranges overlap ``query``."""
+        return self.router.shards_for_range(query.low, query.high)
+
+    def generate_vt_shard(
+        self,
+        shard_id: int,
+        query: RangeQuery,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> Digest:
+        """One shard leg of a scattered token generation."""
+        return self._shards[shard_id].generate_vt(query, ctx)
+
+    def generate_vt(self, query: RangeQuery, ctx: Optional[ExecutionContext] = None) -> Digest:
+        """Merged token for ``query``: XOR of the overlapping shard legs.
+
+        The sequential fallback used when the caller does not manage the
+        legs itself; the receipt on ``ctx.te`` is the sum of the legs.
+        """
+        token = self._scheme.zero()
+        total = ZERO_RECEIPT
+        for shard_id in self.shards_for(query):
+            leg_ctx = ExecutionContext(query=query)
+            token = token ^ self.generate_vt_shard(shard_id, query, leg_ctx)
+            total = total + (leg_ctx.te or ZERO_RECEIPT)
+        if ctx is not None:
+            ctx.te = total
+        return token
+
+    def generate_vt_batch(
+        self,
+        queries: Sequence[RangeQuery],
+        contexts: Optional[Sequence[Optional[ExecutionContext]]] = None,
+    ) -> List[Digest]:
+        """Merged tokens for a batch: one shared XB-tree walk *per slice*.
+
+        Every slice batches the sub-ranges of the queries that overlap it;
+        tokens and receipts merge exactly as in :meth:`generate_vt`.
+        """
+        self.router  # raises before setup
+        if contexts is not None and len(contexts) != len(queries):
+            raise ValueError("contexts must be parallel to queries")
+        tokens = [self._scheme.zero() for _ in queries]
+        totals = [ZERO_RECEIPT for _ in queries]
+        for shard_id, shard in enumerate(self._shards):
+            positions = [
+                position
+                for position, query in enumerate(queries)
+                if shard_id in self.shards_for(query)
+            ]
+            if not positions:
+                continue
+            leg_contexts = [ExecutionContext(query=queries[p]) for p in positions]
+            leg_tokens = shard.generate_vt_batch(
+                [queries[p] for p in positions], leg_contexts
+            )
+            for position, leg_ctx, leg_token in zip(positions, leg_contexts, leg_tokens):
+                tokens[position] = tokens[position] ^ leg_token
+                totals[position] = totals[position] + (leg_ctx.te or ZERO_RECEIPT)
+        if contexts is not None:
+            for position, ctx in enumerate(contexts):
+                if ctx is not None:
+                    ctx.te = totals[position]
+        return tokens
+
+    # ------------------------------------------------------------------ reporting
+    def storage_bytes(self) -> int:
+        """Total TE storage footprint across the slices."""
+        return sum(shard.storage_bytes() for shard in self._shards)
+
+    def tuples_per_shard(self) -> List[int]:
+        """Tuple counts by slice (balance diagnostics)."""
+        return [shard.num_tuples for shard in self._shards]

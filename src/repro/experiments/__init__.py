@@ -9,7 +9,11 @@ One module per figure:
 * :mod:`repro.experiments.figure7` -- client verification time;
 * :mod:`repro.experiments.figure8` -- storage cost at the SP and the TE;
 * :mod:`repro.experiments.ablations` -- additional studies (XB-tree vs
-  sequential scan at the TE, page-size sweep, digest-scheme sweep).
+  sequential scan at the TE, page-size sweep, digest-scheme sweep);
+* :mod:`repro.experiments.scaling` -- shard-count sweep of the scatter-
+  gather deployment (beyond the paper: the horizontal-scaling axis);
+* :mod:`repro.experiments.benchgate` -- the CI benchmark regression gate
+  (writes ``BENCH_*.json``, compares against ``benchmarks/baseline.json``).
 
 All figures share :mod:`repro.experiments.runner`, which builds each
 (distribution, cardinality) configuration once, runs the query workload, and
@@ -27,6 +31,12 @@ from repro.experiments.ablations import (
     page_size_ablation,
     digest_scheme_ablation,
 )
+from repro.experiments.scaling import (
+    ScalingPoint,
+    format_scaling,
+    run_scaling,
+    scaling_rows,
+)
 from repro.experiments.throughput import (
     LoadReport,
     format_load_reports,
@@ -35,8 +45,12 @@ from repro.experiments.throughput import (
 
 __all__ = [
     "LoadReport",
+    "ScalingPoint",
     "format_load_reports",
+    "format_scaling",
     "run_load",
+    "run_scaling",
+    "scaling_rows",
     "ExperimentConfig",
     "PointMeasurement",
     "measure_point",

@@ -1,0 +1,320 @@
+"""The CI benchmark gate: record BENCH_*.json, compare against a baseline.
+
+The ``bench-smoke`` CI job calls :func:`run_smoke`, which
+
+1. replays a quick throughput workload through the load driver and a quick
+   shard-scaling sweep,
+2. writes the measurements to ``BENCH_throughput.json`` and
+   ``BENCH_scaling.json`` (machine-readable qps + latency percentiles, one
+   metric per key), and
+3. compares every **gated** metric against the committed
+   ``benchmarks/baseline.json`` and fails on a regression beyond the
+   tolerance (20 % by default).
+
+Gated metrics are *deterministic*: they come from the paper's simulated-I/O
+cost model (node accesses x 10 ms), not from wall-clock time, so the gate
+cannot flake on a slow shared runner.  Wall-clock throughput and latency
+percentiles are recorded alongside for trend plots but never gated.
+
+``--inject-regression 0.5`` halves every gated throughput metric before the
+comparison; CI runs this once per pipeline and asserts the gate *fails*,
+which proves the regression check is live.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import SAESystem
+from repro.experiments.scaling import model_response_ms, run_scaling
+from repro.experiments.throughput import run_load
+from repro.workloads import build_dataset
+from repro.workloads.queries import RangeQueryWorkload
+
+#: Relative regression allowed on gated metrics before the gate fails.
+GATE_TOLERANCE = 0.20
+
+#: Schema tag written into every BENCH_*.json document.
+BENCH_FORMAT = "sae-bench/1"
+
+
+@dataclass(frozen=True)
+class GateMetric:
+    """One benchmark measurement.
+
+    ``gate`` marks the metric as regression-gated; ``higher_is_better``
+    orients the comparison (qps regresses downward, latency upward).
+    """
+
+    name: str
+    value: float
+    unit: str = ""
+    gate: bool = False
+    higher_is_better: bool = True
+
+
+def metrics_document(metrics: Sequence[GateMetric], meta: Optional[dict] = None) -> dict:
+    """Assemble the machine-readable BENCH document."""
+    return {
+        "format": BENCH_FORMAT,
+        "meta": dict(meta or {}),
+        "metrics": {
+            metric.name: {
+                key: value for key, value in asdict(metric).items() if key != "name"
+            }
+            for metric in metrics
+        },
+    }
+
+
+def write_bench_file(path: Path, document: dict) -> None:
+    """Write one BENCH_*.json document (stable key order, trailing newline)."""
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def load_bench_file(path: Path) -> dict:
+    """Load a BENCH_*.json (or baseline) document."""
+    return json.loads(Path(path).read_text())
+
+
+def inject_regression(document: dict, factor: float) -> dict:
+    """Scale every gated metric in the *regressing* direction by ``factor``.
+
+    Used by CI to prove the gate trips: a factor of 0.5 halves gated
+    throughput numbers and doubles gated cost numbers.
+    """
+    if factor <= 0:
+        raise ValueError(f"regression factor must be positive, got {factor}")
+    degraded = json.loads(json.dumps(document))
+    for payload in degraded["metrics"].values():
+        if not payload.get("gate"):
+            continue
+        if payload.get("higher_is_better", True):
+            payload["value"] = payload["value"] * factor
+        else:
+            payload["value"] = payload["value"] / factor
+    degraded["meta"]["injected_regression"] = factor
+    return degraded
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, tolerance: float = GATE_TOLERANCE
+) -> List[str]:
+    """Compare gated metrics; return one violation message per regression.
+
+    A gated metric regresses when it moves beyond ``tolerance`` in its bad
+    direction (below for throughput-like, above for cost-like metrics).
+    Improvements and ungated drift never fail.  A gated metric missing from
+    the baseline is reported too -- the baseline must be refreshed
+    deliberately, not silently skipped.
+    """
+    violations: List[str] = []
+    baseline_metrics = baseline.get("metrics", {})
+    for name, payload in sorted(current.get("metrics", {}).items()):
+        if not payload.get("gate"):
+            continue
+        reference = baseline_metrics.get(name)
+        if reference is None:
+            violations.append(f"{name}: gated metric has no committed baseline")
+            continue
+        value = payload["value"]
+        base = reference["value"]
+        if payload.get("higher_is_better", True):
+            floor = base * (1.0 - tolerance)
+            if value < floor:
+                violations.append(
+                    f"{name}: {value:.4f} fell below {floor:.4f} "
+                    f"(baseline {base:.4f}, tolerance {tolerance:.0%})"
+                )
+        else:
+            ceiling = base * (1.0 + tolerance)
+            if value > ceiling:
+                violations.append(
+                    f"{name}: {value:.4f} rose above {ceiling:.4f} "
+                    f"(baseline {base:.4f}, tolerance {tolerance:.0%})"
+                )
+    return violations
+
+
+# ---------------------------------------------------------------------- smoke
+def _throughput_metrics() -> List[GateMetric]:
+    """Quick load-driver pass: wall qps/p95 (recorded) + model costs (gated)."""
+    dataset = build_dataset(2_000, record_size=128, seed=7)
+    workload = RangeQueryWorkload(
+        count=60, seed=8, attribute=dataset.schema.key_column
+    )
+    bounds = [(query.low, query.high) for query in workload]
+    metrics: List[GateMetric] = []
+    for mode in ("per-query", "batched"):
+        system = SAESystem(dataset).setup()
+        with system:
+            report = run_load(system, bounds, num_clients=4, mode=mode)
+        outcomes = report.outcomes
+        mean_response = sum(
+            model_response_ms(outcome) for outcome in outcomes
+        ) / len(outcomes)
+        metrics.extend(
+            [
+                GateMetric(
+                    name=f"throughput.{mode}.wall_qps",
+                    value=round(report.throughput_qps, 2),
+                    unit="qps",
+                ),
+                GateMetric(
+                    name=f"throughput.{mode}.wall_p95_ms",
+                    value=round(report.latency_p95_ms, 3),
+                    unit="ms",
+                    higher_is_better=False,
+                ),
+                GateMetric(
+                    name=f"throughput.{mode}.model_qps",
+                    value=round(1000.0 / mean_response, 6),
+                    unit="qps",
+                    gate=True,
+                ),
+                GateMetric(
+                    name=f"throughput.{mode}.mean_sp_accesses",
+                    value=report.total_sp_accesses / len(outcomes),
+                    unit="accesses",
+                    gate=True,
+                    higher_is_better=False,
+                ),
+                GateMetric(
+                    name=f"throughput.{mode}.mean_auth_bytes",
+                    value=sum(outcome.auth_bytes for outcome in outcomes) / len(outcomes),
+                    unit="bytes",
+                    gate=True,
+                    higher_is_better=False,
+                ),
+            ]
+        )
+    return metrics
+
+
+def _scaling_metrics() -> List[GateMetric]:
+    """Quick shard-scaling sweep: modelled qps per shard count (gated)."""
+    points = run_scaling(
+        cardinality=4_000,
+        shard_counts=(1, 2, 4),
+        num_queries=25,
+        record_size=128,
+    )
+    metrics: List[GateMetric] = []
+    for point in points:
+        if not point.receipts_consistent:
+            raise RuntimeError(
+                f"{point.shards}-shard sweep: merged receipts != sum of shard legs"
+            )
+        if not point.tampers_detected:
+            raise RuntimeError(
+                f"{point.shards}-shard sweep: a tampered shard went undetected"
+            )
+        metrics.extend(
+            [
+                GateMetric(
+                    name=f"scaling.shards{point.shards}.model_qps",
+                    value=round(point.qps_model, 6),
+                    unit="qps",
+                    gate=True,
+                ),
+                GateMetric(
+                    name=f"scaling.shards{point.shards}.wall_qps",
+                    value=round(point.wall_qps, 2),
+                    unit="qps",
+                ),
+                GateMetric(
+                    name=f"scaling.shards{point.shards}.wall_batch_ms",
+                    value=round(point.num_queries / point.wall_qps * 1000.0, 3)
+                    if point.wall_qps
+                    else 0.0,
+                    unit="ms",
+                    higher_is_better=False,
+                ),
+            ]
+        )
+    by_shards = {point.shards: point for point in points}
+    if 1 in by_shards and 4 in by_shards:
+        metrics.append(
+            GateMetric(
+                name="scaling.speedup_4shard",
+                value=round(by_shards[4].qps_model / by_shards[1].qps_model, 4),
+                unit="x",
+                gate=True,
+            )
+        )
+    return metrics
+
+
+def collect_current_metrics() -> Dict[str, dict]:
+    """All smoke documents keyed by BENCH file name."""
+    return {
+        "BENCH_throughput.json": metrics_document(
+            _throughput_metrics(), meta={"suite": "throughput", "scale": "quick"}
+        ),
+        "BENCH_scaling.json": metrics_document(
+            _scaling_metrics(), meta={"suite": "scaling", "scale": "quick"}
+        ),
+    }
+
+
+def run_smoke(
+    out_dir: Path,
+    baseline_path: Optional[Path] = None,
+    check: bool = True,
+    regression_factor: Optional[float] = None,
+    tolerance: float = GATE_TOLERANCE,
+    reuse_dir: Optional[Path] = None,
+) -> int:
+    """Run the smoke benchmarks, write BENCH_*.json, gate against baseline.
+
+    ``reuse_dir`` skips the measurement and loads previously recorded
+    ``BENCH_*.json`` files instead -- CI's injected-regression proof reuses
+    the artifacts of the honest run rather than benchmarking twice.
+    Returns the process exit code: 0 when every gated metric is within
+    tolerance (or ``check`` is off), 1 on any regression.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    if reuse_dir is not None:
+        documents = {}
+        for name in ("BENCH_throughput.json", "BENCH_scaling.json"):
+            source = Path(reuse_dir) / name
+            if not source.exists():
+                print(f"error: --reuse given but {source} does not exist")
+                return 2
+            documents[name] = load_bench_file(source)
+    else:
+        documents = collect_current_metrics()
+    if regression_factor is not None:
+        documents = {
+            name: inject_regression(document, regression_factor)
+            for name, document in documents.items()
+        }
+    for name, document in documents.items():
+        write_bench_file(out_dir / name, document)
+        print(f"wrote {out_dir / name}")
+    if not check:
+        return 0
+    if baseline_path is None or not Path(baseline_path).exists():
+        print(f"no baseline at {baseline_path}; gate skipped (record one first)")
+        return 0
+    baseline = load_bench_file(Path(baseline_path))
+    violations: List[str] = []
+    for name, document in sorted(documents.items()):
+        violations.extend(compare_to_baseline(document, baseline, tolerance))
+    if violations:
+        print(f"bench gate FAILED against {baseline_path}:")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    gated = sum(
+        1
+        for document in documents.values()
+        for payload in document["metrics"].values()
+        if payload.get("gate")
+    )
+    print(f"bench gate OK: {gated} gated metrics within {tolerance:.0%} of baseline")
+    return 0

@@ -52,6 +52,7 @@ class LoadReport:
     failed_queries: int
     total_sp_accesses: int
     total_te_accesses: int
+    num_shards: int = 1
     collector: MetricsCollector = field(repr=False, default_factory=MetricsCollector)
     outcomes: List[QueryOutcome] = field(repr=False, default_factory=list)
 
@@ -60,6 +61,7 @@ class LoadReport:
         return [
             self.mode,
             self.num_clients,
+            self.num_shards,
             self.num_queries,
             self.throughput_qps,
             self.latency_p50_ms,
@@ -71,7 +73,8 @@ class LoadReport:
 
 def format_load_reports(reports: Sequence[LoadReport], title: str = "load driver") -> str:
     """Render load reports as an aligned table."""
-    headers = ["mode", "clients", "queries", "qps", "p50 ms", "p95 ms", "p99 ms", "verified"]
+    headers = ["mode", "clients", "shards", "queries", "qps",
+               "p50 ms", "p95 ms", "p99 ms", "verified"]
     return format_table(headers, [report.as_row() for report in reports], title=title)
 
 
@@ -163,6 +166,7 @@ def run_load(
     return LoadReport(
         mode=mode,
         num_clients=num_clients,
+        num_shards=getattr(system, "num_shards", 1),
         num_queries=served,
         duration_s=duration_s,
         throughput_qps=served / duration_s if duration_s > 0 else 0.0,

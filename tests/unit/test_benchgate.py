@@ -1,0 +1,92 @@
+"""Unit tests for the CI benchmark gate (baseline compare, regression injection)."""
+
+import pytest
+
+from repro.experiments.benchgate import (
+    GateMetric,
+    compare_to_baseline,
+    inject_regression,
+    load_bench_file,
+    metrics_document,
+    write_bench_file,
+)
+
+
+def doc(*metrics):
+    return metrics_document(metrics, meta={"suite": "test"})
+
+
+class TestDocumentRoundTrip:
+    def test_write_and_load(self, tmp_path):
+        document = doc(GateMetric("a.qps", 12.5, unit="qps", gate=True))
+        path = tmp_path / "BENCH_test.json"
+        write_bench_file(path, document)
+        loaded = load_bench_file(path)
+        assert loaded["metrics"]["a.qps"]["value"] == 12.5
+        assert loaded["metrics"]["a.qps"]["gate"] is True
+        assert loaded["format"].startswith("sae-bench/")
+
+
+class TestCompareToBaseline:
+    def test_identical_passes(self):
+        current = doc(GateMetric("a.qps", 100.0, gate=True))
+        assert compare_to_baseline(current, current) == []
+
+    def test_within_tolerance_passes(self):
+        current = doc(GateMetric("a.qps", 85.0, gate=True))
+        baseline = doc(GateMetric("a.qps", 100.0, gate=True))
+        assert compare_to_baseline(current, baseline, tolerance=0.20) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        current = doc(GateMetric("a.qps", 79.0, gate=True))
+        baseline = doc(GateMetric("a.qps", 100.0, gate=True))
+        violations = compare_to_baseline(current, baseline, tolerance=0.20)
+        assert len(violations) == 1
+        assert "a.qps" in violations[0]
+
+    def test_improvement_always_passes(self):
+        current = doc(GateMetric("a.qps", 500.0, gate=True))
+        baseline = doc(GateMetric("a.qps", 100.0, gate=True))
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_lower_is_better_direction(self):
+        baseline = doc(GateMetric("a.ms", 100.0, gate=True, higher_is_better=False))
+        worse = doc(GateMetric("a.ms", 121.0, gate=True, higher_is_better=False))
+        better = doc(GateMetric("a.ms", 50.0, gate=True, higher_is_better=False))
+        assert compare_to_baseline(worse, baseline, tolerance=0.20)
+        assert compare_to_baseline(better, baseline, tolerance=0.20) == []
+
+    def test_ungated_metrics_never_fail(self):
+        current = doc(GateMetric("a.wall_qps", 1.0))
+        baseline = doc(GateMetric("a.wall_qps", 1000.0))
+        assert compare_to_baseline(current, baseline) == []
+
+    def test_gated_metric_missing_from_baseline_is_flagged(self):
+        current = doc(GateMetric("new.qps", 10.0, gate=True))
+        violations = compare_to_baseline(current, doc())
+        assert violations and "no committed baseline" in violations[0]
+
+
+class TestInjectRegression:
+    def test_degrades_gated_metrics_in_the_bad_direction(self):
+        document = doc(
+            GateMetric("a.qps", 100.0, gate=True),
+            GateMetric("a.ms", 10.0, gate=True, higher_is_better=False),
+            GateMetric("a.wall", 7.0),
+        )
+        degraded = inject_regression(document, 0.5)
+        assert degraded["metrics"]["a.qps"]["value"] == 50.0
+        assert degraded["metrics"]["a.ms"]["value"] == 20.0
+        assert degraded["metrics"]["a.wall"]["value"] == 7.0  # ungated untouched
+        assert degraded["meta"]["injected_regression"] == 0.5
+        # The original document is not mutated.
+        assert document["metrics"]["a.qps"]["value"] == 100.0
+
+    def test_injected_regression_trips_the_gate(self):
+        baseline = doc(GateMetric("a.qps", 100.0, gate=True))
+        degraded = inject_regression(baseline, 0.5)
+        assert compare_to_baseline(degraded, baseline, tolerance=0.20)
+
+    def test_rejects_non_positive_factor(self):
+        with pytest.raises(ValueError):
+            inject_regression(doc(), 0.0)

@@ -40,6 +40,93 @@ class TestAttackGallery:
         assert "accepted" in output
 
 
+class TestBenchRunLoad:
+    def test_sharded_run_load(self, capsys):
+        exit_code = main([
+            "bench", "run-load", "--records", "600", "--queries", "10",
+            "--clients", "2", "--shards", "3", "--mode", "batched",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "3 shard(s)" in output
+        assert "verified" in output
+
+    @pytest.mark.parametrize(
+        "argv, fragment",
+        [
+            (["--clients", "0"], "--clients must be at least 1"),
+            (["--shards", "0"], "--shards must be at least 1"),
+            (["--shards", "-4"], "--shards must be at least 1"),
+            (["--batch-size", "0"], "--batch-size must be at least 1"),
+        ],
+    )
+    def test_bad_arguments_exit_2_with_message(self, capsys, argv, fragment):
+        exit_code = main(["bench", "run-load"] + argv)
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert fragment in captured.err
+
+
+class TestBenchSmoke:
+    def test_smoke_without_baseline_records_and_passes(self, tmp_path, capsys):
+        exit_code = main([
+            "bench", "smoke", "--out", str(tmp_path),
+            "--baseline", str(tmp_path / "missing-baseline.json"),
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert (tmp_path / "BENCH_throughput.json").exists()
+        assert (tmp_path / "BENCH_scaling.json").exists()
+        assert "gate skipped" in output
+
+    def test_bad_regression_factor_rejected(self, capsys):
+        assert main(["bench", "smoke", "--inject-regression", "-1"]) == 2
+        assert "--inject-regression" in capsys.readouterr().err
+
+    def test_reuse_injects_regression_without_rebenchmarking(self, tmp_path, capsys):
+        recorded = tmp_path / "recorded"
+        baseline = tmp_path / "baseline.json"
+        assert main(["bench", "smoke", "--out", str(recorded), "--no-check"]) == 0
+        # Promote the honest run to a baseline, then gate a reused+degraded copy.
+        import json
+
+        merged = {"format": "sae-bench/1", "meta": {}, "metrics": {}}
+        for name in ("BENCH_throughput.json", "BENCH_scaling.json"):
+            merged["metrics"].update(json.loads((recorded / name).read_text())["metrics"])
+        baseline.write_text(json.dumps(merged))
+        capsys.readouterr()
+
+        clean = main(["bench", "smoke", "--out", str(tmp_path / "replay"),
+                      "--baseline", str(baseline), "--reuse", str(recorded)])
+        assert clean == 0
+        degraded = main(["bench", "smoke", "--out", str(tmp_path / "degraded"),
+                         "--baseline", str(baseline), "--reuse", str(recorded),
+                         "--inject-regression", "0.5"])
+        captured = capsys.readouterr().out
+        assert degraded == 1
+        assert "bench gate FAILED" in captured
+
+    def test_reuse_missing_directory_exits_2(self, tmp_path, capsys):
+        assert main(["bench", "smoke", "--out", str(tmp_path),
+                     "--reuse", str(tmp_path / "nope")]) == 2
+
+
+class TestScalingFigure:
+    def test_scaling_figure_prints_sweep(self, capsys):
+        exit_code = main([
+            "experiments", "--scale", "quick", "--figure", "scaling",
+            "--shards", "1,2",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "shard scaling" in output
+        assert "Figure 5" not in output
+
+    def test_bad_shard_list_rejected(self, capsys):
+        assert main(["experiments", "--figure", "scaling", "--shards", "0,2"]) == 2
+        assert "shard count" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,165 @@
+"""Unit tests for the shard router and the update routing."""
+
+import pytest
+
+from repro.core.dataset import Dataset
+from repro.core.sharding import (
+    ShardedDeployment,
+    ShardingError,
+    ShardRouter,
+    partition_dataset,
+    route_update_batch,
+)
+from repro.core.updates import UpdateBatch
+from repro.workloads.datasets import DATASET_SCHEMA
+
+
+def make_dataset(keys):
+    """A tiny (id, key, payload) dataset with the given query-attribute values."""
+    records = [(position, key, b"p") for position, key in enumerate(keys)]
+    return Dataset(schema=DATASET_SCHEMA, records=records, name="tiny")
+
+
+class TestShardedDeployment:
+    def test_single_shard_is_not_sharded(self):
+        assert not ShardedDeployment(1).is_sharded
+        assert ShardedDeployment(4).is_sharded
+
+    def test_coerce_accepts_ints_and_configs(self):
+        assert ShardedDeployment.coerce(3).num_shards == 3
+        config = ShardedDeployment(2)
+        assert ShardedDeployment.coerce(config) is config
+
+    def test_rejects_non_positive_counts(self):
+        with pytest.raises(ShardingError):
+            ShardedDeployment(0)
+        with pytest.raises(ShardingError):
+            ShardedDeployment(-3)
+
+
+class TestShardRouter:
+    def test_boundary_key_lands_in_lower_shard(self):
+        # Boundaries are *inclusive upper bounds*: a key exactly on a split
+        # belongs to the shard below the split.
+        router = ShardRouter([10, 20], 3)
+        assert router.shard_of(10) == 0
+        assert router.shard_of(20) == 1
+        assert router.shard_of(11) == 1
+        assert router.shard_of(21) == 2
+        assert router.shard_of(-5) == 0
+
+    def test_range_on_boundaries(self):
+        router = ShardRouter([10, 20], 3)
+        assert router.shards_for_range(10, 10) == [0]
+        assert router.shards_for_range(10, 20) == [0, 1]
+        assert router.shards_for_range(11, 20) == [1]
+        assert router.shards_for_range(21, 99) == [2]
+
+    def test_range_spanning_all_shards(self):
+        router = ShardRouter([10, 20, 30], 4)
+        assert router.shards_for_range(-100, 100) == [0, 1, 2, 3]
+
+    def test_degenerate_range_routes_to_one_shard(self):
+        router = ShardRouter([10, 20], 3)
+        assert router.shards_for_range(15, 12) == [1]
+
+    def test_from_keys_balances_shards(self):
+        router = ShardRouter.from_keys(list(range(100)), 4)
+        counts = [0, 0, 0, 0]
+        for key in range(100):
+            counts[router.shard_of(key)] += 1
+        assert counts == [25, 25, 25, 25]
+
+    def test_duplicate_keys_leave_middle_shards_empty(self):
+        # Every key identical: all boundaries coincide, so only the first
+        # shard owns keys and the rest are empty -- routing stays total.
+        router = ShardRouter.from_keys([7] * 50, 4)
+        assert router.shard_of(7) == 0
+        assert router.shard_of(8) == 3
+        assert router.shards_for_range(0, 100) == [0, 1, 2, 3]
+
+    def test_empty_keys_make_empty_shards(self):
+        router = ShardRouter.from_keys([], 3)
+        assert router.num_shards == 3
+        assert router.shards_for_range(-1, 1) == [0, 1, 2]
+
+    def test_single_shard_router(self):
+        router = ShardRouter.from_keys([1, 2, 3], 1)
+        assert router.boundaries == []
+        assert router.shard_of(99) == 0
+        assert router.shards_for_range(0, 100) == [0]
+
+    def test_validation(self):
+        with pytest.raises(ShardingError):
+            ShardRouter([3, 1], 3)  # unsorted
+        with pytest.raises(ShardingError):
+            ShardRouter([1], 3)  # wrong boundary count
+        with pytest.raises(ShardingError):
+            ShardRouter([], 0)
+
+    def test_describe_names_every_shard(self):
+        text = ShardRouter([10], 2).describe()
+        assert "0:(-inf..10]" in text and "1:(10..+inf)" in text
+
+
+class TestPartitionDataset:
+    def test_partition_respects_router_and_keeps_schema(self):
+        dataset = make_dataset([1, 5, 10, 11, 20, 25])
+        router = ShardRouter([10, 20], 3)
+        parts = partition_dataset(dataset, router)
+        assert [len(part) for part in parts] == [3, 2, 1]
+        assert all(part.schema is dataset.schema for part in parts)
+        assert parts[0].keys() == [1, 5, 10]  # boundary key 10 stays low
+        assert parts[1].keys() == [11, 20]
+        assert parts[2].keys() == [25]
+
+    def test_empty_shards_are_valid_datasets(self):
+        dataset = make_dataset([1, 2, 3])
+        parts = partition_dataset(dataset, ShardRouter([50, 60], 3))
+        assert [len(part) for part in parts] == [3, 0, 0]
+        assert parts[1].cardinality == 0
+
+
+class TestRouteUpdateBatch:
+    def setup_method(self):
+        self.router = ShardRouter([10, 20], 3)
+        self.shard_by_id = {1: 0, 2: 1, 3: 2}
+
+    def test_insert_routes_by_key_and_registers_owner(self):
+        batch = UpdateBatch().insert((9, 15, b"x"))
+        per_shard = route_update_batch(batch, self.router, self.shard_by_id, 1, 0)
+        assert [len(b) for b in per_shard] == [0, 1, 0]
+        assert self.shard_by_id[9] == 1
+
+    def test_delete_routes_by_ownership(self):
+        batch = UpdateBatch().delete(3)
+        per_shard = route_update_batch(batch, self.router, self.shard_by_id, 1, 0)
+        assert [len(b) for b in per_shard] == [0, 0, 1]
+        assert 3 not in self.shard_by_id
+
+    def test_modify_in_place_stays_on_shard(self):
+        batch = UpdateBatch().modify((2, 12, b"new"))
+        per_shard = route_update_batch(batch, self.router, self.shard_by_id, 1, 0)
+        assert [len(b) for b in per_shard] == [0, 1, 0]
+
+    def test_modify_across_shards_becomes_delete_plus_insert(self):
+        batch = UpdateBatch().modify((1, 99, b"moved"))  # shard 0 -> shard 2
+        per_shard = route_update_batch(batch, self.router, self.shard_by_id, 1, 0)
+        assert [len(b) for b in per_shard] == [1, 0, 1]
+        assert self.shard_by_id[1] == 2
+
+    def test_unknown_record_id_is_rejected(self):
+        with pytest.raises(ShardingError):
+            route_update_batch(
+                UpdateBatch().delete(99), self.router, self.shard_by_id, 1, 0
+            )
+        with pytest.raises(ShardingError):
+            route_update_batch(
+                UpdateBatch().modify((99, 5, b"")), self.router, self.shard_by_id, 1, 0
+            )
+
+    def test_later_operations_see_earlier_ones(self):
+        batch = UpdateBatch().insert((9, 15, b"x")).delete(9)
+        per_shard = route_update_batch(batch, self.router, self.shard_by_id, 1, 0)
+        assert len(per_shard[1]) == 2
+        assert 9 not in self.shard_by_id
