@@ -31,13 +31,17 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from repro.core import SAESystem
-from repro.tom import TomSystem
+from repro.core import OutsourcedDB, SaeScheme, SAESystem, available_schemes
+from repro.tom import TomScheme, TomSystem
 from repro.workloads import uniform_dataset, skewed_dataset, build_dataset
 
 __all__ = [
     "__version__",
+    "OutsourcedDB",
+    "available_schemes",
+    "SaeScheme",
     "SAESystem",
+    "TomScheme",
     "TomSystem",
     "uniform_dataset",
     "skewed_dataset",

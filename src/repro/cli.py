@@ -3,26 +3,32 @@
 Three subcommands cover the common workflows without writing any code:
 
 ``python -m repro demo``
-    Outsource a synthetic dataset, run one verified query, then show that a
-    tampered result is rejected.
+    Outsource a synthetic dataset under either scheme (``--scheme sae`` or
+    ``--scheme tom``), run one verified query, then show that a tampered
+    result is rejected.
 
 ``python -m repro experiments``
     Regenerate the paper's figures (5-8) at a chosen scale and print the
-    tables; ``--figure`` selects a single figure.
+    tables; ``--figure`` selects a single figure, ``--figure head-to-head``
+    runs the SAE-vs-TOM comparison on the modern pipeline and ``--figure
+    scaling --scheme tom`` sweeps the sharded TOM deployment.
 
 ``python -m repro attack-gallery``
-    Run the drop / inject / modify attack gallery against both SAE and TOM
-    and print the verdicts.
+    Run the drop / inject / modify attack gallery against every registered
+    scheme and print the verdicts; ``--key-bits`` / ``--seed`` configure
+    the signing key material instead of being hardcoded.
 
 ``python -m repro bench run-load``
-    Drive one SAE deployment from N concurrent closed-loop clients and
-    report throughput and p50/p95/p99 latency, per dispatch mode.
-    ``--shards N`` runs the sharded scatter-gather deployment.
+    Drive one deployment (``--scheme {sae,tom}``) from N concurrent
+    closed-loop clients and report throughput and p50/p95/p99 latency, per
+    dispatch mode.  ``--shards N`` runs the sharded scatter-gather
+    deployment of either scheme.
 
 ``python -m repro bench smoke``
     Run the quick benchmark suite, write machine-readable
-    ``BENCH_throughput.json`` / ``BENCH_scaling.json`` and fail on >20 %
-    regression of any gated metric against ``benchmarks/baseline.json``.
+    ``BENCH_throughput.json`` / ``BENCH_scaling.json`` /
+    ``BENCH_head_to_head.json`` and fail on >20 % regression of any gated
+    metric against ``benchmarks/baseline.json``.
 """
 
 from __future__ import annotations
@@ -31,7 +37,14 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core import DropAttack, InjectAttack, ModifyAttack, NoAttack, SAESystem
+from repro.core import (
+    DropAttack,
+    InjectAttack,
+    ModifyAttack,
+    NoAttack,
+    OutsourcedDB,
+    available_schemes,
+)
 from repro.experiments import (
     ExperimentConfig,
     figure5_rows,
@@ -43,7 +56,6 @@ from repro.experiments import (
     format_figure7,
     format_figure8,
 )
-from repro.tom import TomSystem
 from repro.workloads import build_dataset
 
 
@@ -62,20 +74,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    schemes = available_schemes()
+
     demo = subparsers.add_parser("demo", help="outsource, query, verify, detect tampering")
     demo.add_argument("--records", type=int, default=5_000, help="dataset cardinality")
     demo.add_argument("--distribution", choices=["uniform", "zipf"], default="uniform")
+    demo.add_argument("--scheme", choices=schemes, default="sae",
+                      help="authentication scheme to deploy")
+    demo.add_argument("--key-bits", type=int, default=1024,
+                      help="RSA modulus size for schemes that sign (TOM)")
+    demo.add_argument("--seed", type=int, default=7,
+                      help="seed shared by the dataset and the key material")
 
     experiments = subparsers.add_parser("experiments", help="regenerate the paper's figures")
     experiments.add_argument("--scale", choices=["quick", "default", "paper"], default="quick")
-    experiments.add_argument("--figure", choices=["5", "6", "7", "8", "scaling", "all"],
+    experiments.add_argument("--figure",
+                             choices=["5", "6", "7", "8", "scaling", "head-to-head", "all"],
                              default="all")
     experiments.add_argument("--shards", default="1,2,4,8",
                              help="comma-separated shard counts for --figure scaling")
+    experiments.add_argument("--scheme", choices=schemes, default="sae",
+                             help="scheme swept by --figure scaling")
 
     gallery = subparsers.add_parser("attack-gallery",
-                                    help="run the attack gallery against SAE and TOM")
+                                    help="run the attack gallery against every scheme")
     gallery.add_argument("--records", type=int, default=3_000, help="dataset cardinality")
+    gallery.add_argument("--key-bits", type=int, default=512,
+                         help="RSA modulus size for schemes that sign (TOM)")
+    gallery.add_argument("--seed", type=int, default=17,
+                         help="seed shared by the dataset and the key material")
 
     bench = subparsers.add_parser("bench", help="performance benchmarks")
     bench_commands = bench.add_subparsers(dest="bench_command", required=True)
@@ -86,6 +113,10 @@ def _build_parser() -> argparse.ArgumentParser:
     load.add_argument("--records", type=_positive_int, default=10_000,
                       help="dataset cardinality")
     load.add_argument("--queries", type=_positive_int, default=200, help="workload size")
+    load.add_argument("--scheme", choices=schemes, default="sae",
+                      help="authentication scheme to drive")
+    load.add_argument("--key-bits", type=int, default=1024,
+                      help="RSA modulus size for schemes that sign (TOM)")
     load.add_argument("--clients", type=int, default=4,
                       help="number of concurrent clients (>= 1)")
     load.add_argument("--shards", type=int, default=1,
@@ -163,16 +194,20 @@ def _run_bench_smoke(args: argparse.Namespace) -> int:
 
 
 def _run_demo(args: argparse.Namespace) -> int:
-    dataset = build_dataset(args.records, distribution=args.distribution, seed=7)
-    system = SAESystem(dataset).setup()
-    low, high = 2_000_000, 2_050_000
-    outcome = system.query(low, high)
-    print(f"dataset {dataset.name}: {dataset.cardinality} records")
-    print(f"query [{low}, {high}]: {outcome.cardinality} records, "
-          f"verified={outcome.verified}, token={outcome.auth_bytes} bytes")
-    system.provider.attack = DropAttack(count=1, seed=1)
-    tampered = system.query(low, high)
-    print(f"after the provider drops one record: verified={tampered.verified}")
+    dataset = build_dataset(args.records, distribution=args.distribution, seed=args.seed)
+    system = OutsourcedDB(
+        dataset, scheme=args.scheme, key_bits=args.key_bits, seed=args.seed
+    ).setup()
+    with system:
+        low, high = 2_000_000, 2_050_000
+        outcome = system.query(low, high)
+        print(f"dataset {dataset.name}: {dataset.cardinality} records, "
+              f"scheme {system.scheme_name}")
+        print(f"query [{low}, {high}]: {outcome.cardinality} records, "
+              f"verified={outcome.verified}, auth={outcome.auth_bytes} bytes")
+        system.provider.attack = DropAttack(count=1, seed=1)
+        tampered = system.query(low, high)
+        print(f"after the provider drops one record: verified={tampered.verified}")
     return 0 if outcome.verified and not tampered.verified else 1
 
 
@@ -185,7 +220,7 @@ def _run_experiments(args: argparse.Namespace) -> int:
         "8": (figure8_rows, format_figure8),
     }
     selected = list(figures) if args.figure == "all" else [args.figure]
-    if args.figure == "scaling":
+    if args.figure in ("scaling", "head-to-head"):
         selected = []
     for number in selected:
         rows_fn, format_fn = figures[number]
@@ -204,16 +239,38 @@ def _run_experiments(args: argparse.Namespace) -> int:
             print(f"error: every shard count must be >= 1, got {args.shards!r}",
                   file=sys.stderr)
             return 2
-        points = scaling_rows(scale=args.scale, shard_counts=shard_counts)
+        points = scaling_rows(scale=args.scale, shard_counts=shard_counts,
+                              scheme=args.scheme)
         print(format_scaling(points))
         print()
+    if args.figure in ("head-to-head", "all"):
+        from repro.experiments.head_to_head import (
+            format_head_to_head,
+            format_update_costs,
+            head_to_head_rows,
+        )
+
+        result = head_to_head_rows(scale=args.scale)
+        print(format_head_to_head(result.points))
+        print()
+        print(format_update_costs(result.update_points))
+        print()
+        verified = all(point.all_verified for point in result.points) and all(
+            point.all_verified_after for point in result.update_points
+        )
+        if not verified:
+            return 1
     return 0
 
 
 def _run_attack_gallery(args: argparse.Namespace) -> int:
-    dataset = build_dataset(args.records, record_size=200, seed=17)
-    sae = SAESystem(dataset).setup()
-    tom = TomSystem(dataset, key_bits=512, seed=17).setup()
+    dataset = build_dataset(args.records, record_size=200, seed=args.seed)
+    systems = {
+        name: OutsourcedDB(
+            dataset, scheme=name, key_bits=args.key_bits, seed=args.seed
+        ).setup()
+        for name in available_schemes()
+    }
     attacks = [
         ("honest", NoAttack()),
         ("drop 1", DropAttack(count=1, seed=1)),
@@ -221,17 +278,20 @@ def _run_attack_gallery(args: argparse.Namespace) -> int:
         ("modify 1", ModifyAttack(count=1, seed=2)),
     ]
     failures = 0
-    print(f"{'attack':<12} {'SAE':<10} {'TOM':<10}")
+    header = f"{'attack':<12} " + " ".join(f"{name.upper():<10}" for name in systems)
+    print(header)
     for name, attack in attacks:
-        sae.provider.attack = attack
-        tom.provider.attack = attack
-        sae_ok = sae.query(1_000_000, 1_400_000).verified
-        tom_ok = tom.query(1_000_000, 1_400_000).verified
-        print(f"{name:<12} {'accepted' if sae_ok else 'REJECTED':<10} "
-              f"{'accepted' if tom_ok else 'REJECTED':<10}")
         honest = isinstance(attack, NoAttack)
-        if sae_ok != honest or tom_ok != honest:
-            failures += 1
+        verdicts = []
+        for system in systems.values():
+            system.provider.attack = attack
+            accepted = system.query(1_000_000, 1_400_000).verified
+            verdicts.append("accepted" if accepted else "REJECTED")
+            if accepted != honest:
+                failures += 1
+        print(f"{name:<12} " + " ".join(f"{verdict:<10}" for verdict in verdicts))
+    for system in systems.values():
+        system.close()
     return 1 if failures else 0
 
 
@@ -256,7 +316,13 @@ def _run_bench_load(args: argparse.Namespace) -> int:
     modes = ["per-query", "batched"] if args.mode == "both" else [args.mode]
     reports = []
     for mode in modes:
-        system = SAESystem(dataset, shards=args.shards).setup()
+        system = OutsourcedDB(
+            dataset,
+            scheme=args.scheme,
+            shards=args.shards,
+            key_bits=args.key_bits,
+            seed=args.seed,
+        ).setup()
         with system:
             reports.append(
                 run_load(
@@ -268,12 +334,15 @@ def _run_bench_load(args: argparse.Namespace) -> int:
                     verify=verify,
                 )
             )
-    title = (f"load driver: {args.records} records, {args.queries} queries, "
-             f"{args.clients} clients, {args.shards} shard(s)")
+    title = (f"load driver [{args.scheme}]: {args.records} records, "
+             f"{args.queries} queries, {args.clients} clients, {args.shards} shard(s)")
     print(format_load_reports(reports, title=title))
     if len(reports) == 2 and reports[0].throughput_qps > 0:
         speedup = reports[1].throughput_qps / reports[0].throughput_qps
         print(f"\nbatched vs per-query speedup: {speedup:.2f}x")
+    if not all(report.receipts_consistent for report in reports):
+        print("error: merged receipts != sum of shard legs", file=sys.stderr)
+        return 1
     if verify and not all(report.all_verified for report in reports):
         return 1
     return 0

@@ -40,9 +40,24 @@ from repro.core.attacks import (
 )
 from repro.core.updates import InsertRecord, DeleteRecord, ModifyRecord, UpdateBatch
 from repro.core.pipeline import CostReceipt, ExecutionContext, QueryReceipt, ShardLegReceipt
-from repro.core.protocol import SAESystem, QueryOutcome
+from repro.core.scheme import (
+    AuthScheme,
+    OutsourcedDB,
+    SchemeError,
+    available_schemes,
+    register_scheme,
+    scheme_class,
+)
+from repro.core.protocol import SaeScheme, SAESystem, QueryOutcome
 
 __all__ = [
+    "AuthScheme",
+    "OutsourcedDB",
+    "SchemeError",
+    "available_schemes",
+    "register_scheme",
+    "scheme_class",
+    "SaeScheme",
     "CostReceipt",
     "ExecutionContext",
     "QueryReceipt",

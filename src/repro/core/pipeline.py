@@ -159,6 +159,22 @@ class QueryReceipt:
             return self.response_time_ms
         return max(leg.leg_response_ms for leg in self.legs) + self.client_cpu_ms
 
+    def matches_leg_sums(self) -> bool:
+        """Whether every merged charge equals the sum over the shard legs.
+
+        The scatter-gather invariant both schemes enforce: distributing a
+        query over shards must not change what the paper's cost model
+        charges.  Trivially true for an unscattered receipt (no legs).
+        """
+        if not self.legs:
+            return True
+        return (
+            self.sp.node_accesses == sum(leg.sp.node_accesses for leg in self.legs)
+            and self.te.node_accesses == sum(leg.te.node_accesses for leg in self.legs)
+            and self.auth_bytes == sum(leg.auth_bytes for leg in self.legs)
+            and self.result_bytes == sum(leg.result_bytes for leg in self.legs)
+        )
+
 
 class ReadWriteLock:
     """A shared/exclusive lock with writer preference.

@@ -1,32 +1,33 @@
 """End-to-end SAE protocol façade.
 
-:class:`SAESystem` wires a data owner, a service provider, a trusted entity
-and a client together over byte-counting channels, and exposes the
-operations the examples and the experiment harness need:
+:class:`SaeScheme` (registered as ``"sae"`` in the scheme registry;
+``SAESystem`` remains as a compatibility alias) wires a data owner, a
+service provider, a trusted entity and a client together over byte-counting
+channels, and exposes the :class:`~repro.core.scheme.AuthScheme` operations
+every consumer of the scheme layer needs:
 
-* :meth:`SAESystem.setup` -- the DO outsources its dataset;
-* :meth:`SAESystem.query` -- the client sends a range query to the SP and
+* :meth:`SaeScheme.setup` -- the DO outsources its dataset;
+* :meth:`SaeScheme.query` -- the client sends a range query to the SP and
   the TE *in parallel* (the paper's central claim is that the two are
   independent, which is what keeps the response time low), verifies the
   result, and a :class:`QueryOutcome` captures every cost the paper reports
   (node accesses at SP and TE, authentication bytes, result bytes, client
   CPU time, verification verdict);
-* :meth:`SAESystem.query_many` -- a batched variant: SP executions are
+* :meth:`SaeScheme.query_many` -- a batched variant: SP executions are
   dispatched across the thread pool while the TE answers the whole batch
   with one shared XB-tree walk, and client-side verification hashes each
   distinct record once across overlapping results.
 
 Every request carries its own :class:`~repro.core.pipeline.ExecutionContext`
 and yields a :class:`~repro.core.pipeline.QueryReceipt`, so any number of
-queries may be in flight concurrently.
+queries may be in flight concurrently.  A reversed range (``low > high``)
+is answered locally with an empty verified result and a zero-cost receipt
+-- the contract shared with every other registered scheme.
 """
 
 from __future__ import annotations
 
-import os
-import threading
-import weakref
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -42,6 +43,7 @@ from repro.core.pipeline import (
     ZERO_RECEIPT,
 )
 from repro.core.provider import ServiceProvider, ShardedServiceProvider
+from repro.core.scheme import AuthScheme, is_reversed_range, register_scheme
 from repro.core.sharding import ShardedDeployment
 from repro.core.trusted_entity import ShardedTrustedEntity, TrustedEntity
 from repro.core.updates import UpdateBatch
@@ -85,12 +87,11 @@ class QueryOutcome:
         return len(self.records)
 
 
-def _shutdown_pool(executor: ThreadPoolExecutor) -> None:
-    executor.shutdown(wait=False, cancel_futures=True)
-
-
-class SAESystem:
+@register_scheme
+class SaeScheme(AuthScheme):
     """A complete SAE deployment (DO + SP + TE + client)."""
+
+    scheme_name = "sae"
 
     def __init__(
         self,
@@ -143,48 +144,18 @@ class SAESystem:
         self.owner = DataOwner(dataset, network=self._network)
         self.client = Client(scheme=self._scheme, key_index=dataset.schema.key_index)
         self._ready = False
-        # Same number feeds the executor and the batch chunking, so a
-        # query_many batch always produces one SP slice per pool worker.
-        self._num_workers = max_workers or min(32, (os.cpu_count() or 1) + 4)
-        self._executor: Optional[ThreadPoolExecutor] = None
-        self._executor_lock = threading.Lock()
-        self._finalizer: Optional[weakref.finalize] = None
+        self._init_dispatch(max_workers)
         # Queries hold this shared; update batches hold it exclusive, so an
         # in-flight query never observes a half-applied batch at SP or TE.
         self._state_lock = ReadWriteLock()
 
     # ------------------------------------------------------------------ lifecycle
-    def setup(self) -> "SAESystem":
+    def setup(self) -> "SaeScheme":
         """Run the outsourcing phase (DO ships the dataset to SP and TE)."""
         with self._state_lock.write_locked():
             self.owner.outsource(self.provider, self.trusted_entity)
             self._ready = True
         return self
-
-    def close(self) -> None:
-        """Shut down the dispatch thread pool (idempotent)."""
-        with self._executor_lock:
-            executor, self._executor = self._executor, None
-            if self._finalizer is not None:
-                self._finalizer.detach()
-                self._finalizer = None
-        if executor is not None:
-            executor.shutdown(wait=True)
-
-    def __enter__(self) -> "SAESystem":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
-
-    def _pool(self) -> ThreadPoolExecutor:
-        with self._executor_lock:
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=self._num_workers, thread_name_prefix="sae-dispatch"
-                )
-                self._finalizer = weakref.finalize(self, _shutdown_pool, self._executor)
-            return self._executor
 
     @property
     def network(self) -> NetworkTracker:
@@ -586,6 +557,46 @@ class SAESystem:
         return outcomes
 
     # ------------------------------------------------------------------ queries
+    def _empty_outcome(self, low: Any, high: Any, verify: bool) -> QueryOutcome:
+        """The empty verified result a reversed range (``low > high``) gets.
+
+        No party does any work, so every charge is zero; the receipt still
+        carries the bounds the client asked for.  This is the degenerate-
+        range contract shared by every registered scheme.
+        """
+        query = RangeQuery.degenerate(low, high, self._dataset.schema.key_column)
+        if verify:
+            verification = SAEVerificationResult(
+                ok=True,
+                computed=self._scheme.zero(),
+                token=self._scheme.zero(),
+                records_hashed=0,
+                reason="empty range (low > high)",
+            )
+        else:
+            verification = SAEVerificationResult.skipped_result(self._scheme)
+        receipt = QueryReceipt(
+            query=query,
+            sp=ZERO_RECEIPT,
+            te=ZERO_RECEIPT,
+            auth_bytes=0,
+            result_bytes=0,
+            client_cpu_ms=0.0,
+        )
+        return QueryOutcome(
+            query=query,
+            records=[],
+            verification=verification,
+            sp_accesses=0,
+            te_accesses=0,
+            sp_cost_ms=0.0,
+            te_cost_ms=0.0,
+            auth_bytes=0,
+            result_bytes=0,
+            client_cpu_ms=0.0,
+            receipt=receipt,
+        )
+
     def query(self, low: Any, high: Any, verify: bool = True) -> QueryOutcome:
         """Issue one verified range query with parallel SP/TE dispatch.
 
@@ -595,9 +606,12 @@ class SAESystem:
         sharded deployment the query is scattered to the overlapping shards
         only, every shard's SP and TE leg runs as its own pool task, and the
         gathered outcome carries the merged token and the summed charges.
+        A reversed range returns an empty verified result at zero cost.
         """
         if not self._ready:
             raise RuntimeError("setup() must be called before issuing queries")
+        if is_reversed_range(low, high):
+            return self._empty_outcome(low, high, verify)
         query = RangeQuery(low=low, high=high, attribute=self._dataset.schema.key_column)
         ctx = ExecutionContext(query=query)
         if self._deployment.is_sharded:
@@ -630,12 +644,22 @@ class SAESystem:
         sorted, XB-tree walked once); verification shares a per-batch digest
         cache so records appearing in several overlapping results are hashed
         once.  Verdicts, per-query node-access counts and per-query byte
-        accounting are identical to looping over :meth:`query`.
+        accounting are identical to looping over :meth:`query`.  Reversed
+        ranges anywhere in the batch come back as empty verified results
+        with zero-cost receipts, in position.
         """
         if not self._ready:
             raise RuntimeError("setup() must be called before issuing queries")
         if not bounds:
             return []
+        return self._weave_reversed(
+            bounds, verify, lambda valid: self._query_many_valid(valid, verify)
+        )
+
+    def _query_many_valid(
+        self, bounds: Sequence[Tuple[Any, Any]], verify: bool
+    ) -> List[QueryOutcome]:
+        """The batch path for bounds already known to be non-degenerate."""
         attribute = self._dataset.schema.key_column
         queries = [RangeQuery(low=low, high=high, attribute=attribute) for low, high in bounds]
         contexts = [ExecutionContext(query=query) for query in queries]
@@ -709,6 +733,10 @@ class SAESystem:
             "te_bytes": self.trusted_entity.storage_bytes(),
             "dataset_bytes": self._dataset.size_bytes(),
         }
+
+
+#: Compatibility alias -- the deployment facade predates the scheme layer.
+SAESystem = SaeScheme
 
 
 def _encoded(record: Sequence[Any], cache: Dict[Tuple[Any, ...], bytes]) -> bytes:

@@ -17,7 +17,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 from repro.core.attacks import AttackModel, NoAttack
 from repro.core.dataset import Dataset
 from repro.core.pipeline import CostReceipt, ExecutionContext, ZERO_RECEIPT, deprecated_accessor
-from repro.core.sharding import ShardMap, ShardRouter
+from repro.core.sharding import AttackableFleet
 from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
 from repro.dbms.query import RangeQuery
 from repro.dbms.sqlite_backend import SQLiteTable
@@ -207,7 +207,7 @@ class ServiceProvider:
         return self._backend == "heap"
 
 
-class ShardedServiceProvider:
+class ShardedServiceProvider(AttackableFleet):
     """A fleet of :class:`ServiceProvider` shards behind one SP interface.
 
     The relation is range-partitioned on the query attribute by a
@@ -221,6 +221,9 @@ class ShardedServiceProvider:
     on its thread pool.
     """
 
+    not_ready_error = ProviderError
+    not_ready_message = "the service provider has not received a dataset yet"
+
     def __init__(
         self,
         num_shards: int,
@@ -230,69 +233,27 @@ class ShardedServiceProvider:
         attack: Optional[AttackModel] = None,
         index_fill_factor: float = 1.0,
     ):
-        self._map = ShardMap(num_shards)
-        self._shards = [
-            ServiceProvider(
+        self._init_fleet(
+            num_shards,
+            lambda: ServiceProvider(
                 backend=backend,
                 page_size=page_size,
                 node_access_ms=node_access_ms,
                 attack=None,
                 index_fill_factor=index_fill_factor,
-            )
-            for _ in range(num_shards)
-        ]
+            ),
+        )
         self._backend = backend
         if attack is not None:
             self.attack = attack
 
     # ------------------------------------------------------------------ configuration
     @property
-    def num_shards(self) -> int:
-        """Number of shards in the fleet."""
-        return len(self._shards)
-
-    @property
     def backend(self) -> str:
         """Either ``"heap"`` or ``"sqlite"`` (uniform across the fleet)."""
         return self._backend
 
-    @property
-    def router(self) -> ShardRouter:
-        """The key router (available once a dataset was received)."""
-        if not self._map.ready:
-            raise ProviderError("the service provider has not received a dataset yet")
-        return self._map.require_router()
-
-    def shard(self, shard_id: int) -> ServiceProvider:
-        """The underlying single-shard provider with id ``shard_id``."""
-        return self._shards[shard_id]
-
-    @property
-    def attack(self) -> AttackModel:
-        """The fleet-wide attack (of shard 0; shards may diverge via
-        :meth:`set_shard_attack`)."""
-        return self._shards[0].attack
-
-    @attack.setter
-    def attack(self, value: Optional[AttackModel]) -> None:
-        for shard in self._shards:
-            shard.attack = value
-
-    def set_shard_attack(self, shard_id: int, value: Optional[AttackModel]) -> None:
-        """Corrupt a single shard (the others keep their behaviour)."""
-        self._shards[shard_id].attack = value
-
-    @property
-    def is_honest(self) -> bool:
-        """True when no shard misbehaves."""
-        return all(shard.is_honest for shard in self._shards)
-
     # ------------------------------------------------------------------ data management
-    def receive_dataset(self, dataset: Dataset) -> None:
-        """Partition the outsourced relation and load each shard's DBMS."""
-        for shard, sub_dataset in zip(self._shards, self._map.install(dataset)):
-            shard.receive_dataset(sub_dataset)
-
     def apply_updates(self, batch: UpdateBatch) -> None:
         """Route each operation of an update batch to its owning shard."""
         if not self._map.ready:
@@ -357,10 +318,6 @@ class ShardedServiceProvider:
     def num_records(self) -> int:
         """Number of records across the fleet."""
         return sum(shard.num_records for shard in self._shards)
-
-    def storage_bytes(self) -> int:
-        """Total storage footprint across the fleet."""
-        return sum(shard.storage_bytes() for shard in self._shards)
 
     def records_per_shard(self) -> List[int]:
         """Record counts by shard (balance diagnostics; empty shards show 0)."""

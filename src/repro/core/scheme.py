@@ -1,0 +1,336 @@
+"""The scheme layer: one interface over SAE and TOM, plus the orchestrator.
+
+The paper is a head-to-head between two authentication schemes for
+outsourced databases -- SAE (the contribution: a service provider running a
+conventional DBMS plus a trusted entity answering with constant-size XOR
+tokens) and TOM (the baseline: a Merkle B+-tree at the SP and per-query
+verification objects).  This module gives both the *same* shape so that
+every consumer -- the CLI, the load driver, the shard-scaling sweep, the
+benchmark gate, the head-to-head experiment -- works against either scheme
+generically:
+
+* :class:`AuthScheme` -- the abstract interface: ``setup``, per-request
+  ``query``/``query_many`` (every request threads its own
+  :class:`~repro.core.pipeline.ExecutionContext` and yields an outcome
+  carrying an immutable :class:`~repro.core.pipeline.QueryReceipt`),
+  ``apply_updates`` and ``storage_report``;
+* the **scheme registry** -- :func:`register_scheme` /
+  :func:`available_schemes` / :func:`scheme_class`, so new schemes plug in
+  by name (``--scheme sae``, ``--scheme tom`` on the CLI);
+* :class:`OutsourcedDB` -- the single deployment orchestrator: pick a
+  scheme by name, forward only the constructor parameters that scheme
+  understands (shared CLI flags like ``--key-bits`` are meaningful to TOM
+  and silently irrelevant to SAE), and delegate the whole query/update
+  lifecycle.
+
+Both schemes honour the same degenerate-range contract: a reversed range
+(``low > high``) is answered locally with an **empty verified result and a
+zero-cost receipt** instead of scheme-divergent errors, which
+``tests/unit/test_scheme_registry.py`` pins as a parity property.
+"""
+
+from __future__ import annotations
+
+import abc
+import inspect
+import os
+import threading
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.core.dataset import Dataset
+from repro.core.updates import UpdateBatch
+
+
+class SchemeError(ValueError):
+    """Raised for unknown scheme names or invalid orchestrator arguments."""
+
+
+def is_reversed_range(low: Any, high: Any) -> bool:
+    """Whether the bounds form a degenerate (empty) reversed range.
+
+    ``None`` bounds are not reversed -- they fall through to the scheme's
+    normal validation, which rejects them.
+    """
+    return low is not None and high is not None and low > high
+
+
+def _shutdown_pool(executor: ThreadPoolExecutor) -> None:
+    executor.shutdown(wait=False, cancel_futures=True)
+
+
+class AuthScheme(abc.ABC):
+    """The common interface of an authentication scheme deployment.
+
+    A scheme wires its parties (data owner, service provider(s), and -- for
+    SAE -- the trusted entity) over byte-counting channels and exposes the
+    verified-query lifecycle.  Implementations must be re-entrant: any
+    number of queries may be in flight concurrently, each carrying its own
+    :class:`~repro.core.pipeline.ExecutionContext`, and update batches must
+    be atomic with respect to in-flight queries.
+
+    The base class owns the lazily created dispatch thread pool both
+    built-in schemes scatter their party legs on: call
+    :meth:`_init_dispatch` from the constructor, :meth:`_pool` where legs
+    are submitted, and the inherited :meth:`close` (or the context-manager
+    protocol) to shut the pool down.
+    """
+
+    #: Registry key of the scheme (e.g. ``"sae"``); set by subclasses.
+    scheme_name: str = ""
+
+    # ------------------------------------------------------------------ lifecycle
+    @abc.abstractmethod
+    def setup(self) -> "AuthScheme":
+        """Run the outsourcing phase; returns ``self`` for chaining."""
+
+    def _init_dispatch(self, max_workers: Optional[int] = None) -> None:
+        """Prepare the (lazily created) leg-dispatch thread pool."""
+        # Same number feeds the executor and the batch chunking, so a
+        # query_many batch always produces one SP slice per pool worker.
+        self._num_workers = max_workers or min(32, (os.cpu_count() or 1) + 4)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+        self._finalizer: Optional[weakref.finalize] = None
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._num_workers,
+                    thread_name_prefix=f"{self.scheme_name}-dispatch",
+                )
+                self._finalizer = weakref.finalize(self, _shutdown_pool, self._executor)
+            return self._executor
+
+    def close(self) -> None:
+        """Shut down the dispatch thread pool (idempotent)."""
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "AuthScheme":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ queries
+    @abc.abstractmethod
+    def query(self, low: Any, high: Any, verify: bool = True):
+        """Issue one verified range query and return its outcome.
+
+        The outcome must expose ``verified``, ``records``, ``cardinality``
+        and a :class:`~repro.core.pipeline.QueryReceipt` on ``receipt``.  A
+        reversed range (``low > high``) returns an empty verified result
+        with a zero-cost receipt.
+        """
+
+    @abc.abstractmethod
+    def query_many(self, bounds: Sequence[Tuple[Any, Any]], verify: bool = True) -> List:
+        """Issue a batch of range queries; one outcome per query, in order."""
+
+    @abc.abstractmethod
+    def _empty_outcome(self, low: Any, high: Any, verify: bool):
+        """The scheme's empty verified (or skipped) outcome for a reversed
+        range: zero-cost receipt, no records, the requested bounds kept."""
+
+    def _weave_reversed(self, bounds: Sequence[Tuple[Any, Any]], verify: bool, serve_valid):
+        """Answer reversed ranges locally; serve the rest, all in position.
+
+        The shared half of the degenerate-range contract: reversed bounds
+        never reach a serving party, their outcomes come from
+        :meth:`_empty_outcome`, and valid queries keep their batch order.
+        ``serve_valid`` receives only the valid bound pairs.
+        """
+        empty_positions = {
+            position
+            for position, (low, high) in enumerate(bounds)
+            if is_reversed_range(low, high)
+        }
+        if not empty_positions:
+            return serve_valid(list(bounds))
+        valid = [
+            pair for position, pair in enumerate(bounds)
+            if position not in empty_positions
+        ]
+        served = iter(serve_valid(valid) if valid else ())
+        return [
+            self._empty_outcome(low, high, verify)
+            if position in empty_positions
+            else next(served)
+            for position, (low, high) in enumerate(bounds)
+        ]
+
+    # ------------------------------------------------------------------ updates & reporting
+    @abc.abstractmethod
+    def apply_updates(self, batch: UpdateBatch) -> None:
+        """Propagate an update batch from the DO to every serving party."""
+
+    @abc.abstractmethod
+    def storage_report(self) -> dict:
+        """Storage footprint of every party (bytes)."""
+
+    @property
+    @abc.abstractmethod
+    def num_shards(self) -> int:
+        """Number of shards in this deployment (1 = unsharded)."""
+
+
+# ---------------------------------------------------------------------- registry
+_REGISTRY: Dict[str, Type[AuthScheme]] = {}
+
+
+def register_scheme(cls: Type[AuthScheme]) -> Type[AuthScheme]:
+    """Class decorator: register ``cls`` under its ``scheme_name``."""
+    name = getattr(cls, "scheme_name", "")
+    if not name:
+        raise SchemeError(f"{cls.__name__} must define a non-empty scheme_name")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def _ensure_builtin_schemes() -> None:
+    """Import the built-in scheme modules so their registrations run.
+
+    Deferred to first use to keep this module import-cycle free: the scheme
+    implementations import the registry from here.
+    """
+    import repro.core.protocol  # noqa: F401  (registers "sae")
+    import repro.tom.scheme  # noqa: F401  (registers "tom")
+
+
+def available_schemes() -> List[str]:
+    """Names of every registered scheme, sorted."""
+    _ensure_builtin_schemes()
+    return sorted(_REGISTRY)
+
+
+def scheme_class(name: str) -> Type[AuthScheme]:
+    """The scheme class registered under ``name`` (:class:`SchemeError` otherwise)."""
+    _ensure_builtin_schemes()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SchemeError(
+            f"unknown scheme {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def _constructor_params(cls: Type[AuthScheme]) -> set:
+    """Keyword parameters accepted by ``cls.__init__`` (minus self/dataset)."""
+    parameters = inspect.signature(cls.__init__).parameters
+    return {name for name in parameters if name not in ("self", "dataset")}
+
+
+class OutsourcedDB:
+    """One outsourced-database deployment behind a scheme-agnostic facade.
+
+    ``OutsourcedDB(dataset, scheme="tom", shards=4, key_bits=512)`` resolves
+    the scheme by name through the registry, forwards only the constructor
+    parameters that scheme accepts (so shared CLI flags can be passed
+    uniformly -- ``key_bits`` configures TOM's RSA signer and is simply not
+    a concept SAE has), and delegates the whole lifecycle.  Parameters no
+    registered scheme understands raise :class:`SchemeError` -- a typo must
+    not be silently swallowed.
+
+    A ready-made :class:`AuthScheme` instance may be passed instead of a
+    name, in which case no construction happens and extra keyword arguments
+    are rejected.
+    """
+
+    def __init__(self, dataset: Dataset, scheme: Any = "sae", **kwargs: Any):
+        if isinstance(scheme, AuthScheme):
+            if kwargs:
+                raise SchemeError(
+                    "keyword arguments cannot be combined with a ready-made "
+                    f"scheme instance: {sorted(kwargs)}"
+                )
+            self._system = scheme
+        else:
+            cls = scheme if isinstance(scheme, type) else scheme_class(scheme)
+            accepted = _constructor_params(cls)
+            # A parameter is legitimate when the chosen class accepts it
+            # (covers unregistered classes passed directly) or any registered
+            # scheme does (covers shared CLI flags like key_bits under SAE).
+            known = set(accepted)
+            for registered in _REGISTRY.values():
+                known |= _constructor_params(registered)
+            unknown = sorted(set(kwargs) - known)
+            if unknown:
+                raise SchemeError(
+                    f"parameter(s) {', '.join(unknown)} are not understood by "
+                    f"{cls.__name__} or any registered scheme"
+                )
+            self._system = cls(
+                dataset, **{key: value for key, value in kwargs.items() if key in accepted}
+            )
+
+    # ------------------------------------------------------------------ meta
+    @property
+    def system(self) -> AuthScheme:
+        """The underlying scheme deployment."""
+        return self._system
+
+    @property
+    def scheme_name(self) -> str:
+        """Registry name of the deployed scheme."""
+        return self._system.scheme_name
+
+    @property
+    def dataset(self) -> Dataset:
+        """The data owner's authoritative dataset."""
+        return self._system.dataset
+
+    @property
+    def provider(self):
+        """The (possibly sharded) service provider -- attack injection point."""
+        return self._system.provider
+
+    @property
+    def network(self):
+        """The byte-accounting network tracker."""
+        return self._system.network
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards in the deployment (1 = unsharded)."""
+        return self._system.num_shards
+
+    # ------------------------------------------------------------------ lifecycle
+    def setup(self) -> "OutsourcedDB":
+        """Run the scheme's outsourcing phase; returns ``self`` for chaining."""
+        self._system.setup()
+        return self
+
+    def close(self) -> None:
+        """Shut down the scheme's dispatch resources (idempotent)."""
+        self._system.close()
+
+    def __enter__(self) -> "OutsourcedDB":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ delegation
+    def query(self, low: Any, high: Any, verify: bool = True):
+        """Issue one verified range query through the deployed scheme."""
+        return self._system.query(low, high, verify=verify)
+
+    def query_many(self, bounds: Sequence[Tuple[Any, Any]], verify: bool = True) -> List:
+        """Issue a batch of range queries; one outcome per query, in order."""
+        return self._system.query_many(bounds, verify=verify)
+
+    def apply_updates(self, batch: UpdateBatch) -> None:
+        """Propagate an update batch from the DO to every serving party."""
+        self._system.apply_updates(batch)
+
+    def storage_report(self) -> dict:
+        """Storage footprint of every party (bytes)."""
+        return self._system.storage_report()

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.dataset import Dataset
 from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
@@ -286,3 +286,74 @@ class ShardMap:
         if self.router is None:
             raise ShardingError("no dataset has been installed yet")
         return self.router
+
+
+class ShardedFleet:
+    """Shared plumbing of a fleet of single-shard parties behind one facade.
+
+    Every sharded party -- SAE's SP and TE fleets, TOM's SP fleet -- owns a
+    :class:`ShardMap` plus one single-shard party per shard and exposes the
+    same surface over them (shard lookup, router access, dataset
+    partitioning, storage roll-up).  Keeping that surface here means the
+    fleets cannot drift apart; subclasses call :meth:`_init_fleet` from
+    their constructor and add only their party-specific operations.
+    """
+
+    #: Exception type raised when the fleet is used before a dataset arrives.
+    not_ready_error: type = ShardingError
+    #: Message of that exception (matches the single-shard party's wording).
+    not_ready_message: str = "no dataset has been received yet"
+
+    def _init_fleet(self, num_shards: int, shard_factory: Callable[[], Any]) -> None:
+        """Create the shard map and one single-shard party per shard."""
+        self._map = ShardMap(num_shards)
+        self._shards = [shard_factory() for _ in range(num_shards)]
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards in the fleet."""
+        return len(self._shards)
+
+    def shard(self, shard_id: int) -> Any:
+        """The underlying single-shard party with id ``shard_id``."""
+        return self._shards[shard_id]
+
+    @property
+    def router(self) -> ShardRouter:
+        """The key router (available once a dataset was received)."""
+        if not self._map.ready:
+            raise self.not_ready_error(self.not_ready_message)
+        return self._map.require_router()
+
+    def receive_dataset(self, dataset: Dataset) -> None:
+        """Partition the relation and load every shard's party."""
+        for shard, sub_dataset in zip(self._shards, self._map.install(dataset)):
+            shard.receive_dataset(sub_dataset)
+
+    def storage_bytes(self) -> int:
+        """Total storage footprint across the fleet."""
+        return sum(shard.storage_bytes() for shard in self._shards)
+
+
+class AttackableFleet(ShardedFleet):
+    """A fleet whose shards may individually misbehave (service providers)."""
+
+    @property
+    def attack(self):
+        """The fleet-wide attack (of shard 0; shards may diverge via
+        :meth:`set_shard_attack`)."""
+        return self._shards[0].attack
+
+    @attack.setter
+    def attack(self, value) -> None:
+        for shard in self._shards:
+            shard.attack = value
+
+    def set_shard_attack(self, shard_id: int, value) -> None:
+        """Corrupt a single shard (the others keep their behaviour)."""
+        self._shards[shard_id].attack = value
+
+    @property
+    def is_honest(self) -> bool:
+        """True when no shard misbehaves."""
+        return all(shard.is_honest for shard in self._shards)

@@ -14,7 +14,7 @@ from typing import Any, Iterable, List, Optional, Sequence
 
 from repro.core.dataset import Dataset
 from repro.core.pipeline import CostReceipt, ExecutionContext, ZERO_RECEIPT, deprecated_accessor
-from repro.core.sharding import ShardMap, ShardRouter
+from repro.core.sharding import ShardedFleet
 from repro.core.tuples import TETuple, digest_record, make_te_tuples
 from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
 from repro.crypto.digest import Digest, DigestScheme, default_scheme
@@ -260,7 +260,7 @@ class TrustedEntity:
         return pages * self._page_size
 
 
-class ShardedTrustedEntity:
+class ShardedTrustedEntity(ShardedFleet):
     """One :class:`TrustedEntity` slice per shard behind the TE interface.
 
     Each shard keeps its own XB-tree over the tuples whose keys fall in the
@@ -274,6 +274,9 @@ class ShardedTrustedEntity:
     deployment.  Receipts merged onto a context are the sums of the legs.
     """
 
+    not_ready_error = TrustedEntityError
+    not_ready_message = "the trusted entity has not received a dataset yet"
+
     def __init__(
         self,
         num_shards: int,
@@ -282,39 +285,22 @@ class ShardedTrustedEntity:
         node_access_ms: Optional[float] = None,
         use_index: bool = True,
     ):
-        self._map = ShardMap(num_shards)
         self._scheme = scheme or default_scheme()
-        self._shards = [
-            TrustedEntity(
+        self._init_fleet(
+            num_shards,
+            lambda: TrustedEntity(
                 scheme=self._scheme,
                 page_size=page_size,
                 node_access_ms=node_access_ms,
                 use_index=use_index,
-            )
-            for _ in range(num_shards)
-        ]
+            ),
+        )
 
     # ------------------------------------------------------------------ meta
     @property
     def scheme(self) -> DigestScheme:
         """Digest scheme shared by every shard slice."""
         return self._scheme
-
-    @property
-    def num_shards(self) -> int:
-        """Number of TE slices."""
-        return len(self._shards)
-
-    @property
-    def router(self) -> ShardRouter:
-        """The key router (available once a dataset was received)."""
-        if not self._map.ready:
-            raise TrustedEntityError("the trusted entity has not received a dataset yet")
-        return self._map.require_router()
-
-    def shard(self, shard_id: int) -> TrustedEntity:
-        """The TE slice with id ``shard_id``."""
-        return self._shards[shard_id]
 
     @property
     def num_tuples(self) -> int:
@@ -327,11 +313,6 @@ class ShardedTrustedEntity:
         return [t for shard in self._shards for t in shard.tuples]
 
     # ------------------------------------------------------------------ data management
-    def receive_dataset(self, dataset: Dataset) -> None:
-        """Derive the router, split ``T`` and index each slice's XB-tree."""
-        for shard, sub_dataset in zip(self._shards, self._map.install(dataset)):
-            shard.receive_dataset(sub_dataset)
-
     def apply_updates(self, batch: UpdateBatch, dataset_schema=None) -> None:
         """Route each operation to the slice owning the record."""
         if not self._map.ready:
@@ -409,10 +390,6 @@ class ShardedTrustedEntity:
         return tokens
 
     # ------------------------------------------------------------------ reporting
-    def storage_bytes(self) -> int:
-        """Total TE storage footprint across the slices."""
-        return sum(shard.storage_bytes() for shard in self._shards)
-
     def tuples_per_shard(self) -> List[int]:
         """Tuple counts by slice (balance diagnostics)."""
         return [shard.num_tuples for shard in self._shards]

@@ -30,6 +30,26 @@ class RangeQuery:
         if self.low > self.high:
             raise QueryError(f"lower bound {self.low!r} exceeds upper bound {self.high!r}")
 
+    @classmethod
+    def degenerate(cls, low: Any, high: Any, attribute: str = "key") -> "RangeQuery":
+        """An explicitly-empty query (``low > high``) that bypasses validation.
+
+        Direct construction of a reversed range raises :class:`QueryError`;
+        the scheme layer instead answers such requests with an empty verified
+        result and a zero-cost receipt, and this constructor lets the receipt
+        still carry the bounds the client actually asked for.
+        """
+        query = object.__new__(cls)
+        object.__setattr__(query, "low", low)
+        object.__setattr__(query, "high", high)
+        object.__setattr__(query, "attribute", attribute)
+        return query
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff no value can satisfy the query (reversed bounds)."""
+        return self.low > self.high
+
     @property
     def extent(self) -> Any:
         """Width of the interval (``high - low``)."""

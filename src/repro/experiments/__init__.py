@@ -11,7 +11,11 @@ One module per figure:
 * :mod:`repro.experiments.ablations` -- additional studies (XB-tree vs
   sequential scan at the TE, page-size sweep, digest-scheme sweep);
 * :mod:`repro.experiments.scaling` -- shard-count sweep of the scatter-
-  gather deployment (beyond the paper: the horizontal-scaling axis);
+  gather deployment, for either scheme (beyond the paper: the
+  horizontal-scaling axis);
+* :mod:`repro.experiments.head_to_head` -- the paper's SAE-vs-TOM
+  comparison (query cost, VT vs VO bytes, update cost vs selectivity)
+  rerun through the unified scheme layer;
 * :mod:`repro.experiments.benchgate` -- the CI benchmark regression gate
   (writes ``BENCH_*.json``, compares against ``benchmarks/baseline.json``).
 
@@ -37,6 +41,15 @@ from repro.experiments.scaling import (
     run_scaling,
     scaling_rows,
 )
+from repro.experiments.head_to_head import (
+    HeadToHeadPoint,
+    HeadToHeadResult,
+    UpdateCostPoint,
+    format_head_to_head,
+    format_update_costs,
+    head_to_head_rows,
+    run_head_to_head,
+)
 from repro.experiments.throughput import (
     LoadReport,
     format_load_reports,
@@ -44,6 +57,13 @@ from repro.experiments.throughput import (
 )
 
 __all__ = [
+    "HeadToHeadPoint",
+    "HeadToHeadResult",
+    "UpdateCostPoint",
+    "format_head_to_head",
+    "format_update_costs",
+    "head_to_head_rows",
+    "run_head_to_head",
     "LoadReport",
     "ScalingPoint",
     "format_load_reports",

@@ -2,14 +2,15 @@
 
 The ``bench-smoke`` CI job calls :func:`run_smoke`, which
 
-1. replays a quick throughput workload through the load driver and a quick
-   shard-scaling sweep,
-2. writes the measurements to ``BENCH_throughput.json`` and
-   ``BENCH_scaling.json`` (machine-readable qps + latency percentiles, one
-   metric per key), and
+1. replays a quick throughput workload through the load driver (for both
+   registered schemes), a quick shard-scaling sweep and the SAE-vs-TOM
+   head-to-head comparison,
+2. writes the measurements to ``BENCH_throughput.json``,
+   ``BENCH_scaling.json`` and ``BENCH_head_to_head.json``
+   (machine-readable qps + latency percentiles, one metric per key), and
 3. compares every **gated** metric against the committed
    ``benchmarks/baseline.json`` and fails on a regression beyond the
-   tolerance (20 % by default).
+   tolerance (20 % by default) -- in *either* scheme.
 
 Gated metrics are *deterministic*: they come from the paper's simulated-I/O
 cost model (node accesses x 10 ms), not from wall-clock time, so the gate
@@ -28,11 +29,15 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from repro.core import SAESystem
+from repro.core import OutsourcedDB
+from repro.experiments.head_to_head import run_head_to_head
 from repro.experiments.scaling import model_response_ms, run_scaling
 from repro.experiments.throughput import run_load
 from repro.workloads import build_dataset
 from repro.workloads.queries import RangeQueryWorkload
+
+#: BENCH documents produced (and reused) by the smoke suite.
+BENCH_FILES = ("BENCH_throughput.json", "BENCH_scaling.json", "BENCH_head_to_head.json")
 
 #: Relative regression allowed on gated metrics before the gate fails.
 GATE_TOLERANCE = 0.20
@@ -141,55 +146,145 @@ def compare_to_baseline(
 
 # ---------------------------------------------------------------------- smoke
 def _throughput_metrics() -> List[GateMetric]:
-    """Quick load-driver pass: wall qps/p95 (recorded) + model costs (gated)."""
+    """Quick load-driver pass: wall qps/p95 (recorded) + model costs (gated).
+
+    SAE keeps its historical unprefixed metric names
+    (``throughput.<mode>.*``); the TOM deployment is driven through the
+    same load driver and gated under ``throughput.tom.<mode>.*``, so a
+    regression in the baseline scheme trips CI just like one in SAE.
+    """
     dataset = build_dataset(2_000, record_size=128, seed=7)
     workload = RangeQueryWorkload(
         count=60, seed=8, attribute=dataset.schema.key_column
     )
     bounds = [(query.low, query.high) for query in workload]
     metrics: List[GateMetric] = []
-    for mode in ("per-query", "batched"):
-        system = SAESystem(dataset).setup()
-        with system:
-            report = run_load(system, bounds, num_clients=4, mode=mode)
-        outcomes = report.outcomes
-        mean_response = sum(
-            model_response_ms(outcome) for outcome in outcomes
-        ) / len(outcomes)
+    for scheme, prefix in (("sae", "throughput"), ("tom", "throughput.tom")):
+        for mode in ("per-query", "batched"):
+            system = OutsourcedDB(dataset, scheme=scheme, key_bits=512, seed=7).setup()
+            with system:
+                report = run_load(system, bounds, num_clients=4, mode=mode)
+            if not report.receipts_consistent:
+                raise RuntimeError(
+                    f"{scheme}/{mode} load pass: merged receipts != sum of shard legs"
+                )
+            outcomes = report.outcomes
+            mean_response = sum(
+                model_response_ms(outcome) for outcome in outcomes
+            ) / len(outcomes)
+            metrics.extend(
+                [
+                    GateMetric(
+                        name=f"{prefix}.{mode}.wall_qps",
+                        value=round(report.throughput_qps, 2),
+                        unit="qps",
+                    ),
+                    GateMetric(
+                        name=f"{prefix}.{mode}.wall_p95_ms",
+                        value=round(report.latency_p95_ms, 3),
+                        unit="ms",
+                        higher_is_better=False,
+                    ),
+                    GateMetric(
+                        name=f"{prefix}.{mode}.model_qps",
+                        value=round(1000.0 / mean_response, 6),
+                        unit="qps",
+                        gate=True,
+                    ),
+                    GateMetric(
+                        name=f"{prefix}.{mode}.mean_sp_accesses",
+                        value=report.total_sp_accesses / len(outcomes),
+                        unit="accesses",
+                        gate=True,
+                        higher_is_better=False,
+                    ),
+                    GateMetric(
+                        name=f"{prefix}.{mode}.mean_auth_bytes",
+                        value=sum(outcome.auth_bytes for outcome in outcomes) / len(outcomes),
+                        unit="bytes",
+                        gate=True,
+                        higher_is_better=False,
+                    ),
+                ]
+            )
+    return metrics
+
+
+def _head_to_head_metrics() -> List[GateMetric]:
+    """The SAE-vs-TOM comparison: deterministic cost axes, gated per scheme."""
+    result = run_head_to_head(
+        cardinality=2_000,
+        selectivities=(0.005, 0.05),
+        num_queries=15,
+        record_size=128,
+        key_bits=512,
+        num_update_ops=30,
+    )
+    metrics: List[GateMetric] = []
+    for point in result.points:
+        if not point.all_verified:
+            raise RuntimeError(
+                f"head-to-head: {point.scheme} failed verification at "
+                f"selectivity {point.selectivity}"
+            )
+        label = f"head_to_head.sel{point.selectivity:g}.{point.scheme}"
         metrics.extend(
             [
                 GateMetric(
-                    name=f"throughput.{mode}.wall_qps",
-                    value=round(report.throughput_qps, 2),
-                    unit="qps",
-                ),
-                GateMetric(
-                    name=f"throughput.{mode}.wall_p95_ms",
-                    value=round(report.latency_p95_ms, 3),
-                    unit="ms",
-                    higher_is_better=False,
-                ),
-                GateMetric(
-                    name=f"throughput.{mode}.model_qps",
-                    value=round(1000.0 / mean_response, 6),
-                    unit="qps",
-                    gate=True,
-                ),
-                GateMetric(
-                    name=f"throughput.{mode}.mean_sp_accesses",
-                    value=report.total_sp_accesses / len(outcomes),
+                    name=f"{label}.mean_sp_accesses",
+                    value=round(point.mean_sp_accesses, 4),
                     unit="accesses",
                     gate=True,
                     higher_is_better=False,
                 ),
                 GateMetric(
-                    name=f"throughput.{mode}.mean_auth_bytes",
-                    value=sum(outcome.auth_bytes for outcome in outcomes) / len(outcomes),
+                    name=f"{label}.mean_auth_bytes",
+                    value=round(point.mean_auth_bytes, 4),
                     unit="bytes",
                     gate=True,
                     higher_is_better=False,
                 ),
+                GateMetric(
+                    name=f"{label}.model_qps",
+                    value=round(point.model_qps, 6),
+                    unit="qps",
+                    gate=True,
+                ),
+                GateMetric(
+                    name=f"{label}.wall_client_ms",
+                    value=round(point.mean_client_cpu_ms, 4),
+                    unit="ms",
+                    higher_is_better=False,
+                ),
             ]
+        )
+    by_scheme = {point.scheme: point for point in result.update_points}
+    for scheme, point in sorted(by_scheme.items()):
+        if not point.all_verified_after:
+            raise RuntimeError(f"head-to-head: {scheme} failed verification after updates")
+        metrics.append(
+            GateMetric(
+                name=f"head_to_head.update.{scheme}.accesses_per_op",
+                value=round(point.accesses_per_op, 4),
+                unit="accesses",
+                gate=True,
+                higher_is_better=False,
+            )
+        )
+    sae_auth = {p.selectivity: p.mean_auth_bytes for p in result.points if p.scheme == "sae"}
+    tom_auth = {p.selectivity: p.mean_auth_bytes for p in result.points if p.scheme == "tom"}
+    shared = sorted(set(sae_auth) & set(tom_auth))
+    if shared and all(sae_auth[s] > 0 for s in shared):
+        # The paper's headline: VO bytes dwarf the constant-size VT.  Gate
+        # the ratio from below so the comparative claim itself is protected.
+        ratio = sum(tom_auth[s] / sae_auth[s] for s in shared) / len(shared)
+        metrics.append(
+            GateMetric(
+                name="head_to_head.auth_ratio_tom_over_sae",
+                value=round(ratio, 4),
+                unit="x",
+                gate=True,
+            )
         )
     return metrics
 
@@ -257,6 +352,9 @@ def collect_current_metrics() -> Dict[str, dict]:
         "BENCH_scaling.json": metrics_document(
             _scaling_metrics(), meta={"suite": "scaling", "scale": "quick"}
         ),
+        "BENCH_head_to_head.json": metrics_document(
+            _head_to_head_metrics(), meta={"suite": "head_to_head", "scale": "quick"}
+        ),
     }
 
 
@@ -280,7 +378,7 @@ def run_smoke(
     out_dir.mkdir(parents=True, exist_ok=True)
     if reuse_dir is not None:
         documents = {}
-        for name in ("BENCH_throughput.json", "BENCH_scaling.json"):
+        for name in BENCH_FILES:
             source = Path(reuse_dir) / name
             if not source.exists():
                 print(f"error: --reuse given but {source} does not exist")

@@ -25,7 +25,7 @@ from typing import Dict, Optional, Tuple
 from repro.core.protocol import SAESystem
 from repro.crypto.digest import get_scheme
 from repro.experiments.config import ExperimentConfig
-from repro.tom.entities import TomSystem
+from repro.tom.scheme import TomSystem
 from repro.workloads.datasets import build_dataset
 from repro.workloads.queries import RangeQueryWorkload
 

@@ -3,8 +3,11 @@
 Separating authentication (TE) from execution (SP) lets the execution tier
 scale horizontally: the relation is range-partitioned across ``N`` shards
 and every range query touches only the shards its range overlaps, as
-independent parallel legs.  This module sweeps the shard count (1/2/4/8 by
-default) over a fixed workload and reports, per point:
+independent parallel legs.  Since the scheme layer unified SAE and TOM the
+sweep runs against either (``scheme="sae"`` / ``"tom"``): TOM shards carry
+one MB-tree each, so the same sweep quantifies how much of the paper's
+baseline cost the fleet can parallelise away.  This module sweeps the shard
+count (1/2/4/8 by default) over a fixed workload and reports, per point:
 
 * ``qps_model`` -- throughput of one closed-loop client under the paper's
   cost model (10 ms of simulated I/O per node access): each query's
@@ -31,8 +34,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
-from repro.core import DropAttack, InjectAttack, ModifyAttack, SAESystem
-from repro.core.protocol import QueryOutcome
+from repro.core import DropAttack, InjectAttack, ModifyAttack, OutsourcedDB
+from repro.core.scheme import AuthScheme
 from repro.metrics.reporting import format_table
 from repro.workloads import build_dataset
 from repro.workloads.queries import RangeQueryWorkload
@@ -56,10 +59,12 @@ class ScalingPoint:
     mean_te_accesses: float
     receipts_consistent: bool
     tampers_detected: bool
+    scheme: str = "sae"
 
     def as_row(self) -> List[Any]:
         """One table row (pairs with :func:`format_scaling`)."""
         return [
+            self.scheme,
             self.records,
             self.shards,
             f"{self.qps_model:.4f}",
@@ -76,6 +81,7 @@ class ScalingPoint:
 def format_scaling(points: Sequence[ScalingPoint], title: str = "shard scaling") -> str:
     """Render scaling points as an aligned table."""
     headers = [
+        "scheme",
         "records",
         "shards",
         "qps (model)",
@@ -90,7 +96,7 @@ def format_scaling(points: Sequence[ScalingPoint], title: str = "shard scaling")
     return format_table(headers, [point.as_row() for point in points], title=title)
 
 
-def model_response_ms(outcome: QueryOutcome) -> float:
+def model_response_ms(outcome: Any) -> float:
     """Deterministic cost-model response time of one query (no measured CPU).
 
     Parallel shard legs: the client waits for the slowest leg's simulated
@@ -106,32 +112,20 @@ def model_response_ms(outcome: QueryOutcome) -> float:
     return max(receipt.sp.io_cost_ms, receipt.te.io_cost_ms)
 
 
-def receipts_match_leg_sums(outcomes: Sequence[QueryOutcome]) -> bool:
+def receipts_match_leg_sums(outcomes: Sequence[Any]) -> bool:
     """Whether every merged receipt equals the sum of its shard legs.
 
     For unsharded outcomes (no legs) this is trivially true; for scattered
     ones it pins the tentpole invariant: scatter-gather must not change what
     the paper's cost model charges.
     """
-    for outcome in outcomes:
-        receipt = outcome.receipt
-        if receipt is None:
-            return False
-        if not receipt.legs:
-            continue
-        legs = receipt.legs
-        if receipt.sp.node_accesses != sum(leg.sp.node_accesses for leg in legs):
-            return False
-        if receipt.te.node_accesses != sum(leg.te.node_accesses for leg in legs):
-            return False
-        if receipt.auth_bytes != sum(leg.auth_bytes for leg in legs):
-            return False
-        if receipt.result_bytes != sum(leg.result_bytes for leg in legs):
-            return False
-    return True
+    return all(
+        outcome.receipt is not None and outcome.receipt.matches_leg_sums()
+        for outcome in outcomes
+    )
 
 
-def tampers_all_detected(system: SAESystem, low: Any, high: Any) -> bool:
+def tampers_all_detected(system: AuthScheme, low: Any, high: Any) -> bool:
     """Run the attack gallery against one (possibly sharded) deployment.
 
     Every attack is attached to a *single* shard (the middle one) when the
@@ -181,6 +175,8 @@ def run_scaling(
     seed: int = 7,
     check_tampers: bool = True,
     domain: Optional[Tuple[int, int]] = None,
+    scheme: str = "sae",
+    key_bits: int = 512,
 ) -> List[ScalingPoint]:
     """Sweep the shard count over one fixed workload.
 
@@ -219,14 +215,16 @@ def run_scaling(
     points: List[ScalingPoint] = []
     baseline_qps: Optional[float] = None
     for shards in shard_counts:
-        system = SAESystem(dataset, shards=shards).setup()
+        system = OutsourcedDB(
+            dataset, scheme=scheme, shards=shards, key_bits=key_bits, seed=seed
+        ).setup()
         with system:
             started = time.perf_counter()
             outcomes = system.query_many(bounds)
             wall_s = time.perf_counter() - started
             if not all(outcome.verified for outcome in outcomes):
                 raise RuntimeError(
-                    f"scaling sweep: {shards}-shard deployment failed verification"
+                    f"scaling sweep: {shards}-shard {scheme} deployment failed verification"
                 )
             response_times = [model_response_ms(outcome) for outcome in outcomes]
             mean_response = sum(response_times) / len(response_times)
@@ -240,6 +238,7 @@ def run_scaling(
             )
             points.append(
                 ScalingPoint(
+                    scheme=scheme,
                     records=cardinality,
                     shards=shards,
                     num_queries=len(bounds),
@@ -259,11 +258,13 @@ def run_scaling(
 def scaling_rows(
     scale: str = "default",
     shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    scheme: str = "sae",
 ) -> List[ScalingPoint]:
     """Preset-sized sweeps for the CLI (`--figure scaling`).
 
     ``quick`` runs in seconds (CI smoke); ``default`` is the 50k-record
-    acceptance workload; ``paper`` scales to 100k records.
+    acceptance workload; ``paper`` scales to 100k records.  ``scheme``
+    picks the deployment to sweep (any registered scheme name).
     """
     if scale == "quick":
         return run_scaling(
@@ -271,7 +272,8 @@ def scaling_rows(
             shard_counts=shard_counts,
             num_queries=25,
             record_size=128,
+            scheme=scheme,
         )
     if scale == "paper":
-        return run_scaling(cardinality=100_000, shard_counts=shard_counts)
-    return run_scaling(shard_counts=shard_counts)
+        return run_scaling(cardinality=100_000, shard_counts=shard_counts, scheme=scheme)
+    return run_scaling(shard_counts=shard_counts, scheme=scheme)

@@ -1,22 +1,26 @@
-"""Closed-loop multi-client load driver for the SAE query pipeline.
+"""Closed-loop multi-client load driver for the unified query pipeline.
 
 The paper's motivation for separating authentication from execution is
 keeping response time low under load; this module measures exactly that on
 the re-entrant pipeline.  ``N`` concurrent clients replay a
-:mod:`repro.workloads` query mix against one shared :class:`SAESystem`
-deployment in a closed loop (each client issues its next request as soon as
-the previous one completes) and the driver reports:
+:mod:`repro.workloads` query mix against one shared
+:class:`~repro.core.scheme.AuthScheme` deployment -- SAE or TOM, sharded or
+not -- in a closed loop (each client issues its next request as soon as the
+previous one completes) and the driver reports:
 
 * throughput (verified queries per second of wall-clock time),
 * latency percentiles (p50/p95/p99, through :mod:`repro.metrics`),
-* a correctness roll-up (every outcome's verification verdict).
+* a correctness roll-up (every outcome's verification verdict), and
+* the scatter-gather receipt invariant: every merged per-request
+  :class:`~repro.core.pipeline.QueryReceipt` must equal the sum of its
+  shard legs (:meth:`~repro.core.pipeline.QueryReceipt.matches_leg_sums`).
 
-Two dispatch modes are supported, mirroring :class:`SAESystem`:
+Two dispatch modes are supported, mirroring the scheme interface:
 
-* ``per-query`` -- every client calls :meth:`SAESystem.query`;
+* ``per-query`` -- every client calls :meth:`AuthScheme.query`;
 * ``batched`` -- every client drains a slice of the workload and calls
-  :meth:`SAESystem.query_many`, exercising the batched VT generation and
-  the shared verification caches.
+  :meth:`AuthScheme.query_many`, exercising the batched dispatch paths
+  (shared XB-tree walks for SAE, pooled SP legs for TOM).
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
 
-from repro.core.protocol import QueryOutcome, SAESystem
+from repro.core.scheme import AuthScheme
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.reporting import format_table
 
@@ -53,12 +57,15 @@ class LoadReport:
     total_sp_accesses: int
     total_te_accesses: int
     num_shards: int = 1
+    scheme: str = "sae"
+    receipts_consistent: bool = True
     collector: MetricsCollector = field(repr=False, default_factory=MetricsCollector)
-    outcomes: List[QueryOutcome] = field(repr=False, default_factory=list)
+    outcomes: List[Any] = field(repr=False, default_factory=list)
 
     def as_row(self) -> List[Any]:
         """One table row (pairs with :func:`format_load_reports`)."""
         return [
+            self.scheme,
             self.mode,
             self.num_clients,
             self.num_shards,
@@ -68,18 +75,19 @@ class LoadReport:
             self.latency_p95_ms,
             self.latency_p99_ms,
             "yes" if self.all_verified else "NO",
+            "yes" if self.receipts_consistent else "NO",
         ]
 
 
 def format_load_reports(reports: Sequence[LoadReport], title: str = "load driver") -> str:
     """Render load reports as an aligned table."""
-    headers = ["mode", "clients", "shards", "queries", "qps",
-               "p50 ms", "p95 ms", "p99 ms", "verified"]
+    headers = ["scheme", "mode", "clients", "shards", "queries", "qps",
+               "p50 ms", "p95 ms", "p99 ms", "verified", "receipts=sum(legs)"]
     return format_table(headers, [report.as_row() for report in reports], title=title)
 
 
 def run_load(
-    system: SAESystem,
+    system: AuthScheme,
     bounds: Sequence[Tuple[Any, Any]],
     num_clients: int = 4,
     mode: str = "per-query",
@@ -111,7 +119,7 @@ def run_load(
     for item in bounds:
         work.put(item)
 
-    outcomes_per_client: List[List[QueryOutcome]] = [[] for _ in range(num_clients)]
+    outcomes_per_client: List[List[Any]] = [[] for _ in range(num_clients)]
     errors: List[BaseException] = []
 
     def drain(limit: int) -> List[Tuple[Any, Any]]:
@@ -163,10 +171,16 @@ def run_load(
     outcomes = [outcome for sink in outcomes_per_client for outcome in sink]
     served = len(outcomes)
     failed = sum(1 for outcome in outcomes if verify and not outcome.verified)
+    consistent = all(
+        outcome.receipt is not None and outcome.receipt.matches_leg_sums()
+        for outcome in outcomes
+    )
     return LoadReport(
         mode=mode,
         num_clients=num_clients,
         num_shards=getattr(system, "num_shards", 1),
+        scheme=getattr(system, "scheme_name", "sae"),
+        receipts_consistent=consistent,
         num_queries=served,
         duration_s=duration_s,
         throughput_qps=served / duration_s if duration_s > 0 else 0.0,

@@ -16,7 +16,12 @@ This package implements the complete baseline:
   accounting (what Figure 5 charges);
 * :mod:`repro.tom.verification` -- client-side root-digest reconstruction,
   soundness and completeness checks;
-* :mod:`repro.tom.entities` -- the DO / SP / client roles wired together.
+* :mod:`repro.tom.entities` -- the DO, the (possibly sharded) SP and the
+  client roles;
+* :mod:`repro.tom.scheme` -- :class:`~repro.tom.scheme.TomScheme`, the
+  deployment facade implementing the unified
+  :class:`~repro.core.scheme.AuthScheme` interface (registered as
+  ``"tom"``); ``TomSystem`` is kept as a compatibility alias.
 """
 
 from repro.tom.mbtree import MBTree, MBTreeLayout
@@ -29,7 +34,13 @@ from repro.tom.vo import (
 )
 from repro.tom.vo_codec import serialize_vo, deserialize_vo
 from repro.tom.verification import VerificationReport, verify_vo
-from repro.tom.entities import TomDataOwner, TomServiceProvider, TomClient, TomSystem
+from repro.tom.entities import (
+    ShardedTomServiceProvider,
+    TomClient,
+    TomDataOwner,
+    TomServiceProvider,
+)
+from repro.tom.scheme import TomQueryOutcome, TomScheme, TomSystem, skipped_report
 
 __all__ = [
     "serialize_vo",
@@ -45,6 +56,10 @@ __all__ = [
     "verify_vo",
     "TomDataOwner",
     "TomServiceProvider",
+    "ShardedTomServiceProvider",
     "TomClient",
+    "TomQueryOutcome",
+    "TomScheme",
     "TomSystem",
+    "skipped_report",
 ]

@@ -1,20 +1,27 @@
-"""The TOM parties (data owner, service provider, client) and their façade.
+"""The TOM parties: data owner, (possibly sharded) service provider, client.
 
 TOM is the paper's baseline (Figure 1): the DO builds the MB-tree over its
 dataset and signs the root digest; the SP maintains an identical copy of the
 ADS and answers every query with the result *and* a verification object; the
 client reconstructs the root digest from the VO and checks the signature.
+
+The deployment facade lives in :mod:`repro.tom.scheme`
+(:class:`~repro.tom.scheme.TomScheme`), which wires these parties behind the
+same :class:`~repro.core.scheme.AuthScheme` interface SAE implements.  A
+range-sharded deployment uses :class:`ShardedTomServiceProvider` -- one
+MB-tree per shard, each root signed individually by the DO -- so the
+execution tier scales horizontally exactly like SAE's.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.attacks import AttackModel, NoAttack
 from repro.core.dataset import Dataset
 from repro.core.pipeline import CostReceipt, ExecutionContext, ZERO_RECEIPT, deprecated_accessor
+from repro.core.sharding import AttackableFleet
 from repro.core.tuples import digest_record
 from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
 from repro.crypto.digest import DigestScheme, default_scheme
@@ -22,13 +29,7 @@ from repro.crypto.signatures import RSASigner, RSAVerifier, Signature, make_rsa_
 from repro.dbms.query import RangeQuery
 from repro.dbms.table import Table
 from repro.network.channel import NetworkTracker
-from repro.network.messages import (
-    DatasetTransfer,
-    QueryRequest,
-    ResultResponse,
-    UpdateNotification,
-    VOResponse,
-)
+from repro.network.messages import DatasetTransfer, UpdateNotification
 from repro.storage.constants import DEFAULT_PAGE_SIZE
 from repro.storage.cost_model import AccessCounter, CostModel
 from repro.tom.mbtree import MBTree, MBTreeLayout
@@ -79,22 +80,32 @@ class TomDataOwner:
         """Byte-accounting network tracker."""
         return self._network
 
-    def outsource(self, provider: "TomServiceProvider") -> None:
-        """Ship the dataset and the signed root digest to the SP.
+    def outsource(self, provider: "TomProvider") -> None:
+        """Ship the dataset and the signed root digest(s) to the SP.
 
         Unlike in SAE, the DO must itself build (a copy of) the MB-tree in
         order to produce the root signature -- this is exactly the
         "defeating the purpose of outsourcing" drawback the paper points out.
+        In a sharded deployment every shard's MB-tree root is signed
+        individually, so each shard leg of a scattered query carries its own
+        independently checkable signature.
         """
         transfer = DatasetTransfer(records=list(self._dataset.records))
         self._network.channel(self._name, "SP").send(transfer)
         provider.receive_dataset(self._dataset)
-        signature = self._signer.sign(provider.ads.root_digest())
-        provider.install_signature(signature)
+        self._sign_slices(provider)
         self._provider = provider
 
+    def _sign_slices(self, provider: "TomProvider", shard_ids: Optional[Sequence[int]] = None) -> None:
+        """(Re-)sign the root digest of every (or the given) ADS slice."""
+        slices = provider.ads_slices()
+        targets = range(len(slices)) if shard_ids is None else shard_ids
+        for shard_id in targets:
+            ads = slices[shard_id]
+            ads.signature = self._signer.sign(ads.root_digest())
+
     def apply_updates(self, batch: UpdateBatch) -> None:
-        """Apply updates locally, forward them, and re-sign the new root digest."""
+        """Apply updates locally, forward them, and re-sign the changed roots."""
         if self._provider is None:
             raise TomError("outsource() must be called before applying updates")
         for operation in batch:
@@ -107,9 +118,8 @@ class TomDataOwner:
             else:
                 raise TomError(f"unknown update operation {operation!r}")
         self._network.channel(self._name, "SP").send(UpdateNotification(operations=list(batch)))
-        self._provider.apply_updates(batch)
-        signature = self._signer.sign(self._provider.ads.root_digest())
-        self._provider.install_signature(signature)
+        touched = self._provider.apply_updates(batch)
+        self._sign_slices(self._provider, touched)
 
 
 class TomServiceProvider:
@@ -159,6 +169,11 @@ class TomServiceProvider:
     def attack(self, value: Optional[AttackModel]) -> None:
         self._attack = value or NoAttack()
 
+    @property
+    def is_honest(self) -> bool:
+        """True when no attack is configured."""
+        return isinstance(self._attack, NoAttack)
+
     # ------------------------------------------------------------------ data management
     def receive_dataset(self, dataset: Dataset) -> None:
         """Store the dataset and build the MB-tree over it."""
@@ -187,8 +202,12 @@ class TomServiceProvider:
         """Attach the data owner's root signature to the ADS."""
         self.ads.signature = signature
 
-    def apply_updates(self, batch: UpdateBatch) -> None:
-        """Apply an update batch to the dataset storage and the ADS."""
+    def ads_slices(self) -> List[MBTree]:
+        """The ADS slice list (a single MB-tree for the unsharded provider)."""
+        return [self.ads]
+
+    def apply_updates(self, batch: UpdateBatch) -> List[int]:
+        """Apply an update batch; returns the ids of the touched ADS slices."""
         if self._table is None or self._ads is None or self._dataset is None:
             raise TomError("the service provider has not received a dataset yet")
         schema = self._dataset.schema
@@ -217,6 +236,7 @@ class TomServiceProvider:
                 )
             else:
                 raise TomError(f"unknown update operation {operation!r}")
+        return [0] if len(batch) else []
 
     # ------------------------------------------------------------------ queries
     def execute(
@@ -333,120 +353,92 @@ class TomClient:
         return report
 
 
-@dataclass
-class TomQueryOutcome:
-    """Everything measured for a single verified TOM query."""
+class ShardedTomServiceProvider(AttackableFleet):
+    """A fleet of :class:`TomServiceProvider` shards behind one SP interface.
 
-    query: RangeQuery
-    records: List[Tuple[Any, ...]]
-    report: VerificationReport
-    sp_accesses: int
-    sp_cost_ms: float
-    auth_bytes: int
-    result_bytes: int
-    client_cpu_ms: float
-    vo: VerificationObject
-    details: dict = field(default_factory=dict)
+    The relation is range-partitioned on the query attribute by the same
+    deterministic :class:`~repro.core.sharding.ShardRouter` the SAE parties
+    derive; each shard stores its slice in its own heap file + B+-tree *and*
+    maintains its own MB-tree, whose root the DO signs individually.  A
+    scattered query yields one (result, VO) pair per overlapping shard; the
+    client verifies every leg against its shard signature, which pinpoints
+    a tampering shard while the honest legs still verify.  Receipts merged
+    onto a context are the sums of the shard legs.
+    """
 
-    @property
-    def verified(self) -> bool:
-        """Whether the client accepted the result."""
-        return self.report.ok
-
-    @property
-    def cardinality(self) -> int:
-        """Number of records the SP returned."""
-        return len(self.records)
-
-
-class TomSystem:
-    """A complete TOM deployment (DO + SP + client)."""
+    not_ready_error = TomError
+    not_ready_message = "the service provider has not received a dataset yet"
 
     def __init__(
         self,
-        dataset: Dataset,
+        num_shards: int,
         scheme: Optional[DigestScheme] = None,
         page_size: int = DEFAULT_PAGE_SIZE,
         node_access_ms: Optional[float] = None,
         attack: Optional[AttackModel] = None,
-        key_bits: int = 1024,
-        seed: Optional[int] = 2009,
         index_fill_factor: float = 1.0,
     ):
         self._scheme = scheme or default_scheme()
-        self._network = NetworkTracker()
-        self._dataset = dataset
-        self.provider = TomServiceProvider(
-            scheme=self._scheme,
-            page_size=page_size,
-            node_access_ms=node_access_ms,
-            attack=attack,
-            index_fill_factor=index_fill_factor,
+        self._init_fleet(
+            num_shards,
+            lambda: TomServiceProvider(
+                scheme=self._scheme,
+                page_size=page_size,
+                node_access_ms=node_access_ms,
+                attack=None,
+                index_fill_factor=index_fill_factor,
+            ),
         )
-        self.owner = TomDataOwner(
-            dataset,
-            scheme=self._scheme,
-            key_bits=key_bits,
-            seed=seed,
-            network=self._network,
-        )
-        self.client = TomClient(
-            verifier=self.owner.verifier,
-            key_index=dataset.schema.key_index,
-            scheme=self._scheme,
-        )
-        self._ready = False
+        if attack is not None:
+            self.attack = attack
 
-    def setup(self) -> "TomSystem":
-        """Run the outsourcing phase (build ADS, sign root, ship everything)."""
-        self.owner.outsource(self.provider)
-        self._ready = True
-        return self
+    # ------------------------------------------------------------------ data management
+    def ads_slices(self) -> List[MBTree]:
+        """One MB-tree per shard, in shard order (each signed individually)."""
+        return [shard.ads for shard in self._shards]
 
-    @property
-    def network(self) -> NetworkTracker:
-        """The byte-accounting network tracker."""
-        return self._network
+    def apply_updates(self, batch: UpdateBatch) -> List[int]:
+        """Route each operation to its owning shard; returns touched shard ids."""
+        if not self._map.ready:
+            raise TomError("the service provider has not received a dataset yet")
+        touched: List[int] = []
+        for shard_id, (shard, shard_batch) in enumerate(
+            zip(self._shards, self._map.route(batch))
+        ):
+            if len(shard_batch):
+                shard.apply_updates(shard_batch)
+                touched.append(shard_id)
+        return touched
 
-    @property
-    def dataset(self) -> Dataset:
-        """The data owner's authoritative dataset."""
-        return self._dataset
+    # ------------------------------------------------------------------ queries
+    def shards_for(self, query: RangeQuery) -> List[int]:
+        """Ids of the shards whose key ranges overlap ``query``."""
+        return self.router.shards_for_range(query.low, query.high)
 
-    def apply_updates(self, batch: UpdateBatch) -> None:
-        """Propagate an update batch from the DO to the SP (with re-signing)."""
-        self.owner.apply_updates(batch)
+    def execute_shard(
+        self, shard_id: int, query: RangeQuery, ctx: Optional[ExecutionContext] = None
+    ) -> Tuple[List[Tuple[Any, ...]], VerificationObject]:
+        """One shard leg of a scattered query (receipt lands on ``ctx.sp``).
 
-    def query(self, low: Any, high: Any) -> TomQueryOutcome:
-        """Issue a verified range query through the TOM protocol."""
-        if not self._ready:
-            raise RuntimeError("setup() must be called before issuing queries")
-        query = RangeQuery(low=low, high=high, attribute=self._dataset.schema.key_column)
-        ctx = ExecutionContext(query=query)
-        request = QueryRequest(query=query)
-        self._network.channel("client", "SP").send(request, session=ctx)
-        records, vo = self.provider.execute(query, ctx)
-        sp_receipt = ctx.sp or ZERO_RECEIPT
-        result_message = ResultResponse(records=records)
-        vo_message = VOResponse(vo=vo)
-        self._network.channel("SP", "client").send(result_message, session=ctx)
-        self._network.channel("SP", "client").send(vo_message, session=ctx)
-        report = self.client.verify(records, vo, query)
-        return TomQueryOutcome(
-            query=query,
-            records=records,
-            report=report,
-            sp_accesses=sp_receipt.node_accesses,
-            sp_cost_ms=sp_receipt.io_cost_ms,
-            auth_bytes=vo_message.payload_bytes(),
-            result_bytes=result_message.payload_bytes(),
-            client_cpu_ms=report.details.get("cpu_ms", 0.0),
-            vo=vo,
+        There is deliberately no merged ``execute`` on the fleet: each leg
+        carries its own VO and shard signature, so the legs cannot collapse
+        into the single-provider ``(records, vo)`` shape -- the scheme
+        facade always drives the legs individually.
+        """
+        return self._shards[shard_id].execute(query, ctx)
+
+    def index_only_accesses(self, query: RangeQuery) -> int:
+        """Summed MB-tree traversal accesses of the overlapping shard legs."""
+        return sum(
+            self._shards[shard_id].index_only_accesses(query)
+            for shard_id in self.shards_for(query)
         )
 
-    def storage_report(self) -> dict:
-        """Storage footprint at the SP (bytes)."""
-        return {
-            "sp_bytes": self.provider.storage_bytes(),
-            "dataset_bytes": self._dataset.size_bytes(),
-        }
+    # ------------------------------------------------------------------ reporting
+    def records_per_shard(self) -> List[int]:
+        """Record counts by shard (balance diagnostics; empty shards show 0)."""
+        return [len(shard.ads) for shard in self._shards]
+
+
+#: Either provider shape the TOM data owner can outsource to.
+TomProvider = Any

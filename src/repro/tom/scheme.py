@@ -1,0 +1,575 @@
+"""The TOM deployment facade, behind the unified scheme interface.
+
+:class:`TomScheme` (registered as ``"tom"``; ``TomSystem`` remains as a
+compatibility alias) gives the paper's baseline the same modern pipeline the
+SAE side has had since the re-entrancy and sharding refactors:
+
+* every request threads its own
+  :class:`~repro.core.pipeline.ExecutionContext` through the provider and
+  the byte-counting channels and yields an immutable
+  :class:`~repro.core.pipeline.QueryReceipt` (VO bytes, node accesses,
+  simulated I/O ms and measured CPU ms on the same
+  :class:`~repro.core.pipeline.CostReceipt` axes as SAE), so any number of
+  queries may be in flight concurrently;
+* update batches are applied under the exclusive side of a
+  :class:`~repro.core.pipeline.ReadWriteLock`, atomically with respect to
+  in-flight queries (including the per-shard root re-signing);
+* :meth:`TomScheme.query_many` chunks the SP legs of a batch across the
+  dispatch thread pool, mirroring :meth:`SaeScheme.query_many`;
+* ``shards=N`` range-partitions the relation with the same deterministic
+  :class:`~repro.core.sharding.ShardRouter` SAE uses: every shard keeps its
+  own MB-tree whose root the DO signs individually, a range query scatters
+  to the overlapping shards as parallel pool legs, every leg's (result, VO)
+  pair is verified against its shard signature -- pinpointing a tampering
+  shard while the honest legs still verify -- and the merged receipt equals
+  the **sum of the shard legs** (:meth:`QueryReceipt.matches_leg_sums`).
+
+A reversed range (``low > high``) is answered locally with an empty
+verified result and a zero-cost receipt, identically to SAE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.attacks import AttackModel
+from repro.core.dataset import Dataset
+from repro.core.pipeline import (
+    ExecutionContext,
+    QueryReceipt,
+    ReadWriteLock,
+    ShardLegReceipt,
+    ZERO_RECEIPT,
+)
+from repro.core.scheme import AuthScheme, is_reversed_range, register_scheme
+from repro.core.sharding import ShardedDeployment
+from repro.core.updates import UpdateBatch
+from repro.crypto.digest import DigestScheme, default_scheme
+from repro.dbms.query import RangeQuery
+from repro.network.channel import NetworkTracker
+from repro.network.messages import QueryRequest, ResultResponse, VOResponse
+from repro.storage.constants import DEFAULT_PAGE_SIZE
+from repro.tom.entities import (
+    ShardedTomServiceProvider,
+    TomClient,
+    TomDataOwner,
+    TomServiceProvider,
+)
+from repro.tom.verification import VerificationReport
+from repro.tom.vo import VerificationObject
+
+
+def skipped_report() -> VerificationReport:
+    """The explicit "verification was not performed" outcome for TOM.
+
+    ``ok`` is ``False`` so an unverified result can never present itself as
+    a verified one -- the same contract as
+    :meth:`~repro.core.client.SAEVerificationResult.skipped_result`.
+    """
+    return VerificationReport(
+        ok=False, reason="verification skipped", details={"skipped": True}
+    )
+
+
+@dataclass
+class TomQueryOutcome:
+    """Everything measured for a single TOM query.
+
+    ``receipt`` carries the same per-request accounting as an SAE outcome
+    (the TE axis is zero -- TOM has no trusted entity), which is what lets
+    the load driver, the scaling sweep and the benchmark gate consume both
+    schemes generically.
+    """
+
+    query: RangeQuery
+    records: List[Tuple[Any, ...]]
+    report: VerificationReport
+    sp_accesses: int
+    sp_cost_ms: float
+    auth_bytes: int
+    result_bytes: int
+    client_cpu_ms: float
+    vo: Optional[VerificationObject]
+    details: dict = field(default_factory=dict)
+    receipt: Optional[QueryReceipt] = None
+
+    @property
+    def verification(self) -> VerificationReport:
+        """The client's verdict (unified accessor shared with SAE outcomes)."""
+        return self.report
+
+    @property
+    def verified(self) -> bool:
+        """Whether the client actually verified and accepted the result."""
+        return self.report.ok and not self.report.details.get("skipped", False)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of records the SP returned."""
+        return len(self.records)
+
+    @property
+    def te_accesses(self) -> int:
+        """Always 0: TOM has no trusted entity (kept for generic consumers)."""
+        return 0
+
+    @property
+    def te_cost_ms(self) -> float:
+        """Always 0.0: TOM has no trusted entity."""
+        return 0.0
+
+
+@register_scheme
+class TomScheme(AuthScheme):
+    """A complete TOM deployment (DO + SP fleet + client)."""
+
+    scheme_name = "tom"
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        scheme: Optional[DigestScheme] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        node_access_ms: Optional[float] = None,
+        attack: Optional[AttackModel] = None,
+        key_bits: int = 1024,
+        seed: Optional[int] = 2009,
+        index_fill_factor: float = 1.0,
+        max_workers: Optional[int] = None,
+        shards: Union[int, ShardedDeployment] = 1,
+    ):
+        self._scheme = scheme or default_scheme()
+        self._network = NetworkTracker()
+        self._dataset = dataset
+        self._deployment = ShardedDeployment.coerce(shards)
+        if self._deployment.is_sharded:
+            self.provider: Union[TomServiceProvider, ShardedTomServiceProvider] = (
+                ShardedTomServiceProvider(
+                    self._deployment.num_shards,
+                    scheme=self._scheme,
+                    page_size=page_size,
+                    node_access_ms=node_access_ms,
+                    attack=attack,
+                    index_fill_factor=index_fill_factor,
+                )
+            )
+        else:
+            self.provider = TomServiceProvider(
+                scheme=self._scheme,
+                page_size=page_size,
+                node_access_ms=node_access_ms,
+                attack=attack,
+                index_fill_factor=index_fill_factor,
+            )
+        self.owner = TomDataOwner(
+            dataset,
+            scheme=self._scheme,
+            key_bits=key_bits,
+            seed=seed,
+            network=self._network,
+        )
+        self.client = TomClient(
+            verifier=self.owner.verifier,
+            key_index=dataset.schema.key_index,
+            scheme=self._scheme,
+        )
+        self._ready = False
+        self._init_dispatch(max_workers)
+        # Queries hold this shared; update batches (and the root re-signing
+        # they trigger) hold it exclusive.
+        self._state_lock = ReadWriteLock()
+
+    # ------------------------------------------------------------------ lifecycle
+    def setup(self) -> "TomScheme":
+        """Run the outsourcing phase (build ADS, sign root(s), ship everything)."""
+        with self._state_lock.write_locked():
+            self.owner.outsource(self.provider)
+            self._ready = True
+        return self
+
+    @property
+    def network(self) -> NetworkTracker:
+        """The byte-accounting network tracker."""
+        return self._network
+
+    @property
+    def dataset(self) -> Dataset:
+        """The data owner's authoritative dataset."""
+        return self._dataset
+
+    @property
+    def num_shards(self) -> int:
+        """Number of SP shards in this deployment (1 = unsharded)."""
+        return self._deployment.num_shards
+
+    @property
+    def deployment(self) -> ShardedDeployment:
+        """The deployment configuration."""
+        return self._deployment
+
+    def apply_updates(self, batch: UpdateBatch) -> None:
+        """Propagate an update batch from the DO to the SP (with re-signing).
+
+        Applied under the exclusive side of the shared/exclusive lock:
+        concurrent queries either complete before the batch or observe the
+        new data *and* the new root signature(s) together.
+        """
+        with self._state_lock.write_locked():
+            self.owner.apply_updates(batch)
+
+    # ------------------------------------------------------------------ party legs
+    def _serve_sp(
+        self, query: RangeQuery, ctx: ExecutionContext
+    ) -> Tuple[List[Tuple[Any, ...]], VerificationObject, ResultResponse, VOResponse]:
+        """The SP leg of one request: result records plus the VO."""
+        request = QueryRequest(query=query)
+        self._network.channel("client", "SP").send(request, session=ctx)
+        records, vo = self.provider.execute(query, ctx)
+        result_message = ResultResponse(records=records)
+        vo_message = VOResponse(vo=vo)
+        self._network.channel("SP", "client").send(result_message, session=ctx)
+        self._network.channel("SP", "client").send(vo_message, session=ctx)
+        return records, vo, result_message, vo_message
+
+    def _serve_sp_chunk(
+        self,
+        queries: Sequence[RangeQuery],
+        contexts: Sequence[ExecutionContext],
+    ) -> List[Tuple[List[Tuple[Any, ...]], VerificationObject, ResultResponse, VOResponse]]:
+        """Serve a contiguous slice of a batch's SP legs on one pool worker."""
+        return [
+            self._serve_sp(query, ctx) for query, ctx in zip(queries, contexts)
+        ]
+
+    def _serve_sp_leg(
+        self, shard_id: int, query: RangeQuery, ctx: ExecutionContext
+    ) -> Tuple[List[Tuple[Any, ...]], VerificationObject, ResultResponse, VOResponse]:
+        """One shard's SP leg of a scattered query."""
+        party = f"SP{shard_id}"
+        request = QueryRequest(query=query)
+        self._network.channel("client", party).send(request, session=ctx)
+        records, vo = self.provider.execute_shard(shard_id, query, ctx)
+        result_message = ResultResponse(records=records)
+        vo_message = VOResponse(vo=vo)
+        self._network.channel(party, "client").send(result_message, session=ctx)
+        self._network.channel(party, "client").send(vo_message, session=ctx)
+        return records, vo, result_message, vo_message
+
+    def _serve_sp_leg_chunk(
+        self,
+        legs: Sequence[Tuple[int, int]],
+        queries: Sequence[RangeQuery],
+        leg_contexts: Dict[Tuple[int, int], ExecutionContext],
+    ) -> List[Tuple[Tuple[int, int], Tuple]]:
+        """Serve a slice of a batch's SP shard legs on one pool worker."""
+        return [
+            (
+                (position, shard_id),
+                self._serve_sp_leg(shard_id, queries[position], leg_contexts[(position, shard_id)]),
+            )
+            for position, shard_id in legs
+        ]
+
+    # ------------------------------------------------------------------ assembly
+    def _empty_outcome(self, low: Any, high: Any, verify: bool) -> TomQueryOutcome:
+        """The empty verified result a reversed range (``low > high``) gets."""
+        query = RangeQuery.degenerate(low, high, self._dataset.schema.key_column)
+        if verify:
+            report = VerificationReport(ok=True, reason="empty range (low > high)")
+        else:
+            report = skipped_report()
+        receipt = QueryReceipt(
+            query=query,
+            sp=ZERO_RECEIPT,
+            te=ZERO_RECEIPT,
+            auth_bytes=0,
+            result_bytes=0,
+            client_cpu_ms=0.0,
+        )
+        return TomQueryOutcome(
+            query=query,
+            records=[],
+            report=report,
+            sp_accesses=0,
+            sp_cost_ms=0.0,
+            auth_bytes=0,
+            result_bytes=0,
+            client_cpu_ms=0.0,
+            vo=None,
+            receipt=receipt,
+        )
+
+    def _assemble(
+        self,
+        query: RangeQuery,
+        ctx: ExecutionContext,
+        records: List[Tuple[Any, ...]],
+        vo: VerificationObject,
+        result_message: ResultResponse,
+        vo_message: VOResponse,
+        report: VerificationReport,
+    ) -> TomQueryOutcome:
+        sp_receipt = ctx.sp or ZERO_RECEIPT
+        receipt = QueryReceipt(
+            query=query,
+            sp=sp_receipt,
+            te=ZERO_RECEIPT,
+            auth_bytes=vo_message.payload_bytes(),
+            result_bytes=result_message.payload_bytes(),
+            client_cpu_ms=report.details.get("cpu_ms", 0.0),
+            bytes_by_channel=dict(ctx.bytes_by_channel),
+        )
+        return TomQueryOutcome(
+            query=query,
+            records=records,
+            report=report,
+            sp_accesses=receipt.sp.node_accesses,
+            sp_cost_ms=receipt.sp.io_cost_ms,
+            auth_bytes=receipt.auth_bytes,
+            result_bytes=receipt.result_bytes,
+            client_cpu_ms=receipt.client_cpu_ms,
+            vo=vo,
+            receipt=receipt,
+        )
+
+    def _assemble_sharded(
+        self,
+        query: RangeQuery,
+        ctx: ExecutionContext,
+        shard_ids: Sequence[int],
+        leg_contexts: Sequence[ExecutionContext],
+        leg_results: Sequence[Tuple],
+        verify: bool,
+    ) -> TomQueryOutcome:
+        """Merge shard legs into one outcome: charges are the leg sums.
+
+        Every leg's (result, VO) pair is verified on its own against the
+        leg's shard signature, so the merged report pinpoints exactly which
+        shard(s) tampered (``report.details["shards"]``).
+        """
+        records: List[Tuple[Any, ...]] = []
+        leg_receipts: List[ShardLegReceipt] = []
+        vos: List[VerificationObject] = []
+        for shard_id, leg_ctx, (leg_records, vo, result_message, vo_message) in zip(
+            shard_ids, leg_contexts, leg_results
+        ):
+            records.extend(leg_records)
+            vos.append(vo)
+            leg_receipts.append(
+                ShardLegReceipt(
+                    shard=shard_id,
+                    sp=leg_ctx.sp or ZERO_RECEIPT,
+                    te=ZERO_RECEIPT,
+                    auth_bytes=vo_message.payload_bytes(),
+                    result_bytes=result_message.payload_bytes(),
+                )
+            )
+            for channel_name, nbytes in leg_ctx.bytes_by_channel.items():
+                ctx.record_bytes(channel_name, nbytes)
+
+        if verify:
+            leg_reports: Dict[int, VerificationReport] = {}
+            client_cpu_ms = 0.0
+            rejected: List[int] = []
+            for shard_id, (leg_records, vo, _, _) in zip(shard_ids, leg_results):
+                leg_report = self.client.verify(leg_records, vo, query)
+                leg_reports[shard_id] = leg_report
+                client_cpu_ms += leg_report.details.get("cpu_ms", 0.0)
+                if not leg_report.ok:
+                    rejected.append(shard_id)
+            if rejected:
+                reason = (
+                    f"shard(s) {', '.join(str(s) for s in sorted(rejected))} rejected: "
+                    + "; ".join(leg_reports[s].reason for s in sorted(rejected))
+                )
+            else:
+                reason = "verified"
+            report = VerificationReport(
+                ok=not rejected,
+                reason=reason,
+                records_hashed=sum(r.records_hashed for r in leg_reports.values()),
+                digests_supplied=sum(r.digests_supplied for r in leg_reports.values()),
+                boundaries=sum(r.boundaries for r in leg_reports.values()),
+                details={"shards": leg_reports, "cpu_ms": client_cpu_ms},
+            )
+        else:
+            report = skipped_report()
+            client_cpu_ms = 0.0
+
+        sp_total = ZERO_RECEIPT
+        for leg in leg_receipts:
+            sp_total = sp_total + leg.sp
+        ctx.sp = sp_total
+        receipt = QueryReceipt(
+            query=query,
+            sp=sp_total,
+            te=ZERO_RECEIPT,
+            auth_bytes=sum(leg.auth_bytes for leg in leg_receipts),
+            result_bytes=sum(leg.result_bytes for leg in leg_receipts),
+            client_cpu_ms=client_cpu_ms,
+            bytes_by_channel=dict(ctx.bytes_by_channel),
+            legs=tuple(leg_receipts),
+        )
+        return TomQueryOutcome(
+            query=query,
+            records=records,
+            report=report,
+            sp_accesses=receipt.sp.node_accesses,
+            sp_cost_ms=receipt.sp.io_cost_ms,
+            auth_bytes=receipt.auth_bytes,
+            result_bytes=receipt.result_bytes,
+            client_cpu_ms=receipt.client_cpu_ms,
+            vo=None,
+            details={"shards": list(shard_ids), "vos": vos},
+            receipt=receipt,
+        )
+
+    # ------------------------------------------------------------------ queries
+    def query(self, low: Any, high: Any, verify: bool = True) -> TomQueryOutcome:
+        """Issue one range query through the TOM protocol.
+
+        In a sharded deployment the query is scattered to the overlapping
+        shards as parallel pool legs; every leg returns its own VO and is
+        verified independently.  A reversed range returns an empty verified
+        result at zero cost.
+        """
+        if not self._ready:
+            raise RuntimeError("setup() must be called before issuing queries")
+        if is_reversed_range(low, high):
+            return self._empty_outcome(low, high, verify)
+        query = RangeQuery(low=low, high=high, attribute=self._dataset.schema.key_column)
+        ctx = ExecutionContext(query=query)
+        if self._deployment.is_sharded:
+            pool = self._pool()
+            with self._state_lock.read_locked():
+                shard_ids = self.provider.shards_for(query)
+                leg_contexts = [ExecutionContext(query=query) for _ in shard_ids]
+                futures = [
+                    pool.submit(self._serve_sp_leg, shard_id, query, leg_ctx)
+                    for shard_id, leg_ctx in zip(shard_ids, leg_contexts)
+                ]
+                leg_results = [future.result() for future in futures]
+            return self._assemble_sharded(
+                query, ctx, shard_ids, leg_contexts, leg_results, verify
+            )
+        with self._state_lock.read_locked():
+            records, vo, result_message, vo_message = self._serve_sp(query, ctx)
+        report = self.client.verify(records, vo, query) if verify else skipped_report()
+        return self._assemble(query, ctx, records, vo, result_message, vo_message, report)
+
+    def query_many(
+        self, bounds: Sequence[Tuple[Any, Any]], verify: bool = True
+    ) -> List[TomQueryOutcome]:
+        """Issue a batch of range queries and return one outcome per query.
+
+        The SP legs are chunked across the dispatch thread pool (one
+        contiguous slice per worker, as in :meth:`SaeScheme.query_many`);
+        verdicts, per-query node-access counts and per-query byte accounting
+        are identical to looping over :meth:`query`.  Reversed ranges come
+        back as empty verified results with zero-cost receipts, in position.
+        """
+        if not self._ready:
+            raise RuntimeError("setup() must be called before issuing queries")
+        if not bounds:
+            return []
+        return self._weave_reversed(
+            bounds, verify, lambda valid: self._query_many_valid(valid, verify)
+        )
+
+    def _query_many_valid(
+        self, bounds: Sequence[Tuple[Any, Any]], verify: bool
+    ) -> List[TomQueryOutcome]:
+        """The batch path for bounds already known to be non-degenerate."""
+        attribute = self._dataset.schema.key_column
+        queries = [RangeQuery(low=low, high=high, attribute=attribute) for low, high in bounds]
+        contexts = [ExecutionContext(query=query) for query in queries]
+        if self._deployment.is_sharded:
+            return self._query_many_sharded(queries, contexts, verify)
+        pool = self._pool()
+        num_chunks = max(1, min(len(queries), self._num_workers))
+        chunk_size = (len(queries) + num_chunks - 1) // num_chunks
+        slices = [
+            slice(start, start + chunk_size)
+            for start in range(0, len(queries), chunk_size)
+        ]
+        with self._state_lock.read_locked():
+            futures = [
+                pool.submit(self._serve_sp_chunk, queries[piece], contexts[piece])
+                for piece in slices
+            ]
+            sp_results = []
+            for future in futures:
+                sp_results.extend(future.result())
+        outcomes: List[TomQueryOutcome] = []
+        for query, ctx, (records, vo, result_message, vo_message) in zip(
+            queries, contexts, sp_results
+        ):
+            report = self.client.verify(records, vo, query) if verify else skipped_report()
+            outcomes.append(
+                self._assemble(query, ctx, records, vo, result_message, vo_message, report)
+            )
+        return outcomes
+
+    def _query_many_sharded(
+        self,
+        queries: Sequence[RangeQuery],
+        contexts: Sequence[ExecutionContext],
+        verify: bool,
+    ) -> List[TomQueryOutcome]:
+        """Batched scatter-gather: shard legs chunked across the pool."""
+        pool = self._pool()
+        with self._state_lock.read_locked():
+            shard_ids_per_query = [self.provider.shards_for(query) for query in queries]
+            legs = [
+                (position, shard_id)
+                for position, shard_ids in enumerate(shard_ids_per_query)
+                for shard_id in shard_ids
+            ]
+            leg_contexts = {
+                leg: ExecutionContext(query=queries[leg[0]]) for leg in legs
+            }
+            # Group legs by shard (keeps each shard's MB-tree walk cache-hot
+            # on one worker), then chunk to one future per pool worker.
+            ordered_legs = sorted(legs, key=lambda leg: (leg[1], leg[0]))
+            num_chunks = max(1, min(len(ordered_legs), self._num_workers))
+            chunk_size = (len(ordered_legs) + num_chunks - 1) // num_chunks
+            futures = [
+                pool.submit(
+                    self._serve_sp_leg_chunk,
+                    ordered_legs[start:start + chunk_size],
+                    queries,
+                    leg_contexts,
+                )
+                for start in range(0, len(ordered_legs), chunk_size)
+            ]
+            leg_map: Dict[Tuple[int, int], Tuple] = {}
+            for future in futures:
+                for leg, leg_result in future.result():
+                    leg_map[leg] = leg_result
+        outcomes: List[TomQueryOutcome] = []
+        for position, (query, ctx) in enumerate(zip(queries, contexts)):
+            shard_ids = shard_ids_per_query[position]
+            outcomes.append(
+                self._assemble_sharded(
+                    query,
+                    ctx,
+                    shard_ids,
+                    [leg_contexts[(position, shard_id)] for shard_id in shard_ids],
+                    [leg_map[(position, shard_id)] for shard_id in shard_ids],
+                    verify,
+                )
+            )
+        return outcomes
+
+    # ------------------------------------------------------------------ reporting
+    def storage_report(self) -> dict:
+        """Storage footprint at the SP (bytes)."""
+        return {
+            "sp_bytes": self.provider.storage_bytes(),
+            "dataset_bytes": self._dataset.size_bytes(),
+        }
+
+
+#: Compatibility alias -- the deployment facade predates the scheme layer.
+TomSystem = TomScheme

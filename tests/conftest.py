@@ -36,7 +36,7 @@ from repro.core.protocol import SAESystem
 from repro.crypto.signatures import RSASigner, RSAVerifier
 from repro.crypto import rsa as rsa_module
 from repro.dbms.catalog import TableSchema
-from repro.tom.entities import TomSystem
+from repro.tom.scheme import TomSystem
 from repro.workloads.datasets import DATASET_SCHEMA, build_dataset
 from repro.workloads.records import CAMERA_SCHEMA, make_camera_records
 

@@ -5,6 +5,7 @@ import pytest
 from repro.cli import main as cli_main
 from repro.core import SAESystem
 from repro.experiments.throughput import LoadReport, format_load_reports, run_load
+from repro.tom.scheme import TomScheme
 from repro.workloads.queries import RangeQueryWorkload
 
 
@@ -56,6 +57,38 @@ class TestRunLoad:
         assert "smoke" in rendered
         assert "per-query" in rendered
         assert "qps" in rendered
+        assert "sae" in rendered
+
+
+class TestRunLoadTom:
+    """The same closed-loop driver against the TOM baseline."""
+
+    @pytest.mark.parametrize("mode", ["per-query", "batched"])
+    def test_serves_whole_workload_verified(self, small_dataset, load_bounds, mode):
+        with TomScheme(small_dataset, key_bits=512, seed=41).setup() as system:
+            report = run_load(system, load_bounds, num_clients=3, mode=mode, batch_size=7)
+        assert report.scheme == "tom"
+        assert report.num_queries == len(load_bounds)
+        assert report.all_verified
+        assert report.receipts_consistent
+        assert report.total_sp_accesses > 0
+        assert report.total_te_accesses == 0  # TOM has no TE
+
+    def test_sharded_tom_receipts_sum_over_legs(self, small_dataset):
+        # Scan-heavy bounds: selective point lookups fit inside one shard and
+        # would never scatter, so sweep wide slices of the key domain instead.
+        keys = sorted(small_dataset.keys())
+        step = len(keys) // 6
+        scan_bounds = [
+            (keys[position], keys[min(position + 3 * step, len(keys) - 1)])
+            for position in range(0, len(keys) - 3 * step, step)
+        ]
+        with TomScheme(small_dataset, key_bits=512, seed=43, shards=3).setup() as system:
+            report = run_load(system, scan_bounds, num_clients=8, mode="per-query")
+        assert report.all_verified
+        assert report.receipts_consistent
+        assert report.num_shards == 3
+        assert any(len(outcome.receipt.legs) > 1 for outcome in report.outcomes)
 
 
 class TestBenchCli:
@@ -79,3 +112,15 @@ class TestBenchCli:
         ])
         assert code == 0
         assert "batched" in capsys.readouterr().out
+
+    def test_run_load_tom_scheme(self, capsys):
+        code = cli_main([
+            "bench", "run-load",
+            "--scheme", "tom", "--key-bits", "512",
+            "--records", "600", "--queries", "12", "--clients", "8",
+            "--mode", "per-query", "--shards", "2",
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "load driver [tom]" in captured
+        assert "receipts=sum(legs)" in captured

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments.benchgate import (
+    BENCH_FILES,
     GateMetric,
     compare_to_baseline,
     inject_regression,
@@ -10,6 +11,7 @@ from repro.experiments.benchgate import (
     metrics_document,
     write_bench_file,
 )
+from repro.experiments.head_to_head import run_head_to_head
 
 
 def doc(*metrics):
@@ -90,3 +92,30 @@ class TestInjectRegression:
     def test_rejects_non_positive_factor(self):
         with pytest.raises(ValueError):
             inject_regression(doc(), 0.0)
+
+
+class TestHeadToHead:
+    def test_head_to_head_file_is_part_of_the_smoke_suite(self):
+        assert "BENCH_head_to_head.json" in BENCH_FILES
+
+    def test_small_comparison_reproduces_the_paper_shape(self):
+        result = run_head_to_head(
+            cardinality=500,
+            selectivities=(0.01,),
+            num_queries=5,
+            record_size=96,
+            key_bits=512,
+            num_update_ops=9,
+        )
+        by_scheme = {point.scheme: point for point in result.points}
+        assert set(by_scheme) == {"sae", "tom"}
+        assert all(point.all_verified for point in result.points)
+        # The headline claims: constant-size VT vs multi-hundred-byte VOs,
+        # and a lower SP cost for the plain B+-tree.
+        assert by_scheme["sae"].mean_auth_bytes == 20
+        assert by_scheme["tom"].mean_auth_bytes > 10 * by_scheme["sae"].mean_auth_bytes
+        assert by_scheme["sae"].mean_sp_accesses <= by_scheme["tom"].mean_sp_accesses
+        updates = {point.scheme: point for point in result.update_points}
+        assert set(updates) == {"sae", "tom"}
+        assert all(point.all_verified_after for point in result.update_points)
+        assert all(point.total_accesses > 0 for point in result.update_points)

@@ -17,6 +17,21 @@ class TestDemo:
         assert main(["demo", "--records", "600", "--distribution", "zipf"]) == 0
         assert "SKW-600" in capsys.readouterr().out
 
+    def test_demo_tom_scheme_with_key_flags(self, capsys):
+        exit_code = main([
+            "demo", "--records", "700", "--scheme", "tom",
+            "--key-bits", "512", "--seed", "11",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "scheme tom" in output
+        assert "verified=True" in output
+        assert "verified=False" in output
+
+    def test_demo_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--scheme", "merkle2"])
+
 
 class TestExperiments:
     def test_single_figure(self, capsys):
@@ -32,12 +47,21 @@ class TestExperiments:
 
 
 class TestAttackGallery:
-    def test_gallery_reports_verdicts(self, capsys):
+    def test_gallery_reports_verdicts_for_every_scheme(self, capsys):
         exit_code = main(["attack-gallery", "--records", "700"])
         output = capsys.readouterr().out
         assert exit_code == 0
         assert "REJECTED" in output
         assert "accepted" in output
+        assert "SAE" in output
+        assert "TOM" in output
+
+    def test_gallery_key_material_is_configurable(self, capsys):
+        exit_code = main([
+            "attack-gallery", "--records", "600", "--key-bits", "512", "--seed", "23",
+        ])
+        assert exit_code == 0
+        assert "REJECTED" in capsys.readouterr().out
 
 
 class TestBenchRunLoad:
@@ -69,14 +93,17 @@ class TestBenchRunLoad:
 
 class TestBenchSmoke:
     def test_smoke_without_baseline_records_and_passes(self, tmp_path, capsys):
+        from repro.experiments.benchgate import BENCH_FILES
+
         exit_code = main([
             "bench", "smoke", "--out", str(tmp_path),
             "--baseline", str(tmp_path / "missing-baseline.json"),
         ])
         output = capsys.readouterr().out
         assert exit_code == 0
-        assert (tmp_path / "BENCH_throughput.json").exists()
-        assert (tmp_path / "BENCH_scaling.json").exists()
+        for name in BENCH_FILES:
+            assert (tmp_path / name).exists()
+        assert "BENCH_head_to_head.json" in BENCH_FILES
         assert "gate skipped" in output
 
     def test_bad_regression_factor_rejected(self, capsys):
@@ -84,6 +111,8 @@ class TestBenchSmoke:
         assert "--inject-regression" in capsys.readouterr().err
 
     def test_reuse_injects_regression_without_rebenchmarking(self, tmp_path, capsys):
+        from repro.experiments.benchgate import BENCH_FILES
+
         recorded = tmp_path / "recorded"
         baseline = tmp_path / "baseline.json"
         assert main(["bench", "smoke", "--out", str(recorded), "--no-check"]) == 0
@@ -91,7 +120,7 @@ class TestBenchSmoke:
         import json
 
         merged = {"format": "sae-bench/1", "meta": {}, "metrics": {}}
-        for name in ("BENCH_throughput.json", "BENCH_scaling.json"):
+        for name in BENCH_FILES:
             merged["metrics"].update(json.loads((recorded / name).read_text())["metrics"])
         baseline.write_text(json.dumps(merged))
         capsys.readouterr()
@@ -122,9 +151,29 @@ class TestScalingFigure:
         assert "shard scaling" in output
         assert "Figure 5" not in output
 
+    def test_scaling_figure_sweeps_tom(self, capsys):
+        exit_code = main([
+            "experiments", "--scale", "quick", "--figure", "scaling",
+            "--shards", "1,2", "--scheme", "tom",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "tom" in output
+
     def test_bad_shard_list_rejected(self, capsys):
         assert main(["experiments", "--figure", "scaling", "--shards", "0,2"]) == 2
         assert "shard count" in capsys.readouterr().err
+
+
+class TestHeadToHeadFigure:
+    def test_head_to_head_prints_both_schemes(self, capsys):
+        exit_code = main(["experiments", "--scale", "quick", "--figure", "head-to-head"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "head-to-head" in output
+        assert "sae" in output and "tom" in output
+        assert "update cost" in output
+        assert "Figure 5" not in output
 
 
 class TestParser:
