@@ -18,11 +18,17 @@ Three subcommands cover the common workflows without writing any code:
     scheme and print the verdicts; ``--key-bits`` / ``--seed`` configure
     the signing key material instead of being hardcoded.
 
+``python -m repro serve``
+    Serve a deployment over TCP: an asyncio server speaking the
+    length-prefixed wire protocol of :mod:`repro.network.wire`, driven by
+    the async client SDK (:class:`repro.network.client.RemoteSchemeClient`).
+
 ``python -m repro bench run-load``
     Drive one deployment (``--scheme {sae,tom}``) from N concurrent
     closed-loop clients and report throughput and p50/p95/p99 latency, per
     dispatch mode.  ``--shards N`` runs the sharded scatter-gather
-    deployment of either scheme.
+    deployment of either scheme; ``--transport tcp`` serves the deployment
+    on a localhost socket and drives it over real connections.
 
 ``python -m repro bench smoke``
     Run the quick benchmark suite, write machine-readable
@@ -96,6 +102,26 @@ def _build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--scheme", choices=schemes, default="sae",
                              help="scheme swept by --figure scaling")
 
+    serve = subparsers.add_parser(
+        "serve", help="serve a deployment over TCP (length-prefixed wire protocol)"
+    )
+    serve.add_argument("--records", type=_positive_int, default=10_000,
+                       help="dataset cardinality")
+    serve.add_argument("--distribution", choices=["uniform", "zipf"], default="uniform")
+    serve.add_argument("--scheme", choices=schemes, default="sae",
+                       help="authentication scheme to serve")
+    serve.add_argument("--key-bits", type=int, default=1024,
+                       help="RSA modulus size for schemes that sign (TOM)")
+    serve.add_argument("--seed", type=int, default=7,
+                       help="seed shared by the dataset and the key material")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="number of SP/TE shards (>= 1; 1 = classic deployment)")
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve.add_argument("--port", type=int, default=9009,
+                       help="TCP port to listen on (0 picks a free port)")
+    serve.add_argument("--max-in-flight", type=_positive_int, default=64,
+                       help="bounded admission: concurrent requests before queueing")
+
     gallery = subparsers.add_parser("attack-gallery",
                                     help="run the attack gallery against every scheme")
     gallery.add_argument("--records", type=int, default=3_000, help="dataset cardinality")
@@ -123,6 +149,8 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="number of SP/TE shards (>= 1; 1 = classic deployment)")
     load.add_argument("--mode", choices=["per-query", "batched", "both"], default="both",
                       help="dispatch mode ('both' compares the two)")
+    load.add_argument("--transport", choices=["inproc", "tcp"], default="inproc",
+                      help="drive the scheme in-process or over localhost sockets")
     load.add_argument("--batch-size", type=int, default=25,
                       help="queries per query_many() call in batched mode")
     load.add_argument("--extent", type=float, default=0.005,
@@ -263,6 +291,32 @@ def _run_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.network.server import run_server
+
+    if args.shards < 1:
+        print(f"error: --shards must be at least 1, got {args.shards}", file=sys.stderr)
+        return 2
+    dataset = build_dataset(args.records, distribution=args.distribution, seed=args.seed)
+    system = OutsourcedDB(
+        dataset,
+        scheme=args.scheme,
+        shards=args.shards,
+        key_bits=args.key_bits,
+        seed=args.seed,
+    ).setup()
+    print(f"dataset {dataset.name}: {dataset.cardinality} records, "
+          f"scheme {system.scheme_name}, {system.num_shards} shard(s)")
+    with system:
+        run_server(
+            system,
+            host=args.host,
+            port=args.port,
+            max_in_flight=args.max_in_flight,
+        )
+    return 0
+
+
 def _run_attack_gallery(args: argparse.Namespace) -> int:
     dataset = build_dataset(args.records, record_size=200, seed=args.seed)
     systems = {
@@ -332,11 +386,15 @@ def _run_bench_load(args: argparse.Namespace) -> int:
                     mode=mode,
                     batch_size=args.batch_size,
                     verify=verify,
+                    transport=args.transport,
                 )
             )
-    title = (f"load driver [{args.scheme}]: {args.records} records, "
+    title = (f"load driver [{args.scheme}/{args.transport}]: {args.records} records, "
              f"{args.queries} queries, {args.clients} clients, {args.shards} shard(s)")
     print(format_load_reports(reports, title=title))
+    if args.transport == "tcp":
+        for report in reports:
+            print(f"server qps [{report.mode}]: {report.server_qps:.1f}")
     if len(reports) == 2 and reports[0].throughput_qps > 0:
         speedup = reports[1].throughput_qps / reports[0].throughput_qps
         print(f"\nbatched vs per-query speedup: {speedup:.2f}x")
@@ -355,6 +413,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_demo(args)
     if args.command == "experiments":
         return _run_experiments(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "attack-gallery":
         return _run_attack_gallery(args)
     if args.command == "bench":

@@ -184,6 +184,7 @@ class SaeScheme(AuthScheme):
         shared/exclusive lock: concurrent queries either complete before it
         or see both parties fully updated.
         """
+        self._ensure_open()
         with self._state_lock.write_locked():
             self.owner.apply_updates(batch)
 
@@ -608,6 +609,7 @@ class SaeScheme(AuthScheme):
         gathered outcome carries the merged token and the summed charges.
         A reversed range returns an empty verified result at zero cost.
         """
+        self._ensure_open()
         if not self._ready:
             raise RuntimeError("setup() must be called before issuing queries")
         if is_reversed_range(low, high):
@@ -648,6 +650,7 @@ class SaeScheme(AuthScheme):
         ranges anywhere in the batch come back as empty verified results
         with zero-cost receipts, in position.
         """
+        self._ensure_open()
         if not self._ready:
             raise RuntimeError("setup() must be called before issuing queries")
         if not bounds:
@@ -728,6 +731,7 @@ class SaeScheme(AuthScheme):
     # ------------------------------------------------------------------ reporting
     def storage_report(self) -> dict:
         """Storage footprint of every party (bytes)."""
+        self._ensure_open()
         return {
             "sp_bytes": self.provider.storage_bytes(),
             "te_bytes": self.trusted_entity.storage_bytes(),

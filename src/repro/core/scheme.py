@@ -93,9 +93,30 @@ class AuthScheme(abc.ABC):
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_lock = threading.Lock()
         self._finalizer: Optional[weakref.finalize] = None
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has shut this deployment down."""
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        """Refuse to serve on a closed scheme instead of silently reviving.
+
+        ``close()`` used to only drop the executor reference, so the next
+        ``query()`` would lazily recreate the pool and the "closed" scheme
+        kept serving -- a use-after-close that leaked a fresh thread pool
+        per revival.  A closed deployment is permanently closed.
+        """
+        if self._closed:
+            raise SchemeError(
+                f"{self.scheme_name or type(self).__name__} scheme is closed; "
+                "deploy a new instance instead of reusing a closed one"
+            )
 
     def _pool(self) -> ThreadPoolExecutor:
         with self._executor_lock:
+            self._ensure_open()
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self._num_workers,
@@ -105,8 +126,9 @@ class AuthScheme(abc.ABC):
             return self._executor
 
     def close(self) -> None:
-        """Shut down the dispatch thread pool (idempotent)."""
+        """Shut down the dispatch thread pool (idempotent and permanent)."""
         with self._executor_lock:
+            self._closed = True
             executor, self._executor = self._executor, None
             if self._finalizer is not None:
                 self._finalizer.detach()
@@ -146,24 +168,33 @@ class AuthScheme(abc.ABC):
         The shared half of the degenerate-range contract: reversed bounds
         never reach a serving party, their outcomes come from
         :meth:`_empty_outcome`, and valid queries keep their batch order.
-        ``serve_valid`` receives only the valid bound pairs.
+        ``serve_valid`` receives only the valid bound pairs and must return
+        exactly one outcome per pair -- a miscounting implementation raises
+        an explicit :class:`SchemeError` instead of surfacing as a
+        ``RuntimeError: StopIteration`` from the weaving itself.
         """
         empty_positions = {
             position
             for position, (low, high) in enumerate(bounds)
             if is_reversed_range(low, high)
         }
-        if not empty_positions:
-            return serve_valid(list(bounds))
         valid = [
             pair for position, pair in enumerate(bounds)
             if position not in empty_positions
         ]
-        served = iter(serve_valid(valid) if valid else ())
+        served = list(serve_valid(valid)) if valid else []
+        if len(served) != len(valid):
+            raise SchemeError(
+                f"{self.scheme_name or type(self).__name__} scheme returned "
+                f"{len(served)} outcomes for {len(valid)} queries"
+            )
+        if not empty_positions:
+            return served
+        woven = iter(served)
         return [
             self._empty_outcome(low, high, verify)
             if position in empty_positions
-            else next(served)
+            else next(woven)
             for position, (low, high) in enumerate(bounds)
         ]
 

@@ -3,11 +3,13 @@
 The ``bench-smoke`` CI job calls :func:`run_smoke`, which
 
 1. replays a quick throughput workload through the load driver (for both
-   registered schemes), a quick shard-scaling sweep and the SAE-vs-TOM
-   head-to-head comparison,
+   registered schemes), a quick shard-scaling sweep, the SAE-vs-TOM
+   head-to-head comparison, and a served-over-TCP pass (both schemes behind
+   the asyncio network tier, 8 concurrent clients on localhost sockets),
 2. writes the measurements to ``BENCH_throughput.json``,
-   ``BENCH_scaling.json`` and ``BENCH_head_to_head.json``
-   (machine-readable qps + latency percentiles, one metric per key), and
+   ``BENCH_scaling.json``, ``BENCH_head_to_head.json`` and
+   ``BENCH_network.json`` (machine-readable qps + latency percentiles, one
+   metric per key), and
 3. compares every **gated** metric against the committed
    ``benchmarks/baseline.json`` and fails on a regression beyond the
    tolerance (20 % by default) -- in *either* scheme.
@@ -37,7 +39,12 @@ from repro.workloads import build_dataset
 from repro.workloads.queries import RangeQueryWorkload
 
 #: BENCH documents produced (and reused) by the smoke suite.
-BENCH_FILES = ("BENCH_throughput.json", "BENCH_scaling.json", "BENCH_head_to_head.json")
+BENCH_FILES = (
+    "BENCH_throughput.json",
+    "BENCH_scaling.json",
+    "BENCH_head_to_head.json",
+    "BENCH_network.json",
+)
 
 #: Relative regression allowed on gated metrics before the gate fails.
 GATE_TOLERANCE = 0.20
@@ -289,6 +296,63 @@ def _head_to_head_metrics() -> List[GateMetric]:
     return metrics
 
 
+def _network_metrics() -> List[GateMetric]:
+    """Serve both schemes over localhost TCP and drive 8 concurrent clients.
+
+    The wall-clock server-qps counter (the server's own served-queries
+    rate) is recorded for trend plots; the gated axes are deterministic --
+    the cost-model qps and mean SP accesses computed from the *served*
+    receipts, which must match what the in-process pipeline charges.  Every
+    remote receipt must verify and satisfy ``matches_leg_sums``.
+    """
+    dataset = build_dataset(1_500, record_size=128, seed=7)
+    workload = RangeQueryWorkload(count=40, seed=9, attribute=dataset.schema.key_column)
+    bounds = [(query.low, query.high) for query in workload]
+    metrics: List[GateMetric] = []
+    for scheme in ("sae", "tom"):
+        system = OutsourcedDB(dataset, scheme=scheme, key_bits=512, seed=7).setup()
+        with system:
+            report = run_load(
+                system, bounds, num_clients=8, mode="per-query", transport="tcp"
+            )
+        if not report.all_verified:
+            raise RuntimeError(f"network smoke: a {scheme} receipt failed verification over TCP")
+        if not report.receipts_consistent:
+            raise RuntimeError(f"network smoke: {scheme} merged receipts != sum of shard legs")
+        outcomes = report.outcomes
+        mean_response = sum(model_response_ms(outcome) for outcome in outcomes) / len(outcomes)
+        label = f"network.tcp.{scheme}"
+        metrics.extend(
+            [
+                GateMetric(
+                    name=f"{label}.server_qps",
+                    value=round(report.server_qps, 2),
+                    unit="qps",
+                ),
+                GateMetric(
+                    name=f"{label}.wall_p95_ms",
+                    value=round(report.latency_p95_ms, 3),
+                    unit="ms",
+                    higher_is_better=False,
+                ),
+                GateMetric(
+                    name=f"{label}.model_qps",
+                    value=round(1000.0 / mean_response, 6),
+                    unit="qps",
+                    gate=True,
+                ),
+                GateMetric(
+                    name=f"{label}.mean_sp_accesses",
+                    value=sum(outcome.sp_accesses for outcome in outcomes) / len(outcomes),
+                    unit="accesses",
+                    gate=True,
+                    higher_is_better=False,
+                ),
+            ]
+        )
+    return metrics
+
+
 def _scaling_metrics() -> List[GateMetric]:
     """Quick shard-scaling sweep: modelled qps per shard count (gated)."""
     points = run_scaling(
@@ -354,6 +418,9 @@ def collect_current_metrics() -> Dict[str, dict]:
         ),
         "BENCH_head_to_head.json": metrics_document(
             _head_to_head_metrics(), meta={"suite": "head_to_head", "scale": "quick"}
+        ),
+        "BENCH_network.json": metrics_document(
+            _network_metrics(), meta={"suite": "network", "scale": "quick"}
         ),
     }
 

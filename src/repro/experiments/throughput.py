@@ -21,10 +21,24 @@ Two dispatch modes are supported, mirroring the scheme interface:
 * ``batched`` -- every client drains a slice of the workload and calls
   :meth:`AuthScheme.query_many`, exercising the batched dispatch paths
   (shared XB-tree walks for SAE, pooled SP legs for TOM).
+
+And two transports:
+
+* ``inproc`` -- clients are threads calling the scheme directly (the
+  historical behaviour);
+* ``tcp`` -- the deployment is served by a
+  :class:`~repro.network.server.ServerThread` on a localhost socket and the
+  clients are asyncio tasks driving a pooled
+  :class:`~repro.network.client.RemoteSchemeClient` through the
+  length-prefixed wire protocol.  Outcomes come back as
+  :class:`~repro.network.wire.RemoteQueryOutcome` objects carrying the full
+  :class:`~repro.core.pipeline.QueryReceipt`, so the verification roll-up
+  and the ``matches_leg_sums`` invariant are checked on *served* receipts.
 """
 
 from __future__ import annotations
 
+import asyncio
 import queue
 import threading
 import time
@@ -37,6 +51,9 @@ from repro.metrics.reporting import format_table
 
 #: Dispatch modes understood by :func:`run_load`.
 MODES = ("per-query", "batched")
+
+#: Transports understood by :func:`run_load`.
+TRANSPORTS = ("inproc", "tcp")
 
 
 @dataclass
@@ -58,7 +75,9 @@ class LoadReport:
     total_te_accesses: int
     num_shards: int = 1
     scheme: str = "sae"
+    transport: str = "inproc"
     receipts_consistent: bool = True
+    server_qps: float = 0.0
     collector: MetricsCollector = field(repr=False, default_factory=MetricsCollector)
     outcomes: List[Any] = field(repr=False, default_factory=list)
 
@@ -66,6 +85,7 @@ class LoadReport:
         """One table row (pairs with :func:`format_load_reports`)."""
         return [
             self.scheme,
+            self.transport,
             self.mode,
             self.num_clients,
             self.num_shards,
@@ -81,40 +101,21 @@ class LoadReport:
 
 def format_load_reports(reports: Sequence[LoadReport], title: str = "load driver") -> str:
     """Render load reports as an aligned table."""
-    headers = ["scheme", "mode", "clients", "shards", "queries", "qps",
+    headers = ["scheme", "transport", "mode", "clients", "shards", "queries", "qps",
                "p50 ms", "p95 ms", "p99 ms", "verified", "receipts=sum(legs)"]
     return format_table(headers, [report.as_row() for report in reports], title=title)
 
 
-def run_load(
+def _run_load_threads(
     system: AuthScheme,
     bounds: Sequence[Tuple[Any, Any]],
-    num_clients: int = 4,
-    mode: str = "per-query",
-    batch_size: int = 25,
-    verify: bool = True,
-    collector: Optional[MetricsCollector] = None,
-) -> LoadReport:
-    """Replay ``bounds`` from ``num_clients`` concurrent closed-loop clients.
-
-    Every client thread repeatedly takes work from a shared queue until the
-    workload is drained: one query at a time in ``per-query`` mode, up to
-    ``batch_size`` queries at a time in ``batched`` mode.  Per-query latency
-    is the wall-clock time of the call that served it (so in batched mode
-    every query in a batch observes the batch's latency, which is what a
-    client waiting on the batch would see).
-    """
-    if mode not in MODES:
-        raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
-    if num_clients < 1:
-        raise ValueError("the load driver needs at least one client")
-    if mode == "batched" and batch_size < 1:
-        raise ValueError("batch_size must be positive")
-
-    collector = collector or MetricsCollector()
-    latency = collector.series(f"latency_ms[{mode}]")
-    latency.observations[num_clients]  # materialise the bucket before the threads race
-
+    num_clients: int,
+    mode: str,
+    batch_size: int,
+    verify: bool,
+    latency: Any,
+) -> Tuple[List[Any], float]:
+    """The in-process transport: one closed-loop thread per client."""
     work: "queue.SimpleQueue" = queue.SimpleQueue()
     for item in bounds:
         work.put(item)
@@ -167,8 +168,135 @@ def run_load(
     duration_s = time.perf_counter() - started
     if errors:
         raise errors[0]
+    return [outcome for sink in outcomes_per_client for outcome in sink], duration_s
 
-    outcomes = [outcome for sink in outcomes_per_client for outcome in sink]
+
+async def _drive_tcp(
+    host: str,
+    port: int,
+    bounds: Sequence[Tuple[Any, Any]],
+    num_clients: int,
+    mode: str,
+    batch_size: int,
+    verify: bool,
+    latency: Any,
+) -> Tuple[List[Any], float]:
+    """The TCP transport: one closed-loop asyncio task per client.
+
+    All tasks share one pooled :class:`RemoteSchemeClient` whose admission
+    semaphore equals the client count, so at most ``num_clients`` requests
+    are ever in flight -- the same concurrency the thread transport offers.
+    """
+    from repro.network.client import RemoteSchemeClient
+
+    work: List[Tuple[Any, Any]] = list(bounds)
+    cursor = {"next": 0}
+
+    def drain(limit: int) -> List[Tuple[Any, Any]]:
+        start = cursor["next"]
+        taken = work[start:start + limit]
+        cursor["next"] = start + len(taken)
+        return taken
+
+    outcomes_per_client: List[List[Any]] = [[] for _ in range(num_clients)]
+
+    async with RemoteSchemeClient(
+        host, port, pool_size=num_clients, max_in_flight=num_clients
+    ) as client:
+
+        async def client_loop(slot: int) -> None:
+            sink = outcomes_per_client[slot]
+            while True:
+                if mode == "per-query":
+                    batch = drain(1)
+                    if not batch:
+                        return
+                    started = time.perf_counter()
+                    sink.append(await client.query(batch[0][0], batch[0][1], verify=verify))
+                    elapsed_ms = (time.perf_counter() - started) * 1000.0
+                    latency.record(num_clients, elapsed_ms)
+                else:
+                    batch = drain(batch_size)
+                    if not batch:
+                        return
+                    started = time.perf_counter()
+                    sink.extend(await client.query_many(batch, verify=verify))
+                    elapsed_ms = (time.perf_counter() - started) * 1000.0
+                    for _ in batch:
+                        latency.record(num_clients, elapsed_ms)
+
+        started = time.perf_counter()
+        tasks = [
+            asyncio.ensure_future(client_loop(slot)) for slot in range(num_clients)
+        ]
+        try:
+            await asyncio.gather(*tasks)
+        except BaseException:
+            # Cancel the siblings before the pool is torn down, so their
+            # aborted sockets don't surface as unhandled shutdown errors
+            # burying the first (real) failure.
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            raise
+        duration_s = time.perf_counter() - started
+    return [outcome for sink in outcomes_per_client for outcome in sink], duration_s
+
+
+def run_load(
+    system: AuthScheme,
+    bounds: Sequence[Tuple[Any, Any]],
+    num_clients: int = 4,
+    mode: str = "per-query",
+    batch_size: int = 25,
+    verify: bool = True,
+    collector: Optional[MetricsCollector] = None,
+    transport: str = "inproc",
+) -> LoadReport:
+    """Replay ``bounds`` from ``num_clients`` concurrent closed-loop clients.
+
+    Every client repeatedly takes work from a shared queue until the
+    workload is drained: one query at a time in ``per-query`` mode, up to
+    ``batch_size`` queries at a time in ``batched`` mode.  Per-query latency
+    is the wall-clock time of the call that served it (so in batched mode
+    every query in a batch observes the batch's latency, which is what a
+    client waiting on the batch would see).
+
+    ``transport="tcp"`` serves ``system`` over a localhost socket for the
+    duration of the run and drives it through the async client SDK; the
+    report then also carries the server's own queries-per-second counter
+    (``server_qps``).
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+    if transport not in TRANSPORTS:
+        raise ValueError(f"unknown transport {transport!r}; expected one of {TRANSPORTS}")
+    if num_clients < 1:
+        raise ValueError("the load driver needs at least one client")
+    if mode == "batched" and batch_size < 1:
+        raise ValueError("batch_size must be positive")
+
+    collector = collector or MetricsCollector()
+    latency = collector.series(f"latency_ms[{mode}]")
+    latency.observations[num_clients]  # materialise the bucket before the clients race
+
+    server_qps = 0.0
+    if transport == "tcp":
+        from repro.network.server import ServerThread
+
+        with ServerThread(system, max_in_flight=num_clients) as server:
+            outcomes, duration_s = asyncio.run(
+                _drive_tcp(
+                    server.host, server.port, bounds, num_clients, mode,
+                    batch_size, verify, latency,
+                )
+            )
+            if duration_s > 0:
+                server_qps = server.stats.queries_served / duration_s
+    else:
+        outcomes, duration_s = _run_load_threads(
+            system, bounds, num_clients, mode, batch_size, verify, latency
+        )
     served = len(outcomes)
     failed = sum(1 for outcome in outcomes if verify and not outcome.verified)
     consistent = all(
@@ -180,6 +308,8 @@ def run_load(
         num_clients=num_clients,
         num_shards=getattr(system, "num_shards", 1),
         scheme=getattr(system, "scheme_name", "sae"),
+        transport=transport,
+        server_qps=server_qps,
         receipts_consistent=consistent,
         num_queries=served,
         duration_s=duration_s,

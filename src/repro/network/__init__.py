@@ -1,4 +1,4 @@
-"""Byte-accounting network layer.
+"""The network layer: byte accounting in-process, real sockets out.
 
 Figure 5 of the paper compares the *authentication* communication overhead
 of SAE (the 20-byte VT between TE and client) against TOM (the VO between SP
@@ -6,6 +6,11 @@ and client).  To measure that without a real network, every message the
 entities exchange is a typed object that knows its wire size, and every pair
 of entities talks over a :class:`~repro.network.channel.Channel` that counts
 messages and bytes.
+
+On top of that simulated layer sits the real serving surface: an asyncio TCP
+server (:mod:`repro.network.server`) exposing any registered scheme behind
+the length-prefixed frame codec of :mod:`repro.network.wire`, and the pooled
+async client SDK (:mod:`repro.network.client`) that drives it.
 """
 
 from repro.network.messages import (
@@ -18,6 +23,9 @@ from repro.network.messages import (
     UpdateNotification,
 )
 from repro.network.channel import Channel, NetworkTracker
+from repro.network.client import RemoteSchemeClient, RemoteSchemeError
+from repro.network.server import SchemeServer, ServerStats, ServerThread, run_server
+from repro.network.wire import RemoteQueryOutcome, WireError
 
 __all__ = [
     "Message",
@@ -29,4 +37,12 @@ __all__ = [
     "UpdateNotification",
     "Channel",
     "NetworkTracker",
+    "RemoteSchemeClient",
+    "RemoteSchemeError",
+    "RemoteQueryOutcome",
+    "SchemeServer",
+    "ServerStats",
+    "ServerThread",
+    "run_server",
+    "WireError",
 ]

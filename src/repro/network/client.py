@@ -1,0 +1,236 @@
+"""Async client SDK for a :class:`~repro.network.server.SchemeServer`.
+
+:class:`RemoteSchemeClient` is the caller-side of the real network tier: it
+speaks the frame protocol of :mod:`repro.network.wire` over pooled TCP
+connections and returns
+:class:`~repro.network.wire.RemoteQueryOutcome` objects that quack like the
+in-process outcomes (``verified``, ``records``, ``receipt`` with the full
+shard-leg breakdown), so everything downstream -- the load driver, the
+benchmark gate, user code -- is transport-agnostic.
+
+Two bounds shape its behaviour under load:
+
+* ``pool_size`` -- the maximum number of TCP connections kept to the
+  server; connections are opened lazily and reused (each carries one
+  request/response exchange at a time, so responses can never interleave);
+* ``max_in_flight`` -- the admission semaphore: at most this many requests
+  may be outstanding at once, the rest queue client-side.  This is the
+  client half of the backpressure story (the server bounds its side too);
+  it defaults to the pool size, i.e. "no more requests than connections".
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.updates import UpdateBatch
+from repro.network import wire
+from repro.network.wire import RemoteQueryOutcome
+
+
+class RemoteSchemeError(RuntimeError):
+    """A server-side failure relayed over the wire (``ERROR`` frame)."""
+
+    def __init__(self, error: str, message: str):
+        super().__init__(f"{error}: {message}" if error else message)
+        self.error = error
+        self.message = message
+
+
+class _Connection:
+    """One pooled TCP connection (a single request/response at a time)."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+
+    async def roundtrip(self, kind: int, payload: Any) -> Tuple[int, Any]:
+        self.writer.write(wire.encode_frame(kind, payload))
+        await self.writer.drain()
+        frame = await wire.read_frame(self.reader)
+        if frame is None:
+            raise ConnectionError("server closed the connection mid-request")
+        return frame
+
+    def abort(self) -> None:
+        """Close the transport without awaiting (safe under cancellation)."""
+        self.writer.close()
+
+    async def aclose(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+class RemoteSchemeClient:
+    """Connection-pooled async client for a served scheme deployment."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        pool_size: int = 4,
+        max_in_flight: Optional[int] = None,
+    ):
+        if pool_size < 1:
+            raise ValueError("pool_size must be at least 1")
+        if max_in_flight is None:
+            max_in_flight = pool_size
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        self._host = host
+        self._port = port
+        self._pool_size = pool_size
+        self._max_in_flight = max_in_flight
+        # The asyncio primitives are created lazily on first use: on
+        # Python 3.9 they bind to the loop of the constructing thread, so a
+        # client built in synchronous code would break under asyncio.run().
+        self._admission: Optional[asyncio.Semaphore] = None
+        self._pool_free: Optional[asyncio.Condition] = None
+        self._idle: List[_Connection] = []
+        self._live: "set[_Connection]" = set()
+        self._opened = 0
+        self._closed = False
+
+    def _primitives(self) -> Tuple[asyncio.Semaphore, asyncio.Condition]:
+        """The loop-bound synchronisation primitives (created on first use)."""
+        if self._admission is None:
+            self._admission = asyncio.Semaphore(self._max_in_flight)
+            self._pool_free = asyncio.Condition()
+        return self._admission, self._pool_free
+
+    # ------------------------------------------------------------------ pool
+    async def _acquire(self) -> _Connection:
+        _, pool_free = self._primitives()
+        async with pool_free:
+            while True:
+                if self._closed:
+                    raise RuntimeError("client is closed")
+                if self._idle:
+                    return self._idle.pop()
+                if self._opened < self._pool_size:
+                    self._opened += 1
+                    break
+                await pool_free.wait()
+        try:
+            reader, writer = await asyncio.open_connection(self._host, self._port)
+        except BaseException:
+            async with pool_free:
+                self._opened -= 1
+                pool_free.notify()
+            raise
+        connection = _Connection(reader, writer)
+        self._live.add(connection)
+        return connection
+
+    async def _release(self, connection: _Connection) -> None:
+        """Return a healthy connection to the pool for reuse."""
+        _, pool_free = self._primitives()
+        async with pool_free:
+            if not self._closed:
+                self._idle.append(connection)
+            else:
+                self._live.discard(connection)
+                connection.abort()
+                self._opened -= 1
+            pool_free.notify()
+
+    async def _discard(self, connection: _Connection) -> None:
+        """Close a broken connection and free its pool slot.
+
+        The transport is closed synchronously (``abort``) before any await,
+        so a request cancelled mid-roundtrip still closes its socket -- a
+        leaked open connection would otherwise keep the server's handler
+        parked in ``read_frame`` forever.
+        """
+        connection.abort()
+        _, pool_free = self._primitives()
+        async with pool_free:
+            self._live.discard(connection)
+            self._opened -= 1
+            pool_free.notify()
+
+    async def _request(self, kind: int, payload: Any, expect: int) -> Any:
+        """One bounded-admission request/response exchange."""
+        admission, _ = self._primitives()
+        async with admission:
+            connection = await self._acquire()
+            try:
+                response_kind, response = await connection.roundtrip(kind, payload)
+            except BaseException:
+                await self._discard(connection)  # a broken stream must not be reused
+                raise
+            await self._release(connection)
+        if response_kind == wire.FRAME_ERROR:
+            raise RemoteSchemeError(response.get("error", ""), response.get("message", ""))
+        if response_kind != expect:
+            raise wire.WireError(
+                f"expected response frame 0x{expect:02x}, got 0x{response_kind:02x}"
+            )
+        return response
+
+    # ------------------------------------------------------------------ operations
+    async def ping(self) -> str:
+        """Round-trip a no-op frame; returns the served scheme's name."""
+        response = await self._request(wire.FRAME_PING, None, wire.FRAME_OK)
+        return str(response.get("scheme", ""))
+
+    async def query(self, low: Any, high: Any, verify: bool = True) -> RemoteQueryOutcome:
+        """Issue one verified range query over the wire."""
+        response = await self._request(
+            wire.FRAME_QUERY,
+            {"low": low, "high": high, "verify": verify},
+            wire.FRAME_OUTCOME,
+        )
+        return wire.outcome_from_wire(response)
+
+    async def query_many(
+        self, bounds: Sequence[Tuple[Any, Any]], verify: bool = True
+    ) -> List[RemoteQueryOutcome]:
+        """Issue a batch of range queries; one outcome per query, in order."""
+        response = await self._request(
+            wire.FRAME_QUERY_MANY,
+            {"bounds": [list(pair) for pair in bounds], "verify": verify},
+            wire.FRAME_OUTCOMES,
+        )
+        return [wire.outcome_from_wire(payload) for payload in response]
+
+    async def apply_updates(self, batch: UpdateBatch) -> int:
+        """Ship an update batch; returns the number of operations applied."""
+        response = await self._request(
+            wire.FRAME_UPDATE,
+            {"operations": wire.update_batch_to_wire(batch)},
+            wire.FRAME_OK,
+        )
+        return int(response.get("applied", 0))
+
+    async def storage_report(self) -> Dict[str, int]:
+        """The served deployment's per-party storage footprint."""
+        return await self._request(wire.FRAME_STORAGE_REPORT, None, wire.FRAME_REPORT)
+
+    # ------------------------------------------------------------------ lifecycle
+    async def aclose(self) -> None:
+        """Close every pooled connection, idle and in-flight (idempotent)."""
+        _, pool_free = self._primitives()
+        async with pool_free:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            live, self._live = self._live, set()
+            self._opened = 0
+            pool_free.notify_all()
+        for connection in live:
+            if connection not in idle:
+                # Still in flight somewhere: abort the transport so its
+                # server-side handler unparks instead of waiting forever.
+                connection.abort()
+        for connection in idle:
+            await connection.aclose()
+
+    async def __aenter__(self) -> "RemoteSchemeClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()

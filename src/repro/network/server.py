@@ -1,0 +1,316 @@
+"""An asyncio TCP server exposing a scheme deployment over real sockets.
+
+This is the serving surface the ROADMAP's "heavy traffic" north star needs:
+any registered :class:`~repro.core.scheme.AuthScheme` (directly or behind an
+:class:`~repro.core.OutsourcedDB`) becomes a network service speaking the
+length-prefixed frame protocol of :mod:`repro.network.wire`.
+
+Design points:
+
+* **asyncio front, thread-pool back** -- connections and framing are handled
+  on the event loop; the blocking scheme calls (``query`` / ``query_many`` /
+  ``apply_updates``) run on the loop's default executor, so the server keeps
+  accepting and parsing while queries execute.  The schemes are re-entrant
+  by construction (PR 1), which is exactly what this relies on.
+* **bounded admission** -- at most ``max_in_flight`` requests execute at
+  once; beyond that, requests queue on an :class:`asyncio.Semaphore` instead
+  of piling threads up, which is the server-side half of the backpressure
+  story (the client SDK bounds its side too).
+* **errors stay on the connection** -- a failing request produces an
+  ``ERROR`` frame carrying the exception type and message; the connection
+  survives, and only undecodable bytes (a desynced stream) close it.
+
+:class:`ServerThread` runs a server on a dedicated thread with its own event
+loop -- what the load driver's ``--transport tcp`` mode, the benchmark gate
+and the integration tests use to serve and drive from one process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.network import wire
+
+
+@dataclass
+class ServerStats:
+    """Aggregate counters of one server (mutated on the event loop only).
+
+    Rates are deliberately left to the caller: a meaningful qps needs the
+    caller's own measurement window (the load driver divides
+    ``queries_served`` by its drive duration), not the server's idle-laden
+    process uptime.
+    """
+
+    connections: int = 0
+    requests: int = 0
+    queries_served: int = 0
+    errors: int = 0
+
+
+class SchemeServer:
+    """Serve one scheme deployment (SAE, TOM, sharded or not) over TCP."""
+
+    def __init__(
+        self,
+        db: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_in_flight: int = 64,
+    ):
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        self._db = db
+        self._host = host
+        self._port = port
+        self._max_in_flight = max_in_flight
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._admission: Optional[asyncio.Semaphore] = None
+        self.stats = ServerStats()
+
+    # ------------------------------------------------------------------ lifecycle
+    @property
+    def scheme_name(self) -> str:
+        """Registry name of the served scheme."""
+        return getattr(self._db, "scheme_name", "")
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``; the port is resolved after :meth:`start`."""
+        return self._host, self._port
+
+    async def start(self) -> "SchemeServer":
+        """Bind the listening socket (port 0 picks a free port)."""
+        self._admission = asyncio.Semaphore(self._max_in_flight)
+        self._server = await asyncio.start_server(self._handle, self._host, self._port)
+        self._port = self._server.sockets[0].getsockname()[1]
+        self.stats = ServerStats()
+        return self
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (:meth:`start` must have run)."""
+        if self._server is None:
+            raise RuntimeError("start() must be called before serve_forever()")
+        async with self._server:
+            await self._server.serve_forever()
+
+    def close_listener(self) -> None:
+        """Synchronously stop accepting new connections (see :meth:`aclose`).
+
+        Lets a shutdown sequence stop the intake, then cancel the live
+        connection handlers, and only afterwards await :meth:`aclose` --
+        on Python >= 3.12.1 ``Server.wait_closed()`` also waits for active
+        handlers, so awaiting it with handlers still parked on a read
+        would deadlock.
+        """
+        if self._server is not None:
+            self._server.close()
+
+    async def aclose(self) -> None:
+        """Stop accepting connections and close the listening socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------ serving
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One connection: read frames, serve them, write responses, repeat."""
+        self.stats.connections += 1
+        try:
+            while True:
+                try:
+                    frame = await wire.read_frame(reader)
+                except wire.WireError:
+                    # The stream is desynced; nothing sensible can follow.
+                    break
+                if frame is None:
+                    break
+                kind, payload = frame
+                writer.write(await self._serve_frame(kind, payload))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                # Swallowing the cancellation here lets a handler cancelled
+                # at shutdown finish *normally*, so asyncio's stream
+                # callback does not log a spurious CancelledError.
+                pass
+
+    async def _serve_frame(self, kind: int, payload: Any) -> bytes:
+        """Serve one request frame and return the encoded response frame."""
+        self.stats.requests += 1
+        try:
+            if self._admission is None:
+                raise RuntimeError("server not started")
+            async with self._admission:
+                return await self._dispatch(kind, payload)
+        except Exception as exc:  # noqa: BLE001 - relayed to the caller
+            self.stats.errors += 1
+            return wire.encode_frame(
+                wire.FRAME_ERROR,
+                {"error": type(exc).__name__, "message": str(exc)},
+            )
+
+    async def _dispatch(self, kind: int, payload: Any) -> bytes:
+        loop = asyncio.get_running_loop()
+        scheme = self.scheme_name
+        if kind == wire.FRAME_PING:
+            return wire.encode_frame(wire.FRAME_OK, {"scheme": scheme})
+        # The response encode runs on the executor too: serializing a wide
+        # result on the event loop would stall every other connection.
+        if kind == wire.FRAME_QUERY:
+
+            def serve_query() -> bytes:
+                outcome = self._db.query(
+                    payload["low"], payload["high"], verify=bool(payload["verify"])
+                )
+                return wire.encode_frame(
+                    wire.FRAME_OUTCOME, wire.outcome_to_wire(outcome, scheme=scheme)
+                )
+
+            response = await loop.run_in_executor(None, serve_query)
+            self.stats.queries_served += 1
+            return response
+        if kind == wire.FRAME_QUERY_MANY:
+            bounds = [(low, high) for low, high in payload["bounds"]]
+            served = len(bounds)
+
+            def serve_query_many() -> bytes:
+                outcomes = self._db.query_many(bounds, verify=bool(payload["verify"]))
+                return wire.encode_frame(
+                    wire.FRAME_OUTCOMES,
+                    [wire.outcome_to_wire(outcome, scheme=scheme) for outcome in outcomes],
+                )
+
+            response = await loop.run_in_executor(None, serve_query_many)
+            self.stats.queries_served += served
+            return response
+        if kind == wire.FRAME_UPDATE:
+            batch = wire.update_batch_from_wire(payload["operations"])
+            await loop.run_in_executor(None, lambda: self._db.apply_updates(batch))
+            return wire.encode_frame(wire.FRAME_OK, {"applied": len(batch.operations)})
+        if kind == wire.FRAME_STORAGE_REPORT:
+            report = await loop.run_in_executor(None, self._db.storage_report)
+            return wire.encode_frame(wire.FRAME_REPORT, dict(report))
+        raise wire.WireError(f"unknown request frame kind 0x{kind:02x}")
+
+
+def run_server(
+    db: Any, host: str = "127.0.0.1", port: int = 9009, max_in_flight: int = 64
+) -> None:
+    """Blocking convenience entry point: serve ``db`` until interrupted."""
+
+    async def _main() -> None:
+        server = SchemeServer(db, host=host, port=port, max_in_flight=max_in_flight)
+        await server.start()
+        bound_host, bound_port = server.address
+        print(
+            f"serving scheme {server.scheme_name!r} on {bound_host}:{bound_port} "
+            f"(max {max_in_flight} in-flight requests)"
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+class ServerThread:
+    """A :class:`SchemeServer` on a background thread with its own event loop.
+
+    Context-manager protocol: entering starts the thread and blocks until
+    the port is bound (so ``server.port`` is immediately usable); exiting
+    stops the loop and joins the thread.  Startup failures (e.g. a busy
+    port) re-raise in the entering thread instead of dying silently.
+    """
+
+    def __init__(
+        self,
+        db: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_in_flight: int = 64,
+    ):
+        self.server = SchemeServer(db, host=host, port=port, max_in_flight=max_in_flight)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        """The bound host."""
+        return self.server.address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved once :meth:`start` returns)."""
+        return self.server.address[1]
+
+    @property
+    def stats(self) -> ServerStats:
+        """The server's aggregate counters."""
+        return self.server.stats
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        try:
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as exc:  # startup failed: report and bail
+                self._startup_error = exc
+                return
+            finally:
+                self._ready.set()
+            loop.run_forever()
+            # Shutdown order matters: stop the intake, cancel the handlers
+            # still parked on a read (also avoids "task was destroyed but it
+            # is pending" noise), and only then await the full close -- on
+            # Python >= 3.12.1 Server.wait_closed() waits for active
+            # handlers, so closing first would deadlock on an open client.
+            self.server.close_listener()
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(asyncio.gather(*pending, return_exceptions=True))
+            loop.run_until_complete(self.server.aclose())
+        finally:
+            loop.close()
+
+    def start(self) -> "ServerThread":
+        """Start serving; blocks until the listening socket is bound."""
+        if self._thread is not None:
+            raise RuntimeError("ServerThread cannot be started twice")
+        self._thread = threading.Thread(target=self._run, name="scheme-server", daemon=True)
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        """Stop the server loop and join the thread (idempotent)."""
+        if self._loop is not None and self._thread is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join()
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

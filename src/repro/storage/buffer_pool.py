@@ -1,4 +1,4 @@
-"""An LRU buffer pool between an index and its pager.
+"""An LRU buffer pool (with page pinning) between an index and its pager.
 
 The paper's cost model charges every *node access*, so the trees report
 their accesses directly to an :class:`~repro.storage.cost_model.AccessCounter`.
@@ -10,12 +10,29 @@ The buffer pool exists for two reasons:
 * correctness under mutation -- the trees mutate nodes in place during
   inserts/splits, and the pool provides a single authoritative copy of each
   page between flushes.
+
+The second point is why pages can be **pinned**: when ``capacity`` is
+smaller than the working set (e.g. a deep tree over a tiny pool), plain LRU
+could evict a page that a traversal still holds and mutates.  The held
+:class:`Page` object would keep accumulating writes while a re-fetch reads a
+diverged copy from the pager -- two "authoritative" versions of one page.  A
+pinned page is never chosen as an eviction victim (the pool temporarily
+exceeds ``capacity`` if everything resident is pinned) and cannot be freed
+or dropped until its pin count returns to zero.
+
+Scope note: the in-memory tree implementations currently keep their nodes
+as Python objects and charge the :class:`AccessCounter` directly, without
+fetching through a pool; pinning protects the pool-facing API itself (and
+any pool-backed traversal, e.g. over a
+:class:`~repro.storage.pager.FileBackedPager`)
+rather than retrofitting those trees.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
 
 from repro.storage.page import Page, PageError, PageId
 from repro.storage.pager import Pager
@@ -30,13 +47,14 @@ class BufferPool:
         self._pager = pager
         self._capacity = capacity
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
+        self._pins: Dict[int, int] = {}
         self._hits = 0
         self._misses = 0
 
     # -- statistics -----------------------------------------------------------
     @property
     def capacity(self) -> int:
-        """Maximum number of resident pages."""
+        """Maximum number of resident pages (pins may exceed it transiently)."""
         return self._capacity
 
     @property
@@ -61,6 +79,11 @@ class BufferPool:
         return len(self._frames)
 
     @property
+    def pinned_pages(self) -> int:
+        """Number of distinct pages currently pinned."""
+        return len(self._pins)
+
+    @property
     def pager(self) -> Pager:
         """The underlying pager."""
         return self._pager
@@ -73,17 +96,64 @@ class BufferPool:
         self._insert_frame(page)
         return page
 
-    def fetch(self, page_id: PageId) -> Page:
-        """Return the page with ``page_id``, reading it from the pager on a miss."""
+    def fetch(self, page_id: PageId, pin: bool = False) -> Page:
+        """Return the page with ``page_id``, reading it from the pager on a miss.
+
+        ``pin=True`` additionally pins the page (see :meth:`pin`); the
+        caller must balance it with :meth:`unpin`.
+        """
         key = int(page_id)
-        if key in self._frames:
+        page = self._frames.get(key)
+        if page is not None:
             self._frames.move_to_end(key)
             self._hits += 1
-            return self._frames[key]
+            if pin:
+                self._pins[key] = self._pins.get(key, 0) + 1
+            return page
         self._misses += 1
         page = self._pager.read_page(page_id)
+        if pin:
+            # Pin before inserting so a fully-pinned pool cannot pick the
+            # page being pinned as its own eviction victim.
+            self._pins[key] = self._pins.get(key, 0) + 1
         self._insert_frame(page)
         return page
+
+    def pin(self, page_id: PageId) -> None:
+        """Pin a resident page: it will not be evicted until unpinned.
+
+        Pins are counted, so nested traversals over the same page each take
+        (and must release) their own pin.
+        """
+        key = int(page_id)
+        if key not in self._frames:
+            raise PageError(f"page {page_id} is not resident in the buffer pool")
+        self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, page_id: PageId) -> None:
+        """Release one pin on a page (the page stays resident)."""
+        key = int(page_id)
+        count = self._pins.get(key, 0)
+        if count < 1:
+            raise PageError(f"page {page_id} is not pinned")
+        if count == 1:
+            del self._pins[key]
+            self._shrink_to_capacity()
+        else:
+            self._pins[key] = count - 1
+
+    def pin_count(self, page_id: PageId) -> int:
+        """Current pin count of a page (0 when unpinned or not resident)."""
+        return self._pins.get(int(page_id), 0)
+
+    @contextmanager
+    def pinned(self, page_id: PageId) -> Iterator[Page]:
+        """Fetch-and-pin a page for the duration of a ``with`` block."""
+        page = self.fetch(page_id, pin=True)
+        try:
+            yield page
+        finally:
+            self.unpin(page_id)
 
     def mark_dirty(self, page: Page) -> None:
         """Note that ``page`` was modified (writes already set the dirty bit)."""
@@ -108,13 +178,22 @@ class BufferPool:
                 self._pager.write_page(page)
 
     def evict_all(self) -> None:
-        """Flush and drop every resident page (simulates a cold cache)."""
+        """Flush and drop every unpinned page (simulates a cold cache).
+
+        Pinned pages are flushed but stay resident -- dropping them would
+        hand their holders stale objects, the exact bug pinning prevents.
+        """
         self.flush_all()
-        self._frames.clear()
+        self._frames = OrderedDict(
+            (key, page) for key, page in self._frames.items() if key in self._pins
+        )
 
     def free(self, page_id: PageId) -> None:
         """Drop a page from the pool and free it in the pager."""
-        self._frames.pop(int(page_id), None)
+        key = int(page_id)
+        if self._pins.get(key, 0):
+            raise PageError(f"page {page_id} is pinned and cannot be freed")
+        self._frames.pop(key, None)
         self._pager.free(page_id)
 
     def reset_stats(self) -> None:
@@ -127,8 +206,24 @@ class BufferPool:
         key = int(page.page_id)
         self._frames[key] = page
         self._frames.move_to_end(key)
-        while len(self._frames) > self._capacity:
-            victim_key, victim = self._frames.popitem(last=False)
+        self._shrink_to_capacity(keep=key)
+
+    def _shrink_to_capacity(self, keep: Optional[int] = None) -> None:
+        """Evict LRU-first down to ``capacity``, skipping pinned pages.
+
+        ``keep`` protects the page being inserted right now: with every
+        *other* frame pinned it would otherwise be the only eligible victim
+        and the caller would receive a page the pool no longer tracks
+        (whose writes would then be silently lost).  The pool instead
+        transiently exceeds capacity, exactly as it does for pinned inserts.
+        """
+        if len(self._frames) <= self._capacity:
+            return
+        victims = [
+            key for key in self._frames if key not in self._pins and key != keep
+        ][: len(self._frames) - self._capacity]
+        for victim_key in victims:
+            victim = self._frames.pop(victim_key)
             if victim.dirty:
                 self._pager.write_page(victim)
 

@@ -215,6 +215,7 @@ class TomScheme(AuthScheme):
         concurrent queries either complete before the batch or observe the
         new data *and* the new root signature(s) together.
         """
+        self._ensure_open()
         with self._state_lock.write_locked():
             self.owner.apply_updates(batch)
 
@@ -434,6 +435,7 @@ class TomScheme(AuthScheme):
         verified independently.  A reversed range returns an empty verified
         result at zero cost.
         """
+        self._ensure_open()
         if not self._ready:
             raise RuntimeError("setup() must be called before issuing queries")
         if is_reversed_range(low, high):
@@ -469,6 +471,7 @@ class TomScheme(AuthScheme):
         are identical to looping over :meth:`query`.  Reversed ranges come
         back as empty verified results with zero-cost receipts, in position.
         """
+        self._ensure_open()
         if not self._ready:
             raise RuntimeError("setup() must be called before issuing queries")
         if not bounds:
@@ -565,6 +568,7 @@ class TomScheme(AuthScheme):
     # ------------------------------------------------------------------ reporting
     def storage_report(self) -> dict:
         """Storage footprint at the SP (bytes)."""
+        self._ensure_open()
         return {
             "sp_bytes": self.provider.storage_bytes(),
             "dataset_bytes": self._dataset.size_bytes(),

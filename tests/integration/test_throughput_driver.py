@@ -122,5 +122,17 @@ class TestBenchCli:
         ])
         captured = capsys.readouterr().out
         assert code == 0
-        assert "load driver [tom]" in captured
+        assert "load driver [tom/inproc]" in captured
         assert "receipts=sum(legs)" in captured
+
+    def test_run_load_tcp_transport(self, capsys):
+        code = cli_main([
+            "bench", "run-load",
+            "--transport", "tcp",
+            "--records", "600", "--queries", "16", "--clients", "8",
+            "--mode", "per-query",
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "load driver [sae/tcp]" in captured
+        assert "server qps [per-query]" in captured

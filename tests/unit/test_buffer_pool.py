@@ -89,3 +89,127 @@ class TestBufferPool:
     def test_contains(self, pool):
         page = pool.allocate()
         assert page.page_id in pool
+
+
+class TestPagePinning:
+    """Regression tests: a page held by a traversal must not be evicted.
+
+    With ``capacity`` smaller than the working set (capacity=1 vs a
+    multi-page walk), plain LRU used to evict a page the caller still held
+    and mutated; a re-fetch then read a diverged copy from the pager.
+    """
+
+    def test_pinned_page_survives_eviction_pressure_at_capacity_1(self):
+        pool = BufferPool(InMemoryPager(page_size=128), capacity=1)
+        held = pool.allocate()
+        pool.pin(held.page_id)
+        held.write(b"held and mutated")
+        others = [pool.allocate() for _ in range(3)]  # would evict `held` pre-fix
+        assert held.page_id in pool
+        # A traversal re-fetching the page must see the SAME object, not a
+        # diverged copy re-read from the pager.
+        assert pool.fetch(held.page_id) is held
+        assert pool.fetch(held.page_id).read(0, 16) == b"held and mutated"
+        assert all(other.page_id is not None for other in others)
+
+    def test_unpin_makes_the_page_evictable_with_write_back(self):
+        pager = InMemoryPager(page_size=128)
+        pool = BufferPool(pager, capacity=1)
+        held = pool.allocate()
+        pool.pin(held.page_id)
+        held.write(b"dirty while pinned")
+        pool.unpin(held.page_id)
+        pool.allocate()  # evicts `held` now that it is unpinned
+        assert held.page_id not in pool
+        # The mutation was written back on eviction, not lost.
+        assert pager.read_page(held.page_id).read(0, 18) == b"dirty while pinned"
+
+    def test_unpinned_fetch_into_fully_pinned_pool_stays_resident(self):
+        """Regression: the page being inserted must never be its own
+        eviction victim — an unpinned fetch into a fully-pinned pool used
+        to return a page the pool no longer tracked, silently losing its
+        writes (flush_all only walks resident frames)."""
+        pager = InMemoryPager(page_size=128)
+        pool = BufferPool(pager, capacity=1)
+        pinned = pool.allocate()
+        pool.pin(pinned.page_id)
+        other_id = pager.allocate()
+        fetched = pool.fetch(other_id)
+        assert other_id in pool  # transient over-capacity, not self-eviction
+        fetched.write(b"must not vanish")
+        pool.flush_all()
+        assert pager.read_page(other_id).read(0, 15) == b"must not vanish"
+        assert pool.fetch(other_id) is fetched
+        pool.unpin(pinned.page_id)  # now the LRU pinned page becomes evictable
+        pool.allocate()
+        assert pool.resident_pages <= 2
+
+    def test_fetch_with_pin_into_fully_pinned_pool(self):
+        pool = BufferPool(InMemoryPager(page_size=128), capacity=1)
+        first = pool.allocate()
+        pool.pin(first.page_id)
+        second_id = pool.pager.allocate()
+        second = pool.fetch(second_id, pin=True)
+        # Both pages are pinned; the pool transiently exceeds capacity
+        # rather than evicting either holder's page.
+        assert pool.resident_pages == 2
+        assert pool.fetch(first.page_id) is first
+        assert pool.fetch(second_id) is second
+        pool.unpin(first.page_id)
+        pool.unpin(second_id)
+        assert pool.resident_pages == 1
+
+    def test_pin_counts_nest(self):
+        pool = BufferPool(InMemoryPager(page_size=128), capacity=2)
+        page = pool.allocate()
+        pool.pin(page.page_id)
+        pool.pin(page.page_id)
+        assert pool.pin_count(page.page_id) == 2
+        pool.unpin(page.page_id)
+        assert pool.pin_count(page.page_id) == 1
+        pool.unpin(page.page_id)
+        assert pool.pin_count(page.page_id) == 0
+
+    def test_pinned_context_manager(self):
+        pool = BufferPool(InMemoryPager(page_size=128), capacity=1)
+        page = pool.allocate()
+        with pool.pinned(page.page_id) as held:
+            assert held is page
+            assert pool.pin_count(page.page_id) == 1
+            pool.allocate()
+            assert page.page_id in pool
+        assert pool.pin_count(page.page_id) == 0
+
+    def test_pin_requires_residency(self):
+        pool = BufferPool(InMemoryPager(page_size=128), capacity=1)
+        page = pool.allocate()
+        pool.allocate()  # evicts `page`
+        with pytest.raises(PageError):
+            pool.pin(page.page_id)
+
+    def test_unpin_unpinned_raises(self):
+        pool = BufferPool(InMemoryPager(page_size=128), capacity=1)
+        page = pool.allocate()
+        with pytest.raises(PageError):
+            pool.unpin(page.page_id)
+
+    def test_free_pinned_page_raises(self):
+        pool = BufferPool(InMemoryPager(page_size=128), capacity=2)
+        page = pool.allocate()
+        pool.pin(page.page_id)
+        with pytest.raises(PageError):
+            pool.free(page.page_id)
+        pool.unpin(page.page_id)
+        pool.free(page.page_id)  # legal once unpinned
+
+    def test_evict_all_keeps_pinned_pages_resident(self):
+        pager = InMemoryPager(page_size=128)
+        pool = BufferPool(pager, capacity=3)
+        pinned = pool.allocate()
+        pool.pin(pinned.page_id)
+        pinned.write(b"flushed not dropped")
+        loose = pool.allocate()
+        pool.evict_all()
+        assert pinned.page_id in pool
+        assert loose.page_id not in pool
+        assert pager.read_page(pinned.page_id).read(0, 19) == b"flushed not dropped"

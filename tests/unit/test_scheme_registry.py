@@ -128,3 +128,125 @@ class TestReversedRangeParity:
             assert getattr(sae_outcome, attribute) == getattr(tom_outcome, attribute), attribute
         assert sae_outcome.receipt.sp == tom_outcome.receipt.sp
         assert sae_outcome.receipt.te == tom_outcome.receipt.te
+
+    def test_query_many_all_reversed_bounds_parity(self, sae_system, tom_system):
+        """An all-reversed batch never reaches a serving party in either scheme."""
+        bounds = [(9, 2), (100, 50), (7, 6)]
+        for system in (sae_system, tom_system):
+            outcomes = system.query_many(bounds)
+            assert len(outcomes) == len(bounds)
+            for (low, high), outcome in zip(bounds, outcomes):
+                assert outcome.verified
+                assert outcome.cardinality == 0
+                assert (outcome.query.low, outcome.query.high) == (low, high)
+                assert outcome.receipt.sp.node_accesses == 0
+                assert outcome.receipt.auth_bytes == 0
+
+
+class TestClosedSchemeGuard:
+    """Regression: ``close()`` then ``query()`` must raise, not silently
+    recreate the dispatch thread pool through ``_pool()``."""
+
+    @pytest.fixture(params=["sae", "tom"])
+    def closed_system(self, request, small_dataset):
+        kwargs = {} if request.param == "sae" else {"key_bits": 512, "seed": 7}
+        system = scheme_class(request.param)(small_dataset, **kwargs).setup()
+        system.close()
+        return system
+
+    def test_query_on_closed_scheme_raises(self, closed_system):
+        assert closed_system.closed
+        with pytest.raises(SchemeError, match="closed"):
+            closed_system.query(0, 1_000_000)
+
+    def test_query_many_on_closed_scheme_raises(self, closed_system):
+        with pytest.raises(SchemeError, match="closed"):
+            closed_system.query_many([(0, 1_000_000)])
+
+    def test_even_reversed_ranges_are_refused_when_closed(self, closed_system):
+        # A reversed range needs no pool, but serving it would still make a
+        # closed deployment look alive.
+        with pytest.raises(SchemeError, match="closed"):
+            closed_system.query(9, 2)
+
+    def test_close_does_not_revive_the_pool(self, closed_system):
+        with pytest.raises(SchemeError):
+            closed_system.query(0, 1_000_000)
+        assert closed_system._executor is None
+
+    def test_close_is_idempotent(self, closed_system):
+        closed_system.close()
+        assert closed_system.closed
+
+    def test_apply_updates_on_closed_scheme_raises(self, closed_system):
+        from repro.core.updates import UpdateBatch
+
+        with pytest.raises(SchemeError, match="closed"):
+            closed_system.apply_updates(UpdateBatch().insert((999_999, 1, b"x")))
+
+    def test_storage_report_on_closed_scheme_raises(self, closed_system):
+        with pytest.raises(SchemeError, match="closed"):
+            closed_system.storage_report()
+
+
+class TestWeaveOutcomeCount:
+    """Regression: a scheme whose batch path returns the wrong number of
+    outcomes must raise an explicit SchemeError, not a masked
+    ``RuntimeError: StopIteration`` from inside the weaving comprehension."""
+
+    @pytest.fixture()
+    def miscounting(self, small_dataset):
+        system = SaeScheme(small_dataset).setup()
+
+        def drop_one(bounds, verify):
+            return SaeScheme._query_many_valid(system, bounds, verify)[:-1]
+
+        system._query_many_valid = drop_one
+        yield system
+        system.close()
+
+    def test_miscount_with_reversed_bounds_raises_explicitly(self, miscounting):
+        bounds = [(0, 500_000), (9, 2), (1_000_000, 1_100_000)]
+        with pytest.raises(SchemeError, match="returned 1 outcomes for 2 queries"):
+            miscounting.query_many(bounds)
+
+    def test_miscount_without_reversed_bounds_raises_explicitly(self, miscounting):
+        bounds = [(0, 500_000), (1_000_000, 1_100_000)]
+        with pytest.raises(SchemeError, match="returned 1 outcomes for 2 queries"):
+            miscounting.query_many(bounds)
+
+
+class TestQueryAfterUpdateReceiptParity:
+    """Receipts stay consistent across an update batch, under both schemes."""
+
+    @pytest.fixture(params=["sae", "tom"])
+    def fresh_system(self, request, small_dataset):
+        kwargs = {} if request.param == "sae" else {"key_bits": 512, "seed": 7}
+        system = scheme_class(request.param)(
+            small_dataset.subset(600), **kwargs
+        ).setup()
+        yield system
+        system.close()
+
+    def test_receipts_verify_and_stay_consistent_after_updates(self, fresh_system):
+        from repro.core.updates import UpdateBatch
+
+        dataset = fresh_system.dataset
+        key_low = min(dataset.keys())
+        before = fresh_system.query(key_low, key_low + 2_000_000)
+        assert before.verified and before.receipt.matches_leg_sums()
+
+        victim = before.records[0] if before.records else dataset.records[0]
+        batch = (
+            UpdateBatch()
+            .insert((10_000_001, key_low + 1, b"fresh-record"))
+            .delete(dataset.id_of(victim))
+        )
+        fresh_system.apply_updates(batch)
+
+        after = fresh_system.query(key_low, key_low + 2_000_000)
+        assert after.verified
+        assert after.receipt is not None and after.receipt.matches_leg_sums()
+        ids = {dataset.id_of(record) for record in after.records}
+        assert 10_000_001 in ids
+        assert dataset.id_of(victim) not in ids

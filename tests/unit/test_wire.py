@@ -1,0 +1,191 @@
+"""Unit tests for the length-prefixed binary wire codec."""
+
+import pytest
+
+from repro.core.pipeline import CostReceipt, QueryReceipt, ShardLegReceipt
+from repro.core.updates import UpdateBatch
+from repro.dbms.query import RangeQuery
+from repro.network import wire
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**80,
+            -(2**80),
+            3.5,
+            "héllo",
+            b"\x00\xff raw",
+            [],
+            [1, "two", b"three", None, [4.0]],
+            {"a": 1, 2: "b", "nested": {"x": [True, False]}},
+        ],
+    )
+    def test_round_trip(self, value):
+        assert wire.decode_value(wire.encode_value(value)) == value
+
+    def test_tuples_decode_as_lists(self):
+        assert wire.decode_value(wire.encode_value((1, 2))) == [1, 2]
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(wire.WireError):
+            wire.encode_value(object())
+
+    def test_truncated_value_raises(self):
+        data = wire.encode_value("hello world")
+        with pytest.raises(wire.WireError):
+            wire.decode_value(data[:-3])
+
+    def test_trailing_bytes_raise(self):
+        with pytest.raises(wire.WireError):
+            wire.decode_value(wire.encode_value(1) + b"\x00")
+
+    def test_invalid_utf8_string_raises_wire_error(self):
+        # tag STR, length 3, invalid UTF-8 payload: must not escape as
+        # UnicodeDecodeError (the server only catches WireError).
+        data = bytes([0x05]) + (3).to_bytes(4, "big") + b"\xff\xff\xff"
+        with pytest.raises(wire.WireError, match="malformed"):
+            wire.decode_value(data)
+
+    def test_unhashable_dict_key_raises_wire_error(self):
+        # A dict frame whose single key is a (unhashable) list.
+        key = wire.encode_value([1])
+        item = wire.encode_value(2)
+        data = bytes([0x08]) + (1).to_bytes(4, "big") + key + item
+        with pytest.raises(wire.WireError, match="malformed"):
+            wire.decode_value(data)
+
+    def test_pathological_nesting_raises_wire_error(self):
+        # Deeper than the interpreter's recursion limit: lists nested
+        # 100_000 levels, hand-built (the encoder itself would recurse).
+        depth = 100_000
+        data = (bytes([0x07]) + (1).to_bytes(4, "big")) * depth + wire.encode_value(None)
+        with pytest.raises(wire.WireError, match="malformed"):
+            wire.decode_value(data)
+
+
+class TestFrames:
+    def test_round_trip(self):
+        frame = wire.encode_frame(wire.FRAME_QUERY, {"low": 1, "high": 2, "verify": True})
+        kind, length = wire.decode_frame_header(frame[: wire.FRAME_HEADER.size])
+        assert kind == wire.FRAME_QUERY
+        assert length == len(frame) - wire.FRAME_HEADER.size
+        assert wire.decode_value(frame[wire.FRAME_HEADER.size:]) == {
+            "low": 1, "high": 2, "verify": True,
+        }
+
+    def test_bad_magic_raises(self):
+        frame = bytearray(wire.encode_frame(wire.FRAME_PING, None))
+        frame[0] ^= 0xFF
+        with pytest.raises(wire.WireError):
+            wire.decode_frame_header(bytes(frame[: wire.FRAME_HEADER.size]))
+
+    def test_bad_version_raises(self):
+        frame = bytearray(wire.encode_frame(wire.FRAME_PING, None))
+        frame[2] = wire.WIRE_VERSION + 1
+        with pytest.raises(wire.WireError):
+            wire.decode_frame_header(bytes(frame[: wire.FRAME_HEADER.size]))
+
+    def test_oversized_length_raises(self):
+        header = wire.FRAME_HEADER.pack(
+            wire.FRAME_MAGIC, wire.WIRE_VERSION, wire.FRAME_PING,
+            wire.MAX_PAYLOAD_BYTES + 1,
+        )
+        with pytest.raises(wire.WireError):
+            wire.decode_frame_header(header)
+
+
+def _receipt(with_legs: bool) -> QueryReceipt:
+    legs = ()
+    sp = CostReceipt(node_accesses=7, cpu_ms=0.25, io_cost_ms=70.0)
+    te = CostReceipt(node_accesses=3, cpu_ms=0.5, io_cost_ms=30.0)
+    if with_legs:
+        legs = (
+            ShardLegReceipt(
+                shard=0,
+                sp=CostReceipt(node_accesses=4, cpu_ms=0.1, io_cost_ms=40.0),
+                te=CostReceipt(node_accesses=1, cpu_ms=0.2, io_cost_ms=10.0),
+                auth_bytes=20,
+                result_bytes=100,
+            ),
+            ShardLegReceipt(
+                shard=1,
+                sp=CostReceipt(node_accesses=3, cpu_ms=0.15, io_cost_ms=30.0),
+                te=CostReceipt(node_accesses=2, cpu_ms=0.3, io_cost_ms=20.0),
+                auth_bytes=20,
+                result_bytes=60,
+            ),
+        )
+    return QueryReceipt(
+        query=RangeQuery(low=10, high=20, attribute="key"),
+        sp=sp,
+        te=te,
+        auth_bytes=40 if with_legs else 20,
+        result_bytes=160,
+        client_cpu_ms=1.5,
+        bytes_by_channel={"client->SP": 32, "SP->client": 160},
+        legs=legs,
+    )
+
+
+class TestReceiptCodec:
+    @pytest.mark.parametrize("with_legs", [False, True])
+    def test_round_trip(self, with_legs):
+        receipt = _receipt(with_legs)
+        rebuilt = wire.receipt_from_wire(wire.receipt_to_wire(receipt))
+        assert rebuilt == receipt
+        assert rebuilt.matches_leg_sums() == receipt.matches_leg_sums()
+
+    def test_leg_sum_invariant_survives_the_wire(self):
+        rebuilt = wire.receipt_from_wire(wire.receipt_to_wire(_receipt(True)))
+        assert rebuilt.legs and rebuilt.matches_leg_sums()
+
+    def test_degenerate_query_round_trips(self):
+        receipt = QueryReceipt(
+            query=RangeQuery.degenerate(9, 5, "key"),
+            sp=CostReceipt(),
+            te=CostReceipt(),
+            auth_bytes=0,
+            result_bytes=0,
+            client_cpu_ms=0.0,
+        )
+        rebuilt = wire.receipt_from_wire(wire.receipt_to_wire(receipt))
+        assert (rebuilt.query.low, rebuilt.query.high) == (9, 5)
+        assert rebuilt.query.is_empty
+
+
+class TestUpdateBatchCodec:
+    def test_round_trip(self):
+        batch = (
+            UpdateBatch()
+            .insert((1, 100, b"payload"))
+            .delete(7)
+            .modify((2, 200, b"changed"))
+        )
+        rebuilt = wire.update_batch_from_wire(wire.update_batch_to_wire(batch))
+        assert rebuilt.operations == batch.operations
+
+    def test_unknown_operation_raises(self):
+        with pytest.raises(wire.WireError):
+            wire.update_batch_from_wire([{"op": "truncate"}])
+
+
+class TestOutcomeCodec:
+    def test_remote_outcome_mirrors_in_process_shape(self, sae_system):
+        outcome = sae_system.query(1_000_000, 1_400_000)
+        remote = wire.outcome_from_wire(wire.outcome_to_wire(outcome, scheme="sae"))
+        assert remote.verified == outcome.verified
+        assert remote.cardinality == outcome.cardinality
+        assert list(remote.records) == [tuple(r) for r in outcome.records]
+        assert remote.sp_accesses == outcome.sp_accesses
+        assert remote.te_accesses == outcome.te_accesses
+        assert remote.auth_bytes == outcome.auth_bytes
+        assert remote.result_bytes == outcome.result_bytes
+        assert remote.receipt == outcome.receipt
+        assert remote.scheme == "sae"
