@@ -1,10 +1,22 @@
 """A disk-cost-aware B+-tree with duplicate-key support.
 
-The tree keeps its nodes in memory (the experiments of the paper charge
-simulated I/O, so an actual disk round-trip would add nothing but noise) but
-derives its fanout from the configured page size and counts one node access
-per node visited, which is exactly the quantity Figure 6 of the paper
-charges at 10 ms each.
+Node storage is pluggable through a
+:class:`~repro.storage.node_store.NodeStore`: with the default
+:class:`~repro.storage.node_store.MemoryNodeStore` the tree keeps its nodes
+as a plain Python object graph (the historical behaviour -- the experiments
+charge simulated I/O, so an actual disk round-trip would only add noise),
+while a :class:`~repro.storage.node_store.PagedNodeStore` serialises every
+node through a buffer pool over a pager, bounding resident memory by the
+pool size.  In both cases the tree derives its fanout from the configured
+page size and counts one node access per node visited, which is exactly the
+quantity Figure 6 of the paper charges at 10 ms each.
+
+Child and sibling pointers hold *store references*; every dereference goes
+through the store inside a per-operation scope, so a paged traversal's path
+stays pinned in the pool until the operation completes (see
+:mod:`repro.storage.node_store` for the pinning discipline and
+thread-safety contract -- the tree itself adds no locking and relies on its
+caller for mutual exclusion between mutations, exactly as before).
 
 Supported operations:
 
@@ -27,6 +39,7 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 from repro.btree.node import BPlusInternalNode, BPlusLeafNode, NodeLayout
 from repro.storage.constants import DEFAULT_PAGE_SIZE
 from repro.storage.cost_model import AccessCounter
+from repro.storage.node_store import MEMORY_NODE_STORE, NodeStore
 
 
 class BPlusTreeError(ValueError):
@@ -56,13 +69,23 @@ class BPlusTreeConfig:
 
 
 class BPlusTree:
-    """A B+-tree mapping (possibly duplicate) keys to opaque values."""
+    """A B+-tree mapping (possibly duplicate) keys to opaque values.
+
+    Thread-safety: concurrent read operations are safe; mutations require
+    external mutual exclusion (the schemes hold their read/write lock).
+    With a paged store, operations additionally serialise on the store's
+    own lock.
+    """
 
     def __init__(self, config: Optional[BPlusTreeConfig] = None,
-                 counter: Optional[AccessCounter] = None):
+                 counter: Optional[AccessCounter] = None,
+                 store: Optional[NodeStore] = None):
         self._config = config or BPlusTreeConfig()
         self._counter = counter or AccessCounter()
-        self._root: Any = BPlusLeafNode()
+        self._store = store or MEMORY_NODE_STORE
+        self._load = self._store.load
+        with self._store.write_op():
+            self._root = self._store.register(BPlusLeafNode())
         self._height = 1
         self._num_entries = 0
         self._num_leaves = 1
@@ -78,6 +101,11 @@ class BPlusTree:
     def counter(self) -> AccessCounter:
         """Node-access counter charged on every traversal."""
         return self._counter
+
+    @property
+    def store(self) -> NodeStore:
+        """The node store backing this tree."""
+        return self._store
 
     @property
     def leaf_capacity(self) -> int:
@@ -116,18 +144,53 @@ class BPlusTree:
     def __len__(self) -> int:
         return self._num_entries
 
+    def tree_state(self) -> dict:
+        """Picklable structural metadata (for deployment snapshots).
+
+        The nodes themselves live in the store; this captures the root
+        reference and the derived counts a restored tree needs.
+        """
+        return {
+            "root": self._root,
+            "height": self._height,
+            "num_entries": self._num_entries,
+            "num_leaves": self._num_leaves,
+            "num_internal": self._num_internal,
+        }
+
+    def adopt_state(self, state: dict) -> None:
+        """Re-attach to nodes already present in the store (snapshot restore)."""
+        self._free_initial_root(state["root"])
+        self._root = state["root"]
+        self._height = int(state["height"])
+        self._num_entries = int(state["num_entries"])
+        self._num_leaves = int(state["num_leaves"])
+        self._num_internal = int(state["num_internal"])
+
+    def _free_initial_root(self, new_root: Any) -> None:
+        """Release the empty root the constructor registered (restore path)."""
+        if self._root == new_root or self._num_entries:
+            return
+        from repro.storage.node_store import NodeStoreError
+
+        try:
+            with self._store.write_op():
+                self._store.free(self._root)
+        except NodeStoreError:
+            pass  # the constructor's root was never committed to this store
+
     # ------------------------------------------------------------------ search
     def _charge(self, count: int = 1) -> None:
         self._counter.record_node_access(count)
 
     def _find_leaf(self, key: Any, charge: bool = True) -> BPlusLeafNode:
         """Descend to the leftmost leaf that may contain ``key``."""
-        node = self._root
+        node = self._load(self._root)
         if charge:
             self._charge()
         while not node.is_leaf:
             index = bisect.bisect_left(node.keys, key)
-            node = node.children[index]
+            node = self._load(node.children[index])
             if charge:
                 self._charge()
         return node
@@ -135,24 +198,31 @@ class BPlusTree:
     def search(self, key: Any) -> List[Any]:
         """Return all values stored under ``key`` (empty list if absent)."""
         results: List[Any] = []
-        leaf = self._find_leaf(key)
-        while leaf is not None:
-            index = bisect.bisect_left(leaf.keys, key)
-            if index == len(leaf.keys):
-                leaf = leaf.next_leaf
-                if leaf is not None:
+        with self._store.read_op():
+            leaf = self._find_leaf(key)
+            while leaf is not None:
+                index = bisect.bisect_left(leaf.keys, key)
+                if index == len(leaf.keys):
+                    leaf = (
+                        self._load(leaf.next_leaf)
+                        if leaf.next_leaf is not None else None
+                    )
+                    if leaf is not None:
+                        self._charge()
+                    continue
+                while index < len(leaf.keys) and leaf.keys[index] == key:
+                    results.append(leaf.values[index])
+                    index += 1
+                if index < len(leaf.keys):
+                    break
+                leaf = (
+                    self._load(leaf.next_leaf)
+                    if leaf.next_leaf is not None else None
+                )
+                if leaf is not None and leaf.keys and leaf.keys[0] == key:
                     self._charge()
-                continue
-            while index < len(leaf.keys) and leaf.keys[index] == key:
-                results.append(leaf.values[index])
-                index += 1
-            if index < len(leaf.keys):
-                break
-            leaf = leaf.next_leaf
-            if leaf is not None and leaf.keys and leaf.keys[0] == key:
-                self._charge()
-            else:
-                break
+                else:
+                    break
         return results
 
     def range_search(self, low: Any, high: Any) -> List[Tuple[Any, Any]]:
@@ -160,63 +230,68 @@ class BPlusTree:
         if low > high:
             return []
         results: List[Tuple[Any, Any]] = []
-        leaf = self._find_leaf(low)
-        while leaf is not None:
-            start = bisect.bisect_left(leaf.keys, low)
-            for index in range(start, len(leaf.keys)):
-                key = leaf.keys[index]
-                if key > high:
+        with self._store.read_op():
+            leaf = self._find_leaf(low)
+            while leaf is not None:
+                start = bisect.bisect_left(leaf.keys, low)
+                for index in range(start, len(leaf.keys)):
+                    key = leaf.keys[index]
+                    if key > high:
+                        return results
+                    results.append((key, leaf.values[index]))
+                if leaf.keys and leaf.keys[-1] > high:
                     return results
-                results.append((key, leaf.values[index]))
-            if leaf.keys and leaf.keys[-1] > high:
-                return results
-            leaf = leaf.next_leaf
-            if leaf is not None:
-                self._charge()
+                leaf = (
+                    self._load(leaf.next_leaf)
+                    if leaf.next_leaf is not None else None
+                )
+                if leaf is not None:
+                    self._charge()
         return results
 
     def items(self) -> Iterator[Tuple[Any, Any]]:
         """Iterate over all entries in key order without charging accesses."""
-        node = self._root
+        node = self._load(self._root)
         while not node.is_leaf:
-            node = node.children[0]
+            node = self._load(node.children[0])
         while node is not None:
             for key, value in zip(node.keys, node.values):
                 yield key, value
-            node = node.next_leaf
+            node = self._load(node.next_leaf) if node.next_leaf is not None else None
 
     def min_key(self) -> Any:
         """Smallest key in the tree (``None`` when empty)."""
         if self._num_entries == 0:
             return None
-        node = self._root
+        node = self._load(self._root)
         while not node.is_leaf:
-            node = node.children[0]
+            node = self._load(node.children[0])
         return node.keys[0]
 
     def max_key(self) -> Any:
         """Largest key in the tree (``None`` when empty)."""
         if self._num_entries == 0:
             return None
-        node = self._root
+        node = self._load(self._root)
         while not node.is_leaf:
-            node = node.children[-1]
+            node = self._load(node.children[-1])
         return node.keys[-1]
 
     # ------------------------------------------------------------------ insert
     def insert(self, key: Any, value: Any) -> None:
         """Insert ``(key, value)``; duplicate keys are allowed."""
-        self._charge()
-        split = self._insert_recursive(self._root, key, value)
-        if split is not None:
-            separator, right = split
-            new_root = BPlusInternalNode()
-            new_root.keys = [separator]
-            new_root.children = [self._root, right]
-            self._root = new_root
-            self._height += 1
-            self._num_internal += 1
-        self._num_entries += 1
+        with self._store.write_op():
+            self._charge()
+            split = self._insert_recursive(self._load(self._root), key, value)
+            if split is not None:
+                separator, right_ref = split
+                new_root = BPlusInternalNode()
+                new_root.keys = [separator]
+                new_root.children = [self._root, right_ref]
+                self._root = self._store.register(new_root)
+                self._height += 1
+                self._num_internal += 1
+            self._num_entries += 1
 
     def _insert_recursive(self, node: Any, key: Any, value: Any):
         if node.is_leaf:
@@ -229,12 +304,12 @@ class BPlusTree:
 
         index = bisect.bisect_right(node.keys, key)
         self._charge()
-        split = self._insert_recursive(node.children[index], key, value)
+        split = self._insert_recursive(self._load(node.children[index]), key, value)
         if split is None:
             return None
-        separator, right = split
+        separator, right_ref = split
         node.keys.insert(index, separator)
-        node.children.insert(index + 1, right)
+        node.children.insert(index + 1, right_ref)
         if len(node.keys) > self.internal_capacity:
             return self._split_internal(node)
         return None
@@ -247,9 +322,10 @@ class BPlusTree:
         leaf.keys = leaf.keys[:mid]
         leaf.values = leaf.values[:mid]
         right.next_leaf = leaf.next_leaf
-        leaf.next_leaf = right
+        right_ref = self._store.register(right)
+        leaf.next_leaf = right_ref
         self._num_leaves += 1
-        return right.keys[0], right
+        return right.keys[0], right_ref
 
     def _split_internal(self, node: BPlusInternalNode):
         mid = len(node.keys) // 2
@@ -260,23 +336,28 @@ class BPlusTree:
         node.keys = node.keys[:mid]
         node.children = node.children[:mid + 1]
         self._num_internal += 1
-        return separator, right
+        return separator, self._store.register(right)
 
     # ------------------------------------------------------------------ delete
     def delete(self, key: Any, value: Any = None) -> None:
         """Delete one entry with ``key`` (and ``value``, when given).
 
-        Raises :class:`BPlusTreeError` if no matching entry exists.
+        Raises :class:`BPlusTreeError` if no matching entry exists (the
+        store then discards the scope, so a failed delete mutates nothing).
         """
-        self._charge()
-        removed = self._delete_recursive(self._root, key, value)
-        if not removed:
-            raise BPlusTreeError(f"key {key!r} (value {value!r}) not found")
-        if not self._root.is_leaf and len(self._root.children) == 1:
-            self._root = self._root.children[0]
-            self._height -= 1
-            self._num_internal -= 1
-        self._num_entries -= 1
+        with self._store.write_op():
+            self._charge()
+            root = self._load(self._root)
+            removed = self._delete_recursive(root, key, value)
+            if not removed:
+                raise BPlusTreeError(f"key {key!r} (value {value!r}) not found")
+            if not root.is_leaf and len(root.children) == 1:
+                old_root = self._root
+                self._root = root.children[0]
+                self._store.free(old_root)
+                self._height -= 1
+                self._num_internal -= 1
+            self._num_entries -= 1
 
     def _delete_recursive(self, node: Any, key: Any, value: Any) -> bool:
         if node.is_leaf:
@@ -294,7 +375,7 @@ class BPlusTree:
         # whose key range can contain ``key``; try them left to right.
         removed = False
         while index < len(node.children):
-            child = node.children[index]
+            child = self._load(node.children[index])
             self._charge()
             removed = self._delete_recursive(child, key, value)
             if removed:
@@ -314,7 +395,7 @@ class BPlusTree:
         return max(1, self.internal_capacity // 2)
 
     def _rebalance_child(self, parent: BPlusInternalNode, index: int) -> None:
-        child = parent.children[index]
+        child = self._load(parent.children[index])
         if child.is_leaf:
             if len(child.keys) >= self._min_leaf_entries():
                 self._refresh_separator(parent, index)
@@ -324,8 +405,13 @@ class BPlusTree:
                 self._refresh_separator(parent, index)
                 return
 
-        left_sibling = parent.children[index - 1] if index > 0 else None
-        right_sibling = parent.children[index + 1] if index + 1 < len(parent.children) else None
+        left_sibling = (
+            self._load(parent.children[index - 1]) if index > 0 else None
+        )
+        right_sibling = (
+            self._load(parent.children[index + 1])
+            if index + 1 < len(parent.children) else None
+        )
 
         if child.is_leaf:
             if left_sibling is not None and len(left_sibling.keys) > self._min_leaf_entries():
@@ -341,14 +427,14 @@ class BPlusTree:
                 left_sibling.values.extend(child.values)
                 left_sibling.next_leaf = child.next_leaf
                 parent.keys.pop(index - 1)
-                parent.children.pop(index)
+                self._store.free(parent.children.pop(index))
                 self._num_leaves -= 1
             elif right_sibling is not None:
                 child.keys.extend(right_sibling.keys)
                 child.values.extend(right_sibling.values)
                 child.next_leaf = right_sibling.next_leaf
                 parent.keys.pop(index)
-                parent.children.pop(index + 1)
+                self._store.free(parent.children.pop(index + 1))
                 self._num_leaves -= 1
         else:
             if left_sibling is not None and len(left_sibling.keys) > self._min_internal_keys():
@@ -364,27 +450,33 @@ class BPlusTree:
                 left_sibling.keys.extend(child.keys)
                 left_sibling.children.extend(child.children)
                 parent.keys.pop(index - 1)
-                parent.children.pop(index)
+                self._store.free(parent.children.pop(index))
                 self._num_internal -= 1
             elif right_sibling is not None:
                 child.keys.append(parent.keys[index])
                 child.keys.extend(right_sibling.keys)
                 child.children.extend(right_sibling.children)
                 parent.keys.pop(index)
-                parent.children.pop(index + 1)
+                self._store.free(parent.children.pop(index + 1))
                 self._num_internal -= 1
         self._refresh_separator(parent, min(index, len(parent.children) - 1))
 
     @staticmethod
-    def _leftmost_key(node: Any) -> Any:
+    def _leftmost_key_of(node: Any) -> Any:
+        """Leftmost key of an in-construction object subtree (bulk load only)."""
         while not node.is_leaf:
             node = node.children[0]
+        return node.keys[0] if node.keys else None
+
+    def _leftmost_key(self, node: Any) -> Any:
+        while not node.is_leaf:
+            node = self._load(node.children[0])
         return node.keys[0] if node.keys else None
 
     def _refresh_separator(self, parent: BPlusInternalNode, index: int) -> None:
         """Keep parent separators consistent with the leftmost key of each child."""
         for key_index in range(len(parent.keys)):
-            child = parent.children[key_index + 1]
+            child = self._load(parent.children[key_index + 1])
             leftmost = self._leftmost_key(child)
             if leftmost is not None:
                 parent.keys[key_index] = leftmost
@@ -394,7 +486,10 @@ class BPlusTree:
         """Rebuild the tree from ``items`` sorted by key (ascending).
 
         Raises :class:`BPlusTreeError` if the tree is non-empty or the input
-        is not sorted.
+        is not sorted.  The build materialises the whole tree before writing
+        it to the store, so setup needs memory proportional to the dataset
+        even under paged storage; steady-state serving afterwards is bounded
+        by the pool.
         """
         if self._num_entries:
             raise BPlusTreeError("bulk_load requires an empty tree")
@@ -438,46 +533,80 @@ class BPlusTree:
                 group = level[start:start + per_internal + 1]
                 parent = BPlusInternalNode()
                 parent.children = group
-                parent.keys = [self._leftmost_key(child) for child in group[1:]]
+                parent.keys = [self._leftmost_key_of(child) for child in group[1:]]
                 parents.append(parent)
             # Merge a trailing single-child parent into its predecessor.
             if len(parents) >= 2 and len(parents[-1].children) == 1:
                 lonely = parents.pop()
                 parents[-1].children.extend(lonely.children)
-                parents[-1].keys.append(self._leftmost_key(lonely.children[0]))
+                parents[-1].keys.append(self._leftmost_key_of(lonely.children[0]))
             self._num_internal += len(parents)
             level = parents
             height += 1
-        self._root = level[0]
         self._height = height
+        with self._store.write_op():
+            old_root = self._root
+            # Register the leaf chain right-to-left so every leaf can hold
+            # its successor's reference, then intern the internal levels.
+            memo: dict = {}
+            next_ref = None
+            for leaf in reversed(leaves):
+                leaf.next_leaf = next_ref
+                next_ref = self._store.register(leaf)
+                memo[id(leaf)] = next_ref
+            self._root = self._intern_subtree(level[0], memo)
+            self._store.free(old_root)
+
+    def _intern_subtree(self, node: Any, memo: dict) -> Any:
+        """Register an object subtree with the store, bottom-up.
+
+        Child object pointers are replaced by store references; ``memo``
+        (``id(node) -> ref``) carries the already-registered leaves.  With
+        the memory store this is the identity transformation.
+        """
+        ref = memo.get(id(node))
+        if ref is not None:
+            return ref
+        if not node.is_leaf:
+            node.children = [
+                self._intern_subtree(child, memo) for child in node.children
+            ]
+        ref = self._store.register(node)
+        memo[id(node)] = ref
+        return ref
 
     # ------------------------------------------------------------------ validation
     def validate(self) -> None:
         """Check structural invariants; raises :class:`BPlusTreeError` on violation.
 
         Used by the test suite (including the hypothesis state-machine tests)
-        after random operation sequences.
+        after random operation sequences.  Loads the entire tree inside one
+        operation scope, so it is meant for tests, not for serving paths.
         """
-        leaves: List[BPlusLeafNode] = []
-        self._validate_node(self._root, None, None, self._height, leaves)
-        # Leaf chain must cover exactly the leaves found by traversal, in order.
-        node = self._root
-        while not node.is_leaf:
-            node = node.children[0]
-        chained = []
-        while node is not None:
-            chained.append(node)
-            node = node.next_leaf
-        if chained != leaves:
-            raise BPlusTreeError("leaf chain does not match tree traversal order")
-        total = sum(len(leaf.keys) for leaf in leaves)
-        if total != self._num_entries:
-            raise BPlusTreeError(
-                f"entry count mismatch: counted {total}, recorded {self._num_entries}"
-            )
-        all_keys = [key for leaf in leaves for key in leaf.keys]
-        if all_keys != sorted(all_keys):
-            raise BPlusTreeError("keys are not globally sorted")
+        with self._store.read_op():
+            leaves: List[BPlusLeafNode] = []
+            root = self._load(self._root)
+            self._validate_node(root, None, None, self._height, leaves)
+            # Leaf chain must cover exactly the leaves found by traversal, in
+            # order (within one scope, loading a reference twice returns the
+            # same object, so identity comparison is meaningful here).
+            node = root
+            while not node.is_leaf:
+                node = self._load(node.children[0])
+            chained = []
+            while node is not None:
+                chained.append(node)
+                node = self._load(node.next_leaf) if node.next_leaf is not None else None
+            if chained != leaves:
+                raise BPlusTreeError("leaf chain does not match tree traversal order")
+            total = sum(len(leaf.keys) for leaf in leaves)
+            if total != self._num_entries:
+                raise BPlusTreeError(
+                    f"entry count mismatch: counted {total}, recorded {self._num_entries}"
+                )
+            all_keys = [key for leaf in leaves for key in leaf.keys]
+            if all_keys != sorted(all_keys):
+                raise BPlusTreeError("keys are not globally sorted")
 
     def _validate_node(self, node: Any, low: Any, high: Any, depth: int,
                        leaves: List[BPlusLeafNode]) -> None:
@@ -499,7 +628,8 @@ class BPlusTree:
             raise BPlusTreeError("internal node children/keys arity mismatch")
         if node.keys != sorted(node.keys):
             raise BPlusTreeError("internal keys are not sorted")
-        for index, child in enumerate(node.children):
+        for index, child_ref in enumerate(node.children):
             child_low = node.keys[index - 1] if index > 0 else low
             child_high = node.keys[index] if index < len(node.keys) else high
-            self._validate_node(child, child_low, child_high, depth - 1, leaves)
+            self._validate_node(self._load(child_ref), child_low, child_high,
+                                depth - 1, leaves)

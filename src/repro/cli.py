@@ -22,6 +22,10 @@ Three subcommands cover the common workflows without writing any code:
     Serve a deployment over TCP: an asyncio server speaking the
     length-prefixed wire protocol of :mod:`repro.network.wire`, driven by
     the async client SDK (:class:`repro.network.client.RemoteSchemeClient`).
+    With ``--data-dir`` the trees are routed through the paged storage tier
+    (``--pool-pages`` bounds resident memory), a snapshot is written after
+    setup, and a restart against the same directory **warm-restarts** from
+    that snapshot -- same data, same signatures, no rebuild.
 
 ``python -m repro bench run-load``
     Drive one deployment (``--scheme {sae,tom}``) from N concurrent
@@ -95,7 +99,8 @@ def _build_parser() -> argparse.ArgumentParser:
     experiments = subparsers.add_parser("experiments", help="regenerate the paper's figures")
     experiments.add_argument("--scale", choices=["quick", "default", "paper"], default="quick")
     experiments.add_argument("--figure",
-                             choices=["5", "6", "7", "8", "scaling", "head-to-head", "all"],
+                             choices=["5", "6", "7", "8", "scaling", "head-to-head",
+                                      "storage-tier", "all"],
                              default="all")
     experiments.add_argument("--shards", default="1,2,4,8",
                              help="comma-separated shard counts for --figure scaling")
@@ -121,6 +126,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="TCP port to listen on (0 picks a free port)")
     serve.add_argument("--max-in-flight", type=_positive_int, default=64,
                        help="bounded admission: concurrent requests before queueing")
+    serve.add_argument("--storage", choices=["memory", "paged"], default="memory",
+                       help="storage tier: in-memory trees, or trees routed "
+                            "through a buffer pool over page files")
+    serve.add_argument("--data-dir", default=None,
+                       help="directory for page files and snapshots (implies "
+                            "--storage paged; an existing snapshot warm-restarts)")
+    serve.add_argument("--pool-pages", type=_positive_int, default=128,
+                       help="buffer-pool capacity (pages) per paged component")
 
     gallery = subparsers.add_parser("attack-gallery",
                                     help="run the attack gallery against every scheme")
@@ -248,7 +261,7 @@ def _run_experiments(args: argparse.Namespace) -> int:
         "8": (figure8_rows, format_figure8),
     }
     selected = list(figures) if args.figure == "all" else [args.figure]
-    if args.figure in ("scaling", "head-to-head"):
+    if args.figure in ("scaling", "head-to-head", "storage-tier"):
         selected = []
     for number in selected:
         rows_fn, format_fn = figures[number]
@@ -271,6 +284,17 @@ def _run_experiments(args: argparse.Namespace) -> int:
                               scheme=args.scheme)
         print(format_scaling(points))
         print()
+    if args.figure == "storage-tier":
+        from repro.experiments.storage_tier import format_storage_tier, run_storage_tier
+
+        all_points = []
+        for scheme_name in ("sae", "tom"):
+            points = run_storage_tier(scheme=scheme_name)
+            all_points.extend(points)
+        print(format_storage_tier(all_points))
+        print()
+        if not all(p.parity_ok and p.all_verified for p in all_points):
+            return 1
     if args.figure in ("head-to-head", "all"):
         from repro.experiments.head_to_head import (
             format_head_to_head,
@@ -292,21 +316,44 @@ def _run_experiments(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    from repro.core.scheme import has_snapshot, restore_deployment
     from repro.network.server import run_server
 
     if args.shards < 1:
         print(f"error: --shards must be at least 1, got {args.shards}", file=sys.stderr)
         return 2
-    dataset = build_dataset(args.records, distribution=args.distribution, seed=args.seed)
-    system = OutsourcedDB(
-        dataset,
-        scheme=args.scheme,
-        shards=args.shards,
-        key_bits=args.key_bits,
-        seed=args.seed,
-    ).setup()
-    print(f"dataset {dataset.name}: {dataset.cardinality} records, "
-          f"scheme {system.scheme_name}, {system.num_shards} shard(s)")
+    storage = "paged" if args.data_dir is not None else args.storage
+    if storage == "paged" and args.data_dir is None:
+        print("error: --storage paged requires --data-dir", file=sys.stderr)
+        return 2
+
+    if args.data_dir is not None and has_snapshot(args.data_dir):
+        # Warm restart: reopen the page files and the snapshot state.  No
+        # dataset generation, no tree build, no re-signing.
+        system = restore_deployment(args.data_dir, pool_pages=args.pool_pages)
+        dataset = system.dataset
+        print(f"warm restart from {args.data_dir}: {dataset.cardinality} records, "
+              f"scheme {system.scheme_name}, {system.num_shards} shard(s), "
+              f"pool {args.pool_pages} pages")
+    else:
+        dataset = build_dataset(args.records, distribution=args.distribution,
+                                seed=args.seed)
+        system = OutsourcedDB(
+            dataset,
+            scheme=args.scheme,
+            shards=args.shards,
+            key_bits=args.key_bits,
+            seed=args.seed,
+            storage=storage,
+            data_dir=args.data_dir,
+            pool_pages=args.pool_pages,
+        ).setup()
+        print(f"dataset {dataset.name}: {dataset.cardinality} records, "
+              f"scheme {system.scheme_name}, {system.num_shards} shard(s), "
+              f"storage {storage}")
+        if args.data_dir is not None:
+            path = system.snapshot()
+            print(f"snapshot written to {path} (restarts will warm-start)")
     with system:
         run_server(
             system,

@@ -45,7 +45,9 @@ from repro.core.scheme import (
     OutsourcedDB,
     SchemeError,
     available_schemes,
+    has_snapshot,
     register_scheme,
+    restore_deployment,
     scheme_class,
 )
 from repro.core.protocol import SaeScheme, SAESystem, QueryOutcome
@@ -55,7 +57,9 @@ __all__ = [
     "OutsourcedDB",
     "SchemeError",
     "available_schemes",
+    "has_snapshot",
     "register_scheme",
+    "restore_deployment",
     "scheme_class",
     "SaeScheme",
     "CostReceipt",

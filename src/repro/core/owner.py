@@ -53,6 +53,15 @@ class DataOwner:
         self._provider = provider
         self._trusted_entity = trusted_entity
 
+    def adopt(self, provider: ServiceProvider, trusted_entity: TrustedEntity) -> None:
+        """Re-attach to parties restored from a snapshot.
+
+        Unlike :meth:`outsource`, nothing is transmitted: the parties
+        already hold the dataset state they had when the snapshot was taken.
+        """
+        self._provider = provider
+        self._trusted_entity = trusted_entity
+
     # ------------------------------------------------------------------ updates
     def apply_updates(self, batch: UpdateBatch) -> None:
         """Apply a batch locally and forward it to the SP and the TE."""

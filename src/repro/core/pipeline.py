@@ -40,11 +40,22 @@ class CostReceipt:
     ``io_cost_ms`` is the *simulated* disk cost (``node_accesses`` times the
     configured per-access charge); ``cpu_ms`` is measured wall-clock CPU
     time of the traversal itself.
+
+    ``pool_hits`` / ``pool_misses`` / ``pool_evictions`` report the
+    *physical* buffer-pool activity behind the logical ``node_accesses``
+    when the party serves from a paged node store (all zero under in-memory
+    storage): a hit is a page fetch served from the pool, a miss went to
+    the pager, an eviction made room.  This is the physical-vs-logical gap
+    of the paper's I/O model -- a warm pool answers the same logical
+    traversal with far fewer misses.
     """
 
     node_accesses: int = 0
     cpu_ms: float = 0.0
     io_cost_ms: float = 0.0
+    pool_hits: int = 0
+    pool_misses: int = 0
+    pool_evictions: int = 0
 
     @property
     def total_ms(self) -> float:
@@ -62,6 +73,9 @@ class CostReceipt:
             node_accesses=self.node_accesses + other.node_accesses,
             cpu_ms=self.cpu_ms + other.cpu_ms,
             io_cost_ms=self.io_cost_ms + other.io_cost_ms,
+            pool_hits=self.pool_hits + other.pool_hits,
+            pool_misses=self.pool_misses + other.pool_misses,
+            pool_evictions=self.pool_evictions + other.pool_evictions,
         )
 
 
@@ -173,6 +187,8 @@ class QueryReceipt:
             and self.te.node_accesses == sum(leg.te.node_accesses for leg in self.legs)
             and self.auth_bytes == sum(leg.auth_bytes for leg in self.legs)
             and self.result_bytes == sum(leg.result_bytes for leg in self.legs)
+            and self.sp.pool_misses == sum(leg.sp.pool_misses for leg in self.legs)
+            and self.sp.pool_hits == sum(leg.sp.pool_hits for leg in self.legs)
         )
 
 

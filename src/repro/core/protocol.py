@@ -43,16 +43,24 @@ from repro.core.pipeline import (
     ZERO_RECEIPT,
 )
 from repro.core.provider import ServiceProvider, ShardedServiceProvider
-from repro.core.scheme import AuthScheme, is_reversed_range, register_scheme
+from repro.core.scheme import (
+    AuthScheme,
+    SchemeError,
+    is_reversed_range,
+    load_snapshot_state,
+    register_scheme,
+    write_snapshot_state,
+)
 from repro.core.sharding import ShardedDeployment
 from repro.core.trusted_entity import ShardedTrustedEntity, TrustedEntity
 from repro.core.updates import UpdateBatch
-from repro.crypto.digest import Digest, DigestScheme, default_scheme
+from repro.crypto.digest import Digest, DigestScheme, default_scheme, get_scheme
 from repro.crypto.encoding import encode_record
 from repro.dbms.query import RangeQuery
 from repro.network.channel import NetworkTracker
 from repro.network.messages import QueryRequest, ResultResponse, VTResponse
 from repro.storage.constants import DEFAULT_PAGE_SIZE
+from repro.storage.node_store import StorageConfig
 
 
 @dataclass
@@ -104,11 +112,19 @@ class SaeScheme(AuthScheme):
         index_fill_factor: float = 1.0,
         max_workers: Optional[int] = None,
         shards: Union[int, ShardedDeployment] = 1,
+        storage: Union[str, StorageConfig] = "memory",
+        data_dir: Optional[str] = None,
+        pool_pages: int = 128,
     ):
         self._scheme = scheme or default_scheme()
         self._network = NetworkTracker()
         self._dataset = dataset
         self._deployment = ShardedDeployment.coerce(shards)
+        self._storage = StorageConfig.coerce(storage, data_dir, pool_pages)
+        self._page_size = page_size
+        self._backend = backend
+        self._node_access_ms = node_access_ms
+        self._index_fill_factor = index_fill_factor
         if self._deployment.is_sharded:
             self.provider: Union[ServiceProvider, ShardedServiceProvider] = (
                 ShardedServiceProvider(
@@ -118,6 +134,7 @@ class SaeScheme(AuthScheme):
                     node_access_ms=node_access_ms,
                     attack=attack,
                     index_fill_factor=index_fill_factor,
+                    storage=self._storage,
                 )
             )
             self.trusted_entity: Union[TrustedEntity, ShardedTrustedEntity] = (
@@ -126,6 +143,7 @@ class SaeScheme(AuthScheme):
                     scheme=self._scheme,
                     page_size=page_size,
                     node_access_ms=node_access_ms,
+                    storage=self._storage,
                 )
             )
         else:
@@ -135,11 +153,13 @@ class SaeScheme(AuthScheme):
                 node_access_ms=node_access_ms,
                 attack=attack,
                 index_fill_factor=index_fill_factor,
+                storage=self._storage,
             )
             self.trusted_entity = TrustedEntity(
                 scheme=self._scheme,
                 page_size=page_size,
                 node_access_ms=node_access_ms,
+                storage=self._storage,
             )
         self.owner = DataOwner(dataset, network=self._network)
         self.client = Client(scheme=self._scheme, key_index=dataset.schema.key_index)
@@ -176,6 +196,115 @@ class SaeScheme(AuthScheme):
     def deployment(self) -> ShardedDeployment:
         """The deployment configuration."""
         return self._deployment
+
+    @property
+    def storage(self) -> StorageConfig:
+        """The storage-tier configuration."""
+        return self._storage
+
+    # ------------------------------------------------------------------ snapshots
+    def snapshot(self) -> str:
+        """Persist the deployment under its data directory; returns the path.
+
+        Requires ``storage="paged"`` with a ``data_dir`` (the tree nodes and
+        heap pages already live in files there); writes everything else --
+        the dataset, TE tuple set, RID maps and tree metadata -- to the
+        snapshot state file.  Taken under the exclusive lock, so the
+        snapshot is a consistent point between update batches.
+        """
+        self._ensure_open()
+        if not self._ready:
+            raise SchemeError("snapshot() requires a deployment after setup()")
+        if not (self._storage.is_paged and self._storage.data_dir):
+            raise SchemeError(
+                "snapshot() requires storage='paged' with a data_dir"
+            )
+        if self._backend != "heap":
+            raise SchemeError(
+                "snapshot() requires the heap backend (sqlite owns its own durability)"
+            )
+        with self._state_lock.write_locked():
+            self.provider.flush_storage()
+            self.trusted_entity.flush_storage()
+            state = {
+                "scheme": self.scheme_name,
+                "params": {
+                    "page_size": self._page_size,
+                    "backend": self._backend,
+                    "node_access_ms": self._node_access_ms,
+                    "index_fill_factor": self._index_fill_factor,
+                    "shards": self._deployment.num_shards,
+                    "digest": self._scheme.name,
+                },
+                "dataset": self._dataset,
+                "provider": self.provider.snapshot_state(),
+                "te": self.trusted_entity.snapshot_state(),
+            }
+            return write_snapshot_state(self._storage.data_dir, state)
+
+    def close(self) -> None:
+        """Checkpoint (when durable) and shut the deployment down.
+
+        Under paged storage with a data directory a final :meth:`snapshot`
+        is taken first, so the page files and the state file leave the
+        process *consistent* -- updates applied since the last explicit
+        snapshot survive a clean shutdown.  The stores and pagers are then
+        flushed and closed (releasing their file handles) before the
+        dispatch pool shuts down.  Idempotent, like the base ``close``.
+        """
+        if not self.closed:
+            if self._ready and self._storage.is_paged and self._storage.data_dir:
+                try:
+                    self.snapshot()
+                except SchemeError:
+                    pass  # nothing snapshotable (e.g. sqlite backend)
+            self.provider.close_storage()
+            self.trusted_entity.close_storage()
+        super().close()
+
+    @classmethod
+    def restore(
+        cls,
+        data_dir: str,
+        pool_pages: int = 128,
+        max_workers: Optional[int] = None,
+        state: Optional[dict] = None,
+    ) -> "SaeScheme":
+        """Warm-restart a deployment from a :meth:`snapshot` directory.
+
+        The page files are reopened lazily through fresh buffer pools (no
+        re-signing, no re-hashing, no index rebuild); serving can begin
+        immediately with a cold cache.  ``state`` lets a caller that has
+        already loaded the snapshot state (``restore_deployment``) pass it
+        through instead of unpickling it a second time.
+        """
+        if state is None:
+            state = load_snapshot_state(data_dir, expected_scheme=cls.scheme_name)
+        elif state.get("scheme") != cls.scheme_name:
+            raise SchemeError(
+                f"snapshot state belongs to scheme {state.get('scheme')!r}, "
+                f"not {cls.scheme_name!r}"
+            )
+        params = state["params"]
+        system = cls(
+            state["dataset"],
+            scheme=get_scheme(params["digest"]),
+            page_size=params["page_size"],
+            backend=params["backend"],
+            node_access_ms=params["node_access_ms"],
+            index_fill_factor=params["index_fill_factor"],
+            max_workers=max_workers,
+            shards=params["shards"],
+            storage="paged",
+            data_dir=data_dir,
+            pool_pages=pool_pages,
+        )
+        schema = state["dataset"].schema
+        system.provider.restore_state(state["provider"], schema)
+        system.trusted_entity.restore_state(state["te"])
+        system.owner.adopt(system.provider, system.trusted_entity)
+        system._ready = True
+        return system
 
     def apply_updates(self, batch: UpdateBatch) -> None:
         """Propagate an update batch from the DO to the SP and the TE.

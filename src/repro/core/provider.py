@@ -24,6 +24,7 @@ from repro.dbms.sqlite_backend import SQLiteTable
 from repro.dbms.table import Table
 from repro.storage.constants import DEFAULT_PAGE_SIZE
 from repro.storage.cost_model import AccessCounter, CostModel
+from repro.storage.node_store import NodeStore, PagedNodeStore, StorageConfig
 
 
 class ProviderError(RuntimeError):
@@ -31,7 +32,14 @@ class ProviderError(RuntimeError):
 
 
 class ServiceProvider:
-    """The query-execution party of SAE (possibly malicious)."""
+    """The query-execution party of SAE (possibly malicious).
+
+    ``storage`` selects the storage tier: under the default in-memory
+    config the B+-tree is a plain object graph; under ``mode="paged"`` the
+    index routes through a buffer pool (``component`` names the backing
+    files under the config's data directory) and the heap file itself goes
+    on a durable pager when a data directory is configured.
+    """
 
     def __init__(
         self,
@@ -40,6 +48,8 @@ class ServiceProvider:
         node_access_ms: Optional[float] = None,
         attack: Optional[AttackModel] = None,
         index_fill_factor: float = 1.0,
+        storage: Optional[StorageConfig] = None,
+        component: str = "sae-sp",
     ):
         if backend not in ("heap", "sqlite"):
             raise ValueError(f"unknown backend {backend!r}; expected 'heap' or 'sqlite'")
@@ -51,6 +61,12 @@ class ServiceProvider:
         if node_access_ms is not None:
             self._cost_model.node_access_ms = node_access_ms
         self._attack: AttackModel = attack or NoAttack()
+        self._storage = storage or StorageConfig()
+        self._component = component
+        self._store: NodeStore = self._storage.node_store(component)
+        self._heap_pager = (
+            self._storage.heap_pager(component) if backend == "heap" else None
+        )
         self._table: Optional[Table] = None
         self._sqlite: Optional[SQLiteTable] = None
         self._dataset_schema = None
@@ -86,6 +102,16 @@ class ServiceProvider:
         """True when no attack is configured."""
         return isinstance(self._attack, NoAttack)
 
+    @property
+    def storage(self) -> StorageConfig:
+        """The storage-tier configuration."""
+        return self._storage
+
+    @property
+    def node_store(self) -> NodeStore:
+        """The node store behind the conventional index."""
+        return self._store
+
     # ------------------------------------------------------------------ data management
     def receive_dataset(self, dataset: Dataset) -> None:
         """Store the outsourced relation in the conventional DBMS."""
@@ -96,6 +122,8 @@ class ServiceProvider:
                 page_size=self._page_size,
                 counter=self._counter,
                 index_fill_factor=self._index_fill_factor,
+                store=self._store,
+                heap_pager=self._heap_pager,
             )
             self._table.bulk_load(dataset.records)
         else:
@@ -140,7 +168,7 @@ class ServiceProvider:
         the same heap access as a real fetch.
         """
         store = self._require_store()
-        with self._counter.scoped() as tally:
+        with self._counter.scoped() as tally, self._store.scoped_stats() as pool:
             started = time.perf_counter()
             if record_cache is not None and self._backend == "heap":
                 records = store.range_query(
@@ -153,6 +181,9 @@ class ServiceProvider:
             node_accesses=tally.node_accesses,
             cpu_ms=cpu_ms,
             io_cost_ms=self._cost_model.io_cost_ms(tally.node_accesses),
+            pool_hits=pool.hits,
+            pool_misses=pool.misses,
+            pool_evictions=pool.evictions,
         )
         if ctx is not None:
             ctx.sp = receipt
@@ -192,6 +223,51 @@ class ServiceProvider:
                             "the CostReceipt on ExecutionContext.sp")
         return self._last_receipt.cost_ms(include_cpu=include_cpu)
 
+    # ------------------------------------------------------------------ persistence
+    def flush_storage(self) -> None:
+        """Flush the paged store and the heap pager (no-op under memory)."""
+        self._store.flush()
+        if self._table is not None:
+            self._table.flush()
+
+    def close_storage(self) -> None:
+        """Flush and close the paged store and heap pager (idempotent)."""
+        self._store.close()
+        if self._heap_pager is not None:
+            self._heap_pager.close()
+
+    def snapshot_state(self) -> dict:
+        """Picklable SP state for deployment snapshots (heap backend only).
+
+        Raises :class:`ProviderError` for the sqlite backend (sqlite owns
+        its own durability story) or before a dataset was received.
+        """
+        if self._backend != "heap":
+            raise ProviderError("snapshots require the heap backend")
+        if self._table is None:
+            raise ProviderError("the service provider has not received a dataset yet")
+        state = {"table": self._table.table_state()}
+        if isinstance(self._store, PagedNodeStore):
+            state["store"] = self._store.snapshot_state()
+        return state
+
+    def restore_state(self, state: dict, schema) -> None:
+        """Rebuild the SP from a snapshot (store files already reopened)."""
+        if self._backend != "heap":
+            raise ProviderError("snapshots require the heap backend")
+        if isinstance(self._store, PagedNodeStore):
+            self._store.restore_state(state["store"])
+        self._dataset_schema = schema
+        self._table = Table(
+            schema,
+            page_size=self._page_size,
+            counter=self._counter,
+            index_fill_factor=self._index_fill_factor,
+            store=self._store,
+            heap_pager=self._heap_pager,
+        )
+        self._table.adopt_state(state["table"])
+
     # ------------------------------------------------------------------ reporting
     @property
     def num_records(self) -> int:
@@ -205,6 +281,10 @@ class ServiceProvider:
     def index_accesses_only(self) -> bool:
         """Whether the backend supports node-access accounting."""
         return self._backend == "heap"
+
+    def pool_stats(self):
+        """Lifetime buffer-pool stats of the SP's node store."""
+        return self._store.stats
 
 
 class ShardedServiceProvider(AttackableFleet):
@@ -232,15 +312,18 @@ class ShardedServiceProvider(AttackableFleet):
         node_access_ms: Optional[float] = None,
         attack: Optional[AttackModel] = None,
         index_fill_factor: float = 1.0,
+        storage: Optional[StorageConfig] = None,
     ):
         self._init_fleet(
             num_shards,
-            lambda: ServiceProvider(
+            lambda shard_id: ServiceProvider(
                 backend=backend,
                 page_size=page_size,
                 node_access_ms=node_access_ms,
                 attack=None,
                 index_fill_factor=index_fill_factor,
+                storage=storage,
+                component=f"sae-sp{shard_id}",
             ),
         )
         self._backend = backend
@@ -312,6 +395,13 @@ class ShardedServiceProvider(AttackableFleet):
             self._shards[shard_id].index_only_accesses(query)
             for shard_id in self.shards_for(query)
         )
+
+    # ------------------------------------------------------------------ persistence
+    def restore_state(self, state: dict, schema) -> None:
+        """Rebuild the fleet from a snapshot (store files already reopened)."""
+        self._map.restore_state(state["map"])
+        for shard, shard_state in zip(self._shards, state["shards"]):
+            shard.restore_state(shard_state, schema)
 
     # ------------------------------------------------------------------ reporting
     @property

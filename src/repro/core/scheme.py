@@ -47,6 +47,75 @@ class SchemeError(ValueError):
     """Raised for unknown scheme names or invalid orchestrator arguments."""
 
 
+#: File under a deployment's ``data_dir`` holding the pickled snapshot state
+#: (everything except the page files the paged stores already persist).
+SNAPSHOT_STATE_FILE = "state.pkl"
+
+#: Version tag written into (and required from) every snapshot state file.
+SNAPSHOT_FORMAT = "repro-snapshot/1"
+
+
+def snapshot_state_path(data_dir: str) -> str:
+    """Path of the snapshot state file under ``data_dir``."""
+    import os
+
+    return os.path.join(data_dir, SNAPSHOT_STATE_FILE)
+
+
+def has_snapshot(data_dir: str) -> bool:
+    """Whether ``data_dir`` holds a deployment snapshot."""
+    import os
+
+    return os.path.exists(snapshot_state_path(data_dir))
+
+
+def write_snapshot_state(data_dir: str, state: dict) -> str:
+    """Persist a scheme's snapshot state dict; returns the file path.
+
+    The pickle is written to a temporary file and renamed into place, so a
+    crash mid-snapshot leaves the previous state file intact.
+    """
+    import os
+    import pickle
+
+    state = dict(state)
+    state["format"] = SNAPSHOT_FORMAT
+    path = snapshot_state_path(data_dir)
+    scratch = path + ".tmp"
+    with open(scratch, "wb") as handle:
+        pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(scratch, path)
+    return path
+
+
+def load_snapshot_state(data_dir: str, expected_scheme: Optional[str] = None) -> dict:
+    """Load and validate a snapshot state dict.
+
+    Raises :class:`SchemeError` when no snapshot exists, the format tag is
+    unknown, or the snapshot belongs to a different scheme than expected.
+    Only unpickle snapshot directories you trust -- the state file is a
+    pickle, exactly like the page files next to it.
+    """
+    import pickle
+
+    path = snapshot_state_path(data_dir)
+    if not has_snapshot(data_dir):
+        raise SchemeError(f"no deployment snapshot at {path}")
+    with open(path, "rb") as handle:
+        state = pickle.load(handle)
+    if state.get("format") != SNAPSHOT_FORMAT:
+        raise SchemeError(
+            f"unsupported snapshot format {state.get('format')!r} at {path} "
+            f"(expected {SNAPSHOT_FORMAT})"
+        )
+    if expected_scheme is not None and state.get("scheme") != expected_scheme:
+        raise SchemeError(
+            f"snapshot at {path} was taken by scheme {state.get('scheme')!r}, "
+            f"not {expected_scheme!r}"
+        )
+    return state
+
+
 def is_reversed_range(low: Any, high: Any) -> bool:
     """Whether the bounds form a degenerate (empty) reversed range.
 
@@ -75,6 +144,14 @@ class AuthScheme(abc.ABC):
     :meth:`_init_dispatch` from the constructor, :meth:`_pool` where legs
     are submitted, and the inherited :meth:`close` (or the context-manager
     protocol) to shut the pool down.
+
+    Thread-safety: ``query``/``query_many`` may be called from any number
+    of threads concurrently; ``apply_updates`` and ``snapshot`` serialise
+    against in-flight queries through the implementation's read/write
+    lock.  Failure modes: every operation on a closed deployment raises
+    :class:`SchemeError` (a closed scheme never silently revives its
+    pool), and ``snapshot``/``restore`` raise :class:`SchemeError` when
+    the storage tier cannot support them.
     """
 
     #: Registry key of the scheme (e.g. ``"sae"``); set by subclasses.
@@ -198,6 +275,22 @@ class AuthScheme(abc.ABC):
             for position, (low, high) in enumerate(bounds)
         ]
 
+    # ------------------------------------------------------------------ snapshots
+    def snapshot(self) -> str:
+        """Persist the deployment for a warm restart; returns the state path.
+
+        Only meaningful under the paged storage tier; schemes that do not
+        implement durability raise :class:`SchemeError`.
+        """
+        raise SchemeError(
+            f"{self.scheme_name or type(self).__name__} does not support snapshots"
+        )
+
+    @classmethod
+    def restore(cls, data_dir: str, **kwargs: Any) -> "AuthScheme":
+        """Rebuild a deployment from a :meth:`snapshot` directory."""
+        raise SchemeError(f"{cls.__name__} does not support snapshots")
+
     # ------------------------------------------------------------------ updates & reporting
     @abc.abstractmethod
     def apply_updates(self, batch: UpdateBatch) -> None:
@@ -273,6 +366,13 @@ class OutsourcedDB:
     A ready-made :class:`AuthScheme` instance may be passed instead of a
     name, in which case no construction happens and extra keyword arguments
     are rejected.
+
+    Thread-safety: the facade adds no state of its own beyond the wrapped
+    scheme, so its concurrency contract is exactly the scheme's (queries
+    re-entrant, updates/snapshots exclusive).  Failure modes: unknown
+    scheme names and unrecognised keyword arguments raise
+    :class:`SchemeError` at construction; everything else propagates from
+    the underlying deployment.
     """
 
     def __init__(self, dataset: Dataset, scheme: Any = "sae", **kwargs: Any):
@@ -365,3 +465,22 @@ class OutsourcedDB:
     def storage_report(self) -> dict:
         """Storage footprint of every party (bytes)."""
         return self._system.storage_report()
+
+    def snapshot(self) -> str:
+        """Persist the deployment for a warm restart (paged storage only)."""
+        return self._system.snapshot()
+
+
+def restore_deployment(data_dir: str, **kwargs: Any) -> OutsourcedDB:
+    """Warm-restart whatever deployment was snapshotted under ``data_dir``.
+
+    Reads the snapshot's scheme tag, dispatches to that scheme's
+    ``restore`` classmethod (``kwargs`` -- e.g. ``pool_pages`` or
+    ``max_workers`` -- are forwarded), and wraps the result in an
+    :class:`OutsourcedDB`.  Raises :class:`SchemeError` when ``data_dir``
+    holds no (or an incompatible) snapshot.
+    """
+    state = load_snapshot_state(data_dir)
+    cls = scheme_class(str(state.get("scheme")))
+    system = cls.restore(data_dir, state=state, **kwargs)
+    return OutsourcedDB(system.dataset, scheme=system)

@@ -287,6 +287,29 @@ class ShardMap:
             raise ShardingError("no dataset has been installed yet")
         return self.router
 
+    def snapshot_state(self) -> dict:
+        """Picklable router/ownership bookkeeping for deployment snapshots."""
+        return {
+            "num_shards": self.num_shards,
+            "boundaries": self.router.boundaries if self.router is not None else None,
+            "shard_by_id": dict(self.shard_by_id),
+            "schema": self.schema,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-install bookkeeping captured by :meth:`snapshot_state`."""
+        if int(state["num_shards"]) != self.num_shards:
+            raise ShardingError(
+                f"snapshot was taken with {state['num_shards']} shards, "
+                f"this deployment has {self.num_shards}"
+            )
+        boundaries = state["boundaries"]
+        self.router = (
+            ShardRouter(boundaries, self.num_shards) if boundaries is not None else None
+        )
+        self.shard_by_id = dict(state["shard_by_id"])
+        self.schema = state["schema"]
+
 
 class ShardedFleet:
     """Shared plumbing of a fleet of single-shard parties behind one facade.
@@ -304,10 +327,14 @@ class ShardedFleet:
     #: Message of that exception (matches the single-shard party's wording).
     not_ready_message: str = "no dataset has been received yet"
 
-    def _init_fleet(self, num_shards: int, shard_factory: Callable[[], Any]) -> None:
-        """Create the shard map and one single-shard party per shard."""
+    def _init_fleet(self, num_shards: int, shard_factory: Callable[[int], Any]) -> None:
+        """Create the shard map and one single-shard party per shard.
+
+        ``shard_factory`` receives the shard id, so per-shard resources
+        (e.g. the paged storage tier's backing files) get distinct names.
+        """
         self._map = ShardMap(num_shards)
-        self._shards = [shard_factory() for _ in range(num_shards)]
+        self._shards = [shard_factory(shard_id) for shard_id in range(num_shards)]
 
     @property
     def num_shards(self) -> int:
@@ -333,6 +360,29 @@ class ShardedFleet:
     def storage_bytes(self) -> int:
         """Total storage footprint across the fleet."""
         return sum(shard.storage_bytes() for shard in self._shards)
+
+    # ------------------------------------------------------------------ persistence
+    def flush_storage(self) -> None:
+        """Flush every shard's paged store(s) (no-op under memory storage)."""
+        for shard in self._shards:
+            shard.flush_storage()
+
+    def close_storage(self) -> None:
+        """Flush and close every shard's paged store(s) (idempotent)."""
+        for shard in self._shards:
+            shard.close_storage()
+
+    def snapshot_state(self) -> dict:
+        """Picklable fleet state: per-shard party states plus the shard map.
+
+        The matching ``restore_state`` lives on each concrete fleet -- its
+        signature differs per party (the SP needs the schema, TOM's SP the
+        dataset slices, the TE nothing).
+        """
+        return {
+            "shards": [shard.snapshot_state() for shard in self._shards],
+            "map": self._map.snapshot_state(),
+        }
 
 
 class AttackableFleet(ShardedFleet):

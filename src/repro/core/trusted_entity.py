@@ -21,6 +21,7 @@ from repro.crypto.digest import Digest, DigestScheme, default_scheme
 from repro.dbms.query import RangeQuery
 from repro.storage.constants import DEFAULT_PAGE_SIZE
 from repro.storage.cost_model import AccessCounter, CostModel
+from repro.storage.node_store import NodeStore, PagedNodeStore, PoolStats, StorageConfig
 from repro.xbtree import XBTree
 from repro.xbtree.node import XBTreeLayout
 
@@ -29,8 +30,38 @@ class TrustedEntityError(RuntimeError):
     """Raised when the TE is used before receiving a dataset."""
 
 
+def _apportion(total: int, weights: Sequence[int]) -> List[int]:
+    """Split ``total`` into integer parts proportional to ``weights``.
+
+    Largest-remainder rounding: the parts always sum to ``total`` exactly,
+    which keeps the scatter-gather receipt invariant (merged = sum of legs)
+    intact for the batched TE path's physical pool counters.
+    """
+    if not weights:
+        return []
+    weight_sum = sum(weights)
+    if weight_sum <= 0:
+        parts = [total // len(weights)] * len(weights)
+        parts[0] += total - sum(parts)
+        return parts
+    exact = [total * weight / weight_sum for weight in weights]
+    parts = [int(value) for value in exact]
+    remainder = total - sum(parts)
+    order = sorted(
+        range(len(weights)), key=lambda i: exact[i] - parts[i], reverse=True
+    )
+    for i in order[:remainder]:
+        parts[i] += 1
+    return parts
+
+
 class TrustedEntity:
-    """The authentication party of SAE."""
+    """The authentication party of SAE.
+
+    ``storage`` selects the XB-tree's storage tier (see
+    :class:`~repro.storage.node_store.StorageConfig`); ``component`` names
+    the backing file under the config's data directory.
+    """
 
     def __init__(
         self,
@@ -38,6 +69,8 @@ class TrustedEntity:
         page_size: int = DEFAULT_PAGE_SIZE,
         node_access_ms: Optional[float] = None,
         use_index: bool = True,
+        storage: Optional[StorageConfig] = None,
+        component: str = "sae-te",
     ):
         self._scheme = scheme or default_scheme()
         self._counter = AccessCounter()
@@ -46,6 +79,8 @@ class TrustedEntity:
             self._cost_model.node_access_ms = node_access_ms
         self._page_size = page_size
         self._use_index = use_index
+        self._storage = storage or StorageConfig()
+        self._store: NodeStore = self._storage.node_store(component)
         self._xbtree: Optional[XBTree] = None
         self._tuples_by_id: dict = {}
         self._ready = False
@@ -94,7 +129,8 @@ class TrustedEntity:
         self._tuples_by_id = {t.record_id: t for t in te_tuples}
         if self._use_index:
             layout = XBTreeLayout(page_size=self._page_size, digest_size=self._scheme.digest_size)
-            self._xbtree = XBTree(layout=layout, scheme=self._scheme, counter=self._counter)
+            self._xbtree = XBTree(layout=layout, scheme=self._scheme, counter=self._counter,
+                                  store=self._store)
             sorted_triples = sorted(
                 ((t.key, t.record_id, t.digest) for t in te_tuples),
                 key=lambda triple: (triple[0], str(triple[1])),
@@ -161,14 +197,14 @@ class TrustedEntity:
         the method is safe to call concurrently.
         """
         self._require_ready()
-        with self._counter.scoped() as tally:
+        with self._counter.scoped() as tally, self._store.scoped_stats() as pool:
             started = time.perf_counter()
             if self._xbtree is not None:
                 token = self._xbtree.generate_vt(query.low, query.high)
             else:
                 token = self._sequential_scan_vt(query)
             cpu_ms = (time.perf_counter() - started) * 1000.0
-        receipt = self._make_receipt(tally.node_accesses, cpu_ms)
+        receipt = self._make_receipt(tally.node_accesses, cpu_ms, pool)
         if ctx is not None:
             ctx.te = receipt
         self._last_receipt = receipt  # feeds the deprecated last_* shims only
@@ -191,30 +227,52 @@ class TrustedEntity:
         if contexts is not None and len(contexts) != len(queries):
             raise ValueError("contexts must be parallel to queries")
         ranges = [(query.low, query.high) for query in queries]
-        started = time.perf_counter()
-        if self._xbtree is not None:
-            tokens, counts = self._xbtree.generate_vt_batch(ranges)
-        else:
-            tokens, counts = [], []
-            for query in queries:
-                with self._counter.scoped() as tally:
-                    tokens.append(self._sequential_scan_vt(query))
-                counts.append(tally.node_accesses)
-        cpu_ms = (time.perf_counter() - started) * 1000.0
+        with self._store.scoped_stats() as pool:
+            started = time.perf_counter()
+            if self._xbtree is not None:
+                tokens, counts = self._xbtree.generate_vt_batch(ranges)
+            else:
+                tokens, counts = [], []
+                for query in queries:
+                    with self._counter.scoped() as tally:
+                        tokens.append(self._sequential_scan_vt(query))
+                    counts.append(tally.node_accesses)
+            cpu_ms = (time.perf_counter() - started) * 1000.0
         total_accesses = sum(counts)
+        # One shared walk produced the whole batch's physical pool traffic;
+        # apportion it to the receipts proportionally to each query's
+        # logical accesses (largest-remainder, so the parts sum exactly).
+        pool_shares = [
+            _apportion(total, counts) for total in
+            (pool.hits, pool.misses, pool.evictions)
+        ]
         for position, count in enumerate(counts):
             share = count / total_accesses if total_accesses else 1.0 / max(1, len(counts))
-            receipt = self._make_receipt(count, cpu_ms * share)
+            receipt = self._make_receipt(
+                count,
+                cpu_ms * share,
+                PoolStats(
+                    hits=pool_shares[0][position],
+                    misses=pool_shares[1][position],
+                    evictions=pool_shares[2][position],
+                ),
+            )
             if contexts is not None and contexts[position] is not None:
                 contexts[position].te = receipt
             self._last_receipt = receipt
         return tokens
 
-    def _make_receipt(self, node_accesses: int, cpu_ms: float) -> CostReceipt:
+    def _make_receipt(
+        self, node_accesses: int, cpu_ms: float, pool: Optional[PoolStats] = None
+    ) -> CostReceipt:
+        pool = pool or PoolStats()
         return CostReceipt(
             node_accesses=node_accesses,
             cpu_ms=cpu_ms,
             io_cost_ms=self._cost_model.io_cost_ms(node_accesses),
+            pool_hits=pool.hits,
+            pool_misses=pool.misses,
+            pool_evictions=pool.evictions,
         )
 
     def _sequential_scan_vt(self, query: RangeQuery) -> Digest:
@@ -248,7 +306,47 @@ class TrustedEntity:
                             "the CostReceipt on ExecutionContext.te")
         return self._last_receipt.cost_ms(include_cpu=include_cpu)
 
+    # ------------------------------------------------------------------ persistence
+    def flush_storage(self) -> None:
+        """Flush the paged node store (no-op under memory storage)."""
+        self._store.flush()
+
+    def close_storage(self) -> None:
+        """Flush and close the paged node store (idempotent)."""
+        self._store.close()
+
+    def snapshot_state(self) -> dict:
+        """Picklable TE state for deployment snapshots."""
+        self._require_ready()
+        state: dict = {
+            "tuples_by_id": dict(self._tuples_by_id),
+            "use_index": self._use_index,
+        }
+        if self._xbtree is not None:
+            state["xbtree"] = self._xbtree.tree_state()
+        if isinstance(self._store, PagedNodeStore):
+            state["store"] = self._store.snapshot_state()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild the TE from a snapshot (store files already reopened)."""
+        if isinstance(self._store, PagedNodeStore):
+            self._store.restore_state(state["store"])
+        self._tuples_by_id = dict(state["tuples_by_id"])
+        if self._use_index and "xbtree" in state:
+            layout = XBTreeLayout(
+                page_size=self._page_size, digest_size=self._scheme.digest_size
+            )
+            self._xbtree = XBTree(layout=layout, scheme=self._scheme,
+                                  counter=self._counter, store=self._store)
+            self._xbtree.adopt_state(state["xbtree"])
+        self._ready = True
+
     # ------------------------------------------------------------------ reporting
+    def pool_stats(self) -> PoolStats:
+        """Lifetime buffer-pool stats of the TE's node store."""
+        return self._store.stats
+
     def storage_bytes(self) -> int:
         """The TE's storage footprint (XB-tree pages + packed L pages)."""
         self._require_ready()
@@ -284,15 +382,18 @@ class ShardedTrustedEntity(ShardedFleet):
         page_size: int = DEFAULT_PAGE_SIZE,
         node_access_ms: Optional[float] = None,
         use_index: bool = True,
+        storage: Optional[StorageConfig] = None,
     ):
         self._scheme = scheme or default_scheme()
         self._init_fleet(
             num_shards,
-            lambda: TrustedEntity(
+            lambda shard_id: TrustedEntity(
                 scheme=self._scheme,
                 page_size=page_size,
                 node_access_ms=node_access_ms,
                 use_index=use_index,
+                storage=storage,
+                component=f"sae-te{shard_id}",
             ),
         )
 
@@ -388,6 +489,13 @@ class ShardedTrustedEntity(ShardedFleet):
                 if ctx is not None:
                     ctx.te = totals[position]
         return tokens
+
+    # ------------------------------------------------------------------ persistence
+    def restore_state(self, state: dict) -> None:
+        """Rebuild the fleet from a snapshot (store files already reopened)."""
+        self._map.restore_state(state["map"])
+        for shard, shard_state in zip(self._shards, state["shards"]):
+            shard.restore_state(shard_state)
 
     # ------------------------------------------------------------------ reporting
     def tuples_per_shard(self) -> List[int]:

@@ -121,6 +121,12 @@ class Digest:
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("Digest instances are immutable")
 
+    def __reduce__(self):
+        # The immutability guard above blocks the default slot-state
+        # restoration, so pickling (used by the paged node store to persist
+        # tree nodes) must go through the constructor instead.
+        return (Digest, (self._raw, self._scheme))
+
     # -- accessors -------------------------------------------------------------
     @property
     def raw(self) -> bytes:

@@ -18,6 +18,8 @@ from repro.dbms.query import RangeQuery
 from repro.storage.constants import DEFAULT_PAGE_SIZE
 from repro.storage.cost_model import AccessCounter
 from repro.storage.heapfile import HeapFile, RecordId
+from repro.storage.node_store import NodeStore
+from repro.storage.pager import Pager
 
 
 class TableError(ValueError):
@@ -25,7 +27,12 @@ class TableError(ValueError):
 
 
 class Table:
-    """A heap-file table with a secondary B+-tree index on the key column."""
+    """A heap-file table with a secondary B+-tree index on the key column.
+
+    ``store`` selects the index's node storage (in-memory by default, a
+    paged store under the storage tier); ``heap_pager`` optionally puts the
+    heap file itself on a durable pager so the records survive restarts.
+    """
 
     def __init__(
         self,
@@ -33,15 +40,20 @@ class Table:
         page_size: int = DEFAULT_PAGE_SIZE,
         counter: Optional[AccessCounter] = None,
         index_fill_factor: float = 1.0,
+        store: Optional[NodeStore] = None,
+        heap_pager: Optional[Pager] = None,
     ):
         self._schema = schema
         self._codec = schema.codec()
         self._counter = counter or AccessCounter()
-        self._heap = HeapFile(page_size=page_size, counter=self._counter)
+        self._heap = HeapFile(
+            pager=heap_pager, page_size=page_size, counter=self._counter
+        )
         layout = NodeLayout(page_size=page_size)
         self._index = BPlusTree(
             BPlusTreeConfig(layout=layout, fill_factor=index_fill_factor),
             counter=self._counter,
+            store=store,
         )
         self._rid_by_id: Dict[Any, RecordId] = {}
 
@@ -77,6 +89,29 @@ class Table:
 
     def __len__(self) -> int:
         return self.num_records
+
+    def table_state(self) -> dict:
+        """Picklable table bookkeeping for deployment snapshots.
+
+        Combines the heap-file page directory, the B+-tree's structural
+        metadata (its nodes live in the node store), and the logical-id to
+        physical-RID map.
+        """
+        return {
+            "heap": self._heap.heap_state(),
+            "index": self._index.tree_state(),
+            "rid_by_id": dict(self._rid_by_id),
+        }
+
+    def adopt_state(self, state: dict) -> None:
+        """Re-attach to heap pages and index nodes from a snapshot."""
+        self._heap.adopt_state(state["heap"])
+        self._index.adopt_state(state["index"])
+        self._rid_by_id = dict(state["rid_by_id"])
+
+    def flush(self) -> None:
+        """Flush the heap file's pager (the index store is flushed by its owner)."""
+        self._heap.flush()
 
     # ------------------------------------------------------------------ writes
     def insert(self, fields: Sequence[Any]) -> RecordId:

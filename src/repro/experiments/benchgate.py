@@ -4,12 +4,14 @@ The ``bench-smoke`` CI job calls :func:`run_smoke`, which
 
 1. replays a quick throughput workload through the load driver (for both
    registered schemes), a quick shard-scaling sweep, the SAE-vs-TOM
-   head-to-head comparison, and a served-over-TCP pass (both schemes behind
+   head-to-head comparison, a served-over-TCP pass (both schemes behind
    the asyncio network tier, 8 concurrent clients on localhost sockets),
+   and the paged-storage-tier sweep (pool size vs cost, snapshot/restore,
+   cold vs warm cache),
 2. writes the measurements to ``BENCH_throughput.json``,
-   ``BENCH_scaling.json``, ``BENCH_head_to_head.json`` and
-   ``BENCH_network.json`` (machine-readable qps + latency percentiles, one
-   metric per key), and
+   ``BENCH_scaling.json``, ``BENCH_head_to_head.json``,
+   ``BENCH_network.json`` and ``BENCH_storage_tier.json``
+   (machine-readable qps + latency percentiles, one metric per key), and
 3. compares every **gated** metric against the committed
    ``benchmarks/baseline.json`` and fails on a regression beyond the
    tolerance (20 % by default) -- in *either* scheme.
@@ -34,6 +36,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core import OutsourcedDB
 from repro.experiments.head_to_head import run_head_to_head
 from repro.experiments.scaling import model_response_ms, run_scaling
+from repro.experiments.storage_tier import run_storage_tier
 from repro.experiments.throughput import run_load
 from repro.workloads import build_dataset
 from repro.workloads.queries import RangeQueryWorkload
@@ -44,6 +47,7 @@ BENCH_FILES = (
     "BENCH_scaling.json",
     "BENCH_head_to_head.json",
     "BENCH_network.json",
+    "BENCH_storage_tier.json",
 )
 
 #: Relative regression allowed on gated metrics before the gate fails.
@@ -407,6 +411,67 @@ def _scaling_metrics() -> List[GateMetric]:
     return metrics
 
 
+def _storage_tier_metrics() -> List[GateMetric]:
+    """Paged-storage sweep: pool size vs cost, cold vs warm (all gated).
+
+    The sweep is sequential and single-threaded, so the LRU-driven pool
+    counters are deterministic; parity with the in-memory deployment and
+    verification of every served result are hard failures, not metrics.
+    """
+    metrics: List[GateMetric] = []
+    for scheme, pool_sizes in (("sae", (8, 64)), ("tom", (64,))):
+        points = run_storage_tier(
+            cardinality=1_500,
+            pool_sizes=pool_sizes,
+            num_queries=15,
+            record_size=128,
+            scheme=scheme,
+        )
+        for point in points:
+            if not point.parity_ok:
+                raise RuntimeError(
+                    f"storage tier: {scheme} pool={point.pool_pages} diverged "
+                    f"from the in-memory deployment"
+                )
+            if not point.all_verified:
+                raise RuntimeError(
+                    f"storage tier: {scheme} pool={point.pool_pages} served an "
+                    f"unverifiable result from a restored snapshot"
+                )
+            label = f"storage_tier.{scheme}.pool{point.pool_pages}"
+            metrics.extend(
+                [
+                    GateMetric(
+                        name=f"{label}.model_qps",
+                        value=round(point.model_qps, 6),
+                        unit="qps",
+                        gate=True,
+                    ),
+                    GateMetric(
+                        name=f"{label}.mean_sp_accesses",
+                        value=round(point.mean_sp_accesses, 4),
+                        unit="accesses",
+                        gate=True,
+                        higher_is_better=False,
+                    ),
+                    GateMetric(
+                        name=f"{label}.warm_hit_rate",
+                        value=round(point.warm_hit_rate, 4),
+                        unit="ratio",
+                        gate=True,
+                    ),
+                    GateMetric(
+                        name=f"{label}.cold_pool_misses",
+                        value=point.cold_pool_misses,
+                        unit="pages",
+                        gate=True,
+                        higher_is_better=False,
+                    ),
+                ]
+            )
+    return metrics
+
+
 def collect_current_metrics() -> Dict[str, dict]:
     """All smoke documents keyed by BENCH file name."""
     return {
@@ -421,6 +486,9 @@ def collect_current_metrics() -> Dict[str, dict]:
         ),
         "BENCH_network.json": metrics_document(
             _network_metrics(), meta={"suite": "network", "scale": "quick"}
+        ),
+        "BENCH_storage_tier.json": metrics_document(
+            _storage_tier_metrics(), meta={"suite": "storage_tier", "scale": "quick"}
         ),
     }
 

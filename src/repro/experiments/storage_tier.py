@@ -1,0 +1,195 @@
+"""Storage-tier sweep: buffer-pool size vs throughput, cold vs warm cache.
+
+The paper's cost model charges per node access precisely because the
+outsourced database is assumed to be disk-resident at the SP.  With the
+paged storage tier the reproduction actually *is* disk-resident: tree nodes
+are serialised through a buffer pool over page files, a snapshot captures
+the deployment, and a restart reopens it with a cold cache.  This sweep
+quantifies that tier:
+
+* **parity** -- for every pool size, the paged deployment must answer the
+  workload with byte-identical verified results and identical *logical*
+  node-access charges as the in-memory reference deployment (pool size
+  changes physical I/O, never the paper's accounting);
+* **cold vs warm** -- each point is served twice from a freshly restored
+  snapshot: the first pass faults its working set in (``cold_miss_rate``),
+  the second enjoys whatever fits in the pool (``warm_hit_rate``), so the
+  sweep shows the pool absorbing physical I/O as its capacity grows;
+* **model qps** -- the deterministic cost-model throughput, identical
+  across pool sizes by the parity property and gated in CI exactly like
+  the other suites.
+
+Everything here is sequential and single-threaded, so LRU behaviour -- and
+with it every reported number -- is deterministic and safe to gate.
+``python -m repro bench smoke`` records the sweep as
+``BENCH_storage_tier.json``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core import OutsourcedDB
+from repro.core.scheme import restore_deployment
+from repro.experiments.scaling import model_response_ms
+from repro.metrics.reporting import format_table
+from repro.workloads import build_dataset
+from repro.workloads.queries import RangeQueryWorkload
+
+#: Pool sizes (in pages) swept by default.
+DEFAULT_POOL_SIZES: Tuple[int, ...] = (8, 32, 128)
+
+
+@dataclass(frozen=True)
+class StorageTierPoint:
+    """One (scheme, pool size) measurement of the sweep."""
+
+    scheme: str
+    records: int
+    pool_pages: int
+    num_queries: int
+    model_qps: float
+    mean_sp_accesses: float
+    cold_miss_rate: float
+    warm_hit_rate: float
+    cold_pool_misses: int
+    warm_pool_misses: int
+    parity_ok: bool
+    all_verified: bool
+
+
+def _pool_totals(outcomes: Sequence[Any]) -> Tuple[int, int]:
+    """Summed (hits, misses) over the SP and TE receipts of ``outcomes``."""
+    hits = sum(o.receipt.sp.pool_hits + o.receipt.te.pool_hits for o in outcomes)
+    misses = sum(o.receipt.sp.pool_misses + o.receipt.te.pool_misses for o in outcomes)
+    return hits, misses
+
+
+def _serve_pass(system: OutsourcedDB, bounds: Sequence[Tuple[Any, Any]]) -> List[Any]:
+    """One sequential pass over the workload (deterministic LRU order)."""
+    return [system.query(low, high) for low, high in bounds]
+
+
+def run_storage_tier(
+    cardinality: int = 2_000,
+    pool_sizes: Sequence[int] = DEFAULT_POOL_SIZES,
+    num_queries: int = 20,
+    record_size: int = 128,
+    scheme: str = "sae",
+    seed: int = 7,
+    key_bits: int = 512,
+) -> List[StorageTierPoint]:
+    """Sweep buffer-pool sizes for one scheme; see the module docstring.
+
+    Every point round-trips the deployment through ``snapshot()`` and
+    :func:`~repro.core.scheme.restore_deployment`, so the cold pass is a
+    genuine warm-restart with an empty pool -- the same path ``repro serve
+    --data-dir`` takes on a restart.
+    """
+    dataset = build_dataset(cardinality, record_size=record_size, seed=seed)
+    workload = RangeQueryWorkload(
+        count=num_queries, seed=seed + 1, attribute=dataset.schema.key_column
+    )
+    bounds = [(query.low, query.high) for query in workload]
+
+    reference_system = OutsourcedDB(
+        dataset, scheme=scheme, key_bits=key_bits, seed=seed
+    ).setup()
+    with reference_system:
+        reference = _serve_pass(reference_system, bounds)
+
+    points: List[StorageTierPoint] = []
+    for pool_pages in pool_sizes:
+        data_dir = tempfile.mkdtemp(prefix=f"repro-storage-{scheme}-{pool_pages}-")
+        try:
+            built = OutsourcedDB(
+                dataset,
+                scheme=scheme,
+                key_bits=key_bits,
+                seed=seed,
+                storage="paged",
+                data_dir=data_dir,
+                pool_pages=pool_pages,
+            ).setup()
+            built.snapshot()
+            built.close()
+
+            system = restore_deployment(data_dir, pool_pages=pool_pages)
+            with system:
+                cold = _serve_pass(system, bounds)
+                warm = _serve_pass(system, bounds)
+
+            parity_ok = all(
+                list(map(tuple, paged.records)) == list(map(tuple, ref.records))
+                and paged.receipt.sp.node_accesses == ref.receipt.sp.node_accesses
+                and paged.receipt.te.node_accesses == ref.receipt.te.node_accesses
+                for paged, ref in zip(cold, reference)
+            )
+            all_verified = all(o.verified for o in cold) and all(
+                o.verified for o in warm
+            )
+            cold_hits, cold_misses = _pool_totals(cold)
+            warm_hits, warm_misses = _pool_totals(warm)
+            responses = [model_response_ms(outcome) for outcome in cold]
+            mean_response = sum(responses) / len(responses) if responses else 0.0
+            points.append(
+                StorageTierPoint(
+                    scheme=scheme,
+                    records=cardinality,
+                    pool_pages=pool_pages,
+                    num_queries=len(bounds),
+                    model_qps=1000.0 / mean_response if mean_response else 0.0,
+                    mean_sp_accesses=(
+                        sum(o.receipt.sp.node_accesses for o in cold) / len(cold)
+                    ),
+                    cold_miss_rate=(
+                        cold_misses / (cold_hits + cold_misses)
+                        if cold_hits + cold_misses else 0.0
+                    ),
+                    warm_hit_rate=(
+                        warm_hits / (warm_hits + warm_misses)
+                        if warm_hits + warm_misses else 0.0
+                    ),
+                    cold_pool_misses=cold_misses,
+                    warm_pool_misses=warm_misses,
+                    parity_ok=parity_ok,
+                    all_verified=all_verified,
+                )
+            )
+        finally:
+            shutil.rmtree(data_dir, ignore_errors=True)
+    return points
+
+
+def format_storage_tier(points: Sequence[StorageTierPoint]) -> str:
+    """Human-readable table for the CLI."""
+    rows = [
+        (
+            point.scheme,
+            point.pool_pages,
+            f"{point.model_qps:.2f}",
+            f"{point.mean_sp_accesses:.1f}",
+            f"{point.cold_miss_rate:.2%}",
+            f"{point.warm_hit_rate:.2%}",
+            "yes" if point.parity_ok else "NO",
+            "yes" if point.all_verified else "NO",
+        )
+        for point in points
+    ]
+    return format_table(
+        (
+            "scheme",
+            "pool pages",
+            "model qps",
+            "sp accesses",
+            "cold miss",
+            "warm hit",
+            "parity",
+            "verified",
+        ),
+        rows,
+        title="storage tier: buffer-pool size vs cost (cold = restored snapshot)",
+    )

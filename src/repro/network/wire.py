@@ -236,18 +236,29 @@ async def read_frame(reader: "asyncio.StreamReader") -> Optional[Tuple[int, Any]
 
 # ---------------------------------------------------------------------- receipts
 def _cost_to_wire(cost: CostReceipt) -> Dict[str, Any]:
-    return {
+    payload = {
         "accesses": cost.node_accesses,
         "cpu_ms": cost.cpu_ms,
         "io_ms": cost.io_cost_ms,
     }
+    # Physical buffer-pool counters (paged storage tier); omitted when all
+    # zero so memory-tier frames keep their historical byte size.
+    if cost.pool_hits or cost.pool_misses or cost.pool_evictions:
+        payload["pool"] = [cost.pool_hits, cost.pool_misses, cost.pool_evictions]
+    return payload
 
 
 def _cost_from_wire(payload: Dict[str, Any]) -> CostReceipt:
+    pool = payload.get("pool") or (0, 0, 0)
+    if not (isinstance(pool, (list, tuple)) and len(pool) == 3):
+        raise WireError(f"malformed pool counters {pool!r} in cost receipt")
     return CostReceipt(
         node_accesses=int(payload["accesses"]),
         cpu_ms=float(payload["cpu_ms"]),
         io_cost_ms=float(payload["io_ms"]),
+        pool_hits=int(pool[0]),
+        pool_misses=int(pool[1]),
+        pool_evictions=int(pool[2]),
     )
 
 

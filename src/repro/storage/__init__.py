@@ -8,9 +8,13 @@ recreates that substrate:
 * :mod:`repro.storage.page` -- fixed-size page objects.
 * :mod:`repro.storage.pager` -- page allocation and (optionally file-backed)
   persistence.
-* :mod:`repro.storage.buffer_pool` -- an LRU buffer pool sitting between an
-  index and its pager, so that hot pages (e.g. tree roots) do not incur a
-  charged access on every visit.
+* :mod:`repro.storage.buffer_pool` -- an LRU buffer pool (with page pinning)
+  sitting between an index and its pager, so that hot pages (e.g. tree
+  roots) do not incur a physical read on every visit.
+* :mod:`repro.storage.node_store` -- pluggable node storage for the trees:
+  the in-memory object-graph default and the paged store that serialises
+  nodes through the buffer pool, plus the deployment-level
+  :class:`~repro.storage.node_store.StorageConfig`.
 * :mod:`repro.storage.heapfile` -- an unordered record file used by the SP to
   store the outsourced dataset, with RID-based access.
 * :mod:`repro.storage.cost_model` -- node-access accounting that converts
@@ -21,6 +25,15 @@ from repro.storage.constants import DEFAULT_PAGE_SIZE, DEFAULT_NODE_ACCESS_MS
 from repro.storage.page import Page, PageId
 from repro.storage.pager import Pager, InMemoryPager, FileBackedPager
 from repro.storage.buffer_pool import BufferPool
+from repro.storage.node_store import (
+    MEMORY_NODE_STORE,
+    MemoryNodeStore,
+    NodeStore,
+    NodeStoreError,
+    PagedNodeStore,
+    PoolStats,
+    StorageConfig,
+)
 from repro.storage.heapfile import HeapFile, RecordId
 from repro.storage.cost_model import CostModel, AccessCounter
 
@@ -33,6 +46,13 @@ __all__ = [
     "InMemoryPager",
     "FileBackedPager",
     "BufferPool",
+    "NodeStore",
+    "NodeStoreError",
+    "MemoryNodeStore",
+    "MEMORY_NODE_STORE",
+    "PagedNodeStore",
+    "PoolStats",
+    "StorageConfig",
     "HeapFile",
     "RecordId",
     "CostModel",

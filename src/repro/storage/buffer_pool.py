@@ -20,12 +20,17 @@ pinned page is never chosen as an eviction victim (the pool temporarily
 exceeds ``capacity`` if everything resident is pinned) and cannot be freed
 or dropped until its pin count returns to zero.
 
-Scope note: the in-memory tree implementations currently keep their nodes
-as Python objects and charge the :class:`AccessCounter` directly, without
-fetching through a pool; pinning protects the pool-facing API itself (and
-any pool-backed traversal, e.g. over a
-:class:`~repro.storage.pager.FileBackedPager`)
-rather than retrofitting those trees.
+The tree packages route their nodes through the pool via
+:class:`~repro.storage.node_store.PagedNodeStore`: a traversal fetches every
+page of its path with ``fetch(pin=True)`` and releases the pins when the
+operation completes, so the path stays resident while LRU eviction reclaims
+everything else.  Trees built with the default in-memory store bypass the
+pool entirely and only charge the :class:`AccessCounter`.
+
+Thread safety: the pool itself is **not** locked.  Single-traversal users
+(the round-trip tests) may call it directly from one thread;
+:class:`~repro.storage.node_store.PagedNodeStore` serialises concurrent
+traversals with its own store-wide lock before touching the pool.
 """
 
 from __future__ import annotations
@@ -50,6 +55,7 @@ class BufferPool:
         self._pins: Dict[int, int] = {}
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     # -- statistics -----------------------------------------------------------
     @property
@@ -66,6 +72,11 @@ class BufferPool:
     def misses(self) -> int:
         """Number of fetches that had to go to the pager."""
         return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Number of pages evicted to make room (``evict_all`` drops included)."""
+        return self._evictions
 
     @property
     def hit_ratio(self) -> float:
@@ -184,9 +195,11 @@ class BufferPool:
         hand their holders stale objects, the exact bug pinning prevents.
         """
         self.flush_all()
-        self._frames = OrderedDict(
+        survivors = OrderedDict(
             (key, page) for key, page in self._frames.items() if key in self._pins
         )
+        self._evictions += len(self._frames) - len(survivors)
+        self._frames = survivors
 
     def free(self, page_id: PageId) -> None:
         """Drop a page from the pool and free it in the pager."""
@@ -197,9 +210,10 @@ class BufferPool:
         self._pager.free(page_id)
 
     def reset_stats(self) -> None:
-        """Zero the hit/miss counters."""
+        """Zero the hit/miss/eviction counters."""
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     # -- internals --------------------------------------------------------------
     def _insert_frame(self, page: Page) -> None:
@@ -224,6 +238,7 @@ class BufferPool:
         ][: len(self._frames) - self._capacity]
         for victim_key in victims:
             victim = self._frames.pop(victim_key)
+            self._evictions += 1
             if victim.dirty:
                 self._pager.write_page(victim)
 

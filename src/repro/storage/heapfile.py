@@ -59,7 +59,15 @@ class HeapFileError(ValueError):
 
 
 class HeapFile:
-    """An unordered record file with RID-based access."""
+    """An unordered record file with RID-based access.
+
+    Thread-safety: concurrent ``get``/``scan`` calls are safe (the
+    file-backed pager serialises its seek/read pairs internally); mutations
+    (``insert``/``delete``/``update``) require external mutual exclusion,
+    which the schemes provide through their read/write lock.  Bad RIDs,
+    tombstoned records and oversized payloads raise
+    :class:`HeapFileError`.
+    """
 
     def __init__(
         self,
@@ -100,6 +108,41 @@ class HeapFile:
     def size_bytes(self) -> int:
         """Total storage footprint of the heap file in bytes."""
         return len(self._page_ids) * self._pager.page_size
+
+    @property
+    def pager(self) -> Pager:
+        """The underlying pager (file-backed under the paged storage tier)."""
+        return self._pager
+
+    def flush(self) -> None:
+        """Force buffered page writes down to the pager's medium."""
+        if hasattr(self._pager, "flush"):
+            self._pager.flush()
+
+    def heap_state(self) -> dict:
+        """Picklable bookkeeping (page directory) for deployment snapshots.
+
+        The page *contents* live in the pager; record ids stay stable across
+        a snapshot/restore cycle because the pages are reopened verbatim.
+        """
+        return {
+            "page_ids": [int(page_id) for page_id in self._page_ids],
+            "record_count": self._record_count,
+            "free_pages": self._pager.free_page_ids(),
+        }
+
+    def adopt_state(self, state: dict) -> None:
+        """Re-attach to pages already present in the pager (snapshot restore)."""
+        page_ids = [int(page_id) for page_id in state["page_ids"]]
+        for page_id in page_ids:
+            if not (0 <= page_id < self._pager.num_pages):
+                raise HeapFileError(
+                    f"snapshot refers to heap page {page_id}, but the pager only "
+                    f"holds {self._pager.num_pages} pages"
+                )
+        self._page_ids = [PageId(page_id) for page_id in page_ids]
+        self._record_count = int(state["record_count"])
+        self._pager.restore_free_pages(state.get("free_pages", []))
 
     # -- page helpers ------------------------------------------------------------
     def _load_page(self, page_no: int, charge: bool = True) -> Page:

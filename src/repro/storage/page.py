@@ -24,7 +24,13 @@ class PageError(ValueError):
 
 
 class Page:
-    """A fixed-size byte buffer with a dirty flag."""
+    """A fixed-size byte buffer with a dirty flag.
+
+    Not thread-safe on its own: concurrent mutation of one page must be
+    excluded by its owner (the buffer pool's user or, under the paged node
+    store, the store-wide operation lock).  Out-of-bounds reads and writes
+    raise :class:`PageError`.
+    """
 
     __slots__ = ("page_id", "_data", "_dirty")
 

@@ -7,9 +7,13 @@ are provided:
   experiments use: the paper itself reports *simulated* I/O cost (10 ms per
   node access) rather than real disk latency, so actually hitting a disk
   would only add noise.
-* :class:`FileBackedPager` persists pages in a single file, demonstrating
-  that every structure in the repository really is disk-serialisable.  The
-  integration tests round-trip the trees through it.
+* :class:`FileBackedPager` persists pages in a single file.  It is the
+  durable tier of the storage stack: a
+  :class:`~repro.storage.node_store.PagedNodeStore` serialises tree nodes
+  into its pages (through a :class:`~repro.storage.buffer_pool.BufferPool`),
+  and a :class:`~repro.storage.heapfile.HeapFile` built over it keeps the
+  outsourced records themselves on disk, which is what lets ``repro serve
+  --data-dir`` warm-restart a deployment from a snapshot.
 
 Both report the number of physical reads/writes through an optional
 :class:`~repro.storage.cost_model.AccessCounter`, which the storage ablation
@@ -19,6 +23,7 @@ benchmarks consume.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Dict, Iterator, List, Optional
 
 from repro.storage.constants import DEFAULT_PAGE_SIZE
@@ -76,6 +81,13 @@ class Pager:
     def free(self, page_id: PageId) -> None:
         """Return a page to the free list."""
         raise NotImplementedError
+
+    def free_page_ids(self) -> List[int]:
+        """Ids of freed-but-reusable pages (persisted by snapshots)."""
+        return []
+
+    def restore_free_pages(self, page_ids: "List[int]") -> None:
+        """Re-install a free list recorded by :meth:`free_page_ids`."""
 
     def close(self) -> None:
         """Release any underlying resources."""
@@ -144,6 +156,12 @@ class InMemoryPager(Pager):
         del self._pages[int(page_id)]
         self._free_list.append(int(page_id))
 
+    def free_page_ids(self) -> List[int]:
+        return list(self._free_list)
+
+    def restore_free_pages(self, page_ids: List[int]) -> None:
+        self._free_list = [int(pid) for pid in page_ids]
+
     def live_pages(self) -> Iterator[PageId]:
         """Iterate over ids of currently allocated (non-freed) pages."""
         return (PageId(pid) for pid in sorted(self._pages))
@@ -155,6 +173,10 @@ class FileBackedPager(Pager):
     The file layout is a dense array of pages; page ``i`` lives at byte
     offset ``i * page_size``.  Freed pages are tracked in memory and reused
     by subsequent allocations (the file is never shrunk).
+
+    Thread-safety: every file operation is a seek-then-read/write pair on
+    one shared handle, so the pager serialises them with an internal lock
+    -- the SP's heap file is read concurrently by every in-flight query.
     """
 
     def __init__(
@@ -165,6 +187,7 @@ class FileBackedPager(Pager):
     ):
         super().__init__(page_size=page_size, counter=counter)
         self._path = path
+        self._io_lock = threading.Lock()
         create = not os.path.exists(path)
         self._file = open(path, "w+b" if create else "r+b")
         self._file.seek(0, os.SEEK_END)
@@ -187,36 +210,46 @@ class FileBackedPager(Pager):
         return self._next_id
 
     def allocate(self) -> PageId:
-        if self._free_list:
-            page_id = self._free_list.pop()
-        else:
-            page_id = self._next_id
-            self._next_id += 1
-            self._file.seek(page_id * self._page_size)
-            self._file.write(bytes(self._page_size))
+        with self._io_lock:
+            if self._free_list:
+                page_id = self._free_list.pop()
+            else:
+                page_id = self._next_id
+                self._next_id += 1
+                self._file.seek(page_id * self._page_size)
+                self._file.write(bytes(self._page_size))
         self._counter.record_allocation()
         return PageId(page_id)
 
     def read_page(self, page_id: PageId) -> Page:
         if not (0 <= int(page_id) < self._next_id):
             raise PageError(f"page {page_id} is out of range")
-        self._file.seek(int(page_id) * self._page_size)
-        raw = self._file.read(self._page_size)
+        with self._io_lock:
+            self._file.seek(int(page_id) * self._page_size)
+            raw = self._file.read(self._page_size)
         self._counter.record_read()
         return Page(page_id, self._page_size, raw)
 
     def write_page(self, page: Page) -> None:
         if not (0 <= int(page.page_id) < self._next_id):
             raise PageError(f"page {page.page_id} is out of range")
-        self._file.seek(int(page.page_id) * self._page_size)
-        self._file.write(page.snapshot())
+        with self._io_lock:
+            self._file.seek(int(page.page_id) * self._page_size)
+            self._file.write(page.snapshot())
         page.mark_clean()
         self._counter.record_write()
 
     def free(self, page_id: PageId) -> None:
         if not (0 <= int(page_id) < self._next_id):
             raise PageError(f"page {page_id} is out of range")
-        self._free_list.append(int(page_id))
+        with self._io_lock:
+            self._free_list.append(int(page_id))
+
+    def free_page_ids(self) -> List[int]:
+        return list(self._free_list)
+
+    def restore_free_pages(self, page_ids: List[int]) -> None:
+        self._free_list = [int(pid) for pid in page_ids]
 
     def flush(self) -> None:
         """Force buffered writes to the OS."""

@@ -21,7 +21,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 from repro.core.attacks import AttackModel, NoAttack
 from repro.core.dataset import Dataset
 from repro.core.pipeline import CostReceipt, ExecutionContext, ZERO_RECEIPT, deprecated_accessor
-from repro.core.sharding import AttackableFleet
+from repro.core.sharding import AttackableFleet, partition_dataset
 from repro.core.tuples import digest_record
 from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
 from repro.crypto.digest import DigestScheme, default_scheme
@@ -32,6 +32,12 @@ from repro.network.channel import NetworkTracker
 from repro.network.messages import DatasetTransfer, UpdateNotification
 from repro.storage.constants import DEFAULT_PAGE_SIZE
 from repro.storage.cost_model import AccessCounter, CostModel
+from repro.storage.node_store import (
+    NodeStore,
+    PagedNodeStore,
+    PoolStats,
+    StorageConfig,
+)
 from repro.tom.mbtree import MBTree, MBTreeLayout
 from repro.tom.verification import VerificationReport, verify_vo
 from repro.tom.vo import VerificationObject
@@ -71,6 +77,11 @@ class TomDataOwner:
         return self._dataset
 
     @property
+    def signer(self) -> RSASigner:
+        """The owner's private signer (persisted by snapshots, never re-derived)."""
+        return self._signer
+
+    @property
     def verifier(self) -> RSAVerifier:
         """The public verifier clients use to check the root signature."""
         return self._verifier
@@ -104,6 +115,14 @@ class TomDataOwner:
             ads = slices[shard_id]
             ads.signature = self._signer.sign(ads.root_digest())
 
+    def adopt(self, provider: "TomProvider") -> None:
+        """Re-attach to a provider restored from a snapshot.
+
+        No dataset transfer and **no re-signing** happens: the restored ADS
+        slices carry the signatures this owner produced before the snapshot.
+        """
+        self._provider = provider
+
     def apply_updates(self, batch: UpdateBatch) -> None:
         """Apply updates locally, forward them, and re-sign the changed roots."""
         if self._provider is None:
@@ -123,7 +142,13 @@ class TomDataOwner:
 
 
 class TomServiceProvider:
-    """The TOM service provider: dataset storage plus the MB-tree ADS."""
+    """The TOM service provider: dataset storage plus the MB-tree ADS.
+
+    ``storage`` selects the storage tier; the conventional B+-tree and the
+    MB-tree ADS share one node store (``component`` names its backing file),
+    and the heap file goes on a durable pager when a data directory is
+    configured.
+    """
 
     def __init__(
         self,
@@ -132,6 +157,8 @@ class TomServiceProvider:
         node_access_ms: Optional[float] = None,
         attack: Optional[AttackModel] = None,
         index_fill_factor: float = 1.0,
+        storage: Optional[StorageConfig] = None,
+        component: str = "tom-sp",
     ):
         self._scheme = scheme or default_scheme()
         self._page_size = page_size
@@ -141,6 +168,9 @@ class TomServiceProvider:
         if node_access_ms is not None:
             self._cost_model.node_access_ms = node_access_ms
         self._attack: AttackModel = attack or NoAttack()
+        self._storage = storage or StorageConfig()
+        self._store: NodeStore = self._storage.node_store(component)
+        self._heap_pager = self._storage.heap_pager(component)
         self._dataset: Optional[Dataset] = None
         self._records_by_rid = {}
         self._table: Optional[Table] = None
@@ -154,6 +184,16 @@ class TomServiceProvider:
         if self._ads is None:
             raise TomError("the service provider has not received a dataset yet")
         return self._ads
+
+    @property
+    def storage(self) -> StorageConfig:
+        """The storage-tier configuration."""
+        return self._storage
+
+    @property
+    def node_store(self) -> NodeStore:
+        """The node store shared by the conventional index and the ADS."""
+        return self._store
 
     @property
     def counter(self) -> AccessCounter:
@@ -183,10 +223,13 @@ class TomServiceProvider:
             page_size=self._page_size,
             counter=self._counter,
             index_fill_factor=self._index_fill_factor,
+            store=self._store,
+            heap_pager=self._heap_pager,
         )
         self._table.bulk_load(dataset.records)
         layout = MBTreeLayout(page_size=self._page_size, digest_size=self._scheme.digest_size)
-        self._ads = MBTree(layout=layout, scheme=self._scheme, counter=self._counter)
+        self._ads = MBTree(layout=layout, scheme=self._scheme, counter=self._counter,
+                           store=self._store)
         triples = []
         for record in dataset.records:
             record_id = dataset.id_of(record)
@@ -249,7 +292,7 @@ class TomServiceProvider:
         """
         if self._table is None or self._ads is None:
             raise TomError("the service provider has not received a dataset yet")
-        with self._counter.scoped() as tally:
+        with self._counter.scoped() as tally, self._store.scoped_stats() as pool:
             started = time.perf_counter()
             matches, vo = self._ads.build_vo(
                 query.low,
@@ -258,7 +301,7 @@ class TomServiceProvider:
             )
             records = [self._table.get(record_id, charge=True) for _, record_id in matches]
             cpu_ms = (time.perf_counter() - started) * 1000.0
-        receipt = self._make_receipt(tally.node_accesses, cpu_ms)
+        receipt = self._make_receipt(tally.node_accesses, cpu_ms, pool)
         if ctx is not None:
             ctx.sp = receipt
         self._last_receipt = receipt  # feeds the deprecated last_* shims only
@@ -286,11 +329,17 @@ class TomServiceProvider:
             self.ads.range_search(query.low, query.high)
         return tally.node_accesses
 
-    def _make_receipt(self, node_accesses: int, cpu_ms: float) -> CostReceipt:
+    def _make_receipt(
+        self, node_accesses: int, cpu_ms: float, pool: Optional[PoolStats] = None
+    ) -> CostReceipt:
+        pool = pool or PoolStats()
         return CostReceipt(
             node_accesses=node_accesses,
             cpu_ms=cpu_ms,
             io_cost_ms=self._cost_model.io_cost_ms(node_accesses),
+            pool_hits=pool.hits,
+            pool_misses=pool.misses,
+            pool_evictions=pool.evictions,
         )
 
     def last_query_accesses(self) -> int:
@@ -313,7 +362,60 @@ class TomServiceProvider:
                             "the CostReceipt on ExecutionContext.sp")
         return self._last_receipt.cost_ms(include_cpu=include_cpu)
 
+    # ------------------------------------------------------------------ persistence
+    def flush_storage(self) -> None:
+        """Flush the paged node store and heap pager (no-op under memory)."""
+        self._store.flush()
+        if self._table is not None:
+            self._table.flush()
+
+    def close_storage(self) -> None:
+        """Flush and close the paged store and heap pager (idempotent)."""
+        self._store.close()
+        if self._heap_pager is not None:
+            self._heap_pager.close()
+
+    def snapshot_state(self) -> dict:
+        """Picklable SP state for deployment snapshots.
+
+        The ADS slice's :meth:`~repro.tom.mbtree.MBTree.tree_state` carries
+        the owner's root signature, so a restored deployment serves
+        verifiable VOs without any re-signing.
+        """
+        if self._table is None or self._ads is None:
+            raise TomError("the service provider has not received a dataset yet")
+        state = {
+            "table": self._table.table_state(),
+            "ads": self._ads.tree_state(),
+        }
+        if isinstance(self._store, PagedNodeStore):
+            state["store"] = self._store.snapshot_state()
+        return state
+
+    def restore_state(self, state: dict, dataset: Dataset) -> None:
+        """Rebuild the SP from a snapshot (store files already reopened)."""
+        if isinstance(self._store, PagedNodeStore):
+            self._store.restore_state(state["store"])
+        self._dataset = dataset
+        self._table = Table(
+            dataset.schema,
+            page_size=self._page_size,
+            counter=self._counter,
+            index_fill_factor=self._index_fill_factor,
+            store=self._store,
+            heap_pager=self._heap_pager,
+        )
+        self._table.adopt_state(state["table"])
+        layout = MBTreeLayout(page_size=self._page_size, digest_size=self._scheme.digest_size)
+        self._ads = MBTree(layout=layout, scheme=self._scheme, counter=self._counter,
+                           store=self._store)
+        self._ads.adopt_state(state["ads"])
+
     # ------------------------------------------------------------------ reporting
+    def pool_stats(self) -> PoolStats:
+        """Lifetime buffer-pool stats of the SP's node store."""
+        return self._store.stats
+
     def storage_bytes(self) -> int:
         """Storage at the SP: dataset heap file + B+-tree + the MB-tree ADS."""
         if self._table is None or self._ads is None:
@@ -377,16 +479,19 @@ class ShardedTomServiceProvider(AttackableFleet):
         node_access_ms: Optional[float] = None,
         attack: Optional[AttackModel] = None,
         index_fill_factor: float = 1.0,
+        storage: Optional[StorageConfig] = None,
     ):
         self._scheme = scheme or default_scheme()
         self._init_fleet(
             num_shards,
-            lambda: TomServiceProvider(
+            lambda shard_id: TomServiceProvider(
                 scheme=self._scheme,
                 page_size=page_size,
                 node_access_ms=node_access_ms,
                 attack=None,
                 index_fill_factor=index_fill_factor,
+                storage=storage,
+                component=f"tom-sp{shard_id}",
             ),
         )
         if attack is not None:
@@ -433,6 +538,16 @@ class ShardedTomServiceProvider(AttackableFleet):
             self._shards[shard_id].index_only_accesses(query)
             for shard_id in self.shards_for(query)
         )
+
+    # ------------------------------------------------------------------ persistence
+    def restore_state(self, state: dict, dataset: Dataset) -> None:
+        """Rebuild the fleet from a snapshot (store files already reopened)."""
+        self._map.restore_state(state["map"])
+        slices = partition_dataset(dataset, self._map.require_router())
+        for shard, shard_state, sub_dataset in zip(
+            self._shards, state["shards"], slices
+        ):
+            shard.restore_state(shard_state, sub_dataset)
 
     # ------------------------------------------------------------------ reporting
     def records_per_shard(self) -> List[int]:

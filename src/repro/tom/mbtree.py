@@ -6,6 +6,13 @@ intermediate node entry is associated with a digest computed on the
 concatenation of the digests in the page it points to.  The DO signs the
 digest h_root associated with the root." (Section I of the paper.)
 
+Node storage is pluggable through a
+:class:`~repro.storage.node_store.NodeStore`: child and sibling pointers
+hold store references and every dereference goes through the store inside an
+operation scope, so a paged MB-tree keeps only its buffer pool resident
+while a traversal's path stays pinned (the default memory store preserves
+the historical object-graph behaviour bit-for-bit).
+
 The tree supports:
 
 * :meth:`MBTree.bulk_load` and incremental :meth:`MBTree.insert` /
@@ -31,6 +38,7 @@ from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 from repro.crypto.digest import Digest, DigestScheme, default_scheme
 from repro.storage.constants import DEFAULT_PAGE_SIZE
 from repro.storage.cost_model import AccessCounter
+from repro.storage.node_store import MEMORY_NODE_STORE, NodeStore
 from repro.tom.vo import (
     VerificationObject,
     VOBoundary,
@@ -94,7 +102,7 @@ class MBLeafNode:
         self.keys: List[Any] = []
         self.rids: List[Any] = []
         self.digests: List[Digest] = []
-        self.next_leaf: Optional["MBLeafNode"] = None
+        self.next_leaf: Optional[Any] = None
 
     is_leaf = True
 
@@ -104,7 +112,11 @@ class MBLeafNode:
 
 
 class MBInternalNode:
-    """Internal node: separator keys plus per-child pointers and digests."""
+    """Internal node: separator keys plus per-child pointers and digests.
+
+    ``children`` holds node-store references (the node objects themselves
+    under the default memory store).
+    """
 
     __slots__ = ("keys", "children", "child_digests")
 
@@ -121,18 +133,28 @@ class MBInternalNode:
 
 
 class MBTree:
-    """The Merkle B+-tree used by the TOM data owner and service provider."""
+    """The Merkle B+-tree used by the TOM data owner and service provider.
+
+    Thread-safety: concurrent read operations are safe; mutations require
+    external mutual exclusion (the schemes hold their read/write lock).
+    With a paged store, operations additionally serialise on the store's
+    own lock.
+    """
 
     def __init__(
         self,
         layout: Optional[MBTreeLayout] = None,
         scheme: Optional[DigestScheme] = None,
         counter: Optional[AccessCounter] = None,
+        store: Optional[NodeStore] = None,
     ):
         self._layout = layout or MBTreeLayout()
         self._scheme = scheme or default_scheme()
         self._counter = counter or AccessCounter()
-        self._root: Any = MBLeafNode()
+        self._store = store or MEMORY_NODE_STORE
+        self._load = self._store.load
+        with self._store.write_op():
+            self._root = self._store.register(MBLeafNode())
         self._height = 1
         self._num_entries = 0
         self._num_leaves = 1
@@ -154,6 +176,11 @@ class MBTree:
     def counter(self) -> AccessCounter:
         """Node-access counter charged by traversals."""
         return self._counter
+
+    @property
+    def store(self) -> NodeStore:
+        """The node store backing this tree."""
+        return self._store
 
     @property
     def leaf_capacity(self) -> int:
@@ -202,6 +229,43 @@ class MBTree:
     def __len__(self) -> int:
         return self._num_entries
 
+    def tree_state(self) -> dict:
+        """Picklable structural metadata (for deployment snapshots).
+
+        Includes the owner's root signature, so a restored TOM deployment
+        serves verifiable results **without re-signing**.
+        """
+        return {
+            "root": self._root,
+            "height": self._height,
+            "num_entries": self._num_entries,
+            "num_leaves": self._num_leaves,
+            "num_internal": self._num_internal,
+            "signature": self._signature,
+        }
+
+    def adopt_state(self, state: dict) -> None:
+        """Re-attach to nodes already present in the store (snapshot restore)."""
+        self._free_initial_root(state["root"])
+        self._root = state["root"]
+        self._height = int(state["height"])
+        self._num_entries = int(state["num_entries"])
+        self._num_leaves = int(state["num_leaves"])
+        self._num_internal = int(state["num_internal"])
+        self._signature = state.get("signature")
+
+    def _free_initial_root(self, new_root: Any) -> None:
+        """Release the empty root the constructor registered (restore path)."""
+        if self._root == new_root or self._num_entries:
+            return
+        from repro.storage.node_store import NodeStoreError
+
+        try:
+            with self._store.write_op():
+                self._store.free(self._root)
+        except NodeStoreError:
+            pass  # the constructor's root was never committed to this store
+
     # ------------------------------------------------------------------ digests
     def node_digest(self, node: Any) -> Digest:
         """Digest of a node: hash of the concatenation of its entry digests."""
@@ -210,23 +274,25 @@ class MBTree:
 
     def root_digest(self) -> Digest:
         """The digest the data owner signs (``h_root`` in the paper)."""
-        return self.node_digest(self._root)
+        return self.node_digest(self._load(self._root))
 
     def _refresh_child_digest(self, parent: MBInternalNode, index: int) -> None:
         if 0 <= index < len(parent.children):
-            parent.child_digests[index] = self.node_digest(parent.children[index])
+            parent.child_digests[index] = self.node_digest(
+                self._load(parent.children[index])
+            )
 
     # ------------------------------------------------------------------ search
     def _charge(self, count: int = 1) -> None:
         self._counter.record_node_access(count)
 
     def _find_leaf(self, key: Any, charge: bool = True) -> MBLeafNode:
-        node = self._root
+        node = self._load(self._root)
         if charge:
             self._charge()
         while not node.is_leaf:
             index = bisect.bisect_left(node.keys, key)
-            node = node.children[index]
+            node = self._load(node.children[index])
             if charge:
                 self._charge()
         return node
@@ -236,48 +302,57 @@ class MBTree:
         if low > high:
             return []
         results: List[Tuple[Any, Any]] = []
-        leaf = self._find_leaf(low)
-        while leaf is not None:
-            start = bisect.bisect_left(leaf.keys, low)
-            for index in range(start, len(leaf.keys)):
-                key = leaf.keys[index]
-                if key > high:
+        with self._store.read_op():
+            leaf = self._find_leaf(low)
+            while leaf is not None:
+                start = bisect.bisect_left(leaf.keys, low)
+                for index in range(start, len(leaf.keys)):
+                    key = leaf.keys[index]
+                    if key > high:
+                        return results
+                    results.append((key, leaf.rids[index]))
+                if leaf.keys and leaf.keys[-1] > high:
                     return results
-                results.append((key, leaf.rids[index]))
-            if leaf.keys and leaf.keys[-1] > high:
-                return results
-            leaf = leaf.next_leaf
-            if leaf is not None:
-                self._charge()
+                leaf = (
+                    self._load(leaf.next_leaf)
+                    if leaf.next_leaf is not None else None
+                )
+                if leaf is not None:
+                    self._charge()
         return results
 
     def items(self) -> Iterator[Tuple[Any, Any, Digest]]:
         """Iterate over ``(key, rid, digest)`` in key order (no access charges)."""
-        node = self._root
+        node = self._load(self._root)
         while not node.is_leaf:
-            node = node.children[0]
+            node = self._load(node.children[0])
         while node is not None:
             for key, rid, digest in zip(node.keys, node.rids, node.digests):
                 yield key, rid, digest
-            node = node.next_leaf
+            node = self._load(node.next_leaf) if node.next_leaf is not None else None
 
     # ------------------------------------------------------------------ insert
     def insert(self, key: Any, rid: Any, digest: Digest) -> None:
         """Insert one record entry and repair digests along the path."""
         if not isinstance(digest, Digest):
             raise MBTreeError("the MB-tree stores Digest objects; got " + type(digest).__name__)
-        self._charge()
-        split = self._insert_recursive(self._root, key, rid, digest)
-        if split is not None:
-            separator, right = split
-            new_root = MBInternalNode()
-            new_root.keys = [separator]
-            new_root.children = [self._root, right]
-            new_root.child_digests = [self.node_digest(self._root), self.node_digest(right)]
-            self._root = new_root
-            self._height += 1
-            self._num_internal += 1
-        self._num_entries += 1
+        with self._store.write_op():
+            self._charge()
+            root = self._load(self._root)
+            split = self._insert_recursive(root, key, rid, digest)
+            if split is not None:
+                separator, right_ref = split
+                new_root = MBInternalNode()
+                new_root.keys = [separator]
+                new_root.children = [self._root, right_ref]
+                new_root.child_digests = [
+                    self.node_digest(root),
+                    self.node_digest(self._load(right_ref)),
+                ]
+                self._root = self._store.register(new_root)
+                self._height += 1
+                self._num_internal += 1
+            self._num_entries += 1
 
     def _insert_recursive(self, node: Any, key: Any, rid: Any, digest: Digest):
         if node.is_leaf:
@@ -291,12 +366,12 @@ class MBTree:
 
         index = bisect.bisect_right(node.keys, key)
         self._charge()
-        split = self._insert_recursive(node.children[index], key, rid, digest)
+        split = self._insert_recursive(self._load(node.children[index]), key, rid, digest)
         if split is not None:
-            separator, right = split
+            separator, right_ref = split
             node.keys.insert(index, separator)
-            node.children.insert(index + 1, right)
-            node.child_digests.insert(index + 1, self.node_digest(right))
+            node.children.insert(index + 1, right_ref)
+            node.child_digests.insert(index + 1, self.node_digest(self._load(right_ref)))
         self._refresh_child_digest(node, index)
         if split is not None:
             self._refresh_child_digest(node, index + 1)
@@ -314,9 +389,10 @@ class MBTree:
         leaf.rids = leaf.rids[:mid]
         leaf.digests = leaf.digests[:mid]
         right.next_leaf = leaf.next_leaf
-        leaf.next_leaf = right
+        right_ref = self._store.register(right)
+        leaf.next_leaf = right_ref
         self._num_leaves += 1
-        return right.keys[0], right
+        return right.keys[0], right_ref
 
     def _split_internal(self, node: MBInternalNode):
         mid = len(node.keys) // 2
@@ -329,20 +405,28 @@ class MBTree:
         node.children = node.children[:mid + 1]
         node.child_digests = node.child_digests[:mid + 1]
         self._num_internal += 1
-        return separator, right
+        return separator, self._store.register(right)
 
     # ------------------------------------------------------------------ delete
     def delete(self, key: Any, rid: Any = None) -> None:
-        """Delete one entry with ``key`` (and ``rid``, when given) and repair digests."""
-        self._charge()
-        removed = self._delete_recursive(self._root, key, rid)
-        if not removed:
-            raise MBTreeError(f"key {key!r} (rid {rid!r}) not found")
-        if not self._root.is_leaf and len(self._root.children) == 1:
-            self._root = self._root.children[0]
-            self._height -= 1
-            self._num_internal -= 1
-        self._num_entries -= 1
+        """Delete one entry with ``key`` (and ``rid``, when given) and repair digests.
+
+        Raises :class:`MBTreeError` when no matching entry exists (the store
+        then discards the scope, so a failed delete mutates nothing).
+        """
+        with self._store.write_op():
+            self._charge()
+            root = self._load(self._root)
+            removed = self._delete_recursive(root, key, rid)
+            if not removed:
+                raise MBTreeError(f"key {key!r} (rid {rid!r}) not found")
+            if not root.is_leaf and len(root.children) == 1:
+                old_root = self._root
+                self._root = root.children[0]
+                self._store.free(old_root)
+                self._height -= 1
+                self._num_internal -= 1
+            self._num_entries -= 1
 
     def _delete_recursive(self, node: Any, key: Any, rid: Any) -> bool:
         if node.is_leaf:
@@ -359,7 +443,7 @@ class MBTree:
         index = bisect.bisect_left(node.keys, key)
         removed = False
         while index < len(node.children):
-            child = node.children[index]
+            child = self._load(node.children[index])
             self._charge()
             removed = self._delete_recursive(child, key, rid)
             if removed:
@@ -379,7 +463,7 @@ class MBTree:
         return max(1, self.internal_capacity // 2)
 
     def _rebalance_child(self, parent: MBInternalNode, index: int) -> None:
-        child = parent.children[index]
+        child = self._load(parent.children[index])
         underfull = (
             len(child.keys) < self._min_leaf_entries()
             if child.is_leaf
@@ -389,8 +473,13 @@ class MBTree:
             self._refresh_separators_and_digests(parent, index)
             return
 
-        left_sibling = parent.children[index - 1] if index > 0 else None
-        right_sibling = parent.children[index + 1] if index + 1 < len(parent.children) else None
+        left_sibling = (
+            self._load(parent.children[index - 1]) if index > 0 else None
+        )
+        right_sibling = (
+            self._load(parent.children[index + 1])
+            if index + 1 < len(parent.children) else None
+        )
 
         if child.is_leaf:
             if left_sibling is not None and len(left_sibling.keys) > self._min_leaf_entries():
@@ -409,7 +498,7 @@ class MBTree:
                 left_sibling.digests.extend(child.digests)
                 left_sibling.next_leaf = child.next_leaf
                 parent.keys.pop(index - 1)
-                parent.children.pop(index)
+                self._store.free(parent.children.pop(index))
                 parent.child_digests.pop(index)
                 self._num_leaves -= 1
             elif right_sibling is not None:
@@ -418,7 +507,7 @@ class MBTree:
                 child.digests.extend(right_sibling.digests)
                 child.next_leaf = right_sibling.next_leaf
                 parent.keys.pop(index)
-                parent.children.pop(index + 1)
+                self._store.free(parent.children.pop(index + 1))
                 parent.child_digests.pop(index + 1)
                 self._num_leaves -= 1
         else:
@@ -438,7 +527,7 @@ class MBTree:
                 left_sibling.children.extend(child.children)
                 left_sibling.child_digests.extend(child.child_digests)
                 parent.keys.pop(index - 1)
-                parent.children.pop(index)
+                self._store.free(parent.children.pop(index))
                 parent.child_digests.pop(index)
                 self._num_internal -= 1
             elif right_sibling is not None:
@@ -447,20 +536,26 @@ class MBTree:
                 child.children.extend(right_sibling.children)
                 child.child_digests.extend(right_sibling.child_digests)
                 parent.keys.pop(index)
-                parent.children.pop(index + 1)
+                self._store.free(parent.children.pop(index + 1))
                 parent.child_digests.pop(index + 1)
                 self._num_internal -= 1
         self._refresh_separators_and_digests(parent, index)
 
     @staticmethod
-    def _leftmost_key(node: Any) -> Any:
+    def _leftmost_key_of(node: Any) -> Any:
+        """Leftmost key of an in-construction object subtree (bulk load only)."""
         while not node.is_leaf:
             node = node.children[0]
         return node.keys[0] if node.keys else None
 
+    def _leftmost_key(self, node: Any) -> Any:
+        while not node.is_leaf:
+            node = self._load(node.children[0])
+        return node.keys[0] if node.keys else None
+
     def _refresh_separators_and_digests(self, parent: MBInternalNode, index: int) -> None:
         for key_index in range(len(parent.keys)):
-            leftmost = self._leftmost_key(parent.children[key_index + 1])
+            leftmost = self._leftmost_key(self._load(parent.children[key_index + 1]))
             if leftmost is not None:
                 parent.keys[key_index] = leftmost
         for child_index in range(max(0, index - 1), min(len(parent.children), index + 2)):
@@ -468,7 +563,13 @@ class MBTree:
 
     # ------------------------------------------------------------------ bulk load
     def bulk_load(self, items: Sequence[Tuple[Any, Any, Digest]], fill_factor: float = 1.0) -> None:
-        """Rebuild the tree from ``(key, rid, digest)`` triples sorted by key."""
+        """Rebuild the tree from ``(key, rid, digest)`` triples sorted by key.
+
+        The build materialises the whole tree before writing it to the
+        store, so setup needs memory proportional to the dataset even under
+        paged storage; steady-state serving afterwards is bounded by the
+        pool.
+        """
         if self._num_entries:
             raise MBTreeError("bulk_load requires an empty tree")
         items = list(items)
@@ -512,19 +613,41 @@ class MBTree:
                 group = level[start:start + per_internal + 1]
                 parent = MBInternalNode()
                 parent.children = group
-                parent.keys = [self._leftmost_key(child) for child in group[1:]]
+                parent.keys = [self._leftmost_key_of(child) for child in group[1:]]
                 parent.child_digests = [self.node_digest(child) for child in group]
                 parents.append(parent)
             if len(parents) >= 2 and len(parents[-1].children) == 1:
                 lonely = parents.pop()
                 parents[-1].children.extend(lonely.children)
                 parents[-1].child_digests.extend(lonely.child_digests)
-                parents[-1].keys.append(self._leftmost_key(lonely.children[0]))
+                parents[-1].keys.append(self._leftmost_key_of(lonely.children[0]))
             self._num_internal += len(parents)
             level = parents
             height += 1
-        self._root = level[0]
         self._height = height
+        with self._store.write_op():
+            old_root = self._root
+            memo: dict = {}
+            next_ref = None
+            for leaf in reversed(leaves):
+                leaf.next_leaf = next_ref
+                next_ref = self._store.register(leaf)
+                memo[id(leaf)] = next_ref
+            self._root = self._intern_subtree(level[0], memo)
+            self._store.free(old_root)
+
+    def _intern_subtree(self, node: Any, memo: dict) -> Any:
+        """Register an object subtree with the store, bottom-up."""
+        ref = memo.get(id(node))
+        if ref is not None:
+            return ref
+        if not node.is_leaf:
+            node.children = [
+                self._intern_subtree(child, memo) for child in node.children
+            ]
+        ref = self._store.register(node)
+        memo[id(node)] = ref
+        return ref
 
     # ------------------------------------------------------------------ VO construction
     def build_vo(
@@ -552,70 +675,75 @@ class MBTree:
         (result, vo):
             ``result`` is the list of qualifying ``(key, rid)`` pairs in key
             order; ``vo`` is the :class:`VerificationObject`.
+
+        Raises :class:`MBTreeError` when no signature is available -- an SP
+        cannot fabricate a verifiable VO without the owner's signature.
         """
         signature = signature if signature is not None else self._signature
         if signature is None:
             raise MBTreeError("cannot build a VO without the owner's signature on the root digest")
 
-        result = self.range_search(low, high)
-        left_boundary = self._predecessor_entry(low)
-        right_boundary = self._successor_entry(high)
+        with self._store.read_op():
+            result = self.range_search(low, high)
+            left_boundary = self._predecessor_entry(low)
+            right_boundary = self._successor_entry(high)
 
-        included_rids = {rid for _, rid in result}
-        boundary_rids = {}
-        include_low, include_high = low, high
-        if left_boundary is not None:
-            boundary_rids[left_boundary[1]] = left_boundary[0]
-            included_rids.add(left_boundary[1])
-            include_low = left_boundary[0]
-        if right_boundary is not None:
-            boundary_rids[right_boundary[1]] = right_boundary[0]
-            included_rids.add(right_boundary[1])
-            include_high = right_boundary[0]
+            included_rids = {rid for _, rid in result}
+            boundary_rids = {}
+            include_low, include_high = low, high
+            if left_boundary is not None:
+                boundary_rids[left_boundary[1]] = left_boundary[0]
+                included_rids.add(left_boundary[1])
+                include_low = left_boundary[0]
+            if right_boundary is not None:
+                boundary_rids[right_boundary[1]] = right_boundary[0]
+                included_rids.add(right_boundary[1])
+                include_high = right_boundary[0]
 
-        items = self._build_vo_node(
-            self._root, include_low, include_high, low, high,
-            included_rids, boundary_rids, record_loader,
-        )
-        vo = VerificationObject(
-            items=tuple(items),
-            is_leaf_root=self._root.is_leaf,
-            signature=signature,
-            query_low=low,
-            query_high=high,
-        )
+            root = self._load(self._root)
+            items = self._build_vo_node(
+                root, include_low, include_high, low, high,
+                included_rids, boundary_rids, record_loader,
+            )
+            vo = VerificationObject(
+                items=tuple(items),
+                is_leaf_root=root.is_leaf,
+                signature=signature,
+                query_low=low,
+                query_high=high,
+            )
         return result, vo
 
     def _predecessor_entry(self, low: Any) -> Optional[Tuple[Any, Any]]:
         """The ``(key, rid)`` of the last entry with key strictly below ``low``."""
-        node = self._root
+        node = self._load(self._root)
         best: Optional[Tuple[Any, Any]] = None
         self._charge()
         while not node.is_leaf:
             index = bisect.bisect_left(node.keys, low)
-            node = node.children[index]
+            node = self._load(node.children[index])
             self._charge()
         index = bisect.bisect_left(node.keys, low)
         if index > 0:
             return node.keys[index - 1], node.rids[index - 1]
         # The predecessor (if any) is the last entry of some preceding leaf;
         # locate it with a second descent biased to the left of ``low``.
-        node = self._root
+        node = self._load(self._root)
         while not node.is_leaf:
             index = bisect.bisect_left(node.keys, low)
             if index > 0:
-                candidate = node.children[index - 1]
+                candidate = self._load(node.children[index - 1])
                 self._charge()
                 best = self._rightmost_entry_below(candidate, low)
                 if best is not None:
                     return best
-            node = node.children[index]
+            node = self._load(node.children[index])
             self._charge()
         return best
 
     def _rightmost_entry_below(self, node: Any, low: Any) -> Optional[Tuple[Any, Any]]:
         while not node.is_leaf:
-            node = node.children[-1]
+            node = self._load(node.children[-1])
             self._charge()
         for index in range(len(node.keys) - 1, -1, -1):
             if node.keys[index] < low:
@@ -629,7 +757,7 @@ class MBTree:
             for index, key in enumerate(leaf.keys):
                 if key > high:
                     return key, leaf.rids[index]
-            leaf = leaf.next_leaf
+            leaf = self._load(leaf.next_leaf) if leaf.next_leaf is not None else None
             if leaf is not None:
                 self._charge()
         return None
@@ -656,7 +784,7 @@ class MBTree:
                     items.append(VODigest(digest=digest.raw))
             return items
 
-        for index, child in enumerate(node.children):
+        for index, child_ref in enumerate(node.children):
             child_low = node.keys[index - 1] if index > 0 else None
             child_high = node.keys[index] if index < len(node.keys) else None
             prune = False
@@ -668,6 +796,7 @@ class MBTree:
                 items.append(VODigest(digest=node.child_digests[index].raw))
             else:
                 self._charge()
+                child = self._load(child_ref)
                 child_items = self._build_vo_node(
                     child, include_low, include_high, low, high,
                     included_rids, boundary_rids, record_loader,
@@ -677,26 +806,30 @@ class MBTree:
 
     # ------------------------------------------------------------------ validation
     def validate(self) -> None:
-        """Check ordering, balance and digest invariants of the entire tree."""
-        leaves: List[MBLeafNode] = []
-        self._validate_node(self._root, None, None, self._height, leaves)
-        node = self._root
-        while not node.is_leaf:
-            node = node.children[0]
-        chained = []
-        while node is not None:
-            chained.append(node)
-            node = node.next_leaf
-        if chained != leaves:
-            raise MBTreeError("leaf chain does not match tree traversal order")
-        total = sum(len(leaf.keys) for leaf in leaves)
-        if total != self._num_entries:
-            raise MBTreeError(
-                f"entry count mismatch: counted {total}, recorded {self._num_entries}"
-            )
-        all_keys = [key for leaf in leaves for key in leaf.keys]
-        if all_keys != sorted(all_keys):
-            raise MBTreeError("keys are not globally sorted")
+        """Check ordering, balance and digest invariants of the entire tree.
+
+        Loads every node inside one operation scope; meant for tests."""
+        with self._store.read_op():
+            leaves: List[MBLeafNode] = []
+            root = self._load(self._root)
+            self._validate_node(root, None, None, self._height, leaves)
+            node = root
+            while not node.is_leaf:
+                node = self._load(node.children[0])
+            chained = []
+            while node is not None:
+                chained.append(node)
+                node = self._load(node.next_leaf) if node.next_leaf is not None else None
+            if chained != leaves:
+                raise MBTreeError("leaf chain does not match tree traversal order")
+            total = sum(len(leaf.keys) for leaf in leaves)
+            if total != self._num_entries:
+                raise MBTreeError(
+                    f"entry count mismatch: counted {total}, recorded {self._num_entries}"
+                )
+            all_keys = [key for leaf in leaves for key in leaf.keys]
+            if all_keys != sorted(all_keys):
+                raise MBTreeError("keys are not globally sorted")
 
     def _validate_node(self, node: Any, low: Any, high: Any, depth: int,
                        leaves: List[MBLeafNode]) -> None:
@@ -720,7 +853,8 @@ class MBTree:
             raise MBTreeError("internal node digests/children arity mismatch")
         if node.keys != sorted(node.keys):
             raise MBTreeError("internal keys are not sorted")
-        for index, child in enumerate(node.children):
+        for index, child_ref in enumerate(node.children):
+            child = self._load(child_ref)
             stored = node.child_digests[index]
             expected = self.node_digest(child)
             if stored != expected:

@@ -42,14 +42,22 @@ from repro.core.pipeline import (
     ShardLegReceipt,
     ZERO_RECEIPT,
 )
-from repro.core.scheme import AuthScheme, is_reversed_range, register_scheme
+from repro.core.scheme import (
+    AuthScheme,
+    SchemeError,
+    is_reversed_range,
+    load_snapshot_state,
+    register_scheme,
+    write_snapshot_state,
+)
 from repro.core.sharding import ShardedDeployment
 from repro.core.updates import UpdateBatch
-from repro.crypto.digest import DigestScheme, default_scheme
+from repro.crypto.digest import DigestScheme, default_scheme, get_scheme
 from repro.dbms.query import RangeQuery
 from repro.network.channel import NetworkTracker
 from repro.network.messages import QueryRequest, ResultResponse, VOResponse
 from repro.storage.constants import DEFAULT_PAGE_SIZE
+from repro.storage.node_store import StorageConfig
 from repro.tom.entities import (
     ShardedTomServiceProvider,
     TomClient,
@@ -138,11 +146,20 @@ class TomScheme(AuthScheme):
         index_fill_factor: float = 1.0,
         max_workers: Optional[int] = None,
         shards: Union[int, ShardedDeployment] = 1,
+        storage: Union[str, StorageConfig] = "memory",
+        data_dir: Optional[str] = None,
+        pool_pages: int = 128,
+        signer=None,
+        verifier=None,
     ):
         self._scheme = scheme or default_scheme()
         self._network = NetworkTracker()
         self._dataset = dataset
         self._deployment = ShardedDeployment.coerce(shards)
+        self._storage = StorageConfig.coerce(storage, data_dir, pool_pages)
+        self._page_size = page_size
+        self._node_access_ms = node_access_ms
+        self._index_fill_factor = index_fill_factor
         if self._deployment.is_sharded:
             self.provider: Union[TomServiceProvider, ShardedTomServiceProvider] = (
                 ShardedTomServiceProvider(
@@ -152,6 +169,7 @@ class TomScheme(AuthScheme):
                     node_access_ms=node_access_ms,
                     attack=attack,
                     index_fill_factor=index_fill_factor,
+                    storage=self._storage,
                 )
             )
         else:
@@ -161,10 +179,16 @@ class TomScheme(AuthScheme):
                 node_access_ms=node_access_ms,
                 attack=attack,
                 index_fill_factor=index_fill_factor,
+                storage=self._storage,
             )
+        # ``signer``/``verifier`` inject pre-existing key material (the
+        # snapshot-restore path); otherwise a pair is derived from
+        # ``key_bits``/``seed``.
         self.owner = TomDataOwner(
             dataset,
             scheme=self._scheme,
+            signer=signer,
+            verifier=verifier,
             key_bits=key_bits,
             seed=seed,
             network=self._network,
@@ -207,6 +231,106 @@ class TomScheme(AuthScheme):
     def deployment(self) -> ShardedDeployment:
         """The deployment configuration."""
         return self._deployment
+
+    @property
+    def storage(self) -> StorageConfig:
+        """The storage-tier configuration."""
+        return self._storage
+
+    # ------------------------------------------------------------------ snapshots
+    def snapshot(self) -> str:
+        """Persist the deployment under its data directory; returns the path.
+
+        Requires ``storage="paged"`` with a ``data_dir``.  The owner's RSA
+        key material and every slice's root signature are part of the
+        state, so a restored deployment serves verifiable VOs without any
+        re-signing.  Taken under the exclusive lock.
+        """
+        self._ensure_open()
+        if not self._ready:
+            raise SchemeError("snapshot() requires a deployment after setup()")
+        if not (self._storage.is_paged and self._storage.data_dir):
+            raise SchemeError(
+                "snapshot() requires storage='paged' with a data_dir"
+            )
+        with self._state_lock.write_locked():
+            self.provider.flush_storage()
+            state = {
+                "scheme": self.scheme_name,
+                "params": {
+                    "page_size": self._page_size,
+                    "node_access_ms": self._node_access_ms,
+                    "index_fill_factor": self._index_fill_factor,
+                    "shards": self._deployment.num_shards,
+                    "digest": self._scheme.name,
+                },
+                "dataset": self._dataset,
+                "keys": (self.owner.signer, self.owner.verifier),
+                "provider": self.provider.snapshot_state(),
+            }
+            return write_snapshot_state(self._storage.data_dir, state)
+
+    def close(self) -> None:
+        """Checkpoint (when durable) and shut the deployment down.
+
+        Under paged storage with a data directory a final :meth:`snapshot`
+        is taken first (so updates applied since the last explicit snapshot
+        survive a clean shutdown), then the stores and pagers are flushed
+        and closed.  Idempotent, like the base ``close``.
+        """
+        if not self.closed:
+            if self._ready and self._storage.is_paged and self._storage.data_dir:
+                try:
+                    self.snapshot()
+                except SchemeError:
+                    pass  # nothing snapshotable
+            self.provider.close_storage()
+        super().close()
+
+    @classmethod
+    def restore(
+        cls,
+        data_dir: str,
+        pool_pages: int = 128,
+        max_workers: Optional[int] = None,
+        state: Optional[dict] = None,
+    ) -> "TomScheme":
+        """Warm-restart a deployment from a :meth:`snapshot` directory.
+
+        ``state`` lets a caller that already loaded the snapshot state pass
+        it through instead of unpickling it a second time.
+        """
+        if state is None:
+            state = load_snapshot_state(data_dir, expected_scheme=cls.scheme_name)
+        elif state.get("scheme") != cls.scheme_name:
+            raise SchemeError(
+                f"snapshot state belongs to scheme {state.get('scheme')!r}, "
+                f"not {cls.scheme_name!r}"
+            )
+        params = state["params"]
+        signer, verifier = state["keys"]
+        dataset = state["dataset"]
+        system = cls(
+            dataset,
+            scheme=get_scheme(params["digest"]),
+            page_size=params["page_size"],
+            node_access_ms=params["node_access_ms"],
+            index_fill_factor=params["index_fill_factor"],
+            max_workers=max_workers,
+            shards=params["shards"],
+            storage="paged",
+            data_dir=data_dir,
+            pool_pages=pool_pages,
+            # The owner and client must keep the *snapshotted* key pair (the
+            # restored ADS slices carry signatures made with it) -- and
+            # injecting it skips an entire wasted RSA key generation.
+            signer=signer,
+            verifier=verifier,
+        )
+        system.provider.restore_state(state["provider"], dataset)
+        system.owner.adopt(system.provider)
+        system._ready = True
+        return system
 
     def apply_updates(self, batch: UpdateBatch) -> None:
         """Propagate an update batch from the DO to the SP (with re-signing).

@@ -1,0 +1,6 @@
+"""Developer tooling that ships with the repository (not part of the protocol).
+
+Currently: :mod:`repro.tools.docs_check`, the documentation checker the CI
+``docs`` job runs (intra-repo link validation plus doctests over the
+markdown code examples).
+"""

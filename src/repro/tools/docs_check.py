@@ -1,0 +1,143 @@
+"""Documentation checker: intra-repo links and runnable markdown examples.
+
+The CI ``docs`` job runs ``python -m repro.tools.docs_check``, which
+
+1. scans every tracked ``*.md`` file for markdown links and fails on any
+   *intra-repo* link whose target file does not exist (external URLs,
+   ``mailto:`` links, pure ``#fragment`` anchors and web-relative paths
+   that escape the repository -- e.g. the CI badge's ``../../actions/…``
+   -- are skipped);
+2. runs :mod:`doctest` over the same files, so every ``>>>`` example in
+   the README and ``docs/`` is executed against the installed package --
+   a doc snippet that drifts from the API fails the build.
+
+Both checks are also exercised by ``tests/unit/test_docs.py``, which keeps
+them honest locally (tier-1) as well as in CI.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple
+
+#: Markdown inline links: ``[text](target)``; images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Link targets that are never repository files.
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+#: Files that quote external material verbatim (paper abstracts, exemplar
+#: snippets from other repositories); neither their links nor their code
+#: examples are ours to fix, so both checks skip them.
+_QUOTED_MATERIAL = {"SNIPPETS.md", "PAPERS.md", "PAPER.md"}
+
+
+def markdown_files(root: Path) -> List[Path]:
+    """Every ``*.md`` under ``root`` (absolute paths), skipping VCS/cache dirs."""
+    skip_parts = {".git", ".hypothesis", ".pytest_cache", "__pycache__", "node_modules"}
+    return sorted(
+        path.resolve()
+        for path in root.resolve().rglob("*.md")
+        if not (set(path.parts) & skip_parts)
+    )
+
+
+def _link_targets(text: str) -> Iterable[str]:
+    for match in _LINK.finditer(text):
+        yield match.group(1)
+
+
+def check_links(root: Path, files: Optional[Iterable[Path]] = None) -> List[str]:
+    """Return one violation message per broken intra-repo link."""
+    root = root.resolve()
+    violations: List[str] = []
+    for path in files if files is not None else markdown_files(root):
+        if path.name in _QUOTED_MATERIAL:
+            continue
+        text = path.read_text(encoding="utf-8")
+        for target in _link_targets(text):
+            if target.startswith(_EXTERNAL_PREFIXES):
+                continue
+            candidate = target.split("#", 1)[0]  # strip an anchor suffix
+            if not candidate:
+                continue
+            resolved = (path.parent / candidate).resolve()
+            try:
+                resolved.relative_to(root)
+            except ValueError:
+                # Escapes the repository: a web-relative path (the CI badge
+                # pattern), not a file reference.
+                continue
+            if not resolved.exists():
+                violations.append(
+                    f"{path.relative_to(root)}: broken link -> {target}"
+                )
+    return violations
+
+
+def run_doctests(
+    root: Path, files: Optional[Iterable[Path]] = None, verbose: bool = False
+) -> Tuple[int, int, List[str]]:
+    """Doctest every markdown file; returns ``(attempted, failed, reports)``."""
+    root = root.resolve()
+    attempted = 0
+    failed = 0
+    reports: List[str] = []
+    for path in files if files is not None else markdown_files(root):
+        if path.name in _QUOTED_MATERIAL:
+            continue
+        results = doctest.testfile(
+            str(path),
+            module_relative=False,
+            verbose=verbose,
+            optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        )
+        attempted += results.attempted
+        failed += results.failed
+        if results.failed:
+            reports.append(
+                f"{path.relative_to(root)}: {results.failed} of "
+                f"{results.attempted} doctest example(s) failed"
+            )
+    return attempted, failed, reports
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.docs_check",
+        description="fail on broken intra-repo markdown links and failing "
+                    "doctest examples in *.md files",
+    )
+    parser.add_argument("--root", default=".", help="repository root to scan")
+    parser.add_argument("--verbose", action="store_true",
+                        help="verbose doctest output")
+    args = parser.parse_args(argv)
+    root = Path(args.root)
+
+    files = markdown_files(root)
+    print(f"checking {len(files)} markdown file(s) under {root.resolve()}")
+
+    violations = check_links(root, files)
+    for violation in violations:
+        print(f"link error: {violation}", file=sys.stderr)
+
+    attempted, failed_count, reports = run_doctests(root, files, verbose=args.verbose)
+    for report in reports:
+        print(f"doctest error: {report}", file=sys.stderr)
+    link_verdict = (
+        f"links OK: {len(files)} files" if not violations
+        else f"links BROKEN: {len(violations)} bad link(s) in {len(files)} files"
+    )
+    print(f"{link_verdict}; doctests: {attempted} example(s), "
+          f"{failed_count} failure(s)")
+    return 1 if violations or failed_count else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -80,6 +80,15 @@ NEG_INF = _NegativeInfinity()
 POS_INF = _PositiveInfinity()
 
 
+def _identity_loader(ref: Any) -> Any:
+    """Default child dereference: entry children *are* node objects.
+
+    Trees over a paged :class:`~repro.storage.node_store.NodeStore` hold
+    store references instead and pass the store's ``load`` here.
+    """
+    return ref
+
+
 def generate_vt(
     root: XBNode,
     low: Any,
@@ -87,6 +96,7 @@ def generate_vt(
     scheme: Optional[DigestScheme] = None,
     counter: Optional[AccessCounter] = None,
     charge_l_pages: bool = True,
+    loader: Optional[Any] = None,
 ) -> Digest:
     """Compute the verification token for the range ``[low, high]``.
 
@@ -105,6 +115,9 @@ def generate_vt(
         already equals ``L⊕``.
     charge_l_pages:
         Whether internal-entry L-page reads are charged.
+    loader:
+        Child dereference function (a node store's ``load``); defaults to
+        the identity for plain in-memory object graphs.
 
     Returns
     -------
@@ -119,7 +132,10 @@ def generate_vt(
     vt = scheme.zero()
     if root is None or not root.entries:
         return vt
-    return _generate_vt_node(root, low, high, vt, scheme, counter, charge_l_pages)
+    return _generate_vt_node(
+        root, low, high, vt, scheme, counter, charge_l_pages,
+        loader or _identity_loader,
+    )
 
 
 def _generate_vt_node(
@@ -130,6 +146,7 @@ def _generate_vt_node(
     scheme: DigestScheme,
     counter: Optional[AccessCounter],
     charge_l_pages: bool,
+    loader: Any,
 ) -> Digest:
     if counter is not None:
         counter.record_node_access()
@@ -154,7 +171,8 @@ def _generate_vt_node(
         if (sk_i < low < sk_next) or (sk_i < high < sk_next):
             if entry.child is not None:
                 vt = _generate_vt_node(
-                    entry.child, low, high, vt, scheme, counter, charge_l_pages
+                    loader(entry.child), low, high, vt, scheme, counter,
+                    charge_l_pages, loader,
                 )
     return vt
 
@@ -165,6 +183,7 @@ def generate_vt_batch(
     scheme: Optional[DigestScheme] = None,
     counters: Optional[Sequence[Optional[AccessCounter]]] = None,
     charge_l_pages: bool = True,
+    loader: Optional[Any] = None,
 ) -> List[Digest]:
     """Compute the verification tokens of many ranges in one shared walk.
 
@@ -183,7 +202,7 @@ def generate_vt_batch(
     receives query ``i``'s charges (entries may be ``None`` to skip one).
     """
     tokens, counts = generate_vt_batch_with_counts(
-        root, ranges, scheme=scheme, charge_l_pages=charge_l_pages
+        root, ranges, scheme=scheme, charge_l_pages=charge_l_pages, loader=loader
     )
     if counters is not None:
         for position, count in enumerate(counts):
@@ -198,6 +217,7 @@ def generate_vt_batch_with_counts(
     ranges: Sequence[Tuple[Any, Any]],
     scheme: Optional[DigestScheme] = None,
     charge_l_pages: bool = True,
+    loader: Optional[Any] = None,
 ) -> Tuple[List[Digest], List[int]]:
     """:func:`generate_vt_batch` returning ``(tokens, per-query accesses)``.
 
@@ -207,6 +227,7 @@ def generate_vt_batch_with_counts(
     it wants.
     """
     scheme = scheme or default_scheme()
+    loader = loader or _identity_loader
     if root is None or not root.entries:
         return [scheme.zero()] * len(ranges), [0] * len(ranges)
     # Sort by range so queries that share a root-to-leaf path stay adjacent
@@ -271,7 +292,7 @@ def generate_vt_batch_with_counts(
 
         # Depth-first into each child with exactly the queries that cut it.
         for entry_index, group in descents.items():
-            stack.append((entries[entry_index].child, group))
+            stack.append((loader(entries[entry_index].child), group))
     size = scheme.digest_size
     tokens = [
         scheme.from_bytes(accumulator.to_bytes(size, "big"))

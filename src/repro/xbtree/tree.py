@@ -2,7 +2,14 @@
 
 The tree is a classic B-tree (keys live at every level) whose entries carry
 L pages (the ids and digests of the tuples with that exact key) and XOR
-aggregates, as described in Section III of the paper.  Supported operations:
+aggregates, as described in Section III of the paper.  Node storage is
+pluggable through a :class:`~repro.storage.node_store.NodeStore`: entry
+child pointers hold store references and every dereference goes through the
+store inside an operation scope, so a paged tree keeps only its buffer pool
+resident while a traversal's path stays pinned (the default memory store
+preserves the historical object-graph behaviour bit-for-bit).
+
+Supported operations:
 
 * :meth:`XBTree.insert` -- add one ``(key, record_id, digest)`` tuple in
   ``O(log n)``; if the key already exists the tuple joins its L page,
@@ -25,6 +32,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.crypto.digest import Digest, DigestScheme, default_scheme
 from repro.storage.cost_model import AccessCounter
+from repro.storage.node_store import MEMORY_NODE_STORE, NodeStore
 from repro.xbtree.generate_vt import generate_vt as _generate_vt
 from repro.xbtree.generate_vt import (
     generate_vt_batch_with_counts as _generate_vt_batch_with_counts,
@@ -37,7 +45,13 @@ class XBTreeError(ValueError):
 
 
 class XBTree:
-    """The trusted entity's XOR B-Tree."""
+    """The trusted entity's XOR B-Tree.
+
+    Thread-safety: concurrent read operations are safe; mutations require
+    external mutual exclusion (the schemes hold their read/write lock).
+    With a paged store, operations additionally serialise on the store's
+    own lock.
+    """
 
     def __init__(
         self,
@@ -45,6 +59,7 @@ class XBTree:
         scheme: Optional[DigestScheme] = None,
         counter: Optional[AccessCounter] = None,
         capacity: Optional[int] = None,
+        store: Optional[NodeStore] = None,
     ):
         self._layout = layout or XBTreeLayout()
         self._scheme = scheme or default_scheme()
@@ -52,7 +67,12 @@ class XBTree:
         self._capacity = capacity if capacity is not None else self._layout.capacity
         if self._capacity < 3:
             raise XBTreeError("XB-tree capacity must be at least 3 keyed entries")
-        self._root = XBNode(entries=[self._new_anchor()], is_leaf=True)
+        self._store = store or MEMORY_NODE_STORE
+        self._load = self._store.load
+        with self._store.write_op():
+            self._root = self._store.register(
+                XBNode(entries=[self._new_anchor()], is_leaf=True)
+            )
         self._num_tuples = 0
         self._num_keys = 0
         self._num_nodes = 1
@@ -75,6 +95,11 @@ class XBTree:
         return self._counter
 
     @property
+    def store(self) -> NodeStore:
+        """The node store backing this tree."""
+        return self._store
+
+    @property
     def capacity(self) -> int:
         """Maximum keyed entries per node."""
         return self._capacity
@@ -82,7 +107,7 @@ class XBTree:
     @property
     def root(self) -> XBNode:
         """The root node (exposed for the pure ``generate_vt`` function and tests)."""
-        return self._root
+        return self._load(self._root)
 
     @property
     def num_tuples(self) -> int:
@@ -120,9 +145,50 @@ class XBTree:
     def __len__(self) -> int:
         return self._num_tuples
 
+    def tree_state(self) -> dict:
+        """Picklable structural metadata (for deployment snapshots)."""
+        return {
+            "root": self._root,
+            "height": self._height,
+            "num_tuples": self._num_tuples,
+            "num_keys": self._num_keys,
+            "num_nodes": self._num_nodes,
+        }
+
+    def adopt_state(self, state: dict) -> None:
+        """Re-attach to nodes already present in the store (snapshot restore)."""
+        self._free_initial_root(state["root"])
+        self._root = state["root"]
+        self._height = int(state["height"])
+        self._num_tuples = int(state["num_tuples"])
+        self._num_keys = int(state["num_keys"])
+        self._num_nodes = int(state["num_nodes"])
+
+    def _free_initial_root(self, new_root: Any) -> None:
+        """Release the empty root the constructor registered (restore path)."""
+        if self._root == new_root or self._num_tuples:
+            return
+        from repro.storage.node_store import NodeStoreError
+
+        try:
+            with self._store.write_op():
+                self._store.free(self._root)
+        except NodeStoreError:
+            pass  # the constructor's root was never committed to this store
+
     # ------------------------------------------------------------------ helpers
-    def _new_anchor(self, child: Optional[XBNode] = None) -> XBEntry:
-        anchor = XBEntry(key=None, tuples=None, x=self._scheme.zero(), child=child, scheme=self._scheme)
+    def _new_anchor(self, child: Optional[Any] = None) -> XBEntry:
+        """A keyless anchor entry whose child is a *store reference*."""
+        anchor = XBEntry(key=None, tuples=None, x=self._scheme.zero(), child=child,
+                         scheme=self._scheme)
+        if child is not None:
+            anchor.x = self._load(child).aggregate(self._scheme)
+        return anchor
+
+    def _new_anchor_of(self, child: Optional[XBNode] = None) -> XBEntry:
+        """Anchor over an in-construction object child (bulk load only)."""
+        anchor = XBEntry(key=None, tuples=None, x=self._scheme.zero(), child=child,
+                         scheme=self._scheme)
         if child is not None:
             anchor.x = child.aggregate(self._scheme)
         return anchor
@@ -134,7 +200,15 @@ class XBTree:
         """Recompute ``entry.x`` from its L page and its child's aggregates."""
         x = entry.l_xor(self._scheme)
         if entry.child is not None:
-            x = x ^ entry.child.aggregate(self._scheme)
+            x = x ^ self._load(entry.child).aggregate(self._scheme)
+        entry.x = x
+
+    @staticmethod
+    def _refresh_entry_x_of(entry: XBEntry, scheme: DigestScheme) -> None:
+        """Object-graph variant of :meth:`_refresh_entry_x` (bulk load only)."""
+        x = entry.l_xor(scheme)
+        if entry.child is not None:
+            x = x ^ entry.child.aggregate(scheme)
         entry.x = x
 
     def _min_keyed_entries(self) -> int:
@@ -159,17 +233,19 @@ class XBTree:
     # ------------------------------------------------------------------ queries
     def total_xor(self) -> Digest:
         """XOR of every stored digest (the aggregate of the whole tree)."""
-        return self._root.aggregate(self._scheme)
+        return self._load(self._root).aggregate(self._scheme)
 
     def generate_vt(self, low: Any, high: Any, charge: bool = True) -> Digest:
         """Verification token for the range ``[low, high]`` (Figure 4)."""
-        return _generate_vt(
-            self._root,
-            low,
-            high,
-            scheme=self._scheme,
-            counter=self._counter if charge else None,
-        )
+        with self._store.read_op():
+            return _generate_vt(
+                self._load(self._root),
+                low,
+                high,
+                scheme=self._scheme,
+                counter=self._counter if charge else None,
+                loader=self._load,
+            )
 
     def generate_vt_batch(
         self, ranges: Sequence[Tuple[Any, Any]], charge: bool = True
@@ -181,11 +257,14 @@ class XBTree:
         identical to calling :meth:`generate_vt` once per range; the shared
         walk only removes repeated Python work (each node's entry table is
         consulted by binary search for every query that visits it, instead
-        of one full linear scan per query per node).
+        of one full linear scan per query per node).  Under a paged store
+        every node the batch visits stays pinned until the batch completes.
         """
-        tokens, counts = _generate_vt_batch_with_counts(
-            self._root, ranges, scheme=self._scheme
-        )
+        with self._store.read_op():
+            tokens, counts = _generate_vt_batch_with_counts(
+                self._load(self._root), ranges, scheme=self._scheme,
+                loader=self._load,
+            )
         if charge:
             total = sum(counts)
             if total:
@@ -194,26 +273,27 @@ class XBTree:
 
     def lookup(self, key: Any) -> List[Tuple[Any, Digest]]:
         """Return the L page (list of ``(record id, digest)``) for ``key``."""
-        node = self._root
-        self._charge()
-        while True:
-            index, exact = self._find_key_index(node, key)
-            if exact:
-                return list(node.entries[index].tuples)
-            child = node.entries[index].child
-            if child is None:
-                return []
-            node = child
+        with self._store.read_op():
+            node = self._load(self._root)
             self._charge()
+            while True:
+                index, exact = self._find_key_index(node, key)
+                if exact:
+                    return list(node.entries[index].tuples)
+                child = node.entries[index].child
+                if child is None:
+                    return []
+                node = self._load(child)
+                self._charge()
 
     def items(self) -> Iterator[Tuple[Any, Any, Digest]]:
         """Yield ``(key, record_id, digest)`` for every stored tuple, in key order."""
-        yield from self._items_node(self._root)
+        yield from self._items_node(self._load(self._root))
 
     def _items_node(self, node: XBNode) -> Iterator[Tuple[Any, Any, Digest]]:
         for entry in node.entries:
             if entry.child is not None:
-                yield from self._items_node(entry.child)
+                yield from self._items_node(self._load(entry.child))
             if not entry.is_anchor:
                 for record_id, digest in entry.tuples:
                     yield entry.key, record_id, digest
@@ -223,23 +303,26 @@ class XBTree:
         """Insert one tuple ``<record_id, key, digest>`` into the TE's index."""
         if not isinstance(digest, Digest):
             raise XBTreeError("the XB-tree stores Digest objects; got " + type(digest).__name__)
-        self._charge()
-        split = self._insert_recursive(self._root, key, record_id, digest)
-        if split is not None:
-            promoted, right = split
-            old_root = self._root
-            new_root = XBNode(entries=[self._new_anchor(child=old_root), promoted], is_leaf=False)
-            promoted.child = right
-            self._refresh_entry_x(promoted)
-            new_root.entries[0].x = old_root.aggregate(self._scheme)
-            self._root = new_root
-            self._num_nodes += 1
-            self._height += 1
-        self._num_tuples += 1
+        with self._store.write_op():
+            self._charge()
+            split = self._insert_recursive(self._load(self._root), key, record_id, digest)
+            if split is not None:
+                promoted, right_ref = split
+                old_root_ref = self._root
+                new_root = XBNode(
+                    entries=[self._new_anchor(child=old_root_ref), promoted],
+                    is_leaf=False,
+                )
+                promoted.child = right_ref
+                self._refresh_entry_x(promoted)
+                self._root = self._store.register(new_root)
+                self._num_nodes += 1
+                self._height += 1
+            self._num_tuples += 1
 
     def _insert_recursive(
         self, node: XBNode, key: Any, record_id: Any, digest: Digest
-    ) -> Optional[Tuple[XBEntry, XBNode]]:
+    ) -> Optional[Tuple[XBEntry, Any]]:
         index, exact = self._find_key_index(node, key)
         if exact:
             entry = node.entries[index]
@@ -257,12 +340,12 @@ class XBTree:
                 return self._split_node(node)
             return None
 
-        child = anchor_or_entry.child
+        child = self._load(anchor_or_entry.child)
         self._charge()
         split = self._insert_recursive(child, key, record_id, digest)
         if split is not None:
-            promoted, right = split
-            promoted.child = right
+            promoted, right_ref = split
+            promoted.child = right_ref
             self._refresh_entry_x(promoted)
             node.entries.insert(index + 1, promoted)
         # The descended-through entry's aggregate changed (new digest and/or
@@ -272,8 +355,8 @@ class XBTree:
             return self._split_node(node)
         return None
 
-    def _split_node(self, node: XBNode) -> Tuple[XBEntry, XBNode]:
-        """Split an overfull node; return ``(promoted entry, right sibling)``."""
+    def _split_node(self, node: XBNode) -> Tuple[XBEntry, Any]:
+        """Split an overfull node; return ``(promoted entry, right-sibling ref)``."""
         keyed = node.num_keyed_entries
         mid = 1 + keyed // 2  # index (in entries) of the median keyed entry
         median = node.entries[mid]
@@ -293,26 +376,30 @@ class XBTree:
             child=None,
             scheme=self._scheme,
         )
-        return promoted, right
+        return promoted, self._store.register(right)
 
     # ------------------------------------------------------------------ delete
     def delete(self, key: Any, record_id: Any) -> None:
         """Remove the tuple ``(key, record_id)``.
 
-        Raises :class:`XBTreeError` if the tuple is not present.
+        Raises :class:`XBTreeError` if the tuple is not present (the store
+        then discards the scope, so a failed delete mutates nothing).
         """
-        self._charge()
-        removed = self._delete_recursive(self._root, key, record_id)
-        if not removed:
-            raise XBTreeError(f"tuple (key={key!r}, record_id={record_id!r}) not found")
-        if not self._root.is_leaf and self._root.num_keyed_entries == 0:
-            # The root lost its last keyed entry: collapse one level.
-            child = self._root.entries[0].child
-            if child is not None:
-                self._root = child
-                self._num_nodes -= 1
-                self._height -= 1
-        self._num_tuples -= 1
+        with self._store.write_op():
+            self._charge()
+            root = self._load(self._root)
+            removed = self._delete_recursive(root, key, record_id)
+            if not removed:
+                raise XBTreeError(f"tuple (key={key!r}, record_id={record_id!r}) not found")
+            if not root.is_leaf and root.num_keyed_entries == 0:
+                # The root lost its last keyed entry: collapse one level.
+                child_ref = root.entries[0].child
+                if child_ref is not None:
+                    self._store.free(self._root)
+                    self._root = child_ref
+                    self._num_nodes -= 1
+                    self._height -= 1
+            self._num_tuples -= 1
 
     def _delete_recursive(self, node: XBNode, key: Any, record_id: Any) -> bool:
         index, exact = self._find_key_index(node, key)
@@ -334,17 +421,19 @@ class XBTree:
                 return True
             # Internal entry: replace it with its in-order successor (the
             # smallest key in its child subtree), then repair that subtree.
-            successor = self._pop_min_entry(entry.child)
+            successor = self._pop_min_entry(self._load(entry.child))
             if successor is None:
                 # The child subtree holds no keyed entries at all (can only
                 # happen in degenerate trees); drop the entry and splice the
                 # child's anchor subtree into the left neighbour.
                 left_neighbour = node.entries[index - 1]
-                orphan = entry.child.entries[0].child
-                if orphan is not None:
-                    self._absorb_orphan(left_neighbour, orphan)
+                child_ref = entry.child
+                orphan_ref = self._load(child_ref).entries[0].child
+                if orphan_ref is not None:
+                    self._absorb_orphan(left_neighbour, orphan_ref)
                 else:
                     self._num_nodes -= 1
+                self._store.free(child_ref)
                 node.entries.pop(index)
                 self._refresh_entry_x(left_neighbour)
                 return True
@@ -355,9 +444,9 @@ class XBTree:
             return True
 
         entry = node.entries[index]
-        child = entry.child
-        if child is None:
+        if entry.child is None:
             return False
+        child = self._load(entry.child)
         self._charge()
         removed = self._delete_recursive(child, key, record_id)
         if not removed:
@@ -378,48 +467,57 @@ class XBTree:
             if node.num_keyed_entries == 0:
                 return None
             victim = node.entries.pop(1)
-            orphan = victim.child
-            if orphan is not None:
-                self._absorb_orphan(anchor, orphan)
+            orphan_ref = victim.child
+            if orphan_ref is not None:
+                self._absorb_orphan(anchor, orphan_ref)
             detached = XBEntry(key=victim.key, tuples=victim.tuples,
                                x=self._scheme.zero(), child=None, scheme=self._scheme)
             return detached
-        result = self._pop_min_entry(anchor.child)
+        result = self._pop_min_entry(self._load(anchor.child))
         if result is None:
             return None
         self._refresh_entry_x(anchor)
         self._fix_underflow(node, 0)
         return result
 
-    def _absorb_orphan(self, entry: XBEntry, orphan: XBNode) -> None:
+    def _absorb_orphan(self, entry: XBEntry, orphan_ref: Any) -> None:
         """Attach an orphaned subtree under ``entry`` (degenerate-tree repair)."""
         if entry.child is None:
-            entry.child = orphan
+            entry.child = orphan_ref
         else:
             # Merge the orphan's entries into the entry's child (the orphan's
             # keys all exceed the child's keys by construction).
-            target = entry.child
+            orphan = self._load(orphan_ref)
+            target = self._load(entry.child)
             anchor = orphan.entries[0]
             if anchor.child is not None:
                 last = target.entries[-1]
                 self._absorb_orphan(last, anchor.child)
                 self._refresh_entry_x(last)
             target.entries.extend(orphan.entries[1:])
+            self._store.free(orphan_ref)
             self._num_nodes -= 1
         self._refresh_entry_x(entry)
 
     def _fix_underflow(self, parent: XBNode, index: int) -> None:
         """Repair the child at ``parent.entries[index]`` if it underflowed."""
-        child = parent.entries[index].child
-        if child is None:
+        child_ref = parent.entries[index].child
+        if child_ref is None:
             return
+        child = self._load(child_ref)
         if child.num_keyed_entries >= self._min_keyed_entries():
             return
 
         left_entry = parent.entries[index - 1] if index > 0 else None
         right_entry = parent.entries[index + 1] if index + 1 < len(parent.entries) else None
-        left_sibling = left_entry.child if left_entry is not None else None
-        right_sibling = right_entry.child if right_entry is not None else None
+        left_sibling = (
+            self._load(left_entry.child)
+            if left_entry is not None and left_entry.child is not None else None
+        )
+        right_sibling = (
+            self._load(right_entry.child)
+            if right_entry is not None and right_entry.child is not None else None
+        )
 
         if left_sibling is not None and left_sibling.num_keyed_entries > self._min_keyed_entries():
             self._borrow_from_left(parent, index)
@@ -434,8 +532,8 @@ class XBTree:
         """Rotate the separator at ``index`` down and the left sibling's last key up."""
         separator = parent.entries[index]
         left_entry = parent.entries[index - 1]
-        left_sibling = left_entry.child
-        child = separator.child
+        left_sibling = self._load(left_entry.child)
+        child = self._load(separator.child)
 
         donated = left_sibling.entries.pop()
         # The separator's key/L move down to become the child's first keyed
@@ -451,7 +549,7 @@ class XBTree:
         # ...and the child's new anchor subtree is the donated entry's child.
         child.entries[0].child = donated.child
         if donated.child is not None:
-            child.entries[0].x = donated.child.aggregate(self._scheme)
+            child.entries[0].x = self._load(donated.child).aggregate(self._scheme)
         else:
             child.entries[0].x = self._scheme.zero()
         child.entries.insert(1, moved_down)
@@ -465,8 +563,8 @@ class XBTree:
         """Rotate the separator at ``index + 1`` down and the right sibling's first key up."""
         child_entry = parent.entries[index]
         separator = parent.entries[index + 1]
-        child = child_entry.child
-        right_sibling = separator.child
+        child = self._load(child_entry.child)
+        right_sibling = self._load(separator.child)
 
         donated = right_sibling.entries.pop(1)
         # The separator's key/L move down to the end of the child; its child
@@ -483,7 +581,7 @@ class XBTree:
         # The right sibling's new anchor subtree is the donated entry's child.
         right_sibling.entries[0].child = donated.child
         if donated.child is not None:
-            right_sibling.entries[0].x = donated.child.aggregate(self._scheme)
+            right_sibling.entries[0].x = self._load(donated.child).aggregate(self._scheme)
         else:
             right_sibling.entries[0].x = self._scheme.zero()
         # The donated entry's key/L become the new separator.
@@ -496,8 +594,9 @@ class XBTree:
         """Merge the child at ``index`` and the separator into the left sibling."""
         separator = parent.entries[index]
         left_entry = parent.entries[index - 1]
-        left_sibling = left_entry.child
-        child = separator.child
+        left_sibling = self._load(left_entry.child)
+        child_ref = separator.child
+        child = self._load(child_ref)
 
         moved_down = XBEntry(
             key=separator.key,
@@ -510,6 +609,7 @@ class XBTree:
         left_sibling.entries.append(moved_down)
         left_sibling.entries.extend(child.entries[1:])
         parent.entries.pop(index)
+        self._store.free(child_ref)
         self._num_nodes -= 1
         self._refresh_entry_x(left_entry)
 
@@ -517,8 +617,9 @@ class XBTree:
         """Merge the right sibling and its separator into the child at ``index``."""
         child_entry = parent.entries[index]
         separator = parent.entries[index + 1]
-        child = child_entry.child
-        right_sibling = separator.child
+        child = self._load(child_entry.child)
+        right_ref = separator.child
+        right_sibling = self._load(right_ref)
 
         moved_down = XBEntry(
             key=separator.key,
@@ -531,6 +632,7 @@ class XBTree:
         child.entries.append(moved_down)
         child.entries.extend(right_sibling.entries[1:])
         parent.entries.pop(index + 1)
+        self._store.free(right_ref)
         self._num_nodes -= 1
         self._refresh_entry_x(child_entry)
 
@@ -540,7 +642,10 @@ class XBTree:
 
         Duplicate keys are grouped into a single entry's L page, as the paper
         prescribes.  Raises :class:`XBTreeError` if the tree is not empty or
-        the input is not sorted.
+        the input is not sorted.  The build materialises the whole tree
+        before writing it to the store (setup needs memory proportional to
+        the dataset even under paged storage; serving afterwards is bounded
+        by the pool).
         """
         if self._num_tuples:
             raise XBTreeError("bulk_load requires an empty tree")
@@ -579,7 +684,7 @@ class XBTree:
             if total - (position + take) == 1:
                 take = max(1, take - 1)
             leaf_entries = entries[position:position + take]
-            leaf = XBNode(entries=[self._new_anchor()] + leaf_entries, is_leaf=True)
+            leaf = XBNode(entries=[self._new_anchor_of()] + leaf_entries, is_leaf=True)
             nodes.append(leaf)
             position += take
             if position < total:
@@ -596,8 +701,11 @@ class XBTree:
             self._num_nodes += len(nodes) if height >= 1 else 0
             height += 1
         # _build_parent_level already counted its new nodes; fix double count.
-        self._root = nodes[0]
         self._height = height
+        with self._store.write_op():
+            old_root = self._root
+            self._root = self._intern_subtree(nodes[0])
+            self._store.free(old_root)
         self._recount_nodes()
 
     def _build_parent_level(
@@ -615,10 +723,10 @@ class XBTree:
                 take -= 1
             group_nodes = nodes[i:i + take + 1]
             group_seps = separators[i:i + take]
-            parent = XBNode(entries=[self._new_anchor(child=group_nodes[0])], is_leaf=False)
+            parent = XBNode(entries=[self._new_anchor_of(child=group_nodes[0])], is_leaf=False)
             for sep, child in zip(group_seps, group_nodes[1:]):
                 sep.child = child
-                self._refresh_entry_x(sep)
+                self._refresh_entry_x_of(sep, self._scheme)
                 parent.entries.append(sep)
             parents.append(parent)
             i += take + 1
@@ -626,15 +734,27 @@ class XBTree:
                 parent_separators.append(separators[i - 1])
         return parents, parent_separators
 
+    def _intern_subtree(self, node: XBNode) -> Any:
+        """Register an object subtree with the store, bottom-up.
+
+        Entry child pointers are replaced by store references; returns the
+        root's reference.  Identity transformation for the memory store.
+        """
+        for entry in node.entries:
+            if entry.child is not None:
+                entry.child = self._intern_subtree(entry.child)
+        return self._store.register(node)
+
     def _recount_nodes(self) -> None:
         count = 0
         stack = [self._root]
-        while stack:
-            node = stack.pop()
-            count += 1
-            for entry in node.entries:
-                if entry.child is not None:
-                    stack.append(entry.child)
+        with self._store.read_op():
+            while stack:
+                node = self._load(stack.pop())
+                count += 1
+                for entry in node.entries:
+                    if entry.child is not None:
+                        stack.append(entry.child)
         self._num_nodes = count
 
     # ------------------------------------------------------------------ validation
@@ -642,11 +762,16 @@ class XBTree:
         """Check every structural and aggregate invariant of the tree.
 
         Raises :class:`XBTreeError` on the first violation.  The check walks
-        the entire tree, so it is meant for tests, not for production paths.
+        the entire tree (inside one operation scope), so it is meant for
+        tests, not for production paths.
         """
         leaf_depths: List[int] = []
         seen_keys: Dict[Any, int] = {}
-        self._validate_node(self._root, None, None, 1, leaf_depths, seen_keys, is_root=True)
+        with self._store.read_op():
+            self._validate_node(
+                self._load(self._root), None, None, 1, leaf_depths, seen_keys,
+                is_root=True,
+            )
         if leaf_depths and len(set(leaf_depths)) != 1:
             raise XBTreeError(f"leaves at different depths: {sorted(set(leaf_depths))}")
         if leaf_depths and leaf_depths[0] != self._height:
@@ -718,15 +843,16 @@ class XBTree:
             if not node.is_leaf and entry.child is None:
                 raise XBTreeError("internal entries must have a child")
 
+            child = self._load(entry.child) if entry.child is not None else None
             expected = entry.l_xor(self._scheme)
-            if entry.child is not None:
-                expected = expected ^ entry.child.aggregate(self._scheme)
+            if child is not None:
+                expected = expected ^ child.aggregate(self._scheme)
             if expected != entry.x:
                 raise XBTreeError(
                     f"aggregate mismatch at entry {entry.key!r}: stored {entry.x.hex()[:12]}, "
                     f"recomputed {expected.hex()[:12]}"
                 )
-            if entry.child is not None:
+            if child is not None:
                 self._validate_node(
-                    entry.child, entry_low, entry_high, depth + 1, leaf_depths, seen_keys
+                    child, entry_low, entry_high, depth + 1, leaf_depths, seen_keys
                 )

@@ -1,0 +1,49 @@
+"""The documentation stays checkable: links resolve, examples run.
+
+Mirrors the CI ``docs`` job (``python -m repro.tools.docs_check``) inside
+tier-1, so a broken doc link or a drifted ``>>>`` example fails locally
+before it fails in CI.
+"""
+
+from pathlib import Path
+
+from repro.tools.docs_check import check_links, markdown_files, run_doctests
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repo_markdown_links_resolve():
+    violations = check_links(REPO_ROOT)
+    assert violations == []
+
+
+def test_repo_doc_examples_pass():
+    docs = [
+        path for path in markdown_files(REPO_ROOT)
+        if path.name == "README.md" or "docs" in path.parts
+    ]
+    attempted, failed, reports = run_doctests(REPO_ROOT, docs)
+    assert failed == 0, reports
+    assert attempted >= 1  # the wire-protocol examples must actually run
+
+
+def test_checker_reports_broken_links(tmp_path):
+    (tmp_path / "index.md").write_text(
+        "[exists](other.md) and [missing](nowhere/void.md) "
+        "and [external](https://example.com) and [badge](../../actions/x.svg)"
+    )
+    (tmp_path / "other.md").write_text("ok")
+    violations = check_links(tmp_path)
+    assert len(violations) == 1
+    assert "nowhere/void.md" in violations[0]
+
+
+def test_checker_runs_doctests(tmp_path):
+    good = tmp_path / "good.md"
+    good.write_text("Example:\n\n```\n>>> 1 + 1\n2\n\n```\n")
+    attempted, failed, _ = run_doctests(tmp_path, [good.resolve()])
+    assert (attempted, failed) == (1, 0)
+    bad = tmp_path / "bad.md"
+    bad.write_text("Example:\n\n```\n>>> 1 + 1\n3\n\n```\n")
+    attempted, failed, reports = run_doctests(tmp_path, [bad.resolve()])
+    assert failed == 1 and reports

@@ -1,0 +1,241 @@
+"""Unit tests for the pluggable node-store layer (repro.storage.node_store)."""
+
+import pickle
+
+import pytest
+
+from repro.storage import (
+    MEMORY_NODE_STORE,
+    MemoryNodeStore,
+    NodeStoreError,
+    PagedNodeStore,
+    PoolStats,
+    StorageConfig,
+)
+
+
+class TestMemoryNodeStore:
+    def test_references_are_the_objects(self):
+        store = MemoryNodeStore()
+        node = {"payload": 1}
+        with store.write_op():
+            ref = store.register(node)
+        assert ref is node
+        assert store.load(ref) is node
+
+    def test_scopes_and_free_are_noops(self):
+        store = MEMORY_NODE_STORE
+        with store.read_op():
+            with store.write_op():
+                store.free(store.register([1])) is None
+        assert store.stats == PoolStats()
+
+    def test_scoped_stats_yield_zero(self):
+        with MEMORY_NODE_STORE.scoped_stats() as tally:
+            pass
+        assert (tally.hits, tally.misses, tally.evictions) == (0, 0, 0)
+
+
+class TestPagedNodeStore:
+    def test_register_load_roundtrip(self):
+        store = PagedNodeStore(pool_pages=4, page_size=256)
+        with store.write_op():
+            ref = store.register({"keys": [1, 2, 3]})
+        assert isinstance(ref, int)
+        assert store.load(ref) == {"keys": [1, 2, 3]}
+
+    def test_multi_page_nodes(self):
+        store = PagedNodeStore(pool_pages=2, page_size=128)
+        big = list(range(500))  # far larger than one 128-byte page
+        with store.write_op():
+            ref = store.register(big)
+        assert store.load(ref) == big
+        assert len(store.snapshot_state()["chains"][ref]) > 1
+
+    def test_identity_within_an_operation_scope(self):
+        store = PagedNodeStore(pool_pages=2, page_size=256)
+        with store.write_op():
+            ref = store.register([1])
+        with store.read_op():
+            assert store.load(ref) is store.load(ref)
+        # outside a scope every load deserialises a fresh object
+        assert store.load(ref) is not store.load(ref)
+
+    def test_mutation_writes_back_on_scope_exit(self):
+        store = PagedNodeStore(pool_pages=2, page_size=256)
+        with store.write_op():
+            ref = store.register([1])
+        with store.write_op():
+            store.load(ref).append(2)
+        assert store.load(ref) == [1, 2]
+
+    def test_failed_write_scope_rolls_back(self):
+        store = PagedNodeStore(pool_pages=2, page_size=256)
+        with store.write_op():
+            ref = store.register([1])
+        with pytest.raises(RuntimeError):
+            with store.write_op():
+                store.load(ref).append(99)
+                raise RuntimeError("mid-operation failure")
+        assert store.load(ref) == [1]
+
+    def test_failed_scope_discards_registrations(self):
+        store = PagedNodeStore(pool_pages=2, page_size=256)
+        captured = []
+        with pytest.raises(RuntimeError):
+            with store.write_op():
+                captured.append(store.register([1]))
+                raise RuntimeError("boom")
+        with pytest.raises(NodeStoreError):
+            store.load(captured[0])
+
+    def test_register_and_free_require_write_scope(self):
+        store = PagedNodeStore(pool_pages=2, page_size=256)
+        with pytest.raises(NodeStoreError):
+            store.register([1])
+        with store.write_op():
+            ref = store.register([1])
+        with pytest.raises(NodeStoreError):
+            store.free(ref)
+        with store.read_op():
+            with pytest.raises(NodeStoreError):
+                store.register([2])
+
+    def test_free_releases_pages_for_reuse(self):
+        store = PagedNodeStore(pool_pages=2, page_size=256)
+        with store.write_op():
+            ref = store.register([1, 2, 3])
+        pages_before = store.pool.pager.num_pages
+        with store.write_op():
+            store.free(ref)
+        with pytest.raises(NodeStoreError):
+            store.load(ref)
+        with store.write_op():
+            store.register([4, 5, 6])
+        assert store.pool.pager.num_pages == pages_before  # freed page reused
+
+    def test_unknown_reference_raises(self):
+        store = PagedNodeStore(pool_pages=2, page_size=256)
+        with pytest.raises(NodeStoreError):
+            store.load(12345)
+        with pytest.raises(NodeStoreError):
+            store.load("not-a-ref")
+
+    def test_traversal_pins_exceed_capacity_transiently(self):
+        """A scope touching more nodes than the pool holds must not evict
+        its own path; capacity is restored when the scope closes."""
+        store = PagedNodeStore(pool_pages=1, page_size=256)
+        with store.write_op():
+            refs = [store.register([i]) for i in range(5)]
+        with store.read_op():
+            nodes = [store.load(ref) for ref in refs]
+            assert [node[0] for node in nodes] == list(range(5))
+            assert store.pool.resident_pages >= 5  # everything pinned
+            assert store.pool.pinned_pages >= 5
+        assert store.pool.pinned_pages == 0
+        assert store.pool.resident_pages <= 1
+
+    def test_pool_smaller_than_node_count_stays_bounded(self):
+        store = PagedNodeStore(pool_pages=3, page_size=256)
+        with store.write_op():
+            refs = [store.register([i] * 8) for i in range(40)]
+        for ref in refs:
+            store.load(ref)
+        assert store.pool.resident_pages <= 3
+        assert store.num_nodes == 40
+        assert store.stats.evictions > 0
+
+    def test_scoped_stats_tally_hits_and_misses(self):
+        store = PagedNodeStore(pool_pages=8, page_size=256)
+        with store.write_op():
+            ref = store.register([1])
+        store.pool.evict_all()
+        with store.scoped_stats() as tally:
+            store.load(ref)  # miss
+            store.load(ref)  # hit
+        assert tally.misses == 1
+        assert tally.hits == 1
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = str(tmp_path / "trees.nodes")
+        store = PagedNodeStore(path=path, pool_pages=2, page_size=256)
+        with store.write_op():
+            refs = [store.register({"i": i}) for i in range(10)]
+        store.flush()
+        state = store.snapshot_state()
+        store.close()
+
+        reopened = PagedNodeStore(path=path, pool_pages=2, page_size=256)
+        reopened.restore_state(state)
+        assert [reopened.load(ref)["i"] for ref in refs] == list(range(10))
+
+    def test_restore_state_rejects_out_of_range_pages(self, tmp_path):
+        path = str(tmp_path / "trees.nodes")
+        store = PagedNodeStore(path=path, pool_pages=2, page_size=256)
+        with store.write_op():
+            store.register([1])
+        store.flush()
+        state = store.snapshot_state()
+        state["chains"][0] = [999]
+        store.close()
+        reopened = PagedNodeStore(path=path, pool_pages=2, page_size=256)
+        with pytest.raises(NodeStoreError):
+            reopened.restore_state(state)
+
+    def test_nested_write_inside_read_escalates(self):
+        store = PagedNodeStore(pool_pages=2, page_size=256)
+        with store.write_op():
+            ref = store.register([1])
+        with store.read_op():
+            with store.write_op():
+                store.load(ref).append(2)
+        assert store.load(ref) == [1, 2]
+
+    def test_rejects_non_positive_pool(self):
+        with pytest.raises(NodeStoreError):
+            PagedNodeStore(pool_pages=0)
+
+    def test_state_is_picklable(self):
+        store = PagedNodeStore(pool_pages=2, page_size=256)
+        with store.write_op():
+            store.register([1])
+        assert pickle.loads(pickle.dumps(store.snapshot_state()))
+
+
+class TestStorageConfig:
+    def test_memory_default(self):
+        config = StorageConfig()
+        assert not config.is_paged
+        assert config.node_store("sp") is MEMORY_NODE_STORE
+        assert config.heap_pager("sp") is None
+
+    def test_paged_without_dir_is_bounded_but_volatile(self):
+        config = StorageConfig(mode="paged", pool_pages=4)
+        store = config.node_store("sp")
+        assert isinstance(store, PagedNodeStore)
+        assert store.pool.capacity == 4
+        assert config.heap_pager("sp") is None
+
+    def test_paged_with_dir_creates_files(self, tmp_path):
+        config = StorageConfig(mode="paged", data_dir=str(tmp_path), pool_pages=4)
+        store = config.node_store("sp0")
+        with store.write_op():
+            store.register([1])
+        store.flush()
+        pager = config.heap_pager("sp0")
+        assert (tmp_path / "sp0.nodes").exists()
+        assert pager is not None
+        pager.close()
+        store.close()
+
+    def test_rejects_unknown_mode_and_bad_pool(self):
+        with pytest.raises(NodeStoreError):
+            StorageConfig(mode="cloud")
+        with pytest.raises(NodeStoreError):
+            StorageConfig(mode="paged", pool_pages=0)
+
+    def test_coerce_passthrough(self):
+        config = StorageConfig(mode="paged", pool_pages=9)
+        assert StorageConfig.coerce(config) is config
+        coerced = StorageConfig.coerce("paged", data_dir="/x", pool_pages=5)
+        assert coerced.is_paged and coerced.pool_pages == 5

@@ -146,6 +146,28 @@ class TestReceiptCodec:
         rebuilt = wire.receipt_from_wire(wire.receipt_to_wire(_receipt(True)))
         assert rebuilt.legs and rebuilt.matches_leg_sums()
 
+    def test_pool_counters_round_trip(self):
+        receipt = QueryReceipt(
+            query=RangeQuery(low=1, high=9, attribute="key"),
+            sp=CostReceipt(node_accesses=5, io_cost_ms=50.0,
+                           pool_hits=3, pool_misses=2, pool_evictions=1),
+            te=CostReceipt(node_accesses=2, io_cost_ms=20.0),
+            auth_bytes=20,
+            result_bytes=64,
+            client_cpu_ms=0.5,
+        )
+        payload = wire.receipt_to_wire(receipt)
+        assert payload["sp"]["pool"] == [3, 2, 1]
+        assert "pool" not in payload["te"]  # omitted when all zero
+        rebuilt = wire.receipt_from_wire(payload)
+        assert rebuilt == receipt
+
+    def test_malformed_pool_counters_raise(self):
+        payload = wire.receipt_to_wire(_receipt(False))
+        payload["sp"]["pool"] = [1, 2]  # wrong arity
+        with pytest.raises(wire.WireError):
+            wire.receipt_from_wire(payload)
+
     def test_degenerate_query_round_trips(self):
         receipt = QueryReceipt(
             query=RangeQuery.degenerate(9, 5, "key"),
