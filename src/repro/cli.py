@@ -38,7 +38,14 @@ Three subcommands cover the common workflows without writing any code:
     Run the quick benchmark suite, write machine-readable
     ``BENCH_throughput.json`` / ``BENCH_scaling.json`` /
     ``BENCH_head_to_head.json`` and fail on >20 % regression of any gated
-    metric against ``benchmarks/baseline.json``.
+    metric against ``benchmarks/baseline.json``; ``--write-baseline``
+    refreshes that baseline (refused when gated metrics regressed).
+
+``python -m repro bench profile``
+    Wall-clock profiling pass for one scheme: cold/warm verified-query
+    passes under ``cProfile``, per-stage spans (encode, digest, tree walk,
+    VT/VO build, verify, wire) and the codec / memoization / verify-cache
+    micro-benches, written to ``BENCH_profile.json``.
 """
 
 from __future__ import annotations
@@ -188,6 +195,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="degrade gated metrics by FACTOR (CI's gate-trips proof)")
     smoke.add_argument("--reuse", default=None, metavar="DIR",
                        help="reuse BENCH_*.json from DIR instead of re-benchmarking")
+    smoke.add_argument("--write-baseline", action="store_true",
+                       help="rewrite the --baseline file from this run (refused when "
+                            "gated metrics regressed against the committed baseline)")
+
+    prof = bench_commands.add_parser(
+        "profile",
+        help="wall-clock profiling pass: per-stage spans, cProfile hotspots and "
+             "codec/memo/verify-cache micro-benches -> BENCH_profile.json",
+    )
+    prof.add_argument("--scheme", choices=schemes, default="sae",
+                      help="authentication scheme to profile")
+    prof.add_argument("--records", type=_positive_int, default=4_000,
+                      help="dataset cardinality")
+    prof.add_argument("--queries", type=_positive_int, default=60, help="workload size")
+    prof.add_argument("--key-bits", type=int, default=512,
+                      help="RSA modulus size for schemes that sign (TOM)")
+    prof.add_argument("--clients", type=_positive_int, default=4,
+                      help="concurrent clients for the wall-qps pass")
+    prof.add_argument("--seed", type=int, default=7)
+    prof.add_argument("--top", type=_positive_int, default=12,
+                      help="cProfile functions to report")
+    prof.add_argument("--out", default=".",
+                      help="directory for the BENCH_profile.json document")
     return parser
 
 
@@ -231,7 +261,40 @@ def _run_bench_smoke(args: argparse.Namespace) -> int:
         regression_factor=args.inject_regression,
         tolerance=args.tolerance if args.tolerance is not None else GATE_TOLERANCE,
         reuse_dir=Path(args.reuse) if args.reuse is not None else None,
+        write_baseline=args.write_baseline,
     )
+
+
+def _run_bench_profile(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.benchgate import metrics_document, profile_gate_metrics, write_bench_file
+    from repro.experiments.profile import ProfileError, format_profile, run_profile
+
+    try:
+        report = run_profile(
+            scheme=args.scheme,
+            cardinality=args.records,
+            num_queries=args.queries,
+            seed=args.seed,
+            key_bits=args.key_bits,
+            num_clients=args.clients,
+            top=args.top,
+        )
+    except ProfileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(format_profile(report))
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    document = metrics_document(
+        profile_gate_metrics(report),
+        meta={"suite": "profile", "scheme": args.scheme, "scale": "cli"},
+    )
+    path = out_dir / "BENCH_profile.json"
+    write_bench_file(path, document)
+    print(f"wrote {path}")
+    return 0
 
 
 def _run_demo(args: argparse.Namespace) -> int:
@@ -467,6 +530,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench":
         if args.bench_command == "smoke":
             return _run_bench_smoke(args)
+        if args.bench_command == "profile":
+            return _run_bench_profile(args)
         return _run_bench_load(args)
     return 2  # pragma: no cover - argparse enforces the choices
 

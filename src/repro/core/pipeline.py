@@ -48,6 +48,12 @@ class CostReceipt:
     the pager, an eviction made room.  This is the physical-vs-logical gap
     of the paper's I/O model -- a warm pool answers the same logical
     traversal with far fewer misses.
+
+    ``memo_hits`` / ``memo_misses`` report the record-memo activity (the
+    :class:`~repro.crypto.digest.RecordMemo` over record encodings and
+    digests) this party charged to the request: a hit reused a previously
+    computed encoding/digest, a miss computed one.  Zero when the party did
+    no per-record encoding or hashing work.
     """
 
     node_accesses: int = 0
@@ -56,6 +62,8 @@ class CostReceipt:
     pool_hits: int = 0
     pool_misses: int = 0
     pool_evictions: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
 
     @property
     def total_ms(self) -> float:
@@ -76,6 +84,8 @@ class CostReceipt:
             pool_hits=self.pool_hits + other.pool_hits,
             pool_misses=self.pool_misses + other.pool_misses,
             pool_evictions=self.pool_evictions + other.pool_evictions,
+            memo_hits=self.memo_hits + other.memo_hits,
+            memo_misses=self.memo_misses + other.memo_misses,
         )
 
 
@@ -83,7 +93,6 @@ class CostReceipt:
 ZERO_RECEIPT = CostReceipt()
 
 
-@dataclass
 class ExecutionContext:
     """Accounting carrier for one in-flight request.
 
@@ -91,12 +100,33 @@ class ExecutionContext:
     it.  Parties *write* their receipt into the context; nothing in the
     pipeline reads another request's context, which is what makes the whole
     query path re-entrant.
+
+    A slotted plain class rather than a dataclass: a batched or sharded
+    request allocates one context per leg, and slots keep that churn to a
+    fixed four-field object without a ``__dict__`` per instance.
     """
 
-    query: Optional["RangeQuery"] = None
-    sp: Optional[CostReceipt] = None
-    te: Optional[CostReceipt] = None
-    bytes_by_channel: Dict[str, int] = field(default_factory=dict)
+    __slots__ = ("query", "sp", "te", "bytes_by_channel")
+
+    def __init__(
+        self,
+        query: Optional["RangeQuery"] = None,
+        sp: Optional[CostReceipt] = None,
+        te: Optional[CostReceipt] = None,
+        bytes_by_channel: Optional[Dict[str, int]] = None,
+    ):
+        self.query = query
+        self.sp = sp
+        self.te = te
+        self.bytes_by_channel: Dict[str, int] = (
+            bytes_by_channel if bytes_by_channel is not None else {}
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ExecutionContext(query={self.query!r}, sp={self.sp!r}, "
+            f"te={self.te!r}, bytes_by_channel={self.bytes_by_channel!r})"
+        )
 
     def record_bytes(self, channel_name: str, nbytes: int) -> None:
         """Account ``nbytes`` sent over ``channel_name`` for this request."""
@@ -189,6 +219,10 @@ class QueryReceipt:
             and self.result_bytes == sum(leg.result_bytes for leg in self.legs)
             and self.sp.pool_misses == sum(leg.sp.pool_misses for leg in self.legs)
             and self.sp.pool_hits == sum(leg.sp.pool_hits for leg in self.legs)
+            and self.sp.memo_hits == sum(leg.sp.memo_hits for leg in self.legs)
+            and self.sp.memo_misses == sum(leg.sp.memo_misses for leg in self.legs)
+            and self.te.memo_hits == sum(leg.te.memo_hits for leg in self.legs)
+            and self.te.memo_misses == sum(leg.te.memo_misses for leg in self.legs)
         )
 
 

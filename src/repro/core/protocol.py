@@ -36,6 +36,7 @@ from repro.core.client import Client, SAEVerificationResult
 from repro.core.dataset import Dataset
 from repro.core.owner import DataOwner
 from repro.core.pipeline import (
+    CostReceipt,
     ExecutionContext,
     QueryReceipt,
     ReadWriteLock,
@@ -54,8 +55,13 @@ from repro.core.scheme import (
 from repro.core.sharding import ShardedDeployment
 from repro.core.trusted_entity import ShardedTrustedEntity, TrustedEntity
 from repro.core.updates import UpdateBatch
-from repro.crypto.digest import Digest, DigestScheme, default_scheme, get_scheme
-from repro.crypto.encoding import encode_record
+from repro.crypto.digest import (
+    Digest,
+    DigestScheme,
+    RecordMemo,
+    default_scheme,
+    get_scheme,
+)
 from repro.dbms.query import RangeQuery
 from repro.network.channel import NetworkTracker
 from repro.network.messages import QueryRequest, ResultResponse, VTResponse
@@ -163,6 +169,11 @@ class SaeScheme(AuthScheme):
             )
         self.owner = DataOwner(dataset, network=self._network)
         self.client = Client(scheme=self._scheme, key_index=dataset.schema.key_index)
+        # Cross-query memo over record encodings and digests, shared between
+        # the SP legs (payload sizing) and the client leg (verification
+        # hashing).  Content-addressed, so update batches need no
+        # invalidation: replaced records simply stop being looked up.
+        self._record_memo = RecordMemo(self._scheme)
         self._ready = False
         self._init_dispatch(max_workers)
         # Queries hold this shared; update batches hold it exclusive, so an
@@ -181,6 +192,11 @@ class SaeScheme(AuthScheme):
     def network(self) -> NetworkTracker:
         """The byte-accounting network tracker."""
         return self._network
+
+    @property
+    def record_memo(self) -> RecordMemo:
+        """The deployment's cross-query record encoding/digest memo."""
+        return self._record_memo
 
     @property
     def dataset(self) -> Dataset:
@@ -318,20 +334,34 @@ class SaeScheme(AuthScheme):
             self.owner.apply_updates(batch)
 
     # ------------------------------------------------------------------ party legs
+    def _size_result(
+        self, records: List[Tuple[Any, ...]], ctx: ExecutionContext
+    ) -> int:
+        """Size the result payload through the memo, charging it to ``ctx.sp``.
+
+        Equals ``sum(len(encode_record(r)))`` byte-for-byte; the memo serves
+        repeat records from its cache across queries and batches, and the
+        hit/miss tallies land on the SP receipt next to the pool counters.
+        """
+        with self._record_memo.scoped_stats() as memo:
+            hint = sum(len(self._record_memo.encoded(record)) for record in records)
+        if memo.hits or memo.misses:
+            ctx.sp = (ctx.sp or ZERO_RECEIPT) + CostReceipt(
+                memo_hits=memo.hits, memo_misses=memo.misses
+            )
+        return hint
+
     def _serve_sp(
         self,
         query: RangeQuery,
         ctx: ExecutionContext,
-        encode_cache: Optional[Dict[Tuple[Any, ...], bytes]] = None,
         record_cache: Optional[dict] = None,
     ) -> Tuple[List[Tuple[Any, ...]], ResultResponse]:
         """The SP leg of one request: receive the query, return the result."""
         request = QueryRequest(query=query)
         self._network.channel("client", "SP").send(request, session=ctx)
         records = self.provider.execute(query, ctx, record_cache=record_cache)
-        hint = None
-        if encode_cache is not None:
-            hint = sum(len(_encoded(record, encode_cache)) for record in records)
+        hint = self._size_result(records, ctx)
         result_message = ResultResponse(records=records, payload_size_hint=hint)
         self._network.channel("SP", "client").send(result_message, session=ctx)
         return records, result_message
@@ -340,7 +370,6 @@ class SaeScheme(AuthScheme):
         self,
         queries: Sequence[RangeQuery],
         contexts: Sequence[ExecutionContext],
-        encode_cache: Dict[Tuple[Any, ...], bytes],
         record_cache: dict,
     ) -> List[Tuple[List[Tuple[Any, ...]], ResultResponse]]:
         """Serve a contiguous slice of a batch's SP legs on one worker.
@@ -350,7 +379,7 @@ class SaeScheme(AuthScheme):
         convoy overhead on large batches.
         """
         return [
-            self._serve_sp(query, ctx, encode_cache, record_cache)
+            self._serve_sp(query, ctx, record_cache)
             for query, ctx in zip(queries, contexts)
         ]
 
@@ -405,7 +434,6 @@ class SaeScheme(AuthScheme):
         shard_id: int,
         query: RangeQuery,
         ctx: ExecutionContext,
-        encode_cache: Optional[Dict[Tuple[Any, ...], bytes]] = None,
         record_cache: Optional[dict] = None,
     ) -> Tuple[List[Tuple[Any, ...]], ResultResponse]:
         """One shard's SP leg of a scattered query."""
@@ -415,9 +443,7 @@ class SaeScheme(AuthScheme):
         records = self.provider.execute_shard(
             shard_id, query, ctx, record_cache=record_cache
         )
-        hint = None
-        if encode_cache is not None:
-            hint = sum(len(_encoded(record, encode_cache)) for record in records)
+        hint = self._size_result(records, ctx)
         result_message = ResultResponse(records=records, payload_size_hint=hint)
         self._network.channel(party, "client").send(result_message, session=ctx)
         return records, result_message
@@ -554,7 +580,6 @@ class SaeScheme(AuthScheme):
         legs: Sequence[Tuple[int, int]],
         queries: Sequence[RangeQuery],
         leg_contexts: Dict[Tuple[int, int], ExecutionContext],
-        encode_cache: Dict[Tuple[Any, ...], bytes],
         record_caches: Dict[int, dict],
     ) -> List[Tuple[Tuple[int, int], Tuple[List[Tuple[Any, ...]], ResultResponse]]]:
         """Serve a slice of a batch's SP shard legs on one pool worker."""
@@ -565,7 +590,6 @@ class SaeScheme(AuthScheme):
                     shard_id,
                     queries[position],
                     leg_contexts[(position, shard_id)],
-                    encode_cache,
                     record_caches[shard_id],
                 ),
             )
@@ -581,7 +605,6 @@ class SaeScheme(AuthScheme):
         """Batched scatter-gather: SP legs chunked across the pool, one
         shared XB-tree walk per TE slice, shared verification caches."""
         pool = self._pool()
-        encode_cache: Dict[Tuple[Any, ...], bytes] = {}
         record_caches: Dict[int, dict] = {
             shard_id: {} for shard_id in range(self.num_shards)
         }
@@ -606,7 +629,6 @@ class SaeScheme(AuthScheme):
                     ordered_legs[start:start + chunk_size],
                     queries,
                     leg_contexts,
-                    encode_cache,
                     record_caches,
                 )
                 for start in range(0, len(ordered_legs), chunk_size)
@@ -673,7 +695,7 @@ class SaeScheme(AuthScheme):
                 for record in records:
                     key = tuple(record)
                     if key not in digest_cache:
-                        digest_cache[key] = self._scheme.hash(_encoded(record, encode_cache))
+                        digest_cache[key] = self._record_memo.digest(record)
                 verification = self.client.verify_shards(
                     verify_legs, query=query, digest_cache=digest_cache
                 )
@@ -798,7 +820,6 @@ class SaeScheme(AuthScheme):
         if self._deployment.is_sharded:
             return self._query_many_sharded(queries, contexts, verify)
         pool = self._pool()
-        encode_cache: Dict[Tuple[Any, ...], bytes] = {}
         record_cache: dict = {}
 
         # One future per worker (contiguous slices), not one per query: the
@@ -815,7 +836,7 @@ class SaeScheme(AuthScheme):
             sp_futures = [
                 pool.submit(
                     self._serve_sp_chunk, queries[piece], contexts[piece],
-                    encode_cache, record_cache,
+                    record_cache,
                 )
                 for piece in slices
             ]
@@ -844,7 +865,7 @@ class SaeScheme(AuthScheme):
                 for record in records:
                     key = tuple(record)
                     if key not in digest_cache:
-                        digest_cache[key] = self._scheme.hash(_encoded(record, encode_cache))
+                        digest_cache[key] = self._record_memo.digest(record)
                 verification = self.client.verify(
                     records, tokens[position], query=query, digest_cache=digest_cache
                 )
@@ -870,19 +891,3 @@ class SaeScheme(AuthScheme):
 
 #: Compatibility alias -- the deployment facade predates the scheme layer.
 SAESystem = SaeScheme
-
-
-def _encoded(record: Sequence[Any], cache: Dict[Tuple[Any, ...], bytes]) -> bytes:
-    """Canonical encoding of ``record``, memoised per batch.
-
-    Shared (under the GIL's atomic dict operations) between the SP legs that
-    size the result messages and the client leg that hashes the records, so
-    each distinct record is encoded once per batch instead of twice per
-    query it appears in.
-    """
-    key = tuple(record)
-    data = cache.get(key)
-    if data is None:
-        data = encode_record(record)
-        cache[key] = data
-    return data

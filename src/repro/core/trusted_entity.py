@@ -17,7 +17,13 @@ from repro.core.pipeline import CostReceipt, ExecutionContext, ZERO_RECEIPT, dep
 from repro.core.sharding import ShardedFleet
 from repro.core.tuples import TETuple, digest_record, make_te_tuples
 from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
-from repro.crypto.digest import Digest, DigestScheme, default_scheme
+from repro.crypto.digest import (
+    Digest,
+    DigestScheme,
+    MemoStats,
+    RecordMemo,
+    default_scheme,
+)
 from repro.dbms.query import RangeQuery
 from repro.storage.constants import DEFAULT_PAGE_SIZE
 from repro.storage.cost_model import AccessCounter, CostModel
@@ -81,6 +87,7 @@ class TrustedEntity:
         self._use_index = use_index
         self._storage = storage or StorageConfig()
         self._store: NodeStore = self._storage.node_store(component)
+        self._memo = RecordMemo(self._scheme)
         self._xbtree: Optional[XBTree] = None
         self._tuples_by_id: dict = {}
         self._ready = False
@@ -113,6 +120,11 @@ class TrustedEntity:
         return self._use_index
 
     @property
+    def record_memo(self) -> RecordMemo:
+        """The TE's cross-batch memo over record encodings and digests."""
+        return self._memo
+
+    @property
     def num_tuples(self) -> int:
         """Number of tuples in the TE's set ``T``."""
         return len(self._tuples_by_id)
@@ -125,7 +137,7 @@ class TrustedEntity:
     # ------------------------------------------------------------------ data management
     def receive_dataset(self, dataset: Dataset) -> None:
         """Derive the tuple set ``T`` from the dataset and index it."""
-        te_tuples = make_te_tuples(dataset, self._scheme)
+        te_tuples = make_te_tuples(dataset, self._scheme, memo=self._memo)
         self._tuples_by_id = {t.record_id: t for t in te_tuples}
         if self._use_index:
             layout = XBTreeLayout(page_size=self._page_size, digest_size=self._scheme.digest_size)
@@ -170,7 +182,7 @@ class TrustedEntity:
     def _insert_record(self, fields, dataset_schema) -> None:
         record_id = self._record_id_of(fields, dataset_schema)
         key = self._key_of(fields, dataset_schema)
-        digest = digest_record(fields, self._scheme)
+        digest = digest_record(fields, self._scheme, memo=self._memo)
         self._tuples_by_id[record_id] = TETuple(record_id=record_id, key=key, digest=digest)
         if self._xbtree is not None:
             self._xbtree.insert(key, record_id, digest)
@@ -197,14 +209,15 @@ class TrustedEntity:
         the method is safe to call concurrently.
         """
         self._require_ready()
-        with self._counter.scoped() as tally, self._store.scoped_stats() as pool:
+        with self._counter.scoped() as tally, self._store.scoped_stats() as pool, \
+                self._memo.scoped_stats() as memo:
             started = time.perf_counter()
             if self._xbtree is not None:
                 token = self._xbtree.generate_vt(query.low, query.high)
             else:
                 token = self._sequential_scan_vt(query)
             cpu_ms = (time.perf_counter() - started) * 1000.0
-        receipt = self._make_receipt(tally.node_accesses, cpu_ms, pool)
+        receipt = self._make_receipt(tally.node_accesses, cpu_ms, pool, memo)
         if ctx is not None:
             ctx.te = receipt
         self._last_receipt = receipt  # feeds the deprecated last_* shims only
@@ -227,7 +240,7 @@ class TrustedEntity:
         if contexts is not None and len(contexts) != len(queries):
             raise ValueError("contexts must be parallel to queries")
         ranges = [(query.low, query.high) for query in queries]
-        with self._store.scoped_stats() as pool:
+        with self._store.scoped_stats() as pool, self._memo.scoped_stats() as memo:
             started = time.perf_counter()
             if self._xbtree is not None:
                 tokens, counts = self._xbtree.generate_vt_batch(ranges)
@@ -239,12 +252,16 @@ class TrustedEntity:
                     counts.append(tally.node_accesses)
             cpu_ms = (time.perf_counter() - started) * 1000.0
         total_accesses = sum(counts)
-        # One shared walk produced the whole batch's physical pool traffic;
-        # apportion it to the receipts proportionally to each query's
-        # logical accesses (largest-remainder, so the parts sum exactly).
+        # One shared walk produced the whole batch's physical pool traffic
+        # and memo activity; apportion both to the receipts proportionally
+        # to each query's logical accesses (largest-remainder, so the parts
+        # sum exactly).
         pool_shares = [
             _apportion(total, counts) for total in
             (pool.hits, pool.misses, pool.evictions)
+        ]
+        memo_shares = [
+            _apportion(total, counts) for total in (memo.hits, memo.misses)
         ]
         for position, count in enumerate(counts):
             share = count / total_accesses if total_accesses else 1.0 / max(1, len(counts))
@@ -256,6 +273,10 @@ class TrustedEntity:
                     misses=pool_shares[1][position],
                     evictions=pool_shares[2][position],
                 ),
+                MemoStats(
+                    hits=memo_shares[0][position],
+                    misses=memo_shares[1][position],
+                ),
             )
             if contexts is not None and contexts[position] is not None:
                 contexts[position].te = receipt
@@ -263,9 +284,14 @@ class TrustedEntity:
         return tokens
 
     def _make_receipt(
-        self, node_accesses: int, cpu_ms: float, pool: Optional[PoolStats] = None
+        self,
+        node_accesses: int,
+        cpu_ms: float,
+        pool: Optional[PoolStats] = None,
+        memo: Optional[MemoStats] = None,
     ) -> CostReceipt:
         pool = pool or PoolStats()
+        memo = memo or MemoStats()
         return CostReceipt(
             node_accesses=node_accesses,
             cpu_ms=cpu_ms,
@@ -273,6 +299,8 @@ class TrustedEntity:
             pool_hits=pool.hits,
             pool_misses=pool.misses,
             pool_evictions=pool.evictions,
+            memo_hits=memo.hits,
+            memo_misses=memo.misses,
         )
 
     def _sequential_scan_vt(self, query: RangeQuery) -> Digest:
@@ -346,6 +374,10 @@ class TrustedEntity:
     def pool_stats(self) -> PoolStats:
         """Lifetime buffer-pool stats of the TE's node store."""
         return self._store.stats
+
+    def memo_stats(self) -> MemoStats:
+        """Lifetime record-memo stats of the TE (setup + update digesting)."""
+        return self._memo.stats
 
     def storage_bytes(self) -> int:
         """The TE's storage footprint (XB-tree pages + packed L pages)."""

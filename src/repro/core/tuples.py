@@ -32,18 +32,26 @@ class TETuple:
         return id_size + key_size + self.digest.size
 
 
-def digest_record(record, scheme: Optional[DigestScheme] = None) -> Digest:
+def digest_record(record, scheme: Optional[DigestScheme] = None, memo=None) -> Digest:
     """Digest of the canonical binary representation of ``record``.
 
     This single function is shared by the TE (when building its tuples), the
     SAE client (when re-hashing the records it received) and the TOM MB-tree
     (leaf digests), so all parties agree byte-for-byte on what is hashed.
+
+    ``memo`` (a :class:`~repro.crypto.digest.RecordMemo`) serves repeat
+    records from its cache; keyed on record content, so the result is
+    byte-identical to the direct computation.
     """
+    if memo is not None:
+        return memo.digest(record)
     scheme = scheme or default_scheme()
     return scheme.hash(encode_record(record))
 
 
-def make_te_tuples(dataset: Dataset, scheme: Optional[DigestScheme] = None) -> List[TETuple]:
+def make_te_tuples(
+    dataset: Dataset, scheme: Optional[DigestScheme] = None, memo=None
+) -> List[TETuple]:
     """Build the TE's set ``T`` from the outsourced dataset."""
     scheme = scheme or default_scheme()
     tuples = []
@@ -52,7 +60,7 @@ def make_te_tuples(dataset: Dataset, scheme: Optional[DigestScheme] = None) -> L
             TETuple(
                 record_id=dataset.id_of(record),
                 key=dataset.key_of(record),
-                digest=digest_record(record, scheme),
+                digest=digest_record(record, scheme, memo=memo),
             )
         )
     return tuples

@@ -20,12 +20,32 @@ This module provides:
 from __future__ import annotations
 
 import hashlib
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, Union
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple, Union
 
 
 class DigestError(ValueError):
     """Raised on malformed digest input (wrong length, bad scheme, ...)."""
+
+
+#: Cached ``hashlib`` constructors, keyed by algorithm name.  ``hashlib.new``
+#: resolves the algorithm by string on every call; looking the constructor up
+#: once makes the per-record hash path measurably cheaper.
+_HASH_CONSTRUCTORS: Dict[str, Any] = {}
+
+
+def _hash_constructor(name: str):
+    ctor = _HASH_CONSTRUCTORS.get(name)
+    if ctor is None:
+        ctor = getattr(hashlib, name, None)
+        if ctor is None:  # pragma: no cover - exotic algorithms only
+            def ctor(data=b"", _name=name):
+                return hashlib.new(_name, data)
+        _HASH_CONSTRUCTORS[name] = ctor
+    return ctor
 
 
 @dataclass(frozen=True)
@@ -46,9 +66,13 @@ class DigestScheme:
 
     def hash(self, data: bytes) -> "Digest":
         """Digest ``data`` and return the result as a :class:`Digest`."""
-        if not isinstance(data, (bytes, bytearray, memoryview)):
-            raise TypeError(f"expected bytes-like input, got {type(data).__name__}")
-        raw = hashlib.new(self.name, bytes(data)).digest()
+        # Exact ``bytes`` input (the overwhelmingly common case: record
+        # encodings and digest concatenations) skips the defensive copy.
+        if type(data) is not bytes:
+            if not isinstance(data, (bytes, bytearray, memoryview)):
+                raise TypeError(f"expected bytes-like input, got {type(data).__name__}")
+            data = bytes(data)
+        raw = _hash_constructor(self.name)(data).digest()
         return Digest(raw, scheme=self)
 
     def zero(self) -> "Digest":
@@ -231,8 +255,129 @@ def fold_xor(digests: Iterable[Digest], scheme: DigestScheme = SHA1) -> Digest:
     iterable.  The fold is order-independent because XOR is commutative and
     associative, which is precisely why the TE can aggregate digests in tree
     order while the client aggregates them in result order.
+
+    The fold accumulates over big integers and builds a single
+    :class:`Digest` at the end, instead of one intermediate Digest per
+    element -- the same bulk-XOR form the XB-tree maintenance paths use.
     """
-    acc = scheme.zero()
+    value = 0
     for d in digests:
-        acc = acc ^ d
-    return acc
+        if d._scheme is not scheme and d._scheme != scheme:
+            raise DigestError(
+                f"cannot XOR digests from different schemes "
+                f"({scheme.name} vs {d._scheme.name})"
+            )
+        value ^= int.from_bytes(d._raw, "big")
+    return Digest(value.to_bytes(scheme.digest_size, "big"), scheme=scheme)
+
+
+@dataclass
+class MemoStats:
+    """Record-memo activity observed by one request (or since startup).
+
+    ``hits`` counts record encodings/digests served from the memo; ``misses``
+    counts the ones that had to be computed.  Shaped like
+    :class:`~repro.storage.node_store.PoolStats` so the receipts can carry
+    both side by side.
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+    def __add__(self, other: "MemoStats") -> "MemoStats":
+        if not isinstance(other, MemoStats):
+            return NotImplemented
+        return MemoStats(hits=self.hits + other.hits, misses=self.misses + other.misses)
+
+
+class RecordMemo:
+    """A bounded LRU over record encodings and digests.
+
+    Keyed on record content (the field tuple) under one digest scheme and
+    the canonical record codec, so an entry never goes stale: an update that
+    replaces a record simply stops the old tuple from being looked up.  The
+    memo is therefore safe to share across queries *and* update batches --
+    exactly the "computed once, not per batch" behaviour the per-batch dict
+    caches could not provide.
+
+    Thread-safe; per-request hit/miss tallies use the same thread-local
+    scoped-stats pattern as the paged store's pool counters.
+    """
+
+    def __init__(self, scheme: DigestScheme, capacity: int = 65536):
+        if capacity < 1:
+            raise DigestError(f"memo capacity must be at least 1, got {capacity}")
+        self.scheme = scheme
+        self._capacity = capacity
+        self._entries: "OrderedDict[Tuple[Any, ...], Tuple[bytes, Digest]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.stats = MemoStats()  # lifetime totals
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ stats
+    def _tallies(self) -> List[MemoStats]:
+        stack = getattr(self._local, "tallies", None)
+        if stack is None:
+            stack = []
+            self._local.tallies = stack
+        return stack
+
+    def _record(self, hit: bool) -> None:
+        if hit:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        for tally in self._tallies():
+            if hit:
+                tally.hits += 1
+            else:
+                tally.misses += 1
+
+    @contextmanager
+    def scoped_stats(self) -> Iterator[MemoStats]:
+        """Tally the memo activity of the calling thread inside the block."""
+        tally = MemoStats()
+        stack = self._tallies()
+        stack.append(tally)
+        try:
+            yield tally
+        finally:
+            stack.pop()
+
+    # ------------------------------------------------------------------ lookups
+    def _pair(self, record: Sequence[Any]) -> Tuple[bytes, Digest]:
+        key = tuple(record)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._record(True)
+                return entry
+        # Compute outside the lock: encoding + hashing dominate, and two
+        # threads racing on the same record converge on identical values.
+        from repro.crypto.encoding import encode_record
+
+        encoded = encode_record(key)
+        entry = (encoded, self.scheme.hash(encoded))
+        with self._lock:
+            self._record(False)
+            self._entries[key] = entry
+            if len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+        return entry
+
+    def encoded(self, record: Sequence[Any]) -> bytes:
+        """The canonical encoding of ``record`` (memoised)."""
+        return self._pair(record)[0]
+
+    def digest(self, record: Sequence[Any]) -> Digest:
+        """The digest of ``record``'s canonical encoding (memoised)."""
+        return self._pair(record)[1]
+
+    def clear(self) -> None:
+        """Drop every entry (the lifetime stats are kept)."""
+        with self._lock:
+            self._entries.clear()

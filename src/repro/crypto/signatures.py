@@ -14,8 +14,10 @@ signature is RSA, DSA or something simulated, so this module defines a tiny
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Protocol
+from typing import Optional, Protocol, Tuple
 
 from repro.crypto import rsa as _rsa
 from repro.crypto.digest import Digest
@@ -110,6 +112,59 @@ class NullVerifier:
         if signature.scheme != NullSigner.scheme_name:
             return False
         return signature.value[: len(digest.raw)] == digest.raw
+
+
+class CachedVerifier:
+    """A verifier wrapper that caches positive verifications per epoch.
+
+    TOM clients verify the *same* root signature on every query between two
+    update batches; each check is a full RSA modular exponentiation.  This
+    wrapper remembers ``(digest, signature)`` pairs that already verified,
+    so repeated queries against an unchanged root skip the exponentiation
+    entirely.  Only *positive* outcomes are cached -- a forged signature is
+    re-checked (and re-rejected) every time, so caching cannot weaken
+    soundness; it can only skip work that would certainly succeed.
+
+    :meth:`invalidate` starts a new epoch and must be called whenever the
+    signed material may have changed (the schemes call it on every update
+    batch).  ``hits``/``misses`` count cache outcomes for the profiling leg.
+    """
+
+    def __init__(self, inner: Verifier, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be at least 1, got {capacity}")
+        self._inner = inner
+        self._capacity = capacity
+        self._verified: "OrderedDict[Tuple[bytes, str, bytes], None]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def inner(self) -> Verifier:
+        """The wrapped verifier."""
+        return self._inner
+
+    def verify(self, digest: Digest, signature: Signature) -> bool:
+        key = (digest.raw, signature.scheme, signature.value)
+        with self._lock:
+            if key in self._verified:
+                self._verified.move_to_end(key)
+                self.hits += 1
+                return True
+            self.misses += 1
+        if not self._inner.verify(digest, signature):
+            return False
+        with self._lock:
+            self._verified[key] = None
+            if len(self._verified) > self._capacity:
+                self._verified.popitem(last=False)
+        return True
+
+    def invalidate(self) -> None:
+        """Start a new epoch: forget every cached verification."""
+        with self._lock:
+            self._verified.clear()
 
 
 def make_rsa_pair(bits: int = 1024, seed: Optional[int] = None):

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core import OutsourcedDB
 from repro.experiments.head_to_head import run_head_to_head
+from repro.experiments.profile import SPEEDUP_CAP, ProfileReport, run_profile
 from repro.experiments.scaling import model_response_ms, run_scaling
 from repro.experiments.storage_tier import run_storage_tier
 from repro.experiments.throughput import run_load
@@ -48,6 +49,7 @@ BENCH_FILES = (
     "BENCH_head_to_head.json",
     "BENCH_network.json",
     "BENCH_storage_tier.json",
+    "BENCH_profile.json",
 )
 
 #: Relative regression allowed on gated metrics before the gate fails.
@@ -472,6 +474,85 @@ def _storage_tier_metrics() -> List[GateMetric]:
     return metrics
 
 
+def profile_gate_metrics(report: ProfileReport) -> List[GateMetric]:
+    """Convert one profile report into BENCH metrics.
+
+    Wall-clock numbers (qps, stage spans, pass times) are recorded but
+    never gated.  The gated metrics are deterministic: replay cache
+    counters from a single-threaded pass over a seeded workload, the codec
+    size ratio over the same deterministic node set, and speedup ratios
+    capped at :data:`~repro.experiments.profile.SPEEDUP_CAP` -- far below
+    their measured values, so they only move when a cache stops working.
+    """
+    prefix = f"profile.{report.scheme}"
+    metrics = [
+        GateMetric(name=f"{prefix}.wall_qps", value=round(report.wall_qps, 2),
+                   unit="qps"),
+        GateMetric(name=f"{prefix}.wall_p95_ms", value=round(report.wall_p95_ms, 3),
+                   unit="ms", higher_is_better=False),
+        GateMetric(name=f"{prefix}.cold_pass_ms", value=round(report.cold_pass_ms, 3),
+                   unit="ms", higher_is_better=False),
+        GateMetric(name=f"{prefix}.warm_pass_ms", value=round(report.warm_pass_ms, 3),
+                   unit="ms", higher_is_better=False),
+    ]
+    for span in report.stages:
+        metrics.append(
+            GateMetric(name=f"{prefix}.stage.{span.name}_ms",
+                       value=round(span.total_ms, 3), unit="ms",
+                       higher_is_better=False)
+        )
+    metrics.extend(
+        [
+            GateMetric(name=f"{prefix}.memo.replay_hits",
+                       value=report.memo_hits, unit="hits", gate=True),
+            GateMetric(name=f"{prefix}.memo.replay_misses",
+                       value=report.memo_misses, unit="misses", gate=True,
+                       higher_is_better=False),
+            GateMetric(name=f"{prefix}.memo.replay_hit_rate",
+                       value=round(report.memo_hit_rate, 4), unit="ratio",
+                       gate=True),
+            GateMetric(name=f"{prefix}.memo.warm_speedup_capped",
+                       value=round(min(report.memo_speedup, SPEEDUP_CAP), 4),
+                       unit="x", gate=True),
+            GateMetric(name=f"{prefix}.memo.warm_speedup",
+                       value=round(report.memo_speedup, 2), unit="x"),
+            GateMetric(name=f"{prefix}.codec.size_ratio_pickle_over_codec",
+                       value=round(report.codec_size_ratio, 4), unit="x",
+                       gate=True),
+            GateMetric(name=f"{prefix}.codec.codec_bytes",
+                       value=report.codec_bytes, unit="bytes", gate=True,
+                       higher_is_better=False),
+            GateMetric(name=f"{prefix}.codec.encode_speedup_vs_pickle",
+                       value=round(report.codec_encode_speedup, 3), unit="x"),
+            GateMetric(name=f"{prefix}.codec.decode_speedup_vs_pickle",
+                       value=round(report.codec_decode_speedup, 3), unit="x"),
+        ]
+    )
+    if report.verify_cache_hits or report.verify_cache_misses:
+        metrics.extend(
+            [
+                GateMetric(name=f"{prefix}.verify_cache.hit_rate",
+                           value=round(report.verify_cache_hit_rate, 4),
+                           unit="ratio", gate=True),
+                GateMetric(name=f"{prefix}.verify_cache.speedup_capped",
+                           value=round(min(report.verify_speedup, SPEEDUP_CAP), 4),
+                           unit="x", gate=True),
+                GateMetric(name=f"{prefix}.verify_cache.speedup",
+                           value=round(report.verify_speedup, 2), unit="x"),
+            ]
+        )
+    return metrics
+
+
+def _profile_metrics() -> List[GateMetric]:
+    """The wall-clock profiling leg, one report per scheme."""
+    metrics: List[GateMetric] = []
+    for scheme in ("sae", "tom"):
+        report = run_profile(scheme, cardinality=1_500, num_queries=25)
+        metrics.extend(profile_gate_metrics(report))
+    return metrics
+
+
 def collect_current_metrics() -> Dict[str, dict]:
     """All smoke documents keyed by BENCH file name."""
     return {
@@ -490,6 +571,29 @@ def collect_current_metrics() -> Dict[str, dict]:
         "BENCH_storage_tier.json": metrics_document(
             _storage_tier_metrics(), meta={"suite": "storage_tier", "scale": "quick"}
         ),
+        "BENCH_profile.json": metrics_document(
+            _profile_metrics(), meta={"suite": "profile", "scale": "quick"}
+        ),
+    }
+
+
+def merge_baseline(documents: Dict[str, dict]) -> dict:
+    """Merge every BENCH document into one flat baseline document."""
+    metrics: Dict[str, dict] = {}
+    for name in sorted(documents):
+        for metric_name, payload in documents[name]["metrics"].items():
+            metrics[metric_name] = payload
+    return {
+        "format": BENCH_FORMAT,
+        "meta": {
+            "description": (
+                "committed bench-gate baseline (quick scale); refresh by "
+                "running `python -m repro bench smoke --write-baseline` and "
+                "committing the result deliberately"
+            ),
+            "scale": "quick",
+        },
+        "metrics": metrics,
     }
 
 
@@ -500,12 +604,18 @@ def run_smoke(
     regression_factor: Optional[float] = None,
     tolerance: float = GATE_TOLERANCE,
     reuse_dir: Optional[Path] = None,
+    write_baseline: bool = False,
 ) -> int:
     """Run the smoke benchmarks, write BENCH_*.json, gate against baseline.
 
     ``reuse_dir`` skips the measurement and loads previously recorded
     ``BENCH_*.json`` files instead -- CI's injected-regression proof reuses
     the artifacts of the honest run rather than benchmarking twice.
+    ``write_baseline`` rewrites ``baseline_path`` from the current
+    measurements -- but refuses when any gated metric regressed beyond the
+    tolerance against the *existing* baseline, so a regression cannot be
+    papered over by refreshing the baseline in the same run that introduced
+    it (delete or move the old baseline to force the overwrite).
     Returns the process exit code: 0 when every gated metric is within
     tolerance (or ``check`` is off), 1 on any regression.
     """
@@ -529,15 +639,34 @@ def run_smoke(
     for name, document in documents.items():
         write_bench_file(out_dir / name, document)
         print(f"wrote {out_dir / name}")
+    violations: List[str] = []
+    baseline_exists = baseline_path is not None and Path(baseline_path).exists()
+    if baseline_exists:
+        baseline = load_bench_file(Path(baseline_path))
+        for name, document in sorted(documents.items()):
+            violations.extend(compare_to_baseline(document, baseline, tolerance))
+    if write_baseline:
+        if baseline_path is None:
+            print("error: --write-baseline needs a baseline path")
+            return 2
+        # Newly introduced gated metrics legitimately have no baseline yet --
+        # recording them is what --write-baseline is for.  Only genuine
+        # regressions of already-committed metrics block the overwrite.
+        regressions = [v for v in violations if "no committed baseline" not in v]
+        if baseline_exists and regressions:
+            print(f"refusing to overwrite {baseline_path}: gated metrics regressed "
+                  f"beyond {tolerance:.0%} against the committed baseline:")
+            for violation in regressions:
+                print(f"  - {violation}")
+            return 1
+        write_bench_file(Path(baseline_path), merge_baseline(documents))
+        print(f"wrote baseline {baseline_path}")
+        return 0
     if not check:
         return 0
-    if baseline_path is None or not Path(baseline_path).exists():
+    if not baseline_exists:
         print(f"no baseline at {baseline_path}; gate skipped (record one first)")
         return 0
-    baseline = load_bench_file(Path(baseline_path))
-    violations: List[str] = []
-    for name, document in sorted(documents.items()):
-        violations.extend(compare_to_baseline(document, baseline, tolerance))
     if violations:
         print(f"bench gate FAILED against {baseline_path}:")
         for violation in violations:

@@ -245,6 +245,9 @@ def _cost_to_wire(cost: CostReceipt) -> Dict[str, Any]:
     # zero so memory-tier frames keep their historical byte size.
     if cost.pool_hits or cost.pool_misses or cost.pool_evictions:
         payload["pool"] = [cost.pool_hits, cost.pool_misses, cost.pool_evictions]
+    # Record-memo counters; omitted when all zero for the same reason.
+    if cost.memo_hits or cost.memo_misses:
+        payload["memo"] = [cost.memo_hits, cost.memo_misses]
     return payload
 
 
@@ -252,6 +255,9 @@ def _cost_from_wire(payload: Dict[str, Any]) -> CostReceipt:
     pool = payload.get("pool") or (0, 0, 0)
     if not (isinstance(pool, (list, tuple)) and len(pool) == 3):
         raise WireError(f"malformed pool counters {pool!r} in cost receipt")
+    memo = payload.get("memo") or (0, 0)
+    if not (isinstance(memo, (list, tuple)) and len(memo) == 2):
+        raise WireError(f"malformed memo counters {memo!r} in cost receipt")
     return CostReceipt(
         node_accesses=int(payload["accesses"]),
         cpu_ms=float(payload["cpu_ms"]),
@@ -259,6 +265,8 @@ def _cost_from_wire(payload: Dict[str, Any]) -> CostReceipt:
         pool_hits=int(pool[0]),
         pool_misses=int(pool[1]),
         pool_evictions=int(pool[2]),
+        memo_hits=int(memo[0]),
+        memo_misses=int(memo[1]),
     )
 
 

@@ -9,7 +9,9 @@ Two implementations exist:
 * :class:`MemoryNodeStore` -- the default.  A reference *is* the node
   object itself: ``load`` is the identity function, nothing is serialised,
   and the trees behave exactly like ordinary in-memory object graphs.
-* :class:`PagedNodeStore` -- nodes are pickled into fixed-size page chains
+* :class:`PagedNodeStore` -- nodes are serialised (through the compact
+  per-node-type codec of :mod:`repro.storage.node_codec`; pre-codec pickle
+  pages migrate on read) into fixed-size page chains
   through a :class:`~repro.storage.buffer_pool.BufferPool` over a
   :class:`~repro.storage.pager.Pager` (a
   :class:`~repro.storage.pager.FileBackedPager` when a data directory is
@@ -67,6 +69,13 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.constants import DEFAULT_PAGE_SIZE
+from repro.storage.node_codec import (
+    CODEC_MAGIC,
+    PICKLE_MAGIC,
+    NodeCodecError,
+    decode_node,
+    encode_node,
+)
 from repro.storage.page import PageId
 from repro.storage.pager import FileBackedPager, InMemoryPager, Pager
 
@@ -205,10 +214,10 @@ _CHUNK_HEADER = struct.Struct(">I")
 
 
 class PagedNodeStore(NodeStore):
-    """Nodes pickled into page chains behind a :class:`BufferPool`.
+    """Nodes serialised into page chains behind a :class:`BufferPool`.
 
     A node reference is an integer; the store keeps the mapping from
-    reference to the list of page ids holding the node's pickled bytes (a
+    reference to the list of page ids holding the node's serialised bytes (a
     node larger than one page simply spans a chain).  All page traffic goes
     through the pool, so ``pool_pages`` bounds resident memory and the
     hit/miss/eviction counters quantify the physical-vs-logical access gap
@@ -259,6 +268,15 @@ class PagedNodeStore(NodeStore):
     def num_nodes(self) -> int:
         """Number of live nodes in the store."""
         return len(self._chains)
+
+    def node_refs(self) -> List[int]:
+        """The references of every live node, in allocation order.
+
+        Used by the profiling harness to enumerate real paged nodes (with
+        integer child references) for the codec-vs-pickle comparison.
+        """
+        with self._lock:
+            return sorted(self._chains)
 
     @property
     def stats(self) -> PoolStats:
@@ -348,13 +366,13 @@ class PagedNodeStore(NodeStore):
         """Write back every in-scope node; release freed nodes' pages.
 
         Every node is serialised *before* any page is touched, so a node
-        that will not pickle aborts the commit with the store's bytes
+        that will not serialise aborts the commit with the store's bytes
         untouched (the scope handler then rolls the registrations back).
+        Serialisation goes through the compact codec of
+        :mod:`repro.storage.node_codec` (falling back to pickle-wrapped
+        payloads for unknown node classes).
         """
-        payloads = {
-            ref: pickle.dumps(node, protocol=pickle.HIGHEST_PROTOCOL)
-            for ref, node in ctx.nodes.items()
-        }
+        payloads = {ref: encode_node(node) for ref, node in ctx.nodes.items()}
         for ref, data in payloads.items():
             self._write_node(ctx, ref, data)
         for ref in ctx.freed:
@@ -421,7 +439,22 @@ class PagedNodeStore(NodeStore):
             page = self._fetch(page_id, ctx)
             (used,) = _CHUNK_HEADER.unpack(page.read(0, _CHUNK_HEADER.size))
             parts.append(page.read(_CHUNK_HEADER.size, used))
-        return pickle.loads(b"".join(parts))
+        data = b"".join(parts)
+        leading = data[0] if data else None
+        if leading == CODEC_MAGIC:
+            try:
+                return decode_node(data)
+            except NodeCodecError as exc:
+                raise NodeStoreError(f"cannot decode node {ref!r}: {exc}") from exc
+        if leading == PICKLE_MAGIC:
+            # A page chain written by a pre-codec build: migrate through
+            # pickle (the next write-back re-encodes it compactly).
+            return pickle.loads(data)
+        raise NodeStoreError(
+            f"node {ref!r} has an unknown page format "
+            f"(leading byte {'0x%02x' % leading if leading is not None else 'none'}); "
+            f"the snapshot was written by an incompatible version"
+        )
 
     def _write_node(self, ctx: _OpContext, ref: int, data: bytes) -> None:
         step = self._payload_per_page

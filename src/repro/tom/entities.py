@@ -24,7 +24,7 @@ from repro.core.pipeline import CostReceipt, ExecutionContext, ZERO_RECEIPT, dep
 from repro.core.sharding import AttackableFleet, partition_dataset
 from repro.core.tuples import digest_record
 from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
-from repro.crypto.digest import DigestScheme, default_scheme
+from repro.crypto.digest import DigestScheme, MemoStats, RecordMemo, default_scheme
 from repro.crypto.signatures import RSASigner, RSAVerifier, Signature, make_rsa_pair
 from repro.dbms.query import RangeQuery
 from repro.dbms.table import Table
@@ -170,6 +170,7 @@ class TomServiceProvider:
         self._attack: AttackModel = attack or NoAttack()
         self._storage = storage or StorageConfig()
         self._store: NodeStore = self._storage.node_store(component)
+        self._memo = RecordMemo(self._scheme)
         self._heap_pager = self._storage.heap_pager(component)
         self._dataset: Optional[Dataset] = None
         self._records_by_rid = {}
@@ -234,7 +235,8 @@ class TomServiceProvider:
         for record in dataset.records:
             record_id = dataset.id_of(record)
             triples.append(
-                (dataset.key_of(record), record_id, digest_record(record, self._scheme))
+                (dataset.key_of(record), record_id,
+                 digest_record(record, self._scheme, memo=self._memo))
             )
         triples.sort(key=lambda triple: (triple[0], str(triple[1])))
         self._ads.bulk_load(
@@ -261,7 +263,7 @@ class TomServiceProvider:
                 self._ads.insert(
                     fields[schema.key_index],
                     fields[schema.id_index],
-                    digest_record(fields, self._scheme),
+                    digest_record(fields, self._scheme, memo=self._memo),
                 )
             elif isinstance(operation, DeleteRecord):
                 fields = self._table.get(operation.record_id, charge=False)
@@ -275,7 +277,7 @@ class TomServiceProvider:
                 self._ads.insert(
                     fields[schema.key_index],
                     fields[schema.id_index],
-                    digest_record(fields, self._scheme),
+                    digest_record(fields, self._scheme, memo=self._memo),
                 )
             else:
                 raise TomError(f"unknown update operation {operation!r}")
@@ -292,7 +294,8 @@ class TomServiceProvider:
         """
         if self._table is None or self._ads is None:
             raise TomError("the service provider has not received a dataset yet")
-        with self._counter.scoped() as tally, self._store.scoped_stats() as pool:
+        with self._counter.scoped() as tally, self._store.scoped_stats() as pool, \
+                self._memo.scoped_stats() as memo:
             started = time.perf_counter()
             matches, vo = self._ads.build_vo(
                 query.low,
@@ -301,7 +304,7 @@ class TomServiceProvider:
             )
             records = [self._table.get(record_id, charge=True) for _, record_id in matches]
             cpu_ms = (time.perf_counter() - started) * 1000.0
-        receipt = self._make_receipt(tally.node_accesses, cpu_ms, pool)
+        receipt = self._make_receipt(tally.node_accesses, cpu_ms, pool, memo)
         if ctx is not None:
             ctx.sp = receipt
         self._last_receipt = receipt  # feeds the deprecated last_* shims only
@@ -330,9 +333,14 @@ class TomServiceProvider:
         return tally.node_accesses
 
     def _make_receipt(
-        self, node_accesses: int, cpu_ms: float, pool: Optional[PoolStats] = None
+        self,
+        node_accesses: int,
+        cpu_ms: float,
+        pool: Optional[PoolStats] = None,
+        memo: Optional[MemoStats] = None,
     ) -> CostReceipt:
         pool = pool or PoolStats()
+        memo = memo or MemoStats()
         return CostReceipt(
             node_accesses=node_accesses,
             cpu_ms=cpu_ms,
@@ -340,6 +348,8 @@ class TomServiceProvider:
             pool_hits=pool.hits,
             pool_misses=pool.misses,
             pool_evictions=pool.evictions,
+            memo_hits=memo.hits,
+            memo_misses=memo.misses,
         )
 
     def last_query_accesses(self) -> int:
@@ -416,6 +426,15 @@ class TomServiceProvider:
         """Lifetime buffer-pool stats of the SP's node store."""
         return self._store.stats
 
+    @property
+    def record_memo(self) -> RecordMemo:
+        """The SP's memo over record encodings and digests (ADS maintenance)."""
+        return self._memo
+
+    def memo_stats(self) -> MemoStats:
+        """Lifetime record-memo stats of the SP (setup + update digesting)."""
+        return self._memo.stats
+
     def storage_bytes(self) -> int:
         """Storage at the SP: dataset heap file + B+-tree + the MB-tree ADS."""
         if self._table is None or self._ads is None:
@@ -426,13 +445,21 @@ class TomServiceProvider:
 
 
 class TomClient:
-    """The TOM client: reconstructs the root digest from the VO."""
+    """The TOM client: reconstructs the root digest from the VO.
 
-    def __init__(self, verifier: RSAVerifier, key_index: int,
-                 scheme: Optional[DigestScheme] = None):
+    ``verifier`` may be any :class:`~repro.crypto.signatures.Verifier`,
+    including a :class:`~repro.crypto.signatures.CachedVerifier` that skips
+    the RSA exponentiation for root/signature pairs that already verified
+    this epoch.  ``memo`` optionally serves repeat record digests during VO
+    reconstruction from a cross-query cache.
+    """
+
+    def __init__(self, verifier, key_index: int,
+                 scheme: Optional[DigestScheme] = None, memo: Optional[RecordMemo] = None):
         self._verifier = verifier
         self._key_index = key_index
         self._scheme = scheme or default_scheme()
+        self._memo = memo
 
     def verify(
         self,
@@ -450,6 +477,7 @@ class TomClient:
             verifier=self._verifier,
             key_index=self._key_index,
             scheme=self._scheme,
+            memo=self._memo,
         )
         report.details["cpu_ms"] = (time.perf_counter() - started) * 1000.0
         return report

@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.attacks import AttackModel
 from repro.core.dataset import Dataset
 from repro.core.pipeline import (
+    CostReceipt,
     ExecutionContext,
     QueryReceipt,
     ReadWriteLock,
@@ -52,7 +53,8 @@ from repro.core.scheme import (
 )
 from repro.core.sharding import ShardedDeployment
 from repro.core.updates import UpdateBatch
-from repro.crypto.digest import DigestScheme, default_scheme, get_scheme
+from repro.crypto.digest import DigestScheme, RecordMemo, default_scheme, get_scheme
+from repro.crypto.signatures import CachedVerifier
 from repro.dbms.query import RangeQuery
 from repro.network.channel import NetworkTracker
 from repro.network.messages import QueryRequest, ResultResponse, VOResponse
@@ -193,10 +195,18 @@ class TomScheme(AuthScheme):
             seed=seed,
             network=self._network,
         )
+        # Cross-query memo over record encodings and digests, shared between
+        # the SP legs (payload sizing) and the client's VO reconstruction.
+        self._record_memo = RecordMemo(self._scheme)
+        # Between two update batches every query re-verifies the *same* root
+        # signature(s); the cached verifier skips the repeated RSA modular
+        # exponentiation and is invalidated on every batch.
+        self._root_verifier = CachedVerifier(self.owner.verifier)
         self.client = TomClient(
-            verifier=self.owner.verifier,
+            verifier=self._root_verifier,
             key_index=dataset.schema.key_index,
             scheme=self._scheme,
+            memo=self._record_memo,
         )
         self._ready = False
         self._init_dispatch(max_workers)
@@ -216,6 +226,16 @@ class TomScheme(AuthScheme):
     def network(self) -> NetworkTracker:
         """The byte-accounting network tracker."""
         return self._network
+
+    @property
+    def record_memo(self) -> RecordMemo:
+        """The deployment's cross-query record encoding/digest memo."""
+        return self._record_memo
+
+    @property
+    def root_verifier(self) -> CachedVerifier:
+        """The client's per-epoch cached root-signature verifier."""
+        return self._root_verifier
 
     @property
     def dataset(self) -> Dataset:
@@ -342,8 +362,27 @@ class TomScheme(AuthScheme):
         self._ensure_open()
         with self._state_lock.write_locked():
             self.owner.apply_updates(batch)
+            # The batch re-signed the touched roots: start a new verification
+            # epoch so stale (root, signature) pairs cannot be served cached.
+            self._root_verifier.invalidate()
 
     # ------------------------------------------------------------------ party legs
+    def _size_result(
+        self, records: List[Tuple[Any, ...]], ctx: ExecutionContext
+    ) -> int:
+        """Size the result payload through the memo, charging it to ``ctx.sp``.
+
+        Equals ``sum(len(encode_record(r)))`` byte-for-byte; memo hit/miss
+        tallies land on the SP receipt next to the pool counters.
+        """
+        with self._record_memo.scoped_stats() as memo:
+            hint = sum(len(self._record_memo.encoded(record)) for record in records)
+        if memo.hits or memo.misses:
+            ctx.sp = (ctx.sp or ZERO_RECEIPT) + CostReceipt(
+                memo_hits=memo.hits, memo_misses=memo.misses
+            )
+        return hint
+
     def _serve_sp(
         self, query: RangeQuery, ctx: ExecutionContext
     ) -> Tuple[List[Tuple[Any, ...]], VerificationObject, ResultResponse, VOResponse]:
@@ -351,7 +390,8 @@ class TomScheme(AuthScheme):
         request = QueryRequest(query=query)
         self._network.channel("client", "SP").send(request, session=ctx)
         records, vo = self.provider.execute(query, ctx)
-        result_message = ResultResponse(records=records)
+        hint = self._size_result(records, ctx)
+        result_message = ResultResponse(records=records, payload_size_hint=hint)
         vo_message = VOResponse(vo=vo)
         self._network.channel("SP", "client").send(result_message, session=ctx)
         self._network.channel("SP", "client").send(vo_message, session=ctx)
@@ -375,7 +415,8 @@ class TomScheme(AuthScheme):
         request = QueryRequest(query=query)
         self._network.channel("client", party).send(request, session=ctx)
         records, vo = self.provider.execute_shard(shard_id, query, ctx)
-        result_message = ResultResponse(records=records)
+        hint = self._size_result(records, ctx)
+        result_message = ResultResponse(records=records, payload_size_hint=hint)
         vo_message = VOResponse(vo=vo)
         self._network.channel(party, "client").send(result_message, session=ctx)
         self._network.channel(party, "client").send(vo_message, session=ctx)

@@ -52,10 +52,11 @@ class _Walker:
     """Single in-order pass over the VO: digest reconstruction plus bookkeeping."""
 
     def __init__(self, result_records: Sequence[Sequence[Any]], key_index: int,
-                 scheme: DigestScheme):
+                 scheme: DigestScheme, memo=None):
         self.result_records = list(result_records)
         self.key_index = key_index
         self.scheme = scheme
+        self.memo = memo
         self.next_record = 0
         self.records_hashed = 0
         self.digests_supplied = 0
@@ -64,13 +65,19 @@ class _Walker:
         self.error: Optional[str] = None
 
     def node_digest(self, items: Sequence[VOItem]) -> Digest:
-        payload = b""
+        parts: List[bytes] = []
         for item in items:
             digest = self.item_digest(item)
             if digest is None:
                 return self.scheme.zero()
-            payload += digest.raw
-        return self.scheme.hash(payload)
+            parts.append(digest.raw)
+        return self.scheme.hash(b"".join(parts))
+
+    def record_digest(self, record: Sequence[Any]) -> Digest:
+        """Digest of a result/boundary record (through the memo when given)."""
+        if self.memo is not None:
+            return self.memo.digest(record)
+        return self.scheme.hash(encode_record(record))
 
     def item_digest(self, item: VOItem) -> Optional[Digest]:
         if self.error is not None:
@@ -91,7 +98,7 @@ class _Walker:
             record = self.result_records[self.next_record]
             self.next_record += 1
             self.records_hashed += 1
-            return self.scheme.hash(encode_record(record))
+            return self.record_digest(record)
         if isinstance(item, VOBoundary):
             position = len(self.flat_kinds)
             self.flat_kinds.append("boundary")
@@ -102,7 +109,7 @@ class _Walker:
                 return None
             self.boundary_keys.append((position, key))
             self.records_hashed += 1
-            return self.scheme.hash(encode_record(item.fields))
+            return self.record_digest(item.fields)
         if isinstance(item, VOSubtree):
             return self.node_digest(item.items)
         self.error = f"unknown VO item type {type(item).__name__}"
@@ -117,6 +124,7 @@ def verify_vo(
     verifier: Verifier,
     key_index: int,
     scheme: Optional[DigestScheme] = None,
+    memo=None,
 ) -> VerificationReport:
     """Verify a TOM result set against its verification object.
 
@@ -134,6 +142,9 @@ def verify_vo(
         Position of the query attribute within each record.
     scheme:
         Digest scheme (defaults to the paper's 20-byte digests).
+    memo:
+        Optional :class:`~repro.crypto.digest.RecordMemo` serving repeat
+        record digests from its cache (byte-identical to hashing directly).
 
     Returns
     -------
@@ -141,7 +152,7 @@ def verify_vo(
         ``ok`` is ``True`` only if the result is provably sound and complete.
     """
     scheme = scheme or default_scheme()
-    walker = _Walker(result_records, key_index, scheme)
+    walker = _Walker(result_records, key_index, scheme, memo=memo)
 
     root_digest = walker.node_digest(vo.items)
     if walker.error is not None:

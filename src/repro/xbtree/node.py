@@ -74,10 +74,10 @@ class XBEntry:
     def l_xor(self, scheme: Optional[DigestScheme] = None) -> Digest:
         """``e.L⊕`` -- the XOR of the digests of the tuples in this entry's L page."""
         scheme = scheme or default_scheme()
-        acc = scheme.zero()
+        value = 0
         for _, digest in self.tuples:
-            acc = acc ^ digest
-        return acc
+            value ^= int.from_bytes(digest.raw, "big")
+        return scheme.from_bytes(value.to_bytes(scheme.digest_size, "big"))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = "anchor" if self.is_anchor else f"key={self.key!r}"
@@ -105,10 +105,10 @@ class XBNode:
     def aggregate(self, scheme: Optional[DigestScheme] = None) -> Digest:
         """XOR of the ``X`` values of all entries: the subtree's total digest."""
         scheme = scheme or default_scheme()
-        acc = scheme.zero()
+        value = 0
         for entry in self.entries:
-            acc = acc ^ entry.x
-        return acc
+            value ^= int.from_bytes(entry.x.raw, "big")
+        return scheme.from_bytes(value.to_bytes(scheme.digest_size, "big"))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = "leaf" if self.is_leaf else "internal"

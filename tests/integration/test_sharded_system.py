@@ -99,6 +99,28 @@ class TestScatterGatherEquivalence:
         assert single.query_many([]) == []
         assert sharded.query_many([]) == []
 
+    def test_memo_counters_survive_scatter_and_batching(self, sharded):
+        # Per-query path: merged memo counters must equal the shard-leg sums
+        # (the full matches_leg_sums invariant, memo fields included).
+        for low, high in some_bounds(sharded):
+            outcome = sharded.query(low, high)
+            assert outcome.receipt.matches_leg_sums()
+            legs = outcome.receipt.legs
+            assert outcome.receipt.sp.memo_hits == sum(
+                leg.sp.memo_hits for leg in legs
+            )
+            assert outcome.receipt.te.memo_misses == sum(
+                leg.te.memo_misses for leg in legs
+            )
+
+        # Batched path: the TE walks every shard's queries in one batch and
+        # apportions memo activity per query (largest remainder), so every
+        # batched receipt must still balance and the batch totals must match
+        # what the per-query counters are built from.
+        bounds = some_bounds(sharded)
+        for outcome in sharded.query_many(bounds):
+            assert outcome.receipt.matches_leg_sums()
+
     def test_verify_false_skips_te_legs(self, sharded):
         outcome = sharded.query(0, 10_000_000, verify=False)
         assert not outcome.verified

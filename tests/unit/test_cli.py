@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -180,3 +182,57 @@ class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestBenchProfile:
+    def test_profile_writes_gated_document(self, tmp_path, capsys):
+        exit_code = main([
+            "bench", "profile", "--scheme", "tom",
+            "--records", "400", "--queries", "6", "--clients", "2",
+            "--out", str(tmp_path),
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "root verifier:" in output
+        assert "node codec:" in output
+        document = json.loads((tmp_path / "BENCH_profile.json").read_text())
+        metrics = document["metrics"]
+        assert any(name.startswith("profile.tom.stage.") for name in metrics)
+        assert metrics["profile.tom.memo.replay_hits"]["gate"] is True
+        assert metrics["profile.tom.wall_qps"]["gate"] is False
+
+    def test_profile_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "profile", "--scheme", "merkle2"])
+
+
+class TestBenchSmokeWriteBaseline:
+    def test_write_baseline_flag_records_merged_baseline(self, tmp_path, capsys):
+        from repro.experiments.benchgate import (
+            BENCH_FILES,
+            GateMetric,
+            metrics_document,
+            write_bench_file,
+        )
+
+        reuse = tmp_path / "reuse"
+        reuse.mkdir()
+        for i, name in enumerate(BENCH_FILES):
+            write_bench_file(
+                reuse / name,
+                metrics_document(
+                    [GateMetric(f"suite{i}.model_qps", 10.0 + i, gate=True)],
+                    meta={"suite": f"suite{i}"},
+                ),
+            )
+        baseline = tmp_path / "baseline.json"
+        exit_code = main([
+            "bench", "smoke", "--out", str(tmp_path / "out"),
+            "--reuse", str(reuse),
+            "--baseline", str(baseline), "--write-baseline",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "wrote baseline" in output
+        merged = json.loads(baseline.read_text())["metrics"]
+        assert {f"suite{i}.model_qps" for i in range(len(BENCH_FILES))} <= set(merged)

@@ -4,6 +4,8 @@ import pytest
 
 from repro.crypto.digest import (
     SHA1,
+    MemoStats,
+    RecordMemo,
     SHA256,
     Digest,
     DigestError,
@@ -12,6 +14,7 @@ from repro.crypto.digest import (
     fold_xor,
     get_scheme,
 )
+from repro.crypto.encoding import encode_record
 
 
 class TestDigestScheme:
@@ -141,3 +144,65 @@ class TestCoerceDigest:
     def test_rejects_wrong_length(self):
         with pytest.raises(DigestError):
             coerce_digest(b"\x01\x02")
+
+
+class TestRecordMemo:
+    RECORD = (42, 1_250_000, "payload-bytes")
+
+    def _memo(self, capacity=16):
+        return RecordMemo(SHA1, capacity=capacity)
+
+    def test_digest_matches_uncached_path(self):
+        memo = self._memo()
+        expected = SHA1.hash(encode_record(self.RECORD))
+        assert memo.digest(self.RECORD) == expected
+        assert memo.digest(list(self.RECORD)) == expected  # keyed on content
+
+    def test_encoded_matches_canonical_codec(self):
+        memo = self._memo()
+        assert memo.encoded(self.RECORD) == encode_record(self.RECORD)
+
+    def test_hit_and_miss_counting(self):
+        memo = self._memo()
+        memo.digest(self.RECORD)
+        memo.digest(self.RECORD)
+        memo.encoded(self.RECORD)
+        assert (memo.stats.hits, memo.stats.misses) == (2, 1)
+
+    def test_lru_eviction_at_capacity(self):
+        memo = self._memo(capacity=2)
+        first, second, third = (1, 1, "a"), (2, 2, "b"), (3, 3, "c")
+        memo.digest(first)
+        memo.digest(second)
+        memo.digest(third)  # evicts ``first``
+        memo.digest(first)
+        assert memo.stats.misses == 4
+        assert len(memo) == 2
+
+    def test_scoped_stats_tallies_only_inside_block(self):
+        memo = self._memo()
+        memo.digest(self.RECORD)  # outside: not tallied
+        with memo.scoped_stats() as outer:
+            memo.digest(self.RECORD)
+            with memo.scoped_stats() as inner:
+                memo.digest(self.RECORD)
+            memo.digest((9, 9, "fresh"))
+        assert (inner.hits, inner.misses) == (1, 0)
+        assert (outer.hits, outer.misses) == (2, 1)
+        assert (memo.stats.hits, memo.stats.misses) == (2, 2)
+
+    def test_clear_drops_entries_but_keeps_lifetime_stats(self):
+        memo = self._memo()
+        memo.digest(self.RECORD)
+        memo.clear()
+        assert len(memo) == 0
+        memo.digest(self.RECORD)
+        assert memo.stats.misses == 2
+
+    def test_memo_stats_add(self):
+        total = MemoStats(hits=1, misses=2) + MemoStats(hits=3, misses=4)
+        assert (total.hits, total.misses) == (4, 6)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(DigestError):
+            RecordMemo(SHA1, capacity=0)

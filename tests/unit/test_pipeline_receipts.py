@@ -11,7 +11,13 @@ import threading
 import pytest
 
 from repro.core.client import SAEVerificationResult
-from repro.core.pipeline import CostReceipt, ExecutionContext, QueryReceipt, ZERO_RECEIPT
+from repro.core.pipeline import (
+    CostReceipt,
+    ExecutionContext,
+    QueryReceipt,
+    ShardLegReceipt,
+    ZERO_RECEIPT,
+)
 from repro.core.provider import ServiceProvider
 from repro.core.trusted_entity import TrustedEntity
 from repro.crypto.digest import SHA1, default_scheme
@@ -50,6 +56,62 @@ class TestCostReceipt:
             client_cpu_ms=1.0,
         )
         assert receipt.response_time_ms == pytest.approx(91.0)
+
+
+class TestLegSumInvariant:
+    @staticmethod
+    def _scattered(te_memo_hits=4):
+        legs = (
+            ShardLegReceipt(
+                shard=0,
+                sp=CostReceipt(node_accesses=4, io_cost_ms=40.0,
+                               pool_hits=2, pool_misses=1,
+                               memo_hits=5, memo_misses=2),
+                te=CostReceipt(node_accesses=1, io_cost_ms=10.0, memo_hits=3),
+                auth_bytes=20,
+                result_bytes=100,
+            ),
+            ShardLegReceipt(
+                shard=1,
+                sp=CostReceipt(node_accesses=3, io_cost_ms=30.0,
+                               pool_hits=1, pool_misses=2,
+                               memo_hits=2, memo_misses=1),
+                te=CostReceipt(node_accesses=2, io_cost_ms=20.0, memo_hits=1),
+                auth_bytes=20,
+                result_bytes=60,
+            ),
+        )
+        return QueryReceipt(
+            query=RangeQuery(low=0, high=9),
+            sp=CostReceipt(node_accesses=7, io_cost_ms=70.0,
+                           pool_hits=3, pool_misses=3,
+                           memo_hits=7, memo_misses=3),
+            te=CostReceipt(node_accesses=3, io_cost_ms=30.0,
+                           memo_hits=te_memo_hits),
+            auth_bytes=40,
+            result_bytes=160,
+            client_cpu_ms=1.0,
+            legs=legs,
+        )
+
+    def test_consistent_memo_counters_pass(self):
+        assert self._scattered().matches_leg_sums()
+
+    def test_memo_counter_drift_is_detected(self):
+        # One lost TE memo hit (e.g. a leg merged without its counters)
+        # must break the scatter-gather invariant.
+        assert not self._scattered(te_memo_hits=3).matches_leg_sums()
+
+    def test_unscattered_receipt_is_trivially_consistent(self):
+        receipt = QueryReceipt(
+            query=RangeQuery(low=0, high=1),
+            sp=CostReceipt(memo_hits=9),
+            te=CostReceipt(),
+            auth_bytes=0,
+            result_bytes=0,
+            client_cpu_ms=0.0,
+        )
+        assert receipt.matches_leg_sums()
 
 
 class TestExecutionContext:

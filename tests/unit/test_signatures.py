@@ -1,7 +1,10 @@
 """Unit tests for the signing-scheme abstraction."""
 
+import pytest
+
 from repro.crypto.digest import SHA1
 from repro.crypto.signatures import (
+    CachedVerifier,
     NullSigner,
     NullVerifier,
     RSASigner,
@@ -71,3 +74,81 @@ class TestNullSignerVerifier:
         verifier = NullVerifier()
         digest = SHA1.hash(b"a")
         assert not verifier.verify(digest, Signature(scheme="rsa-pkcs1v15", value=digest.raw))
+
+
+class CountingVerifier:
+    """Inner-verifier stub that records how often it is consulted."""
+
+    def __init__(self, answer=True):
+        self.answer = answer
+        self.calls = 0
+
+    def verify(self, digest, signature):
+        self.calls += 1
+        return self.answer
+
+
+class TestCachedVerifier:
+    def _pair(self):
+        signer = NullSigner()
+        digest = SHA1.hash(b"root")
+        return digest, signer.sign(digest)
+
+    def test_positive_verification_is_cached(self):
+        inner = CountingVerifier()
+        cached = CachedVerifier(inner)
+        digest, signature = self._pair()
+        assert cached.verify(digest, signature)
+        assert cached.verify(digest, signature)
+        assert inner.calls == 1
+        assert (cached.hits, cached.misses) == (1, 1)
+
+    def test_negative_verification_is_never_cached(self):
+        inner = CountingVerifier(answer=False)
+        cached = CachedVerifier(inner)
+        digest, signature = self._pair()
+        assert not cached.verify(digest, signature)
+        assert not cached.verify(digest, signature)
+        assert inner.calls == 2
+        assert cached.hits == 0
+
+    def test_invalidate_starts_a_new_epoch(self):
+        inner = CountingVerifier()
+        cached = CachedVerifier(inner)
+        digest, signature = self._pair()
+        cached.verify(digest, signature)
+        cached.invalidate()
+        assert cached.verify(digest, signature)
+        assert inner.calls == 2
+
+    def test_capacity_evicts_least_recent(self):
+        inner = CountingVerifier()
+        cached = CachedVerifier(inner, capacity=1)
+        signer = NullSigner()
+        first = SHA1.hash(b"a")
+        second = SHA1.hash(b"b")
+        cached.verify(first, signer.sign(first))
+        cached.verify(second, signer.sign(second))  # evicts ``first``
+        cached.verify(first, signer.sign(first))
+        assert inner.calls == 3
+
+    def test_distinct_signatures_are_distinct_entries(self):
+        inner = CountingVerifier()
+        cached = CachedVerifier(inner)
+        digest = SHA1.hash(b"root")
+        cached.verify(digest, Signature(scheme="null", value=b"sig-1"))
+        cached.verify(digest, Signature(scheme="null", value=b"sig-2"))
+        assert inner.calls == 2
+
+    def test_wraps_real_verifier(self):
+        signer, verifier = NullSigner(), NullVerifier()
+        cached = CachedVerifier(verifier)
+        digest = SHA1.hash(b"real root")
+        signature = signer.sign(digest)
+        assert cached.inner is verifier
+        assert cached.verify(digest, signature)
+        assert not cached.verify(SHA1.hash(b"other"), signature)
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            CachedVerifier(CountingVerifier(), capacity=0)

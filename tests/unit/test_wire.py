@@ -168,6 +168,29 @@ class TestReceiptCodec:
         with pytest.raises(wire.WireError):
             wire.receipt_from_wire(payload)
 
+    def test_memo_counters_round_trip(self):
+        receipt = QueryReceipt(
+            query=RangeQuery(low=1, high=9, attribute="key"),
+            sp=CostReceipt(node_accesses=5, io_cost_ms=50.0,
+                           memo_hits=11, memo_misses=4),
+            te=CostReceipt(node_accesses=2, io_cost_ms=20.0),
+            auth_bytes=20,
+            result_bytes=64,
+            client_cpu_ms=0.5,
+        )
+        payload = wire.receipt_to_wire(receipt)
+        assert payload["sp"]["memo"] == [11, 4]
+        assert "memo" not in payload["te"]  # omitted when all zero
+        rebuilt = wire.receipt_from_wire(payload)
+        assert rebuilt == receipt
+        assert (rebuilt.sp.memo_hits, rebuilt.sp.memo_misses) == (11, 4)
+
+    def test_malformed_memo_counters_raise(self):
+        payload = wire.receipt_to_wire(_receipt(False))
+        payload["sp"]["memo"] = [1, 2, 3]  # wrong arity
+        with pytest.raises(wire.WireError):
+            wire.receipt_from_wire(payload)
+
     def test_degenerate_query_round_trips(self):
         receipt = QueryReceipt(
             query=RangeQuery.degenerate(9, 5, "key"),
