@@ -128,6 +128,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seed shared by the dataset and the key material")
     serve.add_argument("--shards", type=int, default=1,
                        help="number of SP/TE shards (>= 1; 1 = classic deployment)")
+    serve.add_argument("--replicas", type=_positive_int, default=1,
+                       help="replicas per shard (primary + N-1 warm standbys "
+                            "with transparent failover; in-memory storage only)")
+    serve.add_argument("--replica-of", default=None, metavar="DIR",
+                       help="serve a standby restored from another deployment's "
+                            "snapshot directory (snapshot shipping: the primary "
+                            "snapshots, the standby restores the shipped copy; "
+                            "clients detect a lagging standby via min_epoch)")
     serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
     serve.add_argument("--port", type=int, default=9009,
                        help="TCP port to listen on (0 picks a free port)")
@@ -167,6 +175,8 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="number of concurrent clients (>= 1)")
     load.add_argument("--shards", type=int, default=1,
                       help="number of SP/TE shards (>= 1; 1 = classic deployment)")
+    load.add_argument("--replicas", type=int, default=1,
+                      help="replicas per shard (>= 1; 1 = primary only)")
     load.add_argument("--mode", choices=["per-query", "batched", "both"], default="both",
                       help="dispatch mode ('both' compares the two)")
     load.add_argument("--transport", choices=["inproc", "tcp"], default="inproc",
@@ -240,6 +250,8 @@ def _bench_load_problem(args: argparse.Namespace) -> Optional[str]:
         return f"--clients must be at least 1, got {args.clients}"
     if args.shards < 1:
         return f"--shards must be at least 1, got {args.shards}"
+    if args.replicas < 1:
+        return f"--replicas must be at least 1, got {args.replicas}"
     if args.mode in ("batched", "both") and args.batch_size < 1:
         return f"--batch-size must be at least 1 in batched mode, got {args.batch_size}"
     return None
@@ -385,6 +397,29 @@ def _run_serve(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print(f"error: --shards must be at least 1, got {args.shards}", file=sys.stderr)
         return 2
+    if args.replica_of is not None:
+        if args.data_dir is not None:
+            print("error: --replica-of and --data-dir are mutually exclusive "
+                  "(a standby serves the primary's shipped snapshot read-only)",
+                  file=sys.stderr)
+            return 2
+        if not has_snapshot(args.replica_of):
+            print(f"error: no deployment snapshot at {args.replica_of} "
+                  "(ship the primary's snapshot directory first)", file=sys.stderr)
+            return 2
+        system = restore_deployment(args.replica_of, pool_pages=args.pool_pages)
+        dataset = system.dataset
+        print(f"standby of {args.replica_of}: {dataset.cardinality} records, "
+              f"scheme {system.scheme_name}, {system.num_shards} shard(s), "
+              f"update epoch {system.current_epoch}")
+        with system:
+            run_server(system, host=args.host, port=args.port,
+                       max_in_flight=args.max_in_flight)
+        return 0
+    if args.replicas > 1 and args.data_dir is not None:
+        print("error: --replicas > 1 serves from memory; per-primary snapshots "
+              "ship to standbys via --replica-of instead", file=sys.stderr)
+        return 2
     storage = "paged" if args.data_dir is not None else args.storage
     if storage == "paged" and args.data_dir is None:
         print("error: --storage paged requires --data-dir", file=sys.stderr)
@@ -405,6 +440,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             dataset,
             scheme=args.scheme,
             shards=args.shards,
+            replicas=args.replicas,
             key_bits=args.key_bits,
             seed=args.seed,
             storage=storage,
@@ -412,8 +448,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             pool_pages=args.pool_pages,
         ).setup()
         print(f"dataset {dataset.name}: {dataset.cardinality} records, "
-              f"scheme {system.scheme_name}, {system.num_shards} shard(s), "
-              f"storage {storage}")
+              f"scheme {system.scheme_name}, {system.num_shards} shard(s) x "
+              f"{system.num_replicas} replica(s), storage {storage}")
         if args.data_dir is not None:
             path = system.snapshot()
             print(f"snapshot written to {path} (restarts will warm-start)")
@@ -428,6 +464,9 @@ def _run_serve(args: argparse.Namespace) -> int:
 
 
 def _run_attack_gallery(args: argparse.Namespace) -> int:
+    from repro.core import StaleReplicaAttack
+    from repro.core.updates import UpdateBatch
+
     dataset = build_dataset(args.records, record_size=200, seed=args.seed)
     systems = {
         name: OutsourcedDB(
@@ -442,7 +481,7 @@ def _run_attack_gallery(args: argparse.Namespace) -> int:
         ("modify 1", ModifyAttack(count=1, seed=2)),
     ]
     failures = 0
-    header = f"{'attack':<12} " + " ".join(f"{name.upper():<10}" for name in systems)
+    header = f"{'attack':<14} " + " ".join(f"{name.upper():<10}" for name in systems)
     print(header)
     for name, attack in attacks:
         honest = isinstance(attack, NoAttack)
@@ -453,7 +492,27 @@ def _run_attack_gallery(args: argparse.Namespace) -> int:
             verdicts.append("accepted" if accepted else "REJECTED")
             if accepted != honest:
                 failures += 1
-        print(f"{name:<12} " + " ".join(f"{verdict:<10}" for verdict in verdicts))
+        print(f"{name:<14} " + " ".join(f"{verdict:<10}" for verdict in verdicts))
+    # The stale-replica attack is special: the SP answers *honestly* from a
+    # captured old state, so every digest checks out against that state and
+    # only the signed update epoch exposes it.  Capture each deployment,
+    # advance its epoch with an idempotent modify, replay the capture, and
+    # require the distinct freshness verdict (not a generic tamper).
+    verdicts = []
+    for system in systems.values():
+        stale = StaleReplicaAttack.capture(system)
+        record = system.dataset.records[0]
+        system.provider.attack = NoAttack()
+        system.apply_updates(UpdateBatch().modify(tuple(record)))
+        system.provider.attack = stale
+        outcome = system.query(1_000_000, 1_400_000)
+        flagged = bool(outcome.verification.details.get("freshness_violation"))
+        if outcome.verified or not flagged:
+            verdicts.append("accepted" if outcome.verified else "REJECTED")
+            failures += 1
+        else:
+            verdicts.append("STALE")
+    print(f"{'stale replica':<14} " + " ".join(f"{verdict:<10}" for verdict in verdicts))
     for system in systems.values():
         system.close()
     return 1 if failures else 0
@@ -484,6 +543,7 @@ def _run_bench_load(args: argparse.Namespace) -> int:
             dataset,
             scheme=args.scheme,
             shards=args.shards,
+            replicas=args.replicas,
             key_bits=args.key_bits,
             seed=args.seed,
         ).setup()
@@ -500,7 +560,8 @@ def _run_bench_load(args: argparse.Namespace) -> int:
                 )
             )
     title = (f"load driver [{args.scheme}/{args.transport}]: {args.records} records, "
-             f"{args.queries} queries, {args.clients} clients, {args.shards} shard(s)")
+             f"{args.queries} queries, {args.clients} clients, {args.shards} shard(s) x "
+             f"{args.replicas} replica(s)")
     print(format_load_reports(reports, title=title))
     if args.transport == "tcp":
         for report in reports:

@@ -36,8 +36,18 @@ from repro.core.attacks import (
     DropAttack,
     InjectAttack,
     ModifyAttack,
+    StaleReplicaAttack,
     CompositeAttack,
 )
+from repro.core.epoch import (
+    EpochAuthority,
+    EpochStamp,
+    EpochVerdict,
+    classify_epoch,
+    epoch_digest,
+    shared_epoch_keys,
+)
+from repro.core.replication import ReplicaDownError, ReplicaRouter
 from repro.core.updates import InsertRecord, DeleteRecord, ModifyRecord, UpdateBatch
 from repro.core.pipeline import CostReceipt, ExecutionContext, QueryReceipt, ShardLegReceipt
 from repro.core.scheme import (
@@ -85,7 +95,16 @@ __all__ = [
     "DropAttack",
     "InjectAttack",
     "ModifyAttack",
+    "StaleReplicaAttack",
     "CompositeAttack",
+    "EpochAuthority",
+    "EpochStamp",
+    "EpochVerdict",
+    "classify_epoch",
+    "epoch_digest",
+    "shared_epoch_keys",
+    "ReplicaDownError",
+    "ReplicaRouter",
     "InsertRecord",
     "DeleteRecord",
     "ModifyRecord",

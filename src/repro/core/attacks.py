@@ -126,6 +126,55 @@ class ModifyAttack:
 
 
 @dataclass
+class StaleReplicaAttack:
+    """Serve a *captured old state* instead of the current one (freshness attack).
+
+    The one misbehaviour the drop/inject/modify taxonomy cannot express: the
+    SP answers every query honestly -- from a dataset snapshot that is simply
+    out of date.  Every record it returns carries a genuine digest and, if the
+    captured :class:`~repro.core.epoch.EpochStamp` is replayed alongside, a
+    *valid owner signature for the old epoch*.  Token/VO comparison against
+    the matching old state would accept it; only the signed update epoch
+    reveals the staleness, which is why clients check the stamp first and
+    report the failure as a freshness violation rather than tampering.
+
+    ``records`` is the captured dataset (full relation; ``apply`` filters it
+    to the query range, exactly like an honest-but-stale replica would), and
+    ``epoch_stamp`` is the owner stamp captured at the same moment.  Use
+    :meth:`capture` to take both from a live deployment before the update
+    that the replica will "miss".
+    """
+
+    records: List[Tuple[Any, ...]] = field(default_factory=list)
+    epoch_stamp: Optional[Any] = None
+    key_index: int = 1
+
+    @classmethod
+    def capture(cls, system: Any) -> "StaleReplicaAttack":
+        """Snapshot a live deployment's records and epoch stamp.
+
+        ``system`` may be an ``OutsourcedDB`` (unwrapped via its ``system``
+        accessor) or a scheme facade directly; both expose the data owner,
+        whose authoritative dataset and current stamp are captured.
+        """
+        target = getattr(system, "system", system)
+        owner = getattr(target, "owner", target)
+        dataset = owner.dataset
+        return cls(
+            records=[tuple(record) for record in dataset.records],
+            epoch_stamp=getattr(owner, "epoch_stamp", None),
+            key_index=dataset.schema.key_index,
+        )
+
+    def apply(self, records: List[Tuple[Any, ...]], query: RangeQuery) -> List[Tuple[Any, ...]]:
+        return [
+            record
+            for record in self.records
+            if query.contains(record[self.key_index])
+        ]
+
+
+@dataclass
 class CompositeAttack:
     """Apply several attacks in sequence (e.g. drop two records *and* inject one)."""
 

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.epoch import classify_epoch
 from repro.crypto.digest import Digest, DigestScheme, default_scheme
 from repro.crypto.encoding import encode_record
 from repro.dbms.query import RangeQuery
@@ -100,8 +101,18 @@ class Client:
         token: Digest,
         query: Optional[RangeQuery] = None,
         digest_cache: Optional[Dict[Tuple[Any, ...], Digest]] = None,
+        epoch_stamp: Optional[Any] = None,
+        expected_epoch: Optional[int] = None,
+        epoch_verifier: Optional[Any] = None,
     ) -> SAEVerificationResult:
         """Verify a result set against the TE's token.
+
+        When ``expected_epoch`` and ``epoch_verifier`` are given, the SP's
+        signed update-epoch stamp is checked *first*: a replica answering
+        from an old epoch produces internally consistent records whose XOR
+        would match a token over the same old state, so only the stamp can
+        expose it.  The failure is reported with
+        ``details["freshness_violation"]`` set, distinct from tampering.
 
         When ``query`` is given the client additionally checks that every
         returned record's query-attribute value satisfies the range -- a
@@ -109,6 +120,19 @@ class Client:
         providers early, before any hashing.
         """
         started = time.perf_counter()
+        if expected_epoch is not None and epoch_verifier is not None:
+            verdict = classify_epoch(epoch_stamp, expected_epoch, epoch_verifier)
+            if not verdict.ok:
+                elapsed = (time.perf_counter() - started) * 1000.0
+                return SAEVerificationResult(
+                    ok=False,
+                    computed=self._scheme.zero(),
+                    token=token,
+                    records_hashed=0,
+                    cpu_ms=elapsed,
+                    reason=verdict.reason,
+                    details=verdict.details(),
+                )
         if query is not None and self._key_index is not None:
             for record in records:
                 key = record[self._key_index]
@@ -136,19 +160,23 @@ class Client:
 
     def verify_shards(
         self,
-        legs: Sequence[Tuple[int, Sequence[Sequence[Any]], Digest]],
+        legs: Sequence[Tuple],
         query: Optional[RangeQuery] = None,
         digest_cache: Optional[Dict[Tuple[Any, ...], Digest]] = None,
+        expected_epoch: Optional[int] = None,
+        epoch_verifier: Optional[Any] = None,
     ) -> SAEVerificationResult:
         """Verify the shard legs of a scattered query and merge the verdicts.
 
-        ``legs`` is a sequence of ``(shard_id, records, token)`` triples, one
-        per shard the query was scattered to.  Every leg is verified
-        independently -- which pinpoints *which* shard tampered -- and the
-        merged result is accepted iff every leg verifies.  The merged
-        computed value and token are the XORs over the legs, so they equal
-        exactly what a single-shard deployment would have produced for the
-        same result set (the XOR aggregate is partition-independent).
+        ``legs`` is a sequence of ``(shard_id, records, token)`` triples --
+        or ``(shard_id, records, token, epoch_stamp)`` quadruples when the
+        caller wants per-leg freshness checking -- one per shard the query
+        was scattered to.  Every leg is verified independently -- which
+        pinpoints *which* shard tampered (or is stale) -- and the merged
+        result is accepted iff every leg verifies.  The merged computed
+        value and token are the XORs over the legs, so they equal exactly
+        what a single-shard deployment would have produced for the same
+        result set (the XOR aggregate is partition-independent).
         """
         started = time.perf_counter()
         leg_results: Dict[int, SAEVerificationResult] = {}
@@ -156,14 +184,26 @@ class Client:
         merged_token = self._scheme.zero()
         records_hashed = 0
         rejected = []
-        for shard_id, records, token in legs:
-            result = self.verify(records, token, query=query, digest_cache=digest_cache)
+        freshness = False
+        for leg in legs:
+            shard_id, records, token = leg[0], leg[1], leg[2]
+            stamp = leg[3] if len(leg) > 3 else None
+            result = self.verify(
+                records,
+                token,
+                query=query,
+                digest_cache=digest_cache,
+                epoch_stamp=stamp,
+                expected_epoch=expected_epoch,
+                epoch_verifier=epoch_verifier,
+            )
             leg_results[shard_id] = result
             merged_computed = merged_computed ^ result.computed
             merged_token = merged_token ^ token
             records_hashed += result.records_hashed
             if not result.ok:
                 rejected.append(shard_id)
+                freshness = freshness or bool(result.details.get("freshness_violation"))
         elapsed = (time.perf_counter() - started) * 1000.0
         if rejected:
             reason = (
@@ -172,6 +212,9 @@ class Client:
             )
         else:
             reason = "verified"
+        details: dict = {"shards": leg_results}
+        if freshness:
+            details["freshness_violation"] = True
         return SAEVerificationResult(
             ok=not rejected,
             computed=merged_computed,
@@ -179,5 +222,5 @@ class Client:
             records_hashed=records_hashed,
             cpu_ms=elapsed,
             reason=reason,
-            details={"shards": leg_results},
+            details=details,
         )

@@ -1,0 +1,226 @@
+"""Signed update epochs: the freshness axis of replica verification.
+
+Replication introduces a failure mode the core integrity checks cannot
+express: a *stale-but-correctly-signed* replica.  A warm standby that missed
+an update batch serves records that are internally consistent -- every
+digest matches, the XOR token or VO signature checks out against the state
+it holds -- yet the result is outdated.  Tamper detection alone accepts it.
+
+The data owner therefore maintains a monotonically increasing **update
+epoch**: epoch 0 covers the outsourced dataset, and every applied update
+batch advances it by one.  The owner signs the current epoch
+(domain-separated from any root-digest signature, see :func:`epoch_digest`)
+and ships the :class:`EpochStamp` to every service provider alongside the
+data.  A provider returns its stamp with each answer; the client checks the
+stamp *before* any token/VO comparison:
+
+* missing or wrongly signed stamp → indistinguishable from tampering;
+* correctly signed stamp for an **old** epoch → a *freshness violation*,
+  reported distinctly so operators can tell "replica is behind" from
+  "replica is lying".
+
+:class:`EpochAuthority` is the owner-side state machine (current epoch +
+signing); :func:`classify_epoch` is the client-side check shared by the SAE
+and TOM verifiers.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.crypto.digest import Digest, DigestScheme, default_scheme
+from repro.crypto.signatures import Signature, Signer, Verifier, make_rsa_pair
+
+#: Key size of the shared epoch-stamp key pair (SAE deployments, which have
+#: no signing key of their own, derive one pair per process from this).
+EPOCH_KEY_BITS = 512
+
+#: Fixed seed for the shared pair -- deterministic, like TOM's default keys.
+EPOCH_KEY_SEED = 2009
+
+
+@functools.lru_cache(maxsize=1)
+def shared_epoch_keys():
+    """One process-wide ``(signer, verifier)`` pair for epoch stamping.
+
+    SAE has no owner key material (its security argument never needed one);
+    freshness stamping does.  Deriving the pair lazily and caching it keeps
+    repeated deployments (tests, benchmark sweeps) from paying RSA key
+    generation each time, and the fixed seed keeps snapshots portable across
+    processes.
+    """
+    return make_rsa_pair(bits=EPOCH_KEY_BITS, seed=EPOCH_KEY_SEED)
+
+
+def epoch_digest(scheme: DigestScheme, epoch: int) -> Digest:
+    """The digest an epoch stamp signs.
+
+    Domain-separated by the ``update-epoch:`` prefix so an epoch signature
+    can never be replayed as (or confused with) a TOM root-digest signature
+    made with the same key.
+    """
+    if epoch < 0:
+        raise ValueError(f"update epochs are non-negative, got {epoch}")
+    return scheme.hash(b"update-epoch:%d" % epoch)
+
+
+@dataclass(frozen=True)
+class EpochStamp:
+    """An owner-signed claim "my state includes all updates up to ``epoch``"."""
+
+    epoch: int
+    signature: Signature
+
+    @property
+    def size(self) -> int:
+        """Wire size of the stamp (epoch as u64 + signature bytes)."""
+        return 8 + self.signature.size
+
+
+class EpochAuthority:
+    """The data owner's epoch counter plus its stamp signer.
+
+    Thread-safe: :meth:`advance` runs under the deployment's exclusive
+    update lock in practice, but the authority guards its own state too so
+    misuse cannot corrupt the counter.  Stamps are cached per epoch -- every
+    provider of a fleet receives the *same* stamp object for one epoch, and
+    re-stamping after restore costs nothing.
+    """
+
+    def __init__(
+        self,
+        signer: Signer,
+        verifier: Verifier,
+        scheme: Optional[DigestScheme] = None,
+        start_epoch: int = 0,
+    ):
+        if start_epoch < 0:
+            raise ValueError(f"update epochs are non-negative, got {start_epoch}")
+        self._signer = signer
+        self._verifier = verifier
+        self._scheme = scheme or default_scheme()
+        self._epoch = start_epoch
+        self._stamps: Dict[int, EpochStamp] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def current(self) -> int:
+        """The current update epoch (0 until the first update batch)."""
+        with self._lock:
+            return self._epoch
+
+    @property
+    def verifier(self) -> Verifier:
+        """The public verifier clients use to check epoch stamps."""
+        return self._verifier
+
+    @property
+    def scheme(self) -> DigestScheme:
+        """Digest scheme the stamps are signed over."""
+        return self._scheme
+
+    def stamp(self, epoch: Optional[int] = None) -> EpochStamp:
+        """The signed stamp for ``epoch`` (default: the current epoch)."""
+        with self._lock:
+            target = self._epoch if epoch is None else epoch
+            cached = self._stamps.get(target)
+            if cached is not None:
+                return cached
+        signature = self._signer.sign(epoch_digest(self._scheme, target))
+        made = EpochStamp(epoch=target, signature=signature)
+        with self._lock:
+            self._stamps.setdefault(target, made)
+            return self._stamps[target]
+
+    def advance(self) -> EpochStamp:
+        """Advance to the next epoch and return its stamp."""
+        with self._lock:
+            self._epoch += 1
+        return self.stamp()
+
+
+@dataclass(frozen=True)
+class EpochVerdict:
+    """Outcome of the client-side epoch check.
+
+    ``freshness_violation`` is the distinguished "stale but honestly signed"
+    state; when ``ok`` is ``False`` and ``freshness_violation`` is also
+    ``False`` the stamp failed as *tampering* (absent or wrongly signed).
+    """
+
+    ok: bool
+    freshness_violation: bool = False
+    reason: str = "fresh"
+    observed: Optional[int] = None
+    expected: Optional[int] = None
+
+    def details(self) -> dict:
+        """Merge-ready entries for a verification result's ``details`` dict."""
+        merged: dict = {}
+        if self.freshness_violation:
+            merged["freshness_violation"] = True
+        if self.observed is not None:
+            merged["epoch"] = self.observed
+        if self.expected is not None:
+            merged["expected_epoch"] = self.expected
+        return merged
+
+
+#: The verdict used when the caller did not request an epoch check.
+EPOCH_NOT_CHECKED = EpochVerdict(ok=True, reason="epoch not checked")
+
+
+def classify_epoch(
+    stamp: Optional[EpochStamp],
+    expected_epoch: int,
+    verifier: Verifier,
+    scheme: Optional[DigestScheme] = None,
+) -> EpochVerdict:
+    """Classify a provider's epoch stamp against the owner's current epoch.
+
+    Check order matters for the verdict taxonomy:
+
+    1. no stamp at all → the provider withheld freshness evidence; treated
+       as a freshness violation (an honest current provider always has one);
+    2. signature invalid for the claimed epoch → **tampering** (somebody
+       forged or altered the stamp), not a freshness violation;
+    3. signature valid but epoch ≠ expected → **freshness violation**: the
+       provider answered honestly from an old (or impossibly new) state.
+    """
+    scheme = scheme or default_scheme()
+    if stamp is None:
+        return EpochVerdict(
+            ok=False,
+            freshness_violation=True,
+            reason=(
+                "freshness violation: provider returned no epoch stamp "
+                f"(current epoch is {expected_epoch})"
+            ),
+            expected=expected_epoch,
+        )
+    if not verifier.verify(epoch_digest(scheme, stamp.epoch), stamp.signature):
+        return EpochVerdict(
+            ok=False,
+            freshness_violation=False,
+            reason=(
+                f"epoch stamp for epoch {stamp.epoch} does not carry a valid "
+                "owner signature"
+            ),
+            observed=stamp.epoch,
+            expected=expected_epoch,
+        )
+    if stamp.epoch != expected_epoch:
+        return EpochVerdict(
+            ok=False,
+            freshness_violation=True,
+            reason=(
+                f"freshness violation: replica answered from epoch "
+                f"{stamp.epoch}, current epoch is {expected_epoch}"
+            ),
+            observed=stamp.epoch,
+            expected=expected_epoch,
+        )
+    return EpochVerdict(ok=True, observed=stamp.epoch, expected=expected_epoch)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Optional, Sequence
 
 from repro.core.dataset import Dataset
+from repro.core.epoch import EpochAuthority, EpochStamp, shared_epoch_keys
 from repro.core.provider import ServiceProvider
 from repro.core.trusted_entity import TrustedEntity
 from repro.core.updates import DeleteRecord, InsertRecord, ModifyRecord, UpdateBatch
@@ -21,15 +22,25 @@ from repro.network.messages import DatasetTransfer, UpdateNotification
 
 
 class DataOwner:
-    """The party that owns relation ``R`` and outsources its management."""
+    """The party that owns relation ``R`` and outsources its management.
+
+    Since replication entered the deployment model the DO also runs an
+    :class:`~repro.core.epoch.EpochAuthority`: every applied update batch
+    advances the signed update epoch, and the provider receives the fresh
+    stamp so clients can tell a stale replica from a tampering one.  SAE
+    has no owner key material of its own, so the stamps use the shared
+    deterministic epoch pair (:func:`~repro.core.epoch.shared_epoch_keys`).
+    """
 
     def __init__(self, dataset: Dataset, network: Optional[NetworkTracker] = None,
-                 name: str = "DO"):
+                 name: str = "DO", start_epoch: int = 0):
         self._dataset = dataset
         self._network = network or NetworkTracker()
         self._name = name
         self._provider: Optional[ServiceProvider] = None
         self._trusted_entity: Optional[TrustedEntity] = None
+        signer, verifier = shared_epoch_keys()
+        self._epochs = EpochAuthority(signer, verifier, start_epoch=start_epoch)
 
     # ------------------------------------------------------------------ accessors
     @property
@@ -42,6 +53,21 @@ class DataOwner:
         """Byte-accounting network tracker."""
         return self._network
 
+    @property
+    def epoch(self) -> int:
+        """The current signed update epoch (0 until the first update batch)."""
+        return self._epochs.current
+
+    @property
+    def epoch_verifier(self):
+        """The public verifier clients use to check epoch stamps."""
+        return self._epochs.verifier
+
+    @property
+    def epoch_stamp(self) -> EpochStamp:
+        """The signed stamp for the current epoch."""
+        return self._epochs.stamp()
+
     # ------------------------------------------------------------------ outsourcing
     def outsource(self, provider: ServiceProvider, trusted_entity: TrustedEntity) -> None:
         """Transmit the dataset to the SP and the TE (Figure 2, setup phase)."""
@@ -50,15 +76,19 @@ class DataOwner:
         provider.receive_dataset(self._dataset)
         self._network.channel(self._name, "TE").send(transfer)
         trusted_entity.receive_dataset(self._dataset)
+        provider.receive_epoch_stamp(self._epochs.stamp())
         self._provider = provider
         self._trusted_entity = trusted_entity
 
     def adopt(self, provider: ServiceProvider, trusted_entity: TrustedEntity) -> None:
         """Re-attach to parties restored from a snapshot.
 
-        Unlike :meth:`outsource`, nothing is transmitted: the parties
+        Unlike :meth:`outsource`, no dataset is transmitted: the parties
         already hold the dataset state they had when the snapshot was taken.
+        The epoch stamp is re-issued (snapshots persist the epoch number,
+        not the stamp object) so the restored SP can prove its freshness.
         """
+        provider.receive_epoch_stamp(self._epochs.stamp())
         self._provider = provider
         self._trusted_entity = trusted_entity
 
@@ -81,6 +111,7 @@ class DataOwner:
         self._provider.apply_updates(batch)
         self._network.channel(self._name, "TE").send(notification)
         self._trusted_entity.apply_updates(batch, dataset_schema=self._dataset.schema)
+        self._provider.receive_epoch_stamp(self._epochs.advance())
 
     # ------------------------------------------------------------------ convenience
     def insert_record(self, fields: Sequence[Any]) -> None:

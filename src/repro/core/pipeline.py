@@ -103,10 +103,18 @@ class ExecutionContext:
 
     A slotted plain class rather than a dataclass: a batched or sharded
     request allocates one context per leg, and slots keep that churn to a
-    fixed four-field object without a ``__dict__`` per instance.
+    fixed small object without a ``__dict__`` per instance.
+
+    ``replica`` and ``failed_replicas`` record which replica of a
+    replicated shard served the leg and which dead replicas were attempted
+    first (visible failover); ``epoch_stamp`` carries the serving
+    provider's signed update-epoch stamp to the client's freshness check.
     """
 
-    __slots__ = ("query", "sp", "te", "bytes_by_channel")
+    __slots__ = (
+        "query", "sp", "te", "bytes_by_channel",
+        "replica", "failed_replicas", "epoch_stamp",
+    )
 
     def __init__(
         self,
@@ -121,6 +129,9 @@ class ExecutionContext:
         self.bytes_by_channel: Dict[str, int] = (
             bytes_by_channel if bytes_by_channel is not None else {}
         )
+        self.replica: int = 0
+        self.failed_replicas: Tuple[int, ...] = ()
+        self.epoch_stamp = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -152,6 +163,11 @@ class ShardLegReceipt:
     :class:`QueryReceipt` *sums* the legs (total work charged), while the
     response-time model takes the *maximum* over the legs (they proceed in
     parallel), which is what :attr:`QueryReceipt.critical_path_ms` reports.
+
+    In a replicated deployment ``replica`` is the replica index that served
+    the leg and ``failed_replicas`` lists the dead replicas attempted before
+    it -- a failover is visible in the merged receipt, and since a dead
+    replica does no work the leg sums are unaffected.
     """
 
     shard: int
@@ -159,6 +175,8 @@ class ShardLegReceipt:
     te: CostReceipt = ZERO_RECEIPT
     auth_bytes: int = 0
     result_bytes: int = 0
+    replica: int = 0
+    failed_replicas: Tuple[int, ...] = ()
 
     @property
     def leg_response_ms(self) -> float:

@@ -44,6 +44,7 @@ from repro.core.pipeline import (
     ZERO_RECEIPT,
 )
 from repro.core.provider import ServiceProvider, ShardedServiceProvider
+from repro.core.replication import ReplicaDownError, ReplicaRouter
 from repro.core.scheme import (
     AuthScheme,
     SchemeError,
@@ -62,6 +63,7 @@ from repro.crypto.digest import (
     default_scheme,
     get_scheme,
 )
+from repro.crypto.signatures import CachedVerifier
 from repro.dbms.query import RangeQuery
 from repro.network.channel import NetworkTracker
 from repro.network.messages import QueryRequest, ResultResponse, VTResponse
@@ -118,6 +120,7 @@ class SaeScheme(AuthScheme):
         index_fill_factor: float = 1.0,
         max_workers: Optional[int] = None,
         shards: Union[int, ShardedDeployment] = 1,
+        replicas: int = 1,
         storage: Union[str, StorageConfig] = "memory",
         data_dir: Optional[str] = None,
         pool_pages: int = 128,
@@ -125,13 +128,21 @@ class SaeScheme(AuthScheme):
         self._scheme = scheme or default_scheme()
         self._network = NetworkTracker()
         self._dataset = dataset
-        self._deployment = ShardedDeployment.coerce(shards)
+        self._deployment = ShardedDeployment.coerce(shards, num_replicas=replicas)
         self._storage = StorageConfig.coerce(storage, data_dir, pool_pages)
         self._page_size = page_size
         self._backend = backend
         self._node_access_ms = node_access_ms
         self._index_fill_factor = index_fill_factor
-        if self._deployment.is_sharded:
+        # A replicated-but-unsharded deployment still runs fleets (of one
+        # shard each): legs then carry per-shard receipts, on which the
+        # failover bookkeeping (replica / failed_replicas) rides.
+        self._uses_fleet = (
+            self._deployment.is_sharded or self._deployment.is_replicated
+        )
+        self._replica_router: Optional[ReplicaRouter] = None
+        self._sp_replicas: List[ShardedServiceProvider] = []
+        if self._uses_fleet:
             self.provider: Union[ServiceProvider, ShardedServiceProvider] = (
                 ShardedServiceProvider(
                     self._deployment.num_shards,
@@ -142,6 +153,23 @@ class SaeScheme(AuthScheme):
                     index_fill_factor=index_fill_factor,
                     storage=self._storage,
                 )
+            )
+            self._sp_replicas = [self.provider]
+            for replica in range(1, self._deployment.num_replicas):
+                self._sp_replicas.append(
+                    ShardedServiceProvider(
+                        self._deployment.num_shards,
+                        backend=backend,
+                        page_size=page_size,
+                        node_access_ms=node_access_ms,
+                        attack=None,
+                        index_fill_factor=index_fill_factor,
+                        storage=self._storage,
+                        component_prefix=f"sae-r{replica}-sp",
+                    )
+                )
+            self._replica_router = ReplicaRouter(
+                self._deployment.num_shards, self._deployment.num_replicas
             )
             self.trusted_entity: Union[TrustedEntity, ShardedTrustedEntity] = (
                 ShardedTrustedEntity(
@@ -169,6 +197,9 @@ class SaeScheme(AuthScheme):
             )
         self.owner = DataOwner(dataset, network=self._network)
         self.client = Client(scheme=self._scheme, key_index=dataset.schema.key_index)
+        # Epoch stamps repeat across queries; the cached verifier answers
+        # repeats with a dict lookup instead of an RSA exponentiation.
+        self._epoch_verifier = CachedVerifier(self.owner.epoch_verifier)
         # Cross-query memo over record encodings and digests, shared between
         # the SP legs (payload sizing) and the client leg (verification
         # hashing).  Content-addressed, so update batches need no
@@ -182,9 +213,18 @@ class SaeScheme(AuthScheme):
 
     # ------------------------------------------------------------------ lifecycle
     def setup(self) -> "SaeScheme":
-        """Run the outsourcing phase (DO ships the dataset to SP and TE)."""
+        """Run the outsourcing phase (DO ships the dataset to SP and TE).
+
+        Warm standbys receive the same dataset (the build is deterministic,
+        so every replica holds an identical tree) plus the owner's current
+        epoch stamp -- the in-process equivalent of snapshot shipping, which
+        ``repro serve --replica-of`` exercises across processes.
+        """
         with self._state_lock.write_locked():
             self.owner.outsource(self.provider, self.trusted_entity)
+            for standby in self._sp_replicas[1:]:
+                standby.receive_dataset(self._dataset)
+                standby.receive_epoch_stamp(self.owner.epoch_stamp)
             self._ready = True
         return self
 
@@ -207,6 +247,43 @@ class SaeScheme(AuthScheme):
     def num_shards(self) -> int:
         """Number of SP/TE shards in this deployment (1 = unsharded)."""
         return self._deployment.num_shards
+
+    @property
+    def num_replicas(self) -> int:
+        """SP replicas per shard (1 = unreplicated)."""
+        return self._deployment.num_replicas
+
+    @property
+    def current_epoch(self) -> int:
+        """The owner's current signed update epoch."""
+        return self.owner.epoch
+
+    def sp_replica(self, replica: int) -> ShardedServiceProvider:
+        """The SP fleet serving as replica ``replica`` (0 = primary)."""
+        if not self._sp_replicas:
+            raise SchemeError("this deployment does not run an SP fleet")
+        return self._sp_replicas[replica]
+
+    def kill_replica(self, replica: int, shard_id: Optional[int] = None) -> None:
+        """Take a replica out of service (all shards, or one shard's copy)."""
+        self._require_replication()
+        for shard in self._router_shards(shard_id):
+            self._replica_router.kill(shard, replica)
+
+    def revive_replica(self, replica: int, shard_id: Optional[int] = None) -> None:
+        """Return a killed replica to service."""
+        self._require_replication()
+        for shard in self._router_shards(shard_id):
+            self._replica_router.revive(shard, replica)
+
+    def _require_replication(self) -> None:
+        if self._replica_router is None or self._deployment.num_replicas < 2:
+            raise SchemeError(
+                "kill/revive need a replicated deployment (replicas >= 2)"
+            )
+
+    def _router_shards(self, shard_id: Optional[int]) -> Sequence[int]:
+        return range(self.num_shards) if shard_id is None else (shard_id,)
 
     @property
     def deployment(self) -> ShardedDeployment:
@@ -239,6 +316,11 @@ class SaeScheme(AuthScheme):
             raise SchemeError(
                 "snapshot() requires the heap backend (sqlite owns its own durability)"
             )
+        if self._deployment.is_replicated:
+            raise SchemeError(
+                "snapshot() snapshots a single (primary) deployment; standbys "
+                "are seeded from the primary's snapshot via serve --replica-of"
+            )
         with self._state_lock.write_locked():
             self.provider.flush_storage()
             self.trusted_entity.flush_storage()
@@ -253,6 +335,7 @@ class SaeScheme(AuthScheme):
                     "digest": self._scheme.name,
                 },
                 "dataset": self._dataset,
+                "epoch": self.owner.epoch,
                 "provider": self.provider.snapshot_state(),
                 "te": self.trusted_entity.snapshot_state(),
             }
@@ -274,6 +357,8 @@ class SaeScheme(AuthScheme):
                     self.snapshot()
                 except SchemeError:
                     pass  # nothing snapshotable (e.g. sqlite backend)
+            for standby in self._sp_replicas[1:]:
+                standby.close_storage()
             self.provider.close_storage()
             self.trusted_entity.close_storage()
         super().close()
@@ -318,6 +403,13 @@ class SaeScheme(AuthScheme):
         schema = state["dataset"].schema
         system.provider.restore_state(state["provider"], schema)
         system.trusted_entity.restore_state(state["te"])
+        # Pre-epoch snapshots carry no epoch entry: restore them at epoch 0.
+        system.owner = DataOwner(
+            state["dataset"],
+            network=system._network,
+            start_epoch=state.get("epoch", 0),
+        )
+        system._epoch_verifier = CachedVerifier(system.owner.epoch_verifier)
         system.owner.adopt(system.provider, system.trusted_entity)
         system._ready = True
         return system
@@ -327,11 +419,16 @@ class SaeScheme(AuthScheme):
 
         The batch is applied under the exclusive side of the system's
         shared/exclusive lock: concurrent queries either complete before it
-        or see both parties fully updated.
+        or see both parties fully updated.  Warm standbys replay the same
+        batch and adopt the advanced epoch stamp, so every replica stays at
+        the owner's current epoch.
         """
         self._ensure_open()
         with self._state_lock.write_locked():
             self.owner.apply_updates(batch)
+            for standby in self._sp_replicas[1:]:
+                standby.apply_updates(batch)
+                standby.receive_epoch_stamp(self.owner.epoch_stamp)
 
     # ------------------------------------------------------------------ party legs
     def _size_result(
@@ -361,6 +458,7 @@ class SaeScheme(AuthScheme):
         request = QueryRequest(query=query)
         self._network.channel("client", "SP").send(request, session=ctx)
         records = self.provider.execute(query, ctx, record_cache=record_cache)
+        ctx.epoch_stamp = self.provider.current_stamp()
         hint = self._size_result(records, ctx)
         result_message = ResultResponse(records=records, payload_size_hint=hint)
         self._network.channel("SP", "client").send(result_message, session=ctx)
@@ -436,13 +534,41 @@ class SaeScheme(AuthScheme):
         ctx: ExecutionContext,
         record_cache: Optional[dict] = None,
     ) -> Tuple[List[Tuple[Any, ...]], ResultResponse]:
-        """One shard's SP leg of a scattered query."""
+        """One shard's SP leg of a scattered query, with replica failover.
+
+        The leg walks the shard's replica rotation: dead replicas fail fast
+        (without touching the replica) and are recorded on
+        ``ctx.failed_replicas``, the first live replica serves the leg, and
+        its epoch stamp rides along on ``ctx.epoch_stamp`` for the client's
+        freshness check.  A dead replica does no work, so the retry leaves
+        the leg-sum invariant (:meth:`QueryReceipt.matches_leg_sums`) intact.
+        """
         party = f"SP{shard_id}"
         request = QueryRequest(query=query)
         self._network.channel("client", party).send(request, session=ctx)
-        records = self.provider.execute_shard(
-            shard_id, query, ctx, record_cache=record_cache
-        )
+        router = self._replica_router
+        records: Optional[List[Tuple[Any, ...]]] = None
+        failed: List[int] = []
+        for replica in router.attempt_order(shard_id):
+            if router.is_down(shard_id, replica):
+                failed.append(replica)
+                continue
+            fleet = self._sp_replicas[replica]
+            try:
+                records = fleet.execute_shard(
+                    shard_id, query, ctx, record_cache=record_cache
+                )
+            except ReplicaDownError:
+                failed.append(replica)
+                continue
+            ctx.replica = replica
+            ctx.failed_replicas = tuple(failed)
+            ctx.epoch_stamp = fleet.shard(shard_id).current_stamp()
+            break
+        if records is None:
+            raise ReplicaDownError(
+                f"every replica of shard {shard_id} is down: {failed}"
+            )
         hint = self._size_result(records, ctx)
         result_message = ResultResponse(records=records, payload_size_hint=hint)
         self._network.channel(party, "client").send(result_message, session=ctx)
@@ -531,6 +657,7 @@ class SaeScheme(AuthScheme):
         """Scatter one query to its overlapping shards, in parallel legs."""
         pool = self._pool()
         with self._state_lock.read_locked():
+            expected_epoch = self.owner.epoch
             shard_ids = self.provider.shards_for(query)
             leg_contexts = [ExecutionContext(query=query) for _ in shard_ids]
             sp_futures = [
@@ -563,12 +690,19 @@ class SaeScheme(AuthScheme):
                     te=leg_ctx.te or ZERO_RECEIPT,
                     auth_bytes=token_message.payload_bytes() if token_message else 0,
                     result_bytes=result_message.payload_bytes(),
+                    replica=leg_ctx.replica,
+                    failed_replicas=leg_ctx.failed_replicas,
                 )
             )
             if token is not None:
-                verify_legs.append((shard_id, leg_records, token))
+                verify_legs.append((shard_id, leg_records, token, leg_ctx.epoch_stamp))
         if verify:
-            verification = self.client.verify_shards(verify_legs, query=query)
+            verification = self.client.verify_shards(
+                verify_legs,
+                query=query,
+                expected_epoch=expected_epoch,
+                epoch_verifier=self._epoch_verifier,
+            )
         else:
             verification = SAEVerificationResult.skipped_result(self._scheme)
         return self._assemble_sharded(
@@ -609,6 +743,7 @@ class SaeScheme(AuthScheme):
             shard_id: {} for shard_id in range(self.num_shards)
         }
         with self._state_lock.read_locked():
+            expected_epoch = self.owner.epoch
             shard_ids_per_query = [self.provider.shards_for(query) for query in queries]
             legs = [
                 (position, shard_id)
@@ -687,17 +822,25 @@ class SaeScheme(AuthScheme):
                         te=leg_ctx.te or ZERO_RECEIPT,
                         auth_bytes=token_message.payload_bytes() if token_message else 0,
                         result_bytes=result_message.payload_bytes(),
+                        replica=leg_ctx.replica,
+                        failed_replicas=leg_ctx.failed_replicas,
                     )
                 )
                 if token is not None:
-                    verify_legs.append((shard_id, leg_records, token))
+                    verify_legs.append(
+                        (shard_id, leg_records, token, leg_ctx.epoch_stamp)
+                    )
             if verify:
                 for record in records:
                     key = tuple(record)
                     if key not in digest_cache:
                         digest_cache[key] = self._record_memo.digest(record)
                 verification = self.client.verify_shards(
-                    verify_legs, query=query, digest_cache=digest_cache
+                    verify_legs,
+                    query=query,
+                    digest_cache=digest_cache,
+                    expected_epoch=expected_epoch,
+                    epoch_verifier=self._epoch_verifier,
                 )
             else:
                 verification = SAEVerificationResult.skipped_result(self._scheme)
@@ -767,11 +910,12 @@ class SaeScheme(AuthScheme):
             return self._empty_outcome(low, high, verify)
         query = RangeQuery(low=low, high=high, attribute=self._dataset.schema.key_column)
         ctx = ExecutionContext(query=query)
-        if self._deployment.is_sharded:
+        if self._uses_fleet:
             return self._query_sharded(query, ctx, verify)
         pool = self._pool()
 
         with self._state_lock.read_locked():
+            expected_epoch = self.owner.epoch
             sp_future: Future = pool.submit(self._serve_sp, query, ctx)
             te_future: Optional[Future] = (
                 pool.submit(self._serve_te, query, ctx) if verify else None
@@ -782,7 +926,14 @@ class SaeScheme(AuthScheme):
             if te_future is not None:
                 token, token_message = te_future.result()
         if token is not None:
-            verification = self.client.verify(records, token, query=query)
+            verification = self.client.verify(
+                records,
+                token,
+                query=query,
+                epoch_stamp=ctx.epoch_stamp,
+                expected_epoch=expected_epoch,
+                epoch_verifier=self._epoch_verifier,
+            )
         else:
             verification = SAEVerificationResult.skipped_result(self._scheme)
         return self._assemble(query, ctx, records, result_message, token_message, verification)
@@ -817,7 +968,7 @@ class SaeScheme(AuthScheme):
         attribute = self._dataset.schema.key_column
         queries = [RangeQuery(low=low, high=high, attribute=attribute) for low, high in bounds]
         contexts = [ExecutionContext(query=query) for query in queries]
-        if self._deployment.is_sharded:
+        if self._uses_fleet:
             return self._query_many_sharded(queries, contexts, verify)
         pool = self._pool()
         record_cache: dict = {}
@@ -833,6 +984,7 @@ class SaeScheme(AuthScheme):
         token_messages: List[Optional[VTResponse]] = [None] * len(queries)
         tokens: List[Optional[Digest]] = [None] * len(queries)
         with self._state_lock.read_locked():
+            expected_epoch = self.owner.epoch
             sp_futures = [
                 pool.submit(
                     self._serve_sp_chunk, queries[piece], contexts[piece],
@@ -867,7 +1019,13 @@ class SaeScheme(AuthScheme):
                     if key not in digest_cache:
                         digest_cache[key] = self._record_memo.digest(record)
                 verification = self.client.verify(
-                    records, tokens[position], query=query, digest_cache=digest_cache
+                    records,
+                    tokens[position],
+                    query=query,
+                    digest_cache=digest_cache,
+                    epoch_stamp=ctx.epoch_stamp,
+                    expected_epoch=expected_epoch,
+                    epoch_verifier=self._epoch_verifier,
                 )
             else:
                 verification = SAEVerificationResult.skipped_result(self._scheme)

@@ -71,6 +71,7 @@ class ServiceProvider:
         self._sqlite: Optional[SQLiteTable] = None
         self._dataset_schema = None
         self._last_receipt: CostReceipt = ZERO_RECEIPT
+        self._epoch_stamp = None
 
     # ------------------------------------------------------------------ configuration
     @property
@@ -143,6 +144,20 @@ class ServiceProvider:
                 store.update(operation.fields)
             else:
                 raise ProviderError(f"unknown update operation {operation!r}")
+
+    def receive_epoch_stamp(self, stamp) -> None:
+        """Adopt the owner-signed update-epoch stamp for the current state."""
+        self._epoch_stamp = stamp
+
+    def current_stamp(self):
+        """The epoch stamp returned with answers (attack may override it).
+
+        A stale-replica attack carries the *old* stamp it captured; an SP
+        replaying old state would do exactly that, so the attack's stamp
+        (duck-typed ``epoch_stamp`` attribute) wins over the stored one.
+        """
+        override = getattr(self._attack, "epoch_stamp", None)
+        return override if override is not None else self._epoch_stamp
 
     def _require_store(self):
         store = self._table if self._backend == "heap" else self._sqlite
@@ -313,6 +328,7 @@ class ShardedServiceProvider(AttackableFleet):
         attack: Optional[AttackModel] = None,
         index_fill_factor: float = 1.0,
         storage: Optional[StorageConfig] = None,
+        component_prefix: str = "sae-sp",
     ):
         self._init_fleet(
             num_shards,
@@ -323,7 +339,7 @@ class ShardedServiceProvider(AttackableFleet):
                 attack=None,
                 index_fill_factor=index_fill_factor,
                 storage=storage,
-                component=f"sae-sp{shard_id}",
+                component=f"{component_prefix}{shard_id}",
             ),
         )
         self._backend = backend

@@ -1,0 +1,100 @@
+"""Replica routing and failover for the scheme facades.
+
+Each shard of a replicated deployment is backed by ``num_replicas``
+identical service-provider fleets: replica 0 is the primary (it receives
+the snapshot-shipped dataset first) and replicas 1..N-1 are warm standbys
+kept current by replaying every signed update batch.  The
+:class:`ReplicaRouter` fans reads across the replicas of a shard
+round-robin; when a leg fails (the replica is killed, or raises
+:class:`ReplicaDownError`) the scheme facade retries the leg on the next
+replica in the rotation and records the dead attempts on the leg receipt
+(``ShardLegReceipt.failed_replicas``), so a failover is *visible* in the
+merged receipt while :meth:`QueryReceipt.matches_leg_sums` still holds --
+a dead replica does no work, so it adds nothing to the sums.
+
+Killed replicas deliberately stay **in** the rotation: attempts against
+them fail fast via :meth:`ReplicaRouter.is_down` without touching the
+replica, which is what makes the retry deterministic and observable in
+tests and drills.  :meth:`revive` puts a replica back in service.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Set, Tuple
+
+
+class ReplicaDownError(RuntimeError):
+    """Raised when a replica (or every replica of a shard) cannot serve."""
+
+
+class ReplicaRouter:
+    """Round-robin read fan-out across the replicas of each shard.
+
+    Thread-safe: the per-shard rotation counter and the down-set are
+    guarded by one lock, so concurrent queries spread evenly and observe
+    kill/revive transitions atomically.
+    """
+
+    def __init__(self, num_shards: int, num_replicas: int):
+        if num_shards < 1:
+            raise ValueError(f"need at least one shard, got {num_shards}")
+        if num_replicas < 1:
+            raise ValueError(f"need at least one replica, got {num_replicas}")
+        self._num_shards = num_shards
+        self._num_replicas = num_replicas
+        self._next: Dict[int, int] = {shard: 0 for shard in range(num_shards)}
+        self._down: Set[Tuple[int, int]] = set()
+        self._lock = threading.Lock()
+
+    @property
+    def num_replicas(self) -> int:
+        """Replicas per shard (1 = unreplicated)."""
+        return self._num_replicas
+
+    @property
+    def num_shards(self) -> int:
+        """Shards routed by this router."""
+        return self._num_shards
+
+    def _check_ids(self, shard_id: int, replica: int) -> None:
+        if not (0 <= shard_id < self._num_shards):
+            raise ValueError(f"shard id {shard_id} out of range 0..{self._num_shards - 1}")
+        if not (0 <= replica < self._num_replicas):
+            raise ValueError(f"replica {replica} out of range 0..{self._num_replicas - 1}")
+
+    def attempt_order(self, shard_id: int) -> List[int]:
+        """The replica indices to try for one read leg, in order.
+
+        A full rotation of *all* replicas starting at the shard's
+        round-robin cursor -- killed replicas are not excluded here (the
+        caller skips them via :meth:`is_down` and records the skip on the
+        receipt), and the cursor advances exactly once per leg.
+        """
+        self._check_ids(shard_id, 0)
+        with self._lock:
+            start = self._next[shard_id]
+            self._next[shard_id] = (start + 1) % self._num_replicas
+        return [(start + i) % self._num_replicas for i in range(self._num_replicas)]
+
+    def kill(self, shard_id: int, replica: int) -> None:
+        """Take one replica of one shard out of service."""
+        self._check_ids(shard_id, replica)
+        with self._lock:
+            self._down.add((shard_id, replica))
+
+    def revive(self, shard_id: int, replica: int) -> None:
+        """Return a killed replica to service (no-op when not down)."""
+        self._check_ids(shard_id, replica)
+        with self._lock:
+            self._down.discard((shard_id, replica))
+
+    def is_down(self, shard_id: int, replica: int) -> bool:
+        """Whether this (shard, replica) pair is currently out of service."""
+        with self._lock:
+            return (shard_id, replica) in self._down
+
+    def down_replicas(self) -> List[Tuple[int, int]]:
+        """The killed ``(shard_id, replica)`` pairs, sorted (diagnostics)."""
+        with self._lock:
+            return sorted(self._down)

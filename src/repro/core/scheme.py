@@ -305,6 +305,29 @@ class AuthScheme(abc.ABC):
     def num_shards(self) -> int:
         """Number of shards in this deployment (1 = unsharded)."""
 
+    @property
+    def num_replicas(self) -> int:
+        """Replicas per shard (1 = primary only, no standbys)."""
+        return 1
+
+    @property
+    def current_epoch(self) -> int:
+        """The owner's current signed update epoch (0 before any update)."""
+        return 0
+
+    # ------------------------------------------------------------------ replication
+    def kill_replica(self, replica: int, shard_id: Optional[int] = None) -> None:
+        """Simulate a replica outage; requires a replicated deployment."""
+        raise SchemeError(
+            f"{self.scheme_name or type(self).__name__} deployment is not replicated"
+        )
+
+    def revive_replica(self, replica: int, shard_id: Optional[int] = None) -> None:
+        """Bring a killed replica back into the rotation."""
+        raise SchemeError(
+            f"{self.scheme_name or type(self).__name__} deployment is not replicated"
+        )
+
 
 # ---------------------------------------------------------------------- registry
 _REGISTRY: Dict[str, Type[AuthScheme]] = {}
@@ -432,6 +455,28 @@ class OutsourcedDB:
     def num_shards(self) -> int:
         """Number of shards in the deployment (1 = unsharded)."""
         return self._system.num_shards
+
+    @property
+    def num_replicas(self) -> int:
+        """Replicas per shard (1 = primary only, no standbys)."""
+        return self._system.num_replicas
+
+    @property
+    def current_epoch(self) -> int:
+        """The owner's current signed update epoch (0 before any update)."""
+        return self._system.current_epoch
+
+    def kill_replica(self, replica: int, shard_id: Optional[int] = None) -> None:
+        """Simulate a replica outage (replicated deployments only)."""
+        self._system.kill_replica(replica, shard_id=shard_id)
+
+    def revive_replica(self, replica: int, shard_id: Optional[int] = None) -> None:
+        """Bring a killed replica back into the rotation."""
+        self._system.revive_replica(replica, shard_id=shard_id)
+
+    def sp_replica(self, replica: int):
+        """The service-provider fleet serving replica ``replica``."""
+        return self._system.sp_replica(replica)
 
     # ------------------------------------------------------------------ lifecycle
     def setup(self) -> "OutsourcedDB":

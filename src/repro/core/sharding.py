@@ -48,14 +48,22 @@ class ShardedDeployment:
 
     ``num_shards == 1`` is the classic single-provider deployment; larger
     values range-partition the relation on the query attribute.
+    ``num_replicas`` backs every shard with that many identical service
+    providers (replica 0 is the primary, the rest are warm standbys kept
+    current by signed update batches).
     """
 
     num_shards: int = 1
+    num_replicas: int = 1
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
             raise ShardingError(
                 f"a deployment needs at least one shard, got {self.num_shards}"
+            )
+        if self.num_replicas < 1:
+            raise ShardingError(
+                f"a deployment needs at least one replica, got {self.num_replicas}"
             )
 
     @property
@@ -63,12 +71,23 @@ class ShardedDeployment:
         """Whether more than one shard is configured."""
         return self.num_shards > 1
 
+    @property
+    def is_replicated(self) -> bool:
+        """Whether each shard has at least one standby replica."""
+        return self.num_replicas > 1
+
     @classmethod
-    def coerce(cls, value: Union[int, "ShardedDeployment"]) -> "ShardedDeployment":
-        """Accept either a shard count or a ready-made deployment config."""
+    def coerce(
+        cls, value: Union[int, "ShardedDeployment"], num_replicas: int = 1
+    ) -> "ShardedDeployment":
+        """Accept either a shard count or a ready-made deployment config.
+
+        ``num_replicas`` applies only when coercing a bare shard count; a
+        ready-made config keeps its own replica setting.
+        """
         if isinstance(value, ShardedDeployment):
             return value
-        return cls(num_shards=int(value))
+        return cls(num_shards=int(value), num_replicas=int(num_replicas))
 
 
 class ShardRouter:
@@ -387,6 +406,15 @@ class ShardedFleet:
 
 class AttackableFleet(ShardedFleet):
     """A fleet whose shards may individually misbehave (service providers)."""
+
+    def receive_epoch_stamp(self, stamp) -> None:
+        """Broadcast the owner's signed update-epoch stamp to every shard."""
+        for shard in self._shards:
+            shard.receive_epoch_stamp(stamp)
+
+    def current_epoch_stamp(self):
+        """The stamp shard 0 would answer with (fleet-wide diagnostics)."""
+        return self._shards[0].current_stamp()
 
     @property
     def attack(self):

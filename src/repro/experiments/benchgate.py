@@ -50,6 +50,7 @@ BENCH_FILES = (
     "BENCH_network.json",
     "BENCH_storage_tier.json",
     "BENCH_profile.json",
+    "BENCH_replication.json",
 )
 
 #: Relative regression allowed on gated metrics before the gate fails.
@@ -544,6 +545,61 @@ def profile_gate_metrics(report: ProfileReport) -> List[GateMetric]:
     return metrics
 
 
+def _replication_metrics() -> List[GateMetric]:
+    """The replicated-fleet leg: failover under load, per scheme (gated).
+
+    Hard requirements (zero failed queries with a replica down, receipts
+    consistent, retries visible on merged receipts, stale replica rejected
+    as a freshness violation) raise inside :func:`run_replication`.  The
+    gated axes are deterministic: the standby is a deterministic rebuild of
+    its primary, so the cost model charges identical accesses whichever
+    replica serves, and the retried-leg count is fixed by the router's
+    round-robin cursor over the fixed operation sequence.
+    """
+    from repro.experiments.replication import run_replication
+
+    metrics: List[GateMetric] = []
+    for scheme in ("sae", "tom"):
+        point = run_replication(
+            scheme=scheme,
+            cardinality=1_500,
+            num_queries=30,
+            shards=2,
+            replicas=2,
+            record_size=128,
+        )
+        label = f"replication.{scheme}.s{point.shards}r{point.replicas}"
+        metrics.extend(
+            [
+                GateMetric(
+                    name=f"{label}.model_qps",
+                    value=round(point.model_qps, 6),
+                    unit="qps",
+                    gate=True,
+                ),
+                GateMetric(
+                    name=f"{label}.mean_sp_accesses",
+                    value=round(point.mean_sp_accesses, 4),
+                    unit="accesses",
+                    gate=True,
+                    higher_is_better=False,
+                ),
+                GateMetric(
+                    name=f"{label}.retried_legs",
+                    value=point.retried_legs,
+                    unit="legs",
+                    gate=True,
+                ),
+                GateMetric(
+                    name=f"{label}.wall_qps",
+                    value=round(point.wall_qps, 2),
+                    unit="qps",
+                ),
+            ]
+        )
+    return metrics
+
+
 def _profile_metrics() -> List[GateMetric]:
     """The wall-clock profiling leg, one report per scheme."""
     metrics: List[GateMetric] = []
@@ -573,6 +629,9 @@ def collect_current_metrics() -> Dict[str, dict]:
         ),
         "BENCH_profile.json": metrics_document(
             _profile_metrics(), meta={"suite": "profile", "scale": "quick"}
+        ),
+        "BENCH_replication.json": metrics_document(
+            _replication_metrics(), meta={"suite": "replication", "scale": "quick"}
         ),
     }
 

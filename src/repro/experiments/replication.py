@@ -1,0 +1,150 @@
+"""The replication bench leg: failover under load plus stale-replica detection.
+
+One point per scheme: a replicated sharded deployment (primary + warm
+standby per shard) is driven through the closed-loop load driver with a
+replica killed *before* the pass, so every query that would have landed on
+the dead replica transparently retries on its standby.  The hard
+requirements -- zero failed queries, every receipt verified and consistent
+with its shard legs, at least one retried leg visible on a merged receipt,
+and the stale-replica attack rejected as a *freshness* violation -- are
+raised as errors, not recorded as metrics.
+
+The gated metrics are deterministic: the cost-model qps and mean SP
+accesses come from the simulated-I/O receipts (a standby is a deterministic
+rebuild of its primary, so failing over does not change any charged cost),
+and the retried-leg count is fixed by the router's per-shard round-robin
+cursor over a fixed operation sequence.  Wall-clock qps is recorded for
+trend plots but never gated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import OutsourcedDB, StaleReplicaAttack
+from repro.core.updates import UpdateBatch
+from repro.experiments.scaling import model_response_ms
+from repro.experiments.throughput import run_load
+from repro.workloads import build_dataset
+from repro.workloads.queries import RangeQueryWorkload
+
+
+class ReplicationError(RuntimeError):
+    """A hard failure of the replication leg (not a gated metric)."""
+
+
+@dataclass(frozen=True)
+class ReplicationPoint:
+    """One scheme's replicated-deployment measurement."""
+
+    scheme: str
+    shards: int
+    replicas: int
+    num_queries: int
+    model_qps: float
+    mean_sp_accesses: float
+    retried_legs: int
+    wall_qps: float
+    failed_queries: int
+    all_verified: bool
+    receipts_consistent: bool
+    stale_detected: bool
+
+
+def run_replication(
+    scheme: str = "sae",
+    cardinality: int = 1_500,
+    num_queries: int = 30,
+    shards: int = 2,
+    replicas: int = 2,
+    record_size: int = 128,
+    key_bits: int = 512,
+    seed: int = 7,
+    num_clients: int = 4,
+) -> ReplicationPoint:
+    """Drive one replicated deployment through stale-check then failover load."""
+    dataset = build_dataset(cardinality, record_size=record_size, seed=seed)
+    workload = RangeQueryWorkload(
+        count=num_queries, seed=seed + 2, attribute=dataset.schema.key_column
+    )
+    bounds = [(query.low, query.high) for query in workload]
+    system = OutsourcedDB(
+        dataset,
+        scheme=scheme,
+        shards=shards,
+        replicas=replicas,
+        key_bits=key_bits,
+        seed=seed,
+    ).setup()
+    with system:
+        # 1. Stale-replica detection: capture the current state, advance the
+        # epoch with an idempotent modify, replay the capture from shard 0.
+        # The records are internally consistent with the captured old state,
+        # so only the signed epoch can (and must) reject them -- and the
+        # rejection must carry the distinct freshness flag.
+        stale = StaleReplicaAttack.capture(system)
+        record = dataset.records[0]
+        system.apply_updates(UpdateBatch().modify(tuple(record)))
+        # Attach to shard 0 of *every* replica: the router is free to route
+        # the probe's shard-0 leg to whichever replica its cursor points at.
+        for replica in range(replicas):
+            system.sp_replica(replica).set_shard_attack(0, stale)
+        # Probe the full key domain so the scatter is guaranteed to include
+        # a shard-0 leg (a narrow workload range can land on one shard).
+        keys = dataset.keys()
+        probe = system.query(min(keys), max(keys))
+        stale_detected = not probe.verified and bool(
+            probe.verification.details.get("freshness_violation")
+        )
+        for replica in range(replicas):
+            system.sp_replica(replica).set_shard_attack(0, None)
+        if not stale_detected:
+            raise ReplicationError(
+                f"{scheme}: a stale replica was not rejected as a freshness "
+                f"violation (verified={probe.verified}, "
+                f"reason={probe.verification.reason!r})"
+            )
+
+        # 2. Failover under load: kill shard 0's primary before the pass;
+        # every query must still verify, and the retries must be visible on
+        # the merged receipts' shard legs.
+        system.kill_replica(0, shard_id=0)
+        report = run_load(system, bounds, num_clients=num_clients, mode="per-query")
+        system.revive_replica(0, shard_id=0)
+
+    if report.failed_queries or not report.all_verified:
+        raise ReplicationError(
+            f"{scheme}: {report.failed_queries} queries failed verification "
+            f"with a replica down"
+        )
+    if not report.receipts_consistent:
+        raise ReplicationError(
+            f"{scheme}: merged receipts != sum of shard legs under failover"
+        )
+    retried = sum(
+        1
+        for outcome in report.outcomes
+        for leg in outcome.receipt.legs
+        if leg.failed_replicas
+    )
+    if not retried:
+        raise ReplicationError(
+            f"{scheme}: no retried shard leg appeared on any merged receipt "
+            f"although a replica was down"
+        )
+    outcomes = report.outcomes
+    mean_response = sum(model_response_ms(outcome) for outcome in outcomes) / len(outcomes)
+    return ReplicationPoint(
+        scheme=scheme,
+        shards=shards,
+        replicas=replicas,
+        num_queries=len(outcomes),
+        model_qps=1000.0 / mean_response if mean_response > 0 else 0.0,
+        mean_sp_accesses=report.total_sp_accesses / len(outcomes),
+        retried_legs=retried,
+        wall_qps=report.throughput_qps,
+        failed_queries=report.failed_queries,
+        all_verified=report.all_verified,
+        receipts_consistent=report.receipts_consistent,
+        stale_detected=stale_detected,
+    )

@@ -23,7 +23,11 @@ from repro.network.messages import (
     UpdateNotification,
 )
 from repro.network.channel import Channel, NetworkTracker
-from repro.network.client import RemoteSchemeClient, RemoteSchemeError
+from repro.network.client import (
+    RemoteFreshnessError,
+    RemoteSchemeClient,
+    RemoteSchemeError,
+)
 from repro.network.server import SchemeServer, ServerStats, ServerThread, run_server
 from repro.network.wire import RemoteQueryOutcome, WireError
 
@@ -37,6 +41,7 @@ __all__ = [
     "UpdateNotification",
     "Channel",
     "NetworkTracker",
+    "RemoteFreshnessError",
     "RemoteSchemeClient",
     "RemoteSchemeError",
     "RemoteQueryOutcome",

@@ -38,6 +38,23 @@ class RemoteSchemeError(RuntimeError):
         self.message = message
 
 
+class RemoteFreshnessError(RemoteSchemeError):
+    """The server refused a request because its epoch is below ``min_epoch``.
+
+    Raised for ``FRESHNESS`` frames: the served deployment is a replica that
+    has not yet applied the updates the caller has witnessed.  Distinct from
+    :class:`RemoteSchemeError` so callers can retry against a fresher
+    replica (or wait for replication to catch up) instead of treating the
+    refusal as a hard failure.  ``epoch`` is the server's current update
+    epoch; ``min_epoch`` is the floor the request demanded.
+    """
+
+    def __init__(self, error: str, message: str, epoch: int, min_epoch: int):
+        super().__init__(error, message)
+        self.epoch = epoch
+        self.min_epoch = min_epoch
+
+
 class _Connection:
     """One pooled TCP connection (a single request/response at a time)."""
 
@@ -164,6 +181,13 @@ class RemoteSchemeClient:
                 await self._discard(connection)  # a broken stream must not be reused
                 raise
             await self._release(connection)
+        if response_kind == wire.FRAME_FRESHNESS:
+            raise RemoteFreshnessError(
+                response.get("error", "FreshnessViolation"),
+                response.get("message", ""),
+                epoch=int(response.get("epoch", 0)),
+                min_epoch=int(response.get("min_epoch", 0)),
+            )
         if response_kind == wire.FRAME_ERROR:
             raise RemoteSchemeError(response.get("error", ""), response.get("message", ""))
         if response_kind != expect:
@@ -178,33 +202,45 @@ class RemoteSchemeClient:
         response = await self._request(wire.FRAME_PING, None, wire.FRAME_OK)
         return str(response.get("scheme", ""))
 
-    async def query(self, low: Any, high: Any, verify: bool = True) -> RemoteQueryOutcome:
-        """Issue one verified range query over the wire."""
-        response = await self._request(
-            wire.FRAME_QUERY,
-            {"low": low, "high": high, "verify": verify},
-            wire.FRAME_OUTCOME,
-        )
+    async def server_epoch(self) -> int:
+        """The served deployment's current update epoch (via ``PING``)."""
+        response = await self._request(wire.FRAME_PING, None, wire.FRAME_OK)
+        return int(response.get("epoch", 0))
+
+    async def query(
+        self, low: Any, high: Any, verify: bool = True, min_epoch: int = 0
+    ) -> RemoteQueryOutcome:
+        """Issue one verified range query over the wire.
+
+        A nonzero ``min_epoch`` demands the server have applied at least
+        that many update batches; a staler replica raises
+        :class:`RemoteFreshnessError` instead of answering.
+        """
+        payload = {"low": low, "high": high, "verify": verify}
+        if min_epoch:
+            payload["min_epoch"] = min_epoch
+        response = await self._request(wire.FRAME_QUERY, payload, wire.FRAME_OUTCOME)
         return wire.outcome_from_wire(response)
 
     async def query_many(
-        self, bounds: Sequence[Tuple[Any, Any]], verify: bool = True
+        self,
+        bounds: Sequence[Tuple[Any, Any]],
+        verify: bool = True,
+        min_epoch: int = 0,
     ) -> List[RemoteQueryOutcome]:
         """Issue a batch of range queries; one outcome per query, in order."""
-        response = await self._request(
-            wire.FRAME_QUERY_MANY,
-            {"bounds": [list(pair) for pair in bounds], "verify": verify},
-            wire.FRAME_OUTCOMES,
-        )
+        payload = {"bounds": [list(pair) for pair in bounds], "verify": verify}
+        if min_epoch:
+            payload["min_epoch"] = min_epoch
+        response = await self._request(wire.FRAME_QUERY_MANY, payload, wire.FRAME_OUTCOMES)
         return [wire.outcome_from_wire(payload) for payload in response]
 
-    async def apply_updates(self, batch: UpdateBatch) -> int:
+    async def apply_updates(self, batch: UpdateBatch, min_epoch: int = 0) -> int:
         """Ship an update batch; returns the number of operations applied."""
-        response = await self._request(
-            wire.FRAME_UPDATE,
-            {"operations": wire.update_batch_to_wire(batch)},
-            wire.FRAME_OK,
-        )
+        payload = {"operations": wire.update_batch_to_wire(batch)}
+        if min_epoch:
+            payload["min_epoch"] = min_epoch
+        response = await self._request(wire.FRAME_UPDATE, payload, wire.FRAME_OK)
         return int(response.get("applied", 0))
 
     async def storage_report(self) -> Dict[str, int]:

@@ -161,11 +161,40 @@ class SchemeServer:
                 {"error": type(exc).__name__, "message": str(exc)},
             )
 
+    def _current_epoch(self) -> int:
+        """The served deployment's update epoch (0 for pre-epoch schemes)."""
+        return int(getattr(self._db, "current_epoch", 0) or 0)
+
+    def _freshness_refusal(self, min_epoch: int) -> bytes:
+        """The ``FRESHNESS`` frame refusing a request with an unmet epoch floor."""
+        epoch = self._current_epoch()
+        return wire.encode_frame(
+            wire.FRAME_FRESHNESS,
+            {
+                "error": "FreshnessViolation",
+                "message": (
+                    f"deployment is at update epoch {epoch}, below the "
+                    f"requested floor {min_epoch}"
+                ),
+                "epoch": epoch,
+                "min_epoch": min_epoch,
+            },
+        )
+
     async def _dispatch(self, kind: int, payload: Any) -> bytes:
         loop = asyncio.get_running_loop()
         scheme = self.scheme_name
         if kind == wire.FRAME_PING:
-            return wire.encode_frame(wire.FRAME_OK, {"scheme": scheme})
+            return wire.encode_frame(
+                wire.FRAME_OK, {"scheme": scheme, "epoch": self._current_epoch()}
+            )
+        # A client that has witnessed epoch N (e.g. from its own update's OK
+        # frame) can refuse to be served by a staler replica: ``min_epoch``
+        # is checked before any scheme work happens.
+        if kind in (wire.FRAME_QUERY, wire.FRAME_QUERY_MANY, wire.FRAME_UPDATE):
+            min_epoch = int(payload.get("min_epoch", 0) or 0)
+            if min_epoch > self._current_epoch():
+                return self._freshness_refusal(min_epoch)
         # The response encode runs on the executor too: serializing a wide
         # result on the event loop would stall every other connection.
         if kind == wire.FRAME_QUERY:
@@ -198,7 +227,10 @@ class SchemeServer:
         if kind == wire.FRAME_UPDATE:
             batch = wire.update_batch_from_wire(payload["operations"])
             await loop.run_in_executor(None, lambda: self._db.apply_updates(batch))
-            return wire.encode_frame(wire.FRAME_OK, {"applied": len(batch.operations)})
+            return wire.encode_frame(
+                wire.FRAME_OK,
+                {"applied": len(batch.operations), "epoch": self._current_epoch()},
+            )
         if kind == wire.FRAME_STORAGE_REPORT:
             report = await loop.run_in_executor(None, self._db.storage_report)
             return wire.encode_frame(wire.FRAME_REPORT, dict(report))

@@ -186,6 +186,11 @@ FRAME_OUTCOME = 0x11
 FRAME_OUTCOMES = 0x12
 FRAME_OK = 0x13
 FRAME_REPORT = 0x14
+#: The server's deployment is older than the client's ``min_epoch`` floor --
+#: a *freshness* refusal (distinct from the generic ``ERROR`` frame so that
+#: callers can retry against a fresher replica instead of failing the query).
+#: Payload: ``{"error", "message", "epoch", "min_epoch"}``.
+FRAME_FRESHNESS = 0x1E
 FRAME_ERROR = 0x1F
 
 
@@ -294,17 +299,25 @@ def receipt_to_wire(receipt: QueryReceipt) -> Dict[str, Any]:
         "result_bytes": receipt.result_bytes,
         "client_cpu_ms": receipt.client_cpu_ms,
         "bytes_by_channel": dict(receipt.bytes_by_channel),
-        "legs": [
-            {
-                "shard": leg.shard,
-                "sp": _cost_to_wire(leg.sp),
-                "te": _cost_to_wire(leg.te),
-                "auth_bytes": leg.auth_bytes,
-                "result_bytes": leg.result_bytes,
-            }
-            for leg in receipt.legs
-        ],
+        "legs": [_leg_to_wire(leg) for leg in receipt.legs],
     }
+
+
+def _leg_to_wire(leg: ShardLegReceipt) -> Dict[str, Any]:
+    payload = {
+        "shard": leg.shard,
+        "sp": _cost_to_wire(leg.sp),
+        "te": _cost_to_wire(leg.te),
+        "auth_bytes": leg.auth_bytes,
+        "result_bytes": leg.result_bytes,
+    }
+    # Replication fields are omitted for the common case (primary served,
+    # nothing failed over) so unreplicated frames keep their historical size.
+    if leg.replica:
+        payload["replica"] = leg.replica
+    if leg.failed_replicas:
+        payload["failed"] = list(leg.failed_replicas)
+    return payload
 
 
 def receipt_from_wire(payload: Dict[str, Any]) -> QueryReceipt:
@@ -324,6 +337,8 @@ def receipt_from_wire(payload: Dict[str, Any]) -> QueryReceipt:
                 te=_cost_from_wire(leg["te"]),
                 auth_bytes=int(leg["auth_bytes"]),
                 result_bytes=int(leg["result_bytes"]),
+                replica=int(leg.get("replica", 0)),
+                failed_replicas=tuple(int(r) for r in leg.get("failed", ())),
             )
             for leg in payload["legs"]
         ),
@@ -347,6 +362,10 @@ class RemoteQueryOutcome:
     reason: str
     scheme: str
     receipt: Optional[QueryReceipt]
+    #: Whether the rejection was a *freshness* violation (a replica answering
+    #: from an old signed epoch) rather than tampering; always ``False`` for
+    #: verified outcomes.
+    freshness_violation: bool = False
 
     @property
     def cardinality(self) -> int:
@@ -397,13 +416,19 @@ class RemoteQueryOutcome:
 def outcome_to_wire(outcome: Any, scheme: str = "") -> Dict[str, Any]:
     """Serialize an in-process query outcome for the wire."""
     receipt = outcome.receipt
-    return {
+    verification = outcome.verification
+    payload = {
         "records": [list(record) for record in outcome.records],
         "verified": bool(outcome.verified),
-        "reason": str(getattr(outcome.verification, "reason", "")),
+        "reason": str(getattr(verification, "reason", "")),
         "scheme": scheme,
         "receipt": receipt_to_wire(receipt) if receipt is not None else None,
     }
+    # Omitted unless set, so honest-path frames keep their historical size.
+    details = getattr(verification, "details", None) or {}
+    if details.get("freshness_violation"):
+        payload["freshness"] = True
+    return payload
 
 
 def outcome_from_wire(payload: Dict[str, Any]) -> RemoteQueryOutcome:
@@ -415,6 +440,7 @@ def outcome_from_wire(payload: Dict[str, Any]) -> RemoteQueryOutcome:
         reason=str(payload["reason"]),
         scheme=str(payload.get("scheme", "")),
         receipt=receipt_from_wire(receipt_payload) if receipt_payload is not None else None,
+        freshness_violation=bool(payload.get("freshness", False)),
     )
 
 

@@ -20,6 +20,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.attacks import AttackModel, NoAttack
 from repro.core.dataset import Dataset
+from repro.core.epoch import EpochAuthority, EpochStamp, classify_epoch
 from repro.core.pipeline import CostReceipt, ExecutionContext, ZERO_RECEIPT, deprecated_accessor
 from repro.core.sharding import AttackableFleet, partition_dataset
 from repro.core.tuples import digest_record
@@ -60,6 +61,7 @@ class TomDataOwner:
         seed: Optional[int] = 2009,
         network: Optional[NetworkTracker] = None,
         name: str = "DO",
+        start_epoch: int = 0,
     ):
         self._dataset = dataset
         self._scheme = scheme or default_scheme()
@@ -70,6 +72,12 @@ class TomDataOwner:
         self._network = network or NetworkTracker()
         self._name = name
         self._provider: Optional["TomServiceProvider"] = None
+        # The epoch stamps reuse the owner's root-signing key; the digest is
+        # domain-separated (see repro.core.epoch.epoch_digest), so an epoch
+        # signature can never be confused with a root signature.  Epoch
+        # digests always use the default scheme (on both the signing and the
+        # checking side), independent of the deployment's record scheme.
+        self._epochs = EpochAuthority(self._signer, self._verifier, start_epoch=start_epoch)
 
     @property
     def dataset(self) -> Dataset:
@@ -91,6 +99,21 @@ class TomDataOwner:
         """Byte-accounting network tracker."""
         return self._network
 
+    @property
+    def epoch(self) -> int:
+        """The current signed update epoch (0 until the first update batch)."""
+        return self._epochs.current
+
+    @property
+    def epoch_verifier(self) -> RSAVerifier:
+        """The public verifier clients use to check epoch stamps."""
+        return self._epochs.verifier
+
+    @property
+    def epoch_stamp(self) -> EpochStamp:
+        """The signed stamp for the current epoch."""
+        return self._epochs.stamp()
+
     def outsource(self, provider: "TomProvider") -> None:
         """Ship the dataset and the signed root digest(s) to the SP.
 
@@ -105,6 +128,7 @@ class TomDataOwner:
         self._network.channel(self._name, "SP").send(transfer)
         provider.receive_dataset(self._dataset)
         self._sign_slices(provider)
+        provider.receive_epoch_stamp(self._epochs.stamp())
         self._provider = provider
 
     def _sign_slices(self, provider: "TomProvider", shard_ids: Optional[Sequence[int]] = None) -> None:
@@ -120,7 +144,10 @@ class TomDataOwner:
 
         No dataset transfer and **no re-signing** happens: the restored ADS
         slices carry the signatures this owner produced before the snapshot.
+        The epoch stamp *is* re-issued (snapshots persist the epoch number,
+        not the stamp object) so the restored SP can prove its freshness.
         """
+        provider.receive_epoch_stamp(self._epochs.stamp())
         self._provider = provider
 
     def apply_updates(self, batch: UpdateBatch) -> None:
@@ -139,6 +166,7 @@ class TomDataOwner:
         self._network.channel(self._name, "SP").send(UpdateNotification(operations=list(batch)))
         touched = self._provider.apply_updates(batch)
         self._sign_slices(self._provider, touched)
+        self._provider.receive_epoch_stamp(self._epochs.advance())
 
 
 class TomServiceProvider:
@@ -177,6 +205,7 @@ class TomServiceProvider:
         self._table: Optional[Table] = None
         self._ads: Optional[MBTree] = None
         self._last_receipt: CostReceipt = ZERO_RECEIPT
+        self._epoch_stamp: Optional[EpochStamp] = None
 
     # ------------------------------------------------------------------ configuration
     @property
@@ -250,6 +279,15 @@ class TomServiceProvider:
     def ads_slices(self) -> List[MBTree]:
         """The ADS slice list (a single MB-tree for the unsharded provider)."""
         return [self.ads]
+
+    def receive_epoch_stamp(self, stamp: EpochStamp) -> None:
+        """Adopt the owner-signed update-epoch stamp for the current state."""
+        self._epoch_stamp = stamp
+
+    def current_stamp(self) -> Optional[EpochStamp]:
+        """The epoch stamp returned with answers (attack may override it)."""
+        override = getattr(self._attack, "epoch_stamp", None)
+        return override if override is not None else self._epoch_stamp
 
     def apply_updates(self, batch: UpdateBatch) -> List[int]:
         """Apply an update batch; returns the ids of the touched ADS slices."""
@@ -466,9 +504,26 @@ class TomClient:
         records: List[Tuple[Any, ...]],
         vo: VerificationObject,
         query: RangeQuery,
+        epoch_stamp: Optional[EpochStamp] = None,
+        expected_epoch: Optional[int] = None,
+        epoch_verifier=None,
     ) -> VerificationReport:
-        """Verify the result set against its VO and the owner's signature."""
+        """Verify the result set against its VO and the owner's signature.
+
+        When ``expected_epoch`` and ``epoch_verifier`` are given, the SP's
+        signed update-epoch stamp is checked *before* the VO: a stale replica
+        serves a VO whose root signature is genuinely valid for the old
+        state, so only the stamp can expose it.  The failure is reported
+        with ``details["freshness_violation"]`` set, distinct from tampering.
+        """
         started = time.perf_counter()
+        if expected_epoch is not None and epoch_verifier is not None:
+            verdict = classify_epoch(epoch_stamp, expected_epoch, epoch_verifier)
+            if not verdict.ok:
+                report = VerificationReport(ok=False, reason=verdict.reason)
+                report.details.update(verdict.details())
+                report.details["cpu_ms"] = (time.perf_counter() - started) * 1000.0
+                return report
         report = verify_vo(
             vo,
             records,
@@ -508,6 +563,7 @@ class ShardedTomServiceProvider(AttackableFleet):
         attack: Optional[AttackModel] = None,
         index_fill_factor: float = 1.0,
         storage: Optional[StorageConfig] = None,
+        component_prefix: str = "tom-sp",
     ):
         self._scheme = scheme or default_scheme()
         self._init_fleet(
@@ -519,7 +575,7 @@ class ShardedTomServiceProvider(AttackableFleet):
                 attack=None,
                 index_fill_factor=index_fill_factor,
                 storage=storage,
-                component=f"tom-sp{shard_id}",
+                component=f"{component_prefix}{shard_id}",
             ),
         )
         if attack is not None:

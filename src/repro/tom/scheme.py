@@ -51,6 +51,7 @@ from repro.core.scheme import (
     register_scheme,
     write_snapshot_state,
 )
+from repro.core.replication import ReplicaDownError, ReplicaRouter
 from repro.core.sharding import ShardedDeployment
 from repro.core.updates import UpdateBatch
 from repro.crypto.digest import DigestScheme, RecordMemo, default_scheme, get_scheme
@@ -148,21 +149,30 @@ class TomScheme(AuthScheme):
         index_fill_factor: float = 1.0,
         max_workers: Optional[int] = None,
         shards: Union[int, ShardedDeployment] = 1,
+        replicas: int = 1,
         storage: Union[str, StorageConfig] = "memory",
         data_dir: Optional[str] = None,
         pool_pages: int = 128,
         signer=None,
         verifier=None,
+        start_epoch: int = 0,
     ):
         self._scheme = scheme or default_scheme()
         self._network = NetworkTracker()
         self._dataset = dataset
-        self._deployment = ShardedDeployment.coerce(shards)
+        self._deployment = ShardedDeployment.coerce(shards, num_replicas=replicas)
         self._storage = StorageConfig.coerce(storage, data_dir, pool_pages)
         self._page_size = page_size
         self._node_access_ms = node_access_ms
         self._index_fill_factor = index_fill_factor
-        if self._deployment.is_sharded:
+        # A replicated-but-unsharded deployment still runs fleets (of one
+        # shard each) so the failover bookkeeping rides on leg receipts.
+        self._uses_fleet = (
+            self._deployment.is_sharded or self._deployment.is_replicated
+        )
+        self._replica_router: Optional[ReplicaRouter] = None
+        self._sp_replicas: List[ShardedTomServiceProvider] = []
+        if self._uses_fleet:
             self.provider: Union[TomServiceProvider, ShardedTomServiceProvider] = (
                 ShardedTomServiceProvider(
                     self._deployment.num_shards,
@@ -173,6 +183,23 @@ class TomScheme(AuthScheme):
                     index_fill_factor=index_fill_factor,
                     storage=self._storage,
                 )
+            )
+            self._sp_replicas = [self.provider]
+            for replica in range(1, self._deployment.num_replicas):
+                self._sp_replicas.append(
+                    ShardedTomServiceProvider(
+                        self._deployment.num_shards,
+                        scheme=self._scheme,
+                        page_size=page_size,
+                        node_access_ms=node_access_ms,
+                        attack=None,
+                        index_fill_factor=index_fill_factor,
+                        storage=self._storage,
+                        component_prefix=f"tom-r{replica}-sp",
+                    )
+                )
+            self._replica_router = ReplicaRouter(
+                self._deployment.num_shards, self._deployment.num_replicas
             )
         else:
             self.provider = TomServiceProvider(
@@ -194,6 +221,7 @@ class TomScheme(AuthScheme):
             key_bits=key_bits,
             seed=seed,
             network=self._network,
+            start_epoch=start_epoch,
         )
         # Cross-query memo over record encodings and digests, shared between
         # the SP legs (payload sizing) and the client's VO reconstruction.
@@ -202,6 +230,10 @@ class TomScheme(AuthScheme):
         # signature(s); the cached verifier skips the repeated RSA modular
         # exponentiation and is invalidated on every batch.
         self._root_verifier = CachedVerifier(self.owner.verifier)
+        # Epoch stamps repeat across queries; unlike root signatures they
+        # stay valid across update batches (an old stamp is still validly
+        # signed -- just stale), so this cache is never invalidated.
+        self._epoch_verifier = CachedVerifier(self.owner.epoch_verifier)
         self.client = TomClient(
             verifier=self._root_verifier,
             key_index=dataset.schema.key_index,
@@ -216,11 +248,31 @@ class TomScheme(AuthScheme):
 
     # ------------------------------------------------------------------ lifecycle
     def setup(self) -> "TomScheme":
-        """Run the outsourcing phase (build ADS, sign root(s), ship everything)."""
+        """Run the outsourcing phase (build ADS, sign root(s), ship everything).
+
+        Warm standbys receive the same dataset (the ADS build is
+        deterministic, so every replica's MB-tree roots equal the primary's)
+        plus copies of the primary's root signatures and the owner's current
+        epoch stamp -- the in-process equivalent of snapshot shipping.
+        """
         with self._state_lock.write_locked():
             self.owner.outsource(self.provider)
+            for standby in self._sp_replicas[1:]:
+                standby.receive_dataset(self._dataset)
+                self._copy_slice_signatures(standby)
+                standby.receive_epoch_stamp(self.owner.epoch_stamp)
             self._ready = True
         return self
+
+    def _copy_slice_signatures(
+        self, standby: ShardedTomServiceProvider, shard_ids: Optional[Sequence[int]] = None
+    ) -> None:
+        """Adopt the primary's root signatures on a standby's identical slices."""
+        primary_slices = self.provider.ads_slices()
+        standby_slices = standby.ads_slices()
+        targets = range(len(primary_slices)) if shard_ids is None else shard_ids
+        for shard_id in targets:
+            standby_slices[shard_id].signature = primary_slices[shard_id].signature
 
     @property
     def network(self) -> NetworkTracker:
@@ -248,6 +300,43 @@ class TomScheme(AuthScheme):
         return self._deployment.num_shards
 
     @property
+    def num_replicas(self) -> int:
+        """SP replicas per shard (1 = unreplicated)."""
+        return self._deployment.num_replicas
+
+    @property
+    def current_epoch(self) -> int:
+        """The owner's current signed update epoch."""
+        return self.owner.epoch
+
+    def sp_replica(self, replica: int) -> ShardedTomServiceProvider:
+        """The SP fleet serving as replica ``replica`` (0 = primary)."""
+        if not self._sp_replicas:
+            raise SchemeError("this deployment does not run an SP fleet")
+        return self._sp_replicas[replica]
+
+    def kill_replica(self, replica: int, shard_id: Optional[int] = None) -> None:
+        """Take a replica out of service (all shards, or one shard's copy)."""
+        self._require_replication()
+        for shard in self._router_shards(shard_id):
+            self._replica_router.kill(shard, replica)
+
+    def revive_replica(self, replica: int, shard_id: Optional[int] = None) -> None:
+        """Return a killed replica to service."""
+        self._require_replication()
+        for shard in self._router_shards(shard_id):
+            self._replica_router.revive(shard, replica)
+
+    def _require_replication(self) -> None:
+        if self._replica_router is None or self._deployment.num_replicas < 2:
+            raise SchemeError(
+                "kill/revive need a replicated deployment (replicas >= 2)"
+            )
+
+    def _router_shards(self, shard_id: Optional[int]) -> Sequence[int]:
+        return range(self.num_shards) if shard_id is None else (shard_id,)
+
+    @property
     def deployment(self) -> ShardedDeployment:
         """The deployment configuration."""
         return self._deployment
@@ -273,6 +362,11 @@ class TomScheme(AuthScheme):
             raise SchemeError(
                 "snapshot() requires storage='paged' with a data_dir"
             )
+        if self._deployment.is_replicated:
+            raise SchemeError(
+                "snapshot() snapshots a single (primary) deployment; standbys "
+                "are seeded from the primary's snapshot via serve --replica-of"
+            )
         with self._state_lock.write_locked():
             self.provider.flush_storage()
             state = {
@@ -285,6 +379,7 @@ class TomScheme(AuthScheme):
                     "digest": self._scheme.name,
                 },
                 "dataset": self._dataset,
+                "epoch": self.owner.epoch,
                 "keys": (self.owner.signer, self.owner.verifier),
                 "provider": self.provider.snapshot_state(),
             }
@@ -304,6 +399,8 @@ class TomScheme(AuthScheme):
                     self.snapshot()
                 except SchemeError:
                     pass  # nothing snapshotable
+            for standby in self._sp_replicas[1:]:
+                standby.close_storage()
             self.provider.close_storage()
         super().close()
 
@@ -346,6 +443,8 @@ class TomScheme(AuthScheme):
             # injecting it skips an entire wasted RSA key generation.
             signer=signer,
             verifier=verifier,
+            # Pre-epoch snapshots carry no epoch entry: restore at epoch 0.
+            start_epoch=state.get("epoch", 0),
         )
         system.provider.restore_state(state["provider"], dataset)
         system.owner.adopt(system.provider)
@@ -362,6 +461,10 @@ class TomScheme(AuthScheme):
         self._ensure_open()
         with self._state_lock.write_locked():
             self.owner.apply_updates(batch)
+            for standby in self._sp_replicas[1:]:
+                touched = standby.apply_updates(batch)
+                self._copy_slice_signatures(standby, touched)
+                standby.receive_epoch_stamp(self.owner.epoch_stamp)
             # The batch re-signed the touched roots: start a new verification
             # epoch so stale (root, signature) pairs cannot be served cached.
             self._root_verifier.invalidate()
@@ -390,6 +493,7 @@ class TomScheme(AuthScheme):
         request = QueryRequest(query=query)
         self._network.channel("client", "SP").send(request, session=ctx)
         records, vo = self.provider.execute(query, ctx)
+        ctx.epoch_stamp = self.provider.current_stamp()
         hint = self._size_result(records, ctx)
         result_message = ResultResponse(records=records, payload_size_hint=hint)
         vo_message = VOResponse(vo=vo)
@@ -410,11 +514,37 @@ class TomScheme(AuthScheme):
     def _serve_sp_leg(
         self, shard_id: int, query: RangeQuery, ctx: ExecutionContext
     ) -> Tuple[List[Tuple[Any, ...]], VerificationObject, ResultResponse, VOResponse]:
-        """One shard's SP leg of a scattered query."""
+        """One shard's SP leg of a scattered query, with replica failover.
+
+        Dead replicas in the shard's rotation fail fast and are recorded on
+        ``ctx.failed_replicas``; the serving replica's epoch stamp rides on
+        ``ctx.epoch_stamp`` for the client's freshness check.
+        """
         party = f"SP{shard_id}"
         request = QueryRequest(query=query)
         self._network.channel("client", party).send(request, session=ctx)
-        records, vo = self.provider.execute_shard(shard_id, query, ctx)
+        router = self._replica_router
+        served = None
+        failed: List[int] = []
+        for replica in router.attempt_order(shard_id):
+            if router.is_down(shard_id, replica):
+                failed.append(replica)
+                continue
+            fleet = self._sp_replicas[replica]
+            try:
+                served = fleet.execute_shard(shard_id, query, ctx)
+            except ReplicaDownError:
+                failed.append(replica)
+                continue
+            ctx.replica = replica
+            ctx.failed_replicas = tuple(failed)
+            ctx.epoch_stamp = fleet.shard(shard_id).current_stamp()
+            break
+        if served is None:
+            raise ReplicaDownError(
+                f"every replica of shard {shard_id} is down: {failed}"
+            )
+        records, vo = served
         hint = self._size_result(records, ctx)
         result_message = ResultResponse(records=records, payload_size_hint=hint)
         vo_message = VOResponse(vo=vo)
@@ -507,12 +637,15 @@ class TomScheme(AuthScheme):
         leg_contexts: Sequence[ExecutionContext],
         leg_results: Sequence[Tuple],
         verify: bool,
+        expected_epoch: Optional[int] = None,
     ) -> TomQueryOutcome:
         """Merge shard legs into one outcome: charges are the leg sums.
 
         Every leg's (result, VO) pair is verified on its own against the
-        leg's shard signature, so the merged report pinpoints exactly which
-        shard(s) tampered (``report.details["shards"]``).
+        leg's shard signature -- after the leg's epoch stamp passes the
+        freshness check -- so the merged report pinpoints exactly which
+        shard(s) tampered or served stale state
+        (``report.details["shards"]``).
         """
         records: List[Tuple[Any, ...]] = []
         leg_receipts: List[ShardLegReceipt] = []
@@ -529,6 +662,8 @@ class TomScheme(AuthScheme):
                     te=ZERO_RECEIPT,
                     auth_bytes=vo_message.payload_bytes(),
                     result_bytes=result_message.payload_bytes(),
+                    replica=leg_ctx.replica,
+                    failed_replicas=leg_ctx.failed_replicas,
                 )
             )
             for channel_name, nbytes in leg_ctx.bytes_by_channel.items():
@@ -538,12 +673,25 @@ class TomScheme(AuthScheme):
             leg_reports: Dict[int, VerificationReport] = {}
             client_cpu_ms = 0.0
             rejected: List[int] = []
-            for shard_id, (leg_records, vo, _, _) in zip(shard_ids, leg_results):
-                leg_report = self.client.verify(leg_records, vo, query)
+            freshness = False
+            for shard_id, leg_ctx, (leg_records, vo, _, _) in zip(
+                shard_ids, leg_contexts, leg_results
+            ):
+                leg_report = self.client.verify(
+                    leg_records,
+                    vo,
+                    query,
+                    epoch_stamp=leg_ctx.epoch_stamp,
+                    expected_epoch=expected_epoch,
+                    epoch_verifier=self._epoch_verifier,
+                )
                 leg_reports[shard_id] = leg_report
                 client_cpu_ms += leg_report.details.get("cpu_ms", 0.0)
                 if not leg_report.ok:
                     rejected.append(shard_id)
+                    freshness = freshness or bool(
+                        leg_report.details.get("freshness_violation")
+                    )
             if rejected:
                 reason = (
                     f"shard(s) {', '.join(str(s) for s in sorted(rejected))} rejected: "
@@ -551,13 +699,16 @@ class TomScheme(AuthScheme):
                 )
             else:
                 reason = "verified"
+            details: dict = {"shards": leg_reports, "cpu_ms": client_cpu_ms}
+            if freshness:
+                details["freshness_violation"] = True
             report = VerificationReport(
                 ok=not rejected,
                 reason=reason,
                 records_hashed=sum(r.records_hashed for r in leg_reports.values()),
                 digests_supplied=sum(r.digests_supplied for r in leg_reports.values()),
                 boundaries=sum(r.boundaries for r in leg_reports.values()),
-                details={"shards": leg_reports, "cpu_ms": client_cpu_ms},
+                details=details,
             )
         else:
             report = skipped_report()
@@ -607,9 +758,10 @@ class TomScheme(AuthScheme):
             return self._empty_outcome(low, high, verify)
         query = RangeQuery(low=low, high=high, attribute=self._dataset.schema.key_column)
         ctx = ExecutionContext(query=query)
-        if self._deployment.is_sharded:
+        if self._uses_fleet:
             pool = self._pool()
             with self._state_lock.read_locked():
+                expected_epoch = self.owner.epoch
                 shard_ids = self.provider.shards_for(query)
                 leg_contexts = [ExecutionContext(query=query) for _ in shard_ids]
                 futures = [
@@ -618,11 +770,24 @@ class TomScheme(AuthScheme):
                 ]
                 leg_results = [future.result() for future in futures]
             return self._assemble_sharded(
-                query, ctx, shard_ids, leg_contexts, leg_results, verify
+                query, ctx, shard_ids, leg_contexts, leg_results, verify,
+                expected_epoch=expected_epoch,
             )
         with self._state_lock.read_locked():
+            expected_epoch = self.owner.epoch
             records, vo, result_message, vo_message = self._serve_sp(query, ctx)
-        report = self.client.verify(records, vo, query) if verify else skipped_report()
+        report = (
+            self.client.verify(
+                records,
+                vo,
+                query,
+                epoch_stamp=ctx.epoch_stamp,
+                expected_epoch=expected_epoch,
+                epoch_verifier=self._epoch_verifier,
+            )
+            if verify
+            else skipped_report()
+        )
         return self._assemble(query, ctx, records, vo, result_message, vo_message, report)
 
     def query_many(
@@ -652,7 +817,7 @@ class TomScheme(AuthScheme):
         attribute = self._dataset.schema.key_column
         queries = [RangeQuery(low=low, high=high, attribute=attribute) for low, high in bounds]
         contexts = [ExecutionContext(query=query) for query in queries]
-        if self._deployment.is_sharded:
+        if self._uses_fleet:
             return self._query_many_sharded(queries, contexts, verify)
         pool = self._pool()
         num_chunks = max(1, min(len(queries), self._num_workers))
@@ -662,6 +827,7 @@ class TomScheme(AuthScheme):
             for start in range(0, len(queries), chunk_size)
         ]
         with self._state_lock.read_locked():
+            expected_epoch = self.owner.epoch
             futures = [
                 pool.submit(self._serve_sp_chunk, queries[piece], contexts[piece])
                 for piece in slices
@@ -673,7 +839,18 @@ class TomScheme(AuthScheme):
         for query, ctx, (records, vo, result_message, vo_message) in zip(
             queries, contexts, sp_results
         ):
-            report = self.client.verify(records, vo, query) if verify else skipped_report()
+            report = (
+                self.client.verify(
+                    records,
+                    vo,
+                    query,
+                    epoch_stamp=ctx.epoch_stamp,
+                    expected_epoch=expected_epoch,
+                    epoch_verifier=self._epoch_verifier,
+                )
+                if verify
+                else skipped_report()
+            )
             outcomes.append(
                 self._assemble(query, ctx, records, vo, result_message, vo_message, report)
             )
@@ -688,6 +865,7 @@ class TomScheme(AuthScheme):
         """Batched scatter-gather: shard legs chunked across the pool."""
         pool = self._pool()
         with self._state_lock.read_locked():
+            expected_epoch = self.owner.epoch
             shard_ids_per_query = [self.provider.shards_for(query) for query in queries]
             legs = [
                 (position, shard_id)
@@ -726,6 +904,7 @@ class TomScheme(AuthScheme):
                     [leg_contexts[(position, shard_id)] for shard_id in shard_ids],
                     [leg_map[(position, shard_id)] for shard_id in shard_ids],
                     verify,
+                    expected_epoch=expected_epoch,
                 )
             )
         return outcomes

@@ -14,7 +14,12 @@ import pytest
 
 from repro.core import OutsourcedDB, UpdateBatch
 from repro.experiments.throughput import run_load
-from repro.network.client import RemoteSchemeClient, RemoteSchemeError
+from repro.network import wire
+from repro.network.client import (
+    RemoteFreshnessError,
+    RemoteSchemeClient,
+    RemoteSchemeError,
+)
 from repro.network.server import ServerThread
 from repro.workloads import build_dataset
 from repro.workloads.queries import RangeQueryWorkload
@@ -157,6 +162,78 @@ class TestServedUpdates:
             with ServerThread(db) as server:
                 remote = _roundtrip(server, lambda client: client.storage_report())
         assert remote == local
+
+
+class TestFreshnessOverTheWire:
+    def test_ping_reports_the_update_epoch(self, dataset):
+        record = tuple(dataset.records[0])
+        with _deploy(dataset, "sae") as db:
+            with ServerThread(db) as server:
+
+                async def epochs(client):
+                    before = await client.server_epoch()
+                    await client.apply_updates(UpdateBatch().modify(record))
+                    return before, await client.server_epoch()
+
+                before, after = _roundtrip(server, epochs)
+        assert before == 0
+        assert after == 1
+
+    def test_update_ok_frame_carries_the_new_epoch(self, dataset):
+        record = tuple(dataset.records[0])
+        batch = UpdateBatch().modify(record)
+        with _deploy(dataset, "sae") as db:
+            with ServerThread(db) as server:
+                response = _roundtrip(
+                    server,
+                    lambda client: client._request(
+                        wire.FRAME_UPDATE,
+                        {"operations": wire.update_batch_to_wire(batch)},
+                        wire.FRAME_OK,
+                    ),
+                )
+        assert response["applied"] == 1
+        assert response["epoch"] == 1
+
+    def test_stale_server_refuses_min_epoch_demands(self, dataset):
+        record = tuple(dataset.records[0])
+        with _deploy(dataset, "sae") as db:
+            with ServerThread(db) as server:
+
+                async def demand_fresher(client):
+                    with pytest.raises(RemoteFreshnessError) as info:
+                        await client.query(0, 10_000_000, min_epoch=5)
+                    refusal = info.value
+                    assert refusal.epoch == 0
+                    assert refusal.min_epoch == 5
+                    with pytest.raises(RemoteFreshnessError):
+                        await client.query_many([(0, 100)], min_epoch=5)
+                    with pytest.raises(RemoteFreshnessError):
+                        await client.apply_updates(
+                            UpdateBatch().modify(record), min_epoch=5
+                        )
+                    # A floor at (or below) the server's epoch is satisfiable;
+                    # so is not demanding one at all.
+                    satisfied = await client.query(0, 10_000_000, min_epoch=0)
+                    await client.apply_updates(UpdateBatch().modify(record))
+                    caught_up = await client.query(0, 10_000_000, min_epoch=1)
+                    return satisfied, caught_up
+
+                satisfied, caught_up = _roundtrip(server, demand_fresher)
+        assert satisfied.verified
+        assert caught_up.verified
+
+    def test_freshness_refusal_does_not_kill_the_connection(self, dataset):
+        with _deploy(dataset, "sae") as db:
+            with ServerThread(db) as server:
+
+                async def refuse_then_serve(client):
+                    with pytest.raises(RemoteFreshnessError):
+                        await client.query(0, 100, min_epoch=99)
+                    return await client.query(1_000_000, 1_200_000)
+
+                remote = _roundtrip(server, refuse_then_serve)
+        assert remote.verified
 
 
 class TestShutdown:

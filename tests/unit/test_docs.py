@@ -47,3 +47,30 @@ def test_checker_runs_doctests(tmp_path):
     bad.write_text("Example:\n\n```\n>>> 1 + 1\n3\n\n```\n")
     attempted, failed, reports = run_doctests(tmp_path, [bad.resolve()])
     assert failed == 1 and reports
+
+
+def test_checker_discovers_new_files_and_skips_noise_dirs(tmp_path):
+    # A brand-new doc anywhere in the tree is picked up without registration;
+    # tool caches and VCS internals are not.
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "NEW_RUNBOOK.md").write_text("fresh")
+    (tmp_path / "README.md").write_text("top")
+    for noise in (".git", "__pycache__", ".pytest_cache"):
+        (tmp_path / noise).mkdir()
+        (tmp_path / noise / "ghost.md").write_text("[dead](missing.md)")
+    found = {path.name for path in markdown_files(tmp_path)}
+    assert found == {"NEW_RUNBOOK.md", "README.md"}
+    assert check_links(tmp_path) == []  # the ghost's dead link is never seen
+
+
+def test_checker_skips_quoted_material(tmp_path):
+    # PAPER.md / PAPERS.md / SNIPPETS.md quote external material verbatim;
+    # neither their links nor their code blocks are ours to keep green.
+    for name in ("PAPER.md", "PAPERS.md", "SNIPPETS.md"):
+        (tmp_path / name).write_text(
+            "[dead](gone/nowhere.md)\n\n```\n>>> 1 + 1\n3\n\n```\n"
+        )
+    (tmp_path / "README.md").write_text("checked\n\n```\n>>> 2 + 2\n4\n\n```\n")
+    assert check_links(tmp_path) == []
+    attempted, failed, _ = run_doctests(tmp_path)
+    assert (attempted, failed) == (1, 0)  # only the README example ran

@@ -191,6 +191,51 @@ class TestReceiptCodec:
         with pytest.raises(wire.WireError):
             wire.receipt_from_wire(payload)
 
+    def test_failover_fields_round_trip(self):
+        # A leg served by a standby after the primary failed: the replica
+        # index and the dead attempts must survive the wire.
+        receipt = _receipt(True)
+        legs = (
+            receipt.legs[0],
+            ShardLegReceipt(
+                shard=1,
+                sp=receipt.legs[1].sp,
+                te=receipt.legs[1].te,
+                auth_bytes=receipt.legs[1].auth_bytes,
+                result_bytes=receipt.legs[1].result_bytes,
+                replica=1,
+                failed_replicas=(0,),
+            ),
+        )
+        receipt = QueryReceipt(
+            query=receipt.query,
+            sp=receipt.sp,
+            te=receipt.te,
+            auth_bytes=receipt.auth_bytes,
+            result_bytes=receipt.result_bytes,
+            client_cpu_ms=receipt.client_cpu_ms,
+            bytes_by_channel=receipt.bytes_by_channel,
+            legs=legs,
+        )
+        payload = wire.receipt_to_wire(receipt)
+        assert payload["legs"][1]["replica"] == 1
+        assert payload["legs"][1]["failed"] == [0]
+        rebuilt = wire.receipt_from_wire(payload)
+        assert rebuilt == receipt
+        assert rebuilt.legs[1].replica == 1
+        assert rebuilt.legs[1].failed_replicas == (0,)
+
+    def test_failover_fields_omitted_for_primary_legs(self):
+        # Backwards-compatible encoding: a primary-served leg with no failed
+        # attempts carries neither key.
+        payload = wire.receipt_to_wire(_receipt(True))
+        for leg in payload["legs"]:
+            assert "replica" not in leg
+            assert "failed" not in leg
+        rebuilt = wire.receipt_from_wire(payload)
+        assert all(leg.replica == 0 for leg in rebuilt.legs)
+        assert all(leg.failed_replicas == () for leg in rebuilt.legs)
+
     def test_degenerate_query_round_trips(self):
         receipt = QueryReceipt(
             query=RangeQuery.degenerate(9, 5, "key"),
@@ -234,3 +279,30 @@ class TestOutcomeCodec:
         assert remote.result_bytes == outcome.result_bytes
         assert remote.receipt == outcome.receipt
         assert remote.scheme == "sae"
+
+    def test_freshness_flag_omitted_on_honest_outcomes(self, sae_system):
+        outcome = sae_system.query(1_000_000, 1_400_000)
+        payload = wire.outcome_to_wire(outcome, scheme="sae")
+        assert "freshness" not in payload  # historical frame size preserved
+        assert wire.outcome_from_wire(payload).freshness_violation is False
+
+    def test_freshness_flag_round_trips(self):
+        from types import SimpleNamespace
+
+        stale = SimpleNamespace(
+            records=[(1, 10, b"old")],
+            verified=False,
+            verification=SimpleNamespace(
+                reason="freshness violation: replica answered from epoch 0, "
+                       "current epoch is 1",
+                details={"freshness_violation": True, "epoch": 0,
+                         "expected_epoch": 1},
+            ),
+            receipt=None,
+        )
+        payload = wire.outcome_to_wire(stale, scheme="sae")
+        assert payload["freshness"] is True
+        remote = wire.outcome_from_wire(payload)
+        assert remote.freshness_violation is True
+        assert not remote.verified
+        assert "freshness violation" in remote.reason
