@@ -139,6 +139,9 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
     serve.add_argument("--port", type=int, default=9009,
                        help="TCP port to listen on (0 picks a free port)")
+    serve.add_argument("--port-file", default=None, metavar="FILE",
+                       help="publish the bound 'host port' pair to FILE once "
+                            "listening (how a fleet manager discovers --port 0)")
     serve.add_argument("--max-in-flight", type=_positive_int, default=64,
                        help="bounded admission: concurrent requests before queueing")
     serve.add_argument("--storage", choices=["memory", "paged"], default="memory",
@@ -149,6 +152,37 @@ def _build_parser() -> argparse.ArgumentParser:
                             "--storage paged; an existing snapshot warm-restarts)")
     serve.add_argument("--pool-pages", type=_positive_int, default=128,
                        help="buffer-pool capacity (pages) per paged component")
+
+    fleet = subparsers.add_parser(
+        "serve-fleet",
+        help="serve a multi-process shard fleet: one supervised 'repro serve' "
+             "child per shard (times replicas), restored from shipped snapshots",
+    )
+    fleet.add_argument("--data-dir", required=True,
+                       help="fleet base directory (reused when it already holds "
+                            "a fleet, built from a fresh dataset otherwise)")
+    fleet.add_argument("--shards", type=_positive_int, default=2,
+                       help="shard child processes (must match an existing fleet)")
+    fleet.add_argument("--replicas", type=_positive_int, default=1,
+                       help="replica children per shard (primary + N-1 standbys, "
+                            "each serving its own snapshot copy)")
+    fleet.add_argument("--records", type=_positive_int, default=10_000,
+                       help="dataset cardinality when building a new fleet")
+    fleet.add_argument("--distribution", choices=["uniform", "zipf"], default="uniform")
+    fleet.add_argument("--scheme", choices=schemes, default="sae",
+                       help="authentication scheme when building a new fleet")
+    fleet.add_argument("--key-bits", type=int, default=1024,
+                       help="RSA modulus size for schemes that sign (TOM)")
+    fleet.add_argument("--seed", type=int, default=7,
+                       help="seed shared by the dataset and the key material")
+    fleet.add_argument("--host", default="127.0.0.1",
+                       help="interface the children bind (each picks a free port)")
+    fleet.add_argument("--pool-pages", type=_positive_int, default=128,
+                       help="buffer-pool capacity (pages) per child component")
+    fleet.add_argument("--max-in-flight", type=_positive_int, default=64,
+                       help="bounded admission per child")
+    fleet.add_argument("--no-restart", action="store_true",
+                       help="do not restart crashed children (default: supervise)")
 
     gallery = subparsers.add_parser("attack-gallery",
                                     help="run the attack gallery against every scheme")
@@ -179,8 +213,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="replicas per shard (>= 1; 1 = primary only)")
     load.add_argument("--mode", choices=["per-query", "batched", "both"], default="both",
                       help="dispatch mode ('both' compares the two)")
-    load.add_argument("--transport", choices=["inproc", "tcp"], default="inproc",
-                      help="drive the scheme in-process or over localhost sockets")
+    load.add_argument("--transport", choices=["inproc", "tcp", "fleet"], default="inproc",
+                      help="drive the scheme in-process, over localhost sockets, "
+                           "or against a multi-process shard fleet")
+    load.add_argument("--workers", type=int, default=None,
+                      help="load-generating worker processes (fleet transport "
+                           "only; each runs --clients closed-loop clients)")
     load.add_argument("--batch-size", type=int, default=25,
                       help="queries per query_many() call in batched mode")
     load.add_argument("--extent", type=float, default=0.005,
@@ -254,6 +292,12 @@ def _bench_load_problem(args: argparse.Namespace) -> Optional[str]:
         return f"--replicas must be at least 1, got {args.replicas}"
     if args.mode in ("batched", "both") and args.batch_size < 1:
         return f"--batch-size must be at least 1 in batched mode, got {args.batch_size}"
+    if args.workers is not None and args.transport != "fleet":
+        return (f"--workers only applies to --transport fleet "
+                f"(got --transport {args.transport}); the inproc/tcp transports "
+                "drive from this process")
+    if args.workers is not None and args.workers < 1:
+        return f"--workers must be at least 1, got {args.workers}"
     return None
 
 
@@ -392,11 +436,19 @@ def _run_experiments(args: argparse.Namespace) -> int:
 
 def _run_serve(args: argparse.Namespace) -> int:
     from repro.core.scheme import has_snapshot, restore_deployment
+    from repro.network.fleet import has_fleet
     from repro.network.server import run_server
 
     if args.shards < 1:
         print(f"error: --shards must be at least 1, got {args.shards}", file=sys.stderr)
         return 2
+    for option, value in (("--data-dir", args.data_dir), ("--replica-of", args.replica_of)):
+        if value is not None and has_fleet(value):
+            print(f"error: {value} holds a multi-process fleet, which a single "
+                  f"'repro serve' cannot host; use 'repro serve-fleet --data-dir "
+                  f"{value}' (or point {option} at one of its shard"
+                  f" subdirectories)", file=sys.stderr)
+            return 2
     if args.replica_of is not None:
         if args.data_dir is not None:
             print("error: --replica-of and --data-dir are mutually exclusive "
@@ -414,7 +466,7 @@ def _run_serve(args: argparse.Namespace) -> int:
               f"update epoch {system.current_epoch}")
         with system:
             run_server(system, host=args.host, port=args.port,
-                       max_in_flight=args.max_in_flight)
+                       max_in_flight=args.max_in_flight, port_file=args.port_file)
         return 0
     if args.replicas > 1 and args.data_dir is not None:
         print("error: --replicas > 1 serves from memory; per-primary snapshots "
@@ -459,8 +511,92 @@ def _run_serve(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             max_in_flight=args.max_in_flight,
+            port_file=args.port_file,
         )
     return 0
+
+
+def _run_serve_fleet(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.network.fleet import (
+        FleetError,
+        FleetManager,
+        FleetManifest,
+        build_fleet,
+        has_fleet,
+    )
+
+    if has_fleet(args.data_dir):
+        manifest = FleetManifest.load(args.data_dir)
+        if args.shards != manifest.num_shards:
+            print(f"error: {args.data_dir} holds a {manifest.num_shards}-shard "
+                  f"fleet but --shards {args.shards} was requested; serve it "
+                  f"with --shards {manifest.num_shards} or build a new fleet "
+                  "in a fresh directory", file=sys.stderr)
+            return 2
+        if args.replicas != manifest.replicas:
+            print(f"error: {args.data_dir} was built with {manifest.replicas} "
+                  f"replica(s) per shard but --replicas {args.replicas} was "
+                  "requested; replica snapshots are shipped at build time",
+                  file=sys.stderr)
+            return 2
+        print(f"existing fleet at {args.data_dir}: scheme {manifest.scheme}, "
+              f"{manifest.num_shards} shard(s) x {manifest.replicas} replica(s), "
+              f"{manifest.cardinality} records")
+    else:
+        dataset = build_dataset(args.records, distribution=args.distribution,
+                                seed=args.seed)
+        try:
+            manifest = build_fleet(
+                dataset,
+                args.shards,
+                args.data_dir,
+                scheme=args.scheme,
+                replicas=args.replicas,
+                pool_pages=args.pool_pages,
+                key_bits=args.key_bits,
+                seed=args.seed,
+            )
+        except FleetError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"built fleet at {args.data_dir}: scheme {manifest.scheme}, "
+              f"{manifest.num_shards} shard(s) x {manifest.replicas} replica(s), "
+              f"{manifest.cardinality} records")
+
+    manager = FleetManager(
+        args.data_dir,
+        host=args.host,
+        max_in_flight=args.max_in_flight,
+        restart=not args.no_restart,
+    )
+    stop = threading.Event()
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, lambda *_: stop.set())
+    try:
+        try:
+            manager.start()
+        except FleetError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        for shard, replicas in enumerate(manager.endpoints()):
+            for replica, (host, port) in enumerate(replicas):
+                child = manager.child(shard, replica)
+                print(f"  shard{shard}.r{replica} -> {host}:{port} (pid {child.pid})")
+        print(f"fleet up: {manifest.num_shards * manifest.replicas} child "
+              "process(es); SIGTERM or Ctrl-C drains and stops", flush=True)
+        stop.wait()
+        print("stopping fleet (graceful drain)", flush=True)
+        codes = manager.stop()
+        print(f"fleet stopped; child exit codes {codes}")
+        return 0 if all(code == 0 for code in codes) else 1
+    finally:
+        manager.stop(grace_s=1.0)
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
 
 
 def _run_attack_gallery(args: argparse.Namespace) -> int:
@@ -537,6 +673,8 @@ def _run_bench_load(args: argparse.Namespace) -> int:
     bounds = [(query.low, query.high) for query in workload]
     verify = not args.no_verify
     modes = ["per-query", "batched"] if args.mode == "both" else [args.mode]
+    if args.transport == "fleet":
+        return _run_bench_load_fleet(args, dataset, bounds, modes, verify)
     reports = []
     for mode in modes:
         system = OutsourcedDB(
@@ -577,6 +715,72 @@ def _run_bench_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench_load_fleet(
+    args: argparse.Namespace,
+    dataset,
+    bounds,
+    modes: List[str],
+    verify: bool,
+) -> int:
+    """The fleet transport: real shard processes, real worker processes."""
+    import tempfile
+
+    from repro.experiments.distributed_load import (
+        DistributedLoadError,
+        format_distributed_reports,
+        run_distributed_load,
+    )
+    from repro.network.fleet import FleetError, FleetManager, build_fleet
+
+    workers = args.workers if args.workers is not None else 2
+    reports = []
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-fleet-") as base_dir:
+            build_fleet(
+                dataset,
+                args.shards,
+                base_dir,
+                scheme=args.scheme,
+                replicas=args.replicas,
+                key_bits=args.key_bits,
+                seed=args.seed,
+            )
+            with FleetManager(base_dir) as manager:
+                endpoints = manager.endpoints()
+                for mode in modes:
+                    reports.append(
+                        run_distributed_load(
+                            base_dir,
+                            endpoints,
+                            bounds,
+                            num_workers=workers,
+                            clients_per_worker=args.clients,
+                            mode=mode,
+                            batch_size=args.batch_size,
+                            verify=verify,
+                            scheme=args.scheme,
+                            num_shards=args.shards,
+                        )
+                    )
+    except (FleetError, DistributedLoadError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    title = (f"distributed load [{args.scheme}/fleet]: {args.records} records, "
+             f"{args.queries} queries, {workers} worker(s) x {args.clients} "
+             f"client(s), {args.shards} shard process(es) x {args.replicas} "
+             f"replica(s)")
+    print(format_distributed_reports(reports, title=title))
+    if len(reports) == 2 and reports[0].throughput_qps > 0:
+        speedup = reports[1].throughput_qps / reports[0].throughput_qps
+        print(f"\nbatched vs per-query speedup: {speedup:.2f}x")
+    if not all(report.receipts_consistent for report in reports):
+        print("error: merged fleet receipts != sum of shard legs", file=sys.stderr)
+        return 1
+    if verify and not all(report.all_verified for report in reports):
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -586,6 +790,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_experiments(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "serve-fleet":
+        return _run_serve_fleet(args)
     if args.command == "attack-gallery":
         return _run_attack_gallery(args)
     if args.command == "bench":

@@ -29,6 +29,7 @@ which proves the regression check is live.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -51,6 +52,7 @@ BENCH_FILES = (
     "BENCH_storage_tier.json",
     "BENCH_profile.json",
     "BENCH_replication.json",
+    "BENCH_fleet.json",
 )
 
 #: Relative regression allowed on gated metrics before the gate fails.
@@ -600,6 +602,57 @@ def _replication_metrics() -> List[GateMetric]:
     return metrics
 
 
+def _fleet_metrics() -> List[GateMetric]:
+    """The multi-process fleet leg: shard children + worker processes.
+
+    Hard requirements (every query verified across process boundaries,
+    merged receipts equal to their leg sums) raise inside
+    :func:`run_fleet_bench`.  The gated axes are the deterministic
+    cost-model qps and per-query SP accesses at each process count; the
+    headline wall-clock qps (and its speedup from 1 to N processes) is
+    recorded ungated -- it measures the *host's* core count as much as the
+    code, so gating it would make the suite flake on small runners.
+    """
+    from repro.experiments.fleet import run_fleet_bench
+
+    metrics: List[GateMetric] = []
+    for scheme, counts in (("sae", (1, 2, 4)), ("tom", (2,))):
+        points = run_fleet_bench(scheme=scheme, process_counts=counts)
+        for point in points:
+            label = f"fleet.{scheme}.p{point.processes}"
+            metrics.extend(
+                [
+                    GateMetric(
+                        name=f"{label}.model_qps",
+                        value=round(point.model_qps, 6),
+                        unit="qps",
+                        gate=True,
+                    ),
+                    GateMetric(
+                        name=f"{label}.mean_sp_accesses",
+                        value=round(point.mean_sp_accesses, 4),
+                        unit="accesses",
+                        gate=True,
+                        higher_is_better=False,
+                    ),
+                    GateMetric(
+                        name=f"{label}.wall_qps",
+                        value=round(point.wall_qps, 2),
+                        unit="qps",
+                    ),
+                ]
+            )
+        if len(points) > 1 and points[0].wall_qps > 0:
+            metrics.append(
+                GateMetric(
+                    name=f"fleet.{scheme}.wall_speedup_p{points[-1].processes}",
+                    value=round(points[-1].wall_qps / points[0].wall_qps, 2),
+                    unit="x",
+                )
+            )
+    return metrics
+
+
 def _profile_metrics() -> List[GateMetric]:
     """The wall-clock profiling leg, one report per scheme."""
     metrics: List[GateMetric] = []
@@ -632,6 +685,10 @@ def collect_current_metrics() -> Dict[str, dict]:
         ),
         "BENCH_replication.json": metrics_document(
             _replication_metrics(), meta={"suite": "replication", "scale": "quick"}
+        ),
+        "BENCH_fleet.json": metrics_document(
+            _fleet_metrics(),
+            meta={"suite": "fleet", "scale": "quick", "cpus": os.cpu_count() or 1},
         ),
     }
 

@@ -237,11 +237,23 @@ class RemoteSchemeClient:
 
     async def apply_updates(self, batch: UpdateBatch, min_epoch: int = 0) -> int:
         """Ship an update batch; returns the number of operations applied."""
+        applied, _ = await self.apply_updates_epoch(batch, min_epoch=min_epoch)
+        return applied
+
+    async def apply_updates_epoch(
+        self, batch: UpdateBatch, min_epoch: int = 0
+    ) -> Tuple[int, int]:
+        """Ship an update batch; returns ``(operations applied, new epoch)``.
+
+        The epoch comes from the server's ``OK`` acknowledgement, so the
+        caller learns the deployment's post-update epoch without a second
+        round-trip -- what the fleet router's epoch barrier synchronises on.
+        """
         payload = {"operations": wire.update_batch_to_wire(batch)}
         if min_epoch:
             payload["min_epoch"] = min_epoch
         response = await self._request(wire.FRAME_UPDATE, payload, wire.FRAME_OK)
-        return int(response.get("applied", 0))
+        return int(response.get("applied", 0)), int(response.get("epoch", 0))
 
     async def storage_report(self) -> Dict[str, int]:
         """The served deployment's per-party storage footprint."""

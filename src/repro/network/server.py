@@ -28,6 +28,8 @@ and the integration tests use to serve and drive from one process.
 from __future__ import annotations
 
 import asyncio
+import os
+import signal
 import threading
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
@@ -69,6 +71,10 @@ class SchemeServer:
         self._max_in_flight = max_in_flight
         self._server: Optional[asyncio.AbstractServer] = None
         self._admission: Optional[asyncio.Semaphore] = None
+        self._draining = False
+        self._in_flight = 0
+        self._idle: Optional[asyncio.Event] = None
+        self._handlers: "set[asyncio.Task]" = set()
         self.stats = ServerStats()
 
     # ------------------------------------------------------------------ lifecycle
@@ -85,6 +91,11 @@ class SchemeServer:
     async def start(self) -> "SchemeServer":
         """Bind the listening socket (port 0 picks a free port)."""
         self._admission = asyncio.Semaphore(self._max_in_flight)
+        self._draining = False
+        self._in_flight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._handlers = set()
         self._server = await asyncio.start_server(self._handle, self._host, self._port)
         self._port = self._server.sockets[0].getsockname()[1]
         self.stats = ServerStats()
@@ -116,14 +127,47 @@ class SchemeServer:
             await self._server.wait_closed()
             self._server = None
 
+    @property
+    def in_flight(self) -> int:
+        """Requests currently executing (between admission and response)."""
+        return self._in_flight
+
+    async def drain(self, timeout_s: float = 10.0) -> bool:
+        """Graceful shutdown: refuse new work, wait for in-flight requests.
+
+        Closes the listening socket, marks the server as draining (live
+        connections are closed at their next frame boundary instead of
+        being served), waits up to ``timeout_s`` for every in-flight
+        request to finish, then cancels the remaining connection handlers
+        (which by then are only parked on idle reads -- or, past the
+        timeout, stuck requests that have forfeited their grace).  Returns
+        ``True`` when the drain completed within the timeout.
+        """
+        self._draining = True
+        self.close_listener()
+        drained = True
+        if self._idle is not None:
+            try:
+                await asyncio.wait_for(self._idle.wait(), timeout_s)
+            except asyncio.TimeoutError:
+                drained = False
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*list(self._handlers), return_exceptions=True)
+        return drained
+
     # ------------------------------------------------------------------ serving
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         """One connection: read frames, serve them, write responses, repeat."""
         self.stats.connections += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
         try:
-            while True:
+            while not self._draining:
                 try:
                     frame = await wire.read_frame(reader)
                 except wire.WireError:
@@ -131,12 +175,18 @@ class SchemeServer:
                     break
                 if frame is None:
                     break
+                if self._draining:
+                    # A frame that arrived after the drain started is
+                    # refused; the in-flight ones it raced complete.
+                    break
                 kind, payload = frame
                 writer.write(await self._serve_frame(kind, payload))
                 await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
+            if task is not None:
+                self._handlers.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -149,6 +199,9 @@ class SchemeServer:
     async def _serve_frame(self, kind: int, payload: Any) -> bytes:
         """Serve one request frame and return the encoded response frame."""
         self.stats.requests += 1
+        self._in_flight += 1
+        if self._idle is not None:
+            self._idle.clear()
         try:
             if self._admission is None:
                 raise RuntimeError("server not started")
@@ -160,6 +213,10 @@ class SchemeServer:
                 wire.FRAME_ERROR,
                 {"error": type(exc).__name__, "message": str(exc)},
             )
+        finally:
+            self._in_flight -= 1
+            if self._in_flight == 0 and self._idle is not None:
+                self._idle.set()
 
     def _current_epoch(self) -> int:
         """The served deployment's update epoch (0 for pre-epoch schemes)."""
@@ -237,20 +294,88 @@ class SchemeServer:
         raise wire.WireError(f"unknown request frame kind 0x{kind:02x}")
 
 
+def write_port_file(path: str, host: str, port: int) -> None:
+    """Atomically publish the bound address as ``"host port"``.
+
+    Written to a scratch file and renamed into place, so a reader polling
+    for the file never observes a half-written address -- this is how a
+    :class:`~repro.network.fleet.FleetManager` discovers the port its child
+    bound when launched with ``--port 0``.
+    """
+    scratch = f"{path}.tmp.{os.getpid()}"
+    with open(scratch, "w", encoding="utf-8") as handle:
+        handle.write(f"{host} {port}\n")
+    os.replace(scratch, path)
+
+
 def run_server(
-    db: Any, host: str = "127.0.0.1", port: int = 9009, max_in_flight: int = 64
+    db: Any,
+    host: str = "127.0.0.1",
+    port: int = 9009,
+    max_in_flight: int = 64,
+    port_file: Optional[str] = None,
+    drain_timeout_s: float = 10.0,
 ) -> None:
-    """Blocking convenience entry point: serve ``db`` until interrupted."""
+    """Blocking convenience entry point: serve ``db`` until interrupted.
+
+    ``SIGTERM`` triggers a graceful shutdown: the listener closes (new
+    connections are refused), in-flight requests drain for up to
+    ``drain_timeout_s`` seconds, and the function returns normally so the
+    process can exit 0 -- the contract a supervising
+    :class:`~repro.network.fleet.FleetManager` stops children by.
+    ``port_file`` publishes the resolved ``host port`` pair once the socket
+    is bound (useful with ``port=0``).
+    """
 
     async def _main() -> None:
         server = SchemeServer(db, host=host, port=port, max_in_flight=max_in_flight)
         await server.start()
         bound_host, bound_port = server.address
+        if port_file is not None:
+            write_port_file(port_file, bound_host, bound_port)
         print(
             f"serving scheme {server.scheme_name!r} on {bound_host}:{bound_port} "
-            f"(max {max_in_flight} in-flight requests)"
+            f"(max {max_in_flight} in-flight requests)",
+            flush=True,
         )
-        await server.serve_forever()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX
+            pass
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        stop_task = asyncio.ensure_future(stop.wait())
+        try:
+            await asyncio.wait(
+                {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if stop.is_set():
+                print("SIGTERM: draining in-flight requests", flush=True)
+                drained = await server.drain(drain_timeout_s)
+                print(
+                    "drained; exiting" if drained
+                    else f"drain timed out after {drain_timeout_s:.0f}s; exiting",
+                    flush=True,
+                )
+            elif serve_task.done():
+                serve_task.result()  # surface an unexpected serve failure
+        finally:
+            for task in (serve_task, stop_task):
+                task.cancel()
+            await asyncio.gather(serve_task, stop_task, return_exceptions=True)
+            try:
+                loop.remove_signal_handler(signal.SIGTERM)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+            if stop.is_set():
+                # Shutdown already in progress: a duplicate SIGTERM (e.g. a
+                # supervisor and a process-group forward both firing) must
+                # not kill the process mid-close/snapshot after the loop
+                # handler is gone -- that would turn a clean drain into a
+                # signal death and could abandon a half-written page file.
+                signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            await server.aclose()
 
     try:
         asyncio.run(_main())

@@ -84,6 +84,15 @@ class TestBenchRunLoad:
             (["--shards", "0"], "--shards must be at least 1"),
             (["--shards", "-4"], "--shards must be at least 1"),
             (["--batch-size", "0"], "--batch-size must be at least 1"),
+            (["--workers", "2"], "--workers only applies to --transport fleet"),
+            (
+                ["--transport", "tcp", "--workers", "2"],
+                "--workers only applies to --transport fleet",
+            ),
+            (
+                ["--transport", "fleet", "--workers", "0"],
+                "--workers must be at least 1",
+            ),
         ],
     )
     def test_bad_arguments_exit_2_with_message(self, capsys, argv, fragment):
@@ -91,6 +100,49 @@ class TestBenchRunLoad:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert fragment in captured.err
+
+
+class TestFleetArgumentValidation:
+    """Fleet directories and single-process commands must not mix silently."""
+
+    @pytest.fixture(scope="class")
+    def fleet_dir(self, tmp_path_factory):
+        from repro.network.fleet import build_fleet
+        from repro.workloads import build_dataset
+
+        base = tmp_path_factory.mktemp("cli-fleet")
+        build_fleet(
+            build_dataset(200, record_size=64, seed=9),
+            2,
+            base,
+            scheme="sae",
+            key_bits=512,
+            seed=9,
+        )
+        return str(base)
+
+    @pytest.mark.parametrize("option", ["--data-dir", "--replica-of"])
+    def test_serve_refuses_a_fleet_directory(self, capsys, fleet_dir, option):
+        exit_code = main(["serve", option, fleet_dir])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "holds a multi-process fleet" in captured.err
+        assert f"repro serve-fleet --data-dir {fleet_dir}" in captured.err
+
+    def test_serve_fleet_refuses_shard_count_mismatch(self, capsys, fleet_dir):
+        exit_code = main(["serve-fleet", "--data-dir", fleet_dir, "--shards", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "holds a 2-shard fleet but --shards 3 was requested" in captured.err
+
+    def test_serve_fleet_refuses_replica_count_mismatch(self, capsys, fleet_dir):
+        exit_code = main([
+            "serve-fleet", "--data-dir", fleet_dir, "--shards", "2",
+            "--replicas", "2",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "replica snapshots are shipped at build time" in captured.err
 
 
 class TestBenchSmoke:
