@@ -46,6 +46,18 @@ Three subcommands cover the common workflows without writing any code:
     passes under ``cProfile``, per-stage spans (encode, digest, tree walk,
     VT/VO build, verify, wire) and the codec / memoization / verify-cache
     micro-benches, written to ``BENCH_profile.json``.
+
+``python -m repro tune``
+    Offline physical-design advisor: replay a receipt trace (recorded with
+    ``bench run-load --record-trace``) through the cost model, search cut
+    points / page size / pool pages / batch size, and write the cheapest
+    candidate as a ``design.json`` for ``--design`` on ``serve`` /
+    ``serve-fleet`` / ``bench run-load``.
+
+Deployment-shaping flags (``--shards``, ``--replicas``, ``--pool-pages``,
+``--batch-size``) act as *overrides* on top of ``--design`` when both are
+given; a design file that cannot absorb the overrides (or cannot be read)
+exits with code 2.
 """
 
 from __future__ import annotations
@@ -126,11 +138,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="RSA modulus size for schemes that sign (TOM)")
     serve.add_argument("--seed", type=int, default=7,
                        help="seed shared by the dataset and the key material")
-    serve.add_argument("--shards", type=int, default=1,
-                       help="number of SP/TE shards (>= 1; 1 = classic deployment)")
-    serve.add_argument("--replicas", type=_positive_int, default=1,
+    serve.add_argument("--shards", type=int, default=None,
+                       help="number of SP/TE shards (>= 1; default 1 = classic "
+                            "deployment; overrides --design)")
+    serve.add_argument("--replicas", type=_positive_int, default=None,
                        help="replicas per shard (primary + N-1 warm standbys "
-                            "with transparent failover; in-memory storage only)")
+                            "with transparent failover; in-memory storage only; "
+                            "default 1; overrides --design)")
+    serve.add_argument("--design", default=None, metavar="FILE",
+                       help="serve the physical design in FILE (a design.json "
+                            "from 'repro tune'); explicit flags override it")
     serve.add_argument("--replica-of", default=None, metavar="DIR",
                        help="serve a standby restored from another deployment's "
                             "snapshot directory (snapshot shipping: the primary "
@@ -150,8 +167,9 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--data-dir", default=None,
                        help="directory for page files and snapshots (implies "
                             "--storage paged; an existing snapshot warm-restarts)")
-    serve.add_argument("--pool-pages", type=_positive_int, default=128,
-                       help="buffer-pool capacity (pages) per paged component")
+    serve.add_argument("--pool-pages", type=_positive_int, default=None,
+                       help="buffer-pool capacity (pages) per paged component "
+                            "(default 128; overrides --design and snapshots)")
 
     fleet = subparsers.add_parser(
         "serve-fleet",
@@ -161,11 +179,17 @@ def _build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--data-dir", required=True,
                        help="fleet base directory (reused when it already holds "
                             "a fleet, built from a fresh dataset otherwise)")
-    fleet.add_argument("--shards", type=_positive_int, default=2,
-                       help="shard child processes (must match an existing fleet)")
-    fleet.add_argument("--replicas", type=_positive_int, default=1,
+    fleet.add_argument("--shards", type=_positive_int, default=None,
+                       help="shard child processes (default 2 for a new fleet; "
+                            "must match an existing fleet; overrides --design)")
+    fleet.add_argument("--replicas", type=_positive_int, default=None,
                        help="replica children per shard (primary + N-1 standbys, "
-                            "each serving its own snapshot copy)")
+                            "each serving its own snapshot copy; default 1; "
+                            "overrides --design)")
+    fleet.add_argument("--design", default=None, metavar="FILE",
+                       help="build the fleet to the physical design in FILE "
+                            "(explicit cut points included); explicit flags "
+                            "override it; must match an existing fleet")
     fleet.add_argument("--records", type=_positive_int, default=10_000,
                        help="dataset cardinality when building a new fleet")
     fleet.add_argument("--distribution", choices=["uniform", "zipf"], default="uniform")
@@ -177,8 +201,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seed shared by the dataset and the key material")
     fleet.add_argument("--host", default="127.0.0.1",
                        help="interface the children bind (each picks a free port)")
-    fleet.add_argument("--pool-pages", type=_positive_int, default=128,
-                       help="buffer-pool capacity (pages) per child component")
+    fleet.add_argument("--pool-pages", type=_positive_int, default=None,
+                       help="buffer-pool capacity (pages) per child component "
+                            "(default 128; overrides --design)")
     fleet.add_argument("--max-in-flight", type=_positive_int, default=64,
                        help="bounded admission per child")
     fleet.add_argument("--no-restart", action="store_true",
@@ -207,10 +232,18 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="RSA modulus size for schemes that sign (TOM)")
     load.add_argument("--clients", type=int, default=4,
                       help="number of concurrent clients (>= 1)")
-    load.add_argument("--shards", type=int, default=1,
-                      help="number of SP/TE shards (>= 1; 1 = classic deployment)")
-    load.add_argument("--replicas", type=int, default=1,
-                      help="replicas per shard (>= 1; 1 = primary only)")
+    load.add_argument("--shards", type=int, default=None,
+                      help="number of SP/TE shards (>= 1; default 1 = classic "
+                           "deployment; overrides --design)")
+    load.add_argument("--replicas", type=int, default=None,
+                      help="replicas per shard (>= 1; default 1 = primary only; "
+                           "overrides --design)")
+    load.add_argument("--design", default=None, metavar="FILE",
+                      help="deploy the physical design in FILE (a design.json "
+                           "from 'repro tune'); explicit flags override it")
+    load.add_argument("--record-trace", default=None, metavar="FILE",
+                      help="record every query's receipt to FILE as a JSONL "
+                           "trace for 'repro tune' (needs a single --mode)")
     load.add_argument("--mode", choices=["per-query", "batched", "both"], default="both",
                       help="dispatch mode ('both' compares the two)")
     load.add_argument("--transport", choices=["inproc", "tcp", "fleet"], default="inproc",
@@ -219,8 +252,9 @@ def _build_parser() -> argparse.ArgumentParser:
     load.add_argument("--workers", type=int, default=None,
                       help="load-generating worker processes (fleet transport "
                            "only; each runs --clients closed-loop clients)")
-    load.add_argument("--batch-size", type=int, default=25,
-                      help="queries per query_many() call in batched mode")
+    load.add_argument("--batch-size", type=int, default=None,
+                      help="queries per query_many() call in batched mode "
+                           "(default 25, or the --design file's batch size)")
     load.add_argument("--extent", type=float, default=0.005,
                       help="query extent as a fraction of the key domain")
     load.add_argument("--distribution", choices=["uniform", "zipf"], default="uniform")
@@ -266,6 +300,27 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="cProfile functions to report")
     prof.add_argument("--out", default=".",
                       help="directory for the BENCH_profile.json document")
+
+    tune = subparsers.add_parser(
+        "tune",
+        help="offline physical-design advisor: replay a receipt trace through "
+             "the cost model and emit a recommended design.json",
+    )
+    tune.add_argument("--trace", required=True, metavar="FILE",
+                      help="receipt trace recorded with "
+                           "'bench run-load --record-trace FILE'")
+    tune.add_argument("--out", default="design.json", metavar="FILE",
+                      help="where to write the recommended design")
+    tune.add_argument("--report", default=None, metavar="FILE",
+                      help="also write the human-readable advisor report to FILE")
+    tune.add_argument("--baseline", default=None, metavar="FILE",
+                      help="design file to compare against (default: the design "
+                           "the trace was recorded under)")
+    tune.add_argument("--shards", type=_positive_int, default=None,
+                      help="design for this shard count instead of the "
+                           "baseline's (a capacity decision, not searched)")
+    tune.add_argument("--rounds", type=_positive_int, default=2,
+                      help="coordinate-descent passes over the knobs")
     return parser
 
 
@@ -286,11 +341,15 @@ def _bench_load_problem(args: argparse.Namespace) -> Optional[str]:
     """
     if args.clients < 1:
         return f"--clients must be at least 1, got {args.clients}"
-    if args.shards < 1:
+    if args.shards is not None and args.shards < 1:
         return f"--shards must be at least 1, got {args.shards}"
-    if args.replicas < 1:
+    if args.replicas is not None and args.replicas < 1:
         return f"--replicas must be at least 1, got {args.replicas}"
-    if args.mode in ("batched", "both") and args.batch_size < 1:
+    if (
+        args.batch_size is not None
+        and args.mode in ("batched", "both")
+        and args.batch_size < 1
+    ):
         return f"--batch-size must be at least 1 in batched mode, got {args.batch_size}"
     if args.workers is not None and args.transport != "fleet":
         return (f"--workers only applies to --transport fleet "
@@ -298,7 +357,27 @@ def _bench_load_problem(args: argparse.Namespace) -> Optional[str]:
                 "drive from this process")
     if args.workers is not None and args.workers < 1:
         return f"--workers must be at least 1, got {args.workers}"
+    if args.record_trace is not None and args.mode == "both":
+        return ("--record-trace records one run into one trace file, which "
+                "contradicts --mode both (two runs); pick --mode per-query "
+                "or --mode batched")
     return None
+
+
+def _load_design_file(path: str, **overrides):
+    """Load a ``--design`` file and fold explicitly-set flags onto it.
+
+    Returns ``(design, None)`` or ``(None, error_message)``: an unreadable
+    or malformed file, or an override combination the design cannot absorb
+    (a :class:`~repro.core.design.DesignError`), is the CLI's exit-2 case.
+    """
+    from repro.core.design import DesignError, PhysicalDesign
+
+    try:
+        design = PhysicalDesign.load(path).with_overrides(**overrides)
+    except DesignError as exc:
+        return None, f"--design {path}: {exc}"
+    return design, None
 
 
 def _run_bench_smoke(args: argparse.Namespace) -> int:
@@ -439,9 +518,25 @@ def _run_serve(args: argparse.Namespace) -> int:
     from repro.network.fleet import has_fleet
     from repro.network.server import run_server
 
-    if args.shards < 1:
+    if args.shards is not None and args.shards < 1:
         print(f"error: --shards must be at least 1, got {args.shards}", file=sys.stderr)
         return 2
+    design = None
+    if args.design is not None:
+        if args.replica_of is not None:
+            print("error: --design contradicts --replica-of (a standby serves "
+                  "the design its primary's shipped snapshot was built with)",
+                  file=sys.stderr)
+            return 2
+        design, problem = _load_design_file(
+            args.design,
+            shards=args.shards,
+            replicas=args.replicas,
+            pool_pages=args.pool_pages,
+        )
+        if problem is not None:
+            print(f"error: {problem}", file=sys.stderr)
+            return 2
     for option, value in (("--data-dir", args.data_dir), ("--replica-of", args.replica_of)):
         if value is not None and has_fleet(value):
             print(f"error: {value} holds a multi-process fleet, which a single "
@@ -468,7 +563,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             run_server(system, host=args.host, port=args.port,
                        max_in_flight=args.max_in_flight, port_file=args.port_file)
         return 0
-    if args.replicas > 1 and args.data_dir is not None:
+    replicas = design.replicas if design is not None else (args.replicas or 1)
+    if replicas > 1 and args.data_dir is not None:
         print("error: --replicas > 1 serves from memory; per-primary snapshots "
               "ship to standbys via --replica-of instead", file=sys.stderr)
         return 2
@@ -478,27 +574,44 @@ def _run_serve(args: argparse.Namespace) -> int:
         return 2
 
     if args.data_dir is not None and has_snapshot(args.data_dir):
+        if design is not None:
+            print(f"error: --design contradicts the existing snapshot at "
+                  f"{args.data_dir} (its physical design is baked into the "
+                  "page files); rebuild in a fresh directory to change it",
+                  file=sys.stderr)
+            return 2
         # Warm restart: reopen the page files and the snapshot state.  No
         # dataset generation, no tree build, no re-signing.
         system = restore_deployment(args.data_dir, pool_pages=args.pool_pages)
         dataset = system.dataset
         print(f"warm restart from {args.data_dir}: {dataset.cardinality} records, "
               f"scheme {system.scheme_name}, {system.num_shards} shard(s), "
-              f"pool {args.pool_pages} pages")
+              f"pool {system.design.pool_pages} pages")
     else:
         dataset = build_dataset(args.records, distribution=args.distribution,
                                 seed=args.seed)
-        system = OutsourcedDB(
-            dataset,
-            scheme=args.scheme,
-            shards=args.shards,
-            replicas=args.replicas,
-            key_bits=args.key_bits,
-            seed=args.seed,
-            storage=storage,
-            data_dir=args.data_dir,
-            pool_pages=args.pool_pages,
-        ).setup()
+        if design is not None:
+            system = OutsourcedDB(
+                dataset,
+                scheme=args.scheme,
+                design=design,
+                key_bits=args.key_bits,
+                seed=args.seed,
+                storage=storage,
+                data_dir=args.data_dir,
+            ).setup()
+        else:
+            system = OutsourcedDB(
+                dataset,
+                scheme=args.scheme,
+                shards=args.shards,
+                replicas=args.replicas,
+                key_bits=args.key_bits,
+                seed=args.seed,
+                storage=storage,
+                data_dir=args.data_dir,
+                pool_pages=args.pool_pages,
+            ).setup()
         print(f"dataset {dataset.name}: {dataset.cardinality} records, "
               f"scheme {system.scheme_name}, {system.num_shards} shard(s) x "
               f"{system.num_replicas} replica(s), storage {storage}")
@@ -528,15 +641,43 @@ def _run_serve_fleet(args: argparse.Namespace) -> int:
         has_fleet,
     )
 
+    design = None
+    if args.design is not None:
+        design, problem = _load_design_file(
+            args.design,
+            shards=args.shards,
+            replicas=args.replicas,
+            pool_pages=args.pool_pages,
+        )
+        if problem is not None:
+            print(f"error: {problem}", file=sys.stderr)
+            return 2
+
     if has_fleet(args.data_dir):
         manifest = FleetManifest.load(args.data_dir)
-        if args.shards != manifest.num_shards:
+        served = manifest.physical_design()
+        if design is not None:
+            mismatched = [
+                name
+                for name in ("shards", "replicas", "pool_pages", "page_size")
+                if getattr(design, name) != getattr(served, name)
+            ]
+            if design.cut_points is not None and design.cut_points != served.cut_points:
+                mismatched.append("cut_points")
+            if mismatched:
+                print(f"error: {args.data_dir} was built with design "
+                      f"[{served.describe()}], which contradicts --design "
+                      f"{args.design} on {', '.join(mismatched)}; a fleet's "
+                      "physical design is baked in at build time -- build a "
+                      "new fleet in a fresh directory", file=sys.stderr)
+                return 2
+        if args.shards is not None and args.shards != manifest.num_shards:
             print(f"error: {args.data_dir} holds a {manifest.num_shards}-shard "
                   f"fleet but --shards {args.shards} was requested; serve it "
                   f"with --shards {manifest.num_shards} or build a new fleet "
                   "in a fresh directory", file=sys.stderr)
             return 2
-        if args.replicas != manifest.replicas:
+        if args.replicas is not None and args.replicas != manifest.replicas:
             print(f"error: {args.data_dir} was built with {manifest.replicas} "
                   f"replica(s) per shard but --replicas {args.replicas} was "
                   "requested; replica snapshots are shipped at build time",
@@ -544,18 +685,19 @@ def _run_serve_fleet(args: argparse.Namespace) -> int:
             return 2
         print(f"existing fleet at {args.data_dir}: scheme {manifest.scheme}, "
               f"{manifest.num_shards} shard(s) x {manifest.replicas} replica(s), "
-              f"{manifest.cardinality} records")
+              f"{manifest.cardinality} records, design [{served.describe()}]")
     else:
         dataset = build_dataset(args.records, distribution=args.distribution,
                                 seed=args.seed)
         try:
             manifest = build_fleet(
                 dataset,
-                args.shards,
-                args.data_dir,
+                num_shards=None if design is not None else (args.shards or 2),
+                base_dir=args.data_dir,
                 scheme=args.scheme,
-                replicas=args.replicas,
-                pool_pages=args.pool_pages,
+                replicas=None if design is not None else args.replicas,
+                pool_pages=None if design is not None else args.pool_pages,
+                design=design,
                 key_bits=args.key_bits,
                 seed=args.seed,
             )
@@ -564,7 +706,8 @@ def _run_serve_fleet(args: argparse.Namespace) -> int:
             return 2
         print(f"built fleet at {args.data_dir}: scheme {manifest.scheme}, "
               f"{manifest.num_shards} shard(s) x {manifest.replicas} replica(s), "
-              f"{manifest.cardinality} records")
+              f"{manifest.cardinality} records, design "
+              f"[{manifest.physical_design().describe()}]")
 
     manager = FleetManager(
         args.data_dir,
@@ -662,6 +805,20 @@ def _run_bench_load(args: argparse.Namespace) -> int:
     if problem is not None:
         print(f"error: {problem}", file=sys.stderr)
         return 2
+    design = None
+    if args.design is not None:
+        design, design_problem = _load_design_file(
+            args.design,
+            shards=args.shards,
+            replicas=args.replicas,
+            batch_size=args.batch_size,
+        )
+        if design_problem is not None:
+            print(f"error: {design_problem}", file=sys.stderr)
+            return 2
+    batch_size = design.batch_size if design is not None else (args.batch_size or 25)
+    num_shards = design.shards if design is not None else (args.shards or 1)
+    num_replicas = design.replicas if design is not None else (args.replicas or 1)
 
     dataset = build_dataset(args.records, distribution=args.distribution, seed=args.seed)
     workload = RangeQueryWorkload(
@@ -674,17 +831,30 @@ def _run_bench_load(args: argparse.Namespace) -> int:
     verify = not args.no_verify
     modes = ["per-query", "batched"] if args.mode == "both" else [args.mode]
     if args.transport == "fleet":
-        return _run_bench_load_fleet(args, dataset, bounds, modes, verify)
+        return _run_bench_load_fleet(
+            args, dataset, bounds, modes, verify, design, batch_size
+        )
     reports = []
+    serving_design = design
     for mode in modes:
-        system = OutsourcedDB(
-            dataset,
-            scheme=args.scheme,
-            shards=args.shards,
-            replicas=args.replicas,
-            key_bits=args.key_bits,
-            seed=args.seed,
-        ).setup()
+        if design is not None:
+            system = OutsourcedDB(
+                dataset,
+                scheme=args.scheme,
+                design=design,
+                key_bits=args.key_bits,
+                seed=args.seed,
+            ).setup()
+        else:
+            system = OutsourcedDB(
+                dataset,
+                scheme=args.scheme,
+                shards=args.shards,
+                replicas=args.replicas,
+                key_bits=args.key_bits,
+                seed=args.seed,
+            ).setup()
+        serving_design = system.design
         with system:
             reports.append(
                 run_load(
@@ -692,15 +862,24 @@ def _run_bench_load(args: argparse.Namespace) -> int:
                     bounds,
                     num_clients=args.clients,
                     mode=mode,
-                    batch_size=args.batch_size,
+                    batch_size=batch_size,
                     verify=verify,
                     transport=args.transport,
                 )
             )
     title = (f"load driver [{args.scheme}/{args.transport}]: {args.records} records, "
-             f"{args.queries} queries, {args.clients} clients, {args.shards} shard(s) x "
-             f"{args.replicas} replica(s)")
+             f"{args.queries} queries, {args.clients} clients, {num_shards} shard(s) x "
+             f"{num_replicas} replica(s)")
     print(format_load_reports(reports, title=title))
+    if args.record_trace is not None and reports:
+        from repro.workloads.trace import entries_from_outcomes, write_trace
+
+        count = write_trace(
+            args.record_trace,
+            _trace_meta(args, dataset, serving_design, modes[0]),
+            entries_from_outcomes(reports[0].outcomes),
+        )
+        print(f"recorded {count} queries to {args.record_trace}")
     if args.transport == "tcp":
         for report in reports:
             print(f"server qps [{report.mode}]: {report.server_qps:.1f}")
@@ -715,12 +894,28 @@ def _run_bench_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_meta(args: argparse.Namespace, dataset, design, mode: str) -> dict:
+    """The trace header: enough context for ``repro tune`` to replay it."""
+    return {
+        "scheme": args.scheme,
+        "transport": args.transport,
+        "mode": mode,
+        "dataset": dataset.name,
+        "cardinality": dataset.cardinality,
+        "distribution": args.distribution,
+        "seed": args.seed,
+        "design": design.to_json_dict() if design is not None else None,
+    }
+
+
 def _run_bench_load_fleet(
     args: argparse.Namespace,
     dataset,
     bounds,
     modes: List[str],
     verify: bool,
+    design,
+    batch_size: int,
 ) -> int:
     """The fleet transport: real shard processes, real worker processes."""
     import tempfile
@@ -736,12 +931,13 @@ def _run_bench_load_fleet(
     reports = []
     try:
         with tempfile.TemporaryDirectory(prefix="repro-fleet-") as base_dir:
-            build_fleet(
+            manifest = build_fleet(
                 dataset,
-                args.shards,
-                base_dir,
+                num_shards=None if design is not None else (args.shards or 1),
+                base_dir=base_dir,
                 scheme=args.scheme,
-                replicas=args.replicas,
+                replicas=None if design is not None else args.replicas,
+                design=design,
                 key_bits=args.key_bits,
                 seed=args.seed,
             )
@@ -756,10 +952,11 @@ def _run_bench_load_fleet(
                             num_workers=workers,
                             clients_per_worker=args.clients,
                             mode=mode,
-                            batch_size=args.batch_size,
+                            batch_size=batch_size,
                             verify=verify,
                             scheme=args.scheme,
-                            num_shards=args.shards,
+                            num_shards=manifest.num_shards,
+                            record_trace=args.record_trace is not None,
                         )
                     )
     except (FleetError, DistributedLoadError) as exc:
@@ -767,9 +964,18 @@ def _run_bench_load_fleet(
         return 1
     title = (f"distributed load [{args.scheme}/fleet]: {args.records} records, "
              f"{args.queries} queries, {workers} worker(s) x {args.clients} "
-             f"client(s), {args.shards} shard process(es) x {args.replicas} "
-             f"replica(s)")
+             f"client(s), {manifest.num_shards} shard process(es) x "
+             f"{manifest.replicas} replica(s)")
     print(format_distributed_reports(reports, title=title))
+    if args.record_trace is not None and reports:
+        from repro.workloads.trace import write_trace
+
+        count = write_trace(
+            args.record_trace,
+            _trace_meta(args, dataset, manifest.physical_design(), modes[0]),
+            reports[0].trace_entries,
+        )
+        print(f"recorded {count} queries to {args.record_trace}")
     if len(reports) == 2 and reports[0].throughput_qps > 0:
         speedup = reports[1].throughput_qps / reports[0].throughput_qps
         print(f"\nbatched vs per-query speedup: {speedup:.2f}x")
@@ -778,6 +984,46 @@ def _run_bench_load_fleet(
         return 1
     if verify and not all(report.all_verified for report in reports):
         return 1
+    return 0
+
+
+def _run_tune(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.design import DesignError, PhysicalDesign
+    from repro.experiments.tuning import (
+        TuningError,
+        format_tuning_report,
+        tune_design,
+    )
+    from repro.workloads.trace import TraceError, load_trace
+
+    try:
+        trace = load_trace(args.trace)
+    except TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = PhysicalDesign.load(args.baseline)
+        except DesignError as exc:
+            print(f"error: --baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        result = tune_design(
+            trace, baseline=baseline, shards=args.shards, rounds=args.rounds
+        )
+    except (TuningError, DesignError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = format_tuning_report(result)
+    print(report)
+    result.recommended.save(args.out)
+    print(f"\nwrote recommended design to {args.out}")
+    if args.report is not None:
+        Path(args.report).write_text(report + "\n")
+        print(f"wrote report to {args.report}")
     return 0
 
 
@@ -794,6 +1040,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_serve_fleet(args)
     if args.command == "attack-gallery":
         return _run_attack_gallery(args)
+    if args.command == "tune":
+        return _run_tune(args)
     if args.command == "bench":
         if args.bench_command == "smoke":
             return _run_bench_smoke(args)

@@ -34,6 +34,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.attacks import AttackModel
 from repro.core.client import Client, SAEVerificationResult
 from repro.core.dataset import Dataset
+from repro.core.design import (
+    DesignError,
+    PhysicalDesign,
+    design_from_snapshot_params,
+    resolve_design,
+)
 from repro.core.owner import DataOwner
 from repro.core.pipeline import (
     CostReceipt,
@@ -67,7 +73,6 @@ from repro.crypto.signatures import CachedVerifier
 from repro.dbms.query import RangeQuery
 from repro.network.channel import NetworkTracker
 from repro.network.messages import QueryRequest, ResultResponse, VTResponse
-from repro.storage.constants import DEFAULT_PAGE_SIZE
 from repro.storage.node_store import StorageConfig
 
 
@@ -113,23 +118,40 @@ class SaeScheme(AuthScheme):
         self,
         dataset: Dataset,
         scheme: Optional[DigestScheme] = None,
-        page_size: int = DEFAULT_PAGE_SIZE,
+        page_size: Optional[int] = None,
         backend: str = "heap",
         node_access_ms: Optional[float] = None,
         attack: Optional[AttackModel] = None,
         index_fill_factor: float = 1.0,
         max_workers: Optional[int] = None,
-        shards: Union[int, ShardedDeployment] = 1,
-        replicas: int = 1,
+        shards: Optional[Union[int, ShardedDeployment]] = None,
+        replicas: Optional[int] = None,
         storage: Union[str, StorageConfig] = "memory",
         data_dir: Optional[str] = None,
-        pool_pages: int = 128,
+        pool_pages: Optional[int] = None,
+        design: Optional[PhysicalDesign] = None,
     ):
+        # ``design`` is the one descriptor of the physical layout; the raw
+        # shards/replicas/pool_pages/page_size keywords are deprecation
+        # shims resolved (and contradiction-checked) against it.
+        try:
+            self._design = resolve_design(
+                design,
+                shards=shards,
+                replicas=replicas,
+                pool_pages=pool_pages,
+                page_size=page_size,
+            )
+        except DesignError as exc:
+            raise SchemeError(str(exc)) from exc
+        page_size = self._design.page_size
         self._scheme = scheme or default_scheme()
         self._network = NetworkTracker()
         self._dataset = dataset
-        self._deployment = ShardedDeployment.coerce(shards, num_replicas=replicas)
-        self._storage = StorageConfig.coerce(storage, data_dir, pool_pages)
+        self._deployment = self._design.deployment()
+        self._storage = StorageConfig.coerce(
+            storage, data_dir, self._design.pool_pages
+        )
         self._page_size = page_size
         self._backend = backend
         self._node_access_ms = node_access_ms
@@ -143,6 +165,7 @@ class SaeScheme(AuthScheme):
         self._replica_router: Optional[ReplicaRouter] = None
         self._sp_replicas: List[ShardedServiceProvider] = []
         if self._uses_fleet:
+            cut_points = self._deployment.cut_points
             self.provider: Union[ServiceProvider, ShardedServiceProvider] = (
                 ShardedServiceProvider(
                     self._deployment.num_shards,
@@ -152,6 +175,7 @@ class SaeScheme(AuthScheme):
                     attack=attack,
                     index_fill_factor=index_fill_factor,
                     storage=self._storage,
+                    cut_points=cut_points,
                 )
             )
             self._sp_replicas = [self.provider]
@@ -166,6 +190,7 @@ class SaeScheme(AuthScheme):
                         index_fill_factor=index_fill_factor,
                         storage=self._storage,
                         component_prefix=f"sae-r{replica}-sp",
+                        cut_points=cut_points,
                     )
                 )
             self._replica_router = ReplicaRouter(
@@ -178,6 +203,7 @@ class SaeScheme(AuthScheme):
                     page_size=page_size,
                     node_access_ms=node_access_ms,
                     storage=self._storage,
+                    cut_points=cut_points,
                 )
             )
         else:
@@ -199,12 +225,16 @@ class SaeScheme(AuthScheme):
         self.client = Client(scheme=self._scheme, key_index=dataset.schema.key_index)
         # Epoch stamps repeat across queries; the cached verifier answers
         # repeats with a dict lookup instead of an RSA exponentiation.
-        self._epoch_verifier = CachedVerifier(self.owner.epoch_verifier)
+        self._epoch_verifier = CachedVerifier(
+            self.owner.epoch_verifier, capacity=self._design.verifier_cache
+        )
         # Cross-query memo over record encodings and digests, shared between
         # the SP legs (payload sizing) and the client leg (verification
         # hashing).  Content-addressed, so update batches need no
         # invalidation: replaced records simply stop being looked up.
-        self._record_memo = RecordMemo(self._scheme)
+        self._record_memo = RecordMemo(
+            self._scheme, capacity=self._design.memo_capacity
+        )
         self._ready = False
         self._init_dispatch(max_workers)
         # Queries hold this shared; update batches hold it exclusive, so an
@@ -291,6 +321,11 @@ class SaeScheme(AuthScheme):
         return self._deployment
 
     @property
+    def design(self) -> PhysicalDesign:
+        """The physical design this deployment was built from."""
+        return self._design
+
+    @property
     def storage(self) -> StorageConfig:
         """The storage-tier configuration."""
         return self._storage
@@ -333,6 +368,7 @@ class SaeScheme(AuthScheme):
                     "index_fill_factor": self._index_fill_factor,
                     "shards": self._deployment.num_shards,
                     "digest": self._scheme.name,
+                    "design": self._design.to_json_dict(),
                 },
                 "dataset": self._dataset,
                 "epoch": self.owner.epoch,
@@ -367,7 +403,7 @@ class SaeScheme(AuthScheme):
     def restore(
         cls,
         data_dir: str,
-        pool_pages: int = 128,
+        pool_pages: Optional[int] = None,
         max_workers: Optional[int] = None,
         state: Optional[dict] = None,
     ) -> "SaeScheme":
@@ -387,18 +423,17 @@ class SaeScheme(AuthScheme):
                 f"not {cls.scheme_name!r}"
             )
         params = state["params"]
+        design = design_from_snapshot_params(params, pool_pages)
         system = cls(
             state["dataset"],
             scheme=get_scheme(params["digest"]),
-            page_size=params["page_size"],
             backend=params["backend"],
             node_access_ms=params["node_access_ms"],
             index_fill_factor=params["index_fill_factor"],
             max_workers=max_workers,
-            shards=params["shards"],
             storage="paged",
             data_dir=data_dir,
-            pool_pages=pool_pages,
+            design=design,
         )
         schema = state["dataset"].schema
         system.provider.restore_state(state["provider"], schema)
@@ -409,7 +444,9 @@ class SaeScheme(AuthScheme):
             network=system._network,
             start_epoch=state.get("epoch", 0),
         )
-        system._epoch_verifier = CachedVerifier(system.owner.epoch_verifier)
+        system._epoch_verifier = CachedVerifier(
+            system.owner.epoch_verifier, capacity=design.verifier_cache
+        )
         system.owner.adopt(system.provider, system.trusted_entity)
         system._ready = True
         return system

@@ -329,6 +329,7 @@ class ShardedServiceProvider(AttackableFleet):
         index_fill_factor: float = 1.0,
         storage: Optional[StorageConfig] = None,
         component_prefix: str = "sae-sp",
+        cut_points=None,
     ):
         self._init_fleet(
             num_shards,
@@ -341,6 +342,7 @@ class ShardedServiceProvider(AttackableFleet):
                 storage=storage,
                 component=f"{component_prefix}{shard_id}",
             ),
+            cut_points=cut_points,
         )
         self._backend = backend
         if attack is not None:

@@ -462,6 +462,11 @@ class OutsourcedDB:
         return self._system.num_replicas
 
     @property
+    def design(self):
+        """The deployment's :class:`~repro.core.design.PhysicalDesign`."""
+        return self._system.design
+
+    @property
     def current_epoch(self) -> int:
         """The owner's current signed update epoch (0 before any update)."""
         return self._system.current_epoch

@@ -50,11 +50,15 @@ class ShardedDeployment:
     values range-partition the relation on the query attribute.
     ``num_replicas`` backs every shard with that many identical service
     providers (replica 0 is the primary, the rest are warm standbys kept
-    current by signed update batches).
+    current by signed update batches).  ``cut_points`` fixes the router's
+    inclusive upper shard boundaries *explicitly* (possibly unbalanced, as
+    a workload-driven tuner recommends); ``None`` keeps the historical
+    balanced-from-dataset cuts.
     """
 
     num_shards: int = 1
     num_replicas: int = 1
+    cut_points: Optional[tuple] = None
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -65,6 +69,16 @@ class ShardedDeployment:
             raise ShardingError(
                 f"a deployment needs at least one replica, got {self.num_replicas}"
             )
+        if self.cut_points is not None:
+            cuts = tuple(self.cut_points)
+            object.__setattr__(self, "cut_points", cuts)
+            if len(cuts) != self.num_shards - 1:
+                raise ShardingError(
+                    f"{self.num_shards} shard(s) need {self.num_shards - 1} "
+                    f"cut point(s), got {len(cuts)}"
+                )
+            if list(cuts) != sorted(cuts):
+                raise ShardingError("shard cut points must be sorted")
 
     @property
     def is_sharded(self) -> bool:
@@ -260,10 +274,15 @@ class ShardMap:
     can never drift apart in how they assign records to shards.
     """
 
-    def __init__(self, num_shards: int):
+    def __init__(self, num_shards: int, cut_points: Optional[Sequence[Any]] = None):
         if num_shards < 1:
             raise ShardingError(f"need at least one shard, got {num_shards}")
+        if cut_points is not None:
+            # Validate eagerly (length, sortedness) -- a bad cut list must
+            # fail at construction, not at install time.
+            ShardRouter(list(cut_points), num_shards)
         self.num_shards = num_shards
+        self.cut_points = tuple(cut_points) if cut_points is not None else None
         self.router: Optional[ShardRouter] = None
         self.shard_by_id: Dict[Any, int] = {}
         self.schema = None
@@ -274,9 +293,16 @@ class ShardMap:
         return self.router is not None
 
     def install(self, dataset: Dataset) -> List[Dataset]:
-        """Derive the router from ``dataset`` and return its shard slices."""
+        """Install the router and return ``dataset``'s shard slices.
+
+        Explicit cut points (a tuned design) win; otherwise balanced cuts
+        are derived from the dataset, as always.
+        """
         self.schema = dataset.schema
-        self.router = ShardRouter.from_dataset(dataset, self.num_shards)
+        if self.cut_points is not None:
+            self.router = ShardRouter(list(self.cut_points), self.num_shards)
+        else:
+            self.router = ShardRouter.from_dataset(dataset, self.num_shards)
         key_index = dataset.schema.key_index
         id_index = dataset.schema.id_index
         self.shard_by_id = {
@@ -346,13 +372,19 @@ class ShardedFleet:
     #: Message of that exception (matches the single-shard party's wording).
     not_ready_message: str = "no dataset has been received yet"
 
-    def _init_fleet(self, num_shards: int, shard_factory: Callable[[int], Any]) -> None:
+    def _init_fleet(
+        self,
+        num_shards: int,
+        shard_factory: Callable[[int], Any],
+        cut_points: Optional[Sequence[Any]] = None,
+    ) -> None:
         """Create the shard map and one single-shard party per shard.
 
         ``shard_factory`` receives the shard id, so per-shard resources
         (e.g. the paged storage tier's backing files) get distinct names.
+        ``cut_points`` pins explicit shard boundaries (``None`` = balanced).
         """
-        self._map = ShardMap(num_shards)
+        self._map = ShardMap(num_shards, cut_points=cut_points)
         self._shards = [shard_factory(shard_id) for shard_id in range(num_shards)]
 
     @property

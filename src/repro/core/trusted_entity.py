@@ -415,6 +415,7 @@ class ShardedTrustedEntity(ShardedFleet):
         node_access_ms: Optional[float] = None,
         use_index: bool = True,
         storage: Optional[StorageConfig] = None,
+        cut_points=None,
     ):
         self._scheme = scheme or default_scheme()
         self._init_fleet(
@@ -427,6 +428,7 @@ class ShardedTrustedEntity(ShardedFleet):
                 storage=storage,
                 component=f"sae-te{shard_id}",
             ),
+            cut_points=cut_points,
         )
 
     # ------------------------------------------------------------------ meta

@@ -53,6 +53,7 @@ BENCH_FILES = (
     "BENCH_profile.json",
     "BENCH_replication.json",
     "BENCH_fleet.json",
+    "BENCH_tuning.json",
 )
 
 #: Relative regression allowed on gated metrics before the gate fails.
@@ -653,6 +654,59 @@ def _fleet_metrics() -> List[GateMetric]:
     return metrics
 
 
+def _tuning_metrics() -> List[GateMetric]:
+    """The physical-design advisor leg: tune on a Zipf trace, prove the win.
+
+    Hard requirements (every query verified under both designs, merged
+    receipts equal to their leg sums) raise here.  The gated axes are
+    deterministic: the replayed cost-model improvement of the recommended
+    design over ``PhysicalDesign.default_for`` and the live model-qps
+    rematch -- the workload is seeded, the tree shapes and the simulated
+    buffer pools are pure functions of the trace, so the advisor's win is
+    reproducible bit-for-bit.  The improvement is gated from below: if a
+    cost-model change stops the advisor finding a better-than-default
+    design on a skewed workload, the gate trips.
+    """
+    from repro.experiments.tuning import run_tuning_bench
+
+    result = run_tuning_bench()
+    if not result["all_verified"]:
+        raise RuntimeError("tuning bench: a query failed verification")
+    if not result["receipts_consistent"]:
+        raise RuntimeError("tuning bench: merged receipts != sum of shard legs")
+    return [
+        GateMetric(
+            name="tuning.replay_improvement_pct",
+            value=round(result["replay_improvement_pct"], 3),
+            unit="%",
+            gate=True,
+        ),
+        GateMetric(
+            name="tuning.model_qps_speedup",
+            value=round(result["model_qps_speedup"], 4),
+            unit="x",
+            gate=True,
+        ),
+        GateMetric(
+            name="tuning.baseline_model_qps",
+            value=round(result["baseline_model_qps"], 6),
+            unit="qps",
+            gate=True,
+        ),
+        GateMetric(
+            name="tuning.tuned_model_qps",
+            value=round(result["tuned_model_qps"], 6),
+            unit="qps",
+            gate=True,
+        ),
+        GateMetric(
+            name="tuning.evaluations",
+            value=result["evaluations"],
+            unit="designs",
+        ),
+    ]
+
+
 def _profile_metrics() -> List[GateMetric]:
     """The wall-clock profiling leg, one report per scheme."""
     metrics: List[GateMetric] = []
@@ -689,6 +743,9 @@ def collect_current_metrics() -> Dict[str, dict]:
         "BENCH_fleet.json": metrics_document(
             _fleet_metrics(),
             meta={"suite": "fleet", "scale": "quick", "cpus": os.cpu_count() or 1},
+        ),
+        "BENCH_tuning.json": metrics_document(
+            _tuning_metrics(), meta={"suite": "tuning", "scale": "quick"}
         ),
     }
 

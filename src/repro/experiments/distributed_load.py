@@ -64,6 +64,10 @@ class WorkerResult:
     total_sp_accesses: int = 0
     total_te_accesses: int = 0
     model_ms_total: float = 0.0
+    #: JSON dicts of recorded trace entries (only when trace recording was
+    #: requested): outcomes themselves are too heavy to ship back through
+    #: the result queue, the compact projection is not.
+    trace_entries: List[dict] = field(default_factory=list)
     error: str = ""
 
     @property
@@ -98,6 +102,9 @@ class DistributedLoadReport:
     num_shards: int
     worker_qps: List[float] = field(default_factory=list)
     transport: str = "fleet"
+    #: Recorded trace entries (JSON dicts, worker order) when the run was
+    #: asked to capture a receipt trace; empty otherwise.
+    trace_entries: List[dict] = field(default_factory=list)
 
     @property
     def model_qps(self) -> float:
@@ -187,6 +194,7 @@ def _worker_entry(
     batch_size: int,
     verify: bool,
     min_epoch: int,
+    record_trace: bool,
     start_barrier: Any,
     result_queue: Any,
 ) -> None:
@@ -221,6 +229,14 @@ def _worker_entry(
             finally:
                 await router.aclose()
             verified = sum(1 for outcome in outcomes if outcome.verified)
+            trace_entries: List[dict] = []
+            if record_trace:
+                from repro.workloads.trace import entry_from_outcome
+
+                trace_entries = [
+                    entry_from_outcome(outcome).to_json_dict()
+                    for outcome in outcomes
+                ]
             return WorkerResult(
                 worker_id=worker_id,
                 num_queries=len(outcomes),
@@ -235,6 +251,7 @@ def _worker_entry(
                 total_sp_accesses=sum(outcome.sp_accesses for outcome in outcomes),
                 total_te_accesses=sum(outcome.te_accesses for outcome in outcomes),
                 model_ms_total=sum(model_response_ms(outcome) for outcome in outcomes),
+                trace_entries=trace_entries,
             )
 
         result = asyncio.run(_run())
@@ -261,6 +278,7 @@ def run_distributed_load(
     scheme: str = "",
     num_shards: int = 0,
     start_timeout_s: float = 60.0,
+    record_trace: bool = False,
 ) -> DistributedLoadReport:
     """Partition ``bounds`` over worker processes and aggregate their runs.
 
@@ -297,6 +315,7 @@ def run_distributed_load(
                 batch_size,
                 verify,
                 min_epoch,
+                record_trace,
                 start_barrier,
                 result_queue,
             ),
@@ -375,6 +394,9 @@ def run_distributed_load(
         scheme=scheme,
         num_shards=num_shards,
         worker_qps=[result.throughput_qps for result in results],
+        trace_entries=[
+            entry for result in results for entry in result.trace_entries
+        ],
     )
 
 

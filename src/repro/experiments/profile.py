@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import OutsourcedDB
+from repro.core.design import PhysicalDesign
 from repro.crypto.digest import RecordMemo, default_scheme
 from repro.crypto.encoding import encode_record
 from repro.dbms.query import RangeQuery
@@ -315,7 +316,7 @@ def _codec_microbench(
             seed=seed,
             storage="paged",
             data_dir=tmp,
-            pool_pages=256,
+            design=PhysicalDesign(pool_pages=256),
         ).setup()
         with system:
             nodes = _paged_nodes(system)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core import OutsourcedDB, StaleReplicaAttack
+from repro.core.design import PhysicalDesign
 from repro.core.updates import UpdateBatch
 from repro.experiments.scaling import model_response_ms
 from repro.experiments.throughput import run_load
@@ -68,11 +69,11 @@ def run_replication(
         count=num_queries, seed=seed + 2, attribute=dataset.schema.key_column
     )
     bounds = [(query.low, query.high) for query in workload]
+    design = PhysicalDesign.default_for(dataset, shards=shards, replicas=replicas)
     system = OutsourcedDB(
         dataset,
         scheme=scheme,
-        shards=shards,
-        replicas=replicas,
+        design=design,
         key_bits=key_bits,
         seed=seed,
     ).setup()

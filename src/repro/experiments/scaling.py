@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core import DropAttack, InjectAttack, ModifyAttack, OutsourcedDB
+from repro.core.design import PhysicalDesign
 from repro.core.scheme import AuthScheme
 from repro.metrics.reporting import format_table
 from repro.workloads import build_dataset
@@ -215,8 +216,9 @@ def run_scaling(
     points: List[ScalingPoint] = []
     baseline_qps: Optional[float] = None
     for shards in shard_counts:
+        design = PhysicalDesign.default_for(dataset, shards=shards)
         system = OutsourcedDB(
-            dataset, scheme=scheme, shards=shards, key_bits=key_bits, seed=seed
+            dataset, scheme=scheme, design=design, key_bits=key_bits, seed=seed
         ).setup()
         with system:
             started = time.perf_counter()

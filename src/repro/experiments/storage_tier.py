@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core import OutsourcedDB
+from repro.core.design import PhysicalDesign
 from repro.core.scheme import restore_deployment
 from repro.experiments.scaling import model_response_ms
 from repro.metrics.reporting import format_table
@@ -112,7 +113,7 @@ def run_storage_tier(
                 seed=seed,
                 storage="paged",
                 data_dir=data_dir,
-                pool_pages=pool_pages,
+                design=PhysicalDesign(pool_pages=pool_pages),
             ).setup()
             built.snapshot()
             built.close()

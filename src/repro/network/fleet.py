@@ -58,6 +58,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core.design import PhysicalDesign
 from repro.core.pipeline import ZERO_RECEIPT, QueryReceipt, ShardLegReceipt
 from repro.core.sharding import ShardRouter, partition_dataset, route_update_batch
 from repro.core.updates import UpdateBatch
@@ -151,10 +152,31 @@ class FleetManifest:
     cardinality: int = 0
     dataset_name: str = ""
     pool_pages: int = 128
+    design: Optional[PhysicalDesign] = None
 
     def router(self) -> ShardRouter:
         """The deterministic key router shared by every fleet participant."""
         return ShardRouter(self.boundaries, self.num_shards)
+
+    def physical_design(self) -> PhysicalDesign:
+        """The fleet's physical design (reconstructed for pre-design manifests).
+
+        Manifests written before the design era carry only the routing
+        fields; those reconstruct a design from them so routers and
+        redeploy tooling always have one.  The reconstructed cut points are
+        the manifest boundaries -- the *actual* cuts the fleet serves --
+        so the round-trip ``design -> manifest -> design`` is lossless for
+        explicit (possibly unbalanced) cuts.
+        """
+        if self.design is not None:
+            return self.design
+        cuts = tuple(self.boundaries) if self.num_shards > 1 else None
+        return PhysicalDesign(
+            shards=self.num_shards,
+            cut_points=cuts,
+            replicas=self.replicas,
+            pool_pages=self.pool_pages,
+        )
 
     def save(self, base_dir: Union[str, Path]) -> Path:
         """Persist the manifest (atomic rename) plus a human summary."""
@@ -170,6 +192,7 @@ class FleetManifest:
             "cardinality": self.cardinality,
             "dataset_name": self.dataset_name,
             "pool_pages": self.pool_pages,
+            "design": None if self.design is None else self.design.to_json_dict(),
         }
         scratch = path.with_suffix(".tmp")
         with open(scratch, "wb") as handle:
@@ -209,6 +232,7 @@ class FleetManifest:
                 f"unsupported fleet format {state.get('format')!r} at {path} "
                 f"(expected {FLEET_FORMAT})"
             )
+        design_state = state.get("design")
         return cls(
             scheme=str(state["scheme"]),
             num_shards=int(state["num_shards"]),
@@ -219,16 +243,22 @@ class FleetManifest:
             cardinality=int(state.get("cardinality", 0)),
             dataset_name=str(state.get("dataset_name", "")),
             pool_pages=int(state.get("pool_pages", 128)),
+            design=(
+                None
+                if design_state is None
+                else PhysicalDesign.from_json_dict(design_state)
+            ),
         )
 
 
 def build_fleet(
     dataset: Any,
-    num_shards: int,
-    base_dir: Union[str, Path],
+    num_shards: Optional[int] = None,
+    base_dir: Union[str, Path, None] = None,
     scheme: str = "sae",
-    replicas: int = 1,
-    pool_pages: int = 128,
+    replicas: Optional[int] = None,
+    pool_pages: Optional[int] = None,
+    design: Optional[PhysicalDesign] = None,
     **scheme_kwargs: Any,
 ) -> FleetManifest:
     """Partition ``dataset`` and ship one snapshot per shard child.
@@ -238,14 +268,27 @@ def build_fleet(
     closed, ready for a ``repro serve --data-dir`` child to warm-restart
     it.  With ``replicas > 1`` every shard's snapshot directory is copied
     per standby (snapshot shipping), so each replica child serves its own
-    files.  Returns the saved :class:`FleetManifest`.
+    files.  ``design`` fixes the whole physical layout -- including
+    *explicit* (possibly unbalanced) cut points, which are honoured
+    verbatim instead of the balanced quantile cuts -- and is persisted in
+    the manifest so ``serve-fleet`` serves exactly what was built.  The
+    legacy ``num_shards`` / ``replicas`` / ``pool_pages`` arguments remain
+    as shims; repeating one alongside ``design`` with a *different* value
+    raises.  Returns the saved :class:`FleetManifest`.
     """
     from repro.core import OutsourcedDB
+    from repro.core.design import DesignError, resolve_design
 
-    if num_shards < 1:
-        raise FleetError(f"a fleet needs at least one shard, got {num_shards}")
-    if replicas < 1:
-        raise FleetError(f"a fleet needs at least one replica, got {replicas}")
+    if design is None and num_shards is None:
+        raise FleetError("build_fleet needs num_shards or a design")
+    if base_dir is None:
+        raise FleetError("build_fleet needs a base_dir")
+    try:
+        design = resolve_design(
+            design, shards=num_shards, replicas=replicas, pool_pages=pool_pages
+        )
+    except DesignError as exc:
+        raise FleetError(str(exc)) from exc
     base = Path(base_dir)
     if has_fleet(base):
         raise FleetError(
@@ -253,8 +296,9 @@ def build_fleet(
             "fresh directory (or serve the existing fleet instead)"
         )
     base.mkdir(parents=True, exist_ok=True)
-    router = ShardRouter.from_dataset(dataset, num_shards)
+    router = design.router(dataset)
     slices = partition_dataset(dataset, router)
+    child_design = design.shard_local()
     for shard, sub_dataset in enumerate(slices):
         primary_dir = shard_data_dir(base, shard, 0)
         primary_dir.mkdir(parents=True, exist_ok=True)
@@ -263,24 +307,29 @@ def build_fleet(
             scheme=scheme,
             storage="paged",
             data_dir=str(primary_dir),
-            pool_pages=pool_pages,
+            design=child_design,
             **scheme_kwargs,
         ).setup()
         try:
             db.snapshot()
         finally:
             db.close()
-        for replica in range(1, replicas):
+        for replica in range(1, design.replicas):
             replica_dir = shard_data_dir(base, shard, replica)
             if replica_dir.exists():
                 shutil.rmtree(replica_dir)
             shutil.copytree(primary_dir, replica_dir)
     key_index = dataset.schema.key_index
     id_index = dataset.schema.id_index
+    # Persist the actually-used cuts on the design, so the round-trip
+    # ``design -> manifest -> design`` is lossless even when the caller's
+    # design left the cuts implicit (balanced-from-dataset).
+    if design.shards > 1 and design.cut_points is None:
+        design = design.with_overrides(cut_points=tuple(router.boundaries))
     manifest = FleetManifest(
         scheme=scheme,
-        num_shards=num_shards,
-        replicas=replicas,
+        num_shards=design.shards,
+        replicas=design.replicas,
         boundaries=router.boundaries,
         schema=dataset.schema,
         shard_by_id={
@@ -289,7 +338,8 @@ def build_fleet(
         },
         cardinality=dataset.cardinality,
         dataset_name=dataset.name,
-        pool_pages=pool_pages,
+        pool_pages=design.pool_pages,
+        design=design,
     )
     manifest.save(base)
     return manifest

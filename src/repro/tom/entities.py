@@ -564,6 +564,7 @@ class ShardedTomServiceProvider(AttackableFleet):
         index_fill_factor: float = 1.0,
         storage: Optional[StorageConfig] = None,
         component_prefix: str = "tom-sp",
+        cut_points=None,
     ):
         self._scheme = scheme or default_scheme()
         self._init_fleet(
@@ -577,6 +578,7 @@ class ShardedTomServiceProvider(AttackableFleet):
                 storage=storage,
                 component=f"{component_prefix}{shard_id}",
             ),
+            cut_points=cut_points,
         )
         if attack is not None:
             self.attack = attack

@@ -35,6 +35,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.attacks import AttackModel
 from repro.core.dataset import Dataset
+from repro.core.design import (
+    DesignError,
+    PhysicalDesign,
+    design_from_snapshot_params,
+    resolve_design,
+)
 from repro.core.pipeline import (
     CostReceipt,
     ExecutionContext,
@@ -59,7 +65,6 @@ from repro.crypto.signatures import CachedVerifier
 from repro.dbms.query import RangeQuery
 from repro.network.channel import NetworkTracker
 from repro.network.messages import QueryRequest, ResultResponse, VOResponse
-from repro.storage.constants import DEFAULT_PAGE_SIZE
 from repro.storage.node_store import StorageConfig
 from repro.tom.entities import (
     ShardedTomServiceProvider,
@@ -141,27 +146,44 @@ class TomScheme(AuthScheme):
         self,
         dataset: Dataset,
         scheme: Optional[DigestScheme] = None,
-        page_size: int = DEFAULT_PAGE_SIZE,
+        page_size: Optional[int] = None,
         node_access_ms: Optional[float] = None,
         attack: Optional[AttackModel] = None,
         key_bits: int = 1024,
         seed: Optional[int] = 2009,
         index_fill_factor: float = 1.0,
         max_workers: Optional[int] = None,
-        shards: Union[int, ShardedDeployment] = 1,
-        replicas: int = 1,
+        shards: Optional[Union[int, ShardedDeployment]] = None,
+        replicas: Optional[int] = None,
         storage: Union[str, StorageConfig] = "memory",
         data_dir: Optional[str] = None,
-        pool_pages: int = 128,
+        pool_pages: Optional[int] = None,
         signer=None,
         verifier=None,
         start_epoch: int = 0,
+        design: Optional[PhysicalDesign] = None,
     ):
+        # ``design`` is the one descriptor of the physical layout; the raw
+        # shards/replicas/pool_pages/page_size keywords are deprecation
+        # shims resolved (and contradiction-checked) against it.
+        try:
+            self._design = resolve_design(
+                design,
+                shards=shards,
+                replicas=replicas,
+                pool_pages=pool_pages,
+                page_size=page_size,
+            )
+        except DesignError as exc:
+            raise SchemeError(str(exc)) from exc
+        page_size = self._design.page_size
         self._scheme = scheme or default_scheme()
         self._network = NetworkTracker()
         self._dataset = dataset
-        self._deployment = ShardedDeployment.coerce(shards, num_replicas=replicas)
-        self._storage = StorageConfig.coerce(storage, data_dir, pool_pages)
+        self._deployment = self._design.deployment()
+        self._storage = StorageConfig.coerce(
+            storage, data_dir, self._design.pool_pages
+        )
         self._page_size = page_size
         self._node_access_ms = node_access_ms
         self._index_fill_factor = index_fill_factor
@@ -173,6 +195,7 @@ class TomScheme(AuthScheme):
         self._replica_router: Optional[ReplicaRouter] = None
         self._sp_replicas: List[ShardedTomServiceProvider] = []
         if self._uses_fleet:
+            cut_points = self._deployment.cut_points
             self.provider: Union[TomServiceProvider, ShardedTomServiceProvider] = (
                 ShardedTomServiceProvider(
                     self._deployment.num_shards,
@@ -182,6 +205,7 @@ class TomScheme(AuthScheme):
                     attack=attack,
                     index_fill_factor=index_fill_factor,
                     storage=self._storage,
+                    cut_points=cut_points,
                 )
             )
             self._sp_replicas = [self.provider]
@@ -196,6 +220,7 @@ class TomScheme(AuthScheme):
                         index_fill_factor=index_fill_factor,
                         storage=self._storage,
                         component_prefix=f"tom-r{replica}-sp",
+                        cut_points=cut_points,
                     )
                 )
             self._replica_router = ReplicaRouter(
@@ -225,15 +250,21 @@ class TomScheme(AuthScheme):
         )
         # Cross-query memo over record encodings and digests, shared between
         # the SP legs (payload sizing) and the client's VO reconstruction.
-        self._record_memo = RecordMemo(self._scheme)
+        self._record_memo = RecordMemo(
+            self._scheme, capacity=self._design.memo_capacity
+        )
         # Between two update batches every query re-verifies the *same* root
         # signature(s); the cached verifier skips the repeated RSA modular
         # exponentiation and is invalidated on every batch.
-        self._root_verifier = CachedVerifier(self.owner.verifier)
+        self._root_verifier = CachedVerifier(
+            self.owner.verifier, capacity=self._design.verifier_cache
+        )
         # Epoch stamps repeat across queries; unlike root signatures they
         # stay valid across update batches (an old stamp is still validly
         # signed -- just stale), so this cache is never invalidated.
-        self._epoch_verifier = CachedVerifier(self.owner.epoch_verifier)
+        self._epoch_verifier = CachedVerifier(
+            self.owner.epoch_verifier, capacity=self._design.verifier_cache
+        )
         self.client = TomClient(
             verifier=self._root_verifier,
             key_index=dataset.schema.key_index,
@@ -342,6 +373,11 @@ class TomScheme(AuthScheme):
         return self._deployment
 
     @property
+    def design(self) -> PhysicalDesign:
+        """The physical design this deployment was built from."""
+        return self._design
+
+    @property
     def storage(self) -> StorageConfig:
         """The storage-tier configuration."""
         return self._storage
@@ -377,6 +413,7 @@ class TomScheme(AuthScheme):
                     "index_fill_factor": self._index_fill_factor,
                     "shards": self._deployment.num_shards,
                     "digest": self._scheme.name,
+                    "design": self._design.to_json_dict(),
                 },
                 "dataset": self._dataset,
                 "epoch": self.owner.epoch,
@@ -408,7 +445,7 @@ class TomScheme(AuthScheme):
     def restore(
         cls,
         data_dir: str,
-        pool_pages: int = 128,
+        pool_pages: Optional[int] = None,
         max_workers: Optional[int] = None,
         state: Optional[dict] = None,
     ) -> "TomScheme":
@@ -430,14 +467,12 @@ class TomScheme(AuthScheme):
         system = cls(
             dataset,
             scheme=get_scheme(params["digest"]),
-            page_size=params["page_size"],
             node_access_ms=params["node_access_ms"],
             index_fill_factor=params["index_fill_factor"],
             max_workers=max_workers,
-            shards=params["shards"],
             storage="paged",
             data_dir=data_dir,
-            pool_pages=pool_pages,
+            design=design_from_snapshot_params(params, pool_pages),
             # The owner and client must keep the *snapshotted* key pair (the
             # restored ADS slices carry signatures made with it) -- and
             # injecting it skips an entire wasted RSA key generation.

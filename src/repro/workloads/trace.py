@@ -1,0 +1,239 @@
+"""Receipt-trace recording: capture ``(query, receipt)`` pairs from any run.
+
+The tuning advisor (:mod:`repro.experiments.tuning`, ``repro tune``) needs a
+faithful record of a production workload to replay against candidate
+physical designs.  This module is the capture side: every query outcome the
+load drivers produce -- in-process :class:`~repro.core.protocol.QueryOutcome`
+/ :class:`~repro.tom.scheme.TomQueryOutcome`, or
+:class:`~repro.network.wire.RemoteQueryOutcome` from the TCP and fleet
+transports -- carries a :class:`~repro.core.pipeline.QueryReceipt`, and a
+trace entry is the flat, JSON-friendly projection of that receipt plus the
+query bounds.
+
+The on-disk format is compact JSONL (``repro-trace/1``): a single header
+line carrying the format tag and run metadata (scheme, dataset, transport,
+the serving design), then one object per query.  Entries keep only what
+replay needs -- the query bounds, result cardinality and the observed
+logical/physical cost counters used to calibrate the cost model -- so a
+100k-query trace stays a few MB.
+
+Capture is surfaced as ``repro bench run-load --record-trace trace.jsonl``
+(all transports) and programmatically through :class:`TraceRecorder`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+#: Version tag written into (and required from) every trace header.
+TRACE_FORMAT = "repro-trace/1"
+
+
+class TraceError(ValueError):
+    """Raised for unreadable or malformed trace files."""
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded query: its bounds plus the observed receipt counters.
+
+    ``sp_accesses`` / ``te_accesses`` are the *logical* node accesses the
+    paper's cost model charges; ``pool_hits`` / ``pool_misses`` are the
+    physical buffer-pool activity behind them (zero under in-memory
+    storage).  ``records`` is the result cardinality -- together with the
+    bounds it lets the replay model reconstruct each query's leaf span
+    under any candidate tree shape.
+    """
+
+    low: Any
+    high: Any
+    records: int = 0
+    verified: bool = True
+    sp_accesses: int = 0
+    te_accesses: int = 0
+    sp_cpu_ms: float = 0.0
+    te_cpu_ms: float = 0.0
+    pool_hits: int = 0
+    pool_misses: int = 0
+    auth_bytes: int = 0
+    result_bytes: int = 0
+    client_cpu_ms: float = 0.0
+
+    def to_json_dict(self) -> dict:
+        """The compact JSONL projection (round-trips via :meth:`from_json_dict`)."""
+        return {
+            "lo": self.low,
+            "hi": self.high,
+            "n": self.records,
+            "ok": self.verified,
+            "sp": self.sp_accesses,
+            "te": self.te_accesses,
+            "sp_cpu": round(self.sp_cpu_ms, 4),
+            "te_cpu": round(self.te_cpu_ms, 4),
+            "ph": self.pool_hits,
+            "pm": self.pool_misses,
+            "ab": self.auth_bytes,
+            "rb": self.result_bytes,
+            "cc": round(self.client_cpu_ms, 4),
+        }
+
+    @classmethod
+    def from_json_dict(cls, document: dict) -> "TraceEntry":
+        """Rebuild an entry from its JSONL projection."""
+        try:
+            return cls(
+                low=document["lo"],
+                high=document["hi"],
+                records=int(document.get("n", 0)),
+                verified=bool(document.get("ok", True)),
+                sp_accesses=int(document.get("sp", 0)),
+                te_accesses=int(document.get("te", 0)),
+                sp_cpu_ms=float(document.get("sp_cpu", 0.0)),
+                te_cpu_ms=float(document.get("te_cpu", 0.0)),
+                pool_hits=int(document.get("ph", 0)),
+                pool_misses=int(document.get("pm", 0)),
+                auth_bytes=int(document.get("ab", 0)),
+                result_bytes=int(document.get("rb", 0)),
+                client_cpu_ms=float(document.get("cc", 0.0)),
+            )
+        except KeyError as exc:
+            raise TraceError(f"trace entry is missing field {exc}") from exc
+
+
+def entry_from_outcome(outcome: Any) -> TraceEntry:
+    """Project one query outcome (in-process or remote) to a trace entry.
+
+    Works on anything shaped like the outcome objects: ``records`` (or
+    ``cardinality``), ``verified`` and an optional ``receipt``.  An outcome
+    whose receipt is missing (``verify=False`` fast paths) still records
+    its bounds and cardinality with zero cost counters.
+    """
+    receipt = getattr(outcome, "receipt", None)
+    if receipt is not None:
+        low, high = receipt.query.low, receipt.query.high
+    else:
+        query = getattr(outcome, "query", None)
+        if query is None:
+            raise TraceError(
+                f"outcome {type(outcome).__name__} carries neither a receipt "
+                "nor a query; nothing to record"
+            )
+        low, high = query.low, query.high
+    cardinality = getattr(outcome, "cardinality", None)
+    if cardinality is None:
+        cardinality = len(outcome.records)
+    if receipt is None:
+        return TraceEntry(
+            low=low, high=high, records=int(cardinality),
+            verified=bool(outcome.verified),
+        )
+    return TraceEntry(
+        low=low,
+        high=high,
+        records=int(cardinality),
+        verified=bool(outcome.verified),
+        sp_accesses=receipt.sp.node_accesses,
+        te_accesses=receipt.te.node_accesses,
+        sp_cpu_ms=receipt.sp.cpu_ms,
+        te_cpu_ms=receipt.te.cpu_ms,
+        pool_hits=receipt.sp.pool_hits + receipt.te.pool_hits,
+        pool_misses=receipt.sp.pool_misses + receipt.te.pool_misses,
+        auth_bytes=receipt.auth_bytes,
+        result_bytes=receipt.result_bytes,
+        client_cpu_ms=receipt.client_cpu_ms,
+    )
+
+
+def entries_from_outcomes(outcomes: Iterable[Any]) -> List[TraceEntry]:
+    """Project a run's outcomes (see :func:`entry_from_outcome`)."""
+    return [entry_from_outcome(outcome) for outcome in outcomes]
+
+
+class TraceRecorder:
+    """Incremental JSONL trace writer (header first, one entry per line).
+
+    Usable as a context manager; :meth:`record` accepts outcomes,
+    :meth:`record_entry` accepts pre-projected :class:`TraceEntry` values
+    or their JSON dicts (what fleet workers ship back to the coordinator).
+    """
+
+    def __init__(self, path: Union[str, Path], meta: Optional[Dict[str, Any]] = None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.entries_written = 0
+        self._handle = open(self.path, "w")
+        header = {"format": TRACE_FORMAT, "meta": dict(meta or {})}
+        self._handle.write(json.dumps(header, sort_keys=True) + "\n")
+
+    def record(self, outcome: Any) -> None:
+        """Record one query outcome."""
+        self.record_entry(entry_from_outcome(outcome))
+
+    def record_entry(self, entry: Union[TraceEntry, dict]) -> None:
+        """Record one pre-projected entry (or its JSON dict)."""
+        document = entry.to_json_dict() if isinstance(entry, TraceEntry) else entry
+        self._handle.write(json.dumps(document, sort_keys=True) + "\n")
+        self.entries_written += 1
+
+    def close(self) -> None:
+        """Flush and close the trace file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_trace(
+    path: Union[str, Path],
+    meta: Optional[Dict[str, Any]],
+    entries: Sequence[Union[TraceEntry, dict]],
+) -> int:
+    """Write a complete trace in one call; returns the entry count."""
+    with TraceRecorder(path, meta) as recorder:
+        for entry in entries:
+            recorder.record_entry(entry)
+        return recorder.entries_written
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A loaded trace: run metadata plus the recorded entries."""
+
+    meta: Dict[str, Any]
+    entries: Tuple[TraceEntry, ...]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Load and validate a JSONL trace written by :class:`TraceRecorder`."""
+    try:
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+    except OSError as exc:
+        raise TraceError(f"cannot read trace file {path}: {exc}") from exc
+    if not lines:
+        raise TraceError(f"trace file {path} is empty")
+    try:
+        header = json.loads(lines[0])
+        documents = [json.loads(line) for line in lines[1:]]
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"trace file {path} is not valid JSONL: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+        raise TraceError(
+            f"unsupported trace format {header.get('format') if isinstance(header, dict) else header!r} "
+            f"in {path} (expected {TRACE_FORMAT})"
+        )
+    return Trace(
+        meta=dict(header.get("meta") or {}),
+        entries=tuple(TraceEntry.from_json_dict(doc) for doc in documents),
+    )

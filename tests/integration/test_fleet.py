@@ -340,3 +340,98 @@ class TestTomFleet:
                     assert outcome.verified
 
             _run(drive())
+
+
+class TestSkewedCutPoints:
+    """Explicit (unbalanced) cut points: manifest round trip + routing parity.
+
+    Regression for the design era: a fleet built to deliberately skewed
+    cuts must persist exactly those cuts in its manifest, and the
+    manifest's router must split update batches identically to an
+    in-process router built from the same design.
+    """
+
+    def _skewed_design(self, dataset):
+        from repro.core.design import PhysicalDesign
+
+        keys = sorted(dataset.keys())
+        # Deliberately unbalanced: shard 0 owns only the bottom tenth.
+        cuts = (keys[len(keys) // 10], keys[len(keys) // 2])
+        return PhysicalDesign(shards=3, cut_points=cuts, pool_pages=48)
+
+    def test_manifest_round_trips_unbalanced_design(self, fleet_dataset, tmp_path):
+        design = self._skewed_design(fleet_dataset)
+        built = build_fleet(fleet_dataset, base_dir=tmp_path, scheme="sae",
+                            seed=3, design=design)
+        assert built.physical_design() == design
+        loaded = FleetManifest.load(tmp_path)
+        assert loaded.physical_design() == design
+        assert list(loaded.boundaries) == list(design.cut_points)
+
+    def test_route_update_batch_matches_in_process_router(
+        self, fleet_dataset, tmp_path
+    ):
+        from repro.core.sharding import route_update_batch
+
+        design = self._skewed_design(fleet_dataset)
+        build_fleet(fleet_dataset, base_dir=tmp_path, scheme="sae",
+                    seed=3, design=design)
+        manifest = FleetManifest.load(tmp_path)
+        key_index = fleet_dataset.schema.key_index
+        id_index = fleet_dataset.schema.id_index
+
+        def mixed_batch():
+            batch = UpdateBatch()
+            for record in fleet_dataset.records[:10]:
+                batch.modify(tuple(record))
+            batch.delete(fleet_dataset.records[11][id_index])
+            fresh = list(fleet_dataset.records[12])
+            fresh[id_index] = max(r[id_index] for r in fleet_dataset.records) + 1
+            batch.insert(tuple(fresh))
+            return batch
+
+        def ownership():
+            return {
+                record[id_index]: design.router().shard_of(record[key_index])
+                for record in fleet_dataset.records
+            }
+
+        via_manifest = route_update_batch(
+            mixed_batch(), manifest.router(), ownership(),
+            key_index=key_index, id_index=id_index,
+        )
+        via_design = route_update_batch(
+            mixed_batch(), design.router(), ownership(),
+            key_index=key_index, id_index=id_index,
+        )
+        assert [list(sub) for sub in via_manifest] == [
+            list(sub) for sub in via_design
+        ]
+        # The skew is real: shard 0 must own far fewer records than shard 2.
+        owners = list(ownership().values())
+        assert owners.count(0) < owners.count(2) / 2
+
+    def test_skewed_fleet_serves_verified_scatter_gather(
+        self, fleet_dataset, tmp_path
+    ):
+        design = self._skewed_design(fleet_dataset)
+        build_fleet(fleet_dataset, base_dir=tmp_path, scheme="sae",
+                    seed=3, design=design)
+        low, high = _range_covering(fleet_dataset, fraction=0.8)
+        key_index = fleet_dataset.schema.key_index
+        with FleetManager(tmp_path, restart=False) as manager:
+
+            async def drive():
+                async with manager.router() as router:
+                    return await router.query(low, high)
+
+            outcome = _run(drive())
+        assert outcome.verified
+        assert outcome.receipt.matches_leg_sums()
+        # The 0.8-quantile range spans all three skewed shards.
+        assert len(outcome.receipt.legs) == 3
+        expected = sorted(
+            tuple(record) for record in fleet_dataset.records
+            if low <= record[key_index] <= high
+        )
+        assert sorted(tuple(r) for r in outcome.records) == expected

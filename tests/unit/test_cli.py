@@ -288,3 +288,100 @@ class TestBenchSmokeWriteBaseline:
         assert "wrote baseline" in output
         merged = json.loads(baseline.read_text())["metrics"]
         assert {f"suite{i}.model_qps" for i in range(len(BENCH_FILES))} <= set(merged)
+
+
+class TestDesignFlag:
+    """--design FILE with explicit flags as overrides; contradictions exit 2."""
+
+    @pytest.fixture()
+    def design_file(self, tmp_path):
+        from repro.core.design import PhysicalDesign
+
+        path = tmp_path / "design.json"
+        PhysicalDesign(batch_size=10, pool_pages=32).save(path)
+        return str(path)
+
+    def test_run_load_serves_the_design(self, capsys, design_file):
+        exit_code = main([
+            "bench", "run-load", "--records", "400", "--queries", "6",
+            "--clients", "1", "--design", design_file, "--mode", "batched",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "verified" in output
+
+    def test_explicit_flags_override_the_design(self, capsys, design_file):
+        exit_code = main([
+            "bench", "run-load", "--records", "400", "--queries", "6",
+            "--clients", "1", "--design", design_file, "--shards", "2",
+            "--mode", "batched",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "2 shard(s)" in output
+
+    def test_malformed_design_file_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"shards": 2}')
+        exit_code = main([
+            "bench", "run-load", "--records", "400", "--design", str(bad),
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "unsupported design format" in captured.err
+
+    def test_record_trace_contradicts_mode_both(self, capsys, tmp_path):
+        exit_code = main([
+            "bench", "run-load", "--records", "400",
+            "--record-trace", str(tmp_path / "t.jsonl"), "--mode", "both",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "contradicts --mode both" in captured.err
+
+    def test_serve_design_contradicts_replica_of(self, capsys, design_file):
+        exit_code = main([
+            "serve", "--design", design_file, "--replica-of", "localhost:9999",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "--replica-of" in captured.err
+
+
+class TestTuneCommand:
+    def test_record_then_tune_emits_loadable_design(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "bench", "run-load", "--records", "600", "--queries", "12",
+            "--clients", "1", "--shards", "2", "--mode", "per-query",
+            "--record-trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        out = tmp_path / "design.json"
+        report = tmp_path / "report.txt"
+        exit_code = main([
+            "tune", "--trace", str(trace), "--out", str(out),
+            "--report", str(report),
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "recommended" in output
+        assert "baseline" in report.read_text()
+
+        from repro.core.design import PhysicalDesign
+
+        PhysicalDesign.load(out)  # must parse and validate
+
+    def test_missing_trace_exits_2(self, capsys, tmp_path):
+        exit_code = main(["tune", "--trace", str(tmp_path / "absent.jsonl")])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "cannot read trace file" in captured.err
+
+    def test_malformed_trace_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        exit_code = main(["tune", "--trace", str(bad)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "not valid JSONL" in captured.err

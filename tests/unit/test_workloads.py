@@ -184,3 +184,43 @@ class TestQueryWorkload:
     def test_attribute_propagates(self):
         workload = RangeQueryWorkload(count=3, attribute="price", seed=1)
         assert all(query.attribute == "price" for query in workload)
+
+
+class TestZipfTraceCapture:
+    """The skewed generator feeding the trace recorder: what `repro tune`
+    consumes.  The tail must stay populated (the advisor's histogram needs
+    mass everywhere) and a recorded skewed run must round-trip losslessly."""
+
+    def test_tail_mass_is_present_but_bounded(self):
+        generator = ZipfKeyGenerator(theta=1.1, domain=(0, 99_999), seed=9)
+        keys = generator.sample_many(20_000)
+        cold = sum(1 for key in keys if key >= 50_000) / len(keys)
+        # The cold half of the domain keeps real (sub-dominant) mass.
+        assert 0.001 < cold < 0.25
+
+    def test_deterministic_across_instances_high_theta(self):
+        first = ZipfKeyGenerator(theta=1.1, seed=21).sample_many(200)
+        second = ZipfKeyGenerator(theta=1.1, seed=21).sample_many(200)
+        assert first == second
+
+    def test_skewed_run_round_trips_through_recorder(self, tmp_path):
+        from repro.workloads.trace import load_trace, write_trace, TraceEntry
+
+        generator = ZipfKeyGenerator(theta=1.1, domain=(0, 99_999), seed=13)
+        lows = generator.sample_many(120)
+        entries = [
+            TraceEntry(low=low, high=low + 500, records=5, sp_accesses=4)
+            for low in lows
+        ]
+        path = tmp_path / "zipf-trace.jsonl"
+        assert write_trace(path, {"distribution": "zipf"}, entries) == 120
+        loaded = load_trace(path)
+        assert loaded.meta["distribution"] == "zipf"
+        assert [entry.low for entry in loaded.entries] == lows
+        # The recorded trace preserves the generator's skew: the advisor
+        # sees the same concentration the live run produced.
+        hot = sum(1 for low in lows if low < 20_000) / len(lows)
+        recorded_hot = sum(
+            1 for entry in loaded.entries if entry.low < 20_000
+        ) / len(loaded.entries)
+        assert recorded_hot == hot > 0.5
