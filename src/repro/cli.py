@@ -54,6 +54,15 @@ Three subcommands cover the common workflows without writing any code:
     candidate as a ``design.json`` for ``--design`` on ``serve`` /
     ``serve-fleet`` / ``bench run-load``.
 
+``python -m repro migrate``
+    Live re-shard an existing fleet to a tuned design: diff the serving
+    :class:`~repro.core.design.PhysicalDesign` against ``--design``,
+    bulk-move the affected key ranges through the signed update path under
+    fleet-wide epoch barriers, and atomically flip the manifest so live
+    routers adopt the new cut points without reconnecting.  Resumes an
+    interrupted migration from its journal; a no-op plan exits 0 without
+    touching the fleet.
+
 Deployment-shaping flags (``--shards``, ``--replicas``, ``--pool-pages``,
 ``--batch-size``) act as *overrides* on top of ``--design`` when both are
 given; a design file that cannot absorb the overrides (or cannot be read)
@@ -321,6 +330,31 @@ def _build_parser() -> argparse.ArgumentParser:
                            "baseline's (a capacity decision, not searched)")
     tune.add_argument("--rounds", type=_positive_int, default=2,
                       help="coordinate-descent passes over the knobs")
+
+    migrate = subparsers.add_parser(
+        "migrate",
+        help="live re-shard an existing fleet to a tuned physical design "
+             "(bulk-moves key ranges under epoch barriers, then flips the "
+             "manifest so routers adopt the new cuts without reconnecting)",
+    )
+    migrate.add_argument("--design", required=True, metavar="FILE",
+                         help="target physical design (a design.json from "
+                              "'repro tune'; sharded targets need explicit "
+                              "cut points)")
+    migrate.add_argument("--fleet-dir", required=True, metavar="DIR",
+                         help="base directory of the fleet to migrate "
+                              "(built by 'repro serve-fleet')")
+    migrate.add_argument("--host", default="127.0.0.1",
+                         help="interface the shard children bind during the "
+                              "migration")
+    migrate.add_argument("--move-chunk", type=_positive_int, default=64,
+                         help="records moved per epoch barrier (smaller = "
+                              "finer-grained progress, more barriers)")
+    migrate.add_argument("--checkpoint-every", type=_positive_int, default=8,
+                         help="barriers between shard checkpoints (bounds "
+                              "journal replay after a crash)")
+    migrate.add_argument("--quiet", action="store_true",
+                         help="suppress per-phase progress lines")
     return parser
 
 
@@ -1027,6 +1061,88 @@ def _run_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_served_elsewhere(base_dir) -> Optional[str]:
+    """The ``host:port`` of a live child if another process serves the fleet.
+
+    The migrator launches its own :class:`FleetManager`; two supervisors
+    over the same directory would fight over crashed children and port
+    files.  A child that still answers PING on a published port means the
+    fleet is up under someone else -- the CLI's exit-2 case.
+    """
+    from pathlib import Path
+
+    from repro.network.fleet import PORT_FILE, _sync_ping
+
+    for port_file in sorted(Path(base_dir).glob(f"shard*/{PORT_FILE}")):
+        try:
+            host, port_text = port_file.read_text().split()
+            _sync_ping(host, int(port_text))
+        except Exception:  # noqa: BLE001 - stale port file: not being served
+            continue
+        return f"{host}:{port_text} ({port_file.parent.name})"
+    return None
+
+
+def _run_migrate(args: argparse.Namespace) -> int:
+    from repro.core.design import DesignError, PhysicalDesign
+    from repro.core.migration import (
+        FleetMigrator,
+        MigrationError,
+        MigrationPlan,
+        journal_path,
+    )
+    from repro.network.fleet import FleetError, FleetManager, FleetManifest, has_fleet
+
+    try:
+        design = PhysicalDesign.load(args.design)
+    except DesignError as exc:
+        print(f"error: --design {args.design}: {exc}", file=sys.stderr)
+        return 2
+    if not has_fleet(args.fleet_dir):
+        print(f"error: no fleet at {args.fleet_dir} (build one with "
+              f"'repro serve-fleet --data-dir {args.fleet_dir}')", file=sys.stderr)
+        return 2
+    manifest = FleetManifest.load(args.fleet_dir)
+    try:
+        plan = MigrationPlan.compute(manifest.physical_design(), design)
+    except (MigrationError, DesignError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if plan.is_noop and not journal_path(args.fleet_dir).exists():
+        print(f"{args.fleet_dir} already serves [{design.describe()}]; "
+              "nothing to migrate")
+        return 0
+    served_at = _fleet_served_elsewhere(args.fleet_dir)
+    if served_at is not None:
+        print(f"error: the fleet at {args.fleet_dir} is already being served "
+              f"(a child answered at {served_at}); stop that 'repro "
+              "serve-fleet' first -- the migrator supervises the children "
+              "itself for the duration", file=sys.stderr)
+        return 2
+
+    def on_event(event) -> None:
+        if not args.quiet:
+            print(f"[{event.phase}] epoch {event.epoch}: {event.detail}",
+                  flush=True)
+
+    print(plan.describe())
+    try:
+        with FleetManager(args.fleet_dir, host=args.host, restart=True) as manager:
+            migrator = FleetMigrator(
+                manager,
+                design,
+                move_chunk=args.move_chunk,
+                checkpoint_every=args.checkpoint_every,
+                on_event=on_event,
+            )
+            report = migrator.run()
+    except (FleetError, MigrationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report.describe())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -1042,6 +1158,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_attack_gallery(args)
     if args.command == "tune":
         return _run_tune(args)
+    if args.command == "migrate":
+        return _run_migrate(args)
     if args.command == "bench":
         if args.bench_command == "smoke":
             return _run_bench_smoke(args)

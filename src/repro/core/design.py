@@ -177,6 +177,8 @@ class PhysicalDesign:
 
         if self.cut_points is not None:
             return ShardRouter(list(self.cut_points), self.shards)
+        if self.shards == 1:
+            return ShardRouter([], 1)  # unsharded: no cuts to derive
         if dataset is None:
             raise DesignError(
                 "this design has no explicit cut points; a dataset is needed "

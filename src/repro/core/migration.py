@@ -1,0 +1,972 @@
+"""Live re-sharding of a running fleet to a tuned :class:`PhysicalDesign`.
+
+The tuning advisor (:mod:`repro.experiments.tuning`) proposes a better
+physical design from a recorded trace; this module makes the proposal real
+*without stopping the fleet*.  Two layers:
+
+* :class:`MigrationPlan` -- the pure diff between the serving design and the
+  target.  Built from :func:`~repro.core.sharding.boundary_segments`, it
+  partitions the key domain into intervals of constant (old, new) shard
+  ownership, so every key is covered by exactly one segment and a key moves
+  iff its segment's owners differ.  The plan also names the shards to add or
+  retire and the per-node knob changes (pool pages, page size, replicas),
+  and can veto contradictory requests before any child process is touched.
+
+* :class:`FleetMigrator` -- the executor.  It drives a *running*
+  :class:`~repro.network.fleet.FleetManager` through the plan while
+  concurrent :class:`~repro.network.fleet.FleetRouter` clients keep
+  querying:
+
+  1. **Survey & repair** -- read every shard's epoch; finish any barrier a
+     previous migration journaled but did not complete (idempotent
+     ping-then-apply), then level stragglers with empty batches.
+  2. **Checkpoint** -- snapshot every primary, so a child SIGKILLed later
+     warm-restarts no further back than the journal reaches.
+  3. **Grow** -- build (or resume) the added shards' deployments at the
+     target per-node design, advance them to the fleet epoch in process,
+     and hand them to the manager's supervision.
+  4. **Transitional manifest + announce** -- persist the target layout in
+     the manifest's ``migration`` field and bump the fleet epoch past the
+     manifest watermark, so every live router re-reads ``fleet.pkl`` and
+     starts scattering to the union of old and new owners.
+  5. **Move** -- stream each outgoing key range off its old owner through
+     the existing signed update path: chunks of records become one
+     fleet-wide epoch barrier each (insert on the new owner, delete on the
+     old, empty batches everywhere else), journaled *before* they are
+     applied.  A router only merges legs served at one definite epoch, so
+     clients observe each key on exactly one shard throughout.
+  6. **Reshape** -- rebuild shards whose page size changed (drain, re-tree
+     the records at the new node layout, relaunch), roll pool-size changes
+     through graceful restarts, and re-ship fresh snapshots to the target
+     replica count.
+  7. **Flip** -- write the final manifest (new cuts, no ``migration``
+     field) and bump the epoch once more: routers adopt the new layout on
+     their next query, with no reconnect.
+
+Fault model: any shard child may be SIGKILLed at any barrier.  The
+supervisor relaunches it from its last snapshot; the next barrier notices
+the child's epoch is behind, replays the journaled sub-batches it missed
+(each guarded by a compare-epoch check, so an applied-but-unacknowledged
+batch is never applied twice), and proceeds.  If the *migrator* dies, the
+on-disk journal lets a re-run finish the incomplete barrier and recompute
+the remaining moves from live shard exports -- records already moved are
+simply no longer exported by their old owner.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pickle
+import shutil
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.design import PhysicalDesign
+from repro.core.sharding import KeySegment, boundary_segments
+from repro.core.updates import UpdateBatch
+
+
+class MigrationError(RuntimeError):
+    """Raised for contradictory plans and unrecoverable execution failures."""
+
+
+#: On-disk write-ahead journal of move barriers (under the fleet base dir).
+#: Pickled like the manifest: record fields carry raw bytes payloads.
+JOURNAL_FILE = "migration.journal.pkl"
+
+#: Version tag written into (and required from) the journal.
+JOURNAL_FORMAT = "repro-migration-journal/1"
+
+
+def journal_path(base_dir: Union[str, Path]) -> Path:
+    """Path of the migration journal under a fleet's base directory."""
+    return Path(base_dir) / JOURNAL_FILE
+
+
+# ---------------------------------------------------------------------- plan
+@dataclass(frozen=True)
+class MigrationPlan:
+    """The pure diff between a serving design and a migration target.
+
+    ``segments`` partition the key domain into ``(low, high]`` intervals of
+    constant (old, new) shard ownership -- every key belongs to exactly one
+    segment, and moves iff its segment's owners differ.  The plan is
+    data-free: it knows *which key ranges* change owner, not how many
+    records that is (the executor discovers the records by exporting the
+    live shards, which is what makes a re-run after an abort naturally
+    resume where the last run stopped).
+    """
+
+    old_design: PhysicalDesign
+    new_design: PhysicalDesign
+    segments: Tuple[KeySegment, ...]
+
+    @classmethod
+    def compute(
+        cls, old_design: PhysicalDesign, new_design: PhysicalDesign
+    ) -> "MigrationPlan":
+        """Diff two designs; raises :class:`MigrationError` on contradictions.
+
+        Both designs must carry *explicit* cut points when they shard:
+        balanced-from-dataset cuts depend on a dataset snapshot the running
+        fleet has long since updated away from, so migrating to them would
+        re-shard to a layout nobody can reproduce.  (``repro tune`` always
+        emits explicit cuts; fleet manifests always persist them.)
+        """
+        for label, design in (("serving", old_design), ("target", new_design)):
+            if design.shards > 1 and design.cut_points is None:
+                raise MigrationError(
+                    f"the {label} design shards {design.shards} ways without "
+                    "explicit cut points; a live migration needs explicit "
+                    "cuts (run `repro tune`, or add \"cut_points\" to the "
+                    "design file)"
+                )
+        segments = tuple(
+            boundary_segments(old_design.router(), new_design.router())
+        )
+        return cls(
+            old_design=old_design, new_design=new_design, segments=segments
+        )
+
+    # ------------------------------------------------------------------ derived
+    @property
+    def moves(self) -> Tuple[KeySegment, ...]:
+        """The segments whose keys change owner."""
+        return tuple(segment for segment in self.segments if segment.moves)
+
+    @property
+    def added_shards(self) -> Tuple[int, ...]:
+        """Shard ids that exist only under the target design."""
+        return tuple(range(self.old_design.shards, self.new_design.shards))
+
+    @property
+    def removed_shards(self) -> Tuple[int, ...]:
+        """Shard ids that exist only under the serving design."""
+        return tuple(range(self.new_design.shards, self.old_design.shards))
+
+    @property
+    def cuts_change(self) -> bool:
+        """Whether any key changes owner (shard count or cut points moved)."""
+        return bool(self.moves)
+
+    @property
+    def replicas_change(self) -> bool:
+        """Whether the per-shard standby count changes."""
+        return self.old_design.replicas != self.new_design.replicas
+
+    @property
+    def pool_change(self) -> bool:
+        """Whether the children's buffer-pool size changes (rolling restart)."""
+        return self.old_design.pool_pages != self.new_design.pool_pages
+
+    @property
+    def page_size_change(self) -> bool:
+        """Whether the tree node layout changes (per-shard rebuild)."""
+        return self.old_design.page_size != self.new_design.page_size
+
+    @property
+    def client_side_changes(self) -> Tuple[str, ...]:
+        """Design fields that only affect routers/clients, not the children.
+
+        ``batch_size``, ``memo_capacity`` and ``verifier_cache`` live on the
+        querying side; they take effect when clients adopt the flipped
+        manifest's design, with no data movement at all.
+        """
+        changed = []
+        for name in ("batch_size", "memo_capacity", "verifier_cache"):
+            if getattr(self.old_design, name) != getattr(self.new_design, name):
+                changed.append(name)
+        return tuple(changed)
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether the target is already the serving layout, knob for knob."""
+        return self.old_design == self.new_design
+
+    def segment_for(self, key: Any) -> KeySegment:
+        """The (unique) segment containing ``key``."""
+        for segment in self.segments:
+            if segment.contains(key):
+                return segment
+        raise MigrationError(f"no segment contains key {key!r}")  # unreachable
+
+    def describe(self) -> str:
+        """Multi-line human summary (the CLI's pre-flight report)."""
+        lines = [
+            f"serving: {self.old_design.describe()}",
+            f"target:  {self.new_design.describe()}",
+        ]
+        if self.is_noop:
+            lines.append("no-op: the fleet already serves the target design")
+            return "\n".join(lines)
+        for segment in self.moves:
+            lines.append(f"move {segment.describe()}")
+        if self.added_shards:
+            lines.append(f"add shard(s) {list(self.added_shards)}")
+        if self.removed_shards:
+            lines.append(
+                f"retire shard(s) {list(self.removed_shards)} (drained empty)"
+            )
+        if self.page_size_change:
+            lines.append(
+                f"rebuild trees: page {self.old_design.page_size} B -> "
+                f"{self.new_design.page_size} B"
+            )
+        if self.pool_change:
+            lines.append(
+                f"rolling restart: pool {self.old_design.pool_pages} -> "
+                f"{self.new_design.pool_pages} pages"
+            )
+        if self.replicas_change:
+            lines.append(
+                f"re-ship replicas: {self.old_design.replicas} -> "
+                f"{self.new_design.replicas} per shard"
+            )
+        for name in self.client_side_changes:
+            lines.append(
+                f"client-side: {name} "
+                f"{getattr(self.old_design, name)} -> "
+                f"{getattr(self.new_design, name)}"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- events
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One progress notification from the executor (see ``on_event``)."""
+
+    phase: str
+    epoch: int
+    barrier: int = 0
+    detail: str = ""
+
+
+@dataclass
+class MigrationReport:
+    """What a completed migration did (the CLI prints this)."""
+
+    moved_records: int = 0
+    barriers: int = 0
+    checkpoints: int = 0
+    recoveries: int = 0
+    rebuilt_shards: int = 0
+    pool_restarts: int = 0
+    replicas_shipped: int = 0
+    added_shards: Tuple[int, ...] = ()
+    removed_shards: Tuple[int, ...] = ()
+    epoch_start: int = 0
+    epoch_final: int = 0
+    noop: bool = False
+    duration_s: float = 0.0
+
+    def describe(self) -> str:
+        if self.noop:
+            return "no-op: the fleet already serves the target design"
+        lines = [
+            f"moved {self.moved_records} record(s) across "
+            f"{self.barriers} epoch barrier(s) "
+            f"(epoch {self.epoch_start} -> {self.epoch_final}, "
+            f"{self.checkpoints} checkpoint(s), "
+            f"{self.recoveries} crash recover(ies))",
+        ]
+        if self.added_shards:
+            lines.append(f"added shard(s) {list(self.added_shards)}")
+        if self.removed_shards:
+            lines.append(f"retired shard(s) {list(self.removed_shards)}")
+        if self.rebuilt_shards:
+            lines.append(f"rebuilt {self.rebuilt_shards} shard tree(s)")
+        if self.pool_restarts:
+            lines.append(f"rolling-restarted {self.pool_restarts} child(ren)")
+        if self.replicas_shipped:
+            lines.append(f"shipped {self.replicas_shipped} replica snapshot(s)")
+        lines.append(f"wall time {self.duration_s:.2f}s")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- executor
+class FleetMigrator:
+    """Execute a :class:`MigrationPlan` against a running fleet.
+
+    ``manager`` must be a started :class:`~repro.network.fleet.FleetManager`
+    with its crash monitor running (the monitor is the recovery half of the
+    fault model).  ``move_chunk`` bounds the records per move barrier --
+    smaller chunks mean more barriers but a tighter bound on how long any
+    key's placement is in flight.  ``on_event`` (if given) receives a
+    :class:`MigrationEvent` before every barrier and phase transition; the
+    fault-injection tests use it to SIGKILL children at exact points.
+    """
+
+    def __init__(
+        self,
+        manager: Any,
+        target_design: PhysicalDesign,
+        move_chunk: int = 64,
+        checkpoint_every: int = 8,
+        on_event: Optional[Callable[[MigrationEvent], None]] = None,
+        child_timeout_s: float = 60.0,
+        recovery_timeout_s: float = 60.0,
+    ):
+        if move_chunk < 1:
+            raise MigrationError("move_chunk must be at least 1")
+        if checkpoint_every < 1:
+            raise MigrationError("checkpoint_every must be at least 1")
+        self.manager = manager
+        self.manifest = manager.manifest
+        self.target = target_design
+        self.plan = MigrationPlan.compute(
+            self.manifest.physical_design(), self.target
+        )
+        self.move_chunk = move_chunk
+        self.checkpoint_every = checkpoint_every
+        self.on_event = on_event
+        self.child_timeout_s = child_timeout_s
+        self.recovery_timeout_s = recovery_timeout_s
+        self.report = MigrationReport(
+            added_shards=self.plan.added_shards,
+            removed_shards=self.plan.removed_shards,
+        )
+        self._epoch = 0
+        self._shard_by_id: Dict[Any, int] = dict(self.manifest.shard_by_id)
+        #: In-memory copy of the on-disk journal: barriers since the last
+        #: checkpoint, oldest first.  Entry: {"epoch": e, "shards": {id: ops}}.
+        self._journal: List[Dict[str, Any]] = []
+        self._clients: Dict[Tuple[str, int], Any] = {}
+
+    # ------------------------------------------------------------------ plumbing
+    def _emit(self, phase: str, detail: str = "") -> None:
+        if self.on_event is not None:
+            self.on_event(
+                MigrationEvent(
+                    phase=phase,
+                    epoch=self._epoch,
+                    barrier=self.report.barriers,
+                    detail=detail,
+                )
+            )
+
+    def _client(self, endpoint: Tuple[str, int]):
+        from repro.network.client import RemoteSchemeClient
+
+        client = self._clients.get(endpoint)
+        if client is None:
+            client = RemoteSchemeClient(endpoint[0], endpoint[1], pool_size=2)
+            self._clients[endpoint] = client
+        return client
+
+    async def _close_clients(self) -> None:
+        clients, self._clients = list(self._clients.values()), {}
+        for client in clients:
+            await client.aclose()
+
+    async def _call_shard(
+        self,
+        shard: int,
+        call: Callable[[Any], Any],
+        retry: bool = True,
+        timeout_s: Optional[float] = None,
+    ) -> Any:
+        """Run one call against ``shard``'s serving child.
+
+        With ``retry`` (the default, for *idempotent* calls -- pings,
+        snapshots, exports), connection failures are retried until
+        ``timeout_s``, re-resolving the endpoint each round so a
+        supervisor-relaunched child (fresh port) rejoins.  With ``retry``
+        off (update applies, which are NOT idempotent), a connection
+        failure raises to the caller after one pass over the replicas --
+        the caller must re-read the child's epoch to learn whether the
+        batch landed before the crash, instead of blindly re-sending it.
+        """
+        deadline = time.monotonic() + (
+            self.recovery_timeout_s if timeout_s is None else timeout_s
+        )
+        last_error: Optional[BaseException] = None
+        while True:
+            table = self.manager.endpoints()
+            replicas = table[shard] if shard < len(table) else []
+            for endpoint in replicas:
+                if endpoint[1] == 0:
+                    continue  # not (re)bound yet
+                try:
+                    return await call(self._client(endpoint))
+                except (ConnectionError, OSError) as exc:
+                    last_error = exc
+            if not retry:
+                raise last_error if last_error is not None else ConnectionError(
+                    f"no bound endpoint for shard {shard}"
+                )
+            if time.monotonic() >= deadline:
+                raise MigrationError(
+                    f"shard {shard} stayed unreachable for "
+                    f"{self.recovery_timeout_s:.0f}s during the migration: "
+                    f"{type(last_error).__name__ if last_error else 'no endpoint'}"
+                    f"{f': {last_error}' if last_error else ''}"
+                )
+            await asyncio.sleep(0.1)
+
+    async def _shard_epoch(self, shard: int) -> int:
+        return await self._call_shard(shard, lambda client: client.server_epoch())
+
+    # ------------------------------------------------------------------ journal
+    def _journal_save(self) -> None:
+        path = journal_path(self.manager.base_dir)
+        scratch = path.with_suffix(".tmp")
+        document = {"format": JOURNAL_FORMAT, "barriers": self._journal}
+        with open(scratch, "wb") as handle:
+            pickle.dump(document, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(scratch, path)
+
+    def _journal_load(self) -> None:
+        path = journal_path(self.manager.base_dir)
+        if not path.exists():
+            self._journal = []
+            return
+        try:
+            with open(path, "rb") as handle:
+                document = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            raise MigrationError(
+                f"unreadable migration journal {path}: {exc} "
+                "(inspect/remove it before retrying)"
+            ) from exc
+        if document.get("format") != JOURNAL_FORMAT:
+            raise MigrationError(
+                f"unsupported journal format {document.get('format')!r} at {path}"
+            )
+        self._journal = list(document.get("barriers", []))
+
+    def _journal_drop(self) -> None:
+        self._journal = []
+        try:
+            journal_path(self.manager.base_dir).unlink()
+        except FileNotFoundError:
+            pass
+
+    def _journal_truncate(self, epoch: int) -> None:
+        """Drop journaled barriers every shard's snapshot already covers."""
+        self._journal = [
+            entry for entry in self._journal if int(entry["epoch"]) >= epoch
+        ]
+        self._journal_save()
+
+    # ------------------------------------------------------------------ barriers
+    async def _apply_once(
+        self, shard: int, operations: List[Dict[str, Any]]
+    ) -> None:
+        """Send one sub-batch, exactly one attempt (no connection retries)."""
+        from repro.network import wire
+
+        batch = wire.update_batch_from_wire(operations)
+        await self._call_shard(
+            shard, lambda client: client.apply_updates_epoch(batch), retry=False
+        )
+
+    async def _apply_sub_batch(
+        self, shard: int, pre_epoch: int, operations: List[Dict[str, Any]]
+    ) -> None:
+        """Idempotently bring ``shard`` from ``pre_epoch`` to ``pre_epoch + 1``.
+
+        Ping-then-apply: the child's epoch decides, and is re-read before
+        *every* send -- an apply is never blindly retried, because the
+        batch may have landed just before the connection died.  Already
+        past the barrier (applied, acknowledgement lost) -> nothing to do.
+        *Behind* the barrier (relaunched from an older snapshot) -> replay
+        the journaled sub-batches it missed, in epoch order, each under the
+        same compare-epoch guard -- so no batch is ever applied twice and
+        none is skipped.
+        """
+        deadline = time.monotonic() + self.recovery_timeout_s
+        while True:
+            try:
+                epoch = await self._call_shard(
+                    shard, lambda client: client.server_epoch(), retry=False
+                )
+                if epoch > pre_epoch:
+                    return  # barrier already committed on this child
+                if epoch == pre_epoch:
+                    await self._apply_once(shard, operations)
+                    return
+                # Behind: crash recovery restored this child's checkpoint
+                # copy; replay the journaled barrier it is missing.
+                entry = next(
+                    (e for e in self._journal if int(e["epoch"]) == epoch), None
+                )
+                if entry is None:
+                    raise MigrationError(
+                        f"shard {shard} is at epoch {epoch} but the journal "
+                        "has no barrier for it -- its state predates the "
+                        "last checkpoint"
+                    )
+                await self._apply_once(shard, entry["shards"].get(str(shard), []))
+            except (ConnectionError, OSError):
+                # The child is down (SIGKILLed; the monitor is hands-off
+                # under fleet maintenance).  Restore its checkpoint copy
+                # and loop: the epoch probe then shows how far the journal
+                # must replay, and whether an unacknowledged batch landed
+                # before the crash.
+                if time.monotonic() >= deadline:
+                    raise MigrationError(
+                        f"shard {shard} kept crashing for "
+                        f"{self.recovery_timeout_s:.0f}s during a barrier"
+                    )
+                await self._recover_shard(shard)
+
+    async def _barrier(
+        self,
+        sub_batches: Dict[int, UpdateBatch],
+        shards: Optional[Sequence[int]] = None,
+        journal: bool = True,
+    ) -> int:
+        """One fleet-wide epoch barrier: every shard advances exactly once.
+
+        ``sub_batches`` names the shards with real work; every other shard
+        in ``shards`` (default: every supervised row, including retired
+        ones) receives an empty batch, keeping the fleet's signed epochs in
+        lockstep.  The barrier is journaled *before* any child is touched,
+        so a crash at any point is recoverable by replay.
+        """
+        from repro.network import wire
+
+        if shards is None:
+            shards = range(self.manager.num_shards)
+        pre_epoch = self._epoch
+        entry = {
+            "epoch": pre_epoch,
+            "shards": {
+                str(shard): wire.update_batch_to_wire(
+                    sub_batches.get(shard, UpdateBatch())
+                )
+                for shard in shards
+            },
+        }
+        if journal:
+            self._journal.append(entry)
+            self._journal_save()
+        self._emit(
+            "barrier",
+            f"epoch {pre_epoch} -> {pre_epoch + 1} "
+            f"({sum(len(ops) for ops in entry['shards'].values())} op(s))",
+        )
+        await asyncio.gather(
+            *(
+                self._apply_sub_batch(shard, pre_epoch, entry["shards"][str(shard)])
+                for shard in shards
+            )
+        )
+        self._epoch = pre_epoch + 1
+        self.report.barriers += 1
+        return self._epoch
+
+    def _checkpoint_dir(self, shard: int) -> Path:
+        from repro.network.fleet import shard_data_dir
+
+        data_dir = shard_data_dir(self.manager.base_dir, shard, 0)
+        return data_dir.with_name(data_dir.name + ".ckpt")
+
+    async def _copy_checkpoint(self, shard: int) -> None:
+        """Copy one shard's just-snapshotted directory aside, immutably.
+
+        The live directory is NOT a trustworthy recovery source: the
+        storage tier's durability is checkpoint-based, so a SIGKILL can
+        leave its page files ahead of (and inconsistent with) its snapshot
+        state.  The aside copy is taken while no updates are in flight (the
+        migrator is the fleet's only writer and checkpoints between
+        barriers; concurrent reads dirty nothing), so it is exactly the
+        snapshot -- the state crash recovery restores before replaying the
+        journal forward.
+        """
+        from repro.network.fleet import shard_data_dir
+
+        data_dir = shard_data_dir(self.manager.base_dir, shard, 0)
+        ckpt = self._checkpoint_dir(shard)
+
+        def copy() -> None:
+            if ckpt.exists():
+                shutil.rmtree(ckpt)
+            shutil.copytree(data_dir, ckpt)
+
+        await asyncio.get_running_loop().run_in_executor(None, copy)
+
+    def _drop_checkpoints(self) -> None:
+        for shard in range(self.manager.num_shards):
+            ckpt = self._checkpoint_dir(shard)
+            if ckpt.exists():
+                shutil.rmtree(ckpt)
+
+    async def _checkpoint(self) -> None:
+        """Snapshot every serving child, copy the snapshots aside, truncate.
+
+        After this, every shard has an immutable consistent copy at the
+        current epoch, and the journal holds exactly the barriers needed to
+        replay any shard forward from its copy.
+        """
+        epochs = []
+        for shard in range(self.manager.num_shards):
+            epochs.append(
+                await self._call_shard(shard, lambda client: client.snapshot())
+            )
+            await self._copy_checkpoint(shard)
+        self._journal_truncate(min(epochs) if epochs else self._epoch)
+        self.report.checkpoints += 1
+        self._emit("checkpoint", f"snapshots at epoch {self._epoch}")
+
+    async def _recover_shard(self, shard: int) -> None:
+        """Restore a crashed child from its checkpoint copy and relaunch.
+
+        The monitor is hands-off for the whole migration (fleet
+        maintenance), so a killed child stays down until this runs: its
+        possibly-torn directory is replaced wholesale by the immutable
+        checkpoint copy, the child relaunches serving that consistent
+        state, and the caller replays the journal to bring it back to the
+        barrier.  Also safe against false alarms -- recovering a healthy
+        child merely rewinds it to the checkpoint the journal replays
+        forward from anyway.
+        """
+        from repro.network.fleet import shard_data_dir
+
+        ckpt = self._checkpoint_dir(shard)
+        if not ckpt.exists():
+            raise MigrationError(
+                f"shard {shard} crashed but no checkpoint copy exists at {ckpt}"
+            )
+        data_dir = shard_data_dir(self.manager.base_dir, shard, 0)
+        child = self.manager.child(shard, 0)
+        self._emit("recover", f"shard {shard}: restoring checkpoint copy")
+
+        def restore() -> None:
+            child.kill()
+            child.wait_exit()
+            if data_dir.exists():
+                shutil.rmtree(data_dir)
+            shutil.copytree(ckpt, data_dir)
+            child.launch()
+            child.wait_ready(self.child_timeout_s)
+
+        await asyncio.get_running_loop().run_in_executor(None, restore)
+        self.report.recoveries += 1
+
+    # ------------------------------------------------------------------ phases
+    async def _survey_and_repair(self) -> None:
+        """Read every shard's epoch; finish interrupted work; level stragglers.
+
+        The repair invariant: every epoch a shard is missing is either in
+        the journal (a move barrier a previous run did not finish -- replay
+        its exact sub-batch) or was an *empty* barrier whose journal entry
+        was never written or already dropped (announce/flip) -- replay an
+        empty batch.  Both replays run under the compare-epoch guard of the
+        signed update path, so repairing is idempotent.
+        """
+        self._journal_load()
+        epochs = [
+            await self._shard_epoch(shard)
+            for shard in range(self.manager.num_shards)
+        ]
+        self._epoch = max(epochs) if epochs else 0
+        if self._journal:
+            last_epoch = int(self._journal[-1]["epoch"])
+            self._epoch = max(self._epoch, last_epoch + 1)
+            self._emit(
+                "repair",
+                f"completing {len(self._journal)} journaled barrier(s) "
+                f"up to epoch {self._epoch}",
+            )
+        by_epoch = {int(entry["epoch"]): entry for entry in self._journal}
+        for shard in range(self.manager.num_shards):
+            while True:
+                epoch = await self._shard_epoch(shard)
+                if epoch >= self._epoch:
+                    break
+                entry = by_epoch.get(epoch)
+                operations = entry["shards"].get(str(shard), []) if entry else []
+                await self._apply_sub_batch(shard, epoch, operations)
+        self.report.epoch_start = self._epoch
+
+    async def _grow(self) -> None:
+        """Build (or resume) the added shards and supervise them."""
+        from repro.core import OutsourcedDB
+        from repro.core.dataset import Dataset
+        from repro.core.scheme import has_snapshot, restore_deployment
+        from repro.network.fleet import shard_data_dir
+
+        for shard in self.plan.added_shards:
+            data_dir = shard_data_dir(self.manager.base_dir, shard, 0)
+            self._emit("grow", f"building shard {shard} at {data_dir}")
+            if has_snapshot(str(data_dir)):
+                # A previous aborted run already built it; just level its
+                # epoch to the fleet's before serving it.
+                db = restore_deployment(str(data_dir))
+            else:
+                data_dir.mkdir(parents=True, exist_ok=True)
+                empty = Dataset(
+                    schema=self.manifest.schema,
+                    records=[],
+                    name=f"{self.manifest.dataset_name}/shard{shard}",
+                )
+                db = OutsourcedDB(
+                    empty,
+                    scheme=self.manifest.scheme,
+                    storage="paged",
+                    data_dir=str(data_dir),
+                    design=self.target.shard_local(),
+                    **self.manifest.scheme_kwargs,
+                ).setup()
+            try:
+                # Bring the fresh child up to the fleet's signed epoch: each
+                # empty batch advances the owner's epoch exactly once.
+                while db.current_epoch < self._epoch:
+                    db.apply_updates(UpdateBatch())
+                db.snapshot()
+            finally:
+                db.close()
+            await self._copy_checkpoint(shard)
+            if shard < self.manager.num_shards:
+                continue  # already supervised by a previous aborted run
+            # The manager's readiness probes run their own event loop, so
+            # every blocking topology call is pushed to a worker thread.
+            added = await asyncio.get_running_loop().run_in_executor(
+                None,
+                lambda: self.manager.add_shard(
+                    timeout_s=self.child_timeout_s,
+                    pool_pages=self.target.pool_pages,
+                ),
+            )
+            if added != shard:
+                raise MigrationError(
+                    f"expected to add shard {shard}, manager added {added}"
+                )
+
+    def _write_manifest(self, final: bool) -> None:
+        """Persist the transitional or final manifest (atomic rename)."""
+        manifest = self.manifest
+        if final:
+            target_router = self.target.router()
+            manifest.boundaries = target_router.boundaries
+            manifest.num_shards = self.target.shards
+            manifest.replicas = self.target.replicas
+            manifest.pool_pages = self.target.pool_pages
+            manifest.design = self.target
+            manifest.shard_by_id = dict(self._shard_by_id)
+            manifest.migration = None
+        else:
+            manifest.migration = {
+                "boundaries": list(self.target.router().boundaries),
+                "num_shards": self.target.shards,
+                "design": self.target.to_json_dict(),
+            }
+        manifest.epoch = self._epoch
+        manifest.save(self.manager.base_dir)
+
+    async def _move(self) -> None:
+        """Stream every outgoing key range through journaled move barriers."""
+        since_checkpoint = 0
+        for old_shard in range(self.plan.old_design.shards):
+            outgoing = [
+                segment
+                for segment in self.plan.moves
+                if segment.old_shard == old_shard
+            ]
+            if not outgoing:
+                continue
+            records, total, _ = await self._call_shard(
+                old_shard, lambda client: client.export_records()
+            )
+            key_index = self.manifest.schema.key_index
+            id_index = self.manifest.schema.id_index
+            movers: List[Tuple[Any, int]] = []
+            for record in records:
+                key = record[key_index]
+                for segment in outgoing:
+                    if segment.contains(key):
+                        movers.append((record, segment.new_shard))
+                        break
+            self._emit(
+                "move",
+                f"shard {old_shard}: {len(movers)} of {total} record(s) leaving",
+            )
+            for start in range(0, len(movers), self.move_chunk):
+                chunk = movers[start : start + self.move_chunk]
+                sub_batches: Dict[int, UpdateBatch] = {}
+                for record, new_shard in chunk:
+                    sub_batches.setdefault(new_shard, UpdateBatch()).insert(record)
+                deletes = sub_batches.setdefault(old_shard, UpdateBatch())
+                for record, _ in chunk:
+                    deletes.delete(record[id_index])
+                await self._barrier(sub_batches)
+                for record, new_shard in chunk:
+                    self._shard_by_id[record[id_index]] = new_shard
+                self.report.moved_records += len(chunk)
+                since_checkpoint += 1
+                if since_checkpoint >= self.checkpoint_every:
+                    await self._checkpoint()
+                    since_checkpoint = 0
+
+    async def _rebuild_shard(self, shard: int) -> None:
+        """Aside-rebuild one shard's trees at the target page size.
+
+        Drain (the graceful stop writes a fresh snapshot), re-outsource the
+        drained records under the target per-node design, replay the signed
+        epoch forward, snapshot, swap the directories, relaunch.  The shard
+        is down for the duration; routers ride it out through leg retries.
+        """
+        from repro.core import OutsourcedDB
+        from repro.core.scheme import restore_deployment
+        from repro.network.fleet import shard_data_dir
+
+        self._emit("rebuild", f"shard {shard}: page size {self.target.page_size} B")
+        data_dir = shard_data_dir(self.manager.base_dir, shard, 0)
+        scratch = data_dir.with_name(data_dir.name + ".rebuild")
+        retired = data_dir.with_name(data_dir.name + ".old")
+        child = self.manager.child(shard, 0)
+        loop = asyncio.get_running_loop()
+
+        def rebuild() -> None:
+            child.terminate(self.manager.drain_grace_s)
+            if scratch.exists():
+                shutil.rmtree(scratch)
+            scratch.mkdir(parents=True)
+            old_db = restore_deployment(str(data_dir))
+            try:
+                dataset = old_db.dataset
+            finally:
+                old_db.close()
+            new_db = OutsourcedDB(
+                dataset,
+                scheme=self.manifest.scheme,
+                storage="paged",
+                data_dir=str(scratch),
+                design=self.target.shard_local(),
+                **self.manifest.scheme_kwargs,
+            ).setup()
+            try:
+                while new_db.current_epoch < self._epoch:
+                    new_db.apply_updates(UpdateBatch())
+                new_db.snapshot()
+            finally:
+                new_db.close()
+            if retired.exists():
+                shutil.rmtree(retired)
+            os.replace(data_dir, retired)
+            os.replace(scratch, data_dir)
+            shutil.rmtree(retired)
+            child.pool_pages = self.target.pool_pages
+            child.launch()
+            child.wait_ready(self.child_timeout_s)
+
+        with self.manager.maintenance(shard, 0):
+            await loop.run_in_executor(None, rebuild)
+        self.report.rebuilt_shards += 1
+
+    async def _reshape(self) -> None:
+        """Apply the per-node knob changes to every surviving shard."""
+        surviving = range(self.target.shards)
+        loop = asyncio.get_running_loop()
+        if self.plan.page_size_change:
+            for shard in surviving:
+                if shard in self.plan.added_shards:
+                    continue  # built at the target layout already
+                await self._rebuild_shard(shard)
+        elif self.plan.pool_change:
+            for shard in surviving:
+                if shard in self.plan.added_shards:
+                    continue  # launched with the target pool already
+                self._emit(
+                    "restart", f"shard {shard}: pool {self.target.pool_pages} pages"
+                )
+                await loop.run_in_executor(
+                    None,
+                    lambda s=shard: self.manager.restart_child(
+                        s, 0, pool_pages=self.target.pool_pages,
+                        timeout_s=self.child_timeout_s,
+                    ),
+                )
+                self.report.pool_restarts += 1
+
+    async def _reship_replicas(self) -> None:
+        """Re-ship fresh snapshots to the target standby count per shard.
+
+        Standbys were dropped to one serving child before the moves (they
+        would only have gone stale); here each surviving primary snapshots
+        its final state and the copies are launched as the new standbys.
+        """
+        from repro.network.fleet import shard_data_dir
+
+        if self.target.replicas < 2:
+            return
+        loop = asyncio.get_running_loop()
+        for shard in range(self.target.shards):
+            await self._call_shard(shard, lambda client: client.snapshot())
+            primary_dir = shard_data_dir(self.manager.base_dir, shard, 0)
+            for replica in range(1, self.target.replicas):
+                replica_dir = shard_data_dir(self.manager.base_dir, shard, replica)
+
+                def ship(src=primary_dir, dst=replica_dir) -> None:
+                    if dst.exists():
+                        shutil.rmtree(dst)
+                    shutil.copytree(src, dst)
+
+                await loop.run_in_executor(None, ship)
+                await loop.run_in_executor(
+                    None,
+                    lambda s=shard: self.manager.add_replica(
+                        s, timeout_s=self.child_timeout_s
+                    ),
+                )
+                self.report.replicas_shipped += 1
+                self._emit("reship", f"shard {shard} replica {replica}")
+
+    # ------------------------------------------------------------------ entry points
+    async def _run(self) -> MigrationReport:
+        started = time.monotonic()
+        try:
+            # The migrator owns crash recovery for the duration: the
+            # monitor must not warm-relaunch a SIGKILLed child's
+            # possibly-torn directory (checkpoint-based durability), so it
+            # goes hands-off and crashes are repaired from checkpoint
+            # copies plus the journal instead.
+            with self.manager.fleet_maintenance():
+                await self._survey_and_repair()
+                if self.plan.is_noop and not self._journal:
+                    self.report.noop = True
+                    self.report.epoch_final = self._epoch
+                    return self.report
+                self._emit("plan", self.plan.describe())
+                await self._checkpoint()
+                # Standbys would only go stale during the moves; drop them
+                # now and re-ship fresh snapshots at the end.
+                for shard in range(self.manager.num_shards):
+                    self.manager.drop_replicas(shard, keep=1)
+                await self._grow()
+                self._write_manifest(final=False)
+                # Announce: one empty barrier pushes every child's epoch
+                # past the manifest watermark, so every live router
+                # re-reads fleet.pkl and adopts the transitional (union)
+                # routing.
+                await self._barrier({})
+                await self._move()
+                await self._reshape()
+                await self._reship_replicas()
+                # Fresh checkpoint copies of the post-reshape state, so a
+                # crash during the flip never restores a pre-reshape tree.
+                await self._checkpoint()
+                self._write_manifest(final=True)
+                # Flip: the final empty barrier pushes routers past the
+                # new watermark; their next query adopts the final cuts.
+                await self._barrier({}, journal=False)
+                await self._checkpoint()
+                self._journal_drop()
+                self._drop_checkpoints()
+            self.manager.manifest = self.manifest
+            self.report.epoch_final = self._epoch
+            self.report.duration_s = time.monotonic() - started
+            self._emit("done", self.report.describe())
+            return self.report
+        finally:
+            self.report.duration_s = time.monotonic() - started
+            await self._close_clients()
+
+    def run(self) -> MigrationReport:
+        """Execute the migration to completion (blocking)."""
+        return asyncio.run(self._run())

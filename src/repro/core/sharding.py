@@ -198,6 +198,84 @@ class ShardRouter:
         return " ".join(parts)
 
 
+@dataclass(frozen=True)
+class KeySegment:
+    """A contiguous key interval with constant (old, new) shard ownership.
+
+    The interval is ``(low, high]``: exclusive below, inclusive above --
+    matching the router's inclusive-upper-boundary convention.  ``low is
+    None`` means unbounded below (``-inf``), ``high is None`` unbounded
+    above (``+inf``).  ``old_shard`` / ``new_shard`` are the owners under
+    the two routers being diffed.
+    """
+
+    low: Any
+    high: Any
+    old_shard: int
+    new_shard: int
+
+    def contains(self, key: Any) -> bool:
+        """Whether ``key`` falls inside this ``(low, high]`` interval."""
+        if self.low is not None and not (key > self.low):
+            return False
+        if self.high is not None and not (key <= self.high):
+            return False
+        return True
+
+    @property
+    def moves(self) -> bool:
+        """Whether keys in this segment change owner between the routers."""
+        return self.old_shard != self.new_shard
+
+    def describe(self) -> str:
+        """Human-readable interval, e.g. ``(17..42]: shard 0 -> 2``."""
+        low = "-inf" if self.low is None else repr(self.low)
+        high = "+inf" if self.high is None else repr(self.high)
+        arrow = (
+            f"shard {self.old_shard} -> {self.new_shard}"
+            if self.moves
+            else f"shard {self.old_shard} (stays)"
+        )
+        return f"({low}..{high}]: {arrow}"
+
+
+def boundary_segments(
+    old_router: ShardRouter, new_router: ShardRouter
+) -> List[KeySegment]:
+    """Partition the key domain into segments of constant (old, new) owner.
+
+    The segmentation is the sorted union of both routers' boundaries: no
+    boundary of either router falls strictly inside a segment, so every key
+    in a segment ``(low, high]`` has the same owner under each router as the
+    segment's upper endpoint does (the final segment is open above and owned
+    by each router's last shard).  Together the segments cover the whole key
+    domain exactly once -- the property the migration plan's "every key
+    moves exactly once" guarantee rests on.
+    """
+    points = sorted(set(old_router.boundaries) | set(new_router.boundaries))
+    segments: List[KeySegment] = []
+    previous: Optional[Any] = None
+    for upper in points:
+        segments.append(
+            KeySegment(
+                low=previous,
+                high=upper,
+                old_shard=old_router.shard_of(upper),
+                new_shard=new_router.shard_of(upper),
+            )
+        )
+        previous = upper
+    segments.append(
+        KeySegment(
+            low=previous,
+            high=None,
+            old_shard=old_router.num_shards - 1,
+            new_shard=new_router.num_shards - 1,
+        )
+    )
+    return segments
+
+
 def route_update_batch(
     batch: UpdateBatch,
     router: ShardRouter,

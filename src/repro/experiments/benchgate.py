@@ -54,6 +54,7 @@ BENCH_FILES = (
     "BENCH_replication.json",
     "BENCH_fleet.json",
     "BENCH_tuning.json",
+    "BENCH_migration.json",
 )
 
 #: Relative regression allowed on gated metrics before the gate fails.
@@ -707,6 +708,73 @@ def _tuning_metrics() -> List[GateMetric]:
     ]
 
 
+def _migration_metrics() -> List[GateMetric]:
+    """The live re-sharding leg: tune on a skewed trace, migrate under load.
+
+    Hard requirements (zero failed / unverified / receipt-inconsistent
+    queries while the migration runs, the migrated fleet serving the full
+    relation in order from the target shard count) raise inside
+    :func:`run_migration_bench`.  The gated axes are deterministic: the
+    seeded trace fixes the advisor's recommendation, which fixes the plan
+    (records moved, epoch barriers) and the post-migration cost-model
+    numbers over the same seeded bounds.  Wall-clock duration and the
+    mid-migration query count are recorded ungated.
+    """
+    from repro.experiments.migration import run_migration_bench
+
+    result = run_migration_bench()
+    return [
+        GateMetric(
+            name="migration.moved_records",
+            value=result["moved_records"],
+            unit="records",
+            gate=True,
+            higher_is_better=False,
+        ),
+        GateMetric(
+            name="migration.barriers",
+            value=result["barriers"],
+            unit="barriers",
+            gate=True,
+            higher_is_better=False,
+        ),
+        GateMetric(
+            name="migration.model_qps_post",
+            value=result["model_qps_post"],
+            unit="qps",
+            gate=True,
+        ),
+        GateMetric(
+            name="migration.mean_sp_accesses_post",
+            value=result["mean_sp_accesses_post"],
+            unit="accesses",
+            gate=True,
+            higher_is_better=False,
+        ),
+        GateMetric(
+            name="migration.model_qps_pre",
+            value=result["model_qps_pre"],
+            unit="qps",
+        ),
+        GateMetric(
+            name="migration.wall_duration_s",
+            value=result["duration_s"],
+            unit="s",
+            higher_is_better=False,
+        ),
+        GateMetric(
+            name="migration.queries_during",
+            value=result["queries_during_migration"],
+            unit="queries",
+        ),
+        GateMetric(
+            name="migration.recoveries",
+            value=result["recoveries"],
+            unit="recoveries",
+        ),
+    ]
+
+
 def _profile_metrics() -> List[GateMetric]:
     """The wall-clock profiling leg, one report per scheme."""
     metrics: List[GateMetric] = []
@@ -746,6 +814,9 @@ def collect_current_metrics() -> Dict[str, dict]:
         ),
         "BENCH_tuning.json": metrics_document(
             _tuning_metrics(), meta={"suite": "tuning", "scale": "quick"}
+        ),
+        "BENCH_migration.json": metrics_document(
+            _migration_metrics(), meta={"suite": "migration", "scale": "quick"}
         ),
     }
 

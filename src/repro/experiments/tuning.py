@@ -559,6 +559,19 @@ def tune_design(
                 candidate_cost = score(candidate)
                 if candidate_cost.total_ms < best_cost.total_ms:
                     best, best_cost = candidate, candidate_cost
+    if best.shards > 1 and best.cut_points is None:
+        # A sharded recommendation must spell its cuts out: downstream
+        # consumers (`repro migrate`, fleet manifests) need boundaries every
+        # client can agree on, not a dataset-dependent balancing rule.  The
+        # record-balanced estimate is the same layout ``None`` means.
+        for cuts in cut_candidates(profile, best.shards, None):
+            if cuts is not None:
+                best = replace(best, cut_points=cuts)
+                notes.append(
+                    "pinned explicit record-balanced cut points "
+                    "(a live migration needs them spelled out)"
+                )
+                break
     if best.cut_points != baseline.cut_points:
         notes.append("moved the shard cut points into the hot query region")
     if best.page_size != baseline.page_size:

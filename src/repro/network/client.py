@@ -259,6 +259,37 @@ class RemoteSchemeClient:
         """The served deployment's per-party storage footprint."""
         return await self._request(wire.FRAME_STORAGE_REPORT, None, wire.FRAME_REPORT)
 
+    async def snapshot(self) -> int:
+        """Checkpoint the served deployment to its data directory.
+
+        Returns the epoch the snapshot captured -- the point a child killed
+        later can warm-restart from, which is how a live migration bounds
+        the journal replay a crashed shard needs.
+        """
+        response = await self._request(wire.FRAME_SNAPSHOT, None, wire.FRAME_OK)
+        return int(response.get("epoch", 0))
+
+    async def export_records(
+        self, offset: int = 0, limit: int = 0
+    ) -> Tuple[List[Tuple[Any, ...]], int, int]:
+        """One chunk of the deployment's authoritative record set.
+
+        Returns ``(records, total, epoch)``: up to ``limit`` records
+        starting at ``offset`` (``limit=0`` streams to the end), the full
+        record count, and the server's epoch at serve time -- the migration
+        bulk-mover's source of truth for which keys currently live where.
+        """
+        response = await self._request(
+            wire.FRAME_EXPORT,
+            {"offset": int(offset), "limit": int(limit)},
+            wire.FRAME_RECORDS,
+        )
+        return (
+            [tuple(record) for record in response.get("records", [])],
+            int(response.get("total", 0)),
+            int(response.get("epoch", 0)),
+        )
+
     # ------------------------------------------------------------------ lifecycle
     async def aclose(self) -> None:
         """Close every pooled connection, idle and in-flight (idempotent)."""

@@ -153,10 +153,30 @@ class FleetManifest:
     dataset_name: str = ""
     pool_pages: int = 128
     design: Optional[PhysicalDesign] = None
+    #: The fleet-wide update epoch at the moment this manifest was written.
+    #: A router that witnesses a child epoch *beyond* this watermark knows a
+    #: newer manifest may have been flipped into place and re-reads the file.
+    epoch: int = 0
+    #: Set while a live migration is executing: ``{"boundaries", "num_shards",
+    #: "design"}`` of the *target* layout.  Routers then scatter to the union
+    #: of the old and new owners of a range (a key mid-move is on exactly one
+    #: of them) and refuse external updates until the final flip clears it.
+    migration: Optional[Dict[str, Any]] = None
+    #: Extra scheme constructor kwargs the fleet was built with (e.g. TOM's
+    #: ``key_bits``) -- needed to build new shard children during a migration.
+    scheme_kwargs: Dict[str, Any] = field(default_factory=dict)
 
     def router(self) -> ShardRouter:
         """The deterministic key router shared by every fleet participant."""
         return ShardRouter(self.boundaries, self.num_shards)
+
+    def migration_target_router(self) -> Optional[ShardRouter]:
+        """The in-flight migration's target router (``None`` outside one)."""
+        if not self.migration:
+            return None
+        return ShardRouter(
+            list(self.migration["boundaries"]), int(self.migration["num_shards"])
+        )
 
     def physical_design(self) -> PhysicalDesign:
         """The fleet's physical design (reconstructed for pre-design manifests).
@@ -193,6 +213,9 @@ class FleetManifest:
             "dataset_name": self.dataset_name,
             "pool_pages": self.pool_pages,
             "design": None if self.design is None else self.design.to_json_dict(),
+            "epoch": self.epoch,
+            "migration": self.migration,
+            "scheme_kwargs": dict(self.scheme_kwargs),
         }
         scratch = path.with_suffix(".tmp")
         with open(scratch, "wb") as handle:
@@ -248,6 +271,9 @@ class FleetManifest:
                 if design_state is None
                 else PhysicalDesign.from_json_dict(design_state)
             ),
+            epoch=int(state.get("epoch", 0)),
+            migration=state.get("migration"),
+            scheme_kwargs=dict(state.get("scheme_kwargs") or {}),
         )
 
 
@@ -340,6 +366,7 @@ def build_fleet(
         dataset_name=dataset.name,
         pool_pages=design.pool_pages,
         design=design,
+        scheme_kwargs=dict(scheme_kwargs),
     )
     manifest.save(base)
     return manifest
@@ -395,6 +422,9 @@ class ShardProcess:
         self.max_in_flight = max_in_flight
         self.python = python or sys.executable
         self.launches = 0
+        #: Set by the manager when the child is dropped from the topology:
+        #: the monitor must not relaunch a retired child's corpse.
+        self.retired = False
         self._process: Optional[subprocess.Popen] = None
         self._log_handle = None
 
@@ -523,6 +553,48 @@ class ShardProcess:
         return self.wait_exit(grace_s)
 
 
+class _Maintenance:
+    """Context manager marking one child as deliberately down (no restarts)."""
+
+    def __init__(self, manager: "FleetManager", shard: int, replica: int):
+        self._manager = manager
+        self._key = (shard, replica)
+
+    def __enter__(self) -> "_Maintenance":
+        with self._manager._lock:
+            self._manager._maintenance.add(self._key)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        with self._manager._lock:
+            self._manager._maintenance.discard(self._key)
+
+
+class _FleetMaintenance:
+    """Context manager suspending the monitor's crash restarts fleet-wide.
+
+    A live migration must own crash recovery itself: the storage tier's
+    durability is checkpoint-based, so a SIGKILLed child's data directory
+    may be *torn* (page writes ahead of its snapshot state) and the
+    monitor's warm relaunch could serve inconsistent state.  Under fleet
+    maintenance the migrator restores crashed children from its own
+    checkpoint copies and journal instead.  Re-entrant via a counter, so a
+    nested per-child maintenance block is unaffected.
+    """
+
+    def __init__(self, manager: "FleetManager"):
+        self._manager = manager
+
+    def __enter__(self) -> "_FleetMaintenance":
+        with self._manager._lock:
+            self._manager._maintenance_all += 1
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        with self._manager._lock:
+            self._manager._maintenance_all -= 1
+
+
 class FleetManager:
     """Launch, health-check, restart and drain a fleet of shard children.
 
@@ -552,24 +624,38 @@ class FleetManager:
         self.health_interval_s = health_interval_s
         self.drain_grace_s = drain_grace_s
         self.restarts = 0
+        self._max_in_flight = max_in_flight
+        self._python = python
         self._lock = threading.Lock()
         self._stopping = False
         self._monitor: Optional[threading.Thread] = None
+        #: ``(shard, replica)`` pairs deliberately down (e.g. a migration's
+        #: drain-and-rebuild); the monitor must not "restore" them mid-work.
+        self._maintenance: "set[Tuple[int, int]]" = set()
+        #: Nesting depth of fleet-wide maintenance (monitor fully hands-off).
+        self._maintenance_all = 0
         self._children: List[List[ShardProcess]] = [
             [
-                ShardProcess(
-                    shard,
-                    replica,
-                    shard_data_dir(self.base_dir, shard, replica),
-                    host=host,
-                    pool_pages=self.manifest.pool_pages,
-                    max_in_flight=max_in_flight,
-                    python=python,
-                )
+                self._spawn_child(shard, replica)
                 for replica in range(self.manifest.replicas)
             ]
             for shard in range(self.manifest.num_shards)
         ]
+
+    def _spawn_child(
+        self, shard: int, replica: int, pool_pages: Optional[int] = None
+    ) -> ShardProcess:
+        return ShardProcess(
+            shard,
+            replica,
+            shard_data_dir(self.base_dir, shard, replica),
+            host=self.host,
+            pool_pages=(
+                self.manifest.pool_pages if pool_pages is None else pool_pages
+            ),
+            max_in_flight=self._max_in_flight,
+            python=self._python,
+        )
 
     # ------------------------------------------------------------------ lifecycle
     def start(self, timeout_s: float = 60.0) -> "FleetManager":
@@ -620,11 +706,19 @@ class FleetManager:
 
     # ------------------------------------------------------------------ topology
     def _all_children(self) -> List[ShardProcess]:
-        return [child for replicas in self._children for child in replicas]
+        with self._lock:
+            return [child for replicas in self._children for child in replicas]
 
     def child(self, shard: int, replica: int = 0) -> ShardProcess:
         """The supervised child serving ``(shard, replica)``."""
-        return self._children[shard][replica]
+        with self._lock:
+            return self._children[shard][replica]
+
+    @property
+    def num_shards(self) -> int:
+        """Shard rows currently supervised (grows during a migration)."""
+        with self._lock:
+            return len(self._children)
 
     def endpoints(self) -> List[List[Tuple[str, int]]]:
         """Current ``(host, port)`` per child, indexed ``[shard][replica]``.
@@ -645,8 +739,103 @@ class FleetManager:
         return self.endpoints
 
     def router(self, **kwargs: Any) -> "FleetRouter":
-        """A scatter-gather router resolving endpoints through this manager."""
+        """A scatter-gather router resolving endpoints through this manager.
+
+        The router also learns the fleet's base directory, so it re-reads a
+        flipped ``fleet.pkl`` (a finished migration) on its own.
+        """
+        kwargs.setdefault("base_dir", self.base_dir)
         return FleetRouter(self.manifest, self.endpoint_provider, **kwargs)
+
+    # ------------------------------------------------------------------ live topology
+    def maintenance(self, shard: int, replica: int = 0) -> "_Maintenance":
+        """Mark one child as deliberately down for the ``with`` block.
+
+        The monitor thread leaves a child in maintenance alone, so a
+        migration can drain, rebuild and relaunch it without racing the
+        supervisor's crash recovery.
+        """
+        return _Maintenance(self, shard, replica)
+
+    def fleet_maintenance(self) -> "_FleetMaintenance":
+        """Suspend the monitor's crash restarts fleet-wide for the block.
+
+        Used by :class:`~repro.core.migration.FleetMigrator`, which owns
+        crash recovery during a migration (checkpoint copies + journal
+        replay) and must not race a warm relaunch of a possibly-torn data
+        directory.
+        """
+        return _FleetMaintenance(self)
+
+    def add_shard(
+        self, timeout_s: float = 60.0, pool_pages: Optional[int] = None
+    ) -> int:
+        """Launch a child for the next shard id (its data dir must exist).
+
+        The caller builds (and snapshots) the new shard's deployment first;
+        this launches and health-checks the serving child and appends it to
+        the supervised topology.  Returns the new shard id.
+        """
+        with self._lock:
+            shard = len(self._children)
+        child = self._spawn_child(shard, 0, pool_pages=pool_pages)
+        child.launch()
+        child.wait_ready(timeout_s)
+        with self._lock:
+            self._children.append([child])
+        return shard
+
+    def add_replica(self, shard: int, timeout_s: float = 60.0) -> int:
+        """Launch a standby for ``shard`` from its shipped snapshot copy.
+
+        Returns the new replica index.
+        """
+        with self._lock:
+            replica = len(self._children[shard])
+        child = self._spawn_child(shard, replica)
+        child.launch()
+        child.wait_ready(timeout_s)
+        with self._lock:
+            self._children[shard].append(child)
+        return replica
+
+    def drop_replicas(self, shard: int, keep: int = 1) -> int:
+        """Retire and stop every replica of ``shard`` beyond ``keep``.
+
+        Children are removed from the topology (and marked retired, so the
+        monitor never relaunches their corpses) *before* they are
+        terminated.  Returns the number dropped.
+        """
+        with self._lock:
+            victims = self._children[shard][keep:]
+            del self._children[shard][keep:]
+            for child in victims:
+                child.retired = True
+        for child in victims:
+            child.terminate(self.drain_grace_s)
+        return len(victims)
+
+    def restart_child(
+        self,
+        shard: int,
+        replica: int = 0,
+        pool_pages: Optional[int] = None,
+        timeout_s: float = 60.0,
+    ) -> None:
+        """Drain one child and relaunch it (optionally with a new pool size).
+
+        The graceful SIGTERM makes the child write a fresh snapshot before
+        exiting, so the relaunch serves the exact state it drained with --
+        the rolling-restart primitive behind a migration's ``pool_pages``
+        change.
+        """
+        child = self.child(shard, replica)
+        with self.maintenance(shard, replica):
+            child.terminate(self.drain_grace_s)
+            if pool_pages is not None:
+                child.pool_pages = pool_pages
+            child.launch()
+            child.wait_ready(timeout_s)
 
     # ------------------------------------------------------------------ drills & supervision
     def kill_child(self, shard: int, replica: int = 0) -> None:
@@ -679,7 +868,12 @@ class FleetManager:
                 with self._lock:
                     if self._stopping:
                         return
-                    crashed = child.poll() is not None
+                    hands_off = (
+                        child.retired
+                        or self._maintenance_all > 0
+                        or (child.shard, child.replica) in self._maintenance
+                    )
+                    crashed = not hands_off and child.poll() is not None
                 if not crashed:
                     continue
                 try:
@@ -715,6 +909,20 @@ class FleetRouter:
     ``endpoints`` is either a static table (``[shard][replica] -> (host,
     port)``, what worker processes receive) or a callable returning one
     (:attr:`FleetManager.endpoint_provider`, which tracks restarts).
+
+    With ``base_dir`` set (what :meth:`FleetManager.router` passes), the
+    router also follows **manifest flips**: every leg outcome is stamped
+    with the epoch it was served at, and a router that witnesses an epoch
+    beyond its manifest's watermark re-reads ``fleet.pkl`` *before
+    returning any result* -- so a live migration's final flip propagates to
+    long-lived routers without reconnecting them.  While the manifest's
+    ``migration`` field is set, queries scatter to the union of each
+    range's old and new owner shards (a mid-move key lives on exactly one
+    of them) and a scatter is only merged when every leg of a query was
+    served at one definite epoch -- otherwise it raced a migration barrier
+    and is retried.  Routers built from a static endpoint table (no
+    ``base_dir``) cannot follow flips and keep their construction-time
+    routing.
     """
 
     def __init__(
@@ -726,17 +934,82 @@ class FleetRouter:
         leg_retry_rounds: int = 2,
         retry_backoff_s: float = 0.25,
         min_epoch: int = 0,
+        base_dir: Union[str, Path, None] = None,
+        consistency_retries: int = 10,
+        consistency_backoff_s: float = 0.05,
     ):
-        self._manifest = manifest
-        self._router = manifest.router()
-        self._shard_by_id = dict(manifest.shard_by_id)
         self._endpoints = endpoints
         self._pool_size = pool_size
         self._max_in_flight = max_in_flight
         self._leg_retry_rounds = leg_retry_rounds
         self._retry_backoff_s = retry_backoff_s
         self._epoch = min_epoch
+        self._base_dir = Path(base_dir) if base_dir is not None else None
+        self._consistency_retries = consistency_retries
+        self._consistency_backoff_s = consistency_backoff_s
         self._clients: Dict[Tuple[str, int], RemoteSchemeClient] = {}
+        self._manifest_mtime: Optional[int] = None
+        if self._base_dir is not None:
+            try:
+                self._manifest_mtime = (
+                    fleet_manifest_path(self._base_dir).stat().st_mtime_ns
+                )
+            except OSError:
+                pass
+        self._adopt_manifest(manifest)
+        self._seen_epoch = max(min_epoch, manifest.epoch)
+
+    def _adopt_manifest(self, manifest: FleetManifest) -> None:
+        self._manifest = manifest
+        self._router = manifest.router()
+        self._shard_by_id = dict(manifest.shard_by_id)
+        self._target_router = manifest.migration_target_router()
+
+    def _maybe_reload(self, observed_epoch: Optional[int]) -> bool:
+        """Re-read ``fleet.pkl`` when a child's epoch outran the manifest.
+
+        Cheap in the steady state: one ``stat`` per *newly observed* epoch,
+        a full reload only when the file actually changed (a migration
+        wrote a transitional or final manifest).  Returns ``True`` when a
+        new manifest was adopted -- the caller must then re-plan whatever
+        it was doing instead of returning a stale-routed result.
+        """
+        if observed_epoch is None or self._base_dir is None:
+            return False
+        if observed_epoch <= self._seen_epoch:
+            return False
+        self._seen_epoch = observed_epoch
+        path = fleet_manifest_path(self._base_dir)
+        try:
+            mtime = path.stat().st_mtime_ns
+        except OSError:
+            return False
+        if mtime == self._manifest_mtime:
+            return False
+        manifest = FleetManifest.load(self._base_dir)
+        self._manifest_mtime = mtime
+        self._adopt_manifest(manifest)
+        self._seen_epoch = max(self._seen_epoch, manifest.epoch)
+        return True
+
+    @staticmethod
+    def _epoch_agreement(
+        outcomes: Sequence[RemoteQueryOutcome],
+    ) -> Tuple[bool, Optional[int]]:
+        """Whether one query's legs were all served at a single definite epoch.
+
+        Returns ``(consistent, max_observed_epoch)``.  Legs without an
+        epoch stamp (pre-migration servers) are skipped, so mixed fleets
+        stay mergeable.
+        """
+        definite = [
+            outcome.server_epoch
+            for outcome in outcomes
+            if outcome.server_epoch is not None
+        ]
+        torn = any(outcome.epoch_torn for outcome in outcomes)
+        observed = max(definite) if definite else None
+        return (not torn and len(set(definite)) <= 1), observed
 
     # ------------------------------------------------------------------ meta
     @property
@@ -819,31 +1092,56 @@ class FleetRouter:
     def _shards_for(self, low: Any, high: Any) -> List[int]:
         if low is None or high is None:
             raise QueryError("range query bounds must not be None")
-        return self._router.shards_for_range(low, high)
+        shards = self._router.shards_for_range(low, high)
+        if self._target_router is None:
+            return shards
+        # Mid-migration: a key in the range is owned by its old shard until
+        # its move barrier commits and by its new shard afterwards, so the
+        # query must cover both routers' owners to see every key exactly once.
+        union = set(shards)
+        union.update(self._target_router.shards_for_range(low, high))
+        return sorted(union)
 
     # ------------------------------------------------------------------ queries
     async def query(self, low: Any, high: Any, verify: bool = True) -> RemoteQueryOutcome:
-        """Scatter one range query to the overlapping children and merge."""
-        shards = self._shards_for(low, high)
-        legs = await asyncio.gather(
-            *(
-                self._leg(
-                    shard,
-                    lambda client: client.query(
-                        low, high, verify=verify, min_epoch=self._epoch
-                    ),
+        """Scatter one range query to the overlapping children and merge.
+
+        The merge is epoch-guarded: when the legs were not all served at
+        one definite epoch (they raced a migration barrier), the scatter is
+        retried -- and when a leg's epoch reveals a flipped manifest, the
+        manifest is re-read and the query re-planned under the new cuts, so
+        a stale-routed result is never returned.
+        """
+        attempts = self._consistency_retries + 3
+        for attempt in range(attempts):
+            shards = self._shards_for(low, high)
+            legs = await asyncio.gather(
+                *(
+                    self._leg(
+                        shard,
+                        lambda client: client.query(
+                            low, high, verify=verify, min_epoch=self._epoch
+                        ),
+                    )
+                    for shard in shards
                 )
-                for shard in shards
             )
-        )
-        return self._merge(
-            low,
-            high,
-            [
+            leg_tuples = [
                 (shard, outcome, replica, failed)
                 for shard, (outcome, replica, failed) in zip(shards, legs)
-            ],
-            verify,
+            ]
+            consistent, observed = self._epoch_agreement(
+                [outcome for _, outcome, _, _ in leg_tuples]
+            )
+            if self._maybe_reload(observed):
+                continue  # re-plan under the freshly adopted manifest
+            if consistent:
+                return self._merge(low, high, leg_tuples, verify)
+            if self._consistency_backoff_s > 0:
+                await asyncio.sleep(self._consistency_backoff_s)
+        raise FleetError(
+            f"no epoch-consistent scatter for [{low!r}, {high!r}] after "
+            f"{attempts} attempts (migration barriers kept racing the reads)"
         )
 
     async def query_many(
@@ -855,43 +1153,64 @@ class FleetRouter:
         range (preserving batch order within the sub-batch), the children
         execute in parallel, and each query's outcomes are re-gathered
         across its shards -- the multi-process analogue of the in-process
-        batched scatter.
+        batched scatter.  Epoch-guarded like :meth:`query`: the batch is
+        retried while any single query's legs straddle a migration barrier.
         """
-        plans = [self._shards_for(low, high) for low, high in bounds]
-        positions: Dict[int, List[int]] = {}
-        for index, shards in enumerate(plans):
-            for shard in shards:
-                positions.setdefault(shard, []).append(index)
-        ordered_shards = sorted(positions)
-        leg_results = await asyncio.gather(
-            *(
-                self._leg(
-                    shard,
-                    lambda client, taken=tuple(positions[shard]): client.query_many(
-                        [bounds[i] for i in taken],
-                        verify=verify,
-                        min_epoch=self._epoch,
-                    ),
+        attempts = self._consistency_retries + 3
+        for attempt in range(attempts):
+            plans = [self._shards_for(low, high) for low, high in bounds]
+            positions: Dict[int, List[int]] = {}
+            for index, shards in enumerate(plans):
+                for shard in shards:
+                    positions.setdefault(shard, []).append(index)
+            ordered_shards = sorted(positions)
+            leg_results = await asyncio.gather(
+                *(
+                    self._leg(
+                        shard,
+                        lambda client, taken=tuple(positions[shard]): client.query_many(
+                            [bounds[i] for i in taken],
+                            verify=verify,
+                            min_epoch=self._epoch,
+                        ),
+                    )
+                    for shard in ordered_shards
                 )
-                for shard in ordered_shards
             )
+            by_shard = {
+                shard: (
+                    {index: outcome for index, outcome in zip(positions[shard], outcomes)},
+                    replica,
+                    failed,
+                )
+                for shard, (outcomes, replica, failed) in zip(ordered_shards, leg_results)
+            }
+            consistent = True
+            observed: Optional[int] = None
+            for index in range(len(bounds)):
+                ok, seen = self._epoch_agreement(
+                    [by_shard[shard][0][index] for shard in plans[index]]
+                )
+                consistent = consistent and ok
+                if seen is not None:
+                    observed = seen if observed is None else max(observed, seen)
+            if self._maybe_reload(observed):
+                continue
+            if consistent:
+                merged = []
+                for index, (low, high) in enumerate(bounds):
+                    legs = []
+                    for shard in plans[index]:
+                        outcomes, replica, failed = by_shard[shard]
+                        legs.append((shard, outcomes[index], replica, failed))
+                    merged.append(self._merge(low, high, legs, verify))
+                return merged
+            if self._consistency_backoff_s > 0:
+                await asyncio.sleep(self._consistency_backoff_s)
+        raise FleetError(
+            f"no epoch-consistent scatter for the {len(bounds)}-query batch "
+            f"after {attempts} attempts (migration barriers kept racing the reads)"
         )
-        by_shard = {
-            shard: (
-                {index: outcome for index, outcome in zip(positions[shard], outcomes)},
-                replica,
-                failed,
-            )
-            for shard, (outcomes, replica, failed) in zip(ordered_shards, leg_results)
-        }
-        merged = []
-        for index, (low, high) in enumerate(bounds):
-            legs = []
-            for shard in plans[index]:
-                outcomes, replica, failed = by_shard[shard]
-                legs.append((shard, outcomes[index], replica, failed))
-            merged.append(self._merge(low, high, legs, verify))
-        return merged
 
     def _merge(
         self,
@@ -911,6 +1230,12 @@ class FleetRouter:
         records = tuple(
             itertools.chain.from_iterable(outcome.records for _, outcome, _, _ in legs)
         )
+        if self._target_router is not None and records:
+            # Mid-migration the union scatter returns keys out of shard
+            # order (a moved key answers from its new owner); re-sort so the
+            # merged result keeps the range order callers rely on.
+            key_index = self._manifest.schema.key_index
+            records = tuple(sorted(records, key=lambda record: record[key_index]))
         verified = all(outcome.verified for _, outcome, _, _ in legs)
         freshness = any(outcome.freshness_violation for _, outcome, _, _ in legs)
         reason = ""
@@ -995,7 +1320,24 @@ class FleetRouter:
         pre-update state (e.g. restarted from an old snapshot) is refused
         as a freshness violation rather than trusted.  Returns the new
         fleet epoch.
+
+        Migration safety: a probe epoch is read first so a router that has
+        not queried recently adopts a flipped or transitional manifest
+        *before* routing the batch; while a migration is executing the
+        batch is refused outright (record placement is the migrator's to
+        change), and an apply that is discovered post-hoc to have raced a
+        final flip raises instead of silently mis-placing records.
         """
+        if self._base_dir is not None:
+            probe, _, _ = await self._leg(
+                0, lambda client: client.server_epoch()
+            )
+            self._maybe_reload(probe)
+        if self._target_router is not None:
+            raise FleetError(
+                "a live migration is executing against this fleet; external "
+                "updates are refused until the manifest flip completes"
+            )
         sub_batches = route_update_batch(
             batch,
             self._router,
@@ -1024,6 +1366,12 @@ class FleetRouter:
                 f"epoch barrier violated: per-shard epochs diverged {epochs}"
             )
         self._epoch = distinct.pop()
+        if self._maybe_reload(self._epoch):
+            raise FleetError(
+                "update batch raced a migration manifest flip; re-run "
+                "`repro migrate` so the batch's records land on their "
+                "current owner shards"
+            )
         return self._epoch
 
     # ------------------------------------------------------------------ fleet ops

@@ -254,14 +254,27 @@ class SchemeServer:
                 return self._freshness_refusal(min_epoch)
         # The response encode runs on the executor too: serializing a wide
         # result on the event loop would stall every other connection.
+        # Outcomes are stamped with the epoch they were served at (read
+        # before and after execution): equal reads pin a definite epoch, a
+        # changed read is marked torn -- the scatter-gather router compares
+        # these across legs so a query racing a migration barrier is retried
+        # instead of merging records from two different epochs.
         if kind == wire.FRAME_QUERY:
 
             def serve_query() -> bytes:
+                epoch_before = self._current_epoch()
                 outcome = self._db.query(
                     payload["low"], payload["high"], verify=bool(payload["verify"])
                 )
+                epoch_after = self._current_epoch()
                 return wire.encode_frame(
-                    wire.FRAME_OUTCOME, wire.outcome_to_wire(outcome, scheme=scheme)
+                    wire.FRAME_OUTCOME,
+                    wire.outcome_to_wire(
+                        outcome,
+                        scheme=scheme,
+                        epoch=epoch_after,
+                        torn=epoch_after != epoch_before,
+                    ),
                 )
 
             response = await loop.run_in_executor(None, serve_query)
@@ -272,10 +285,18 @@ class SchemeServer:
             served = len(bounds)
 
             def serve_query_many() -> bytes:
+                epoch_before = self._current_epoch()
                 outcomes = self._db.query_many(bounds, verify=bool(payload["verify"]))
+                epoch_after = self._current_epoch()
+                torn = epoch_after != epoch_before
                 return wire.encode_frame(
                     wire.FRAME_OUTCOMES,
-                    [wire.outcome_to_wire(outcome, scheme=scheme) for outcome in outcomes],
+                    [
+                        wire.outcome_to_wire(
+                            outcome, scheme=scheme, epoch=epoch_after, torn=torn
+                        )
+                        for outcome in outcomes
+                    ],
                 )
 
             response = await loop.run_in_executor(None, serve_query_many)
@@ -291,6 +312,37 @@ class SchemeServer:
         if kind == wire.FRAME_STORAGE_REPORT:
             report = await loop.run_in_executor(None, self._db.storage_report)
             return wire.encode_frame(wire.FRAME_REPORT, dict(report))
+        if kind == wire.FRAME_SNAPSHOT:
+            snapshot = getattr(self._db, "snapshot", None)
+            if snapshot is None:
+                raise RuntimeError(
+                    "served deployment does not support snapshots "
+                    "(in-memory storage tier?)"
+                )
+            path = await loop.run_in_executor(None, snapshot)
+            return wire.encode_frame(
+                wire.FRAME_OK,
+                {"snapshot": str(path), "epoch": self._current_epoch()},
+            )
+        if kind == wire.FRAME_EXPORT:
+            offset = max(0, int(payload.get("offset", 0) or 0))
+            limit = int(payload.get("limit", 0) or 0)
+
+            def serve_export() -> bytes:
+                records = self._db.dataset.records
+                total = len(records)
+                stop = offset + limit if limit > 0 else total
+                chunk = records[offset:stop]
+                return wire.encode_frame(
+                    wire.FRAME_RECORDS,
+                    {
+                        "records": [list(record) for record in chunk],
+                        "total": total,
+                        "epoch": self._current_epoch(),
+                    },
+                )
+
+            return await loop.run_in_executor(None, serve_export)
         raise wire.WireError(f"unknown request frame kind 0x{kind:02x}")
 
 

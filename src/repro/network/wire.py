@@ -180,12 +180,21 @@ FRAME_QUERY_MANY = 0x02
 FRAME_UPDATE = 0x03
 FRAME_STORAGE_REPORT = 0x04
 FRAME_PING = 0x05
+#: Checkpoint the served deployment to its data directory (``OK`` reply with
+#: the snapshotted epoch) -- what a live migration uses to bound how much
+#: journal a crashed child needs replayed.
+FRAME_SNAPSHOT = 0x06
+#: Stream the deployment's authoritative record set in offset/limit chunks
+#: (``RECORDS`` reply).  Payload: ``{"offset", "limit"}``.
+FRAME_EXPORT = 0x07
 
 # Response frame kinds.
 FRAME_OUTCOME = 0x11
 FRAME_OUTCOMES = 0x12
 FRAME_OK = 0x13
 FRAME_REPORT = 0x14
+#: One ``EXPORT`` chunk: ``{"records", "total", "epoch"}``.
+FRAME_RECORDS = 0x15
 #: The server's deployment is older than the client's ``min_epoch`` floor --
 #: a *freshness* refusal (distinct from the generic ``ERROR`` frame so that
 #: callers can retry against a fresher replica instead of failing the query).
@@ -366,6 +375,15 @@ class RemoteQueryOutcome:
     #: from an old signed epoch) rather than tampering; always ``False`` for
     #: verified outcomes.
     freshness_violation: bool = False
+    #: The server's update epoch while this query executed, when the server
+    #: could pin it to a single definite value (its epoch was the same before
+    #: and after execution).  ``None`` for pre-epoch servers *and* for torn
+    #: reads -- the scatter-gather router uses this to demand that every leg
+    #: of one query was served at the same epoch during a live migration.
+    server_epoch: Optional[int] = None
+    #: The server observed its epoch *change* while executing this query (a
+    #: concurrent update/migration barrier landed mid-read).
+    epoch_torn: bool = False
 
     @property
     def cardinality(self) -> int:
@@ -413,8 +431,20 @@ class RemoteQueryOutcome:
         return self.receipt.client_cpu_ms if self.receipt is not None else 0.0
 
 
-def outcome_to_wire(outcome: Any, scheme: str = "") -> Dict[str, Any]:
-    """Serialize an in-process query outcome for the wire."""
+def outcome_to_wire(
+    outcome: Any,
+    scheme: str = "",
+    epoch: Optional[int] = None,
+    torn: bool = False,
+) -> Dict[str, Any]:
+    """Serialize an in-process query outcome for the wire.
+
+    ``epoch`` stamps the outcome with the definite update epoch it was
+    served at; ``torn`` marks an outcome whose serving epoch changed
+    mid-execution (the two are mutually exclusive -- a torn outcome carries
+    no definite epoch).  Both are omitted when unset, so pre-migration
+    frames keep their historical size.
+    """
     receipt = outcome.receipt
     verification = outcome.verification
     payload = {
@@ -428,6 +458,10 @@ def outcome_to_wire(outcome: Any, scheme: str = "") -> Dict[str, Any]:
     details = getattr(verification, "details", None) or {}
     if details.get("freshness_violation"):
         payload["freshness"] = True
+    if torn:
+        payload["torn"] = True
+    elif epoch is not None:
+        payload["epoch"] = int(epoch)
     return payload
 
 
@@ -441,6 +475,10 @@ def outcome_from_wire(payload: Dict[str, Any]) -> RemoteQueryOutcome:
         scheme=str(payload.get("scheme", "")),
         receipt=receipt_from_wire(receipt_payload) if receipt_payload is not None else None,
         freshness_violation=bool(payload.get("freshness", False)),
+        server_epoch=(
+            int(payload["epoch"]) if payload.get("epoch") is not None else None
+        ),
+        epoch_torn=bool(payload.get("torn", False)),
     )
 
 

@@ -1,0 +1,88 @@
+"""Unit tests for the migration plan (the pure design diff)."""
+
+import pytest
+
+from repro.core.design import PhysicalDesign
+from repro.core.migration import MigrationError, MigrationPlan
+
+
+def design(shards=2, cuts=(100,), **knobs):
+    return PhysicalDesign(shards=shards, cut_points=cuts, **knobs)
+
+
+class TestMigrationPlanCompute:
+    def test_rejects_sharded_design_without_explicit_cuts(self):
+        balanced = PhysicalDesign(shards=3)
+        with pytest.raises(MigrationError, match="explicit cut points"):
+            MigrationPlan.compute(design(), balanced)
+        with pytest.raises(MigrationError, match="explicit cut points"):
+            MigrationPlan.compute(balanced, design())
+
+    def test_single_shard_designs_need_no_cuts(self):
+        plan = MigrationPlan.compute(
+            PhysicalDesign(shards=1), design(shards=2, cuts=(50,))
+        )
+        assert plan.added_shards == (1,)
+        assert plan.moves  # the upper half leaves shard 0
+
+    def test_noop_when_designs_are_identical(self):
+        plan = MigrationPlan.compute(design(), design())
+        assert plan.is_noop
+        assert not plan.moves
+        assert "no-op" in plan.describe()
+
+
+class TestMigrationPlanDiff:
+    def test_growing_names_added_shards_and_moving_ranges(self):
+        plan = MigrationPlan.compute(
+            design(shards=2, cuts=(100,)), design(shards=3, cuts=(60, 140))
+        )
+        assert plan.added_shards == (2,)
+        assert plan.removed_shards == ()
+        assert plan.cuts_change
+        # (60..100] leaves shard 0 for 1; (140..+inf] leaves shard 1 for 2.
+        described = [segment.describe() for segment in plan.moves]
+        assert any("shard 0 -> 1" in line for line in described)
+        assert any("shard 1 -> 2" in line for line in described)
+
+    def test_shrinking_names_removed_shards(self):
+        plan = MigrationPlan.compute(
+            design(shards=3, cuts=(60, 140)), design(shards=2, cuts=(100,))
+        )
+        assert plan.added_shards == ()
+        assert plan.removed_shards == (2,)
+        assert "retire shard(s) [2]" in plan.describe()
+
+    def test_knob_only_changes_move_no_keys(self):
+        plan = MigrationPlan.compute(
+            design(pool_pages=128), design(pool_pages=32)
+        )
+        assert not plan.cuts_change
+        assert plan.pool_change
+        assert not plan.is_noop
+        assert "rolling restart" in plan.describe()
+
+    def test_page_size_change_is_a_rebuild(self):
+        plan = MigrationPlan.compute(
+            design(page_size=4096), design(page_size=8192)
+        )
+        assert plan.page_size_change
+        assert "rebuild trees" in plan.describe()
+
+    def test_client_side_changes_are_named(self):
+        plan = MigrationPlan.compute(
+            design(batch_size=25), design(batch_size=50)
+        )
+        assert plan.client_side_changes == ("batch_size",)
+        assert not plan.cuts_change
+
+    def test_segment_for_finds_the_unique_segment(self):
+        plan = MigrationPlan.compute(
+            design(shards=2, cuts=(100,)), design(shards=3, cuts=(60, 140))
+        )
+        assert plan.segment_for(80).moves
+        assert plan.segment_for(80).old_shard == 0
+        assert plan.segment_for(80).new_shard == 1
+        assert not plan.segment_for(30).moves
+        # The open upper segment exists and owns everything above all cuts.
+        assert plan.segment_for(10**9).new_shard == 2

@@ -1,17 +1,30 @@
 """Unit tests for the shard router and the update routing."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.dataset import Dataset
 from repro.core.sharding import (
     ShardedDeployment,
     ShardingError,
     ShardRouter,
+    boundary_segments,
     partition_dataset,
     route_update_batch,
 )
 from repro.core.updates import UpdateBatch
 from repro.workloads.datasets import DATASET_SCHEMA
+
+#: Sorted unique cut lists -> routers of 1..6 shards over a small domain,
+#: so arbitrary old/new cut pairs overlap, nest, and disagree on purpose.
+cut_lists = st.lists(
+    st.integers(min_value=0, max_value=200), min_size=0, max_size=5, unique=True
+).map(sorted)
+
+key_lists = st.lists(
+    st.integers(min_value=-20, max_value=220), min_size=1, max_size=40
+)
 
 
 def make_dataset(keys):
@@ -163,3 +176,82 @@ class TestRouteUpdateBatch:
         per_shard = route_update_batch(batch, self.router, self.shard_by_id, 1, 0)
         assert len(per_shard[1]) == 2
         assert 9 not in self.shard_by_id
+
+
+class TestMigrationSegmentProperties:
+    """Hypothesis: the migration plan's exactly-once move guarantee.
+
+    :func:`boundary_segments` is what :class:`~repro.core.migration.MigrationPlan`
+    builds its moves from, so these properties are the plan's safety
+    argument: for *arbitrary* old/new cut pairs, every key falls in exactly
+    one segment, the segment's owners agree with both routers, and
+    replaying the moving segments transfers every record to its new owner
+    exactly once.
+    """
+
+    @staticmethod
+    def _router(cuts):
+        return ShardRouter(cuts, len(cuts) + 1)
+
+    @given(old_cuts=cut_lists, new_cuts=cut_lists, keys=key_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_every_key_in_exactly_one_segment(self, old_cuts, new_cuts, keys):
+        old = self._router(old_cuts)
+        new = self._router(new_cuts)
+        segments = boundary_segments(old, new)
+        for key in keys:
+            owning = [segment for segment in segments if segment.contains(key)]
+            assert len(owning) == 1
+            assert owning[0].old_shard == old.shard_of(key)
+            assert owning[0].new_shard == new.shard_of(key)
+
+    @given(old_cuts=cut_lists, new_cuts=cut_lists, keys=key_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_plan_moves_every_key_exactly_once(self, old_cuts, new_cuts, keys):
+        old = self._router(old_cuts)
+        new = self._router(new_cuts)
+        keys = sorted(set(keys))
+        ownership = {key: old.shard_of(key) for key in keys}
+        moved = {key: 0 for key in keys}
+        # Replay the plan the way the executor does: each moving segment
+        # transfers exactly the keys it contains, from old owner to new.
+        for segment in boundary_segments(old, new):
+            if not segment.moves:
+                continue
+            for key in keys:
+                if segment.contains(key):
+                    assert ownership[key] == segment.old_shard
+                    ownership[key] = segment.new_shard
+                    moved[key] += 1
+        for key in keys:
+            assert ownership[key] == new.shard_of(key)
+            assert moved[key] <= 1
+            assert moved[key] == (1 if old.shard_of(key) != new.shard_of(key) else 0)
+
+    @given(old_cuts=cut_lists, new_cuts=cut_lists, keys=key_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_post_migration_routing_agrees_with_new_router(
+        self, old_cuts, new_cuts, keys
+    ):
+        # After the flip, the executor's updated ownership map and the new
+        # router must agree on where every operation lands.
+        new = self._router(new_cuts)
+        unique_keys = sorted(set(keys))
+        shard_by_id = {
+            record_id: new.shard_of(key)
+            for record_id, key in enumerate(unique_keys)
+        }
+        batch = UpdateBatch()
+        for record_id, key in enumerate(unique_keys):
+            batch.modify((record_id, key, b"post"))
+        next_id = len(unique_keys)
+        for offset, key in enumerate(unique_keys):
+            batch.insert((next_id + offset, key + 1, b"new"))
+        per_shard = route_update_batch(batch, new, dict(shard_by_id), 1, 0)
+        assert len(per_shard) == new.num_shards
+        routed = 0
+        for shard, sub_batch in enumerate(per_shard):
+            for operation in sub_batch:
+                assert new.shard_of(operation.fields[1]) == shard
+                routed += 1
+        assert routed == len(batch)
